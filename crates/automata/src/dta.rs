@@ -1,0 +1,285 @@
+//! Deterministic bottom-up automata: products, complement, emptiness,
+//! streaming runs.
+
+use std::collections::{HashMap, HashSet};
+
+use treequery_tree::Tree;
+
+use crate::run::{label_class, num_classes, pslc_run};
+
+/// A deterministic, total bottom-up tree automaton over the PSLC
+/// encoding. State 0 is the ⊥ pseudo-state for missing predecessors.
+#[derive(Clone, Debug)]
+pub struct Dta {
+    labels: Vec<String>,
+    num_states: u32,
+    delta: HashMap<(u32, u32, u32), u32>,
+    accepting: Vec<bool>,
+}
+
+impl Dta {
+    pub(crate) fn from_parts(
+        labels: Vec<String>,
+        num_states: u32,
+        delta: HashMap<(u32, u32, u32), u32>,
+        accepting: Vec<bool>,
+    ) -> Dta {
+        Dta {
+            labels,
+            num_states,
+            delta,
+            accepting,
+        }
+    }
+
+    /// Number of states (including ⊥).
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    fn step(&self, prev: u32, child: u32, class: u32) -> u32 {
+        *self
+            .delta
+            .get(&(prev, child, class))
+            .unwrap_or_else(|| panic!("delta not total at ({prev}, {child}, {class})"))
+    }
+
+    /// Whether the automaton accepts the tree — one post-order pass, O(n).
+    pub fn accepts(&self, t: &Tree) -> bool {
+        let root = pslc_run(t, |v, prev: Option<&u32>, child: Option<&u32>| {
+            let class = label_class(&self.labels, t.label_name(v));
+            self.step(
+                prev.copied().unwrap_or(0),
+                child.copied().unwrap_or(0),
+                class,
+            )
+        });
+        self.accepting[root as usize]
+    }
+
+    /// Streaming recognition over a SAX event sequence with one stack
+    /// frame per open element — the `O(depth)` bound of Section 7.
+    /// Returns (accepted, peak open frames).
+    pub fn run_streaming<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a treequery_streaming::Event>,
+    ) -> (bool, usize) {
+        use treequery_streaming::Event;
+        struct Frame {
+            /// State of this element's previous sibling (⊥ for the first).
+            prev_state: u32,
+            /// State of the last closed child so far (⊥ before any).
+            running_child: u32,
+            /// Label class of this element.
+            class: u32,
+        }
+        // Bottom frame stands for the virtual document.
+        let mut stack = vec![Frame {
+            prev_state: 0,
+            running_child: 0,
+            class: 0,
+        }];
+        let mut peak = 0usize;
+        for ev in events {
+            match ev {
+                Event::Open(label) => {
+                    let prev_state = stack.last().expect("document frame").running_child;
+                    stack.push(Frame {
+                        prev_state,
+                        running_child: 0,
+                        class: label_class(&self.labels, label),
+                    });
+                    peak = peak.max(stack.len() - 1);
+                }
+                Event::Close => {
+                    let f = stack.pop().expect("balanced events");
+                    let state = self.step(f.prev_state, f.running_child, f.class);
+                    stack
+                        .last_mut()
+                        .expect("document frame remains")
+                        .running_child = state;
+                }
+            }
+        }
+        assert_eq!(stack.len(), 1, "unbalanced event stream");
+        let root_state = stack[0].running_child;
+        (self.accepting[root_state as usize], peak)
+    }
+
+    /// Merged alphabet of two automata and the per-automaton class
+    /// remapping tables (indexed by merged class).
+    fn merge_alphabets(&self, other: &Dta) -> (Vec<String>, Vec<u32>, Vec<u32>) {
+        let mut labels = self.labels.clone();
+        for l in &other.labels {
+            if !labels.contains(l) {
+                labels.push(l.clone());
+            }
+        }
+        let map = |own: &[String]| -> Vec<u32> {
+            labels
+                .iter()
+                .map(|l| label_class(own, l))
+                .chain(std::iter::once(own.len() as u32)) // merged OTHER
+                .collect()
+        };
+        let ma = map(&self.labels);
+        let mb = map(&other.labels);
+        (labels, ma, mb)
+    }
+
+    /// Product automaton with the given acceptance combiner.
+    fn product(&self, other: &Dta, accept: impl Fn(bool, bool) -> bool) -> Dta {
+        let (labels, ma, mb) = self.merge_alphabets(other);
+        let classes = num_classes(&labels);
+        // Pair states interned; (⊥, ⊥) is the new ⊥ = id 0.
+        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+        ids.insert((0, 0), 0);
+        let mut pairs = vec![(0u32, 0u32)];
+        let mut delta = HashMap::new();
+        // Exhaustive closure over discovered pair states.
+        let mut done = 0usize;
+        while done < pairs.len() * pairs.len() * classes as usize {
+            done = pairs.len() * pairs.len() * classes as usize;
+            let snapshot = pairs.clone();
+            for &(p1, p2) in &snapshot {
+                for &(c1, c2) in &snapshot {
+                    for class in 0..classes {
+                        let pid = ids[&(p1, p2)];
+                        let cid = ids[&(c1, c2)];
+                        if delta.contains_key(&(pid, cid, class)) {
+                            continue;
+                        }
+                        let s1 = self.step(p1, c1, ma[class as usize]);
+                        let s2 = other.step(p2, c2, mb[class as usize]);
+                        let next = pairs.len() as u32;
+                        let sid = *ids.entry((s1, s2)).or_insert_with(|| {
+                            pairs.push((s1, s2));
+                            next
+                        });
+                        delta.insert((pid, cid, class), sid);
+                    }
+                }
+            }
+        }
+        let accepting = pairs
+            .iter()
+            .map(|&(s1, s2)| accept(self.accepting[s1 as usize], other.accepting[s2 as usize]))
+            .collect();
+        Dta::from_parts(labels, pairs.len() as u32, delta, accepting)
+    }
+
+    /// Language intersection.
+    pub fn intersection(&self, other: &Dta) -> Dta {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Language union.
+    pub fn union(&self, other: &Dta) -> Dta {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Language complement (flip acceptance; sound because the automaton
+    /// is total and deterministic).
+    pub fn complement(&self) -> Dta {
+        let mut c = self.clone();
+        for a in &mut c.accepting {
+            *a = !*a;
+        }
+        c
+    }
+
+    /// Whether the language is empty: no tree's root can reach an
+    /// accepting state. Roots have no previous sibling, so root states are
+    /// exactly `δ(⊥, c, class)` for reachable `c`.
+    pub fn is_empty(&self) -> bool {
+        // Reachable node states (any position in some tree).
+        let mut reach: HashSet<u32> = HashSet::new();
+        let mut frontier = vec![0u32]; // ⊥ usable as both slots
+        reach.insert(0);
+        while !frontier.is_empty() {
+            frontier.clear();
+            let before = reach.len();
+            let snapshot: Vec<u32> = reach.iter().copied().collect();
+            for &p in &snapshot {
+                for &c in &snapshot {
+                    for class in 0..num_classes(&self.labels) {
+                        if let Some(&s) = self.delta.get(&(p, c, class)) {
+                            reach.insert(s);
+                        }
+                    }
+                }
+            }
+            if reach.len() == before {
+                break;
+            }
+            frontier.push(0); // keep looping
+        }
+        // Root states: prev slot is ⊥.
+        for &c in &reach {
+            for class in 0..num_classes(&self.labels) {
+                if let Some(&s) = self.delta.get(&(0, c, class)) {
+                    if self.accepting[s as usize] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Language equivalence via two emptiness checks.
+    pub fn equivalent(&self, other: &Dta) -> bool {
+        self.intersection(&other.complement()).is_empty()
+            && other.intersection(&self.complement()).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::nta::Nta;
+    use treequery_streaming::tree_events;
+    use treequery_tree::{deep_path, parse_term};
+
+    #[test]
+    fn streaming_run_agrees_with_in_memory() {
+        let dta = Nta::exists_label("a").determinize();
+        for ts in ["r(x a)", "r(x y)", "a", "r(b(c(a)))"] {
+            let t = parse_term(ts).unwrap();
+            let events = tree_events(&t);
+            let (accepted, _) = dta.run_streaming(&events);
+            assert_eq!(accepted, dta.accepts(&t), "{ts}");
+        }
+    }
+
+    #[test]
+    fn streaming_memory_is_depth() {
+        let dta = Nta::exists_label("a").determinize();
+        let t = deep_path(100, "x");
+        let (_, peak) = dta.run_streaming(&tree_events(&t));
+        assert_eq!(peak, 100);
+        let wide = treequery_tree::star(100, "x");
+        let (_, peak_wide) = dta.run_streaming(&tree_events(&wide));
+        assert_eq!(peak_wide, 2);
+    }
+
+    #[test]
+    fn emptiness_edge_cases() {
+        let a = Nta::exists_label("a").determinize();
+        assert!(!a.is_empty());
+        assert!(!a.complement().is_empty()); // trees without `a` exist
+        let mod0 = Nta::count_label_mod("a", 2, 0).determinize();
+        let mod1 = Nta::count_label_mod("a", 2, 1).determinize();
+        assert!(mod0.intersection(&mod1).is_empty());
+        assert!(mod0.union(&mod1).complement().is_empty());
+    }
+
+    #[test]
+    fn products_merge_alphabets() {
+        let a = Nta::exists_label("a").determinize();
+        let b = Nta::exists_label("b").determinize();
+        let both = a.intersection(&b);
+        assert!(both.accepts(&parse_term("r(a b)").unwrap()));
+        assert!(!both.accepts(&parse_term("r(a c)").unwrap()));
+        assert!(!both.accepts(&parse_term("r(b)").unwrap()));
+    }
+}

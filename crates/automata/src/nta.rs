@@ -1,0 +1,330 @@
+//! Nondeterministic bottom-up automata over the PSLC binary encoding.
+
+use std::collections::HashMap;
+
+use treequery_tree::Tree;
+
+use crate::dta::Dta;
+use crate::run::{label_class, num_classes, pslc_run};
+
+/// Matches the state of a predecessor slot (previous sibling / last
+/// child).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateSpec {
+    /// The slot must be empty (no previous sibling / no children).
+    Bot,
+    /// The slot must hold exactly this state.
+    Is(u32),
+    /// Anything, including an empty slot.
+    Any,
+}
+
+/// Label pattern of a transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LabelSpec {
+    /// Any label.
+    Any,
+    /// Exactly this label class (named label index, or `labels.len()` for
+    /// "any other label").
+    Class(u32),
+}
+
+#[derive(Clone, Debug)]
+struct Rule {
+    prev: StateSpec,
+    child: StateSpec,
+    label: LabelSpec,
+    to: u32,
+}
+
+/// A nondeterministic bottom-up tree automaton over the PSLC encoding.
+///
+/// The state of a node is derived from the states of its previous sibling
+/// and its last child (missing slots are ⊥); the tree is accepted iff
+/// some run assigns the root an accepting state. Acceptance is decided by
+/// the standard subset simulation in one post-order pass, `O(n · |rules|)`.
+#[derive(Clone, Debug)]
+pub struct Nta {
+    labels: Vec<String>,
+    num_states: u32,
+    rules: Vec<Rule>,
+    accepting: Vec<u32>,
+}
+
+impl Nta {
+    /// All states reachable at a node given predecessor state sets.
+    fn successors(
+        &self,
+        prev: Option<&Vec<bool>>,
+        child: Option<&Vec<bool>>,
+        class: u32,
+    ) -> Vec<bool> {
+        let mut out = vec![false; self.num_states as usize];
+        for rule in &self.rules {
+            let label_ok = match &rule.label {
+                LabelSpec::Any => true,
+                LabelSpec::Class(c) => *c == class,
+            };
+            if !label_ok {
+                continue;
+            }
+            // For `Is` specs we must check each concrete state; the slot
+            // sets make this a containment test.
+            let prev_ok = match rule.prev {
+                StateSpec::Any => true,
+                StateSpec::Bot => prev.is_none(),
+                StateSpec::Is(s) => prev.is_some_and(|set| set[s as usize]),
+            };
+            let child_ok = match rule.child {
+                StateSpec::Any => true,
+                StateSpec::Bot => child.is_none(),
+                StateSpec::Is(s) => child.is_some_and(|set| set[s as usize]),
+            };
+            if prev_ok && child_ok {
+                out[rule.to as usize] = true;
+            }
+        }
+        out
+    }
+
+    /// Whether the automaton accepts the tree (subset simulation).
+    pub fn accepts(&self, t: &Tree) -> bool {
+        let root_states = pslc_run(t, |v, prev, child| {
+            let class = label_class(&self.labels, t.label_name(v));
+            self.successors(prev, child, class)
+        });
+        self.accepting.iter().any(|&a| root_states[a as usize])
+    }
+
+    /// Subset-construction determinization. The result is total over the
+    /// automaton's label classes.
+    pub fn determinize(&self) -> Dta {
+        let classes = num_classes(&self.labels);
+        // Interned subsets; index 0 is reserved in `Dta` for ⊥, so subsets
+        // here start at 1.
+        let mut subset_ids: HashMap<Vec<bool>, u32> = HashMap::new();
+        let mut subsets: Vec<Vec<bool>> = Vec::new();
+        let intern = |set: Vec<bool>,
+                      subsets: &mut Vec<Vec<bool>>,
+                      subset_ids: &mut HashMap<Vec<bool>, u32>|
+         -> u32 {
+            if let Some(&id) = subset_ids.get(&set) {
+                return id;
+            }
+            let id = subsets.len() as u32 + 1; // + 1: 0 is ⊥
+            subsets.push(set.clone());
+            subset_ids.insert(set, id);
+            id
+        };
+
+        let mut delta: HashMap<(u32, u32, u32), u32> = HashMap::new();
+        // Fixpoint over discovered subset states (⊥ is implicit).
+        loop {
+            let known = subsets.len();
+            let mut discovered = Vec::new();
+            // Slots: ⊥ plus every known subset.
+            for p in 0..=known {
+                for c in 0..=known {
+                    for class in 0..classes {
+                        let key = (p as u32, c as u32, class);
+                        if delta.contains_key(&key) {
+                            continue;
+                        }
+                        let prev = (p > 0).then(|| &subsets[p - 1]);
+                        let child = (c > 0).then(|| &subsets[c - 1]);
+                        let succ = self.successors(prev, child, class);
+                        discovered.push((key, succ));
+                    }
+                }
+            }
+            if discovered.is_empty() && subsets.len() == known {
+                break;
+            }
+            let mut grew = false;
+            for (key, succ) in discovered {
+                let id = intern(succ, &mut subsets, &mut subset_ids);
+                grew |= subsets.len() > known;
+                delta.insert(key, id);
+            }
+            if !grew && subsets.len() == known {
+                // All transitions filled and no new subsets: done after
+                // one more pass confirms closure.
+                let closed = (0..=subsets.len()).all(|p| {
+                    (0..=subsets.len()).all(|c| {
+                        (0..classes).all(|class| delta.contains_key(&(p as u32, c as u32, class)))
+                    })
+                });
+                if closed {
+                    break;
+                }
+            }
+        }
+
+        let accepting = std::iter::once(false) // ⊥ never accepts
+            .chain(
+                subsets
+                    .iter()
+                    .map(|set| self.accepting.iter().any(|&a| set[a as usize])),
+            )
+            .collect();
+        Dta::from_parts(
+            self.labels.clone(),
+            subsets.len() as u32 + 1,
+            delta,
+            accepting,
+        )
+    }
+
+    // ---- constructors ----
+
+    /// Accepts trees containing at least one node labeled `l`.
+    pub fn exists_label(l: &str) -> Nta {
+        // State 1 = "an l-node occurs in my PSLC-subtree".
+        Nta {
+            labels: vec![l.to_owned()],
+            num_states: 2,
+            rules: vec![
+                Rule {
+                    prev: StateSpec::Any,
+                    child: StateSpec::Any,
+                    label: LabelSpec::Class(0),
+                    to: 1,
+                },
+                Rule {
+                    prev: StateSpec::Is(1),
+                    child: StateSpec::Any,
+                    label: LabelSpec::Any,
+                    to: 1,
+                },
+                Rule {
+                    prev: StateSpec::Any,
+                    child: StateSpec::Is(1),
+                    label: LabelSpec::Any,
+                    to: 1,
+                },
+                Rule {
+                    prev: StateSpec::Any,
+                    child: StateSpec::Any,
+                    label: LabelSpec::Any,
+                    to: 0,
+                },
+            ],
+            accepting: vec![1],
+        }
+    }
+
+    /// Accepts trees whose root is labeled `l`.
+    pub fn root_label(l: &str) -> Nta {
+        Nta {
+            labels: vec![l.to_owned()],
+            num_states: 2,
+            rules: vec![
+                Rule {
+                    prev: StateSpec::Any,
+                    child: StateSpec::Any,
+                    label: LabelSpec::Class(0),
+                    to: 1,
+                },
+                Rule {
+                    prev: StateSpec::Any,
+                    child: StateSpec::Any,
+                    label: LabelSpec::Any,
+                    to: 0,
+                },
+            ],
+            accepting: vec![1],
+        }
+    }
+
+    /// Accepts trees whose number of `l`-labeled nodes is ≡ `r` (mod `k`).
+    /// This automaton is deterministic by construction; it exercises the
+    /// counting power of regular tree languages.
+    pub fn count_label_mod(l: &str, k: u32, r: u32) -> Nta {
+        assert!(k >= 1 && r < k);
+        let mut rules = Vec::new();
+        // Slots: Bot counts as 0.
+        let slot_specs: Vec<(StateSpec, u32)> = std::iter::once((StateSpec::Bot, 0))
+            .chain((0..k).map(|s| (StateSpec::Is(s), s)))
+            .collect();
+        for &(prev, pcount) in &slot_specs {
+            for &(child, ccount) in &slot_specs {
+                rules.push(Rule {
+                    prev,
+                    child,
+                    label: LabelSpec::Class(0),
+                    to: (pcount + ccount + 1) % k,
+                });
+                rules.push(Rule {
+                    prev,
+                    child,
+                    label: LabelSpec::Class(1),
+                    to: (pcount + ccount) % k,
+                });
+            }
+        }
+        Nta {
+            labels: vec![l.to_owned()],
+            num_states: k,
+            rules,
+            accepting: vec![r],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_tree::parse_term;
+
+    #[test]
+    fn exists_label_runs() {
+        let a = Nta::exists_label("a");
+        assert!(a.accepts(&parse_term("r(x a(y))").unwrap()));
+        assert!(a.accepts(&parse_term("a").unwrap()));
+        assert!(!a.accepts(&parse_term("r(x y(z))").unwrap()));
+    }
+
+    #[test]
+    fn root_label_runs() {
+        let r = Nta::root_label("r");
+        assert!(r.accepts(&parse_term("r(a)").unwrap()));
+        assert!(!r.accepts(&parse_term("a(r)").unwrap()));
+    }
+
+    #[test]
+    fn count_mod() {
+        let odd = Nta::count_label_mod("a", 2, 1);
+        assert!(odd.accepts(&parse_term("a(b)").unwrap()));
+        assert!(!odd.accepts(&parse_term("a(a)").unwrap()));
+        assert!(odd.accepts(&parse_term("a(a a)").unwrap()));
+        let zero_mod3 = Nta::count_label_mod("a", 3, 0);
+        assert!(zero_mod3.accepts(&parse_term("b(a a a)").unwrap()));
+        assert!(!zero_mod3.accepts(&parse_term("b(a a)").unwrap()));
+    }
+
+    #[test]
+    fn determinization_preserves_language() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let automata = [
+            Nta::exists_label("a"),
+            Nta::root_label("r"),
+            Nta::count_label_mod("a", 3, 1),
+        ];
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut trees = vec![parse_term("a").unwrap(), parse_term("r(a(a) b)").unwrap()];
+        for _ in 0..15 {
+            trees.push(treequery_tree::random_recursive_tree(
+                &mut rng,
+                20,
+                &["a", "b", "r"],
+            ));
+        }
+        for nta in &automata {
+            let dta = nta.determinize();
+            for t in &trees {
+                assert_eq!(nta.accepts(t), dta.accepts(t), "{t}");
+            }
+        }
+    }
+}

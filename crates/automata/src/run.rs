@@ -1,0 +1,71 @@
+//! Shared machinery: label classes and the PSLC run order.
+
+use treequery_tree::{NodeId, Tree};
+
+/// Pseudo-state for a missing predecessor (no previous sibling / no
+/// children) in the binary encoding.
+pub const BOT: u32 = u32::MAX;
+
+/// Maps a concrete label to its class index for an automaton with the
+/// given named labels: `0..labels.len()` for named labels,
+/// `labels.len()` for "any other label".
+pub(crate) fn label_class(labels: &[String], name: &str) -> u32 {
+    labels
+        .iter()
+        .position(|l| l == name)
+        .map_or(labels.len() as u32, |i| i as u32)
+}
+
+/// Number of label classes (named + the `other` class).
+pub(crate) fn num_classes(labels: &[String]) -> u32 {
+    labels.len() as u32 + 1
+}
+
+/// Runs `step` over the tree in post-order, feeding each node its
+/// previous sibling's value and its last child's value (`BOT`-style
+/// `None` for missing ones); returns the root's value.
+///
+/// In the PSLC encoding both predecessors of a node are post-order
+/// earlier, so a single pass suffices — and the same recurrence works on
+/// a SAX stream (see `Dta::run_streaming`).
+pub(crate) fn pslc_run<S: Clone>(
+    t: &Tree,
+    mut step: impl FnMut(NodeId, Option<&S>, Option<&S>) -> S,
+) -> S {
+    let mut value: Vec<Option<S>> = vec![None; t.len()];
+    for v in t.post_order() {
+        let prev = t.prev_sibling(v).and_then(|p| value[p.index()].as_ref());
+        let child = t.last_child(v).and_then(|c| value[c.index()].as_ref());
+        let s = step(v, prev, child);
+        value[v.index()] = Some(s);
+    }
+    value[t.root().index()]
+        .clone()
+        .expect("root evaluated last in post-order")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_tree::parse_term;
+
+    #[test]
+    fn pslc_subtree_plus_left_siblings_size() {
+        // With the recurrence size(v) = 1 + size(prev) + size(child), the
+        // root value is the whole tree size (its PSLC-subtree).
+        let t = parse_term("a(b(c d) e(f) g)").unwrap();
+        let total = pslc_run(&t, |_, prev, child: Option<&u32>| {
+            1 + prev.copied().unwrap_or(0) + child.copied().unwrap_or(0)
+        });
+        assert_eq!(total as usize, t.len());
+    }
+
+    #[test]
+    fn label_classes() {
+        let labels = vec!["a".to_owned(), "b".to_owned()];
+        assert_eq!(label_class(&labels, "a"), 0);
+        assert_eq!(label_class(&labels, "b"), 1);
+        assert_eq!(label_class(&labels, "zz"), 2);
+        assert_eq!(num_classes(&labels), 3);
+    }
+}

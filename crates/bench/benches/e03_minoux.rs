@@ -1,0 +1,19 @@
+//! E3 — Minoux's algorithm on growing Horn formulas (linear time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e03_minoux::chain_formula;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03_minoux");
+    g.sample_size(10);
+    for m in [10_000usize, 40_000, 160_000] {
+        let f = chain_formula(m);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &f, |b, f| {
+            b.iter(|| f.solve())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E6 — backtrack-free enumeration: time vs output size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e06_enumeration::workload;
+use treequery_core::cq::Enumerator;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e06_enumerate");
+    g.sample_size(10);
+    for spine in [20usize, 40, 80] {
+        let (t, q) = workload(spine);
+        g.bench_with_input(BenchmarkId::from_parameter(t.len()), &(), |b, _| {
+            b.iter(|| Enumerator::new(&q, &t).unwrap().count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

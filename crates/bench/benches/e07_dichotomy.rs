@@ -1,0 +1,24 @@
+//! E7 — Theorem 6.5 (X-property) vs backtracking on cyclic τ1 queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e07_dichotomy::{bench_tree, cycle_query};
+use treequery_core::cq::{eval_x_property, is_satisfiable_backtrack};
+
+fn bench(c: &mut Criterion) {
+    let t = bench_tree();
+    let mut g = c.benchmark_group("e07_dichotomy");
+    g.sample_size(10);
+    for k in [2usize, 3, 4] {
+        let q = cycle_query(k, "child+");
+        g.bench_with_input(BenchmarkId::new("xproperty", k), &q, |b, q| {
+            b.iter(|| eval_x_property(q, &t).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("backtrack", k), &q, |b, q| {
+            b.iter(|| is_satisfiable_backtrack(q, &t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E8 — monadic datalog combined complexity O(|P|·|Dom|).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e08_datalog::{grid_tree, marking_program};
+use treequery_core::datalog::eval_query;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e08_datalog");
+    g.sample_size(10);
+    for k in [2usize, 4] {
+        let prog = marking_program(k);
+        for n in [2_000usize, 8_000] {
+            let t = grid_tree(n, 8);
+            let id = format!("P{}xD{}", prog.size(), n);
+            g.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+                b.iter(|| eval_query(&prog, &t))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E9 — Theorem 4.1: bounded-tree-width evaluation vs |A|^(k+1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e09_treewidth::{clique_cq, cycle_cq, random_structure};
+use treequery_core::cq::relational::eval_treewidth_auto;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e09_treewidth");
+    g.sample_size(10);
+    for domain in [8usize, 16] {
+        let a = random_structure(domain, 99);
+        let cyc = cycle_cq(5);
+        g.bench_with_input(BenchmarkId::new("cycle_w2", domain), &(), |b, _| {
+            b.iter(|| eval_treewidth_auto(&cyc, &a))
+        });
+        let k4 = clique_cq(4);
+        g.bench_with_input(BenchmarkId::new("clique_w3", domain), &(), |b, _| {
+            b.iter(|| eval_treewidth_auto(&k4, &a))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

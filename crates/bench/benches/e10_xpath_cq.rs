@@ -1,0 +1,22 @@
+//! E10 — conjunctive Core XPath through the acyclic-CQ machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e10_xpath_cq::{doc, QUERY};
+use treequery_core::cq::eval_acyclic;
+use treequery_core::xpath::{parse_xpath, to_cq};
+
+fn bench(c: &mut Criterion) {
+    let q = to_cq(&parse_xpath(QUERY).unwrap()).unwrap();
+    let mut g = c.benchmark_group("e10_xpath_cq");
+    g.sample_size(10);
+    for scale in [1_000usize, 4_000, 16_000] {
+        let t = doc(scale);
+        g.bench_with_input(BenchmarkId::from_parameter(t.len()), &(), |b, _| {
+            b.iter(|| eval_acyclic(&q, &t).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E11 — Theorem 5.1 rewriting: union growth and evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e11_rewrite::{ancestors_query, bench_tree};
+use treequery_core::cq::{rewrite::eval_via_rewrite, rewrite_to_acyclic};
+
+fn bench(c: &mut Criterion) {
+    let t = bench_tree();
+    let mut g = c.benchmark_group("e11_rewrite");
+    g.sample_size(10);
+    for k in [2usize, 3, 4] {
+        let q = ancestors_query(k);
+        g.bench_with_input(BenchmarkId::new("rewrite", k), &q, |b, q| {
+            b.iter(|| rewrite_to_acyclic(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("rewrite_eval", k), &q, |b, q| {
+            b.iter(|| eval_via_rewrite(q, &t).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E12 — structural joins: stack merge vs nested loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e12_structural::workload;
+use treequery_core::storage::{nested_loop_join, stack_tree_join};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_structural");
+    g.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000] {
+        let (_t, x) = workload(n);
+        let la = x.label_list("a");
+        let lb = x.label_list("b");
+        g.bench_with_input(BenchmarkId::new("stack", n), &(), |b, _| {
+            b.iter(|| stack_tree_join(&la, &lb))
+        });
+        g.bench_with_input(BenchmarkId::new("nested_loop", n), &(), |b, _| {
+            b.iter(|| nested_loop_join(&la, &lb))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E13 — TwigStack vs the binary structural-join plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e13_twig::{doc, pattern};
+use treequery_core::cq::twigjoin::{structural_join_plan, twig_stack};
+
+fn bench(c: &mut Criterion) {
+    let tq = pattern();
+    let mut g = c.benchmark_group("e13_twig");
+    g.sample_size(10);
+    for scale in [2_000usize, 8_000] {
+        let t = doc(scale);
+        g.bench_with_input(BenchmarkId::new("twig_stack", t.len()), &(), |b, _| {
+            b.iter(|| twig_stack(&tq, &t))
+        });
+        g.bench_with_input(BenchmarkId::new("sj_plan", t.len()), &(), |b, _| {
+            b.iter(|| structural_join_plan(&tq, &t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

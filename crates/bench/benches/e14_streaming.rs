@@ -1,0 +1,26 @@
+//! E14 — streaming filter throughput and depth-bounded memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treequery_bench::experiments::e14_streaming::filter;
+use treequery_core::streaming::{matches_events, tree_events};
+use treequery_core::tree::random_tree_with_depth;
+
+fn bench(c: &mut Criterion) {
+    let f = filter();
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut g = c.benchmark_group("e14_streaming");
+    g.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let t = random_tree_with_depth(&mut rng, n, 8, &["a", "b", "c", "d"]);
+        let events = tree_events(&t);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| matches_events(&f, &events))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E15 — Horn-SAT solving, linear in formula size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e15_hornsat::random_formula;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_hornsat");
+    g.sample_size(10);
+    for m in [20_000usize, 80_000, 320_000] {
+        let f = random_formula(m, 15);
+        g.bench_with_input(BenchmarkId::from_parameter(f.size()), &f, |b, f| {
+            b.iter(|| f.solve())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

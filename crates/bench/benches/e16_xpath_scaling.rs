@@ -1,0 +1,26 @@
+//! E16 — Core XPath linear data complexity: both engines, growing docs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e16_xpath_scaling::{doc, QUERY};
+use treequery_core::datalog::eval_query as datalog_eval;
+use treequery_core::xpath::{eval_query, parse_xpath, to_datalog};
+
+fn bench(c: &mut Criterion) {
+    let path = parse_xpath(QUERY).unwrap();
+    let prog = to_datalog(&path);
+    let mut g = c.benchmark_group("e16_xpath");
+    g.sample_size(10);
+    for scale in [5_000usize, 20_000, 80_000] {
+        let t = doc(scale);
+        g.bench_with_input(BenchmarkId::new("set_at_a_time", t.len()), &(), |b, _| {
+            b.iter(|| eval_query(&path, &t))
+        });
+        g.bench_with_input(BenchmarkId::new("via_datalog", t.len()), &(), |b, _| {
+            b.iter(|| datalog_eval(&prog, &t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates every figure and table of the paper's reproduction: runs
+//! experiments E1–E16 and prints the paper-style tables recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p treequery-bench --release --bin harness          # all
+//! cargo run -p treequery-bench --release --bin harness e07 e12 # a subset
+//! ```
+
+use treequery_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        experiments::run_all();
+        return;
+    }
+    for arg in args {
+        match arg
+            .trim_start_matches('e')
+            .trim_start_matches('E')
+            .trim_start_matches('0')
+        {
+            "1" => experiments::e01_table1::run(),
+            "2" => experiments::e02_xasr::run(),
+            "3" => experiments::e03_minoux::run(),
+            "4" => experiments::e04_decomposition::run(),
+            "5" => experiments::e05_xproperty::run(),
+            "6" => experiments::e06_enumeration::run(),
+            "7" => experiments::e07_dichotomy::run(),
+            "8" => experiments::e08_datalog::run(),
+            "9" => experiments::e09_treewidth::run(),
+            "10" => experiments::e10_xpath_cq::run(),
+            "11" => experiments::e11_rewrite::run(),
+            "12" => experiments::e12_structural::run(),
+            "13" => experiments::e13_twig::run(),
+            "14" => experiments::e14_streaming::run(),
+            "15" => experiments::e15_hornsat::run(),
+            "16" => experiments::e16_xpath_scaling::run(),
+            other => eprintln!("unknown experiment '{other}' (expected e1..e16)"),
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! E2 — Figure 2: the XASR table of the example tree, and Example 2.1's
+//! descendant/child views.
+
+use treequery_core::storage::Xasr;
+use treequery_core::tree::parse_term;
+
+use crate::util::header;
+
+pub fn run() {
+    header("E2", "Figure 2 — XASR of the example tree");
+    let t = parse_term("a(b(a c) a(b d))").unwrap();
+    let x = Xasr::from_tree(&t);
+    print!("{x}");
+    let expected: [(u32, u32, Option<u32>, &str); 7] = [
+        (1, 7, None, "a"),
+        (2, 3, Some(1), "b"),
+        (3, 1, Some(2), "a"),
+        (4, 2, Some(2), "c"),
+        (5, 6, Some(1), "a"),
+        (6, 4, Some(5), "b"),
+        (7, 5, Some(5), "d"),
+    ];
+    for (row, e) in x.rows().iter().zip(expected) {
+        assert_eq!((row.pre, row.post, row.parent_pre, row.label.as_str()), e);
+    }
+    println!(
+        "descendant view: {} pairs; child view: {} pairs (Example 2.1)",
+        x.descendant_view().len(),
+        x.child_view().len()
+    );
+    println!("matches Figure 2(b) cell for cell ✓");
+}

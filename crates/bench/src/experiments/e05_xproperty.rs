@@ -1,0 +1,49 @@
+//! E5 — Figure 5 / Proposition 6.6: the complete axis × order X-property
+//! matrix, decided by exhaustive counterexample search over all small
+//! trees.
+
+use treequery_core::cq::dichotomy::axis_compatible;
+use treequery_core::cq::x_property_counterexample;
+use treequery_core::tree::all_trees;
+use treequery_core::{Axis, Order};
+
+use crate::util::header;
+
+const FORWARD: [Axis; 7] = [
+    Axis::Child,
+    Axis::Descendant,
+    Axis::DescendantOrSelf,
+    Axis::NextSibling,
+    Axis::FollowingSibling,
+    Axis::FollowingSiblingOrSelf,
+    Axis::Following,
+];
+
+pub fn run() {
+    header(
+        "E5",
+        "Proposition 6.6 — the X-property matrix (axis × order)",
+    );
+    println!("{:<20}{:>10}{:>10}{:>10}", "axis", "<pre", "<post", "<bflr");
+    let mut mismatches = 0;
+    for axis in FORWARD {
+        print!("{:<20}", axis.name());
+        for order in Order::ALL {
+            let counterexample = (1..=7).find_map(|n| {
+                all_trees(n, "x")
+                    .iter()
+                    .find_map(|t| x_property_counterexample(t, axis, order))
+            });
+            let holds = counterexample.is_none();
+            if holds != axis_compatible(axis, order) {
+                mismatches += 1;
+            }
+            print!("{:>10}", if holds { "X̲" } else { "—" });
+        }
+        println!();
+    }
+    println!("\nexhaustive over all trees ≤ 7 nodes; vs Proposition 6.6: {mismatches} mismatches");
+    println!("τ1 = {{Child+, Child*}} @ <pre; τ2 = {{Following}} @ <post;");
+    println!("τ3 = {{Child, NextSibling, NextSibling*, NextSibling+}} @ <bflr");
+    assert_eq!(mismatches, 0);
+}

@@ -1,0 +1,76 @@
+//! E7 — Figure 7 / Theorem 6.8: the tractability landscape, operational.
+//!
+//! The query family is an unsatisfiable k-cycle. Over the τ1 signature
+//! (`Child⁺` only) the classifier certifies the X-property w.r.t. `<pre`
+//! and Theorem 6.5 decides it in `O(||A|| · |Q|)`. Exhaustive
+//! backtracking on the same query explores a number of assignments that
+//! grows exponentially with k — and for the mixed `{Child, Child⁺}`
+//! signature, which Theorem 6.8 proves NP-complete, backtracking (or the
+//! exponential rewriting of Theorem 5.1) is all there is.
+
+use treequery_core::cq::{
+    classify, eval_backtrack_with_stats, eval_x_property, parse_cq, Cq, Tractability,
+};
+use treequery_core::tree::full_binary;
+use treequery_core::Tree;
+
+use crate::util::{fmt_dur, header, median_time};
+
+/// An unsatisfiable k-cycle `R(x₁,x₂), …, R(x_{k−1},x_k), R(x_k,x₁)`.
+pub fn cycle_query(k: usize, axis: &str) -> Cq {
+    assert!(k >= 2);
+    let mut atoms: Vec<String> = (0..k - 1)
+        .map(|i| format!("{axis}(x{i}, x{})", i + 1))
+        .collect();
+    atoms.push(format!("{axis}(x{}, x0)", k - 1));
+    parse_cq(&atoms.join(", ")).unwrap()
+}
+
+/// The benchmark tree: a full binary tree (many length-k paths).
+pub fn bench_tree() -> Tree {
+    full_binary(8, "a")
+}
+
+pub fn run() {
+    header("E7", "Theorem 6.8 — tractable vs NP-complete signatures");
+    let t = bench_tree();
+    println!(
+        "tree: full binary, {} nodes; query: unsatisfiable k-cycle",
+        t.len()
+    );
+    println!(
+        "{:>3} {:>14} {:>14} {:>22} {:>16}",
+        "k", "τ1 verdict", "Thm 6.5 time", "backtrack (τ1 cycle)", "mixed verdict"
+    );
+    for k in [2usize, 3, 4, 5, 6] {
+        let tau1 = cycle_query(k, "child+");
+        let verdict = match classify(&tau1) {
+            Tractability::Tractable(o) => format!("P ({o})"),
+            Tractability::NpComplete => "NP-complete".into(),
+        };
+        let xprop_time = median_time(3, || eval_x_property(&tau1, &t).unwrap());
+        assert!(eval_x_property(&tau1, &t).unwrap().is_none());
+        let (result, stats) = eval_backtrack_with_stats(&tau1, &t);
+        assert!(result.is_empty());
+
+        let mixed = cycle_query(k, "child");
+        // Give the cycle one Child⁺ atom so the signature is mixed.
+        let mixed_with_trans = {
+            let mut q = mixed.clone();
+            let extra = parse_cq(&format!("child+(x0, x{})", k - 1)).unwrap();
+            q.atoms.extend(extra.atoms);
+            q
+        };
+        let mixed_verdict = match classify(&mixed_with_trans) {
+            Tractability::Tractable(_) => "P",
+            Tractability::NpComplete => "NP-complete",
+        };
+        println!(
+            "{k:>3} {verdict:>14} {:>14} {:>22} {:>16}",
+            fmt_dur(xprop_time),
+            stats.assignments,
+            mixed_verdict
+        );
+    }
+    println!("\nTheorem 6.5 time grows linearly in k; backtracking explodes exponentially.");
+}

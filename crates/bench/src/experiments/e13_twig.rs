@@ -1,0 +1,61 @@
+//! E13 — Section 6 / \[13\]: holistic twig joins vs binary structural-join
+//! plans: intermediate-result sizes and times on the XMark workload.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treequery_core::cq::twigjoin::{structural_join_plan, twig_stack, TwigEdge, TwigQuery};
+use treequery_core::tree::{xmark_document, XmarkConfig};
+use treequery_core::Tree;
+
+use crate::util::{fmt_dur, header, median_time};
+
+/// The pattern `site//open_auction[//bidder/increase][seller]` — branchy
+/// with both `/` and `//` edges.
+pub fn pattern() -> TwigQuery {
+    let mut tq = TwigQuery::new("site");
+    let auction = tq.add_child(0, "open_auction", TwigEdge::Descendant);
+    let bidder = tq.add_child(auction, "bidder", TwigEdge::Descendant);
+    tq.add_child(bidder, "increase", TwigEdge::Child);
+    tq.add_child(auction, "seller", TwigEdge::Child);
+    tq
+}
+
+pub fn doc(scale: usize) -> Tree {
+    let mut rng = StdRng::seed_from_u64(13);
+    xmark_document(&mut rng, &XmarkConfig::scaled_to(scale))
+}
+
+pub fn run() {
+    header(
+        "E13",
+        "Holistic twig joins [13] vs binary structural-join plans",
+    );
+    let tq = pattern();
+    println!("pattern: site//open_auction[.//bidder/increase][seller]");
+    println!(
+        "{:>9} {:>9} {:>10} {:>12} {:>14} {:>12} {:>12}",
+        "nodes", "matches", "ts pushed", "ts path-sol", "plan intermed.", "twig time", "plan time"
+    );
+    for scale in [2_000usize, 8_000, 32_000] {
+        let t = doc(scale);
+        let (matches, stats) = twig_stack(&tq, &t);
+        let (plan_matches, intermediate) = structural_join_plan(&tq, &t);
+        let mut pm = plan_matches;
+        pm.sort_unstable();
+        pm.dedup();
+        assert_eq!(matches.len(), pm.len(), "algorithms disagree");
+        let twig_time = median_time(3, || twig_stack(&tq, &t));
+        let plan_time = median_time(3, || structural_join_plan(&tq, &t));
+        println!(
+            "{:>9} {:>9} {:>10} {:>12} {:>14} {:>12} {:>12}",
+            t.len(),
+            matches.len(),
+            stats.pushed,
+            stats.path_solutions,
+            intermediate,
+            fmt_dur(twig_time),
+            fmt_dur(plan_time)
+        );
+    }
+    println!("the holistic join touches far fewer intermediate tuples than the binary plan.");
+}

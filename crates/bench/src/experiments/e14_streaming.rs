@@ -1,0 +1,90 @@
+//! E14 — Sections 5 & 7: streaming memory is Θ(depth · |Q|) — linear in
+//! document depth (\[40\]'s lower bound met from above by \[60, 70\]) and
+//! independent of document size.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treequery_core::streaming::{compile, matches_events, select_events, tree_events, FilterQuery};
+use treequery_core::tree::random_tree_with_depth;
+use treequery_core::xpath::parse_xpath;
+
+use crate::util::{fmt_dur, header, median_time};
+
+pub const QUERY: &str = "//a[b]//c[not(d)]";
+
+pub fn filter() -> FilterQuery {
+    compile(&parse_xpath(QUERY).unwrap()).unwrap()
+}
+
+pub fn run() {
+    header(
+        "E14",
+        "Streaming XPath: memory = Θ(depth · |Q|), size-independent",
+    );
+    let f = filter();
+    let mut rng = StdRng::seed_from_u64(14);
+    println!("query: {QUERY} (step-table width {})", f.width());
+
+    println!("\nfixed depth 8, growing size:");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12}",
+        "nodes", "depth", "peak frames", "peak bits", "time"
+    );
+    for n in [1_000usize, 10_000, 100_000, 400_000] {
+        let t = random_tree_with_depth(&mut rng, n, 8, &["a", "b", "c", "d"]);
+        let events = tree_events(&t);
+        let (_m, stats) = matches_events(&f, &events);
+        let d = median_time(3, || matches_events(&f, &events));
+        println!(
+            "{n:>10} {:>8} {:>12} {:>12} {:>12}",
+            t.height(),
+            stats.peak_frames,
+            stats.peak_frames * stats.frame_bits,
+            fmt_dur(d)
+        );
+        assert!(stats.peak_frames <= 9);
+    }
+
+    println!("\nfixed size 50k, growing depth:");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12}",
+        "nodes", "depth", "peak frames", "peak bits"
+    );
+    for depth in [4u32, 16, 64, 256, 1024] {
+        let t = random_tree_with_depth(&mut rng, 50_000, depth, &["a", "b", "c", "d"]);
+        let events = tree_events(&t);
+        let (_m, stats) = matches_events(&f, &events);
+        println!(
+            "{:>10} {depth:>8} {:>12} {:>12}",
+            t.len(),
+            stats.peak_frames,
+            stats.peak_frames * stats.frame_bits
+        );
+        assert_eq!(stats.peak_frames as u32, depth + 1);
+    }
+    println!("\npeak memory tracks depth exactly and ignores size — the Section 7 picture.");
+
+    // The contrast: node-*selection* needs candidate buffers that grow
+    // with the data (the [40] lower-bound story) even at fixed depth.
+    println!(
+        "\nselection (not filtering) on r(a a a …) with query //r[b]/a — buffered candidates:"
+    );
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "children", "peak pending", "peak frames"
+    );
+    let sel = compile(&parse_xpath("//r[b]/a").unwrap()).unwrap();
+    for n in [100usize, 1_000, 10_000] {
+        let mut term = String::from("r(");
+        term.push_str(&"a ".repeat(n));
+        term.push(')');
+        let t = treequery_core::parse_term(&term).unwrap();
+        let events = tree_events(&t);
+        let (_res, stats) = select_events(&sel, &events);
+        println!(
+            "{n:>10} {:>14} {:>14}",
+            stats.peak_pending, stats.memory.peak_frames
+        );
+    }
+    println!("filtering memory is flat; selection buffering grows with the data.");
+}

@@ -1,0 +1,38 @@
+//! One module per experiment; ids match `DESIGN.md` and `EXPERIMENTS.md`.
+
+pub mod e01_table1;
+pub mod e02_xasr;
+pub mod e03_minoux;
+pub mod e04_decomposition;
+pub mod e05_xproperty;
+pub mod e06_enumeration;
+pub mod e07_dichotomy;
+pub mod e08_datalog;
+pub mod e09_treewidth;
+pub mod e10_xpath_cq;
+pub mod e11_rewrite;
+pub mod e12_structural;
+pub mod e13_twig;
+pub mod e14_streaming;
+pub mod e15_hornsat;
+pub mod e16_xpath_scaling;
+
+/// Runs every experiment in order.
+pub fn run_all() {
+    e01_table1::run();
+    e02_xasr::run();
+    e03_minoux::run();
+    e04_decomposition::run();
+    e05_xproperty::run();
+    e06_enumeration::run();
+    e07_dichotomy::run();
+    e08_datalog::run();
+    e09_treewidth::run();
+    e10_xpath_cq::run();
+    e11_rewrite::run();
+    e12_structural::run();
+    e13_twig::run();
+    e14_streaming::run();
+    e15_hornsat::run();
+    e16_xpath_scaling::run();
+}

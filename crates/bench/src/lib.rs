@@ -1,0 +1,11 @@
+//! The benchmark harness reproducing every figure, table, and complexity
+//! claim of the paper (see `DESIGN.md`'s per-experiment index and
+//! `EXPERIMENTS.md` for recorded results).
+//!
+//! Each `experiments::eNN` module implements one experiment as a plain
+//! function printing a paper-style table; the `harness` binary runs them
+//! all, and the Criterion benches under `benches/` wrap the timed kernels
+//! of the experiments that have a wall-clock dimension.
+
+pub mod experiments;
+pub mod util;

@@ -1,0 +1,41 @@
+//! Small measurement helpers shared by the experiments.
+
+use std::time::{Duration, Instant};
+
+/// Median wall time of `runs` executions of `f` (the result is consumed
+/// through `std::hint::black_box` so the work is not optimized away).
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(runs >= 1);
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Nanoseconds as a readable value.
+pub fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.2}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Per-unit cost in nanoseconds (for the "time / size ≈ constant" rows).
+pub fn per_unit(d: Duration, units: u64) -> String {
+    format!("{:.1}ns", d.as_nanos() as f64 / units.max(1) as f64)
+}
+
+/// Prints an experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{id}: {title}");
+    println!("{}", "=".repeat(72));
+}

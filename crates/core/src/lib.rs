@@ -1,0 +1,376 @@
+#![warn(missing_docs)]
+
+//! `treequery-core`: the unified engine over all the techniques of Koch,
+//! *Processing Queries on Tree-Structured Data Efficiently* (PODS 2006).
+//!
+//! The sibling crates implement the paper's five technique families; this
+//! crate re-exports them and adds [`Engine`], a small planner that routes
+//! each query to the right technique:
+//!
+//! * **Core XPath** → the set-at-a-time evaluator (`O(|D| · |Q|)`); the
+//!   monadic-datalog and acyclic-CQ routes are available for
+//!   cross-checking ([`XPathStrategy`]);
+//! * **conjunctive queries** → acyclic queries run through Yannakakis'
+//!   full reducer with backtrack-free enumeration; cyclic queries over an
+//!   X-property signature (Theorem 6.8) run through arc-consistency +
+//!   minimum valuation; everything else is rewritten into a union of
+//!   acyclic queries (Theorem 5.1), with exponential backtracking as the
+//!   last resort;
+//! * **monadic datalog** → grounding + Minoux's algorithm (Theorem 3.2);
+//! * **streaming** → the depth-bounded filter for forward queries, with
+//!   automatic backward-axis elimination.
+
+use std::collections::BTreeSet;
+
+pub use treequery_automata as automata;
+pub use treequery_cq as cq;
+pub use treequery_datalog as datalog;
+pub use treequery_hornsat as hornsat;
+pub use treequery_storage as storage;
+pub use treequery_streaming as streaming;
+pub use treequery_tree as tree;
+pub use treequery_xpath as xpath;
+
+pub use treequery_tree::{
+    parse_term, parse_xml, to_xml, Axis, NodeId, NodeSet, Order, Tree, TreeBuilder,
+};
+
+/// Errors surfaced by the [`Engine`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// The XPath expression did not parse.
+    XPath(xpath::XPathParseError),
+    /// The conjunctive query did not parse.
+    Cq(cq::CqParseError),
+    /// The datalog program did not parse.
+    Datalog(datalog::ParseError),
+    /// The datalog program has no query predicate.
+    NoQueryPredicate,
+    /// The query cannot be streamed, even after backward-axis elimination.
+    NotStreamable(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::XPath(e) => write!(f, "{e}"),
+            EngineError::Cq(e) => write!(f, "{e}"),
+            EngineError::Datalog(e) => write!(f, "{e}"),
+            EngineError::NoQueryPredicate => f.write_str("datalog program has no query predicate"),
+            EngineError::NotStreamable(m) => write!(f, "not streamable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Which implementation evaluates a Core XPath query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XPathStrategy {
+    /// The set-at-a-time evaluator (default; `O(|D| · |Q|)`).
+    SetAtATime,
+    /// The literal (P1)–(P4)/(Q1)–(Q5) semantics (slow; oracle).
+    Reference,
+    /// Translation to monadic datalog + Minoux (Theorem 3.2 route).
+    Datalog,
+    /// Translation of conjunctive queries to acyclic CQs + Yannakakis
+    /// (Proposition 4.2 route; fails on non-conjunctive queries).
+    AcyclicCq,
+}
+
+/// The technique the planner chose for a conjunctive query (Figure 7's
+/// landscape operationalized).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqPlan {
+    /// The query is acyclic: full reducer + backtrack-free enumeration
+    /// (`O(|Q| · ||A|| + output)`).
+    Acyclic,
+    /// Cyclic but inside an X-property class: arc-consistency + minimum
+    /// valuation w.r.t. the certified order (Theorem 6.5); Boolean
+    /// answer.
+    XProperty(Order),
+    /// Rewritten into an equivalent union of this many acyclic queries
+    /// (Theorem 5.1).
+    RewriteUnion(usize),
+    /// NP-hard shape with `<pre` atoms: exponential backtracking.
+    Backtrack,
+}
+
+/// The answer to a conjunctive query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CqAnswer {
+    /// The result tuples (the empty tuple for satisfied Boolean queries).
+    pub tuples: BTreeSet<Vec<NodeId>>,
+    /// The technique used.
+    pub plan: CqPlan,
+}
+
+impl CqAnswer {
+    /// Boolean view: at least one tuple.
+    pub fn is_satisfiable(&self) -> bool {
+        !self.tuples.is_empty()
+    }
+}
+
+/// A query engine bound to one (frozen) tree.
+pub struct Engine<'t> {
+    tree: &'t Tree,
+}
+
+impl<'t> Engine<'t> {
+    /// Creates an engine over a tree.
+    pub fn new(tree: &'t Tree) -> Self {
+        Engine { tree }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &'t Tree {
+        self.tree
+    }
+
+    /// Evaluates a Core XPath query (from the virtual document node),
+    /// returning the selected nodes in document order.
+    pub fn xpath(&self, query: &str) -> Result<Vec<NodeId>, EngineError> {
+        self.xpath_via(query, XPathStrategy::SetAtATime)
+    }
+
+    /// Evaluates a Core XPath query with an explicit strategy.
+    pub fn xpath_via(
+        &self,
+        query: &str,
+        strategy: XPathStrategy,
+    ) -> Result<Vec<NodeId>, EngineError> {
+        let path = xpath::parse_xpath(query).map_err(EngineError::XPath)?;
+        let set = match strategy {
+            XPathStrategy::SetAtATime => xpath::eval_query(&path, self.tree),
+            XPathStrategy::Reference => xpath::eval_reference(&path, self.tree),
+            XPathStrategy::Datalog => {
+                let prog = xpath::to_datalog(&path);
+                datalog::eval_query(&prog, self.tree)
+            }
+            XPathStrategy::AcyclicCq => {
+                let q = xpath::to_cq(&path).map_err(|e| {
+                    EngineError::XPath(xpath::XPathParseError {
+                        offset: 0,
+                        message: e.to_string(),
+                    })
+                })?;
+                let tuples =
+                    cq::eval_acyclic(&q, self.tree).expect("XPath translations are acyclic");
+                NodeSet::from_iter(self.tree.len(), tuples.into_iter().map(|t| t[0]))
+            }
+        };
+        let mut nodes = set.to_vec();
+        self.tree.sort_by_pre(&mut nodes);
+        Ok(nodes)
+    }
+
+    /// The plan the engine would choose for a conjunctive query.
+    pub fn cq_plan(&self, q: &cq::Cq) -> CqPlan {
+        let n = q.normalize_forward();
+        if cq::is_acyclic(&n) {
+            return CqPlan::Acyclic;
+        }
+        if n.is_boolean() {
+            if let cq::Tractability::Tractable(order) = cq::classify(&n) {
+                return CqPlan::XProperty(order);
+            }
+        }
+        match cq::rewrite_to_acyclic(&n) {
+            Ok((parts, _)) => CqPlan::RewriteUnion(parts.len()),
+            Err(_) => CqPlan::Backtrack,
+        }
+    }
+
+    /// Evaluates a conjunctive query (textual syntax; see
+    /// [`cq::parse_cq`]), choosing the technique per [`Engine::cq_plan`].
+    pub fn cq(&self, query: &str) -> Result<CqAnswer, EngineError> {
+        let q = cq::parse_cq(query).map_err(EngineError::Cq)?;
+        Ok(self.eval_cq(&q))
+    }
+
+    /// Evaluates an already-parsed conjunctive query.
+    pub fn eval_cq(&self, q: &cq::Cq) -> CqAnswer {
+        let plan = self.cq_plan(q);
+        let tuples = match plan {
+            CqPlan::Acyclic => cq::eval_acyclic(q, self.tree).expect("planned acyclic"),
+            CqPlan::XProperty(_) => {
+                match cq::eval_x_property(q, self.tree).expect("planned tractable") {
+                    Some(_witness) => std::iter::once(Vec::new()).collect(),
+                    None => BTreeSet::new(),
+                }
+            }
+            CqPlan::RewriteUnion(_) => {
+                cq::rewrite::eval_via_rewrite(q, self.tree).expect("planned rewritable")
+            }
+            CqPlan::Backtrack => cq::eval_backtrack(q, self.tree),
+        };
+        CqAnswer { tuples, plan }
+    }
+
+    /// Evaluates a monadic datalog program (textual syntax; see
+    /// [`datalog::parse_program`]): the extension of its query predicate,
+    /// in document order.
+    pub fn datalog(&self, program: &str) -> Result<Vec<NodeId>, EngineError> {
+        let prog = datalog::parse_program(program).map_err(EngineError::Datalog)?;
+        if prog.query.is_none() {
+            return Err(EngineError::NoQueryPredicate);
+        }
+        let set = datalog::eval_query(&prog, self.tree);
+        let mut nodes = set.to_vec();
+        self.tree.sort_by_pre(&mut nodes);
+        Ok(nodes)
+    }
+
+    /// Streams the tree's events through a compiled selecting evaluator:
+    /// the selected nodes in document order, plus buffering statistics
+    /// (see `streaming::select_events`).
+    pub fn stream_select(
+        &self,
+        query: &str,
+    ) -> Result<(Vec<NodeId>, streaming::SelectStats), EngineError> {
+        let filter = self.stream_filter(query)?;
+        Ok(streaming::select_tree(&filter, self.tree))
+    }
+
+    /// Compiles an XPath query for stream filtering, eliminating backward
+    /// axes if necessary.
+    pub fn stream_filter(&self, query: &str) -> Result<streaming::FilterQuery, EngineError> {
+        let path = xpath::parse_xpath(query).map_err(EngineError::XPath)?;
+        match streaming::compile(&path) {
+            Ok(f) => Ok(f),
+            Err(first_err) => {
+                let fwd = streaming::eliminate_upward(&path)
+                    .ok_or_else(|| EngineError::NotStreamable(first_err.to_string()))?;
+                streaming::compile(&fwd).map_err(|e| EngineError::NotStreamable(e.to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_fixture() -> Tree {
+        parse_term("r(a(b(c) b) a(c(b)) b(a))").unwrap()
+    }
+
+    #[test]
+    fn xpath_strategies_agree() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        for q in ["//a[b]/c", "//b[not(c)]", "//a/following-sibling::b"] {
+            let base = e.xpath(q).unwrap();
+            assert_eq!(
+                e.xpath_via(q, XPathStrategy::Reference).unwrap(),
+                base,
+                "{q}"
+            );
+            assert_eq!(e.xpath_via(q, XPathStrategy::Datalog).unwrap(), base, "{q}");
+        }
+        // Conjunctive-only route.
+        let q = "//a[b]/c";
+        assert_eq!(
+            e.xpath_via(q, XPathStrategy::AcyclicCq).unwrap(),
+            e.xpath(q).unwrap()
+        );
+    }
+
+    #[test]
+    fn cq_planner_routes_correctly() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        // Acyclic.
+        let a = e
+            .cq("q(x) :- label(x, a), child(x, y), label(y, b).")
+            .unwrap();
+        assert_eq!(a.plan, CqPlan::Acyclic);
+        assert!(a.is_satisfiable());
+        // Cyclic but τ1: X-property.
+        let x = e.cq("child+(x, y), child+(y, z), child+(x, z)").unwrap();
+        assert_eq!(x.plan, CqPlan::XProperty(Order::Pre));
+        assert!(x.is_satisfiable());
+        // Cyclic, NP-hard signature, non-Boolean: rewrite.
+        let r = e
+            .cq("q(z) :- child(x, y), child+(y, z), child+(x, z), label(x, r).")
+            .unwrap();
+        assert!(matches!(r.plan, CqPlan::RewriteUnion(_)));
+        // With <pre: backtracking.
+        let b = e
+            .cq("q(x, y) :- child(z, x), child(z, y), pre_lt(x, y).")
+            .unwrap();
+        assert_eq!(b.plan, CqPlan::Backtrack);
+    }
+
+    #[test]
+    fn cq_plans_agree_with_backtracking() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        for qs in [
+            "q(x) :- label(x, a), child(x, y), label(y, b).",
+            "child+(x, y), child+(y, z), child+(x, z)",
+            "q(z) :- child(x, y), child+(y, z), child+(x, z), label(x, r).",
+        ] {
+            let q = cq::parse_cq(qs).unwrap();
+            let fast = e.eval_cq(&q);
+            let slow = cq::eval_backtrack(&q, &t);
+            if q.is_boolean() {
+                assert_eq!(fast.is_satisfiable(), !slow.is_empty(), "{qs}");
+            } else {
+                assert_eq!(fast.tuples, slow, "{qs}");
+            }
+        }
+    }
+
+    #[test]
+    fn datalog_entry_point() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        let nodes = e
+            .datalog(
+                "P0(x) :- label(x, c).
+                 P0(x0) :- nextsibling(x0, x), P0(x).
+                 P(x0) :- firstchild(x0, x), P0(x).
+                 P0(x) :- P(x).
+                 ?- P.",
+            )
+            .unwrap();
+        // Nodes with a c-descendant.
+        for v in t.nodes() {
+            let expect = t
+                .nodes()
+                .any(|u| t.is_ancestor(v, u) && t.label_name(u) == "c");
+            assert_eq!(nodes.contains(&v), expect, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn stream_select_agrees_with_xpath() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        for q in ["//a[b]/c", "//b", "//a[not(b)]"] {
+            let (got, _) = e.stream_select(q).unwrap();
+            assert_eq!(got, e.xpath(q).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn stream_filter_with_rewriting() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        let f = e.stream_filter("//b/parent::a").unwrap();
+        let (matched, _) = streaming::matches_tree(&f, &t);
+        assert!(matched);
+        assert!(e.stream_filter("//a[following::b]").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        assert!(matches!(e.xpath("//["), Err(EngineError::XPath(_))));
+        assert!(matches!(e.cq("frob(x, y, z)"), Err(EngineError::Cq(_))));
+        assert!(matches!(e.datalog("P(x) :-"), Err(EngineError::Datalog(_))));
+    }
+}

@@ -1,0 +1,248 @@
+//! Abstract syntax of conjunctive queries over trees.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use treequery_tree::Axis;
+
+/// A query variable (dense index within one [`Cq`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CqVar(pub u32);
+
+impl CqVar {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An atom of a conjunctive query over trees.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CqAtom {
+    /// `Labₐ(x)`: x carries label `a`.
+    Label(String, CqVar),
+    /// `Root(x)`: x is the root (an arbitrary unary relation, as allowed
+    /// by Theorem 6.8; needed for the Core XPath translation).
+    Root(CqVar),
+    /// `Leaf(x)`: x has no children.
+    Leaf(CqVar),
+    /// `R(x, y)` for an axis relation `R`.
+    Axis(Axis, CqVar, CqVar),
+    /// `x <pre y` — used internally by the rewrite algorithm of
+    /// Theorem 5.1; also accepted by the evaluators.
+    PreLt(CqVar, CqVar),
+}
+
+impl CqAtom {
+    /// The variables of the atom.
+    pub fn vars(&self) -> impl Iterator<Item = CqVar> {
+        let (a, b) = match *self {
+            CqAtom::Label(_, x) | CqAtom::Root(x) | CqAtom::Leaf(x) => (x, None),
+            CqAtom::Axis(_, x, y) => (x, Some(y)),
+            CqAtom::PreLt(x, y) => (x, Some(y)),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Applies a variable substitution.
+    pub fn map_vars(&self, f: impl Fn(CqVar) -> CqVar) -> CqAtom {
+        match self {
+            CqAtom::Label(l, x) => CqAtom::Label(l.clone(), f(*x)),
+            CqAtom::Root(x) => CqAtom::Root(f(*x)),
+            CqAtom::Leaf(x) => CqAtom::Leaf(f(*x)),
+            CqAtom::Axis(a, x, y) => CqAtom::Axis(*a, f(*x), f(*y)),
+            CqAtom::PreLt(x, y) => CqAtom::PreLt(f(*x), f(*y)),
+        }
+    }
+}
+
+/// A conjunctive query over trees: a set of label and axis atoms with a
+/// tuple of head (free) variables. An empty head makes the query Boolean.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Cq {
+    var_names: Vec<String>,
+    /// The atoms (conjuncts).
+    pub atoms: Vec<CqAtom>,
+    /// Head variables, in output order (may repeat; empty = Boolean).
+    pub head: Vec<CqVar>,
+}
+
+impl Cq {
+    /// Creates an empty (trivially true, Boolean) query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh variable with the given display name.
+    pub fn add_var(&mut self, name: impl Into<String>) -> CqVar {
+        let v = CqVar(u32::try_from(self.var_names.len()).expect("too many variables"));
+        self.var_names.push(name.into());
+        v
+    }
+
+    /// Gets the variable with the given name, creating it if absent.
+    pub fn var(&mut self, name: &str) -> CqVar {
+        match self.var_names.iter().position(|n| n == name) {
+            Some(i) => CqVar(i as u32),
+            None => self.add_var(name),
+        }
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: CqVar) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Whether the query is Boolean (no head variables).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Query size `|Q|`: the number of atoms (plus one per head variable).
+    pub fn size(&self) -> usize {
+        self.atoms.len() + self.head.len()
+    }
+
+    /// The set of axes used by the query's axis atoms.
+    pub fn axes_used(&self) -> BTreeSet<Axis> {
+        self.atoms
+            .iter()
+            .filter_map(|a| match a {
+                CqAtom::Axis(axis, _, _) => Some(*axis),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Replaces every inverse (non-forward) axis atom `R⁻¹(x, y)` by the
+    /// equivalent forward atom `R(y, x)`. Evaluation, classification and
+    /// rewriting all operate on this normal form.
+    pub fn normalize_forward(&self) -> Cq {
+        let mut out = self.clone();
+        for atom in &mut out.atoms {
+            if let CqAtom::Axis(axis, x, y) = atom {
+                if !axis.is_forward() {
+                    *atom = CqAtom::Axis(axis.inverse(), *y, *x);
+                }
+            }
+        }
+        out
+    }
+
+    /// Merges variable `b` into variable `a` (used when an equality `a = b`
+    /// is asserted): rewrites all atoms and the head. Variable indexes are
+    /// preserved (no compaction); `b` simply no longer occurs.
+    pub fn merge_vars(&mut self, a: CqVar, b: CqVar) {
+        let subst = |v: CqVar| if v == b { a } else { v };
+        for atom in &mut self.atoms {
+            *atom = atom.map_vars(subst);
+        }
+        for h in &mut self.head {
+            *h = subst(*h);
+        }
+    }
+
+    /// The variables that actually occur in atoms or the head.
+    pub fn live_vars(&self) -> BTreeSet<CqVar> {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.vars())
+            .chain(self.head.iter().copied())
+            .collect()
+    }
+}
+
+impl fmt::Display for Cq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, h) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.var_name(*h))?;
+        }
+        write!(f, ") :- ")?;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match atom {
+                CqAtom::Label(l, x) => write!(f, "label({}, {l})", self.var_name(*x))?,
+                CqAtom::Root(x) => write!(f, "root({})", self.var_name(*x))?,
+                CqAtom::Leaf(x) => write!(f, "leaf({})", self.var_name(*x))?,
+                CqAtom::Axis(a, x, y) => write!(
+                    f,
+                    "{}({}, {})",
+                    a.name(),
+                    self.var_name(*x),
+                    self.var_name(*y)
+                )?,
+                CqAtom::PreLt(x, y) => {
+                    write!(f, "{} <pre {}", self.var_name(*x), self.var_name(*y))?
+                }
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_reuse() {
+        let mut q = Cq::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        assert_ne!(x, y);
+        assert_eq!(q.var("x"), x);
+        assert_eq!(q.var_name(y), "y");
+    }
+
+    #[test]
+    fn normalize_forward_flips_inverse_axes() {
+        let mut q = Cq::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.atoms.push(CqAtom::Axis(Axis::Parent, x, y));
+        q.atoms.push(CqAtom::Axis(Axis::Child, x, y));
+        let n = q.normalize_forward();
+        assert_eq!(n.atoms[0], CqAtom::Axis(Axis::Child, y, x));
+        assert_eq!(n.atoms[1], CqAtom::Axis(Axis::Child, x, y));
+    }
+
+    #[test]
+    fn merge_vars_rewrites_everything() {
+        let mut q = Cq::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.atoms.push(CqAtom::Axis(Axis::Descendant, x, y));
+        q.head = vec![y, x];
+        q.merge_vars(x, y);
+        assert_eq!(q.atoms[0], CqAtom::Axis(Axis::Descendant, x, x));
+        assert_eq!(q.head, vec![x, x]);
+        assert!(!q.live_vars().contains(&y));
+    }
+
+    #[test]
+    fn axes_used_and_display() {
+        let mut q = Cq::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.atoms.push(CqAtom::Label("a".into(), x));
+        q.atoms.push(CqAtom::Axis(Axis::Descendant, x, y));
+        q.head = vec![y];
+        assert_eq!(
+            q.axes_used().into_iter().collect::<Vec<_>>(),
+            vec![Axis::Descendant]
+        );
+        assert_eq!(q.to_string(), "q(y) :- label(x, a), Child+(x, y).");
+    }
+}

@@ -1,0 +1,320 @@
+//! Naive backtracking evaluation of conjunctive queries over trees.
+//!
+//! This is the exponential baseline the tractable techniques are measured
+//! against (and the only complete evaluator for the NP-hard signature
+//! classes of Theorem 6.8). Variables are assigned in a fixed order with
+//! eager constraint checking; candidates are seeded from per-label node
+//! lists when a label atom is available.
+
+use std::collections::BTreeSet;
+
+use treequery_tree::{NodeId, Tree};
+
+use crate::ast::{Cq, CqAtom, CqVar};
+
+/// Statistics from a backtracking run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BacktrackStats {
+    /// Number of variable assignments attempted (the work measure used by
+    /// experiment E7 to show the exponential blow-up on NP-hard classes).
+    pub assignments: u64,
+}
+
+/// Variable ordering: breadth-first over the atom graph starting from the
+/// most constrained variable, so bound-variable pruning kicks in early.
+fn var_order(q: &Cq) -> Vec<CqVar> {
+    let n = q.num_vars();
+    let mut degree = vec![0usize; n];
+    let mut adj: Vec<Vec<CqVar>> = vec![Vec::new(); n];
+    let mut has_label = vec![false; n];
+    for atom in &q.atoms {
+        match atom {
+            CqAtom::Label(_, x) => has_label[x.index()] = true,
+            CqAtom::Root(_) | CqAtom::Leaf(_) => {}
+            CqAtom::Axis(_, x, y) | CqAtom::PreLt(x, y) => {
+                if x != y {
+                    adj[x.index()].push(*y);
+                    adj[y.index()].push(*x);
+                    degree[x.index()] += 1;
+                    degree[y.index()] += 1;
+                }
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    // Seeds sorted by (has_label desc, degree desc).
+    let mut seeds: Vec<CqVar> = (0..n as u32).map(CqVar).collect();
+    seeds.sort_by_key(|v| (!has_label[v.index()], usize::MAX - degree[v.index()]));
+    for seed in seeds {
+        if seen[seed.index()] {
+            continue;
+        }
+        seen[seed.index()] = true;
+        let mut queue = std::collections::VecDeque::from([seed]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &adj[u.index()] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+fn atom_holds(t: &Tree, atom: &CqAtom, assignment: &[Option<NodeId>]) -> Option<bool> {
+    match atom {
+        CqAtom::Label(l, x) => {
+            let v = assignment[x.index()]?;
+            Some(t.has_label_name(v, l))
+        }
+        CqAtom::Root(x) => Some(t.is_root(assignment[x.index()]?)),
+        CqAtom::Leaf(x) => Some(t.is_leaf(assignment[x.index()]?)),
+        CqAtom::Axis(axis, x, y) => {
+            let vx = assignment[x.index()]?;
+            let vy = assignment[y.index()]?;
+            Some(axis.holds(t, vx, vy))
+        }
+        CqAtom::PreLt(x, y) => {
+            let vx = assignment[x.index()]?;
+            let vy = assignment[y.index()]?;
+            Some(t.pre(vx) < t.pre(vy))
+        }
+    }
+}
+
+/// Runs `emit` on every satisfying valuation (full variable assignment);
+/// `emit` returns `false` to stop the search early. Returns statistics.
+pub(crate) fn for_each_valuation(
+    q: &Cq,
+    t: &Tree,
+    emit: &mut impl FnMut(&[Option<NodeId>]) -> bool,
+) -> BacktrackStats {
+    let order = var_order(q);
+    let n = q.num_vars();
+    let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+    // Atoms to check after assigning each variable: those whose variables
+    // are all bound once this one is.
+    let mut position = vec![usize::MAX; n];
+    for (i, v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    let mut checks_at: Vec<Vec<&CqAtom>> = vec![Vec::new(); n.max(1)];
+    for atom in &q.atoms {
+        if let Some(last) = atom.vars().map(|v| position[v.index()]).max() {
+            checks_at[last].push(atom);
+        }
+    }
+    // Candidate lists per variable: label-restricted when possible.
+    let label_of: Vec<Option<&str>> = (0..n)
+        .map(|i| {
+            q.atoms.iter().find_map(|a| match a {
+                CqAtom::Label(l, x) if x.index() == i => Some(l.as_str()),
+                _ => None,
+            })
+        })
+        .collect();
+
+    let mut stats = BacktrackStats::default();
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        t: &Tree,
+        order: &[CqVar],
+        depth: usize,
+        assignment: &mut Vec<Option<NodeId>>,
+        checks_at: &[Vec<&CqAtom>],
+        label_of: &[Option<&str>],
+        stats: &mut BacktrackStats,
+        emit: &mut impl FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        let Some(&var) = order.get(depth) else {
+            return emit(assignment);
+        };
+        let candidates: Vec<NodeId> = match label_of[var.index()] {
+            Some(l) => t.nodes_with_label_name(l).to_vec(),
+            None => t.nodes().collect(),
+        };
+        for cand in candidates {
+            stats.assignments += 1;
+            assignment[var.index()] = Some(cand);
+            let ok = checks_at[depth]
+                .iter()
+                .all(|a| atom_holds(t, a, assignment) == Some(true));
+            if ok
+                && !rec(
+                    t,
+                    order,
+                    depth + 1,
+                    assignment,
+                    checks_at,
+                    label_of,
+                    stats,
+                    emit,
+                )
+            {
+                assignment[var.index()] = None;
+                return false;
+            }
+            assignment[var.index()] = None;
+        }
+        true
+    }
+
+    rec(
+        t,
+        &order,
+        0,
+        &mut assignment,
+        &checks_at,
+        &label_of,
+        &mut stats,
+        emit,
+    );
+    stats
+}
+
+/// Whether the query has at least one satisfying valuation.
+pub fn is_satisfiable_backtrack(q: &Cq, t: &Tree) -> bool {
+    let mut found = false;
+    for_each_valuation(q, t, &mut |_| {
+        found = true;
+        false // stop
+    });
+    found
+}
+
+/// All head tuples (set semantics) by exhaustive backtracking.
+pub fn eval_backtrack(q: &Cq, t: &Tree) -> BTreeSet<Vec<NodeId>> {
+    eval_backtrack_with_stats(q, t).0
+}
+
+/// [`eval_backtrack`] plus work statistics.
+pub fn eval_backtrack_with_stats(q: &Cq, t: &Tree) -> (BTreeSet<Vec<NodeId>>, BacktrackStats) {
+    let mut out = BTreeSet::new();
+    let stats = for_each_valuation(q, t, &mut |assignment| {
+        let tuple: Vec<NodeId> = q
+            .head
+            .iter()
+            .map(|h| assignment[h.index()].expect("head variable bound"))
+            .collect();
+        out.insert(tuple);
+        true
+    });
+    (out, stats)
+}
+
+/// Checks whether a specific tuple is in the query result, by substituting
+/// it for the head variables (the singleton-relation technique described
+/// after Theorem 6.5) and testing satisfiability.
+pub fn check_tuple(q: &Cq, t: &Tree, tuple: &[NodeId]) -> bool {
+    assert_eq!(tuple.len(), q.head.len(), "tuple arity mismatch");
+    // Consistency for repeated head variables.
+    let mut fixed: Vec<Option<NodeId>> = vec![None; q.num_vars()];
+    for (h, &v) in q.head.iter().zip(tuple) {
+        match fixed[h.index()] {
+            Some(prev) if prev != v => return false,
+            _ => fixed[h.index()] = Some(v),
+        }
+    }
+    let mut found = false;
+    for_each_valuation(q, t, &mut |assignment| {
+        let matches = q
+            .head
+            .iter()
+            .zip(tuple)
+            .all(|(h, &v)| assignment[h.index()] == Some(v));
+        if matches {
+            found = true;
+            false
+        } else {
+            true
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+    use treequery_tree::parse_term;
+
+    #[test]
+    fn boolean_satisfiability() {
+        let t = parse_term("a(b(c) d)").unwrap();
+        assert!(is_satisfiable_backtrack(
+            &parse_cq("label(x, a), child(x, y), label(y, b)").unwrap(),
+            &t
+        ));
+        assert!(!is_satisfiable_backtrack(
+            &parse_cq("label(x, c), child(x, y)").unwrap(),
+            &t
+        ));
+    }
+
+    #[test]
+    fn unary_results() {
+        let t = parse_term("a(b(c) b)").unwrap();
+        let q = parse_cq("q(y) :- label(x, a), child(x, y), label(y, b).").unwrap();
+        let res = eval_backtrack(&q, &t);
+        assert_eq!(res.len(), 2);
+        for tuple in &res {
+            assert_eq!(t.label_name(tuple[0]), "b");
+        }
+    }
+
+    #[test]
+    fn binary_results_and_check_tuple() {
+        let t = parse_term("a(b(c))").unwrap();
+        let q = parse_cq("q(x, y) :- child+(x, y).").unwrap();
+        let res = eval_backtrack(&q, &t);
+        assert_eq!(res.len(), 3); // (a,b), (a,c), (b,c)
+        for tuple in &res {
+            assert!(check_tuple(&q, &t, tuple));
+        }
+        let a = t.root();
+        assert!(!check_tuple(&q, &t, &[a, a]));
+    }
+
+    #[test]
+    fn repeated_head_vars() {
+        let t = parse_term("a(b)").unwrap();
+        let q = parse_cq("q(x, x) :- label(x, b).").unwrap();
+        let res = eval_backtrack(&q, &t);
+        assert_eq!(res.len(), 1);
+        let b = t.first_child(t.root()).unwrap();
+        assert!(check_tuple(&q, &t, &[b, b]));
+        assert!(!check_tuple(&q, &t, &[b, t.root()]));
+    }
+
+    #[test]
+    fn pre_lt_is_enforced() {
+        let t = parse_term("a(b c)").unwrap();
+        let q = parse_cq("q(x, y) :- pre_lt(x, y), child(z, x), child(z, y).").unwrap();
+        let res = eval_backtrack(&q, &t);
+        // Only (b, c), not (c, b).
+        assert_eq!(res.len(), 1);
+        let tuple = res.iter().next().unwrap();
+        assert!(t.pre(tuple[0]) < t.pre(tuple[1]));
+    }
+
+    #[test]
+    fn empty_query_is_trivially_true() {
+        let t = parse_term("a").unwrap();
+        let q = parse_cq("").unwrap();
+        assert!(is_satisfiable_backtrack(&q, &t));
+        assert_eq!(eval_backtrack(&q, &t).len(), 1); // the empty tuple
+    }
+
+    #[test]
+    fn stats_count_assignments() {
+        let t = parse_term("a(b c d)").unwrap();
+        let q = parse_cq("child(x, y)").unwrap();
+        let (_, stats) = eval_backtrack_with_stats(&q, &t);
+        assert!(stats.assignments > 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Bounded containment and equivalence of queries (the Section 3
+//! definitions: `Q ⊆ Q'` iff `Q'` returns at least `Q`'s tuples on every
+//! tree).
+//!
+//! Deciding containment of conjunctive queries over trees is hard in
+//! general (it subsumes the NP-complete evaluation problem of
+//! Theorem 6.8), so this module offers the pragmatic tool the rest of the
+//! workspace uses for validation: *bounded* checking, exhaustive over all
+//! labeled trees up to a given size — exactly how one machine-checks that
+//! the Theorem 5.1 rewriting produced an equivalent union.
+
+use treequery_tree::{all_labeled_trees, Tree};
+
+use crate::ast::Cq;
+use crate::backtrack::eval_backtrack;
+use crate::ucq::Ucq;
+
+/// A witness that containment fails: a tree and a tuple produced by the
+/// left query but not the right one.
+#[derive(Debug)]
+pub struct Counterexample {
+    /// The witnessing tree.
+    pub tree: Tree,
+    /// A tuple in `Q(tree) \ Q'(tree)`.
+    pub tuple: Vec<treequery_tree::NodeId>,
+}
+
+/// Checks `q ⊆ q'` over **all** trees with at most `max_nodes` nodes and
+/// labels from `alphabet`; returns the first counterexample found.
+///
+/// Exhaustive over `Σ Catalan(n−1)·|Σ|^n` trees — keep `max_nodes ≤ 5`
+/// and the alphabet small. A `None` result is a *bounded* guarantee, not
+/// a proof (though for the rewrite system's query shapes, small
+/// counterexamples are where the bugs are).
+pub fn bounded_contained(
+    q: &Cq,
+    q_prime: &Cq,
+    max_nodes: usize,
+    alphabet: &[&str],
+) -> Option<Counterexample> {
+    assert_eq!(
+        q.head.len(),
+        q_prime.head.len(),
+        "containment requires equal arity"
+    );
+    for n in 1..=max_nodes {
+        for t in all_labeled_trees(n, alphabet) {
+            let left = eval_backtrack(q, &t);
+            if left.is_empty() {
+                continue;
+            }
+            let right = eval_backtrack(q_prime, &t);
+            if let Some(tuple) = left.difference(&right).next() {
+                let tuple = tuple.clone();
+                return Some(Counterexample { tree: t, tuple });
+            }
+        }
+    }
+    None
+}
+
+/// Bounded equivalence: containment in both directions.
+pub fn bounded_equivalent(
+    q: &Cq,
+    q_prime: &Cq,
+    max_nodes: usize,
+    alphabet: &[&str],
+) -> Result<(), Counterexample> {
+    if let Some(c) = bounded_contained(q, q_prime, max_nodes, alphabet) {
+        return Err(c);
+    }
+    if let Some(c) = bounded_contained(q_prime, q, max_nodes, alphabet) {
+        return Err(c);
+    }
+    Ok(())
+}
+
+/// Bounded equivalence of a query and a union of queries (used to check
+/// Theorem 5.1 outputs: `Q ≡ ⋃ Q_ψ`).
+pub fn bounded_equivalent_ucq(
+    q: &Cq,
+    union: &Ucq,
+    max_nodes: usize,
+    alphabet: &[&str],
+) -> Result<(), Counterexample> {
+    for n in 1..=max_nodes {
+        for t in all_labeled_trees(n, alphabet) {
+            let left = eval_backtrack(q, &t);
+            let right = union.eval(&t);
+            if let Some(tuple) = left.symmetric_difference(&right).next() {
+                let tuple = tuple.clone();
+                return Err(Counterexample { tree: t, tuple });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+    use crate::rewrite::rewrite_to_acyclic;
+
+    #[test]
+    fn child_is_contained_in_descendant() {
+        let child = parse_cq("q(x, y) :- child(x, y).").unwrap();
+        let desc = parse_cq("q(x, y) :- child+(x, y).").unwrap();
+        assert!(bounded_contained(&child, &desc, 4, &["a", "b"]).is_none());
+        // ... and not conversely: a 3-node path separates them.
+        let cex = bounded_contained(&desc, &child, 4, &["a"]).expect("counterexample");
+        assert!(cex.tree.len() >= 3);
+    }
+
+    #[test]
+    fn label_constraints_matter() {
+        let qa = parse_cq("q(x) :- label(x, a).").unwrap();
+        let qb = parse_cq("q(x) :- label(x, b).").unwrap();
+        assert!(bounded_contained(&qa, &qb, 2, &["a", "b"]).is_some());
+        assert!(bounded_equivalent(&qa, &qa, 3, &["a", "b"]).is_ok());
+    }
+
+    /// Theorem 5.1's output is machine-checked equivalent to its input on
+    /// all small trees.
+    #[test]
+    fn rewrite_outputs_are_bounded_equivalent() {
+        for qs in [
+            "q(z) :- child+(x, z), child(y, z), label(x, a).",
+            "q(z) :- nextsibling+(x, z), nextsibling(y, z), label(y, b).",
+            "q(x, y) :- following(x, y).",
+        ] {
+            let q = parse_cq(qs).unwrap();
+            let (parts, _) = rewrite_to_acyclic(&q).unwrap();
+            let union = Ucq::new(parts);
+            bounded_equivalent_ucq(&q, &union, 4, &["a", "b"]).unwrap_or_else(|c| {
+                panic!(
+                    "{qs} not equivalent to its rewriting on {} ({:?})",
+                    c.tree, c.tuple
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn equivalence_detects_asymmetry() {
+        let q1 = parse_cq("q(x) :- child(x, y).").unwrap(); // has a child
+        let q2 = parse_cq("q(x) :- child(x, y), child(x, z).").unwrap(); // same (z can equal y)
+        assert!(bounded_equivalent(&q1, &q2, 4, &["a"]).is_ok());
+        let q3 = parse_cq("q(x) :- child(x, y), nextsibling(y, z).").unwrap(); // ≥ 2 children
+        let cex = bounded_equivalent(&q1, &q3, 4, &["a"]);
+        assert!(cex.is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! Tree decompositions and tree-width (Section 4, Figure 4).
+//!
+//! Provides the general [`TreeDecomposition`] structure with a validity
+//! checker, the explicit width-2 decomposition of (Child, NextSibling)
+//! tree graphs from Figure 4, a min-fill heuristic producing
+//! decompositions of arbitrary graphs (used for query graphs in
+//! Theorem 4.1), and exact tree-width for small graphs by exhaustive
+//! elimination orders.
+
+use std::collections::BTreeSet;
+
+use treequery_tree::Tree;
+
+/// An undirected graph on vertices `0..n` (used both for query graphs and
+/// for the (Child, NextSibling) graph of a tree structure).
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edges as unordered pairs (stored with `a < b`), deduplicated.
+    pub edges: BTreeSet<(u32, u32)>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Adds an undirected edge (self-loops ignored).
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        if a != b {
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            self.edges.insert((a, b));
+        }
+    }
+
+    /// Whether `{a, b}` is an edge.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.edges.contains(&(a, b))
+    }
+
+    /// Adjacency lists.
+    pub fn adjacency(&self) -> Vec<BTreeSet<u32>> {
+        let mut adj = vec![BTreeSet::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].insert(b);
+            adj[b as usize].insert(a);
+        }
+        adj
+    }
+
+    /// The union of the `Child` and `NextSibling` relations of a tree, as
+    /// an undirected graph on the nodes (the graph of Figure 4).
+    pub fn of_tree_structure(t: &Tree) -> Graph {
+        let mut g = Graph::new(t.len());
+        for v in t.nodes() {
+            if let Some(p) = t.parent(v) {
+                g.add_edge(p.0, v.0);
+            }
+            if let Some(s) = t.next_sibling(v) {
+                g.add_edge(v.0, s.0);
+            }
+        }
+        g
+    }
+
+    /// The query graph of a conjunctive query: variables as vertices, an
+    /// edge for each pair co-occurring in a binary atom (Section 4,
+    /// "Queries").
+    pub fn of_query(q: &crate::ast::Cq) -> Graph {
+        let mut g = Graph::new(q.num_vars());
+        for atom in &q.atoms {
+            if let crate::ast::CqAtom::Axis(_, x, y) | crate::ast::CqAtom::PreLt(x, y) = atom {
+                g.add_edge(x.0, y.0);
+            }
+        }
+        g
+    }
+}
+
+/// A tree decomposition `(T, χ)`: a rooted tree of bags of vertices.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// The bags χ(v), one per decomposition-tree node.
+    pub bags: Vec<Vec<u32>>,
+    /// Parent of each decomposition-tree node (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl TreeDecomposition {
+    /// The width: `max |χ(v)| − 1`.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(1) - 1
+    }
+
+    /// Checks the three conditions of a tree decomposition of `g`:
+    /// every vertex is in some bag, every edge is inside some bag, and the
+    /// bags containing each vertex form a connected subtree.
+    pub fn is_valid_for(&self, g: &Graph) -> bool {
+        let nb = self.bags.len();
+        // Well-formed tree shape (single root, parents in range, acyclic).
+        let mut roots = 0;
+        for (i, p) in self.parent.iter().enumerate() {
+            match p {
+                None => roots += 1,
+                Some(pp) => {
+                    if *pp >= nb || *pp == i {
+                        return false;
+                    }
+                }
+            }
+        }
+        if nb > 0 && roots != 1 {
+            return false;
+        }
+        // 1. Vertex coverage.
+        let mut covered = vec![false; g.n];
+        for bag in &self.bags {
+            for &v in bag {
+                if (v as usize) >= g.n {
+                    return false;
+                }
+                covered[v as usize] = true;
+            }
+        }
+        if covered.iter().any(|&c| !c) {
+            return false;
+        }
+        // 2. Edge coverage.
+        'edges: for &(a, b) in &g.edges {
+            for bag in &self.bags {
+                if bag.contains(&a) && bag.contains(&b) {
+                    continue 'edges;
+                }
+            }
+            return false;
+        }
+        // 3. Connectivity: for each vertex, bags containing it induce a
+        // connected subtree. Check: the occurrences minus one must each
+        // have their decomposition-tree parent path reach another
+        // occurrence without leaving the occurrence set... Standard check:
+        // count occurrences and count tree edges between two occurrence
+        // bags; connected iff edges = occurrences − 1 for each vertex.
+        for v in 0..g.n as u32 {
+            let occ: Vec<usize> = (0..nb).filter(|&i| self.bags[i].contains(&v)).collect();
+            if occ.is_empty() {
+                return false;
+            }
+            let occ_set: BTreeSet<usize> = occ.iter().copied().collect();
+            let internal_edges = occ
+                .iter()
+                .filter(|&&i| matches!(self.parent[i], Some(p) if occ_set.contains(&p)))
+                .count();
+            if internal_edges != occ.len() - 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The width-2 tree decomposition of the (Child, NextSibling) graph of a
+/// tree, as in Figure 4: for each non-root node `v`, a bag
+/// `{parent(v), v, next_sibling(v)}` (the last entry omitted for last
+/// siblings); the root contributes the bag `{root}`. Bag `v` hangs under
+/// the bag of `v`'s previous sibling, or of its parent for first children.
+pub fn decompose_tree_structure(t: &Tree) -> TreeDecomposition {
+    let n = t.len();
+    // Bag index i corresponds to tree node with NodeId i.
+    let mut bags = Vec::with_capacity(n);
+    let mut parent = Vec::with_capacity(n);
+    for v in t.nodes() {
+        match t.parent(v) {
+            None => {
+                bags.push(vec![v.0]);
+                parent.push(None);
+            }
+            Some(p) => {
+                let mut bag = vec![p.0, v.0];
+                if let Some(s) = t.next_sibling(v) {
+                    bag.push(s.0);
+                }
+                bags.push(bag);
+                let attach = t.prev_sibling(v).unwrap_or(p);
+                parent.push(Some(attach.index()));
+            }
+        }
+    }
+    TreeDecomposition { bags, parent }
+}
+
+/// A tree decomposition of an arbitrary graph by the min-fill elimination
+/// heuristic. The returned width is an upper bound on the tree-width.
+pub fn min_fill_decomposition(g: &Graph) -> TreeDecomposition {
+    decomposition_from_elimination(g, &min_fill_order(g))
+}
+
+fn min_fill_order(g: &Graph) -> Vec<u32> {
+    let mut adj = g.adjacency();
+    let mut alive: BTreeSet<u32> = (0..g.n as u32).collect();
+    let mut order = Vec::with_capacity(g.n);
+    while let Some(&best) = alive.iter().min_by_key(|&&v| {
+        // Fill-in count: non-adjacent neighbor pairs.
+        let nbrs: Vec<u32> = adj[v as usize].iter().copied().collect();
+        let mut fill = 0usize;
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                if !adj[nbrs[i] as usize].contains(&nbrs[j]) {
+                    fill += 1;
+                }
+            }
+        }
+        (fill, adj[v as usize].len())
+    }) {
+        // Eliminate `best`: clique its neighborhood.
+        let nbrs: Vec<u32> = adj[best as usize].iter().copied().collect();
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                adj[nbrs[i] as usize].insert(nbrs[j]);
+                adj[nbrs[j] as usize].insert(nbrs[i]);
+            }
+        }
+        for &u in &nbrs {
+            adj[u as usize].remove(&best);
+        }
+        adj[best as usize].clear();
+        alive.remove(&best);
+        order.push(best);
+    }
+    order
+}
+
+/// Builds a tree decomposition from an elimination order (standard
+/// construction: the bag of `v` is `v` plus its higher-ordered neighbors
+/// in the fill-in graph; it attaches to the bag of the first of those).
+fn decomposition_from_elimination(g: &Graph, order: &[u32]) -> TreeDecomposition {
+    let n = g.n;
+    assert_eq!(order.len(), n);
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v as usize] = i;
+    }
+    let mut adj = g.adjacency();
+    // Bags in elimination order.
+    let mut bags: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for &v in order {
+        let later: Vec<u32> = adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&u| position[u as usize] > position[v as usize])
+            .collect();
+        // Clique the later neighbors (fill-in).
+        for i in 0..later.len() {
+            for j in i + 1..later.len() {
+                adj[later[i] as usize].insert(later[j]);
+                adj[later[j] as usize].insert(later[i]);
+            }
+        }
+        let mut bag = vec![v];
+        bag.extend(&later);
+        bags.push(bag);
+    }
+    // Attach bag of v to the bag of its earliest-eliminated later neighbor.
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for (i, &v) in order.iter().enumerate() {
+        let later_min = bags[i][1..].iter().map(|&u| position[u as usize]).min();
+        parent[i] = later_min;
+        let _ = v;
+    }
+    // Multiple roots possible (disconnected graphs): chain extra roots
+    // under the last bag to keep a single tree (their bags share no
+    // vertices, which is fine for connectivity).
+    let roots: Vec<usize> = (0..n).filter(|&i| parent[i].is_none()).collect();
+    for w in roots.windows(2) {
+        parent[w[0]] = Some(w[1]);
+    }
+    if n == 0 {
+        return TreeDecomposition {
+            bags: vec![Vec::new()],
+            parent: vec![None],
+        };
+    }
+    TreeDecomposition { bags, parent }
+}
+
+/// Exact tree-width by exhaustive elimination orders; exponential — only
+/// for graphs with at most ~8 vertices (tests and Figure 4 validation).
+pub fn exact_treewidth(g: &Graph) -> usize {
+    assert!(
+        g.n <= 9,
+        "exact_treewidth is exponential; use min_fill_decomposition"
+    );
+    if g.n == 0 {
+        return 0;
+    }
+    let vertices: Vec<u32> = (0..g.n as u32).collect();
+    let mut best = usize::MAX;
+    permute(&vertices, &mut Vec::new(), &mut |order| {
+        let d = decomposition_from_elimination(g, order);
+        best = best.min(d.width());
+    });
+    best
+}
+
+fn permute(rest: &[u32], acc: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+    if rest.is_empty() {
+        f(acc);
+        return;
+    }
+    for (i, &v) in rest.iter().enumerate() {
+        let mut next: Vec<u32> = rest.to_vec();
+        next.remove(i);
+        acc.push(v);
+        permute(&next, acc, f);
+        acc.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_tree::parse_term;
+
+    /// Figure 4: (Child, NextSibling) trees have tree-width (at most) two,
+    /// witnessed by an explicit valid decomposition.
+    #[test]
+    fn figure4_decomposition_is_valid_width_2() {
+        for ts in [
+            "a",
+            "a(b)",
+            "a(b c d)",
+            "a(b(c d) e(f(g) h i) j)",
+            "v1(v2(v3 v4) v5(v6(v7 v8) v9(v10)) v11(v12) v13(v14 v15))",
+        ] {
+            let t = parse_term(ts).unwrap();
+            let g = Graph::of_tree_structure(&t);
+            let d = decompose_tree_structure(&t);
+            assert!(d.is_valid_for(&g), "invalid decomposition for {ts}");
+            assert!(d.width() <= 2, "width {} for {ts}", d.width());
+        }
+    }
+
+    /// ... and exactly two for trees with at least two consecutive
+    /// siblings (the Child + NextSibling edges form a triangle-free graph
+    /// of tree-width 2).
+    #[test]
+    fn tree_structure_graph_exact_width() {
+        let t = parse_term("a(b c d)").unwrap();
+        let g = Graph::of_tree_structure(&t);
+        assert_eq!(exact_treewidth(&g), 2);
+        // A path tree has only Child edges: width 1.
+        let p = parse_term("a(b(c(d)))").unwrap();
+        let gp = Graph::of_tree_structure(&p);
+        assert_eq!(exact_treewidth(&gp), 1);
+    }
+
+    #[test]
+    fn min_fill_on_cycle() {
+        // A 5-cycle has tree-width 2.
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        let d = min_fill_decomposition(&g);
+        assert!(d.is_valid_for(&g));
+        assert_eq!(d.width(), 2);
+        assert_eq!(exact_treewidth(&g), 2);
+    }
+
+    #[test]
+    fn min_fill_on_clique() {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g.add_edge(i, j);
+            }
+        }
+        let d = min_fill_decomposition(&g);
+        assert!(d.is_valid_for(&g));
+        assert_eq!(d.width(), 3);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let d = min_fill_decomposition(&g);
+        assert!(d.is_valid_for(&g));
+        assert_eq!(d.width(), 1);
+    }
+
+    #[test]
+    fn query_graph_treewidth() {
+        use crate::parser::parse_cq;
+        // Path query: width 1.
+        let q = parse_cq("child(x, y), child(y, z)").unwrap();
+        assert_eq!(exact_treewidth(&Graph::of_query(&q)), 1);
+        // Triangle: width 2.
+        let q2 = parse_cq("child(x, y), child(y, z), child+(x, z)").unwrap();
+        assert_eq!(exact_treewidth(&Graph::of_query(&q2)), 2);
+    }
+
+    #[test]
+    fn validity_checker_rejects_broken_decompositions() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        // Missing edge coverage.
+        let d = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![2]],
+            parent: vec![None, Some(0)],
+        };
+        assert!(!d.is_valid_for(&g));
+        // Disconnected occurrences of vertex 0.
+        let d2 = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            parent: vec![None, Some(0), Some(1)],
+        };
+        assert!(!d2.is_valid_for(&g));
+    }
+}

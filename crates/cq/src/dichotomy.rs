@@ -1,0 +1,136 @@
+//! The tractability classifier of the Dichotomy Theorem (Theorem 6.8).
+//!
+//! Conjunctive queries over a set `F` of axis relations (plus arbitrary
+//! unary relations) are polynomial-time iff there is a total order among
+//! `<pre`, `<post`, `<bflr` for which every relation in `F` has the
+//! X-underbar property — and by Proposition 6.6 the maximal such families
+//! are exactly
+//!
+//! * τ₁ = {Child⁺, Child*}            w.r.t. `<pre`,
+//! * τ₂ = {Following}                  w.r.t. `<post`,
+//! * τ₃ = {Child, NextSibling, NextSibling*, NextSibling⁺} w.r.t. `<bflr`.
+//!
+//! Otherwise the evaluation problem for the class is NP-complete.
+
+use treequery_tree::{Axis, Order};
+
+use crate::ast::{Cq, CqAtom};
+
+/// Classification outcome for a signature of axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tractability {
+    /// All axes have the X-property w.r.t. this order; conjunctive queries
+    /// over them are in PTIME via Theorem 6.5.
+    Tractable(Order),
+    /// No order works: the query class is NP-complete (Theorem 6.8).
+    NpComplete,
+}
+
+/// Whether `axis` has the X-property w.r.t. `order` (the Proposition 6.6
+/// table; `Self` trivially has it for every order). Axes are taken in
+/// forward orientation.
+pub fn axis_compatible(axis: Axis, order: Order) -> bool {
+    if axis == Axis::SelfAxis {
+        return true;
+    }
+    match order {
+        Order::Pre => matches!(axis, Axis::Descendant | Axis::DescendantOrSelf),
+        Order::Post => matches!(axis, Axis::Following),
+        Order::Bflr => matches!(
+            axis,
+            Axis::Child | Axis::NextSibling | Axis::FollowingSiblingOrSelf | Axis::FollowingSibling
+        ),
+    }
+}
+
+/// Classifies a set of (forward-normalized) axes.
+pub fn classify_axes(
+    axes: impl IntoIterator<Item = Axis> + Clone,
+    uses_pre_lt: bool,
+) -> Tractability {
+    for order in Order::ALL {
+        // `<pre` itself has the X-property w.r.t. `<pre` only.
+        if uses_pre_lt && order != Order::Pre {
+            continue;
+        }
+        if axes.clone().into_iter().all(|a| axis_compatible(a, order)) {
+            return Tractability::Tractable(order);
+        }
+    }
+    Tractability::NpComplete
+}
+
+/// Classifies a query: normalizes inverse axes to forward ones (the
+/// X-property machinery then applies symmetrically, since our evaluator
+/// enforces arcs in both directions) and checks the signature.
+pub fn classify(q: &Cq) -> Tractability {
+    let n = q.normalize_forward();
+    let axes: Vec<Axis> = n.axes_used().into_iter().collect();
+    let uses_pre_lt = n.atoms.iter().any(|a| matches!(a, CqAtom::PreLt(..)));
+    classify_axes(axes, uses_pre_lt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn tau1_signature() {
+        let q = parse_cq("child+(x, y), child*(y, z), label(z, a)").unwrap();
+        assert_eq!(classify(&q), Tractability::Tractable(Order::Pre));
+    }
+
+    #[test]
+    fn tau2_signature() {
+        let q = parse_cq("following(x, y), following(y, z)").unwrap();
+        assert_eq!(classify(&q), Tractability::Tractable(Order::Post));
+    }
+
+    #[test]
+    fn tau3_signature() {
+        let q = parse_cq("child(x, y), nextsibling(y, z), nextsibling+(z, w), nextsibling*(w, u)")
+            .unwrap();
+        assert_eq!(classify(&q), Tractability::Tractable(Order::Bflr));
+    }
+
+    #[test]
+    fn mixed_signatures_are_np_complete() {
+        // Child + Child+ is the classic NP-complete combination [35].
+        for qs in [
+            "child(x, y), child+(x, z)",
+            "child+(x, y), following(y, z)",
+            "child(x, y), following(x, z)",
+            "nextsibling(x, y), child+(x, z)",
+        ] {
+            let q = parse_cq(qs).unwrap();
+            assert_eq!(classify(&q), Tractability::NpComplete, "{qs}");
+        }
+    }
+
+    #[test]
+    fn inverse_axes_are_normalized() {
+        let q = parse_cq("ancestor(x, y), child*(z, x)").unwrap();
+        assert_eq!(classify(&q), Tractability::Tractable(Order::Pre));
+    }
+
+    #[test]
+    fn self_axis_is_always_fine() {
+        let q = parse_cq("self(x, y), following(y, z)").unwrap();
+        assert_eq!(classify(&q), Tractability::Tractable(Order::Post));
+    }
+
+    #[test]
+    fn pre_lt_forces_pre_order() {
+        let q = parse_cq("pre_lt(x, y), child+(x, z)").unwrap();
+        assert_eq!(classify(&q), Tractability::Tractable(Order::Pre));
+        let q2 = parse_cq("pre_lt(x, y), following(x, z)").unwrap();
+        assert_eq!(classify(&q2), Tractability::NpComplete);
+    }
+
+    #[test]
+    fn label_only_queries_are_tractable() {
+        let q = parse_cq("label(x, a), label(y, b)").unwrap();
+        assert!(matches!(classify(&q), Tractability::Tractable(_)));
+    }
+}

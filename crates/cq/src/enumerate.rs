@@ -1,0 +1,537 @@
+//! Backtrack-free enumeration of acyclic-query solutions (Figure 6,
+//! Propositions 6.9 and 6.10).
+//!
+//! After full reduction, *every* candidate in every set extends to a
+//! solution (Proposition 6.9), so the recursive enumeration of Figure 6
+//! never dead-ends. Following the pointer idea of \[13\] discussed after
+//! Proposition 6.9, each join-forest edge carries an index that maps a
+//! parent value to its compatible child candidates without scanning:
+//! contiguous ranges in pre-sorted (or subtree-extent-sorted) candidate
+//! lists for the interval-shaped axes, per-parent buckets for the sibling
+//! axes, and short link walks for the remaining inverse axes. This makes
+//! enumeration output-sensitive (Proposition 6.10).
+
+use std::collections::{BTreeSet, HashMap};
+
+use treequery_tree::{Axis, NodeId, NodeSet, Tree};
+
+use crate::arc::{atom_rel, full_reduce, Rel};
+use crate::ast::{Cq, CqVar};
+use crate::graph::JoinForest;
+
+/// Candidate index for one join-forest edge: all candidates of the child
+/// variable, organized for O(log) range lookup given the parent's value.
+struct EdgeIndex {
+    /// Candidates sorted by pre rank.
+    by_pre: Vec<NodeId>,
+    /// Candidates sorted by pre_end (subtree close rank); used for the
+    /// `Preceding`-shaped lookups.
+    by_pre_end: Vec<NodeId>,
+    /// Candidates grouped by parent node, each group sorted by sibling
+    /// index; used for the child/sibling axes.
+    by_parent: HashMap<u32, Vec<NodeId>>,
+    /// Membership bitset.
+    member: NodeSet,
+}
+
+impl EdgeIndex {
+    fn build(t: &Tree, set: &NodeSet) -> EdgeIndex {
+        let mut by_pre = set.to_vec();
+        by_pre.sort_unstable_by_key(|&v| t.pre(v));
+        let mut by_pre_end = by_pre.clone();
+        by_pre_end.sort_unstable_by_key(|&v| t.pre_end(v));
+        let mut by_parent: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for &v in &by_pre {
+            if let Some(p) = t.parent(v) {
+                by_parent.entry(p.0).or_default().push(v);
+            }
+        }
+        for group in by_parent.values_mut() {
+            group.sort_unstable_by_key(|&v| t.sibling_index(v));
+        }
+        EdgeIndex {
+            by_pre,
+            by_pre_end,
+            by_parent,
+            member: set.clone(),
+        }
+    }
+
+    /// Pushes onto `out` the candidates `w` with `rel(u_val, w)` if
+    /// `forward`, else with `rel(w, u_val)`.
+    fn candidates(&self, t: &Tree, rel: Rel, forward: bool, u_val: NodeId, out: &mut Vec<NodeId>) {
+        match (rel, forward) {
+            (Rel::Axis(Axis::SelfAxis), _) => {
+                if self.member.contains(u_val) {
+                    out.push(u_val);
+                }
+            }
+            // ---- forward: w ranges over successors of u_val ----
+            (Rel::Axis(Axis::Descendant), true) => {
+                self.pre_range(t, t.pre(u_val) + 1, t.pre_end(u_val), out);
+            }
+            (Rel::Axis(Axis::DescendantOrSelf), true) => {
+                self.pre_range(t, t.pre(u_val), t.pre_end(u_val), out);
+            }
+            (Rel::Axis(Axis::Following), true) => {
+                self.pre_range(t, t.pre_end(u_val) + 1, t.len() as u32 - 1, out);
+            }
+            (Rel::PreLt, true) => {
+                self.pre_range(t, t.pre(u_val) + 1, t.len() as u32 - 1, out);
+            }
+            (Rel::Axis(Axis::Child), true) => {
+                if let Some(group) = self.by_parent.get(&u_val.0) {
+                    out.extend_from_slice(group);
+                }
+            }
+            (Rel::Axis(Axis::NextSibling), true) => {
+                if let Some(w) = t.next_sibling(u_val) {
+                    if self.member.contains(w) {
+                        out.push(w);
+                    }
+                }
+            }
+            (Rel::Axis(Axis::FollowingSibling), true) => {
+                self.sibling_range(t, u_val, t.sibling_index(u_val) + 1, out);
+            }
+            (Rel::Axis(Axis::FollowingSiblingOrSelf), true) => {
+                self.sibling_range(t, u_val, t.sibling_index(u_val), out);
+            }
+            // ---- backward: w ranges over predecessors of u_val ----
+            (Rel::Axis(Axis::Child), false) => {
+                if let Some(p) = t.parent(u_val) {
+                    if self.member.contains(p) {
+                        out.push(p);
+                    }
+                }
+            }
+            (Rel::Axis(Axis::Descendant), false) => {
+                out.extend(t.ancestors(u_val).filter(|&a| self.member.contains(a)));
+            }
+            (Rel::Axis(Axis::DescendantOrSelf), false) => {
+                if self.member.contains(u_val) {
+                    out.push(u_val);
+                }
+                out.extend(t.ancestors(u_val).filter(|&a| self.member.contains(a)));
+            }
+            (Rel::Axis(Axis::NextSibling), false) => {
+                if let Some(w) = t.prev_sibling(u_val) {
+                    if self.member.contains(w) {
+                        out.push(w);
+                    }
+                }
+            }
+            (Rel::Axis(Axis::FollowingSibling), false) => {
+                self.sibling_prefix(t, u_val, t.sibling_index(u_val), out);
+            }
+            (Rel::Axis(Axis::FollowingSiblingOrSelf), false) => {
+                self.sibling_prefix(t, u_val, t.sibling_index(u_val) + 1, out);
+            }
+            (Rel::Axis(Axis::Following), false) => {
+                // w with Following(w, u_val) ⇔ pre_end(w) < pre(u_val).
+                let end = self
+                    .by_pre_end
+                    .partition_point(|&v| t.pre_end(v) < t.pre(u_val));
+                out.extend_from_slice(&self.by_pre_end[..end]);
+            }
+            (Rel::PreLt, false) => {
+                let end = self.by_pre.partition_point(|&v| t.pre(v) < t.pre(u_val));
+                out.extend_from_slice(&self.by_pre[..end]);
+            }
+            // Inverse axes never appear: queries are normalized forward.
+            (Rel::Axis(other), _) => {
+                unreachable!("non-normalized axis {other} in enumeration")
+            }
+        }
+    }
+
+    /// Candidates with pre rank in `[lo, hi]` (inclusive; `lo > hi` = none).
+    fn pre_range(&self, t: &Tree, lo: u32, hi: u32, out: &mut Vec<NodeId>) {
+        if lo > hi {
+            return;
+        }
+        let start = self.by_pre.partition_point(|&v| t.pre(v) < lo);
+        let end = self.by_pre.partition_point(|&v| t.pre(v) <= hi);
+        out.extend_from_slice(&self.by_pre[start..end]);
+    }
+
+    /// Candidates that are siblings of `u` with sibling index ≥ `from`.
+    fn sibling_range(&self, t: &Tree, u: NodeId, from: u32, out: &mut Vec<NodeId>) {
+        let Some(p) = t.parent(u) else { return };
+        if let Some(group) = self.by_parent.get(&p.0) {
+            let start = group.partition_point(|&v| t.sibling_index(v) < from);
+            out.extend_from_slice(&group[start..]);
+        }
+    }
+
+    /// Candidates that are siblings of `u` with sibling index < `upto`.
+    fn sibling_prefix(&self, t: &Tree, u: NodeId, upto: u32, out: &mut Vec<NodeId>) {
+        let Some(p) = t.parent(u) else { return };
+        if let Some(group) = self.by_parent.get(&p.0) {
+            let end = group.partition_point(|&v| t.sibling_index(v) < upto);
+            out.extend_from_slice(&group[..end]);
+        }
+    }
+}
+
+/// A prepared, fully reduced acyclic query ready for backtrack-free
+/// enumeration.
+pub struct Enumerator<'t> {
+    q: Cq,
+    t: &'t Tree,
+    forest: JoinForest,
+    /// Reduced candidate sets (`None` = query unsatisfiable).
+    sets: Option<Vec<NodeSet>>,
+    /// Per-variable edge index (for non-roots).
+    indexes: Vec<Option<EdgeIndex>>,
+    /// Variables occurring in no atom but in the head: enumerate freely.
+    free_vars: Vec<CqVar>,
+}
+
+/// How much semijoin reduction to run before enumerating (the E6
+/// ablation knob; [`Reduction::Full`] is the normal mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduction {
+    /// Bottom-up and top-down passes (the full reducer).
+    Full,
+    /// Bottom-up only: Boolean-exact at the roots; still backtrack-free
+    /// under root-down enumeration.
+    BottomUpOnly,
+    /// No reduction: only label/self-loop filters; enumeration backtracks.
+    None,
+}
+
+/// Statistics of an enumeration run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Number of full valuations produced.
+    pub valuations: u64,
+    /// Candidate-list computations that came back empty — by
+    /// Proposition 6.9 this stays 0 after full reduction (experiment E6).
+    pub dead_branches: u64,
+}
+
+impl<'t> Enumerator<'t> {
+    /// Prepares the enumeration: normalizes the query to forward axes,
+    /// builds the join forest, runs the full reducer, and builds the
+    /// per-edge candidate indexes.
+    /// Returns `None` if the (normalized) query is cyclic.
+    pub fn new(q: &Cq, t: &'t Tree) -> Option<Self> {
+        Self::with_reduction(q, t, Reduction::Full)
+    }
+
+    /// Like [`Enumerator::new`] but with a chosen amount of semijoin
+    /// reduction — the E6 ablation. With [`Reduction::BottomUpOnly`] the
+    /// enumeration is *still* backtrack-free, because variables are
+    /// assigned root-down and every bottom-up-reduced candidate has a
+    /// satisfiable subtree (the orientation point the paper makes about
+    /// Yannakakis' join trees); with [`Reduction::None`] the candidate
+    /// sets over-approximate and the Figure 6 recursion dead-ends.
+    pub fn with_reduction(q: &Cq, t: &'t Tree, reduction: Reduction) -> Option<Self> {
+        let q = q.normalize_forward();
+        let forest = JoinForest::build(&q)?;
+        let sets = match reduction {
+            Reduction::Full => full_reduce(&q, t, &forest),
+            Reduction::BottomUpOnly => crate::arc::bottom_up_reduce(&q, t, &forest),
+            Reduction::None => Some(crate::arc::initial_sets(&q, t)),
+        };
+        let mut indexes: Vec<Option<EdgeIndex>> = (0..q.num_vars()).map(|_| None).collect();
+        if let Some(sets) = &sets {
+            for &v in &forest.bfs_order {
+                if forest.parent[v.index()].is_some() {
+                    indexes[v.index()] = Some(EdgeIndex::build(t, &sets[v.index()]));
+                }
+            }
+        }
+        let occurring: BTreeSet<CqVar> = q.atoms.iter().flat_map(|a| a.vars()).collect();
+        let mut free_vars: Vec<CqVar> = q
+            .head
+            .iter()
+            .copied()
+            .filter(|h| !occurring.contains(h))
+            .collect();
+        free_vars.sort_unstable();
+        free_vars.dedup();
+        Some(Enumerator {
+            q,
+            t,
+            forest,
+            sets,
+            indexes,
+            free_vars,
+        })
+    }
+
+    /// Whether the query is satisfiable on the tree.
+    pub fn is_satisfiable(&self) -> bool {
+        self.sets.is_some() && (!self.t.is_empty() || self.free_vars.is_empty())
+    }
+
+    /// The reduced candidate set of a variable (after full reduction),
+    /// if the query is satisfiable.
+    pub fn candidates(&self, v: CqVar) -> Option<&NodeSet> {
+        self.sets.as_ref().map(|s| &s[v.index()])
+    }
+
+    /// Calls `emit` for every satisfying valuation (assignment to all
+    /// forest variables and free head variables); `emit` returns `false`
+    /// to stop. Returns statistics.
+    ///
+    /// This is the algorithm of Figure 6 generalized to forests, running
+    /// over the reduced sets with the per-edge indexes.
+    pub fn for_each(&self, emit: &mut impl FnMut(&[Option<NodeId>]) -> bool) -> EnumStats {
+        let mut stats = EnumStats::default();
+        let Some(sets) = &self.sets else {
+            return stats;
+        };
+        // The variables in assignment order: forest BFS order then free
+        // head variables.
+        let mut vars: Vec<CqVar> = self.forest.bfs_order.clone();
+        vars.extend(self.free_vars.iter().copied());
+        let mut assignment: Vec<Option<NodeId>> = vec![None; self.q.num_vars()];
+        self.rec(&vars, 0, sets, &mut assignment, &mut stats, emit);
+        stats
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        &self,
+        vars: &[CqVar],
+        depth: usize,
+        sets: &[NodeSet],
+        assignment: &mut Vec<Option<NodeId>>,
+        stats: &mut EnumStats,
+        emit: &mut impl FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        let Some(&var) = vars.get(depth) else {
+            stats.valuations += 1;
+            return emit(assignment);
+        };
+        // Candidates given the parent assignment.
+        let mut buf: Vec<NodeId>;
+        let candidates: &[NodeId] = match &self.forest.parent[var.index()] {
+            None => {
+                // A root (or free variable): iterate its full reduced set.
+                buf = if self.forest.bfs_order.contains(&var) {
+                    sets[var.index()].to_vec()
+                } else {
+                    // Free head variable: whole domain.
+                    self.t.nodes().collect()
+                };
+                &buf
+            }
+            Some((u, atom_idxs)) => {
+                let u_val = assignment[u.index()].expect("parent assigned before child");
+                let index = self.indexes[var.index()]
+                    .as_ref()
+                    .expect("edge index built for non-root");
+                // Primary atom gives the candidate range; the (rare)
+                // parallel atoms filter it.
+                let (rel, ax, ay) =
+                    atom_rel(&self.q.atoms[atom_idxs[0]]).expect("edge atoms are binary");
+                let forward = ax == *u && ay == var;
+                buf = Vec::new();
+                index.candidates(self.t, rel, forward, u_val, &mut buf);
+                for &ai in &atom_idxs[1..] {
+                    let (rel, ax, _) = atom_rel(&self.q.atoms[ai]).expect("binary");
+                    let fwd = ax == *u;
+                    buf.retain(|&w| {
+                        if fwd {
+                            rel.holds(self.t, u_val, w)
+                        } else {
+                            rel.holds(self.t, w, u_val)
+                        }
+                    });
+                }
+                &buf
+            }
+        };
+        if candidates.is_empty() {
+            stats.dead_branches += 1;
+            return true;
+        }
+        for &cand in candidates {
+            assignment[var.index()] = Some(cand);
+            if !self.rec(vars, depth + 1, sets, assignment, stats, emit) {
+                assignment[var.index()] = None;
+                return false;
+            }
+        }
+        assignment[var.index()] = None;
+        true
+    }
+
+    /// All head tuples (set semantics).
+    pub fn head_tuples(&self) -> BTreeSet<Vec<NodeId>> {
+        let mut out = BTreeSet::new();
+        self.for_each(&mut |assignment| {
+            out.insert(
+                self.q
+                    .head
+                    .iter()
+                    .map(|h| assignment[h.index()].expect("head variable assigned"))
+                    .collect(),
+            );
+            true
+        });
+        out
+    }
+
+    /// Counts all satisfying valuations; also returns the dead-branch
+    /// count (0 after full reduction, by Proposition 6.9).
+    pub fn count(&self) -> EnumStats {
+        self.for_each(&mut |_| true)
+    }
+}
+
+/// Evaluates an acyclic query: the set of head tuples, or `None` if the
+/// (forward-normalized) query is cyclic.
+///
+/// The query is normalized to forward axes first. Time
+/// `O(|Q| · ||A|| + output)` per Proposition 6.10 (up to an `O(depth)`
+/// factor for edges oriented against `Ancestor`).
+pub fn eval_acyclic(q: &Cq, t: &Tree) -> Option<BTreeSet<Vec<NodeId>>> {
+    let e = Enumerator::new(q, t)?;
+    Some(e.head_tuples())
+}
+
+/// Counts satisfying valuations of an acyclic query; `None` if cyclic.
+pub fn count_valuations(q: &Cq, t: &Tree) -> Option<EnumStats> {
+    let e = Enumerator::new(q, t)?;
+    Some(e.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtrack::eval_backtrack;
+    use crate::parser::parse_cq;
+    use treequery_tree::parse_term;
+
+    fn check_agrees(qs: &str, ts: &str) {
+        let q = parse_cq(qs).unwrap();
+        let t = parse_term(ts).unwrap();
+        let fast = eval_acyclic(&q, &t).expect("acyclic");
+        let slow = eval_backtrack(&q, &t);
+        assert_eq!(fast, slow, "{qs} on {ts}");
+    }
+
+    #[test]
+    fn agrees_with_backtracking() {
+        let queries = [
+            "q(x) :- label(x, a).",
+            "q(y) :- label(x, a), child(x, y).",
+            "q(x, y) :- child+(x, y).",
+            "q(x, z) :- child(x, y), child(y, z).",
+            "q(z) :- label(x, a), child+(x, y), label(y, b), nextsibling+(y, z).",
+            "q(x, y) :- following(x, y), label(y, c).",
+            "q(x) :- child*(x, y), label(y, c).",
+            "q(w) :- pre_lt(x, w), label(x, b).",
+            // Inverse axes (normalized away).
+            "q(x) :- parent(x, y), label(y, a).",
+            "q(x) :- ancestor(x, y), label(y, a), preceding(z, x).",
+        ];
+        let trees = [
+            "a(b(c) b(a(c)) c)",
+            "a(a(b(c d) b) b(c))",
+            "a(b c)",
+            "r(a(b(c)) a(b) b(a))",
+        ];
+        for qs in queries {
+            for ts in trees {
+                check_agrees(qs, ts);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dead_branches_after_full_reduction() {
+        // Proposition 6.9 / experiment E6: enumeration never dead-ends.
+        let queries = [
+            "q(x) :- label(x, a), child+(x, y), label(y, b), child(y, z).",
+            "q(x, y) :- following(x, y).",
+            "q(x) :- child(x, y), nextsibling(y, z), child+(z, w).",
+        ];
+        for qs in queries {
+            let q = parse_cq(qs).unwrap();
+            for ts in ["a(b(c) b(a(c)) c)", "a(a(b(c d) b) b(c))"] {
+                let t = parse_term(ts).unwrap();
+                if let Some(e) = Enumerator::new(&q, &t) {
+                    let stats = e.count();
+                    assert_eq!(stats.dead_branches, 0, "{qs} on {ts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_query_is_rejected() {
+        let q = parse_cq("child(x, y), child(y, z), child+(x, z)").unwrap();
+        let t = parse_term("a(b(c))").unwrap();
+        assert!(eval_acyclic(&q, &t).is_none());
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let t = parse_term("a(b(c))").unwrap();
+        let sat = parse_cq("child(x, y), child(y, z)").unwrap();
+        assert_eq!(eval_acyclic(&sat, &t).unwrap().len(), 1); // the empty tuple
+        let unsat = parse_cq("child(x, y), child(y, z), child(z, w)").unwrap();
+        assert!(eval_acyclic(&unsat, &t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disconnected_components_cross_product() {
+        let t = parse_term("a(b c)").unwrap();
+        let q = parse_cq("q(x, u) :- label(x, b), label(u, c).").unwrap();
+        let res = eval_acyclic(&q, &t).unwrap();
+        assert_eq!(res.len(), 1);
+        let stats = count_valuations(&q, &t).unwrap();
+        assert_eq!(stats.valuations, 1);
+    }
+
+    #[test]
+    fn free_head_variable_ranges_over_domain() {
+        let t = parse_term("a(b c)").unwrap();
+        let q = parse_cq("q(x, f) :- label(x, a).").unwrap();
+        let res = eval_acyclic(&q, &t).unwrap();
+        assert_eq!(res.len(), 3); // (a, each of 3 nodes)
+    }
+
+    #[test]
+    fn output_count_matches_backtracking_valuations() {
+        let q = parse_cq("child+(x, y), child+(y, z)").unwrap();
+        let t = parse_term("a(b(c(d)) e(f))").unwrap();
+        let fast = count_valuations(&q, &t).unwrap();
+        let mut slow = 0u64;
+        crate::backtrack::for_each_valuation(&q, &t, &mut |_| {
+            slow += 1;
+            true
+        });
+        assert_eq!(fast.valuations, slow);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::parser::parse_cq;
+    use treequery_tree::parse_term;
+
+    /// The E6 ablation: bottom-up-only reduction keeps enumeration
+    /// backtrack-free (root-down assignment order), while no reduction at
+    /// all dead-ends — answers stay correct in every mode.
+    #[test]
+    fn reduction_ablation() {
+        let q = parse_cq("q(x, z) :- child+(x, y), child+(y, z), label(z, c).").unwrap();
+        let t = parse_term("r(a(b(c) b) a(b(x)) a(b(c)))").unwrap();
+        let full = Enumerator::new(&q, &t).unwrap();
+        let bottom_up = Enumerator::with_reduction(&q, &t, Reduction::BottomUpOnly).unwrap();
+        let none = Enumerator::with_reduction(&q, &t, Reduction::None).unwrap();
+        assert_eq!(full.head_tuples(), bottom_up.head_tuples());
+        assert_eq!(full.head_tuples(), none.head_tuples());
+        assert_eq!(full.count().dead_branches, 0);
+        assert_eq!(bottom_up.count().dead_branches, 0);
+        assert!(none.count().dead_branches > 0);
+    }
+}

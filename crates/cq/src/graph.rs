@@ -1,0 +1,204 @@
+//! Query graphs, acyclicity, and join forests.
+//!
+//! For queries over at-most-binary relations, the tree-width / acyclicity
+//! notions of Section 4 specialize pleasantly: a CQ is acyclic (hypertree
+//! width 1) iff its query graph — variables as vertices, one edge per pair
+//! of variables co-occurring in a binary atom — is a forest after
+//! collapsing parallel edges. The [`JoinForest`] is the join tree
+//! Yannakakis' algorithm processes.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Cq, CqAtom, CqVar};
+
+/// An undirected simple graph on query variables (parallel atoms collapse
+/// onto one edge, which is sound for acyclicity: identical hyperedges nest).
+fn simple_edges(q: &Cq) -> BTreeSet<(CqVar, CqVar)> {
+    let mut edges = BTreeSet::new();
+    for atom in &q.atoms {
+        if let CqAtom::Axis(_, x, y) | CqAtom::PreLt(x, y) = atom {
+            if x != y {
+                let (a, b) = if x < y { (*x, *y) } else { (*y, *x) };
+                edges.insert((a, b));
+            }
+        }
+    }
+    edges
+}
+
+/// Whether the query is acyclic: its query graph is a forest.
+///
+/// Self-loop atoms `R(x, x)` do not affect acyclicity (they are unary
+/// constraints); parallel atoms over the same variable pair are fine.
+pub fn is_acyclic(q: &Cq) -> bool {
+    // Union-find cycle detection.
+    let n = q.num_vars();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (a, b) in simple_edges(q) {
+        let ra = find(&mut parent, a.index());
+        let rb = find(&mut parent, b.index());
+        if ra == rb {
+            return false;
+        }
+        parent[ra] = rb;
+    }
+    true
+}
+
+/// A rooted join forest for an acyclic query: one tree per connected
+/// component of the query graph. Tree edges carry the atoms relating the
+/// two variables.
+#[derive(Clone, Debug)]
+pub struct JoinForest {
+    /// Roots of the component trees.
+    pub roots: Vec<CqVar>,
+    /// `parent[v]`: the join-tree parent of variable v with the indexes
+    /// (into `cq.atoms`) of the atoms on the edge; `None` for roots and
+    /// variables not occurring in the query.
+    pub parent: Vec<Option<(CqVar, Vec<usize>)>>,
+    /// Children lists (inverse of `parent`).
+    pub children: Vec<Vec<CqVar>>,
+    /// All variables of each component, in BFS order from the root (every
+    /// variable appears exactly once across components).
+    pub bfs_order: Vec<CqVar>,
+}
+
+impl JoinForest {
+    /// Builds a join forest for an acyclic query. Roots are chosen to be
+    /// head variables where possible (so that unary queries read their
+    /// answer off the root). Returns `None` if the query is cyclic.
+    ///
+    /// Variables that occur in no atom (possible after rewriting) are not
+    /// part of the forest.
+    pub fn build(q: &Cq) -> Option<JoinForest> {
+        if !is_acyclic(q) {
+            return None;
+        }
+        let n = q.num_vars();
+        // Adjacency with atom indexes; parallel atoms merge into one edge.
+        let mut adj: Vec<Vec<(CqVar, Vec<usize>)>> = vec![Vec::new(); n];
+        {
+            use std::collections::BTreeMap;
+            let mut by_pair: BTreeMap<(CqVar, CqVar), Vec<usize>> = BTreeMap::new();
+            for (i, atom) in q.atoms.iter().enumerate() {
+                if let CqAtom::Axis(_, x, y) | CqAtom::PreLt(x, y) = atom {
+                    if x != y {
+                        let key = if x < y { (*x, *y) } else { (*y, *x) };
+                        by_pair.entry(key).or_default().push(i);
+                    }
+                }
+            }
+            for ((a, b), atoms) in by_pair {
+                adj[a.index()].push((b, atoms.clone()));
+                adj[b.index()].push((a, atoms));
+            }
+        }
+
+        let occurring: BTreeSet<CqVar> = q.atoms.iter().flat_map(|a| a.vars()).collect();
+
+        let mut parent: Vec<Option<(CqVar, Vec<usize>)>> = vec![None; n];
+        let mut children: Vec<Vec<CqVar>> = vec![Vec::new(); n];
+        let mut visited = vec![false; n];
+        let mut roots = Vec::new();
+        let mut bfs_order = Vec::new();
+
+        // Prefer head variables as roots.
+        let seeds: Vec<CqVar> = q
+            .head
+            .iter()
+            .copied()
+            .chain(occurring.iter().copied())
+            .collect();
+        for seed in seeds {
+            if !occurring.contains(&seed) || visited[seed.index()] {
+                continue;
+            }
+            visited[seed.index()] = true;
+            roots.push(seed);
+            let mut queue = std::collections::VecDeque::from([seed]);
+            while let Some(u) = queue.pop_front() {
+                bfs_order.push(u);
+                for (v, atoms) in &adj[u.index()] {
+                    if !visited[v.index()] {
+                        visited[v.index()] = true;
+                        parent[v.index()] = Some((u, atoms.clone()));
+                        children[u.index()].push(*v);
+                        queue.push_back(*v);
+                    }
+                }
+            }
+        }
+        Some(JoinForest {
+            roots,
+            parent,
+            children,
+            bfs_order,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn path_query_is_acyclic() {
+        let q = parse_cq("child(x, y), child(y, z)").unwrap();
+        assert!(is_acyclic(&q));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let q = parse_cq("child(x, y), child(y, z), child+(x, z)").unwrap();
+        assert!(!is_acyclic(&q));
+    }
+
+    #[test]
+    fn parallel_atoms_are_acyclic() {
+        let q = parse_cq("child(x, y), child+(x, y)").unwrap();
+        assert!(is_acyclic(&q));
+        let forest = JoinForest::build(&q).unwrap();
+        // One edge carrying both atoms.
+        let non_roots: Vec<_> = forest.parent.iter().filter_map(|p| p.as_ref()).collect();
+        assert_eq!(non_roots.len(), 1);
+        assert_eq!(non_roots[0].1.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_does_not_break_acyclicity() {
+        let q = parse_cq("child*(x, x), child(x, y)").unwrap();
+        assert!(is_acyclic(&q));
+        assert!(JoinForest::build(&q).is_some());
+    }
+
+    #[test]
+    fn forest_roots_prefer_head_vars() {
+        let q = parse_cq("q(z) :- child(x, y), child(y, z).").unwrap();
+        let forest = JoinForest::build(&q).unwrap();
+        assert_eq!(forest.roots, vec![q.head[0]]);
+        // BFS covers all three variables.
+        assert_eq!(forest.bfs_order.len(), 3);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let q = parse_cq("child(x, y), child(u, v)").unwrap();
+        let forest = JoinForest::build(&q).unwrap();
+        assert_eq!(forest.roots.len(), 2);
+        assert_eq!(forest.bfs_order.len(), 4);
+    }
+
+    #[test]
+    fn cyclic_query_yields_no_forest() {
+        let q = parse_cq("child(x, y), child(y, z), following(x, z)").unwrap();
+        assert!(JoinForest::build(&q).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! Conjunctive queries over trees: Sections 4–6 of the paper.
+//!
+//! This crate implements the paper's whole toolbox for conjunctive queries
+//! (CQs) whose relations are tree axes and label predicates:
+//!
+//! * **AST & parser** — [`Cq`], [`parse_cq`];
+//! * **structure** — query graphs, acyclicity (GYO for the binary case),
+//!   join forests ([`graph`]);
+//! * **baselines** — exponential backtracking evaluation
+//!   ([`eval_backtrack`]);
+//! * **acyclic queries** — Yannakakis' full reducer via O(n) axis-image
+//!   semijoins, and the backtrack-free enumeration of Figure 6 with the
+//!   pointer/range candidate indexes of Proposition 6.10 ([`enumerate`]);
+//! * **arc-consistency** — the unique maximal arc-consistent pre-valuation
+//!   (Proposition 6.2), both the AC fixpoint over implicit axis relations
+//!   and the literal Horn-SAT reduction over explicit relations
+//!   ([`arc`], [`relational`]);
+//! * **the X-underbar property** — checker (Definition 6.3), the
+//!   Proposition 6.6 axis/order table, and the minimum-valuation evaluation
+//!   algorithm of Theorem 6.5 ([`xprop`]);
+//! * **the dichotomy** — the tractability classifier of Theorem 6.8
+//!   ([`dichotomy`]);
+//! * **query rewriting** — Theorem 5.1: CQs into equivalent unions of
+//!   acyclic queries, with Table 1 as the satisfiability oracle
+//!   ([`rewrite`]);
+//! * **holistic twig joins** — PathStack / TwigStack \[13\] ([`twigjoin`]);
+//! * **tree decompositions** — including the width-2 decomposition of
+//!   (Child, NextSibling)-trees of Figure 4, and the bounded-tree-width
+//!   evaluation of Theorem 4.1 over arbitrary relational structures
+//!   ([`decomposition`], [`relational`]).
+
+pub mod arc;
+mod ast;
+mod backtrack;
+pub mod containment;
+pub mod decomposition;
+pub mod dichotomy;
+pub mod enumerate;
+pub mod graph;
+mod parser;
+pub mod relational;
+pub mod rewrite;
+pub mod twigjoin;
+pub mod ucq;
+pub mod xprop;
+
+pub use arc::{bottom_up_reduce, full_reduce, max_arc_consistent};
+pub use ast::{Cq, CqAtom, CqVar};
+pub use backtrack::{
+    check_tuple, eval_backtrack, eval_backtrack_with_stats, is_satisfiable_backtrack,
+    BacktrackStats,
+};
+pub use containment::{bounded_contained, bounded_equivalent, bounded_equivalent_ucq};
+pub use dichotomy::{classify, Tractability};
+pub use enumerate::{count_valuations, eval_acyclic, Enumerator, Reduction};
+pub use graph::{is_acyclic, JoinForest};
+pub use parser::{parse_cq, CqParseError};
+pub use rewrite::{rewrite_to_acyclic, sat_table, RewriteStats};
+pub use ucq::{parse_ucq, Ucq};
+pub use xprop::{axis_has_x_property, eval_x_property, x_property_counterexample};

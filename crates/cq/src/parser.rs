@@ -1,0 +1,292 @@
+//! Parser for a textual conjunctive-query syntax.
+//!
+//! ```text
+//! q(x, y) :- label(x, book), child+(x, y), following(y, z).
+//! ```
+//!
+//! * Optional head `q(v, ...)`; a missing head or `q()` makes the query
+//!   Boolean. The head predicate name is arbitrary and ignored.
+//! * Binary predicates are the axis names ([`Axis::parse`]): both the
+//!   paper's notation (`child`, `child+`, `child*`, `nextsibling+`, …) and
+//!   W3C names (`descendant`, `following-sibling`, …).
+//! * `label(x, a)` constrains x to carry label `a`; the shorthand `a(x)`
+//!   (any non-axis unary predicate) means the same.
+//! * `pre_lt(x, y)` asserts `x <pre y`.
+
+use treequery_tree::Axis;
+
+use crate::ast::{Cq, CqAtom};
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CqParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CqParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cq parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for CqParseError {}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CqParseError> {
+        Err(CqParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn ws(&mut self) {
+        while self.input[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(char::is_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, pat: &str) -> bool {
+        self.ws();
+        if self.input[self.pos..].starts_with(pat) {
+            self.pos += pat.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Identifier, optionally ending with `+`, `*` or containing `-`.
+    fn ident(&mut self) -> Result<&'a str, CqParseError> {
+        self.ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_alphanumeric() || matches!(bytes[self.pos], b'_' | b'-'))
+        {
+            self.pos += 1;
+        }
+        // Trailing +/* belong to axis names (child+, nextsibling*).
+        while self.pos < bytes.len() && matches!(bytes[self.pos], b'+' | b'*') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected an identifier");
+        }
+        Ok(&self.input[start..self.pos])
+    }
+}
+
+/// Parses a conjunctive query.
+pub fn parse_cq(input: &str) -> Result<Cq, CqParseError> {
+    let mut p = P { input, pos: 0 };
+    let mut q = Cq::new();
+
+    // Optional head: ident '(' vars ')' ':-'.
+    let save = p.pos;
+    let mut has_head = false;
+    if let Ok(_name) = p.ident() {
+        if p.eat("(") {
+            let mut head_names = Vec::new();
+            p.ws();
+            if !p.eat(")") {
+                loop {
+                    head_names.push(p.ident()?.to_owned());
+                    if p.eat(")") {
+                        break;
+                    }
+                    if !p.eat(",") {
+                        return p.err("expected ',' or ')' in head");
+                    }
+                }
+            }
+            if p.eat(":-") || p.eat("<-") {
+                has_head = true;
+                for h in &head_names {
+                    let v = q.var(h);
+                    q.head.push(v);
+                }
+            }
+        }
+    }
+    if !has_head {
+        p.pos = save;
+        // Allow a bare ':-' prefix for headless queries.
+        let _ = p.eat(":-") || p.eat("<-");
+    }
+
+    // Body atoms.
+    loop {
+        p.ws();
+        if p.pos >= p.input.len() {
+            break;
+        }
+        if p.eat(".") {
+            p.ws();
+            if p.pos != p.input.len() {
+                return p.err("trailing input after '.'");
+            }
+            break;
+        }
+        let name = p.ident()?;
+        if !p.eat("(") {
+            return p.err(format!("expected '(' after '{name}'"));
+        }
+        let arg1 = p.ident()?.to_owned();
+        let arg2 = if p.eat(",") {
+            Some(p.ident()?.to_owned())
+        } else {
+            None
+        };
+        if !p.eat(")") {
+            return p.err("expected ')'");
+        }
+        match (name, arg2) {
+            (n, Some(a2)) if n.eq_ignore_ascii_case("label") => {
+                let v = q.var(&arg1);
+                q.atoms.push(CqAtom::Label(a2, v));
+            }
+            (n, Some(a2)) if n.eq_ignore_ascii_case("pre_lt") => {
+                let x = q.var(&arg1);
+                let y = q.var(&a2);
+                q.atoms.push(CqAtom::PreLt(x, y));
+            }
+            (n, Some(a2)) => match Axis::parse(n) {
+                Some(axis) => {
+                    let x = q.var(&arg1);
+                    let y = q.var(&a2);
+                    q.atoms.push(CqAtom::Axis(axis, x, y));
+                }
+                None => return p.err(format!("unknown binary predicate '{n}'")),
+            },
+            (n, None) if n.eq_ignore_ascii_case("root") => {
+                let v = q.var(&arg1);
+                q.atoms.push(CqAtom::Root(v));
+            }
+            (n, None) if n.eq_ignore_ascii_case("leaf") => {
+                let v = q.var(&arg1);
+                q.atoms.push(CqAtom::Leaf(v));
+            }
+            (n, None) => {
+                if Axis::parse(n).is_some() {
+                    return p.err(format!("axis '{n}' requires two arguments"));
+                }
+                // Unary shorthand: a(x) ≡ label(x, a).
+                let v = q.var(&arg1);
+                q.atoms.push(CqAtom::Label(n.to_owned(), v));
+            }
+        }
+        p.ws();
+        if !p.eat(",") {
+            if p.eat(".") {
+                p.ws();
+                if p.pos != p.input.len() {
+                    return p.err("trailing input after '.'");
+                }
+            } else if p.pos != p.input.len() {
+                return p.err("expected ',' or '.' between atoms");
+            }
+            break;
+        }
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CqVar;
+
+    #[test]
+    fn full_query() {
+        let q = parse_cq("q(x, y) :- label(x, book), child+(x, y), following(y, z).").unwrap();
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(
+            q.atoms[1],
+            CqAtom::Axis(Axis::Descendant, CqVar(0), CqVar(1))
+        );
+    }
+
+    #[test]
+    fn boolean_query_without_head() {
+        let q = parse_cq("child(x, y), label(y, a)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms.len(), 2);
+    }
+
+    #[test]
+    fn boolean_query_with_empty_head() {
+        let q = parse_cq("q() :- descendant(x, y).").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn unary_shorthand() {
+        let q = parse_cq("q(x) :- book(x).").unwrap();
+        assert_eq!(q.atoms, vec![CqAtom::Label("book".into(), CqVar(0))]);
+    }
+
+    #[test]
+    fn pre_lt_atom() {
+        let q = parse_cq("pre_lt(x, y), child(x, z)").unwrap();
+        assert_eq!(q.atoms[0], CqAtom::PreLt(CqVar(0), CqVar(1)));
+    }
+
+    #[test]
+    fn star_and_plus_axes() {
+        let q = parse_cq("child*(x, y), nextsibling+(y, z), nextsibling*(z, w)").unwrap();
+        assert_eq!(
+            q.atoms[0],
+            CqAtom::Axis(Axis::DescendantOrSelf, CqVar(0), CqVar(1))
+        );
+        assert_eq!(
+            q.atoms[1],
+            CqAtom::Axis(Axis::FollowingSibling, CqVar(1), CqVar(2))
+        );
+        assert_eq!(
+            q.atoms[2],
+            CqAtom::Axis(Axis::FollowingSiblingOrSelf, CqVar(2), CqVar(3))
+        );
+    }
+
+    #[test]
+    fn w3c_names() {
+        let q = parse_cq("ancestor(x, y), following-sibling(a, b)").unwrap();
+        assert_eq!(q.atoms[0], CqAtom::Axis(Axis::Ancestor, CqVar(0), CqVar(1)));
+        assert_eq!(
+            q.atoms[1],
+            CqAtom::Axis(Axis::FollowingSibling, CqVar(2), CqVar(3))
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_cq("q(x) :- frob(x, y).").is_err());
+        assert!(parse_cq("q(x) :- child(x).").is_err());
+        assert!(parse_cq("q(x) :- child(x, y). extra").is_err());
+    }
+
+    #[test]
+    fn head_vars_are_shared_with_body() {
+        let q = parse_cq("q(y) :- child(x, y).").unwrap();
+        assert_eq!(q.head, vec![CqVar(0)]);
+        assert_eq!(q.atoms[0], CqAtom::Axis(Axis::Child, CqVar(1), CqVar(0)));
+    }
+}

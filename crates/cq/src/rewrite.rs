@@ -1,0 +1,511 @@
+//! Rewriting conjunctive queries over trees into equivalent unions of
+//! acyclic positive queries (**Theorem 5.1**), with **Table 1** as the
+//! satisfiability oracle.
+//!
+//! The implementation follows the *improved* strategy discussed after the
+//! proof (\[35\]): instead of expanding the full disjunctive normal form of
+//! all `3^(k choose 2)` variable orderings up front, order choices between
+//! two variables `x, y` are made lazily — only when a conflict pair
+//! `R(x, z), S(y, z)` actually needs resolving, and `R*` atoms are only
+//! split into `x = y` vs. `R⁺(x, y)` when encountered. `<pre` constraints
+//! are kept in a DAG on the side (never as query atoms), so the emitted
+//! queries consist purely of `Child`, `Child⁺`, `NextSibling`,
+//! `NextSibling⁺` and label atoms and are acyclic by construction.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use treequery_tree::Axis;
+
+use crate::ast::{Cq, CqAtom, CqVar};
+use crate::graph::is_acyclic;
+
+/// Table 1: satisfiability of `R(x, z) ∧ S(y, z) ∧ x <pre y` for
+/// `R, S ∈ {Child, Child⁺, NextSibling, NextSibling⁺}`.
+///
+/// # Panics
+/// Panics if `r` or `s` is not one of the four table axes.
+pub fn sat_table(r: Axis, s: Axis) -> bool {
+    use Axis::{Child, Descendant, FollowingSibling, NextSibling};
+    let row = |a: Axis| match a {
+        Child => 0,
+        Descendant => 1,
+        NextSibling => 2,
+        FollowingSibling => 3,
+        other => panic!("axis {other} is not in Table 1"),
+    };
+    // Rows R: Child, Child+, NextSibling, NextSibling+.
+    // Cols S: Child, Child+, NextSibling, NextSibling+.
+    const TABLE: [[bool; 4]; 4] = [
+        [false, false, true, true],   // Child
+        [true, true, true, true],     // Child+
+        [false, false, false, false], // NextSibling
+        [false, false, true, true],   // NextSibling+
+    ];
+    TABLE[row(r)][row(s)]
+}
+
+/// Why a query cannot be rewritten.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The input already contains `<pre` atoms; Theorem 5.1 is about
+    /// axis-only conjunctive queries.
+    HasPreLt,
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::HasPreLt => f.write_str("input query contains <pre atoms"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Statistics from a rewrite run (experiment E11).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Branches explored (including pruned ones).
+    pub branches: u64,
+    /// Branches pruned as unsatisfiable (Table 1 or order cycles).
+    pub pruned: u64,
+    /// Acyclic queries emitted (after deduplication).
+    pub emitted: usize,
+}
+
+/// One branch of the rewriting search: a query plus an order DAG.
+#[derive(Clone)]
+struct State {
+    q: Cq,
+    /// `ord[x]` = variables known to be `<pre`-greater than x (successors).
+    ord: Vec<BTreeSet<u32>>,
+}
+
+impl State {
+    /// Adds `x <pre y`; returns false if that closes a cycle.
+    fn add_ord(&mut self, x: CqVar, y: CqVar) -> bool {
+        if x == y {
+            return false;
+        }
+        if self.reaches(y, x) {
+            return false;
+        }
+        self.ord[x.index()].insert(y.0);
+        true
+    }
+
+    /// Whether `a <pre b` is already entailed (DAG reachability).
+    fn reaches(&self, a: CqVar, b: CqVar) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut seen = vec![false; self.ord.len()];
+        let mut stack = vec![a.0];
+        seen[a.index()] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.ord[u as usize] {
+                if v == b.0 {
+                    return true;
+                }
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Merges variable `b` into `a` in both the query and the order DAG;
+    /// returns false if the merge contradicts the order (a < b or b < a
+    /// already known).
+    fn merge(&mut self, a: CqVar, b: CqVar) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.reaches(a, b) && self.ord_strict(a, b) {
+            return false;
+        }
+        if self.reaches(b, a) && self.ord_strict(b, a) {
+            return false;
+        }
+        self.q.merge_vars(a, b);
+        // Redirect order edges of b to a.
+        let out = std::mem::take(&mut self.ord[b.index()]);
+        for v in out {
+            if v != a.0 {
+                self.ord[a.index()].insert(v);
+            }
+        }
+        for set in &mut self.ord {
+            if set.remove(&b.0) {
+                set.insert(a.0);
+            }
+        }
+        self.ord[a.index()].remove(&a.0);
+        // A self-cycle through longer paths means contradiction; detect.
+        !self.has_cycle()
+    }
+
+    fn ord_strict(&self, a: CqVar, b: CqVar) -> bool {
+        a != b && self.reaches(a, b)
+    }
+
+    fn has_cycle(&self) -> bool {
+        // Kahn's algorithm.
+        let n = self.ord.len();
+        let mut indeg = vec![0usize; n];
+        for set in &self.ord {
+            for &v in set {
+                indeg[v as usize] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop_front() {
+            seen += 1;
+            for &v in &self.ord[u] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        seen != n
+    }
+
+    /// Canonical fingerprint for deduplication.
+    fn key(&self) -> String {
+        let mut atoms: Vec<String> = self.q.atoms.iter().map(|a| format!("{a:?}")).collect();
+        atoms.sort();
+        format!("{:?}|{}", self.q.head, atoms.join(";"))
+    }
+}
+
+/// Rewrites an arbitrary conjunctive query over trees (all axes; inverse
+/// axes are normalized first) into an equivalent finite union of *acyclic*
+/// conjunctive queries over `{Child, Child⁺, NextSibling, NextSibling⁺}`
+/// and labels (Theorem 5.1). Worst-case exponentially many.
+pub fn rewrite_to_acyclic(q: &Cq) -> Result<(Vec<Cq>, RewriteStats), RewriteError> {
+    if q.atoms.iter().any(|a| matches!(a, CqAtom::PreLt(..))) {
+        return Err(RewriteError::HasPreLt);
+    }
+    let mut q = q.normalize_forward();
+
+    // Step 0 (as in the proof): eliminate Following(x, y) via
+    // ∃x₀ y₀: NextSibling⁺(x₀, y₀) ∧ Child*(x₀, x) ∧ Child*(y₀, y).
+    let mut extra = Vec::new();
+    q.atoms.retain_mut(|atom| {
+        if let CqAtom::Axis(Axis::Following, x, y) = *atom {
+            extra.push((x, y));
+            false
+        } else {
+            true
+        }
+    });
+    for (x, y) in extra {
+        let x0 = q.add_var("_f0");
+        let y0 = q.add_var("_f1");
+        q.atoms.push(CqAtom::Axis(Axis::FollowingSibling, x0, y0));
+        q.atoms.push(CqAtom::Axis(Axis::DescendantOrSelf, x0, x));
+        q.atoms.push(CqAtom::Axis(Axis::DescendantOrSelf, y0, y));
+    }
+
+    let n = q.num_vars();
+    let mut stats = RewriteStats::default();
+    let mut out: Vec<Cq> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut work = vec![State {
+        q,
+        ord: vec![BTreeSet::new(); n],
+    }];
+
+    'states: while let Some(mut st) = work.pop() {
+        stats.branches += 1;
+        // --- Normalization loop ---
+        let mut i = 0;
+        while i < st.q.atoms.len() {
+            match st.q.atoms[i].clone() {
+                CqAtom::Axis(Axis::SelfAxis, x, y) => {
+                    st.q.atoms.swap_remove(i);
+                    if x != y && !st.merge(x, y) {
+                        stats.pruned += 1;
+                        continue 'states;
+                    }
+                    i = 0; // restart: merging may affect earlier atoms
+                }
+                CqAtom::Axis(axis, x, y) if x == y => {
+                    if axis.is_reflexive() {
+                        st.q.atoms.swap_remove(i);
+                    } else {
+                        stats.pruned += 1;
+                        continue 'states; // R(x,x) unsatisfiable
+                    }
+                }
+                CqAtom::Axis(Axis::DescendantOrSelf, x, y) => {
+                    // Branch: x = y  vs  Child⁺(x, y).
+                    let mut eq = st.clone();
+                    eq.q.atoms.swap_remove(i);
+                    if eq.merge(x, y) {
+                        work.push(eq);
+                    } else {
+                        stats.pruned += 1;
+                    }
+                    st.q.atoms[i] = CqAtom::Axis(Axis::Descendant, x, y);
+                    // fall through: the new atom is processed below
+                }
+                CqAtom::Axis(Axis::FollowingSiblingOrSelf, x, y) => {
+                    let mut eq = st.clone();
+                    eq.q.atoms.swap_remove(i);
+                    if eq.merge(x, y) {
+                        work.push(eq);
+                    } else {
+                        stats.pruned += 1;
+                    }
+                    st.q.atoms[i] = CqAtom::Axis(Axis::FollowingSibling, x, y);
+                }
+                CqAtom::Axis(_, x, y) => {
+                    // Child, Child⁺, NextSibling, NextSibling⁺ all imply
+                    // x <pre y.
+                    if !st.reaches(x, y) && !st.add_ord(x, y) {
+                        stats.pruned += 1;
+                        continue 'states;
+                    }
+                    i += 1;
+                }
+                CqAtom::Label(..) | CqAtom::Root(..) | CqAtom::Leaf(..) => i += 1,
+                CqAtom::PreLt(..) => unreachable!("rejected above"),
+            }
+        }
+
+        // --- Conflict search: R(x, z), S(y, z) with x ≠ y ---
+        let conflict = find_conflict(&st.q);
+        let Some((ai, bi)) = conflict else {
+            // No conflicts left: the query is a forest over its axis atoms.
+            dedup_atoms(&mut st.q);
+            debug_assert!(
+                is_acyclic(&st.q),
+                "emitted query should be acyclic: {}",
+                st.q
+            );
+            if seen.insert(st.key()) {
+                out.push(st.q);
+            }
+            continue;
+        };
+        let (CqAtom::Axis(r, x, z), CqAtom::Axis(s, y, z2)) =
+            (st.q.atoms[ai].clone(), st.q.atoms[bi].clone())
+        else {
+            unreachable!("conflicts are axis atoms");
+        };
+        debug_assert_eq!(z, z2);
+
+        // Branch 1: x = y.
+        {
+            let mut eq = st.clone();
+            if eq.merge(x, y) {
+                work.push(eq);
+            } else {
+                stats.pruned += 1;
+            }
+        }
+        // Branch 2: x <pre y — replace R(x, z) by R(x, y) if Table 1 allows.
+        {
+            let mut b = st.clone();
+            if b.add_ord(x, y) && sat_table(r, s) {
+                b.q.atoms[ai] = CqAtom::Axis(r, x, y);
+                work.push(b);
+            } else {
+                stats.pruned += 1;
+            }
+        }
+        // Branch 3: y <pre x — replace S(y, z) by S(y, x).
+        {
+            let mut b = st;
+            if b.add_ord(y, x) && sat_table(s, r) {
+                b.q.atoms[bi] = CqAtom::Axis(s, y, x);
+                work.push(b);
+            } else {
+                stats.pruned += 1;
+            }
+        }
+    }
+    stats.emitted = out.len();
+    Ok((out, stats))
+}
+
+/// Finds two axis atoms sharing their target variable with distinct
+/// sources.
+fn find_conflict(q: &Cq) -> Option<(usize, usize)> {
+    for (i, a) in q.atoms.iter().enumerate() {
+        let CqAtom::Axis(_, xa, za) = a else { continue };
+        for (j, b) in q.atoms.iter().enumerate().skip(i + 1) {
+            let CqAtom::Axis(_, xb, zb) = b else { continue };
+            if za == zb && xa != xb {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Removes duplicate atoms and `R⁺(x, y)` when `R(x, y)` is present
+/// (step 3 of the proof).
+fn dedup_atoms(q: &mut Cq) {
+    let mut seen = HashSet::new();
+    q.atoms.retain(|a| seen.insert(format!("{a:?}")));
+    let atoms = q.atoms.clone();
+    q.atoms.retain(|a| match a {
+        CqAtom::Axis(Axis::Descendant, x, y) => !atoms.contains(&CqAtom::Axis(Axis::Child, *x, *y)),
+        CqAtom::Axis(Axis::FollowingSibling, x, y) => {
+            !atoms.contains(&CqAtom::Axis(Axis::NextSibling, *x, *y))
+        }
+        _ => true,
+    });
+}
+
+/// Evaluates an arbitrary CQ by rewriting to a union of acyclic queries
+/// and evaluating each with the linear-time acyclic machinery.
+pub fn eval_via_rewrite(
+    q: &Cq,
+    t: &treequery_tree::Tree,
+) -> Result<std::collections::BTreeSet<Vec<treequery_tree::NodeId>>, RewriteError> {
+    let (union, _) = rewrite_to_acyclic(q)?;
+    let mut out = std::collections::BTreeSet::new();
+    for part in &union {
+        let res = crate::enumerate::eval_acyclic(part, t).expect("rewritten queries are acyclic");
+        out.extend(res);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtrack::eval_backtrack;
+    use crate::parser::parse_cq;
+    use treequery_tree::parse_term;
+
+    /// Table 1, row by row, against brute-force search over all small
+    /// trees (the exhaustive version is experiment E1).
+    #[test]
+    fn table1_spot_checks() {
+        use Axis::{Child, Descendant, FollowingSibling, NextSibling};
+        assert!(!sat_table(Child, Child));
+        assert!(!sat_table(Child, Descendant));
+        assert!(sat_table(Child, NextSibling));
+        assert!(sat_table(Child, FollowingSibling));
+        assert!(sat_table(Descendant, Child));
+        assert!(sat_table(Descendant, Descendant));
+        assert!(sat_table(Descendant, NextSibling));
+        assert!(sat_table(Descendant, FollowingSibling));
+        assert!(!sat_table(NextSibling, Child));
+        assert!(!sat_table(NextSibling, FollowingSibling));
+        assert!(!sat_table(FollowingSibling, Child));
+        assert!(!sat_table(FollowingSibling, Descendant));
+        assert!(sat_table(FollowingSibling, NextSibling));
+        assert!(sat_table(FollowingSibling, FollowingSibling));
+    }
+
+    /// The rewriting produces acyclic queries only.
+    #[test]
+    fn output_is_acyclic() {
+        let q = parse_cq("child+(x, z), child+(y, z), label(x, a), label(y, b)").unwrap();
+        let (union, stats) = rewrite_to_acyclic(&q).unwrap();
+        assert!(!union.is_empty());
+        assert_eq!(stats.emitted, union.len());
+        for part in &union {
+            assert!(crate::graph::is_acyclic(part), "{part}");
+            for atom in &part.atoms {
+                match atom {
+                    CqAtom::Axis(a, _, _) => assert!(matches!(
+                        a,
+                        Axis::Child | Axis::Descendant | Axis::NextSibling | Axis::FollowingSibling
+                    )),
+                    CqAtom::Label(..) | CqAtom::Root(..) | CqAtom::Leaf(..) => {}
+                    CqAtom::PreLt(..) => panic!("<pre atom in output"),
+                }
+            }
+        }
+    }
+
+    /// Semantics preservation, differentially against backtracking.
+    #[test]
+    fn rewrite_preserves_semantics() {
+        let queries = [
+            // The classic NP-hard-class shape: two ancestors of one node.
+            "q(z) :- child+(x, z), child+(y, z), label(x, a), label(y, b).",
+            // Both branch axes with star.
+            "q(z) :- child*(x, z), child(y, z), label(x, a).",
+            // Sibling conflicts.
+            "q(z) :- nextsibling+(x, z), nextsibling(y, z), label(x, a).",
+            "q(z) :- nextsibling+(x, z), nextsibling+(y, z), label(x, a), label(y, b).",
+            // Mixed child/sibling conflict.
+            "q(z) :- child(x, z), nextsibling+(y, z), label(x, r).",
+            // Following elimination.
+            "q(x, y) :- following(x, y), label(x, b).",
+            // Self and star chains.
+            "q(y) :- self(x, y), child*(y, z), label(z, c).",
+            // Already acyclic: passes through.
+            "q(y) :- child(x, y), label(x, a).",
+            // Inverse axes.
+            "q(y) :- parent(x, y), ancestor(z, x), label(z, r).",
+            // A cyclic query (triangle).
+            "q(z) :- child+(x, y), child+(y, z), child+(x, z).",
+        ];
+        let trees = [
+            "r(a(b(c) d) b(a(c)))",
+            "a(b c d)",
+            "r(x(a(z) b(z)) a(b(z)))",
+            "a",
+            "r(a(b(c(d))) a(b) c)",
+        ];
+        for qs in queries {
+            let q = parse_cq(qs).unwrap();
+            for ts in trees {
+                let t = parse_term(ts).unwrap();
+                let expected = eval_backtrack(&q, &t);
+                let got = eval_via_rewrite(&q, &t).unwrap();
+                assert_eq!(got, expected, "{qs} on {ts}");
+            }
+        }
+    }
+
+    /// Queries over {Child+} alone can blow up exponentially (\[35\]);
+    /// check the union count grows with the conflict count.
+    #[test]
+    fn union_grows_with_branching() {
+        let mk = |k: usize| {
+            let atoms: Vec<String> = (0..k)
+                .map(|i| format!("child+(x{i}, z), label(x{i}, a{i})"))
+                .collect();
+            parse_cq(&format!("q(z) :- {}.", atoms.join(", "))).unwrap()
+        };
+        let (u2, _) = rewrite_to_acyclic(&mk(2)).unwrap();
+        let (u4, _) = rewrite_to_acyclic(&mk(4)).unwrap();
+        assert!(u4.len() > u2.len());
+        assert!(!u2.is_empty());
+    }
+
+    #[test]
+    fn pre_lt_input_is_rejected() {
+        let q = parse_cq("pre_lt(x, y), child(x, z)").unwrap();
+        assert_eq!(rewrite_to_acyclic(&q).unwrap_err(), RewriteError::HasPreLt);
+    }
+
+    #[test]
+    fn unsatisfiable_conflicts_prune_to_equality_only() {
+        // NextSibling(x, z) ∧ NextSibling(y, z) forces x = y (whole row of
+        // Table 1 is unsat).
+        let q = parse_cq("nextsibling(x, z), nextsibling(y, z), label(x, a), label(y, b)").unwrap();
+        let (union, _) = rewrite_to_acyclic(&q).unwrap();
+        // All emitted queries have x and y merged: a node labeled both a
+        // and b.
+        let t = parse_term("r(a b)").unwrap();
+        for part in &union {
+            assert!(crate::backtrack::eval_backtrack(part, &t).is_empty());
+        }
+        let t2 = parse_term("r(a+b c)").unwrap();
+        assert!(!eval_via_rewrite(&q, &t2).unwrap().is_empty());
+    }
+}

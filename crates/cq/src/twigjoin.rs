@@ -1,0 +1,645 @@
+//! Holistic twig joins (Section 6; Bruno, Koudas & Srivastava, SIGMOD'02
+//! \[13\]).
+//!
+//! A *twig query* is a tree pattern: labeled query nodes connected by
+//! `/` (Child) or `//` (Descendant) edges. The holistic algorithms
+//! process all structural joins of the pattern at once over pre-sorted
+//! per-label node streams:
+//!
+//! * [`path_stack`] — PathStack, for path-shaped patterns: a chain of
+//!   linked stacks encodes all partial matches compactly;
+//! * [`twig_stack`] — TwigStack: `getNext` advances only stream heads that
+//!   can contribute to a full twig match, producing root-to-leaf path
+//!   solutions that a final merge join combines;
+//! * [`structural_join_plan`] — the binary-structural-join baseline that
+//!   materializes one intermediate relation per pattern edge (what the
+//!   holistic algorithms avoid).
+//!
+//! As the survey notes, the underlying idea is arc-consistency
+//! (Section 6): the stacks maintain exactly the supported candidates.
+
+use std::collections::HashMap;
+
+use treequery_tree::{NodeId, Tree};
+
+use crate::ast::{Cq, CqAtom};
+
+/// An edge type in a twig pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TwigEdge {
+    /// `/` — parent/child.
+    Child,
+    /// `//` — ancestor/descendant.
+    Descendant,
+}
+
+/// A twig (tree-pattern) query.
+#[derive(Clone, Debug)]
+pub struct TwigQuery {
+    labels: Vec<String>,
+    parent: Vec<Option<usize>>,
+    edge: Vec<TwigEdge>,
+    children: Vec<Vec<usize>>,
+}
+
+impl TwigQuery {
+    /// Creates a twig with a root node labeled `label`; the root has
+    /// index 0.
+    pub fn new(label: &str) -> TwigQuery {
+        TwigQuery {
+            labels: vec![label.to_owned()],
+            parent: vec![None],
+            edge: vec![TwigEdge::Child],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// Adds a child pattern node under `parent` via `edge`; returns its
+    /// index.
+    pub fn add_child(&mut self, parent: usize, label: &str, edge: TwigEdge) -> usize {
+        assert!(parent < self.labels.len(), "unknown twig node");
+        let id = self.labels.len();
+        self.labels.push(label.to_owned());
+        self.parent.push(Some(parent));
+        self.edge.push(edge);
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
+        id
+    }
+
+    /// Builds a path pattern from alternating labels and edges:
+    /// `path(&[("a", _), ("b", Descendant), ("c", Child)])` is
+    /// `a//b/c` (the first edge entry is ignored).
+    pub fn path(spec: &[(&str, TwigEdge)]) -> TwigQuery {
+        assert!(!spec.is_empty());
+        let mut tq = TwigQuery::new(spec[0].0);
+        let mut cur = 0;
+        for &(label, edge) in &spec[1..] {
+            cur = tq.add_child(cur, label, edge);
+        }
+        tq
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the pattern is empty (never: there is always a root).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Whether the pattern is a path.
+    pub fn is_path(&self) -> bool {
+        self.children.iter().all(|c| c.len() <= 1)
+    }
+
+    /// The pattern nodes with no children.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.children[i].is_empty())
+            .collect()
+    }
+
+    /// The equivalent conjunctive query (head = all pattern nodes in
+    /// index order), for differential testing.
+    pub fn to_cq(&self) -> Cq {
+        let mut q = Cq::new();
+        let vars: Vec<_> = (0..self.len())
+            .map(|i| q.add_var(format!("v{i}")))
+            .collect();
+        for (i, label) in self.labels.iter().enumerate() {
+            q.atoms.push(CqAtom::Label(label.clone(), vars[i]));
+        }
+        for i in 1..self.len() {
+            let p = self.parent[i].expect("non-root");
+            let axis = match self.edge[i] {
+                TwigEdge::Child => treequery_tree::Axis::Child,
+                TwigEdge::Descendant => treequery_tree::Axis::Descendant,
+            };
+            q.atoms.push(CqAtom::Axis(axis, vars[p], vars[i]));
+        }
+        q.head = vars;
+        q
+    }
+
+    fn edge_holds(&self, t: &Tree, qnode: usize, parent_val: NodeId, val: NodeId) -> bool {
+        match self.edge[qnode] {
+            TwigEdge::Child => t.parent(val) == Some(parent_val),
+            TwigEdge::Descendant => t.is_ancestor(parent_val, val),
+        }
+    }
+}
+
+/// Work counters (experiment E13).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TwigStats {
+    /// Stream elements pushed onto stacks.
+    pub pushed: u64,
+    /// Root-to-leaf path solutions produced before merging.
+    pub path_solutions: u64,
+    /// Output twig matches.
+    pub matches: u64,
+}
+
+/// A stack element: the tree node plus the index of the top of the parent
+/// pattern node's stack at push time.
+#[derive(Clone, Copy, Debug)]
+struct Elem {
+    node: NodeId,
+    parent_top: isize,
+}
+
+struct Streams<'t> {
+    /// Per pattern node: its label stream, pre-sorted.
+    items: Vec<&'t [NodeId]>,
+    cursor: Vec<usize>,
+}
+
+impl<'t> Streams<'t> {
+    fn new(tq: &TwigQuery, t: &'t Tree) -> Streams<'t> {
+        Streams {
+            items: tq
+                .labels
+                .iter()
+                .map(|l| t.nodes_with_label_name(l))
+                .collect(),
+            cursor: vec![0; tq.len()],
+        }
+    }
+
+    fn head(&self, q: usize) -> Option<NodeId> {
+        self.items[q].get(self.cursor[q]).copied()
+    }
+
+    fn advance(&mut self, q: usize) {
+        self.cursor[q] += 1;
+    }
+
+    fn eof(&self, q: usize) -> bool {
+        self.cursor[q] >= self.items[q].len()
+    }
+}
+
+/// Expands, for a just-pushed leaf element, all root-to-leaf solutions
+/// encoded in the linked stacks (with explicit edge checks so `/` edges
+/// are handled exactly).
+#[allow(clippy::too_many_arguments)]
+fn expand_path_solutions(
+    tq: &TwigQuery,
+    t: &Tree,
+    chain: &[usize],
+    stacks: &[Vec<Elem>],
+    level: usize,
+    upto: isize,
+    partial: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if level == usize::MAX {
+        // Reached above the root: a complete solution (stored leaf-first,
+        // reverse to root-first).
+        let mut sol = partial.clone();
+        sol.reverse();
+        out.push(sol);
+        return;
+    }
+    let qnode = chain[level];
+    for idx in 0..=upto {
+        let elem = stacks[qnode][idx as usize];
+        // Check the edge to the previously chosen (child-side) element.
+        if let Some(&below) = partial.last() {
+            let child_qnode = chain[level + 1];
+            if !tq.edge_holds(t, child_qnode, elem.node, below) {
+                continue;
+            }
+        }
+        partial.push(elem.node);
+        let next_level = if level == 0 { usize::MAX } else { level - 1 };
+        expand_path_solutions(
+            tq,
+            t,
+            chain,
+            stacks,
+            next_level,
+            elem.parent_top,
+            partial,
+            out,
+        );
+        partial.pop();
+    }
+}
+
+/// PathStack \[13\]: evaluates a *path* pattern with one linked stack per
+/// pattern node, merging the streams in document order. Returns all
+/// matches as tuples in pattern-node order, plus counters.
+///
+/// # Panics
+/// Panics if the pattern is not a path.
+pub fn path_stack(tq: &TwigQuery, t: &Tree) -> (Vec<Vec<NodeId>>, TwigStats) {
+    assert!(tq.is_path(), "PathStack requires a path pattern");
+    let mut stats = TwigStats::default();
+    // The chain of pattern nodes from root to leaf.
+    let mut chain = vec![0usize];
+    while let Some(&c) = tq.children[*chain.last().unwrap()].first() {
+        chain.push(c);
+    }
+    let leaf = *chain.last().unwrap();
+
+    let mut streams = Streams::new(tq, t);
+    let mut stacks: Vec<Vec<Elem>> = vec![Vec::new(); tq.len()];
+    let mut out = Vec::new();
+
+    loop {
+        // qmin: the pattern node whose stream head is smallest in pre.
+        let mut qmin = None;
+        for &q in &chain {
+            if let Some(h) = streams.head(q) {
+                if qmin.is_none_or(|(_, best)| t.pre(h) < t.pre(best)) {
+                    qmin = Some((q, h));
+                }
+            }
+        }
+        let Some((q, v)) = qmin else { break };
+        // Clean all stacks: pop elements whose subtree closed before v.
+        for &qc in &chain {
+            while stacks[qc]
+                .last()
+                .is_some_and(|e| t.pre_end(e.node) < t.pre(v))
+            {
+                stacks[qc].pop();
+            }
+        }
+        // Push if the parent stack can support it.
+        let parent = tq.parent[q];
+        let supported = match parent {
+            None => true,
+            Some(p) => !stacks[p].is_empty(),
+        };
+        if supported {
+            let parent_top = parent.map_or(0, |p| stacks[p].len() as isize - 1);
+            stacks[q].push(Elem {
+                node: v,
+                parent_top,
+            });
+            stats.pushed += 1;
+            if q == leaf {
+                let elem = *stacks[q].last().expect("just pushed");
+                if chain.len() == 1 {
+                    out.push(vec![elem.node]);
+                } else {
+                    let mut partial = vec![elem.node];
+                    expand_path_solutions(
+                        tq,
+                        t,
+                        &chain,
+                        &stacks,
+                        chain.len() - 2,
+                        elem.parent_top,
+                        &mut partial,
+                        &mut out,
+                    );
+                }
+                stacks[q].pop();
+            }
+        }
+        streams.advance(q);
+    }
+    stats.path_solutions = out.len() as u64;
+    stats.matches = out.len() as u64;
+    (out, stats)
+}
+
+/// TwigStack \[13\]: evaluates an arbitrary twig pattern. `getNext` only
+/// advances stream heads that have a full downward extension, path
+/// solutions are produced per leaf, and a final merge join combines them.
+/// Returns all matches as tuples in pattern-node order, plus counters.
+pub fn twig_stack(tq: &TwigQuery, t: &Tree) -> (Vec<Vec<NodeId>>, TwigStats) {
+    let mut stats = TwigStats::default();
+    let mut streams = Streams::new(tq, t);
+    let mut stacks: Vec<Vec<Elem>> = vec![Vec::new(); tq.len()];
+    // Path solutions per leaf pattern node (tuples over the leaf's
+    // root-to-leaf chain).
+    let leaves = tq.leaves();
+    let mut chains: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &l in &leaves {
+        let mut chain = vec![l];
+        let mut cur = l;
+        while let Some(p) = tq.parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chains.insert(l, chain);
+    }
+    let mut path_sols: HashMap<usize, Vec<Vec<NodeId>>> =
+        leaves.iter().map(|&l| (l, Vec::new())).collect();
+
+    /// Whether some stream of a pattern node strictly below `q` is
+    /// exhausted. New elements of an internal node with a dead subtree can
+    /// never participate in a new full twig match (all matches need every
+    /// leaf, and future descendants of a fresh `q`-element would have to
+    /// come from the exhausted stream), so they are skipped.
+    fn subtree_dead(tq: &TwigQuery, streams: &Streams<'_>, q: usize) -> bool {
+        tq.children[q]
+            .iter()
+            .any(|&c| streams.eof(c) || subtree_dead(tq, streams, c))
+    }
+
+    loop {
+        // Document-order merge over all pattern-node streams.
+        let mut qmin: Option<(usize, NodeId)> = None;
+        for q in 0..tq.len() {
+            if let Some(h) = streams.head(q) {
+                if qmin.is_none_or(|(_, best)| t.pre(h) < t.pre(best)) {
+                    qmin = Some((q, h));
+                }
+            }
+        }
+        let Some((q, v)) = qmin else { break };
+        // Clean all stacks: pop elements whose subtree closed before v.
+        for stack in stacks.iter_mut() {
+            while stack.last().is_some_and(|e| t.pre_end(e.node) < t.pre(v)) {
+                stack.pop();
+            }
+        }
+        let parent = tq.parent[q];
+        let mut supported = match parent {
+            None => true,
+            Some(p) => !stacks[p].is_empty(),
+        };
+        if supported && !tq.children[q].is_empty() {
+            // The holistic extension check (the heart of TwigStack's
+            // getNext): only push an internal element when every child
+            // stream still has an element inside its subtree, and no
+            // stream below is exhausted.
+            supported = !subtree_dead(tq, &streams, q)
+                && tq.children[q].iter().all(|&c| {
+                    let items = streams.items[c];
+                    let from = streams.cursor[c];
+                    let idx = items[from..].partition_point(|&w| t.pre(w) <= t.pre(v)) + from;
+                    items.get(idx).is_some_and(|&w| t.pre(w) <= t.pre_end(v))
+                });
+        }
+        if supported {
+            let parent_top = parent.map_or(0, |p| stacks[p].len() as isize - 1);
+            stacks[q].push(Elem {
+                node: v,
+                parent_top,
+            });
+            stats.pushed += 1;
+            if tq.children[q].is_empty() {
+                // Leaf: expand path solutions for this leaf's chain,
+                // anchored at the just-pushed element.
+                let chain = &chains[&q];
+                let elem = *stacks[q].last().expect("just pushed");
+                let mut sols = Vec::new();
+                if chain.len() == 1 {
+                    sols.push(vec![elem.node]);
+                } else {
+                    let mut partial = vec![elem.node];
+                    expand_path_solutions(
+                        tq,
+                        t,
+                        chain,
+                        &stacks,
+                        chain.len() - 2,
+                        elem.parent_top,
+                        &mut partial,
+                        &mut sols,
+                    );
+                }
+                stats.path_solutions += sols.len() as u64;
+                path_sols.get_mut(&q).expect("leaf").extend(sols);
+                stacks[q].pop();
+            }
+        }
+        streams.advance(q);
+    }
+
+    // Merge join the per-leaf path solutions into full twig matches.
+    let mut result: Vec<Vec<Option<NodeId>>> = vec![vec![None; tq.len()]];
+    for &l in &leaves {
+        let chain = &chains[&l];
+        let sols = &path_sols[&l];
+        let mut next = Vec::new();
+        for partial in &result {
+            for sol in sols {
+                // Consistency on shared pattern nodes.
+                let ok = chain
+                    .iter()
+                    .zip(sol)
+                    .all(|(&qn, &node)| partial[qn].is_none() || partial[qn] == Some(node));
+                if ok {
+                    let mut merged = partial.clone();
+                    for (&qn, &node) in chain.iter().zip(sol) {
+                        merged[qn] = Some(node);
+                    }
+                    next.push(merged);
+                }
+            }
+        }
+        result = next;
+    }
+    let mut out: Vec<Vec<NodeId>> = result
+        .into_iter()
+        .map(|partial| {
+            partial
+                .into_iter()
+                .map(|o| o.expect("all nodes on some leaf path"))
+                .collect()
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    stats.matches = out.len() as u64;
+    (out, stats)
+}
+
+/// The binary-structural-join baseline: one stack-based structural join
+/// per pattern edge (materializing the full intermediate pair list), then
+/// hash joins following the pattern bottom-up. Returns the matches and the
+/// total number of intermediate tuples materialized — the quantity the
+/// holistic algorithms are designed to keep small.
+pub fn structural_join_plan(tq: &TwigQuery, t: &Tree) -> (Vec<Vec<NodeId>>, u64) {
+    use treequery_storage::{stack_tree_join, Xasr};
+    let xasr = Xasr::from_tree(t);
+    let mut intermediate = 0u64;
+    // Edge relations as (parent_node, child_node) in NodeIds.
+    let mut edge_rel: HashMap<usize, Vec<(NodeId, NodeId)>> = HashMap::new();
+    for i in 1..tq.len() {
+        let p = tq.parent[i].expect("non-root");
+        let la = xasr.label_list(&tq.labels[p]);
+        let ld = xasr.label_list(&tq.labels[i]);
+        let pairs = stack_tree_join(&la, &ld);
+        let pairs: Vec<(NodeId, NodeId)> = pairs
+            .into_iter()
+            .map(|(a, d)| (t.node_at_pre(a - 1), t.node_at_pre(d - 1)))
+            .filter(|&(a, d)| match tq.edge[i] {
+                TwigEdge::Child => t.parent(d) == Some(a),
+                TwigEdge::Descendant => true,
+            })
+            .collect();
+        intermediate += pairs.len() as u64;
+        edge_rel.insert(i, pairs);
+    }
+    // Join bottom-up: partial assignments keyed per pattern node.
+    let root_stream: Vec<Vec<Option<NodeId>>> = t
+        .nodes_with_label_name(&tq.labels[0])
+        .iter()
+        .map(|&v| {
+            let mut a = vec![None; tq.len()];
+            a[0] = Some(v);
+            a
+        })
+        .collect();
+    let mut result = root_stream;
+    // Process pattern nodes in index order (parents before children by
+    // construction).
+    for i in 1..tq.len() {
+        let p = tq.parent[i].expect("non-root");
+        let mut by_parent: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &(a, d) in &edge_rel[&i] {
+            by_parent.entry(a).or_default().push(d);
+        }
+        let mut next = Vec::new();
+        for partial in &result {
+            let pv = partial[p].expect("parent assigned");
+            if let Some(kids) = by_parent.get(&pv) {
+                for &d in kids {
+                    let mut merged = partial.clone();
+                    merged[i] = Some(d);
+                    next.push(merged);
+                }
+            }
+        }
+        intermediate += next.len() as u64;
+        result = next;
+    }
+    let out: Vec<Vec<NodeId>> = result
+        .into_iter()
+        .map(|a| a.into_iter().map(|o| o.expect("assigned")).collect())
+        .collect();
+    (out, intermediate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtrack::eval_backtrack;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use treequery_tree::{parse_term, random_recursive_tree};
+
+    fn sorted(mut v: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn oracle(tq: &TwigQuery, t: &Tree) -> Vec<Vec<NodeId>> {
+        eval_backtrack(&tq.to_cq(), t).into_iter().collect()
+    }
+
+    #[test]
+    fn path_stack_simple() {
+        // a//b/c on a small tree.
+        let tq = TwigQuery::path(&[
+            ("a", TwigEdge::Child),
+            ("b", TwigEdge::Descendant),
+            ("c", TwigEdge::Child),
+        ]);
+        let t = parse_term("a(x(b(c)) b(c c) c)").unwrap();
+        let (got, stats) = path_stack(&tq, &t);
+        assert_eq!(sorted(got), oracle(&tq, &t));
+        assert!(stats.pushed > 0);
+    }
+
+    #[test]
+    fn path_stack_nested_same_label() {
+        // a//a//a on a chain of a's: all increasing triples.
+        let tq = TwigQuery::path(&[
+            ("a", TwigEdge::Child),
+            ("a", TwigEdge::Descendant),
+            ("a", TwigEdge::Descendant),
+        ]);
+        let t = parse_term("a(a(a(a)))").unwrap();
+        let (got, _) = path_stack(&tq, &t);
+        assert_eq!(sorted(got).len(), 4); // C(4,3) = 4 triples
+        assert_eq!(sorted(path_stack(&tq, &t).0), oracle(&tq, &t));
+    }
+
+    #[test]
+    fn twig_stack_branching() {
+        // a[.//b]/c — root a with a b-descendant and a c-child.
+        let mut tq = TwigQuery::new("a");
+        tq.add_child(0, "b", TwigEdge::Descendant);
+        tq.add_child(0, "c", TwigEdge::Child);
+        let t = parse_term("a(x(b) c a(b c))").unwrap();
+        let (got, stats) = twig_stack(&tq, &t);
+        assert_eq!(sorted(got), oracle(&tq, &t));
+        assert!(stats.matches > 0);
+    }
+
+    #[test]
+    fn twig_stack_no_match() {
+        let mut tq = TwigQuery::new("a");
+        tq.add_child(0, "zz", TwigEdge::Descendant);
+        let t = parse_term("a(b c)").unwrap();
+        let (got, stats) = twig_stack(&tq, &t);
+        assert!(got.is_empty());
+        assert_eq!(stats.matches, 0);
+    }
+
+    #[test]
+    fn structural_plan_agrees() {
+        let mut tq = TwigQuery::new("a");
+        let b = tq.add_child(0, "b", TwigEdge::Descendant);
+        tq.add_child(b, "c", TwigEdge::Child);
+        tq.add_child(0, "d", TwigEdge::Child);
+        let t = parse_term("a(b(c) d a(b(c c) d))").unwrap();
+        let (plan, intermediate) = structural_join_plan(&tq, &t);
+        assert_eq!(sorted(plan), oracle(&tq, &t));
+        assert!(intermediate > 0);
+    }
+
+    #[test]
+    fn random_differential() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..15 {
+            let t = random_recursive_tree(&mut rng, 40, &["a", "b", "c"]);
+            // Pattern: a//b[/c] variations.
+            let mut tq = TwigQuery::new("a");
+            let b = tq.add_child(0, "b", TwigEdge::Descendant);
+            if round % 2 == 0 {
+                tq.add_child(b, "c", TwigEdge::Descendant);
+            }
+            if round % 3 == 0 {
+                tq.add_child(0, "c", TwigEdge::Child);
+            }
+            let expected = oracle(&tq, &t);
+            let (ts, _) = twig_stack(&tq, &t);
+            assert_eq!(sorted(ts), expected, "twig_stack round {round}");
+            let (sj, _) = structural_join_plan(&tq, &t);
+            assert_eq!(sorted(sj), expected, "plan round {round}");
+            if tq.is_path() {
+                let (ps, _) = path_stack(&tq, &t);
+                assert_eq!(sorted(ps), expected, "path_stack round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn twig_query_api() {
+        let mut tq = TwigQuery::new("a");
+        let b = tq.add_child(0, "b", TwigEdge::Child);
+        assert_eq!(tq.len(), 2);
+        assert!(tq.is_path());
+        assert_eq!(tq.leaves(), vec![b]);
+        tq.add_child(0, "c", TwigEdge::Descendant);
+        assert!(!tq.is_path());
+        let cq = tq.to_cq();
+        assert_eq!(cq.atoms.len(), 3 + 2);
+        assert_eq!(cq.head.len(), 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Unions of conjunctive queries — the positive (first-order) queries of
+//! Section 5.
+//!
+//! A positive FO query over trees is equivalent to a finite union of
+//! conjunctive queries (disjunctive normal form); by Theorem 5.1 each
+//! disjunct rewrites into a union of *acyclic* CQs, so (Corollary 5.2) a
+//! fixed positive Boolean FO query evaluates in time `O(||A||)`.
+
+use std::collections::BTreeSet;
+
+use treequery_tree::{NodeId, Tree};
+
+use crate::ast::Cq;
+use crate::backtrack::eval_backtrack;
+use crate::enumerate::eval_acyclic;
+use crate::parser::{parse_cq, CqParseError};
+use crate::rewrite::{rewrite_to_acyclic, RewriteError};
+
+/// A union of conjunctive queries (all with the same head arity).
+#[derive(Clone, Debug, Default)]
+pub struct Ucq {
+    /// The disjuncts.
+    pub disjuncts: Vec<Cq>,
+}
+
+impl Ucq {
+    /// Builds a union; all disjuncts must share the head arity.
+    pub fn new(disjuncts: Vec<Cq>) -> Ucq {
+        if let Some(first) = disjuncts.first() {
+            assert!(
+                disjuncts.iter().all(|q| q.head.len() == first.head.len()),
+                "all disjuncts of a UCQ must have the same head arity"
+            );
+        }
+        Ucq { disjuncts }
+    }
+
+    /// Head arity (0 = Boolean).
+    pub fn arity(&self) -> usize {
+        self.disjuncts.first().map_or(0, |q| q.head.len())
+    }
+
+    /// Total size (sum of disjunct sizes).
+    pub fn size(&self) -> usize {
+        self.disjuncts.iter().map(Cq::size).sum()
+    }
+
+    /// Rewrites every disjunct into acyclic queries (Theorem 5.1),
+    /// flattening into one acyclic union.
+    pub fn rewrite_to_acyclic(&self) -> Result<Ucq, RewriteError> {
+        let mut out = Vec::new();
+        for q in &self.disjuncts {
+            let (parts, _) = rewrite_to_acyclic(q)?;
+            out.extend(parts);
+        }
+        Ok(Ucq { disjuncts: out })
+    }
+
+    /// Evaluates the union: acyclic disjuncts through Yannakakis +
+    /// enumeration, cyclic ones through rewriting (with backtracking as
+    /// the `<pre`-atom fallback). Result tuples are the set union.
+    pub fn eval(&self, t: &Tree) -> BTreeSet<Vec<NodeId>> {
+        let mut out = BTreeSet::new();
+        for q in &self.disjuncts {
+            if let Some(tuples) = eval_acyclic(q, t) {
+                out.extend(tuples);
+            } else {
+                match rewrite_to_acyclic(q) {
+                    Ok((parts, _)) => {
+                        for part in &parts {
+                            out.extend(eval_acyclic(part, t).expect("rewritten parts are acyclic"));
+                        }
+                    }
+                    Err(_) => out.extend(eval_backtrack(q, t)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Boolean view.
+    pub fn is_satisfiable(&self, t: &Tree) -> bool {
+        !self.eval(t).is_empty()
+    }
+}
+
+/// Parses a UCQ: disjuncts separated by `;`.
+///
+/// ```text
+/// q(x) :- label(x, a), child(x, y) ; q(x) :- label(x, b), following(x, y)
+/// ```
+pub fn parse_ucq(input: &str) -> Result<Ucq, CqParseError> {
+    let mut disjuncts = Vec::new();
+    let mut offset = 0usize;
+    for part in input.split(';') {
+        if part.trim().is_empty() {
+            offset += part.len() + 1;
+            continue;
+        }
+        let q = parse_cq(part).map_err(|mut e| {
+            e.offset += offset;
+            e
+        })?;
+        disjuncts.push(q);
+        offset += part.len() + 1;
+    }
+    let ucq = Ucq::new(disjuncts);
+    Ok(ucq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_tree::parse_term;
+
+    #[test]
+    fn union_semantics() {
+        let t = parse_term("r(a(x) b(y) c)").unwrap();
+        let u = parse_ucq("q(v) :- label(v, a) ; q(v) :- label(v, b).").unwrap();
+        assert_eq!(u.disjuncts.len(), 2);
+        assert_eq!(u.arity(), 1);
+        let res = u.eval(&t);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn union_with_cyclic_disjunct() {
+        let t = parse_term("r(a(b(c)))").unwrap();
+        // First disjunct cyclic (triangle), second acyclic.
+        let u = parse_ucq("q(z) :- child(x, y), child(y, z), child+(x, z) ; q(z) :- label(z, c).")
+            .unwrap();
+        let res = u.eval(&t);
+        // Triangle matches z = c's position (b's child) via a→b→c;
+        // plus the c node from the second disjunct (the same node).
+        let mut expected = eval_backtrack(&u.disjuncts[0], &t);
+        expected.extend(eval_backtrack(&u.disjuncts[1], &t));
+        assert_eq!(res, expected);
+        assert!(u.is_satisfiable(&t));
+    }
+
+    #[test]
+    fn boolean_union() {
+        let t = parse_term("r(a)").unwrap();
+        let u = parse_ucq("label(x, zz) ; label(x, a)").unwrap();
+        assert!(u.is_satisfiable(&t));
+        let u2 = parse_ucq("label(x, zz) ; label(x, yy)").unwrap();
+        assert!(!u2.is_satisfiable(&t));
+    }
+
+    #[test]
+    fn rewrite_flattens_to_acyclic() {
+        let u = parse_ucq("q(z) :- child+(x, z), child(y, z), label(x, a) ; q(z) :- label(z, b).")
+            .unwrap();
+        let acyclic = u.rewrite_to_acyclic().unwrap();
+        assert!(acyclic.disjuncts.iter().all(crate::graph::is_acyclic));
+        assert!(acyclic.disjuncts.len() >= 2);
+        // Semantics preserved.
+        let t = parse_term("r(a(q(b)) b)").unwrap();
+        assert_eq!(acyclic.eval(&t), u.eval(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "same head arity")]
+    fn mixed_arity_panics() {
+        let a = parse_cq("q(x) :- label(x, a).").unwrap();
+        let b = parse_cq("q(x, y) :- child(x, y).").unwrap();
+        Ucq::new(vec![a, b]);
+    }
+
+    #[test]
+    fn empty_union_is_unsatisfiable() {
+        let t = parse_term("a").unwrap();
+        let u = Ucq::new(Vec::new());
+        assert!(!u.is_satisfiable(&t));
+    }
+}

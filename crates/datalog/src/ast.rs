@@ -1,0 +1,272 @@
+//! Abstract syntax of monadic datalog programs over τ⁺ (∪ {Child}).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An intensional (unary) predicate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A rule variable (dense per rule).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Extensional unary predicates of τ⁺.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BasePred {
+    /// True of every node.
+    Dom,
+    /// The root (no parent).
+    Root,
+    /// Nodes without children.
+    Leaf,
+    /// Nodes without a previous sibling.
+    FirstSibling,
+    /// Nodes without a next sibling.
+    LastSibling,
+    /// `Labₐ`: nodes labeled with the given label.
+    Label(String),
+    /// The complement of `Labₐ`: nodes *not* carrying the given label.
+    ///
+    /// Not part of the paper's τ⁺, but an extensional unary predicate of
+    /// the given structure all the same; it is what lets the Core XPath
+    /// translation handle negation while staying in (negation-free)
+    /// monadic datalog, mirroring the label-complement tests available to
+    /// the automata of \[29\].
+    NotLabel(String),
+}
+
+impl BasePred {
+    /// The surface name used by the parser and printer.
+    pub fn name(&self) -> String {
+        match self {
+            BasePred::Dom => "dom".into(),
+            BasePred::Root => "root".into(),
+            BasePred::Leaf => "leaf".into(),
+            BasePred::FirstSibling => "firstsibling".into(),
+            BasePred::LastSibling => "lastsibling".into(),
+            BasePred::Label(l) => format!("label_{l}"),
+            BasePred::NotLabel(l) => format!("notlabel_{l}"),
+        }
+    }
+}
+
+/// Extensional binary relations: the τ⁺ relations plus the derived `Child`
+/// (allowed in input programs; eliminated by the TMNF translation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinRel {
+    /// `FirstChild(x, y)`: y is the first child of x.
+    FirstChild,
+    /// `NextSibling(x, y)`: y is the sibling immediately right of x.
+    NextSibling,
+    /// `Child(x, y)`: y is a child of x (derived; not functional downward).
+    Child,
+}
+
+impl BinRel {
+    /// The surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinRel::FirstChild => "firstchild",
+            BinRel::NextSibling => "nextsibling",
+            BinRel::Child => "child",
+        }
+    }
+}
+
+/// A reference to a unary predicate in a rule body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum UnaryRef {
+    /// An intensional predicate.
+    Pred(PredId),
+    /// An extensional τ⁺ predicate.
+    Base(BasePred),
+}
+
+/// A body atom.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BodyAtom {
+    /// `q(x)` for unary `q`.
+    Unary(UnaryRef, VarId),
+    /// `R(x, y)` for a binary extensional relation.
+    Binary(BinRel, VarId, VarId),
+}
+
+/// A rule `head(head_var) ← body`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head predicate.
+    pub head: PredId,
+    /// Head variable.
+    pub head_var: VarId,
+    /// Body atoms.
+    pub body: Vec<BodyAtom>,
+    /// Number of distinct variables in the rule (vars are `0..num_vars`).
+    pub num_vars: u32,
+}
+
+impl Rule {
+    /// Whether the head variable occurs in the body (datalog safety).
+    pub fn is_safe(&self) -> bool {
+        self.body.iter().any(|a| match a {
+            BodyAtom::Unary(_, v) => *v == self.head_var,
+            BodyAtom::Binary(_, x, y) => *x == self.head_var || *y == self.head_var,
+        })
+    }
+}
+
+/// A monadic datalog program over τ⁺ (∪ {Child}).
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    pred_names: Vec<String>,
+    by_name: HashMap<String, PredId>,
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// The distinguished query predicate, if set.
+    pub query: Option<PredId>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an intensional predicate name.
+    pub fn pred(&mut self, name: &str) -> PredId {
+        if let Some(&p) = self.by_name.get(name) {
+            return p;
+        }
+        let p = PredId(u32::try_from(self.pred_names.len()).expect("too many predicates"));
+        self.pred_names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), p);
+        p
+    }
+
+    /// Looks up a predicate by name.
+    pub fn lookup_pred(&self, name: &str) -> Option<PredId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a predicate.
+    pub fn pred_name(&self, p: PredId) -> &str {
+        &self.pred_names[p.index()]
+    }
+
+    /// Number of intensional predicates.
+    pub fn num_preds(&self) -> usize {
+        self.pred_names.len()
+    }
+
+    /// Adds a rule; panics (debug) on unsafe rules.
+    pub fn add_rule(&mut self, rule: Rule) {
+        debug_assert!(rule.is_safe(), "unsafe rule: head variable not in body");
+        self.rules.push(rule);
+    }
+
+    /// Sets the query predicate by name (interning it if necessary).
+    pub fn set_query(&mut self, name: &str) {
+        let p = self.pred(name);
+        self.query = Some(p);
+    }
+
+    /// Program size `|P|`: total number of atoms (the measure of
+    /// Theorem 3.2).
+    pub fn size(&self) -> usize {
+        self.rules.iter().map(|r| r.body.len() + 1).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            write!(f, "{}(v{}) :- ", self.pred_name(rule.head), rule.head_var.0)?;
+            for (i, atom) in rule.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match atom {
+                    BodyAtom::Unary(UnaryRef::Pred(p), v) => {
+                        write!(f, "{}(v{})", self.pred_name(*p), v.0)?
+                    }
+                    BodyAtom::Unary(UnaryRef::Base(b), v) => write!(f, "{}(v{})", b.name(), v.0)?,
+                    BodyAtom::Binary(r, x, y) => write!(f, "{}(v{}, v{})", r.name(), x.0, y.0)?,
+                }
+            }
+            writeln!(f, ".")?;
+        }
+        if let Some(q) = self.query {
+            writeln!(f, "?- {}.", self.pred_name(q))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_interning() {
+        let mut p = Program::new();
+        let a = p.pred("P0");
+        let b = p.pred("P");
+        assert_ne!(a, b);
+        assert_eq!(p.pred("P0"), a);
+        assert_eq!(p.pred_name(b), "P");
+        assert_eq!(p.lookup_pred("missing"), None);
+    }
+
+    #[test]
+    fn safety_check() {
+        let safe = Rule {
+            head: PredId(0),
+            head_var: VarId(0),
+            body: vec![BodyAtom::Unary(UnaryRef::Base(BasePred::Dom), VarId(0))],
+            num_vars: 1,
+        };
+        assert!(safe.is_safe());
+        let unsafe_rule = Rule {
+            head: PredId(0),
+            head_var: VarId(1),
+            body: vec![BodyAtom::Unary(UnaryRef::Base(BasePred::Dom), VarId(0))],
+            num_vars: 2,
+        };
+        assert!(!unsafe_rule.is_safe());
+    }
+
+    #[test]
+    fn display_round_trippable_shape() {
+        let mut p = Program::new();
+        let p0 = p.pred("P0");
+        p.add_rule(Rule {
+            head: p0,
+            head_var: VarId(0),
+            body: vec![
+                BodyAtom::Binary(BinRel::NextSibling, VarId(0), VarId(1)),
+                BodyAtom::Unary(UnaryRef::Pred(p0), VarId(1)),
+            ],
+            num_vars: 2,
+        });
+        p.set_query("P0");
+        let text = p.to_string();
+        assert!(text.contains("P0(v0) :- nextsibling(v0, v1), P0(v1)."));
+        assert!(text.contains("?- P0."));
+    }
+}

@@ -1,0 +1,391 @@
+//! Parser for a textual monadic datalog syntax.
+//!
+//! ```text
+//! // Example 3.1: nodes with an ancestor labeled L.
+//! P0(x) :- label(x, L).
+//! P0(x0) :- nextsibling(x0, x), P0(x).
+//! P(x0) :- firstchild(x0, x), P0(x).
+//! P0(x) :- P(x).
+//! ?- P.
+//! ```
+//!
+//! * `:-`, `<-` and `←` all separate head from body; rules end with `.`.
+//! * Base predicates (case-insensitive): `dom/1`, `root/1`, `leaf/1`,
+//!   `firstsibling/1`, `lastsibling/1`, `firstchild/2`, `nextsibling/2`,
+//!   `child/2`, and `label(x, L)` where `L` is the label constant.
+//! * Every other predicate is intensional and must be unary.
+//! * `?- P.` designates the query predicate.
+//! * `%` and `//` start line comments.
+
+use std::collections::HashMap;
+
+use crate::ast::{BasePred, BinRel, BodyAtom, Program, Rule, UnaryRef, VarId};
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "datalog parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok<'a> {
+    Ident(&'a str),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,
+    Query,
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let rest = &self.input[self.pos..];
+            if let Some(c) = rest.chars().next() {
+                if c.is_whitespace() {
+                    self.pos += c.len_utf8();
+                    continue;
+                }
+            }
+            if rest.starts_with('%') || rest.starts_with("//") {
+                match rest.find('\n') {
+                    Some(i) => self.pos += i + 1,
+                    None => self.pos = self.input.len(),
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok<'a>, ParseError> {
+        self.skip_trivia();
+        let rest = &self.input[self.pos..];
+        let Some(c) = rest.chars().next() else {
+            return Ok(Tok::Eof);
+        };
+        let tok = match c {
+            '(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            ')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            ',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            '.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            '←' => {
+                self.pos += '←'.len_utf8();
+                Tok::Arrow
+            }
+            ':' if rest.starts_with(":-") => {
+                self.pos += 2;
+                Tok::Arrow
+            }
+            '<' if rest.starts_with("<-") => {
+                self.pos += 2;
+                Tok::Arrow
+            }
+            '?' if rest.starts_with("?-") => {
+                self.pos += 2;
+                Tok::Query
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let end = rest
+                    .char_indices()
+                    .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_'))
+                    .map_or(rest.len(), |(i, _)| i);
+                self.pos += end;
+                Tok::Ident(&rest[..end])
+            }
+            other => return self.err(format!("unexpected character '{other}'")),
+        };
+        Ok(tok)
+    }
+
+    fn peek(&mut self) -> Result<Tok<'a>, ParseError> {
+        let save = self.pos;
+        let tok = self.next();
+        self.pos = save;
+        tok
+    }
+
+    fn expect(&mut self, want: Tok<'a>, what: &str) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got != want {
+            return self.err(format!("expected {what}, got {got:?}"));
+        }
+        Ok(())
+    }
+}
+
+struct RuleCtx {
+    vars: HashMap<String, VarId>,
+}
+
+impl RuleCtx {
+    fn var(&mut self, name: &str) -> VarId {
+        let next = VarId(self.vars.len() as u32);
+        *self.vars.entry(name.to_owned()).or_insert(next)
+    }
+}
+
+fn base_unary(name: &str) -> Option<BasePred> {
+    match name.to_ascii_lowercase().as_str() {
+        "dom" => Some(BasePred::Dom),
+        "root" => Some(BasePred::Root),
+        "leaf" => Some(BasePred::Leaf),
+        "firstsibling" => Some(BasePred::FirstSibling),
+        "lastsibling" => Some(BasePred::LastSibling),
+        _ => None,
+    }
+}
+
+fn base_binary(name: &str) -> Option<BinRel> {
+    match name.to_ascii_lowercase().as_str() {
+        "firstchild" => Some(BinRel::FirstChild),
+        "nextsibling" => Some(BinRel::NextSibling),
+        "child" => Some(BinRel::Child),
+        _ => None,
+    }
+}
+
+/// Parses a program. The query predicate is taken from a `?- P.` directive
+/// if present, otherwise it defaults to the head predicate of the first
+/// rule.
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let mut lex = Lexer { input, pos: 0 };
+    let mut prog = Program::new();
+
+    loop {
+        match lex.peek()? {
+            Tok::Eof => break,
+            Tok::Query => {
+                lex.next()?;
+                let name = match lex.next()? {
+                    Tok::Ident(n) => n,
+                    _ => return lex.err("expected predicate name after '?-'"),
+                };
+                lex.expect(Tok::Dot, "'.'")?;
+                prog.set_query(name);
+                continue;
+            }
+            _ => {}
+        }
+        // A rule: Head(v) :- atom, ..., atom.
+        let head_name = match lex.next()? {
+            Tok::Ident(n) => n,
+            t => return lex.err(format!("expected rule head, got {t:?}")),
+        };
+        if base_unary(head_name).is_some()
+            || base_binary(head_name).is_some()
+            || head_name.eq_ignore_ascii_case("label")
+        {
+            return lex.err(format!(
+                "'{head_name}' is extensional and cannot be a rule head"
+            ));
+        }
+        let mut ctx = RuleCtx {
+            vars: HashMap::new(),
+        };
+        lex.expect(Tok::LParen, "'('")?;
+        let head_var = match lex.next()? {
+            Tok::Ident(v) => ctx.var(v),
+            _ => return lex.err("expected head variable"),
+        };
+        lex.expect(Tok::RParen, "')'")?;
+        lex.expect(Tok::Arrow, "':-'")?;
+
+        let mut body = Vec::new();
+        loop {
+            let atom_name = match lex.next()? {
+                Tok::Ident(n) => n,
+                t => return lex.err(format!("expected body atom, got {t:?}")),
+            };
+            lex.expect(Tok::LParen, "'('")?;
+            let first = match lex.next()? {
+                Tok::Ident(v) => v,
+                _ => return lex.err("expected variable"),
+            };
+            let second = match lex.peek()? {
+                Tok::Comma => {
+                    lex.next()?;
+                    match lex.next()? {
+                        Tok::Ident(v) => Some(v),
+                        _ => return lex.err("expected second argument"),
+                    }
+                }
+                _ => None,
+            };
+            lex.expect(Tok::RParen, "')'")?;
+
+            let atom = match (atom_name, second) {
+                (n, Some(arg2)) if n.eq_ignore_ascii_case("label") => {
+                    // label(x, L): second argument is the label constant.
+                    BodyAtom::Unary(
+                        UnaryRef::Base(BasePred::Label(arg2.to_owned())),
+                        ctx.var(first),
+                    )
+                }
+                (n, Some(arg2)) if n.eq_ignore_ascii_case("notlabel") => BodyAtom::Unary(
+                    UnaryRef::Base(BasePred::NotLabel(arg2.to_owned())),
+                    ctx.var(first),
+                ),
+                (n, Some(arg2)) => match base_binary(n) {
+                    Some(rel) => BodyAtom::Binary(rel, ctx.var(first), ctx.var(arg2)),
+                    None => {
+                        return lex.err(format!(
+                            "'{n}' used with two arguments but is not a binary base relation \
+                             (intensional predicates are unary in monadic datalog)"
+                        ))
+                    }
+                },
+                (n, None) => match base_unary(n) {
+                    Some(b) => BodyAtom::Unary(UnaryRef::Base(b), ctx.var(first)),
+                    None => {
+                        if base_binary(n).is_some() {
+                            return lex.err(format!("'{n}' requires two arguments"));
+                        }
+                        BodyAtom::Unary(UnaryRef::Pred(prog.pred(n)), ctx.var(first))
+                    }
+                },
+            };
+            body.push(atom);
+            match lex.next()? {
+                Tok::Comma => continue,
+                Tok::Dot => break,
+                t => return lex.err(format!("expected ',' or '.', got {t:?}")),
+            }
+        }
+        let rule = Rule {
+            head: prog.pred(head_name),
+            head_var,
+            body,
+            num_vars: ctx.vars.len() as u32,
+        };
+        if !rule.is_safe() {
+            return lex.err("unsafe rule: head variable does not occur in the body");
+        }
+        prog.rules.push(rule);
+    }
+
+    if prog.query.is_none() {
+        prog.query = prog.rules.first().map(|r| r.head);
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 3.1 parses and has the expected shape.
+    #[test]
+    fn example_3_1() {
+        let prog = parse_program(
+            "P0(x) :- label(x, L).
+             P0(x0) :- nextsibling(x0, x), P0(x).
+             P(x0) :- firstchild(x0, x), P0(x).
+             P0(x) :- P(x).
+             ?- P.",
+        )
+        .unwrap();
+        assert_eq!(prog.rules.len(), 4);
+        assert_eq!(prog.query, prog.lookup_pred("P"));
+        let r0 = &prog.rules[0];
+        assert_eq!(
+            r0.body,
+            vec![BodyAtom::Unary(
+                UnaryRef::Base(BasePred::Label("L".into())),
+                VarId(0)
+            )]
+        );
+        let r1 = &prog.rules[1];
+        assert_eq!(
+            r1.body[0],
+            BodyAtom::Binary(BinRel::NextSibling, VarId(0), VarId(1))
+        );
+    }
+
+    #[test]
+    fn unicode_arrow_and_comments() {
+        let prog = parse_program("% a comment\n P(x) ← root(x). // trailing\n").unwrap();
+        assert_eq!(prog.rules.len(), 1);
+        assert_eq!(prog.query, prog.lookup_pred("P"));
+    }
+
+    #[test]
+    fn default_query_is_first_head() {
+        let prog = parse_program("Q(x) :- leaf(x). R(x) :- root(x).").unwrap();
+        assert_eq!(prog.query, prog.lookup_pred("Q"));
+    }
+
+    #[test]
+    fn rejects_binary_intensional() {
+        let err = parse_program("P(x) :- E(x, y).").unwrap_err();
+        assert!(err.message.contains("monadic"));
+    }
+
+    #[test]
+    fn rejects_unsafe_rule() {
+        let err = parse_program("P(x) :- root(y).").unwrap_err();
+        assert!(err.message.contains("unsafe"));
+    }
+
+    #[test]
+    fn rejects_extensional_head() {
+        assert!(parse_program("root(x) :- leaf(x).").is_err());
+        assert!(parse_program("label(x) :- leaf(x).").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_errors() {
+        assert!(parse_program("P(x) :- firstchild(x).").is_err());
+        assert!(parse_program("P(x) :- leaf(x, y).").is_err());
+    }
+
+    #[test]
+    fn child_is_accepted() {
+        let prog = parse_program("P(x) :- child(x, y), leaf(y).").unwrap();
+        assert_eq!(
+            prog.rules[0].body[0],
+            BodyAtom::Binary(BinRel::Child, VarId(0), VarId(1))
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Tree-Marking Normal Form (Definition 3.4) and the linear-time
+//! translation into it.
+//!
+//! A program is in TMNF if every rule has one of the forms
+//!
+//! 1. `p(x) ← p₀(x)`
+//! 2. `p(x) ← p₀(x₀), B(x₀, x)` with `B ∈ {R, R⁻¹}` for binary `R` of τ⁺
+//! 3. `p(x) ← p₀(x), p₁(x)`
+//!
+//! where `p₀`, `p₁` are intensional or τ⁺ unary predicates. The paper:
+//! "for each monadic datalog program P over τ⁺ ∪ {Child}, there is an
+//! equivalent TMNF program over τ⁺ which can be computed in time O(|P|)"
+//! \[31\]. The translation implemented here handles rules whose body graph
+//! (variables as vertices, binary atoms as edges) is connected and acyclic
+//! — which is no loss of generality for the programs produced by the Core
+//! XPath translation, and matches the acyclic-rule route via which \[31\]
+//! proves the result. `Child` atoms are compiled into `FirstChild` /
+//! `NextSibling` recursions exactly as in Example 3.1.
+
+use crate::ast::{BasePred, BinRel, BodyAtom, PredId, Program, Rule, UnaryRef, VarId};
+
+/// Why a rule could not be translated to TMNF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmnfError {
+    /// The body graph of the rule (by index) is not connected: some
+    /// variable is not linked to the head variable by binary atoms.
+    Disconnected(usize),
+    /// The body graph of the rule (by index) contains a cycle or parallel
+    /// binary atoms over the same variable pair.
+    Cyclic(usize),
+}
+
+impl std::fmt::Display for TmnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TmnfError::Disconnected(i) => {
+                write!(
+                    f,
+                    "rule #{i}: body variables are not connected to the head variable"
+                )
+            }
+            TmnfError::Cyclic(i) => write!(f, "rule #{i}: body graph is cyclic"),
+        }
+    }
+}
+
+impl std::error::Error for TmnfError {}
+
+impl Program {
+    /// Whether every rule is in one of the three TMNF forms.
+    pub fn is_tmnf(&self) -> bool {
+        self.rules.iter().all(rule_is_tmnf)
+    }
+}
+
+fn rule_is_tmnf(rule: &Rule) -> bool {
+    match rule.body.as_slice() {
+        // Form (1): p(x) ← p0(x).
+        [BodyAtom::Unary(_, v)] => *v == rule.head_var,
+        [a, b] => {
+            match (a, b) {
+                // Form (3): p(x) ← p0(x), p1(x).
+                (BodyAtom::Unary(_, v1), BodyAtom::Unary(_, v2)) => {
+                    *v1 == rule.head_var && *v2 == rule.head_var
+                }
+                // Form (2): p(x) ← p0(x0), B(x0, x) — in either atom order
+                // and either orientation of B, but not with Child (which is
+                // not part of τ⁺).
+                (BodyAtom::Unary(_, v0), BodyAtom::Binary(rel, bx, by))
+                | (BodyAtom::Binary(rel, bx, by), BodyAtom::Unary(_, v0)) => {
+                    *rel != BinRel::Child
+                        && *v0 != rule.head_var
+                        && ((*bx == *v0 && *by == rule.head_var)
+                            || (*bx == rule.head_var && *by == *v0))
+                }
+                (BodyAtom::Binary(..), BodyAtom::Binary(..)) => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// State for emitting translated rules with fresh helper predicates.
+struct Emitter {
+    out: Program,
+    fresh: u32,
+}
+
+impl Emitter {
+    fn fresh_pred(&mut self, hint: &str) -> PredId {
+        let name = format!("__{hint}_{}", self.fresh);
+        self.fresh += 1;
+        self.out.pred(&name)
+    }
+
+    /// Emits `head(v0) ← body` where the body is already TMNF-shaped.
+    fn rule(&mut self, head: PredId, head_var: VarId, body: Vec<BodyAtom>, num_vars: u32) {
+        self.out.rules.push(Rule {
+            head,
+            head_var,
+            body,
+            num_vars,
+        });
+    }
+
+    /// Emits `p(x) ← q(x)` (form 1).
+    fn alias(&mut self, p: PredId, q: UnaryRef) {
+        self.rule(p, VarId(0), vec![BodyAtom::Unary(q, VarId(0))], 1);
+    }
+
+    /// Emits `p(x) ← q(x0), B(...)` (form 2) with the binary atom in the
+    /// orientation `rel(a, b)`; variable 0 is the head, variable 1 is `x0`.
+    fn step(&mut self, p: PredId, q: UnaryRef, rel: BinRel, head_is_first: bool) {
+        debug_assert_ne!(rel, BinRel::Child);
+        let (a, b) = if head_is_first {
+            (VarId(0), VarId(1))
+        } else {
+            (VarId(1), VarId(0))
+        };
+        self.rule(
+            p,
+            VarId(0),
+            vec![BodyAtom::Unary(q, VarId(1)), BodyAtom::Binary(rel, a, b)],
+            2,
+        );
+    }
+
+    /// Emits `p(x) ← q(x), r(x)` (form 3).
+    fn conj(&mut self, p: PredId, q: UnaryRef, r: UnaryRef) {
+        self.rule(
+            p,
+            VarId(0),
+            vec![BodyAtom::Unary(q, VarId(0)), BodyAtom::Unary(r, VarId(0))],
+            1,
+        );
+    }
+
+    /// Defines and returns a predicate true at nodes from which the chain
+    /// `NextSibling*` reaches a `q` node (used to compile `Child(y, z)`:
+    /// "some child of y satisfies q" = "the first child of y reaches a q
+    /// node through NextSibling*").
+    fn sibling_suffix_reach(&mut self, q: UnaryRef) -> PredId {
+        let s = self.fresh_pred("sibsuffix");
+        self.alias(s, q);
+        // s(x) ← s(x'), NextSibling(x, x').
+        self.step(s, UnaryRef::Pred(s), BinRel::NextSibling, true);
+        s
+    }
+
+    /// Defines and returns a predicate true at every child of a `q` node
+    /// (used to compile `Child(z, y)` when `q` holds at the parent `z`).
+    fn children_of(&mut self, q: UnaryRef) -> PredId {
+        let m = self.fresh_pred("childof");
+        // m(x) ← q(z), FirstChild(z, x).
+        self.step(m, q, BinRel::FirstChild, false);
+        // m(x) ← m(x0), NextSibling(x0, x).
+        self.step(m, UnaryRef::Pred(m), BinRel::NextSibling, false);
+        m
+    }
+}
+
+/// Translates a monadic datalog program over τ⁺ ∪ {Child} into an
+/// equivalent TMNF program over τ⁺, in time O(|P|).
+///
+/// Rule bodies must be connected and acyclic (see [`TmnfError`]).
+pub fn to_tmnf(prog: &Program) -> Result<Program, TmnfError> {
+    let mut em = Emitter {
+        out: Program::new(),
+        fresh: 0,
+    };
+    // Intern the original predicates first so PredIds carry over verbatim.
+    for i in 0..prog.num_preds() {
+        em.out.pred(prog.pred_name(PredId(i as u32)));
+    }
+    em.out.query = prog.query;
+
+    for (idx, rule) in prog.rules.iter().enumerate() {
+        if rule_is_tmnf(rule) {
+            em.out.rules.push(rule.clone());
+            continue;
+        }
+        translate_rule(&mut em, rule).map_err(|e| match e {
+            RuleShape::Disconnected => TmnfError::Disconnected(idx),
+            RuleShape::Cyclic => TmnfError::Cyclic(idx),
+        })?;
+    }
+    Ok(em.out)
+}
+
+enum RuleShape {
+    Disconnected,
+    Cyclic,
+}
+
+fn translate_rule(em: &mut Emitter, rule: &Rule) -> Result<(), RuleShape> {
+    let n = rule.num_vars as usize;
+    // Adjacency over binary atoms.
+    let mut adj: Vec<Vec<(usize, BinRel, bool)>> = vec![Vec::new(); n];
+    let mut num_edges = 0usize;
+    for atom in &rule.body {
+        if let BodyAtom::Binary(rel, x, y) = atom {
+            if x == y {
+                // R(x, x) never holds for the irreflexive τ⁺ relations; the
+                // rule derives nothing. Emit no rules for it.
+                return Ok(());
+            }
+            // `true` flag: the neighbor is on the *second* position of the
+            // atom (i.e. edge traversed in the forward direction).
+            adj[x.index()].push((y.index(), *rel, true));
+            adj[y.index()].push((x.index(), *rel, false));
+            num_edges += 1;
+        }
+    }
+
+    // BFS from the head variable; detect disconnection and cycles.
+    let root = rule.head_var.index();
+    let mut parent: Vec<Option<(usize, BinRel, bool)>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[root] = true;
+    let mut order = vec![root];
+    let mut queue = std::collections::VecDeque::from([root]);
+    let mut tree_edges = 0usize;
+    while let Some(u) = queue.pop_front() {
+        for &(v, rel, fwd) in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                // Record how to reach v from u: atom is rel with v on the
+                // `fwd` side.
+                parent[v] = Some((u, rel, fwd));
+                tree_edges += 1;
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    if visited.iter().any(|&b| !b) {
+        return Err(RuleShape::Disconnected);
+    }
+    if num_edges != tree_edges {
+        return Err(RuleShape::Cyclic);
+    }
+
+    // Unary atoms per variable.
+    let mut unaries: Vec<Vec<UnaryRef>> = vec![Vec::new(); n];
+    for atom in &rule.body {
+        if let BodyAtom::Unary(u, v) = atom {
+            unaries[v.index()].push(u.clone());
+        }
+    }
+    // Children per variable in the BFS tree.
+    let mut kids: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, p) in parent.iter().enumerate() {
+        if let Some((u, _, _)) = p {
+            kids[*u].push(v);
+        }
+    }
+
+    // Bottom-up (reverse BFS order): define q_v for each variable v:
+    // q_v(x) holds iff the body fragment at-or-below v is satisfiable with
+    // v ↦ x.
+    let mut q: Vec<Option<UnaryRef>> = vec![None; n];
+    for &v in order.iter().rev() {
+        let mut conjuncts: Vec<UnaryRef> = unaries[v].clone();
+        for &z in &kids[v] {
+            let (_, rel, fwd) = parent[z].expect("tree child has a parent edge");
+            let qz = q[z].clone().expect("children processed before parents");
+            // Need h(v) ← ∃z: q_z(z) ∧ atom, where the atom is rel with z
+            // on the `fwd` side (fwd: rel(v, z), else rel(z, v)).
+            let h = em.fresh_pred("edge");
+            match (rel, fwd) {
+                (BinRel::Child, true) => {
+                    // Child(v, z): some child of v satisfies q_z.
+                    let s = em.sibling_suffix_reach(qz);
+                    // h(v) ← s(w), FirstChild(v, w).
+                    em.step(h, UnaryRef::Pred(s), BinRel::FirstChild, true);
+                }
+                (BinRel::Child, false) => {
+                    // Child(z, v): v's parent satisfies q_z.
+                    let m = em.children_of(qz);
+                    em.alias(h, UnaryRef::Pred(m));
+                }
+                (rel, true) => {
+                    // rel(v, z): h(v) ← q_z(z), rel(v, z).
+                    em.step(h, qz, rel, true);
+                }
+                (rel, false) => {
+                    // rel(z, v): h(v) ← q_z(z), rel(z, v).
+                    em.step(h, qz, rel, false);
+                }
+            }
+            conjuncts.push(UnaryRef::Pred(h));
+        }
+        // Fold the conjuncts into a single predicate.
+        let qv = match conjuncts.len() {
+            0 => UnaryRef::Base(BasePred::Dom),
+            1 => conjuncts.pop().expect("len checked"),
+            _ => {
+                let mut acc = conjuncts[0].clone();
+                for c in &conjuncts[1..] {
+                    let p = em.fresh_pred("and");
+                    em.conj(p, acc, c.clone());
+                    acc = UnaryRef::Pred(p);
+                }
+                acc
+            }
+        };
+        q[v] = Some(qv);
+    }
+
+    // Head rule: head(x) ← q_root(x).
+    let q_root = q[root].clone().expect("root processed");
+    em.alias(rule.head, q_root);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_naive, eval_query};
+    use crate::parser::parse_program;
+    use treequery_tree::parse_term;
+
+    #[test]
+    fn example_3_1_is_already_tmnf() {
+        let prog = parse_program(
+            "P0(x) :- label(x, L).
+             P0(x0) :- nextsibling(x0, x), P0(x).
+             P(x0) :- firstchild(x0, x), P0(x).
+             P0(x) :- P(x).",
+        )
+        .unwrap();
+        assert!(prog.is_tmnf());
+        let translated = to_tmnf(&prog).unwrap();
+        assert_eq!(translated.rules.len(), prog.rules.len());
+    }
+
+    #[test]
+    fn form_checks() {
+        // Form (3).
+        assert!(parse_program("P(x) :- Q(x), R(x).").unwrap().is_tmnf());
+        // Form (2) with inverted orientation.
+        assert!(parse_program("P(x) :- Q(y), nextsibling(x, y).")
+            .unwrap()
+            .is_tmnf());
+        // Child is not a τ⁺ relation: not TMNF.
+        assert!(!parse_program("P(x) :- Q(y), child(x, y).")
+            .unwrap()
+            .is_tmnf());
+        // Three body atoms: not TMNF.
+        assert!(!parse_program("P(x) :- Q(x), R(x), S(x).")
+            .unwrap()
+            .is_tmnf());
+        // Binary atom not touching the head: not TMNF.
+        assert!(
+            !parse_program("P(x) :- Q(x), nextsibling(x2, x3), Q(x2), dom(x3).")
+                .unwrap()
+                .is_tmnf()
+        );
+    }
+
+    /// The translation preserves semantics, checked differentially against
+    /// naive evaluation of the original program.
+    #[test]
+    fn translation_preserves_semantics() {
+        let programs = [
+            // Child compiled away, downward direction.
+            "P(x) :- child(x, y), label(y, a). ?- P.",
+            // Child upward direction.
+            "P(y) :- child(x, y), label(x, a). ?- P.",
+            // Longer chain with mixed relations.
+            "P(x) :- child(x, y), nextsibling(y, z), leaf(z). ?- P.",
+            // Multiple unary atoms on interior variables.
+            "P(x) :- child(x, y), label(y, a), lastsibling(y), child(y, z), label(z, b). ?- P.",
+            // Recursion plus a non-TMNF rule.
+            "Anc(x) :- child(x, y), label(y, a).
+             Anc(x) :- child(x, y), Anc(y).
+             ?- Anc.",
+            // Head variable not first in the rule body.
+            "P(z) :- child(x, y), child(y, z), root(x). ?- P.",
+        ];
+        let trees = [
+            "a(b c)",
+            "r(a(b(c)) a)",
+            "a(a(a(a)) b(b) c)",
+            "r(x(a b) y(a(b) c) z)",
+        ];
+        for ptext in programs {
+            let prog = parse_program(ptext).unwrap();
+            let tmnf = to_tmnf(&prog).unwrap();
+            assert!(tmnf.is_tmnf(), "translation of {ptext} is TMNF");
+            for ttext in trees {
+                let tree = parse_term(ttext).unwrap();
+                let naive = eval_naive(&prog, &tree);
+                let q = prog.query.unwrap();
+                assert_eq!(
+                    eval_query(&tmnf, &tree),
+                    naive[q.index()].clone(),
+                    "{ptext} on {ttext}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_rule_is_rejected() {
+        let prog = parse_program("P(x) :- root(x), Q(y).").unwrap();
+        assert_eq!(to_tmnf(&prog).unwrap_err(), TmnfError::Disconnected(0));
+    }
+
+    #[test]
+    fn cyclic_rule_is_rejected() {
+        let prog =
+            parse_program("P(x) :- firstchild(x, y), nextsibling(y, z), child(x, z).").unwrap();
+        assert_eq!(to_tmnf(&prog).unwrap_err(), TmnfError::Cyclic(0));
+    }
+
+    #[test]
+    fn self_loop_atom_derives_nothing() {
+        let prog = parse_program("P(x) :- nextsibling(x, x). ?- P.").unwrap();
+        let tmnf = to_tmnf(&prog).unwrap();
+        let tree = parse_term("a(b c)").unwrap();
+        assert!(eval_query(&tmnf, &tree).is_empty());
+    }
+
+    #[test]
+    fn translation_is_linear_in_program_size() {
+        // Output size grows linearly with the input rule's body length.
+        let mk = |k: usize| {
+            let mut body = String::new();
+            for i in 0..k {
+                body.push_str(&format!("child(x{i}, x{}), ", i + 1));
+            }
+            body.push_str(&format!("leaf(x{k})"));
+            parse_program(&format!("P(x0) :- {body}. ?- P.")).unwrap()
+        };
+        let small = to_tmnf(&mk(4)).unwrap();
+        let large = to_tmnf(&mk(8)).unwrap();
+        assert!(large.size() <= small.size() * 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: Minoux's algorithm computes exactly the naive fixpoint.
+
+use proptest::prelude::*;
+use treequery_hornsat::{HornFormula, Var};
+
+/// Strategy: a random definite Horn formula over `n` variables.
+fn formula() -> impl Strategy<Value = HornFormula> {
+    (
+        2u32..20,
+        proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u32>(), 0..4)),
+            0..40,
+        ),
+    )
+        .prop_map(|(n, raw_rules)| {
+            let mut f = HornFormula::new();
+            let vars: Vec<Var> = (0..n).map(|_| f.fresh_var()).collect();
+            for (head, body) in raw_rules {
+                let head = vars[(head % n) as usize];
+                let body: Vec<Var> = body.iter().map(|&b| vars[(b % n) as usize]).collect();
+                f.add_rule(head, &body);
+            }
+            f
+        })
+}
+
+proptest! {
+    #[test]
+    fn minoux_equals_naive_fixpoint(f in formula()) {
+        let fast = f.solve();
+        let naive = f.solve_naive();
+        prop_assert_eq!(fast.truth(), naive.as_slice());
+    }
+
+    #[test]
+    fn derivation_order_is_causally_sound(f in formula()) {
+        // Every derived variable must be the head of a rule whose body
+        // consists only of variables derived strictly earlier (facts have
+        // empty bodies and are trivially supported).
+        let sol = f.solve();
+        let order = sol.derivation_order();
+        let mut position = vec![usize::MAX; f.num_vars() as usize];
+        for (i, v) in order.iter().enumerate() {
+            position[v.index()] = i;
+        }
+        for (i, &v) in order.iter().enumerate() {
+            let supported = (0..f.num_rules()).any(|r| {
+                let r = treequery_hornsat::RuleId(r as u32);
+                f.head(r) == v
+                    && f.body(r).iter().all(|b| position[b.index()] < i)
+            });
+            prop_assert!(supported, "{v:?} at position {i} has no support");
+        }
+    }
+
+    #[test]
+    fn solution_is_a_model(f in formula()) {
+        // Every rule with a true body has a true head.
+        let sol = f.solve();
+        for r in 0..f.num_rules() {
+            let r = treequery_hornsat::RuleId(r as u32);
+            if f.body(r).iter().all(|&b| sol.is_true(b)) {
+                prop_assert!(sol.is_true(f.head(r)));
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Sorted binary relations over `u32` identifiers.
+//!
+//! A minimal relational-algebra substrate: enough to express the paper's
+//! relational storage schemes (Example 2.1) and the baselines that
+//! materialize transitive closures.
+
+use std::collections::{HashMap, HashSet};
+
+/// A binary relation over `u32` values, stored as a lexicographically
+/// sorted, duplicate-free vector of pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Relation {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl Relation {
+    /// The empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a relation, sorting and deduplicating.
+    pub fn from_pairs(mut pairs: Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        Self { pairs }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The tuples, sorted lexicographically.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, pair: (u32, u32)) -> bool {
+        self.pairs.binary_search(&pair).is_ok()
+    }
+
+    /// The set of first components.
+    pub fn domain(&self) -> HashSet<u32> {
+        self.pairs.iter().map(|&(x, _)| x).collect()
+    }
+
+    /// The set of second components.
+    pub fn range(&self) -> HashSet<u32> {
+        self.pairs.iter().map(|&(_, y)| y).collect()
+    }
+
+    /// The inverse relation.
+    pub fn inverse(&self) -> Relation {
+        Relation::from_pairs(self.pairs.iter().map(|&(x, y)| (y, x)).collect())
+    }
+
+    /// Selection by a predicate on tuples.
+    pub fn select(&self, pred: impl Fn(u32, u32) -> bool) -> Relation {
+        Relation {
+            pairs: self
+                .pairs
+                .iter()
+                .copied()
+                .filter(|&(x, y)| pred(x, y))
+                .collect(),
+        }
+    }
+
+    /// Composition `self ∘ other = {(x, z) | ∃y: self(x, y) ∧ other(y, z)}`
+    /// via a hash join on the shared column.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        let mut by_first: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(y, z) in &other.pairs {
+            by_first.entry(y).or_default().push(z);
+        }
+        let mut out = Vec::new();
+        for &(x, y) in &self.pairs {
+            if let Some(zs) = by_first.get(&y) {
+                for &z in zs {
+                    out.push((x, z));
+                }
+            }
+        }
+        Relation::from_pairs(out)
+    }
+
+    /// Semijoin: tuples whose first component is in `keys`.
+    pub fn semijoin_first(&self, keys: &HashSet<u32>) -> Relation {
+        self.select(|x, _| keys.contains(&x))
+    }
+
+    /// Semijoin: tuples whose second component is in `keys`.
+    pub fn semijoin_second(&self, keys: &HashSet<u32>) -> Relation {
+        self.select(|_, y| keys.contains(&y))
+    }
+
+    /// Union.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut pairs = self.pairs.clone();
+        pairs.extend_from_slice(&other.pairs);
+        Relation::from_pairs(pairs)
+    }
+
+    /// The transitive closure `R⁺`, computed by iterated composition
+    /// (semi-naive). This is the expensive operation the XASR encoding
+    /// exists to avoid; it is provided as the baseline for experiment E12.
+    pub fn transitive_closure(&self) -> Relation {
+        let mut closure: HashSet<(u32, u32)> = self.pairs.iter().copied().collect();
+        let mut frontier: Vec<(u32, u32)> = self.pairs.clone();
+        let mut by_first: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(x, y) in &self.pairs {
+            by_first.entry(x).or_default().push(y);
+        }
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &(x, y) in &frontier {
+                if let Some(zs) = by_first.get(&y) {
+                    for &z in zs {
+                        if closure.insert((x, z)) {
+                            next.push((x, z));
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        Relation::from_pairs(closure.into_iter().collect())
+    }
+
+    /// Iterates over the tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+impl FromIterator<(u32, u32)> for Relation {
+    fn from_iter<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> Self {
+        Relation::from_pairs(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let r = Relation::from_pairs(vec![(2, 1), (1, 2), (2, 1)]);
+        assert_eq!(r.pairs(), &[(1, 2), (2, 1)]);
+        assert!(r.contains((2, 1)));
+        assert!(!r.contains((1, 1)));
+    }
+
+    #[test]
+    fn compose() {
+        let r = Relation::from_pairs(vec![(1, 2), (2, 3)]);
+        let s = Relation::from_pairs(vec![(2, 10), (3, 11), (3, 12)]);
+        let c = r.compose(&s);
+        assert_eq!(c.pairs(), &[(1, 10), (2, 11), (2, 12)]);
+    }
+
+    #[test]
+    fn transitive_closure_of_path() {
+        let r = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 4)]);
+        let tc = r.transitive_closure();
+        assert_eq!(
+            tc.pairs(),
+            &[(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn transitive_closure_with_cycle_terminates() {
+        let r = Relation::from_pairs(vec![(1, 2), (2, 1)]);
+        let tc = r.transitive_closure();
+        assert_eq!(tc.pairs(), &[(1, 1), (1, 2), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn semijoins_and_inverse() {
+        let r = Relation::from_pairs(vec![(1, 2), (3, 4), (5, 6)]);
+        let keys: HashSet<u32> = [1, 5].into_iter().collect();
+        assert_eq!(r.semijoin_first(&keys).pairs(), &[(1, 2), (5, 6)]);
+        let keys2: HashSet<u32> = [4].into_iter().collect();
+        assert_eq!(r.semijoin_second(&keys2).pairs(), &[(3, 4)]);
+        assert_eq!(r.inverse().pairs(), &[(2, 1), (4, 3), (6, 5)]);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let r = Relation::from_pairs(vec![(1, 1)]);
+        let s = Relation::from_pairs(vec![(1, 1), (2, 2)]);
+        assert_eq!(r.union(&s).len(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! The extended access support relation (XASR) of Fiebig & Moerkotte \[27\],
+//! as presented in Figure 2 and Example 2.1 of the paper.
+//!
+//! One row per node: the `<pre`-index, the `<post`-index, the `<pre`-index
+//! of the parent (`NULL` for the root), and the node's label. The
+//! `descendant` and `child` "SQL views" of Example 2.1 are provided as
+//! methods producing [`Relation`]s over pre-indexes.
+
+use std::fmt;
+
+use treequery_tree::Tree;
+
+use crate::relation::Relation;
+
+/// One XASR row. Indexes are 1-based to match the paper's Figure 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XasrRow {
+    /// `<pre`-index of the node (1-based).
+    pub pre: u32,
+    /// `<post`-index of the node (1-based).
+    pub post: u32,
+    /// `<pre`-index of the parent; `None` (SQL `NULL`) for the root.
+    pub parent_pre: Option<u32>,
+    /// The node's (primary) label.
+    pub label: String,
+}
+
+/// The XASR of a tree: rows sorted by pre-index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xasr {
+    rows: Vec<XasrRow>,
+}
+
+impl Xasr {
+    /// Builds the XASR of a tree in O(n).
+    pub fn from_tree(t: &Tree) -> Self {
+        let rows = t
+            .pre_order()
+            .map(|v| XasrRow {
+                pre: t.pre(v) + 1,
+                post: t.post(v) + 1,
+                parent_pre: t.parent(v).map(|p| t.pre(p) + 1),
+                label: t.label_name(v).to_owned(),
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// The rows, sorted by pre-index.
+    pub fn rows(&self) -> &[XasrRow] {
+        &self.rows
+    }
+
+    /// Number of rows (= number of nodes).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Example 2.1's `descendant` view:
+    ///
+    /// ```sql
+    /// SELECT r1.pre, r2.pre FROM R r1, R r2
+    /// WHERE r1.pre < r2.pre AND r2.post < r1.post;
+    /// ```
+    ///
+    /// Evaluated as written — a theta-join by nested loop. The efficient
+    /// alternative is [`crate::stack_tree_join`].
+    pub fn descendant_view(&self) -> Relation {
+        let mut out = Vec::new();
+        for r1 in &self.rows {
+            for r2 in &self.rows {
+                if r1.pre < r2.pre && r2.post < r1.post {
+                    out.push((r1.pre, r2.pre));
+                }
+            }
+        }
+        Relation::from_pairs(out)
+    }
+
+    /// Example 2.1's `child` view:
+    ///
+    /// ```sql
+    /// SELECT parent_pre, pre FROM R WHERE parent_pre IS NOT NULL;
+    /// ```
+    pub fn child_view(&self) -> Relation {
+        Relation::from_pairs(
+            self.rows
+                .iter()
+                .filter_map(|r| r.parent_pre.map(|p| (p, r.pre)))
+                .collect(),
+        )
+    }
+
+    /// The pre-indexes of rows carrying `label` (a "label list", the input
+    /// unit of structural joins), sorted by pre.
+    pub fn label_list(&self, label: &str) -> Vec<(u32, u32)> {
+        self.rows
+            .iter()
+            .filter(|r| r.label == label)
+            .map(|r| (r.pre, r.post))
+            .collect()
+    }
+}
+
+impl fmt::Display for Xasr {
+    /// Renders the table in the layout of Figure 2 (b).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>4} {:>5} {:>10} {:>4}",
+            "pre", "post", "parent_pre", "lab"
+        )?;
+        for r in &self.rows {
+            let parent = r
+                .parent_pre
+                .map_or_else(|| "\u{22A5}".to_owned(), |p| p.to_string());
+            writeln!(
+                f,
+                "{:>4} {:>5} {:>10} {:>4}",
+                r.pre, r.post, parent, r.label
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_tree::parse_term;
+
+    /// Figure 2: the tree `1:7:a(2:3:b(3:1:a 4:2:c) 5:6:a(6:4:b 7:5:d))` and
+    /// its XASR table, cell by cell.
+    #[test]
+    fn figure2_xasr_table() {
+        let t = parse_term("a(b(a c) a(b d))").unwrap();
+        let x = Xasr::from_tree(&t);
+        let expected = [
+            (1, 7, None, "a"),
+            (2, 3, Some(1), "b"),
+            (3, 1, Some(2), "a"),
+            (4, 2, Some(2), "c"),
+            (5, 6, Some(1), "a"),
+            (6, 4, Some(5), "b"),
+            (7, 5, Some(5), "d"),
+        ];
+        assert_eq!(x.len(), expected.len());
+        for (row, &(pre, post, parent, lab)) in x.rows().iter().zip(&expected) {
+            assert_eq!(row.pre, pre);
+            assert_eq!(row.post, post);
+            assert_eq!(row.parent_pre, parent);
+            assert_eq!(row.label, lab);
+        }
+    }
+
+    #[test]
+    fn descendant_view_matches_ancestor_relation() {
+        let t = parse_term("a(b(a c) a(b d))").unwrap();
+        let x = Xasr::from_tree(&t);
+        let desc = x.descendant_view();
+        for u in t.nodes() {
+            for v in t.nodes() {
+                assert_eq!(
+                    desc.contains((t.pre(u) + 1, t.pre(v) + 1)),
+                    t.is_ancestor(u, v),
+                    "({u:?},{v:?})"
+                );
+            }
+        }
+        // Root is an ancestor of all 6 other nodes; the two inner nodes of
+        // 2 descendants each: 6 + 2 + 2 = 10 pairs.
+        assert_eq!(desc.len(), 10);
+    }
+
+    #[test]
+    fn child_view_matches_parent_links() {
+        let t = parse_term("a(b(a c) a(b d))").unwrap();
+        let x = Xasr::from_tree(&t);
+        let child = x.child_view();
+        assert_eq!(child.len(), 6);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                assert_eq!(
+                    child.contains((t.pre(u) + 1, t.pre(v) + 1)),
+                    t.parent(v) == Some(u)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_lists_are_pre_sorted() {
+        let t = parse_term("a(b(a c) a(b d))").unwrap();
+        let x = Xasr::from_tree(&t);
+        let asr = x.label_list("a");
+        assert_eq!(asr, vec![(1, 7), (3, 1), (5, 6)]);
+        assert!(x.label_list("zzz").is_empty());
+    }
+
+    #[test]
+    fn display_matches_figure2_layout() {
+        let t = parse_term("a(b)").unwrap();
+        let x = Xasr::from_tree(&t);
+        let text = x.to_string();
+        assert!(text.contains("pre"));
+        assert!(text.contains('\u{22A5}'), "root parent printed as ⊥");
+    }
+}

@@ -1,0 +1,303 @@
+//! Compilation of forward downward Core XPath into the streaming predicate
+//! network.
+//!
+//! A query is flattened into *chains* of downward steps; every step of
+//! every chain (main query and path qualifiers alike) becomes one entry of
+//! a global step table. At run time the evaluator maintains, per open
+//! element, two bit vectors over that table ("some child starts a match of
+//! chain-suffix i", "some strict descendant does"), which is all that is
+//! needed to decide every predicate at the element's close event.
+
+use treequery_tree::Axis;
+use treequery_xpath::{Path, Qual};
+
+/// Why a query is outside the streamable fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NotStreamable {
+    /// An axis other than `child`/`descendant`(-or-self at the top).
+    UnsupportedAxis(Axis),
+    /// Union nested below the top level.
+    NestedUnion,
+}
+
+impl std::fmt::Display for NotStreamable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NotStreamable::UnsupportedAxis(a) => {
+                write!(
+                    f,
+                    "axis {a} is not supported by the streaming fragment (try eliminate_upward)"
+                )
+            }
+            NotStreamable::NestedUnion => f.write_str("union below the top level is not supported"),
+        }
+    }
+}
+
+impl std::error::Error for NotStreamable {}
+
+/// The downward axes of the fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DownAxis {
+    /// `child`.
+    Child,
+    /// `descendant` (strict).
+    Descendant,
+    /// `descendant-or-self` (produced by the upward-elimination rewrite;
+    /// the "self" part is resolved within the same close event thanks to
+    /// the step table's back-to-front id order).
+    DescendantOrSelf,
+}
+
+/// A boolean formula decided per element at its close event.
+#[derive(Clone, Debug)]
+pub(crate) enum Formula {
+    /// The element's label equals the query-interned label.
+    Label(u32),
+    /// A match of the chain starting at step-table entry `start` exists
+    /// below this element via the given axis.
+    Starts(DownAxis, usize),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation (decidable at close: all operands are subtree-local).
+    Not(Box<Formula>),
+    /// Constant true (e.g. `self::*`-like steps have no test).
+    True,
+}
+
+/// One entry of the global step table.
+#[derive(Clone, Debug)]
+pub(crate) struct QStep {
+    /// The test this element must pass (label + qualifiers).
+    pub(crate) test: Formula,
+    /// The continuation: the next step of the chain, with its axis.
+    pub(crate) next: Option<(DownAxis, usize)>,
+}
+
+/// A compiled streaming filter.
+#[derive(Clone, Debug)]
+pub struct FilterQuery {
+    pub(crate) steps: Vec<QStep>,
+    /// Top-level alternatives: (axis from the virtual document node,
+    /// start step).
+    pub(crate) tops: Vec<(DownAxis, usize)>,
+    /// Query-local label interner (name → dense id).
+    pub(crate) labels: Vec<String>,
+}
+
+impl FilterQuery {
+    /// Number of step-table entries (the per-frame bit-vector width; the
+    /// `|Q|` factor of the memory bound).
+    pub fn width(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub(crate) fn label_id(&self, name: &str) -> Option<u32> {
+        self.labels.iter().position(|l| l == name).map(|i| i as u32)
+    }
+}
+
+struct C {
+    steps: Vec<QStep>,
+    labels: Vec<String>,
+}
+
+impl C {
+    fn intern(&mut self, label: &str) -> u32 {
+        match self.labels.iter().position(|l| l == label) {
+            Some(i) => i as u32,
+            None => {
+                self.labels.push(label.to_owned());
+                (self.labels.len() - 1) as u32
+            }
+        }
+    }
+
+    fn down_axis(axis: Axis) -> Result<DownAxis, NotStreamable> {
+        match axis {
+            Axis::Child => Ok(DownAxis::Child),
+            Axis::Descendant => Ok(DownAxis::Descendant),
+            Axis::DescendantOrSelf => Ok(DownAxis::DescendantOrSelf),
+            other => Err(NotStreamable::UnsupportedAxis(other)),
+        }
+    }
+
+    /// Compiles a path into a chain; returns (first axis, start step id).
+    fn chain(&mut self, p: &Path) -> Result<(DownAxis, usize), NotStreamable> {
+        // Flatten Seq into a list of steps.
+        let mut steps: Vec<(Axis, &[Qual])> = Vec::new();
+        flatten(p, &mut steps)?;
+        // Build from the back.
+        let mut next: Option<(DownAxis, usize)> = None;
+        let mut first: Option<(DownAxis, usize)> = None;
+        for (axis, quals) in steps.iter().rev() {
+            let axis = Self::down_axis(*axis)?;
+            let mut test = Formula::True;
+            for q in quals.iter() {
+                let f = self.formula(q)?;
+                test = and(test, f);
+            }
+            let id = self.steps.len();
+            self.steps.push(QStep { test, next });
+            next = Some((axis, id));
+            first = next;
+        }
+        Ok(first.expect("paths have at least one step"))
+    }
+
+    fn formula(&mut self, q: &Qual) -> Result<Formula, NotStreamable> {
+        Ok(match q {
+            Qual::Label(l) => Formula::Label(self.intern(l)),
+            Qual::And(a, b) => and(self.formula(a)?, self.formula(b)?),
+            Qual::Or(a, b) => Formula::Or(Box::new(self.formula(a)?), Box::new(self.formula(b)?)),
+            Qual::Not(inner) => Formula::Not(Box::new(self.formula(inner)?)),
+            Qual::Path(p) => {
+                let (axis, start) = self.chain(p)?;
+                Formula::Starts(axis, start)
+            }
+        })
+    }
+}
+
+fn and(a: Formula, b: Formula) -> Formula {
+    match (a, b) {
+        (Formula::True, x) | (x, Formula::True) => x,
+        (a, b) => Formula::And(Box::new(a), Box::new(b)),
+    }
+}
+
+fn flatten<'p>(p: &'p Path, out: &mut Vec<(Axis, &'p [Qual])>) -> Result<(), NotStreamable> {
+    match p {
+        Path::Step { axis, quals } => {
+            out.push((*axis, quals));
+            Ok(())
+        }
+        Path::Seq(a, b) => {
+            flatten(a, out)?;
+            flatten(b, out)
+        }
+        Path::Union(..) => Err(NotStreamable::NestedUnion),
+    }
+}
+
+/// Compiles a forward downward Core XPath query into a streaming filter.
+/// Top-level unions are allowed (each branch becomes an alternative);
+/// the first step of each branch must be `child` (tests the root) or
+/// `descendant`(-or-self) from the virtual document node.
+pub fn compile(p: &Path) -> Result<FilterQuery, NotStreamable> {
+    let mut c = C {
+        steps: Vec::new(),
+        labels: Vec::new(),
+    };
+    // Split top-level unions.
+    let mut branches = Vec::new();
+    collect_branches(p, &mut branches);
+    let mut tops = Vec::new();
+    for branch in branches {
+        // The first step's axis is interpreted from the document node:
+        // descendant-or-self counts as descendant there (the document node
+        // is virtual).
+        let adjusted;
+        let branch = match branch {
+            Path::Step {
+                axis: Axis::DescendantOrSelf,
+                quals,
+            } => {
+                adjusted = Path::Step {
+                    axis: Axis::Descendant,
+                    quals: quals.clone(),
+                };
+                &adjusted
+            }
+            Path::Seq(first, rest) => {
+                if let Path::Step {
+                    axis: Axis::DescendantOrSelf,
+                    quals,
+                } = first.as_ref()
+                {
+                    adjusted = Path::Seq(
+                        Box::new(Path::Step {
+                            axis: Axis::Descendant,
+                            quals: quals.clone(),
+                        }),
+                        rest.clone(),
+                    );
+                    &adjusted
+                } else {
+                    branch
+                }
+            }
+            other => other,
+        };
+        tops.push(c.chain(branch)?);
+    }
+    Ok(FilterQuery {
+        steps: c.steps,
+        tops,
+        labels: c.labels,
+    })
+}
+
+fn collect_branches<'p>(p: &'p Path, out: &mut Vec<&'p Path>) {
+    match p {
+        Path::Union(a, b) => {
+            collect_branches(a, out);
+            collect_branches(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_xpath::parse_xpath;
+
+    #[test]
+    fn compiles_downward_queries() {
+        for qs in [
+            "//a",
+            "/a/b//c",
+            "//a[b and not(c//d)]",
+            "//a[not(b or lab()=c)]/d",
+            "//a | /b/c",
+        ] {
+            let p = parse_xpath(qs).unwrap();
+            let f = compile(&p).unwrap_or_else(|e| panic!("{qs}: {e}"));
+            assert!(f.width() > 0);
+        }
+    }
+
+    #[test]
+    fn rejects_upward_axes() {
+        let p = parse_xpath("//a/parent::b").unwrap();
+        assert!(matches!(
+            compile(&p),
+            Err(NotStreamable::UnsupportedAxis(Axis::Parent))
+        ));
+        let p2 = parse_xpath("//a[following::b]").unwrap();
+        assert!(compile(&p2).is_err());
+    }
+
+    #[test]
+    fn rejects_nested_union() {
+        let p = parse_xpath("/a/(b|c)").unwrap_or_else(|_| {
+            // The parser may not accept parenthesized unions in paths;
+            // build the AST directly.
+            Path::labeled_step(Axis::Child, "a").then(
+                Path::labeled_step(Axis::Child, "b").union(Path::labeled_step(Axis::Child, "c")),
+            )
+        });
+        assert!(matches!(compile(&p), Err(NotStreamable::NestedUnion)));
+    }
+
+    #[test]
+    fn width_counts_all_chains() {
+        let p = parse_xpath("//a[b//c]/d").unwrap();
+        let f = compile(&p).unwrap();
+        // Main chain a, d + qualifier chain b, c.
+        assert_eq!(f.width(), 4);
+    }
+}

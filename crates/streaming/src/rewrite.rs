@@ -1,0 +1,253 @@
+//! Backward-axis elimination (Section 5; Olteanu, Meuss, Furche & Bry,
+//! *XPath: Looking Forward* \[62\]).
+//!
+//! Queries with `parent::`/`ancestor::` steps cannot be streamed directly;
+//! the rewriting below turns common shapes into equivalent forward
+//! queries by the symmetry rules of \[62\]:
+//!
+//! * `p/X/parent::Y[q]`   ≡ `p/self-or-hop[q][child::X]` — the parent of a
+//!   step's result is a result of the prefix (exactly for `child` steps,
+//!   up to `descendant-or-self` for `descendant` steps);
+//! * `//X[qx]/ancestor::Y[qy]` ≡ `//Y[qy][descendant::X[qx]]` — sound
+//!   because `//X[qx]` membership does not depend on ancestors when `qx`
+//!   is downward.
+//!
+//! The rewriting is applied innermost-first and returns `None` when a
+//! backward step is in a shape it does not cover.
+
+use treequery_tree::Axis;
+use treequery_xpath::{Path, Qual};
+
+/// Whether a qualifier is purely downward (safe to move across the
+/// ancestor-rewrite).
+fn qual_downward(q: &Qual) -> bool {
+    match q {
+        Qual::Label(_) => true,
+        Qual::Path(p) => path_downward(p),
+        Qual::And(a, b) | Qual::Or(a, b) => qual_downward(a) && qual_downward(b),
+        Qual::Not(inner) => qual_downward(inner),
+    }
+}
+
+fn path_downward(p: &Path) -> bool {
+    match p {
+        Path::Step { axis, quals } => {
+            matches!(
+                axis,
+                Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+            ) && quals.iter().all(qual_downward)
+        }
+        Path::Seq(a, b) => path_downward(a) && path_downward(b),
+        Path::Union(..) => false,
+    }
+}
+
+/// Flattens `Seq` nesting into a step list (top-level only; steps keep
+/// their qualifiers). Returns `None` if a union blocks flattening.
+fn steps_of(p: &Path) -> Option<Vec<(Axis, Vec<Qual>)>> {
+    match p {
+        Path::Step { axis, quals } => Some(vec![(*axis, quals.clone())]),
+        Path::Seq(a, b) => {
+            let mut v = steps_of(a)?;
+            v.extend(steps_of(b)?);
+            Some(v)
+        }
+        Path::Union(..) => None,
+    }
+}
+
+fn rebuild(steps: Vec<(Axis, Vec<Qual>)>) -> Path {
+    let mut it = steps.into_iter();
+    let (axis, quals) = it.next().expect("non-empty step list");
+    let mut p = Path::Step { axis, quals };
+    for (axis, quals) in it {
+        p = p.then(Path::Step { axis, quals });
+    }
+    p
+}
+
+/// Attempts to rewrite a query with `parent`/`ancestor` steps into an
+/// equivalent forward downward query (streamable by
+/// [`crate::compile`]). Qualifiers are rewritten recursively; unsupported
+/// shapes yield `None`.
+pub fn eliminate_upward(p: &Path) -> Option<Path> {
+    // Handle top-level unions branch-wise.
+    if let Path::Union(a, b) = p {
+        return Some(eliminate_upward(a)?.union(eliminate_upward(b)?));
+    }
+    let mut steps = steps_of(p)?;
+    // Rewrite qualifiers first.
+    for (_, quals) in &mut steps {
+        for q in quals.iter_mut() {
+            *q = rewrite_qual(q)?;
+        }
+    }
+    // Scan for upward steps, innermost (leftmost) first.
+    while let Some(pos) = steps
+        .iter()
+        .position(|(a, _)| matches!(a, Axis::Parent | Axis::Ancestor))
+    {
+        if pos == 0 {
+            return None; // upward from the document node: not meaningful
+        }
+        let (up_axis, up_quals) = steps[pos].clone();
+        let (prev_axis, prev_quals) = steps[pos - 1].clone();
+        // The previous step's match becomes a downward *witness* qualifier
+        // of the rewritten step, so it must not look upward itself.
+        if !prev_quals.iter().all(qual_downward) || !up_quals.iter().all(qual_downward) {
+            return None;
+        }
+        let child_witness = Qual::Path(Path::Step {
+            axis: Axis::Child,
+            quals: prev_quals.clone(),
+        });
+        let desc_witness = Qual::Path(Path::Step {
+            axis: Axis::Descendant,
+            quals: prev_quals.clone(),
+        });
+        match (prev_axis, up_axis, pos) {
+            // child::X from the document reaches only the root; the root
+            // has no parent/ancestor: the query is empty.
+            (Axis::Child, Axis::Parent | Axis::Ancestor, 1) => return Some(never()),
+            // p/child::X/parent::Y[q] — the parent IS the p-result:
+            // fold q and the X-child witness into the preceding step.
+            (Axis::Child, Axis::Parent, _) => {
+                steps[pos - 2].1.extend(up_quals);
+                steps[pos - 2].1.push(child_witness);
+                steps.drain(pos - 1..=pos);
+            }
+            // p/descendant::X/parent::Y[q] — the parent ranges over
+            // descendant-or-self of the p-result.
+            (Axis::Descendant, Axis::Parent, _) => {
+                let mut quals = up_quals;
+                quals.push(child_witness);
+                steps.splice(pos - 1..=pos, [(Axis::DescendantOrSelf, quals)]);
+            }
+            // //X[qx]/ancestor::Y[qy] ≡ //Y[qy][descendant::X[qx]] —
+            // sound because //X[qx] is ancestor-independent.
+            (Axis::Descendant, Axis::Ancestor, 1) => {
+                let mut quals = up_quals;
+                quals.push(desc_witness);
+                steps.splice(pos - 1..=pos, [(Axis::Descendant, quals)]);
+            }
+            _ => return None,
+        }
+    }
+    // The result must be fully inside the streamable fragment.
+    if !steps
+        .iter()
+        .all(|(a, _)| matches!(a, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf))
+    {
+        return None;
+    }
+    Some(rebuild(steps))
+}
+
+/// A query that selects nothing (used for degenerate rewrites like
+/// `/x/parent::*`).
+fn never() -> Path {
+    Path::Step {
+        axis: Axis::Descendant,
+        quals: vec![Qual::Label("\u{1}unmatchable".into())],
+    }
+}
+
+fn rewrite_qual(q: &Qual) -> Option<Qual> {
+    Some(match q {
+        Qual::Label(_) => q.clone(),
+        Qual::Path(p) => {
+            if path_downward(p) {
+                q.clone()
+            } else {
+                return None;
+            }
+        }
+        Qual::And(a, b) => Qual::And(Box::new(rewrite_qual(a)?), Box::new(rewrite_qual(b)?)),
+        Qual::Or(a, b) => Qual::Or(Box::new(rewrite_qual(a)?), Box::new(rewrite_qual(b)?)),
+        Qual::Not(inner) => Qual::Not(Box::new(rewrite_qual(inner)?)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::filter::matches_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use treequery_tree::{parse_term, random_recursive_tree};
+    use treequery_xpath::{eval_query, parse_xpath};
+
+    /// Queries with upward axes, rewritten and streamed, agree with the
+    /// in-memory evaluator on Boolean matching.
+    #[test]
+    fn rewritten_queries_agree() {
+        let upward = [
+            "//a/parent::b",
+            "//a[c]/parent::b[d]",
+            "//a/ancestor::b",
+            "//a[b]/ancestor::c[d]",
+            "/r/a/parent::r",
+            "/r/a/b/parent::a",
+            "//x/parent::*",
+        ];
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut trees: Vec<treequery_tree::Tree> = vec![
+            parse_term("r(a(c) b(a(c) d) c)").unwrap(),
+            parse_term("b(a(b(a)) d(a))").unwrap(),
+            parse_term("c(d(b(a(b))))").unwrap(),
+        ];
+        for _ in 0..10 {
+            trees.push(random_recursive_tree(
+                &mut rng,
+                50,
+                &["a", "b", "c", "d", "r", "x"],
+            ));
+        }
+        for qs in upward {
+            let p = parse_xpath(qs).unwrap();
+            let fwd = eliminate_upward(&p).unwrap_or_else(|| panic!("{qs} not rewritten"));
+            assert!(fwd.is_forward(), "{qs} → {fwd} still has backward axes");
+            let f = compile(&fwd).unwrap_or_else(|e| panic!("{qs} → {fwd}: {e}"));
+            for t in &trees {
+                let expected = !eval_query(&p, t).is_empty();
+                assert_eq!(matches_tree(&f, t).0, expected, "{qs} on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_parent_of_root_is_empty() {
+        let p = parse_xpath("/r/parent::*").unwrap();
+        let fwd = eliminate_upward(&p).unwrap();
+        let f = compile(&fwd).unwrap();
+        let t = parse_term("r(a)").unwrap();
+        assert!(!matches_tree(&f, &t).0);
+    }
+
+    #[test]
+    fn unsupported_shapes_yield_none() {
+        // following:: is outside the rewrite's scope.
+        assert!(eliminate_upward(&parse_xpath("//a/following::b").unwrap()).is_none());
+        // Upward qualifier.
+        assert!(eliminate_upward(&parse_xpath("//a[parent::b]").unwrap()).is_none());
+        // ancestor after a child step at depth ≥ 2 is not covered.
+        assert!(eliminate_upward(&parse_xpath("//a/b/ancestor::c").unwrap()).is_none());
+    }
+
+    #[test]
+    fn chained_ancestors_are_rewritten() {
+        let p = parse_xpath("//a/ancestor::b/ancestor::c").unwrap();
+        let fwd = eliminate_upward(&p).unwrap();
+        assert!(fwd.is_forward());
+        let t = parse_term("c(x(b(y(a))) b)").unwrap();
+        let f = compile(&fwd).unwrap();
+        assert_eq!(matches_tree(&f, &t).0, !eval_query(&p, &t).is_empty());
+    }
+
+    #[test]
+    fn forward_queries_pass_through() {
+        let p = parse_xpath("//a[b]/c").unwrap();
+        assert_eq!(eliminate_upward(&p).unwrap(), p);
+    }
+}

@@ -1,0 +1,571 @@
+//! The axis relations of Section 2 and their whole-set images.
+//!
+//! Every axis supports three access paths:
+//!
+//! * [`Axis::holds`] — an O(1) membership test via pre/post/sibling
+//!   arithmetic (the "labeling scheme" view of Section 2),
+//! * [`Axis::successors`] — enumeration of the successor set of one node
+//!   (used by naive baselines and result enumeration),
+//! * [`Axis::image`] / [`Axis::preimage`] — the image of a whole
+//!   [`NodeSet`] in **O(n)** via order sweeps, never materializing the
+//!   (possibly quadratic) transitive relations. These sweeps are the
+//!   primitive behind the linear-time full reducer (Section 6), the
+//!   X-property evaluator (Theorem 6.5) and the Core XPath evaluator.
+
+use crate::nodeset::NodeSet;
+use crate::tree::{NodeId, Tree};
+
+/// A binary tree navigation relation ("axis", Section 2).
+///
+/// Paper names: `Descendant` is `Child⁺`, `DescendantOrSelf` is `Child*`,
+/// `FollowingSibling` is `NextSibling⁺`, `FollowingSiblingOrSelf` is
+/// `NextSibling*`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// `Self`: {(x, x)}.
+    SelfAxis,
+    /// `Child(x, y)`: y is a child of x.
+    Child,
+    /// `Child⁺` / `Descendant`.
+    Descendant,
+    /// `Child*` / `Descendant-or-self`.
+    DescendantOrSelf,
+    /// `NextSibling(x, y)`: y is the sibling immediately right of x.
+    NextSibling,
+    /// `NextSibling⁺` / `Following-Sibling`.
+    FollowingSibling,
+    /// `NextSibling*`.
+    FollowingSiblingOrSelf,
+    /// `Following` (Section 2).
+    Following,
+    /// Inverse of `Child`.
+    Parent,
+    /// Inverse of `Descendant`.
+    Ancestor,
+    /// Inverse of `DescendantOrSelf`.
+    AncestorOrSelf,
+    /// Inverse of `NextSibling`.
+    PrevSibling,
+    /// Inverse of `FollowingSibling`.
+    PrecedingSibling,
+    /// Inverse of `FollowingSiblingOrSelf`.
+    PrecedingSiblingOrSelf,
+    /// Inverse of `Following`.
+    Preceding,
+}
+
+impl Axis {
+    /// All fifteen axes.
+    pub const ALL: [Axis; 15] = [
+        Axis::SelfAxis,
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::NextSibling,
+        Axis::FollowingSibling,
+        Axis::FollowingSiblingOrSelf,
+        Axis::Following,
+        Axis::Parent,
+        Axis::Ancestor,
+        Axis::AncestorOrSelf,
+        Axis::PrevSibling,
+        Axis::PrecedingSibling,
+        Axis::PrecedingSiblingOrSelf,
+        Axis::Preceding,
+    ];
+
+    /// The forward axes (Section 5: a *forward* query uses only these).
+    pub const FORWARD: [Axis; 8] = [
+        Axis::SelfAxis,
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::NextSibling,
+        Axis::FollowingSibling,
+        Axis::FollowingSiblingOrSelf,
+        Axis::Following,
+    ];
+
+    /// Whether this is a forward axis (successors lie at larger `<pre`
+    /// positions, except for `SelfAxis` which is neutral).
+    pub fn is_forward(self) -> bool {
+        matches!(
+            self,
+            Axis::SelfAxis
+                | Axis::Child
+                | Axis::Descendant
+                | Axis::DescendantOrSelf
+                | Axis::NextSibling
+                | Axis::FollowingSibling
+                | Axis::FollowingSiblingOrSelf
+                | Axis::Following
+        )
+    }
+
+    /// Whether the axis is reflexive-transitive (`R*`) or reflexive.
+    pub fn is_reflexive(self) -> bool {
+        matches!(
+            self,
+            Axis::SelfAxis
+                | Axis::DescendantOrSelf
+                | Axis::AncestorOrSelf
+                | Axis::FollowingSiblingOrSelf
+                | Axis::PrecedingSiblingOrSelf
+        )
+    }
+
+    /// The inverse axis (`R⁻¹`).
+    pub fn inverse(self) -> Axis {
+        match self {
+            Axis::SelfAxis => Axis::SelfAxis,
+            Axis::Child => Axis::Parent,
+            Axis::Descendant => Axis::Ancestor,
+            Axis::DescendantOrSelf => Axis::AncestorOrSelf,
+            Axis::NextSibling => Axis::PrevSibling,
+            Axis::FollowingSibling => Axis::PrecedingSibling,
+            Axis::FollowingSiblingOrSelf => Axis::PrecedingSiblingOrSelf,
+            Axis::Following => Axis::Preceding,
+            Axis::Parent => Axis::Child,
+            Axis::Ancestor => Axis::Descendant,
+            Axis::AncestorOrSelf => Axis::DescendantOrSelf,
+            Axis::PrevSibling => Axis::NextSibling,
+            Axis::PrecedingSibling => Axis::FollowingSibling,
+            Axis::PrecedingSiblingOrSelf => Axis::FollowingSiblingOrSelf,
+            Axis::Preceding => Axis::Following,
+        }
+    }
+
+    /// The display name (paper notation).
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::SelfAxis => "Self",
+            Axis::Child => "Child",
+            Axis::Descendant => "Child+",
+            Axis::DescendantOrSelf => "Child*",
+            Axis::NextSibling => "NextSibling",
+            Axis::FollowingSibling => "NextSibling+",
+            Axis::FollowingSiblingOrSelf => "NextSibling*",
+            Axis::Following => "Following",
+            Axis::Parent => "Parent",
+            Axis::Ancestor => "Ancestor",
+            Axis::AncestorOrSelf => "Ancestor-or-self",
+            Axis::PrevSibling => "PrevSibling",
+            Axis::PrecedingSibling => "Preceding-Sibling",
+            Axis::PrecedingSiblingOrSelf => "Preceding-Sibling-or-self",
+            Axis::Preceding => "Preceding",
+        }
+    }
+
+    /// Parses an axis name; both the paper's relational notation
+    /// (`Child+`, `NextSibling*`) and the W3C axis names (`descendant`,
+    /// `following-sibling`) are accepted, case-insensitively.
+    pub fn parse(name: &str) -> Option<Axis> {
+        let lower = name.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "self" => Axis::SelfAxis,
+            "child" => Axis::Child,
+            "child+" | "descendant" => Axis::Descendant,
+            "child*" | "descendant-or-self" => Axis::DescendantOrSelf,
+            "nextsibling" | "next-sibling" => Axis::NextSibling,
+            "nextsibling+" | "following-sibling" | "followingsibling" => Axis::FollowingSibling,
+            "nextsibling*" | "following-sibling-or-self" => Axis::FollowingSiblingOrSelf,
+            "following" => Axis::Following,
+            "parent" | "child-1" => Axis::Parent,
+            "ancestor" | "child+-1" => Axis::Ancestor,
+            "ancestor-or-self" | "child*-1" => Axis::AncestorOrSelf,
+            "prevsibling" | "previous-sibling" | "nextsibling-1" => Axis::PrevSibling,
+            "preceding-sibling" | "precedingsibling" | "nextsibling+-1" => Axis::PrecedingSibling,
+            "preceding-sibling-or-self" | "nextsibling*-1" => Axis::PrecedingSiblingOrSelf,
+            "preceding" | "following-1" => Axis::Preceding,
+            _ => return None,
+        })
+    }
+
+    /// O(1) membership test: does `(x, y)` belong to the axis relation?
+    pub fn holds(self, t: &Tree, x: NodeId, y: NodeId) -> bool {
+        match self {
+            Axis::SelfAxis => x == y,
+            Axis::Child => t.parent(y) == Some(x),
+            Axis::Descendant => t.is_ancestor(x, y),
+            Axis::DescendantOrSelf => x == y || t.is_ancestor(x, y),
+            Axis::NextSibling => t.next_sibling(x) == Some(y),
+            Axis::FollowingSibling => {
+                t.parent(x).is_some()
+                    && t.parent(x) == t.parent(y)
+                    && t.sibling_index(x) < t.sibling_index(y)
+            }
+            Axis::FollowingSiblingOrSelf => x == y || Axis::FollowingSibling.holds(t, x, y),
+            Axis::Following => t.is_following(x, y),
+            _ => self.inverse().holds(t, y, x),
+        }
+    }
+
+    /// Enumerates the successors of `x` under this axis. Allocation-heavy;
+    /// intended for baselines, enumeration and tests — the evaluators use
+    /// [`Axis::image`].
+    pub fn successors(self, t: &Tree, x: NodeId) -> Vec<NodeId> {
+        match self {
+            Axis::SelfAxis => vec![x],
+            Axis::Child => t.children(x).collect(),
+            Axis::Descendant => (t.pre(x) + 1..=t.pre_end(x))
+                .map(|r| t.node_at_pre(r))
+                .collect(),
+            Axis::DescendantOrSelf => (t.pre(x)..=t.pre_end(x))
+                .map(|r| t.node_at_pre(r))
+                .collect(),
+            Axis::NextSibling => t.next_sibling(x).into_iter().collect(),
+            Axis::FollowingSibling => {
+                let mut out = Vec::new();
+                let mut cur = t.next_sibling(x);
+                while let Some(v) = cur {
+                    out.push(v);
+                    cur = t.next_sibling(v);
+                }
+                out
+            }
+            Axis::FollowingSiblingOrSelf => {
+                let mut out = vec![x];
+                out.extend(Axis::FollowingSibling.successors(t, x));
+                out
+            }
+            Axis::Following => (t.pre_end(x) + 1..t.len() as u32)
+                .map(|r| t.node_at_pre(r))
+                .collect(),
+            Axis::Parent => t.parent(x).into_iter().collect(),
+            Axis::Ancestor => t.ancestors(x).collect(),
+            Axis::AncestorOrSelf => {
+                let mut out = vec![x];
+                out.extend(t.ancestors(x));
+                out
+            }
+            Axis::PrevSibling => t.prev_sibling(x).into_iter().collect(),
+            Axis::PrecedingSibling => {
+                let mut out = Vec::new();
+                let mut cur = t.prev_sibling(x);
+                while let Some(v) = cur {
+                    out.push(v);
+                    cur = t.prev_sibling(v);
+                }
+                out
+            }
+            Axis::PrecedingSiblingOrSelf => {
+                let mut out = vec![x];
+                out.extend(Axis::PrecedingSibling.successors(t, x));
+                out
+            }
+            Axis::Preceding => (0..t.pre(x))
+                .map(|r| t.node_at_pre(r))
+                .filter(|&y| t.post(y) < t.post(x))
+                .collect(),
+        }
+    }
+
+    /// The image `{ y | ∃ x ∈ s: Axis(x, y) }`, computed in O(n) by order
+    /// sweeps (n = number of tree nodes). This is the workhorse of all the
+    /// linear-time evaluators.
+    pub fn image(self, t: &Tree, s: &NodeSet) -> NodeSet {
+        let n = t.len();
+        debug_assert_eq!(s.universe(), n);
+        let mut out = NodeSet::empty(n);
+        match self {
+            Axis::SelfAxis => out.union_with(s),
+            Axis::Child => {
+                for x in s {
+                    for c in t.children(x) {
+                        out.insert(c);
+                    }
+                }
+            }
+            Axis::Parent => {
+                for x in s {
+                    if let Some(p) = t.parent(x) {
+                        out.insert(p);
+                    }
+                }
+            }
+            Axis::NextSibling => {
+                for x in s {
+                    if let Some(y) = t.next_sibling(x) {
+                        out.insert(y);
+                    }
+                }
+            }
+            Axis::PrevSibling => {
+                for x in s {
+                    if let Some(y) = t.prev_sibling(x) {
+                        out.insert(y);
+                    }
+                }
+            }
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                // y has a marked proper ancestor iff some marked x seen
+                // earlier in pre-order has pre_end(x) ≥ pre(y).
+                let mut max_end: i64 = -1;
+                for rank in 0..n as u32 {
+                    let v = t.node_at_pre(rank);
+                    if i64::from(rank) <= max_end {
+                        out.insert(v);
+                    }
+                    if s.contains(v) {
+                        max_end = max_end.max(i64::from(t.pre_end(v)));
+                    }
+                }
+                if self == Axis::DescendantOrSelf {
+                    out.union_with(s);
+                }
+            }
+            Axis::Ancestor | Axis::AncestorOrSelf => {
+                // y has a marked proper descendant iff the count of marked
+                // nodes with pre rank in (pre(y), pre_end(y)] is positive.
+                let marked_prefix = marked_prefix_counts(t, s);
+                for v in t.nodes() {
+                    let lo = t.pre(v) as usize + 1;
+                    let hi = t.pre_end(v) as usize + 1;
+                    if marked_prefix[hi] > marked_prefix[lo] {
+                        out.insert(v);
+                    }
+                }
+                if self == Axis::AncestorOrSelf {
+                    out.union_with(s);
+                }
+            }
+            Axis::FollowingSibling | Axis::FollowingSiblingOrSelf => {
+                let mut swept = NodeSet::empty(n);
+                for x in s {
+                    let Some(p) = t.parent(x) else { continue };
+                    if !swept.insert(p) {
+                        continue;
+                    }
+                    let mut flag = false;
+                    for c in t.children(p) {
+                        if flag {
+                            out.insert(c);
+                        }
+                        if s.contains(c) {
+                            flag = true;
+                        }
+                    }
+                }
+                if self == Axis::FollowingSiblingOrSelf {
+                    out.union_with(s);
+                }
+            }
+            Axis::PrecedingSibling | Axis::PrecedingSiblingOrSelf => {
+                let mut swept = NodeSet::empty(n);
+                for x in s {
+                    let Some(p) = t.parent(x) else { continue };
+                    if !swept.insert(p) {
+                        continue;
+                    }
+                    // Sweep right-to-left using prev_sibling from the last
+                    // child.
+                    let mut flag = false;
+                    let mut cur = t.last_child(p);
+                    while let Some(c) = cur {
+                        if flag {
+                            out.insert(c);
+                        }
+                        if s.contains(c) {
+                            flag = true;
+                        }
+                        cur = t.prev_sibling(c);
+                    }
+                }
+                if self == Axis::PrecedingSiblingOrSelf {
+                    out.union_with(s);
+                }
+            }
+            Axis::Following => {
+                // y follows some marked x iff the minimum post rank among
+                // marked nodes seen strictly earlier in pre-order is < post(y).
+                let mut min_post = u32::MAX;
+                for rank in 0..n as u32 {
+                    let v = t.node_at_pre(rank);
+                    if min_post < t.post(v) {
+                        out.insert(v);
+                    }
+                    if s.contains(v) {
+                        min_post = min_post.min(t.post(v));
+                    }
+                }
+            }
+            Axis::Preceding => {
+                // y precedes some marked x iff the maximum post rank among
+                // marked nodes seen strictly later in pre-order is > post(y).
+                let mut max_post: i64 = -1;
+                for rank in (0..n as u32).rev() {
+                    let v = t.node_at_pre(rank);
+                    if max_post > i64::from(t.post(v)) {
+                        out.insert(v);
+                    }
+                    if s.contains(v) {
+                        max_post = max_post.max(i64::from(t.post(v)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The preimage `{ x | ∃ y ∈ s: Axis(x, y) }` — the image under the
+    /// inverse axis. O(n).
+    pub fn preimage(self, t: &Tree, s: &NodeSet) -> NodeSet {
+        self.inverse().image(t, s)
+    }
+}
+
+/// `marked_prefix_counts(t, s)[i]` = number of marked nodes among the first
+/// `i` pre ranks.
+fn marked_prefix_counts(t: &Tree, s: &NodeSet) -> Vec<u32> {
+    let n = t.len();
+    let mut prefix = vec![0u32; n + 1];
+    for rank in 0..n as u32 {
+        let v = t.node_at_pre(rank);
+        prefix[rank as usize + 1] = prefix[rank as usize] + u32::from(s.contains(v));
+    }
+    prefix
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_term;
+
+    fn fixture() -> Tree {
+        parse_term("a(b(c d(e) f) g(h(i j) k) l)").unwrap()
+    }
+
+    /// `successors` must agree with `holds` on every pair.
+    #[test]
+    fn successors_agree_with_holds() {
+        let t = fixture();
+        for axis in Axis::ALL {
+            for x in t.nodes() {
+                let succ = axis.successors(&t, x);
+                for y in t.nodes() {
+                    assert_eq!(
+                        succ.contains(&y),
+                        axis.holds(&t, x, y),
+                        "{axis} ({x:?},{y:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `image` must equal the union of per-node successor sets.
+    #[test]
+    fn image_agrees_with_successors() {
+        let t = fixture();
+        let n = t.len();
+        // Try several source sets including empty, full, singletons.
+        let mut sources = vec![NodeSet::empty(n), NodeSet::full(n)];
+        for v in t.nodes() {
+            sources.push(NodeSet::singleton(n, v));
+        }
+        sources.push(NodeSet::from_iter(n, t.nodes().filter(|v| v.0 % 3 == 0)));
+        for axis in Axis::ALL {
+            for s in &sources {
+                let fast = axis.image(&t, s);
+                let mut naive = NodeSet::empty(n);
+                for x in s {
+                    for y in axis.successors(&t, x) {
+                        naive.insert(y);
+                    }
+                }
+                assert_eq!(fast, naive, "{axis} image of {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn preimage_is_inverse_image() {
+        let t = fixture();
+        let n = t.len();
+        let s = NodeSet::from_iter(n, t.nodes().filter(|v| v.0 % 2 == 0));
+        for axis in Axis::ALL {
+            let pre = axis.preimage(&t, &s);
+            let mut naive = NodeSet::empty(n);
+            for x in t.nodes() {
+                if axis.successors(&t, x).iter().any(|y| s.contains(*y)) {
+                    naive.insert(x);
+                }
+            }
+            assert_eq!(pre, naive, "{axis} preimage");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for axis in Axis::ALL {
+            assert_eq!(axis.inverse().inverse(), axis);
+        }
+    }
+
+    #[test]
+    fn forward_axes_point_forward_in_pre_order() {
+        let t = fixture();
+        for axis in Axis::FORWARD {
+            if axis == Axis::SelfAxis {
+                continue;
+            }
+            for x in t.nodes() {
+                for y in axis.successors(&t, x) {
+                    if axis.is_reflexive() && x == y {
+                        continue;
+                    }
+                    assert!(t.pre(x) < t.pre(y), "{axis} ({x:?},{y:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Axis::parse("Child+"), Some(Axis::Descendant));
+        assert_eq!(Axis::parse("descendant"), Some(Axis::Descendant));
+        assert_eq!(
+            Axis::parse("NextSibling*"),
+            Some(Axis::FollowingSiblingOrSelf)
+        );
+        assert_eq!(
+            Axis::parse("following-sibling"),
+            Some(Axis::FollowingSibling)
+        );
+        assert_eq!(Axis::parse("ancestor-or-self"), Some(Axis::AncestorOrSelf));
+        assert_eq!(Axis::parse("bogus"), None);
+        for axis in Axis::ALL {
+            assert_eq!(Axis::parse(axis.name()), Some(axis), "{axis}");
+        }
+    }
+
+    #[test]
+    fn following_partitions_with_descendant_ancestor_preceding() {
+        // For any two distinct nodes exactly one of Ancestor, Descendant,
+        // Following, Preceding holds.
+        let t = fixture();
+        for x in t.nodes() {
+            for y in t.nodes() {
+                if x == y {
+                    continue;
+                }
+                let cnt = [
+                    Axis::Ancestor,
+                    Axis::Descendant,
+                    Axis::Following,
+                    Axis::Preceding,
+                ]
+                .iter()
+                .filter(|a| a.holds(&t, x, y))
+                .count();
+                assert_eq!(cnt, 1, "({x:?},{y:?})");
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Mutable tree construction, frozen into an immutable [`Tree`].
+
+use std::collections::HashMap;
+
+use crate::label::{LabelInterner, Symbol};
+use crate::tree::{NodeId, Tree, NONE};
+
+/// Incremental builder for [`Tree`].
+///
+/// Nodes are appended under an existing parent (children in left-to-right
+/// insertion order); [`TreeBuilder::freeze`] computes all orders and
+/// indexes and returns the immutable tree.
+///
+/// ```
+/// use treequery_tree::TreeBuilder;
+/// let mut b = TreeBuilder::new();
+/// let root = b.root("site");
+/// let a = b.child(root, "regions");
+/// b.child(a, "africa");
+/// b.child(root, "people");
+/// let tree = b.freeze();
+/// assert_eq!(tree.len(), 4);
+/// assert_eq!(tree.label_name(tree.root()), "site");
+/// ```
+pub struct TreeBuilder {
+    interner: LabelInterner,
+    parent: Vec<u32>,
+    first_child: Vec<u32>,
+    last_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    prev_sibling: Vec<u32>,
+    label: Vec<Symbol>,
+    extra_labels: HashMap<u32, Vec<Symbol>>,
+    root: Option<NodeId>,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            interner: LabelInterner::new(),
+            parent: Vec::new(),
+            first_child: Vec::new(),
+            last_child: Vec::new(),
+            next_sibling: Vec::new(),
+            prev_sibling: Vec::new(),
+            label: Vec::new(),
+            extra_labels: HashMap::new(),
+            root: None,
+        }
+    }
+
+    /// Creates an empty builder with capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut b = Self::new();
+        b.parent.reserve(n);
+        b.first_child.reserve(n);
+        b.last_child.reserve(n);
+        b.next_sibling.reserve(n);
+        b.prev_sibling.reserve(n);
+        b.label.reserve(n);
+        b
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.label.len()
+    }
+
+    /// Whether no node has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.label.is_empty()
+    }
+
+    /// Interns a label in the tree's alphabet.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    fn push_node(&mut self, label: Symbol) -> NodeId {
+        let id = NodeId(u32::try_from(self.label.len()).expect("too many nodes"));
+        self.parent.push(NONE);
+        self.first_child.push(NONE);
+        self.last_child.push(NONE);
+        self.next_sibling.push(NONE);
+        self.prev_sibling.push(NONE);
+        self.label.push(label);
+        id
+    }
+
+    /// Creates the root node.
+    ///
+    /// # Panics
+    /// Panics if a root already exists.
+    pub fn root(&mut self, label: &str) -> NodeId {
+        let sym = self.intern(label);
+        self.root_sym(sym)
+    }
+
+    /// Creates the root node with an already-interned label.
+    pub fn root_sym(&mut self, label: Symbol) -> NodeId {
+        assert!(self.root.is_none(), "tree already has a root");
+        let id = self.push_node(label);
+        self.root = Some(id);
+        id
+    }
+
+    /// Appends a new rightmost child of `parent`.
+    pub fn child(&mut self, parent: NodeId, label: &str) -> NodeId {
+        let sym = self.intern(label);
+        self.child_sym(parent, sym)
+    }
+
+    /// Appends a new rightmost child of `parent` with an interned label.
+    pub fn child_sym(&mut self, parent: NodeId, label: Symbol) -> NodeId {
+        assert!(parent.index() < self.label.len(), "unknown parent node");
+        let id = self.push_node(label);
+        self.parent[id.index()] = parent.0;
+        let last = self.last_child[parent.index()];
+        if last == NONE {
+            self.first_child[parent.index()] = id.0;
+        } else {
+            self.next_sibling[last as usize] = id.0;
+            self.prev_sibling[id.index()] = last;
+        }
+        self.last_child[parent.index()] = id.0;
+        id
+    }
+
+    /// Attaches an additional label to a node (the paper allows
+    /// multi-labeled nodes for the tractability results).
+    pub fn add_label(&mut self, node: NodeId, label: &str) {
+        let sym = self.intern(label);
+        let extra = self.extra_labels.entry(node.0).or_default();
+        if self.label[node.index()] != sym && !extra.contains(&sym) {
+            extra.push(sym);
+        }
+    }
+
+    /// Freezes the builder into an immutable [`Tree`], computing the
+    /// `<pre`, `<post`, `<bflr` orders, depths, sibling indexes, subtree
+    /// extents and the per-label index in O(n).
+    ///
+    /// # Panics
+    /// Panics if no root was created.
+    pub fn freeze(self) -> Tree {
+        let root = self.root.expect("cannot freeze a tree without a root");
+        let n = self.label.len();
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut bflr = vec![0u32; n];
+        let mut depth = vec![0u32; n];
+        let mut sib_idx = vec![0u32; n];
+        let mut pre_end = vec![0u32; n];
+        let mut pre_to_node = Vec::with_capacity(n);
+        let mut post_to_node = Vec::with_capacity(n);
+        let mut bflr_to_node = Vec::with_capacity(n);
+
+        // Iterative depth-first traversal computing pre, post, depth,
+        // sibling index and subtree extents without recursion (trees can be
+        // arbitrarily deep).
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        let mut next_pre = 0u32;
+        let mut next_post = 0u32;
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                post[v.index()] = next_post;
+                post_to_node.push(v);
+                next_post += 1;
+                pre_end[v.index()] = next_pre - 1;
+                continue;
+            }
+            pre[v.index()] = next_pre;
+            pre_to_node.push(v);
+            next_pre += 1;
+            if let Some(p) = (self.parent[v.index()] != NONE).then(|| self.parent[v.index()]) {
+                depth[v.index()] = depth[p as usize] + 1;
+            }
+            if self.prev_sibling[v.index()] != NONE {
+                sib_idx[v.index()] = sib_idx[self.prev_sibling[v.index()] as usize] + 1;
+            }
+            stack.push((v, true));
+            // Push children in reverse so the leftmost is processed first.
+            let mut children = Vec::new();
+            let mut c = self.first_child[v.index()];
+            while c != NONE {
+                children.push(NodeId(c));
+                c = self.next_sibling[c as usize];
+            }
+            for &child in children.iter().rev() {
+                stack.push((child, false));
+            }
+        }
+        debug_assert_eq!(next_pre as usize, n);
+        debug_assert_eq!(next_post as usize, n);
+
+        // Breadth-first left-to-right order.
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        queue.push_back(root);
+        let mut next_bflr = 0u32;
+        while let Some(v) = queue.pop_front() {
+            bflr[v.index()] = next_bflr;
+            bflr_to_node.push(v);
+            next_bflr += 1;
+            let mut c = self.first_child[v.index()];
+            while c != NONE {
+                queue.push_back(NodeId(c));
+                c = self.next_sibling[c as usize];
+            }
+        }
+        debug_assert_eq!(next_bflr as usize, n);
+
+        // Per-label node index, sorted by pre rank.
+        let mut by_label: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
+        for &v in &pre_to_node {
+            by_label.entry(self.label[v.index()]).or_default().push(v);
+            if let Some(extra) = self.extra_labels.get(&v.0) {
+                for &sym in extra {
+                    by_label.entry(sym).or_default().push(v);
+                }
+            }
+        }
+
+        Tree {
+            interner: self.interner,
+            parent: self.parent,
+            first_child: self.first_child,
+            last_child: self.last_child,
+            next_sibling: self.next_sibling,
+            prev_sibling: self.prev_sibling,
+            label: self.label,
+            extra_labels: self.extra_labels,
+            pre,
+            post,
+            bflr,
+            depth,
+            sib_idx,
+            pre_end,
+            pre_to_node,
+            post_to_node,
+            bflr_to_node,
+            root,
+            by_label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_tree() {
+        let mut b = TreeBuilder::new();
+        b.root("a");
+        let t = b.freeze();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.pre(t.root()), 0);
+        assert_eq!(t.post(t.root()), 0);
+        assert_eq!(t.bflr(t.root()), 0);
+        assert!(t.is_leaf(t.root()));
+        assert!(t.is_root(t.root()));
+    }
+
+    #[test]
+    fn sibling_links_are_consistent() {
+        let mut b = TreeBuilder::new();
+        let r = b.root("r");
+        let c1 = b.child(r, "c1");
+        let c2 = b.child(r, "c2");
+        let c3 = b.child(r, "c3");
+        let t = b.freeze();
+        assert_eq!(t.first_child(r), Some(c1));
+        assert_eq!(t.last_child(r), Some(c3));
+        assert_eq!(t.next_sibling(c1), Some(c2));
+        assert_eq!(t.next_sibling(c2), Some(c3));
+        assert_eq!(t.prev_sibling(c3), Some(c2));
+        assert_eq!(t.sibling_index(c1), 0);
+        assert_eq!(t.sibling_index(c3), 2);
+        assert!(t.is_first_sibling(c1));
+        assert!(t.is_last_sibling(c3));
+    }
+
+    #[test]
+    fn multi_labels() {
+        let mut b = TreeBuilder::new();
+        let r = b.root("a");
+        b.add_label(r, "b");
+        b.add_label(r, "b"); // duplicate is ignored
+        b.add_label(r, "a"); // same as primary, ignored
+        let t = b.freeze();
+        assert!(t.has_label_name(r, "a"));
+        assert!(t.has_label_name(r, "b"));
+        assert_eq!(t.labels(r).count(), 2);
+        let b_sym = t.symbol("b").unwrap();
+        assert_eq!(t.nodes_with_label(b_sym), &[r]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a root")]
+    fn double_root_panics() {
+        let mut b = TreeBuilder::new();
+        b.root("a");
+        b.root("b");
+    }
+
+    #[test]
+    fn deep_tree_does_not_overflow_stack() {
+        let mut b = TreeBuilder::new();
+        let mut cur = b.root("x");
+        for _ in 0..200_000 {
+            cur = b.child(cur, "x");
+        }
+        let t = b.freeze();
+        assert_eq!(t.height(), 200_000);
+        assert_eq!(t.pre(cur), 200_000);
+        assert_eq!(t.post(cur), 0);
+    }
+
+    #[test]
+    fn pre_post_inverses() {
+        let mut b = TreeBuilder::new();
+        let r = b.root("r");
+        for i in 0..5 {
+            let c = b.child(r, "c");
+            if i % 2 == 0 {
+                b.child(c, "d");
+            }
+        }
+        let t = b.freeze();
+        for v in t.nodes() {
+            assert_eq!(t.node_at_pre(t.pre(v)), v);
+            assert_eq!(t.node_at_post(t.post(v)), v);
+            assert_eq!(t.node_at_bflr(t.bflr(v)), v);
+        }
+    }
+}

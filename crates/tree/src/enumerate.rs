@@ -1,0 +1,190 @@
+//! Exhaustive enumeration of all ordered trees of a given size.
+//!
+//! Used by the Table 1 experiment (E1): the satisfiability of
+//! `R(x,z) ∧ S(y,z) ∧ x <pre y` over all axis pairs is validated by
+//! exhaustive search over *all* ordered trees with up to a handful of
+//! nodes — enough, because the paper's satisfiability arguments only ever
+//! need constant-size witnesses.
+
+use crate::builder::TreeBuilder;
+use crate::tree::{NodeId, Tree};
+
+/// Abstract tree shape: a node with an ordered list of child shapes.
+#[derive(Clone, Debug)]
+struct Shape(Vec<Shape>);
+
+/// All ordered forests with exactly `m` nodes.
+fn forests(m: usize) -> Vec<Vec<Shape>> {
+    if m == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    // Size of the first tree in the forest.
+    for first in 1..=m {
+        for head in shapes(first) {
+            for tail in forests(m - first) {
+                let mut forest = Vec::with_capacity(tail.len() + 1);
+                forest.push(head.clone());
+                forest.extend(tail);
+                out.push(forest);
+            }
+        }
+    }
+    out
+}
+
+/// All ordered tree shapes with exactly `n` nodes.
+fn shapes(n: usize) -> Vec<Shape> {
+    assert!(n >= 1);
+    forests(n - 1).into_iter().map(Shape).collect()
+}
+
+fn build(shape: &Shape, label: &str) -> Tree {
+    let mut b = TreeBuilder::new();
+    let root = b.root(label);
+    let mut stack: Vec<(NodeId, &Shape)> = vec![(root, shape)];
+    while let Some((node, Shape(children))) = stack.pop() {
+        for child in children {
+            let id = b.child(node, label);
+            stack.push((id, child));
+        }
+    }
+    b.freeze()
+}
+
+/// All ordered trees with exactly `n` nodes, every node labeled `label`.
+/// There are Catalan(n−1) of them; keep `n ≤ 10` or so.
+pub fn all_trees(n: usize, label: &str) -> Vec<Tree> {
+    shapes(n).iter().map(|s| build(s, label)).collect()
+}
+
+/// All ordered trees with exactly `n` nodes and *every* assignment of
+/// labels from `alphabet` — `Catalan(n−1) · |Σ|^n` trees. Used by the
+/// bounded containment/equivalence checker; keep `n` and `|Σ|` tiny.
+pub fn all_labeled_trees(n: usize, alphabet: &[&str]) -> Vec<Tree> {
+    assert!(!alphabet.is_empty());
+    let mut out = Vec::new();
+    for shape in shapes(n) {
+        // Enumerate |Σ|^n label assignments with an odometer.
+        let mut assignment = vec![0usize; n];
+        loop {
+            out.push(build_labeled(&shape, alphabet, &assignment));
+            let mut pos = 0;
+            loop {
+                if pos == n {
+                    break;
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < alphabet.len() {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+            if pos == n {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Builds a shape with labels assigned by pre-order position.
+fn build_labeled(shape: &Shape, alphabet: &[&str], assignment: &[usize]) -> Tree {
+    let mut b = TreeBuilder::new();
+    // Recursively add nodes in pre-order so positions line up.
+    fn add(
+        b: &mut TreeBuilder,
+        parent: Option<NodeId>,
+        Shape(children): &Shape,
+        alphabet: &[&str],
+        assignment: &[usize],
+        next: &mut usize,
+    ) -> NodeId {
+        let label = alphabet[assignment[*next]];
+        *next += 1;
+        let id = match parent {
+            Some(p) => b.child(p, label),
+            None => b.root(label),
+        };
+        for c in children {
+            add(b, Some(id), c, alphabet, assignment, next);
+        }
+        id
+    }
+    let mut next = 0;
+    add(&mut b, None, shape, alphabet, assignment, &mut next);
+    b.freeze()
+}
+
+/// The number of ordered trees with exactly `n ≥ 1` nodes:
+/// the (n−1)-st Catalan number.
+pub fn count_trees(n: usize) -> u64 {
+    assert!(n >= 1);
+    let k = (n - 1) as u64;
+    // C_k = binom(2k, k) / (k + 1), computed without overflow for small k.
+    let mut c: u64 = 1;
+    for i in 0..k {
+        c = c * 2 * (2 * i + 1) / (i + 2);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalan_counts() {
+        assert_eq!(count_trees(1), 1);
+        assert_eq!(count_trees(2), 1);
+        assert_eq!(count_trees(3), 2);
+        assert_eq!(count_trees(4), 5);
+        assert_eq!(count_trees(5), 14);
+        assert_eq!(count_trees(6), 42);
+        assert_eq!(count_trees(7), 132);
+    }
+
+    #[test]
+    fn enumeration_matches_catalan_and_is_duplicate_free() {
+        for n in 1..=6 {
+            let trees = all_trees(n, "x");
+            assert_eq!(trees.len() as u64, count_trees(n), "n={n}");
+            let distinct: HashSet<String> = trees.iter().map(|t| t.to_string()).collect();
+            assert_eq!(distinct.len(), trees.len(), "duplicates at n={n}");
+            for t in &trees {
+                assert_eq!(t.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn n3_shapes() {
+        let mut reps: Vec<String> = all_trees(3, "x").iter().map(|t| t.to_string()).collect();
+        reps.sort();
+        assert_eq!(reps, ["x(x x)", "x(x(x))"]);
+    }
+}
+
+#[cfg(test)]
+mod labeled_tests {
+    use super::*;
+
+    #[test]
+    fn labeled_enumeration_counts() {
+        // Catalan(2) = 2 shapes × 2³ labelings = 16 trees for n = 3, k = 2.
+        let trees = all_labeled_trees(3, &["a", "b"]);
+        assert_eq!(trees.len(), 16);
+        let distinct: std::collections::HashSet<String> =
+            trees.iter().map(|t| t.to_string()).collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn labeled_enumeration_single_letter_matches_all_trees() {
+        for n in 1..=5 {
+            assert_eq!(all_labeled_trees(n, &["x"]).len(), all_trees(n, "x").len());
+        }
+    }
+}

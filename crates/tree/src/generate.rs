@@ -1,0 +1,400 @@
+//! Workload generators: parametric synthetic trees.
+//!
+//! The paper's complexity claims are about asymptotic shape, not a concrete
+//! corpus, so the experiments drive the engines with controlled synthetic
+//! inputs: paths and stars (extreme depth/fanout), random recursive trees
+//! (shallow, realistic fanout), depth-controlled random trees (for the
+//! streaming-memory experiments) and an XMark-style auction document (a
+//! structurally faithful stand-in for the XML benchmarks the literature
+//! uses).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::builder::TreeBuilder;
+use crate::tree::{NodeId, Tree};
+
+/// A path of `n` nodes, all labeled `label` (maximal depth).
+pub fn deep_path(n: usize, label: &str) -> Tree {
+    assert!(n > 0, "a tree needs at least one node");
+    let mut b = TreeBuilder::with_capacity(n);
+    let mut cur = b.root(label);
+    for _ in 1..n {
+        cur = b.child(cur, label);
+    }
+    b.freeze()
+}
+
+/// A root with `n - 1` leaf children (maximal fanout).
+pub fn star(n: usize, label: &str) -> Tree {
+    assert!(n > 0, "a tree needs at least one node");
+    let mut b = TreeBuilder::with_capacity(n);
+    let root = b.root(label);
+    for _ in 1..n {
+        b.child(root, label);
+    }
+    b.freeze()
+}
+
+/// A caterpillar: a spine of `spine` nodes, each carrying `legs` leaf
+/// children.
+pub fn caterpillar(spine: usize, legs: usize, label: &str) -> Tree {
+    assert!(spine > 0, "a tree needs at least one node");
+    let mut b = TreeBuilder::with_capacity(spine * (legs + 1));
+    let mut cur = b.root(label);
+    for i in 0..spine {
+        for _ in 0..legs {
+            b.child(cur, label);
+        }
+        if i + 1 < spine {
+            cur = b.child(cur, label);
+        }
+    }
+    b.freeze()
+}
+
+/// The complete binary tree of the given depth (depth 0 = single node).
+pub fn full_binary(depth: u32, label: &str) -> Tree {
+    let n = 2usize.pow(depth + 1) - 1;
+    let mut b = TreeBuilder::with_capacity(n);
+    let root = b.root(label);
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for p in frontier {
+            next.push(b.child(p, label));
+            next.push(b.child(p, label));
+        }
+        frontier = next;
+    }
+    b.freeze()
+}
+
+/// Draws a label uniformly from `alphabet` for each of `n` positions.
+pub fn random_labels<'a, R: Rng>(rng: &mut R, alphabet: &[&'a str], n: usize) -> Vec<&'a str> {
+    (0..n)
+        .map(|_| *alphabet.choose(rng).expect("non-empty alphabet"))
+        .collect()
+}
+
+/// A uniform random recursive tree: node `i` attaches to a uniformly random
+/// earlier node. Expected depth is Θ(log n); fanout is skewed like real
+/// document collections. Labels drawn uniformly from `alphabet`.
+pub fn random_recursive_tree<R: Rng>(rng: &mut R, n: usize, alphabet: &[&str]) -> Tree {
+    assert!(n > 0, "a tree needs at least one node");
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut b = TreeBuilder::with_capacity(n);
+    let mut nodes = Vec::with_capacity(n);
+    nodes.push(b.root(alphabet.choose(rng).unwrap()));
+    for i in 1..n {
+        let parent = nodes[rng.gen_range(0..i)];
+        nodes.push(b.child(parent, alphabet.choose(rng).unwrap()));
+    }
+    b.freeze()
+}
+
+/// A random tree with exactly `n` nodes whose height is exactly
+/// `depth` (requires `depth < n`): a spine of `depth + 1` nodes fixes the
+/// height, remaining nodes attach uniformly at random to nodes of depth
+/// `< depth` (so the height is not exceeded).
+pub fn random_tree_with_depth<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    depth: u32,
+    alphabet: &[&str],
+) -> Tree {
+    assert!((depth as usize) < n, "need depth < n");
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let mut b = TreeBuilder::with_capacity(n);
+    // Spine.
+    let mut spine = Vec::with_capacity(depth as usize + 1);
+    let mut cur = b.root(alphabet.choose(rng).unwrap());
+    spine.push(cur);
+    for _ in 0..depth {
+        cur = b.child(cur, alphabet.choose(rng).unwrap());
+        spine.push(cur);
+    }
+    // `eligible[i]` are nodes at depth < depth, i.e. legal parents.
+    let mut eligible: Vec<(NodeId, u32)> = spine
+        .iter()
+        .enumerate()
+        .filter(|&(d, _)| (d as u32) < depth)
+        .map(|(d, &v)| (v, d as u32))
+        .collect();
+    for _ in spine.len()..n {
+        let &(parent, d) = &eligible[rng.gen_range(0..eligible.len())];
+        let node = b.child(parent, alphabet.choose(rng).unwrap());
+        if d + 1 < depth {
+            eligible.push((node, d + 1));
+        }
+    }
+    b.freeze()
+}
+
+/// Parameters for the XMark-style auction document generator.
+#[derive(Clone, Debug)]
+pub struct XmarkConfig {
+    /// Number of `person` elements under `people`.
+    pub people: usize,
+    /// Number of `open_auction` elements.
+    pub open_auctions: usize,
+    /// Number of `closed_auction` elements.
+    pub closed_auctions: usize,
+    /// Number of `item` elements per region (there are six regions).
+    pub items_per_region: usize,
+    /// Number of `category` elements.
+    pub categories: usize,
+    /// Maximum nesting depth of `parlist`/`listitem` in descriptions; the
+    /// recursive part that gives XMark documents their depth.
+    pub max_description_depth: u32,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        Self {
+            people: 25,
+            open_auctions: 12,
+            closed_auctions: 8,
+            items_per_region: 10,
+            categories: 10,
+            max_description_depth: 3,
+        }
+    }
+}
+
+impl XmarkConfig {
+    /// A configuration scaled so the generated document has roughly `n`
+    /// nodes (coarse: exact node counts vary with the RNG).
+    pub fn scaled_to(n: usize) -> Self {
+        let unit = (n / 60).max(1);
+        Self {
+            people: unit * 2,
+            open_auctions: unit,
+            closed_auctions: unit / 2 + 1,
+            items_per_region: unit / 2 + 1,
+            categories: unit / 2 + 1,
+            max_description_depth: 3,
+        }
+    }
+}
+
+fn description<R: Rng>(rng: &mut R, b: &mut TreeBuilder, parent: NodeId, depth: u32) {
+    let d = b.child(parent, "description");
+    if depth == 0 || rng.gen_bool(0.4) {
+        b.child(d, "text");
+    } else {
+        parlist(rng, b, d, depth);
+    }
+}
+
+fn parlist<R: Rng>(rng: &mut R, b: &mut TreeBuilder, parent: NodeId, depth: u32) {
+    let pl = b.child(parent, "parlist");
+    for _ in 0..rng.gen_range(1..=3) {
+        let li = b.child(pl, "listitem");
+        if depth > 1 && rng.gen_bool(0.5) {
+            parlist(rng, b, li, depth - 1);
+        } else {
+            b.child(li, "text");
+        }
+    }
+}
+
+/// Generates an XMark-style auction-site document: the standard structure
+/// (`site` → `regions`/`people`/`open_auctions`/`closed_auctions`/
+/// `categories`, recursive `parlist` descriptions) without text content —
+/// the paper's Core XPath fragment only sees the navigational structure.
+pub fn xmark_document<R: Rng>(rng: &mut R, cfg: &XmarkConfig) -> Tree {
+    let mut b = TreeBuilder::new();
+    let site = b.root("site");
+
+    let regions = b.child(site, "regions");
+    for region in [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ] {
+        let r = b.child(regions, region);
+        for _ in 0..cfg.items_per_region {
+            let item = b.child(r, "item");
+            b.child(item, "location");
+            b.child(item, "quantity");
+            b.child(item, "name");
+            b.child(item, "payment");
+            description(rng, &mut b, item, cfg.max_description_depth);
+            let ship = b.child(item, "shipping");
+            b.child(ship, "text");
+            if rng.gen_bool(0.3) {
+                let inc = b.child(item, "incategory");
+                b.child(inc, "category_ref");
+            }
+        }
+    }
+
+    let people = b.child(site, "people");
+    for _ in 0..cfg.people {
+        let person = b.child(people, "person");
+        b.child(person, "name");
+        b.child(person, "emailaddress");
+        if rng.gen_bool(0.6) {
+            let addr = b.child(person, "address");
+            b.child(addr, "street");
+            b.child(addr, "city");
+            b.child(addr, "country");
+            b.child(addr, "zipcode");
+        }
+        if rng.gen_bool(0.4) {
+            b.child(person, "homepage");
+        }
+        if rng.gen_bool(0.5) {
+            let profile = b.child(person, "profile");
+            b.child(profile, "interest");
+            b.child(profile, "education");
+            b.child(profile, "business");
+        }
+        if rng.gen_bool(0.5) {
+            let watches = b.child(person, "watches");
+            for _ in 0..rng.gen_range(1..=3) {
+                b.child(watches, "watch");
+            }
+        }
+    }
+
+    let open = b.child(site, "open_auctions");
+    for _ in 0..cfg.open_auctions {
+        let auction = b.child(open, "open_auction");
+        b.child(auction, "initial");
+        b.child(auction, "reserve");
+        for _ in 0..rng.gen_range(0..=4) {
+            let bidder = b.child(auction, "bidder");
+            b.child(bidder, "date");
+            b.child(bidder, "time");
+            b.child(bidder, "personref");
+            b.child(bidder, "increase");
+        }
+        b.child(auction, "current");
+        b.child(auction, "itemref");
+        b.child(auction, "seller");
+        let ann = b.child(auction, "annotation");
+        b.child(ann, "author");
+        description(rng, &mut b, ann, cfg.max_description_depth);
+        b.child(auction, "quantity");
+        b.child(auction, "type");
+        let interval = b.child(auction, "interval");
+        b.child(interval, "start");
+        b.child(interval, "end");
+    }
+
+    let closed = b.child(site, "closed_auctions");
+    for _ in 0..cfg.closed_auctions {
+        let auction = b.child(closed, "closed_auction");
+        b.child(auction, "seller");
+        b.child(auction, "buyer");
+        b.child(auction, "itemref");
+        b.child(auction, "price");
+        b.child(auction, "date");
+        b.child(auction, "quantity");
+        b.child(auction, "type");
+        let ann = b.child(auction, "annotation");
+        b.child(ann, "author");
+        description(rng, &mut b, ann, cfg.max_description_depth);
+    }
+
+    let cats = b.child(site, "categories");
+    for _ in 0..cfg.categories {
+        let cat = b.child(cats, "category");
+        b.child(cat, "name");
+        description(rng, &mut b, cat, cfg.max_description_depth);
+    }
+    let catgraph = b.child(site, "catgraph");
+    for _ in 0..cfg.categories {
+        let edge = b.child(catgraph, "edge");
+        b.child(edge, "from");
+        b.child(edge, "to");
+    }
+
+    b.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deep_path_shape() {
+        let t = deep_path(10, "a");
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.height(), 9);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(10, "a");
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.children(t.root()).count(), 9);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(4, 2, "a");
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.height(), 4); // last spine node's legs are deepest
+    }
+
+    #[test]
+    fn full_binary_shape() {
+        let t = full_binary(3, "a");
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.nodes().filter(|&v| t.is_leaf(v)).count(), 8);
+    }
+
+    #[test]
+    fn random_recursive_tree_size_and_labels() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = random_recursive_tree(&mut rng, 500, &["a", "b", "c"]);
+        assert_eq!(t.len(), 500);
+        assert!(t.interner().len() <= 3);
+        // Random recursive trees are shallow with high probability.
+        assert!(t.height() < 60, "height {}", t.height());
+    }
+
+    #[test]
+    fn random_tree_with_depth_is_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for depth in [1u32, 5, 20] {
+            let t = random_tree_with_depth(&mut rng, 300, depth, &["a", "b"]);
+            assert_eq!(t.len(), 300);
+            assert_eq!(t.height(), depth);
+        }
+    }
+
+    #[test]
+    fn xmark_has_expected_structure() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = xmark_document(&mut rng, &XmarkConfig::default());
+        assert_eq!(t.label_name(t.root()), "site");
+        assert_eq!(t.nodes_with_label_name("person").len(), 25);
+        assert_eq!(t.nodes_with_label_name("open_auction").len(), 12);
+        assert!(!t.nodes_with_label_name("parlist").is_empty());
+        // The six regions exist.
+        assert_eq!(t.nodes_with_label_name("africa").len(), 1);
+        // bidders live under open_auction.
+        for &b in t.nodes_with_label_name("bidder") {
+            assert_eq!(t.label_name(t.parent(b).unwrap()), "open_auction");
+        }
+    }
+
+    #[test]
+    fn xmark_scaling() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = xmark_document(&mut rng, &XmarkConfig::scaled_to(500));
+        let large = xmark_document(&mut rng, &XmarkConfig::scaled_to(5_000));
+        assert!(large.len() > 3 * small.len());
+    }
+}

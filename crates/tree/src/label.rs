@@ -1,0 +1,130 @@
+//! Interned node labels.
+//!
+//! The paper works over a node labeling alphabet Σ that is *not* assumed to
+//! be fixed; labels are interned to small integers so that label tests are
+//! integer comparisons and per-label node lists can be indexed densely.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned label. `Symbol(i)` is an index into the owning
+/// [`LabelInterner`]'s string table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// A string interner for node labels.
+#[derive(Clone, Default)]
+pub struct LabelInterner {
+    by_name: HashMap<String, Symbol>,
+    names: Vec<String>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol (allocating one if new).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym =
+            Symbol(u32::try_from(self.names.len()).expect("more than u32::MAX distinct labels"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up an already-interned label without allocating.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The label string of `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(Symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+impl fmt::Debug for LabelInterner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.names.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = LabelInterner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("a"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_allocate() {
+        let mut i = LabelInterner::new();
+        assert!(i.lookup("a").is_none());
+        let a = i.intern("a");
+        assert_eq!(i.lookup("a"), Some(a));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut i = LabelInterner::new();
+        let s = i.intern("descendant");
+        assert_eq!(i.name(s), "descendant");
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = LabelInterner::new();
+        i.intern("x");
+        i.intern("y");
+        let got: Vec<_> = i.iter().map(|(s, n)| (s.0, n.to_owned())).collect();
+        assert_eq!(got, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+}

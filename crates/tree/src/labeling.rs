@@ -1,0 +1,220 @@
+//! Node labeling schemes beyond pre/post (Section 2).
+//!
+//! The pre/post(/parent) triple the [`Tree`] index keeps is the scheme of
+//! \[43, 23\]; the literature the survey cites also uses *hierarchical*
+//! labels — ORDPATH \[63\], Dewey-style paths — whose point is that the
+//! label alone (no other state) answers axis tests, document-order
+//! comparisons, and even survives insertions. [`PathLabel`] is that
+//! scheme: the label of a node is its path of sibling ordinals from the
+//! root, with ORDPATH's trick of leaving odd "careting" gaps so new
+//! siblings can be inserted *between* existing labels without relabeling.
+
+use crate::tree::{NodeId, Tree};
+
+/// A hierarchical node label: the sequence of sibling ordinals on the
+/// path from the root (the root's label is the empty sequence).
+///
+/// Ordinals are signed and spaced out (1, 3, 5, …) at assignment time so
+/// fresh labels can be generated before, after, or between any existing
+/// siblings forever (extra components play the role of ORDPATH's careting
+/// levels; negative ordinals handle insertion before the first sibling).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PathLabel(Vec<i64>);
+
+impl PathLabel {
+    /// The root label.
+    pub fn root() -> PathLabel {
+        PathLabel(Vec::new())
+    }
+
+    /// The raw components.
+    pub fn components(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Depth of the labeled node (= number of components).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether `self` labels a proper ancestor of the node labeled
+    /// `other` — a pure prefix test, no tree access (the selling point of
+    /// hierarchical schemes).
+    pub fn is_ancestor_of(&self, other: &PathLabel) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Document-order (`<pre`) comparison, again label-only:
+    /// lexicographic with "prefix first".
+    pub fn document_cmp(&self, other: &PathLabel) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+
+    /// A label strictly between `left` and `right` in document order, for
+    /// insertion between two siblings without relabeling anything else.
+    /// `None` for either side means "before the first" / "after the last".
+    ///
+    /// # Panics
+    /// Panics if `left ≥ right` (both given), or if a one-sided bound is
+    /// the root label.
+    pub fn between(left: Option<&PathLabel>, right: Option<&PathLabel>) -> PathLabel {
+        match (left, right) {
+            (None, None) => PathLabel(vec![2]),
+            (Some(l), None) => {
+                let mut v = l.0.clone();
+                *v.last_mut().expect("sibling labels are non-root") += 2;
+                PathLabel(v)
+            }
+            (None, Some(r)) => {
+                let mut v = r.0.clone();
+                *v.last_mut().expect("sibling labels are non-root") -= 2;
+                PathLabel(v)
+            }
+            (Some(l), Some(r)) => {
+                assert!(l.0 < r.0, "between() requires left < right");
+                // Walk the common prefix; diverge with integer room if
+                // possible, otherwise extend below the left bound.
+                let mut out = Vec::with_capacity(l.0.len() + 1);
+                let mut i = 0;
+                loop {
+                    match (l.0.get(i), r.0.get(i)) {
+                        (Some(&x), Some(&y)) if x == y => {
+                            out.push(x);
+                            i += 1;
+                        }
+                        (Some(&x), Some(&y)) => {
+                            debug_assert!(x < y);
+                            if y - x >= 2 {
+                                out.push(x + (y - x) / 2);
+                            } else {
+                                // Adjacent: keep x, then go strictly above
+                                // l's remaining suffix (prefix-first order
+                                // makes any proper extension of l larger).
+                                out.push(x);
+                                out.extend_from_slice(&l.0[i + 1..]);
+                                out.push(1);
+                            }
+                            return PathLabel(out);
+                        }
+                        (None, Some(&y)) => {
+                            // l is a proper prefix of r: any extension of l
+                            // below y works.
+                            out.push(y - 1);
+                            return PathLabel(out);
+                        }
+                        _ => unreachable!("left < right rules these out"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The labeling of a whole tree: one [`PathLabel`] per node, assigned
+/// with gaps (ordinals 1, 3, 5, …).
+#[derive(Clone, Debug)]
+pub struct PathLabeling {
+    labels: Vec<PathLabel>,
+}
+
+impl PathLabeling {
+    /// Labels every node of the tree in O(n).
+    pub fn new(t: &Tree) -> PathLabeling {
+        let mut labels = vec![PathLabel::root(); t.len()];
+        for v in t.pre_order() {
+            if let Some(p) = t.parent(v) {
+                let mut path = labels[p.index()].0.clone();
+                path.push(2 * i64::from(t.sibling_index(v)) + 1);
+                labels[v.index()] = PathLabel(path);
+            }
+        }
+        PathLabeling { labels }
+    }
+
+    /// The label of a node.
+    pub fn label(&self, v: NodeId) -> &PathLabel {
+        &self.labels[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_term;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn labels_encode_ancestorship_and_order() {
+        let t = parse_term("a(b(c d) e(f) g)").unwrap();
+        let lab = PathLabeling::new(&t);
+        for x in t.nodes() {
+            for y in t.nodes() {
+                assert_eq!(
+                    lab.label(x).is_ancestor_of(lab.label(y)),
+                    t.is_ancestor(x, y),
+                    "({x:?},{y:?})"
+                );
+                let cmp = lab.label(x).document_cmp(lab.label(y));
+                match cmp {
+                    Ordering::Less => assert!(t.pre(x) < t.pre(y)),
+                    Ordering::Greater => assert!(t.pre(x) > t.pre(y)),
+                    Ordering::Equal => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_matches() {
+        let t = parse_term("a(b(c))").unwrap();
+        let lab = PathLabeling::new(&t);
+        for v in t.nodes() {
+            assert_eq!(lab.label(v).depth() as u32, t.depth(v));
+        }
+    }
+
+    #[test]
+    fn insertion_between_siblings() {
+        let t = parse_term("r(a b)").unwrap();
+        let lab = PathLabeling::new(&t);
+        let a = t.first_child(t.root()).unwrap();
+        let b = t.next_sibling(a).unwrap();
+        let la = lab.label(a);
+        let lb = lab.label(b);
+        // Insert between a and b.
+        let mid = PathLabel::between(Some(la), Some(lb));
+        assert_eq!(la.document_cmp(&mid), Ordering::Less);
+        assert_eq!(mid.document_cmp(lb), Ordering::Less);
+        // Insert before a and after b.
+        let first = PathLabel::between(None, Some(la));
+        assert_eq!(first.document_cmp(la), Ordering::Less);
+        let last = PathLabel::between(Some(lb), None);
+        assert_eq!(lb.document_cmp(&last), Ordering::Less);
+        // All four stay below the root in document order semantics.
+        assert!(lab.label(t.root()).is_ancestor_of(&mid));
+    }
+
+    #[test]
+    fn repeated_insertion_never_relabels() {
+        // Insert 50 times into the same gap: labels keep strictly
+        // ordered without touching the outer labels (the careting trick).
+        let t = parse_term("r(a b)").unwrap();
+        let lab = PathLabeling::new(&t);
+        let a = t.first_child(t.root()).unwrap();
+        let b = t.next_sibling(a).unwrap();
+        let mut left = lab.label(a).clone();
+        let right = lab.label(b).clone();
+        for _ in 0..50 {
+            let mid = PathLabel::between(Some(&left), Some(&right));
+            assert_eq!(left.document_cmp(&mid), Ordering::Less);
+            assert_eq!(mid.document_cmp(&right), Ordering::Less);
+            left = mid;
+        }
+    }
+
+    #[test]
+    fn between_in_empty_list() {
+        let only = PathLabel::between(None, None);
+        assert_eq!(only.depth(), 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! Dense sets of tree nodes, backed by a bitset.
+//!
+//! All the linear-time evaluators in this workspace manipulate whole sets of
+//! nodes at a time (pre-valuations, XPath node sets, datalog predicate
+//! extensions). A `NodeSet` is a fixed-universe bitset over the nodes of one
+//! tree; set operations are word-parallel.
+
+use crate::tree::NodeId;
+
+/// A set of nodes of a fixed tree (universe size fixed at creation).
+#[derive(Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl NodeSet {
+    /// The empty set over a universe of `universe` nodes.
+    pub fn empty(universe: usize) -> Self {
+        Self {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// The full set over a universe of `universe` nodes.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.trim();
+        s
+    }
+
+    /// Builds a set from an iterator of nodes.
+    pub fn from_iter(universe: usize, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut s = Self::empty(universe);
+        for v in nodes {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// A singleton set.
+    pub fn singleton(universe: usize, v: NodeId) -> Self {
+        let mut s = Self::empty(universe);
+        s.insert(v);
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.universe;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0 >> extra;
+            }
+        }
+    }
+
+    /// Size of the universe (not the cardinality).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts a node. Returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        debug_assert!((v.index()) < self.universe, "node out of universe");
+        let w = &mut self.words[v.index() / 64];
+        let bit = 1u64 << (v.index() % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Removes a node. Returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let w = &mut self.words[v.index() / 64];
+        let bit = 1u64 << (v.index() % 64);
+        let present = *w & bit != 0;
+        *w &= !bit;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.words[v.index() / 64] & (1u64 << (v.index() % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection. Returns `true` if the set changed.
+    pub fn intersect_with(&mut self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place complement with respect to the universe.
+    pub fn complement(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// Union as a new set.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Intersection as a new set.
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Whether the two sets intersect.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in increasing `NodeId` order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the elements into a `Vec` in `NodeId` order.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// The minimum element, if any.
+    pub fn min(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+}
+
+/// Iterator over the elements of a [`NodeSet`].
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some(NodeId((self.word_idx * 64) as u32 + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeSet::empty(130);
+        assert!(s.insert(n(0)));
+        assert!(s.insert(n(64)));
+        assert!(s.insert(n(129)));
+        assert!(!s.insert(n(64)));
+        assert!(s.contains(n(129)));
+        assert!(!s.contains(n(128)));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(n(64)));
+        assert!(!s.remove(n(64)));
+        assert_eq!(s.to_vec(), vec![n(0), n(129)]);
+    }
+
+    #[test]
+    fn full_and_complement_respect_universe() {
+        let f = NodeSet::full(70);
+        assert_eq!(f.len(), 70);
+        let mut c = f.clone();
+        c.complement();
+        assert!(c.is_empty());
+        let mut e = NodeSet::empty(70);
+        e.complement();
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_iter(100, [n(1), n(2), n(3), n(80)]);
+        let b = NodeSet::from_iter(100, [n(2), n(80), n(99)]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![n(2), n(80)]);
+        assert_eq!(a.union(&b).len(), 5);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![n(1), n(3)]);
+        assert!(a.intersects(&b));
+        assert!(d.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn intersect_with_reports_change() {
+        let mut a = NodeSet::from_iter(10, [n(1), n(2)]);
+        let b = NodeSet::from_iter(10, [n(1), n(2), n(3)]);
+        assert!(!a.intersect_with(&b));
+        let c = NodeSet::from_iter(10, [n(1)]);
+        assert!(a.intersect_with(&c));
+        assert_eq!(a.to_vec(), vec![n(1)]);
+    }
+
+    #[test]
+    fn iter_order_and_min() {
+        let s = NodeSet::from_iter(200, [n(150), n(3), n(64), n(63)]);
+        assert_eq!(s.to_vec(), vec![n(3), n(63), n(64), n(150)]);
+        assert_eq!(s.min(), Some(n(3)));
+        assert_eq!(NodeSet::empty(5).min(), None);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = NodeSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let f = NodeSet::full(0);
+        assert!(f.is_empty());
+    }
+}

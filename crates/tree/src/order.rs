@@ -1,0 +1,120 @@
+//! The three total node orders of Section 2: `<pre`, `<post`, `<bflr`.
+
+use crate::tree::{NodeId, Tree};
+
+/// A total order on the nodes of a tree.
+///
+/// * [`Order::Pre`] — document order: the order in which opening tags are
+///   seen when reading the XML serialization left to right.
+/// * [`Order::Post`] — the order of closing tags.
+/// * [`Order::Bflr`] — breadth-first left-to-right traversal order.
+///
+/// These are the orders for which the X-underbar property of Section 6 is
+/// examined (Proposition 6.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Order {
+    /// `<pre` — pre-order / document order.
+    Pre,
+    /// `<post` — post-order.
+    Post,
+    /// `<bflr` — breadth-first left-to-right order.
+    Bflr,
+}
+
+impl Order {
+    /// All three orders.
+    pub const ALL: [Order; 3] = [Order::Pre, Order::Post, Order::Bflr];
+
+    /// Rank of `v` in this order (0-based).
+    #[inline]
+    pub fn rank(self, t: &Tree, v: NodeId) -> u32 {
+        match self {
+            Order::Pre => t.pre(v),
+            Order::Post => t.post(v),
+            Order::Bflr => t.bflr(v),
+        }
+    }
+
+    /// Whether `x` precedes `y` strictly in this order.
+    #[inline]
+    pub fn lt(self, t: &Tree, x: NodeId, y: NodeId) -> bool {
+        self.rank(t, x) < self.rank(t, y)
+    }
+
+    /// The node at the given rank.
+    #[inline]
+    pub fn node_at(self, t: &Tree, rank: u32) -> NodeId {
+        match self {
+            Order::Pre => t.node_at_pre(rank),
+            Order::Post => t.node_at_post(rank),
+            Order::Bflr => t.node_at_bflr(rank),
+        }
+    }
+
+    /// The minimum node of a non-empty iterator w.r.t. this order.
+    pub fn min_of(self, t: &Tree, nodes: impl IntoIterator<Item = NodeId>) -> Option<NodeId> {
+        nodes.into_iter().min_by_key(|&v| self.rank(t, v))
+    }
+
+    /// The display name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Order::Pre => "<pre",
+            Order::Post => "<post",
+            Order::Bflr => "<bflr",
+        }
+    }
+}
+
+impl std::fmt::Display for Order {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_term;
+
+    #[test]
+    fn pre_post_characterize_descendant_and_following() {
+        // Section 2: Child⁺(x,y) ⇔ x<pre y ∧ y<post x and
+        // Following(x,y) ⇔ x<pre y ∧ x<post y.
+        let t = parse_term("a(b(c d) e(f(g)) h)").unwrap();
+        for x in t.nodes() {
+            for y in t.nodes() {
+                let desc = Order::Pre.lt(&t, x, y) && Order::Post.lt(&t, y, x);
+                assert_eq!(desc, t.is_ancestor(x, y));
+                let fol = Order::Pre.lt(&t, x, y) && Order::Post.lt(&t, x, y);
+                assert_eq!(fol, t.is_following(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_permutations() {
+        let t = parse_term("a(b(c) d(e f))").unwrap();
+        for ord in Order::ALL {
+            let mut seen = vec![false; t.len()];
+            for v in t.nodes() {
+                let r = ord.rank(&t, v) as usize;
+                assert!(!seen[r], "{ord} rank {r} duplicated");
+                seen[r] = true;
+                assert_eq!(ord.node_at(&t, r as u32), v);
+            }
+        }
+    }
+
+    #[test]
+    fn min_of() {
+        let t = parse_term("a(b c)").unwrap();
+        let all: Vec<_> = t.nodes().collect();
+        assert_eq!(Order::Pre.min_of(&t, all.iter().copied()), Some(t.root()));
+        assert_eq!(
+            Order::Post.min_of(&t, all.iter().copied()),
+            Some(t.first_child(t.root()).unwrap())
+        );
+        assert_eq!(Order::Pre.min_of(&t, std::iter::empty()), None);
+    }
+}

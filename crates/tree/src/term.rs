@@ -1,0 +1,243 @@
+//! A compact term syntax for trees, used pervasively in tests and examples.
+//!
+//! Grammar: `tree ::= label ('+' label)* ( '(' tree+ ')' )?` where siblings
+//! are separated by whitespace or commas and labels are identifiers over
+//! `[A-Za-z0-9_#:.-]`. Multiple `+`-joined labels attach extra labels to the
+//! node (the paper permits multi-labeled nodes).
+//!
+//! Example: `"a(b(a c) a(b d))"` is the tree of Figure 2(a).
+//!
+//! Both parsing and serialization are iterative, so arbitrarily deep trees
+//! are handled without risking stack overflow.
+
+use std::fmt::Write as _;
+
+use crate::builder::TreeBuilder;
+use crate::tree::{NodeId, Tree};
+
+/// Error produced by [`parse_term`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TermError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "term parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for TermError {}
+
+fn is_label_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '#' | ':' | '.' | '-')
+}
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, TermError> {
+        Err(TermError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace() || c == ',') {
+            self.bump();
+        }
+    }
+
+    fn label(&mut self) -> Result<&'a str, TermError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if is_label_char(c)) {
+            self.bump();
+        }
+        if self.pos == start {
+            return self.err("expected a label");
+        }
+        Ok(&self.input[start..self.pos])
+    }
+}
+
+/// Parses the term syntax into a frozen [`Tree`].
+pub fn parse_term(input: &str) -> Result<Tree, TermError> {
+    let mut c = Cursor { input, pos: 0 };
+    let mut b = TreeBuilder::new();
+    // Stack of nodes whose child list is currently open.
+    let mut open: Vec<NodeId> = Vec::new();
+    let mut root_done = false;
+
+    c.skip_ws();
+    loop {
+        if root_done && open.is_empty() {
+            break;
+        }
+        // One node: label(+label)* followed optionally by '('.
+        let first = c.label()?;
+        let id = match open.last() {
+            Some(&p) => b.child(p, first),
+            None => {
+                if root_done {
+                    return c.err("trailing input after tree");
+                }
+                root_done = true;
+                b.root(first)
+            }
+        };
+        while c.peek() == Some('+') {
+            c.bump();
+            let extra = c.label()?;
+            b.add_label(id, extra);
+        }
+        c.skip_ws();
+        if c.peek() == Some('(') {
+            c.bump();
+            c.skip_ws();
+            if c.peek() == Some(')') {
+                return c.err("empty child list");
+            }
+            open.push(id);
+            continue;
+        }
+        // Node closed; close any parenthesized groups that end here.
+        c.skip_ws();
+        while c.peek() == Some(')') {
+            if open.pop().is_none() {
+                return c.err("unmatched ')'");
+            }
+            c.bump();
+            c.skip_ws();
+        }
+        if open.is_empty() {
+            break;
+        }
+    }
+    c.skip_ws();
+    if c.pos != input.len() {
+        return c.err("trailing input after tree");
+    }
+    if !open.is_empty() {
+        return c.err("unclosed '('");
+    }
+    if !root_done {
+        return c.err("expected a tree");
+    }
+    Ok(b.freeze())
+}
+
+/// Serializes a tree back to the term syntax (inverse of [`parse_term`]).
+pub fn to_term(t: &Tree) -> String {
+    let mut out = String::with_capacity(t.len() * 4);
+    // Explicit stack: `Ok(node)` renders a node, `Err(s)` emits punctuation.
+    let mut stack: Vec<Result<NodeId, &str>> = vec![Ok(t.root())];
+    while let Some(item) = stack.pop() {
+        match item {
+            Err(s) => out.push_str(s),
+            Ok(v) => {
+                let mut labels = t.labels(v);
+                let _ = write!(out, "{}", t.interner().name(labels.next().expect("label")));
+                for extra in labels {
+                    let _ = write!(out, "+{}", t.interner().name(extra));
+                }
+                let children: Vec<_> = t.children(v).collect();
+                if !children.is_empty() {
+                    out.push('(');
+                    stack.push(Err(")"));
+                    for (i, &child) in children.iter().enumerate().rev() {
+                        stack.push(Ok(child));
+                        if i > 0 {
+                            stack.push(Err(" "));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        for s in ["a", "a(b)", "a(b c)", "a(b(a c) a(b d))", "r(x(y(z)) w)"] {
+            let t = parse_term(s).unwrap();
+            assert_eq!(to_term(&t), s);
+        }
+    }
+
+    #[test]
+    fn commas_and_whitespace_are_separators() {
+        let t = parse_term("a( b , c )").unwrap();
+        assert_eq!(to_term(&t), "a(b c)");
+    }
+
+    #[test]
+    fn multi_labels_round_trip() {
+        let t = parse_term("a+x(b c+y)").unwrap();
+        assert_eq!(to_term(&t), "a+x(b c+y)");
+        let r = t.root();
+        assert!(t.has_label_name(r, "x"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_term("").is_err());
+        assert!(parse_term("a(").is_err());
+        assert!(parse_term("a()").is_err());
+        assert!(parse_term("a)b").is_err());
+        assert!(parse_term("a b").is_err()); // two roots
+        assert!(parse_term("a(b))").is_err()); // unmatched close
+    }
+
+    #[test]
+    fn nested_structure() {
+        let t = parse_term("a(b(c d(e)) f)").unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(to_term(&t), "a(b(c d(e)) f)");
+        let a = t.root();
+        let b = t.first_child(a).unwrap();
+        let f = t.next_sibling(b).unwrap();
+        assert_eq!(t.label_name(f), "f");
+        assert!(t.is_leaf(f));
+    }
+
+    #[test]
+    fn deep_term_round_trip() {
+        let mut s = String::new();
+        for _ in 0..50_000 {
+            s.push_str("x(");
+        }
+        s.push('y');
+        for _ in 0..50_000 {
+            s.push(')');
+        }
+        let t = parse_term(&s).unwrap();
+        assert_eq!(t.len(), 50_001);
+        assert_eq!(to_term(&t), s);
+    }
+}

@@ -1,0 +1,273 @@
+//! A tiny XML subset parser and serializer.
+//!
+//! The paper studies queries on "the bare tree structures of the parse
+//! trees of XML documents" (Section 2) — element structure only. This
+//! module parses exactly that: element tags (attributes are skipped),
+//! comments, processing instructions and DOCTYPE declarations are ignored,
+//! text content is ignored. It is not a general XML processor.
+
+use crate::builder::TreeBuilder;
+use crate::tree::{NodeId, Tree};
+
+/// Error produced by [`parse_xml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "xml parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Scanner<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, pat: &str) -> Result<(), XmlError> {
+        match self.input[self.pos..]
+            .windows(pat.len())
+            .position(|w| w == pat.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + pat.len();
+                Ok(())
+            }
+            None => self.err(format!("expected '{pat}'")),
+        }
+    }
+
+    fn name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected an element name");
+        }
+        std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| XmlError {
+            offset: start,
+            message: "element name is not UTF-8".into(),
+        })
+    }
+
+    /// Skips attributes up to (not including) `>` or `/>`, honoring quotes.
+    fn skip_attributes(&mut self) -> Result<(), XmlError> {
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated tag"),
+                Some(b'>') | Some(b'/') => return Ok(()),
+                Some(b'"') | Some(b'\'') => {
+                    let quote = self.peek().unwrap();
+                    self.pos += 1;
+                    while self.peek() != Some(quote) {
+                        if self.peek().is_none() {
+                            return self.err("unterminated attribute value");
+                        }
+                        self.pos += 1;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+}
+
+/// Parses the element structure of an XML document into a [`Tree`].
+pub fn parse_xml(input: &str) -> Result<Tree, XmlError> {
+    let mut s = Scanner {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    let mut b = TreeBuilder::new();
+    let mut open: Vec<(NodeId, String)> = Vec::new();
+    let mut root_seen = false;
+
+    loop {
+        match s.peek() {
+            None => break,
+            Some(b'<') => {
+                if s.starts_with("<!--") {
+                    s.skip_until("-->")?;
+                } else if s.starts_with("<?") {
+                    s.skip_until("?>")?;
+                } else if s.starts_with("<!") {
+                    // DOCTYPE and friends; no internal-subset support.
+                    s.skip_until(">")?;
+                } else if s.starts_with("</") {
+                    s.pos += 2;
+                    let name = s.name()?.to_owned();
+                    while s.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+                        s.pos += 1;
+                    }
+                    if s.peek() != Some(b'>') {
+                        return s.err("expected '>' after closing tag name");
+                    }
+                    s.pos += 1;
+                    match open.pop() {
+                        Some((_, expected)) if expected == name => {}
+                        Some((_, expected)) => {
+                            return s.err(format!(
+                                "mismatched close: </{name}>, expected </{expected}>"
+                            ))
+                        }
+                        None => return s.err(format!("close tag </{name}> without open tag")),
+                    }
+                } else {
+                    s.pos += 1;
+                    let name = s.name()?.to_owned();
+                    s.skip_attributes()?;
+                    let self_closing = s.peek() == Some(b'/');
+                    if self_closing {
+                        s.pos += 1;
+                    }
+                    if s.peek() != Some(b'>') {
+                        return s.err("expected '>'");
+                    }
+                    s.pos += 1;
+                    let id = match open.last() {
+                        Some(&(parent, _)) => b.child(parent, &name),
+                        None => {
+                            if root_seen {
+                                return s.err("document has more than one root element");
+                            }
+                            root_seen = true;
+                            b.root(&name)
+                        }
+                    };
+                    if !self_closing {
+                        open.push((id, name));
+                    }
+                }
+            }
+            // Text content and whitespace are ignored.
+            Some(_) => s.pos += 1,
+        }
+    }
+    if let Some((_, name)) = open.pop() {
+        return s.err(format!("unclosed element <{name}>"));
+    }
+    if !root_seen {
+        return s.err("no root element");
+    }
+    Ok(b.freeze())
+}
+
+/// Serializes the element structure of a tree as XML (no text content;
+/// leaves become self-closing tags).
+pub fn to_xml(t: &Tree) -> String {
+    let mut out = String::with_capacity(t.len() * 8);
+    enum Op {
+        Open(NodeId),
+        Close(NodeId),
+    }
+    let mut stack = vec![Op::Open(t.root())];
+    while let Some(op) = stack.pop() {
+        match op {
+            Op::Close(v) => {
+                out.push_str("</");
+                out.push_str(t.label_name(v));
+                out.push('>');
+            }
+            Op::Open(v) => {
+                out.push('<');
+                out.push_str(t.label_name(v));
+                if t.is_leaf(v) {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    stack.push(Op::Close(v));
+                    let children: Vec<_> = t.children(v).collect();
+                    for &c in children.iter().rev() {
+                        stack.push(Op::Open(c));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_document() {
+        let t = parse_xml("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(t.to_string(), "a(b c(d))");
+    }
+
+    #[test]
+    fn attributes_text_comments_are_skipped() {
+        let doc = r#"<?xml version="1.0"?>
+            <!DOCTYPE a>
+            <a x="1" y='<fake>'>
+              hello <!-- <not-a-tag/> --> world
+              <b attr="v/>still attr"/>
+            </a>"#;
+        let t = parse_xml(doc).unwrap();
+        assert_eq!(t.to_string(), "a(b)");
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = "<site><people><person/><person/></people><regions/></site>";
+        let t = parse_xml(original).unwrap();
+        assert_eq!(to_xml(&t), original);
+        let t2 = parse_xml(&to_xml(&t)).unwrap();
+        assert_eq!(t.to_string(), t2.to_string());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_xml("").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></b>").is_err());
+        assert!(parse_xml("</a>").is_err());
+        assert!(parse_xml("<a/><b/>").is_err());
+        assert!(parse_xml("<a foo=>").is_err()); // unterminated element
+    }
+
+    #[test]
+    fn pre_order_matches_tag_order() {
+        // Section 2: <pre is the order of opening tags.
+        let t = parse_xml("<a><b><c/></b><d/></a>").unwrap();
+        let labels: Vec<_> = t.pre_order().map(|v| t.label_name(v).to_owned()).collect();
+        assert_eq!(labels, ["a", "b", "c", "d"]);
+        // and <post is the order of closing tags.
+        let labels: Vec<_> = t.post_order().map(|v| t.label_name(v).to_owned()).collect();
+        assert_eq!(labels, ["c", "b", "d", "a"]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Abstract syntax of Core XPath.
+
+use std::fmt;
+
+use treequery_tree::Axis;
+
+/// A Core XPath path expression (`p` in the Section 3 grammar).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Path {
+    /// A step: an axis with zero or more qualifiers (`axis[q₁]…[qₖ]`).
+    Step {
+        /// The axis relation.
+        axis: Axis,
+        /// Qualifiers, conjunctively.
+        quals: Vec<Qual>,
+    },
+    /// Composition `p₁/p₂`.
+    Seq(Box<Path>, Box<Path>),
+    /// Union `p₁ ∪ p₂`.
+    Union(Box<Path>, Box<Path>),
+}
+
+/// A Core XPath qualifier (`q` in the grammar).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Qual {
+    /// A path used existentially: true iff it selects at least one node.
+    Path(Path),
+    /// `lab() = L`.
+    Label(String),
+    /// Conjunction.
+    And(Box<Qual>, Box<Qual>),
+    /// Disjunction.
+    Or(Box<Qual>, Box<Qual>),
+    /// Negation.
+    Not(Box<Qual>),
+}
+
+impl Path {
+    /// A bare axis step.
+    pub fn step(axis: Axis) -> Path {
+        Path::Step {
+            axis,
+            quals: Vec::new(),
+        }
+    }
+
+    /// A step testing the node label (`axis::L` sugar: the axis with a
+    /// `lab() = L` qualifier).
+    pub fn labeled_step(axis: Axis, label: &str) -> Path {
+        Path::Step {
+            axis,
+            quals: vec![Qual::Label(label.to_owned())],
+        }
+    }
+
+    /// `self/other`.
+    pub fn then(self, other: Path) -> Path {
+        Path::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: Path) -> Path {
+        Path::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Adds a qualifier to the *last* step of the path.
+    pub fn filtered(mut self, q: Qual) -> Path {
+        match &mut self {
+            Path::Step { quals, .. } => quals.push(q),
+            Path::Seq(_, p2) => {
+                let taken = std::mem::replace(p2.as_mut(), Path::step(Axis::SelfAxis));
+                **p2 = taken.filtered(q);
+            }
+            Path::Union(..) => {
+                // Filter a union by sequencing with a qualified Self step.
+                return self.then(Path::Step {
+                    axis: Axis::SelfAxis,
+                    quals: vec![q],
+                });
+            }
+        }
+        self
+    }
+
+    /// Query size `|Q|`: number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Path::Step { quals, .. } => 1 + quals.iter().map(Qual::size).sum::<usize>(),
+            Path::Seq(a, b) | Path::Union(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Whether the expression is *conjunctive* Core XPath: no union, no
+    /// disjunction, no negation (the Proposition 4.2 fragment).
+    pub fn is_conjunctive(&self) -> bool {
+        match self {
+            Path::Step { quals, .. } => quals.iter().all(Qual::is_conjunctive),
+            Path::Seq(a, b) => a.is_conjunctive() && b.is_conjunctive(),
+            Path::Union(..) => false,
+        }
+    }
+
+    /// Whether the expression is *positive*: no negation (the LOGCFL
+    /// fragment of Section 4).
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Path::Step { quals, .. } => quals.iter().all(Qual::is_positive),
+            Path::Seq(a, b) | Path::Union(a, b) => a.is_positive() && b.is_positive(),
+        }
+    }
+
+    /// Whether the expression is a *forward* query (Section 5): only
+    /// forward axes anywhere.
+    pub fn is_forward(&self) -> bool {
+        match self {
+            Path::Step { axis, quals } => axis.is_forward() && quals.iter().all(Qual::is_forward),
+            Path::Seq(a, b) | Path::Union(a, b) => a.is_forward() && b.is_forward(),
+        }
+    }
+}
+
+impl Qual {
+    /// AST size.
+    pub fn size(&self) -> usize {
+        match self {
+            Qual::Path(p) => 1 + p.size(),
+            Qual::Label(_) => 1,
+            Qual::And(a, b) | Qual::Or(a, b) => 1 + a.size() + b.size(),
+            Qual::Not(q) => 1 + q.size(),
+        }
+    }
+
+    fn is_conjunctive(&self) -> bool {
+        match self {
+            Qual::Path(p) => p.is_conjunctive(),
+            Qual::Label(_) => true,
+            Qual::And(a, b) => a.is_conjunctive() && b.is_conjunctive(),
+            Qual::Or(..) | Qual::Not(..) => false,
+        }
+    }
+
+    fn is_positive(&self) -> bool {
+        match self {
+            Qual::Path(p) => p.is_positive(),
+            Qual::Label(_) => true,
+            Qual::And(a, b) | Qual::Or(a, b) => a.is_positive() && b.is_positive(),
+            Qual::Not(..) => false,
+        }
+    }
+
+    fn is_forward(&self) -> bool {
+        match self {
+            Qual::Path(p) => p.is_forward(),
+            Qual::Label(_) => true,
+            Qual::And(a, b) | Qual::Or(a, b) => a.is_forward() && b.is_forward(),
+            Qual::Not(q) => q.is_forward(),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Path::Step { axis, quals } => {
+                write!(f, "{}::*", axis.name().to_ascii_lowercase())?;
+                for q in quals {
+                    write!(f, "[{q}]")?;
+                }
+                Ok(())
+            }
+            Path::Seq(a, b) => write!(f, "{a}/{b}"),
+            Path::Union(a, b) => write!(f, "({a} | {b})"),
+        }
+    }
+}
+
+impl fmt::Display for Qual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qual::Path(p) => write!(f, "{p}"),
+            Qual::Label(l) => write!(f, "lab()={l}"),
+            Qual::And(a, b) => write!(f, "({a} and {b})"),
+            Qual::Or(a, b) => write!(f, "({a} or {b})"),
+            Qual::Not(q) => write!(f, "not({q})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_predicates() {
+        let p = Path::labeled_step(Axis::Child, "a")
+            .then(Path::step(Axis::Descendant))
+            .filtered(Qual::Label("b".into()));
+        assert!(p.is_conjunctive());
+        assert!(p.is_positive());
+        assert!(p.is_forward());
+        assert_eq!(p.size(), 5);
+
+        let neg = Path::step(Axis::Child).filtered(Qual::Not(Box::new(Qual::Label("a".into()))));
+        assert!(!neg.is_conjunctive());
+        assert!(!neg.is_positive());
+
+        let back = Path::step(Axis::Parent);
+        assert!(!back.is_forward());
+
+        let u = Path::step(Axis::Child).union(Path::step(Axis::Descendant));
+        assert!(!u.is_conjunctive());
+        assert!(u.is_positive());
+    }
+
+    #[test]
+    fn filtered_attaches_to_last_step() {
+        let p = Path::step(Axis::Child)
+            .then(Path::step(Axis::Child))
+            .filtered(Qual::Label("x".into()));
+        let Path::Seq(_, second) = &p else {
+            panic!("expected Seq")
+        };
+        let Path::Step { quals, .. } = second.as_ref() else {
+            panic!("expected Step")
+        };
+        assert_eq!(quals.len(), 1);
+    }
+
+    #[test]
+    fn filtered_union_wraps_with_self() {
+        let u = Path::step(Axis::Child)
+            .union(Path::step(Axis::Descendant))
+            .filtered(Qual::Label("x".into()));
+        assert!(matches!(u, Path::Seq(..)));
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let p = Path::labeled_step(Axis::Child, "a").then(Path::step(Axis::Following));
+        assert_eq!(p.to_string(), "child::*[lab()=a]/following::*");
+    }
+}

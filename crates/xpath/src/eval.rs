@@ -1,0 +1,225 @@
+//! The efficient set-at-a-time Core XPath evaluator.
+//!
+//! Every construct is evaluated on whole node sets: a step is one O(n)
+//! axis-image sweep plus qualifier intersections, a qualifier is one node
+//! set (the nodes where it holds), and existential path qualifiers are
+//! computed *backwards* through [`sources`] (preimages). Total time
+//! `O(|D| · |Q|)` — the combined complexity discussed in Section 4 for
+//! Core XPath via FO² (the PTime upper bound; data complexity is linear).
+
+use treequery_tree::{Axis, NodeSet, Tree};
+
+use crate::ast::{Path, Qual};
+
+/// The nodes on which a qualifier holds. O(n · |q|).
+fn qual_nodes(q: &Qual, t: &Tree) -> NodeSet {
+    match q {
+        Qual::Label(l) => NodeSet::from_iter(t.len(), t.nodes_with_label_name(l).iter().copied()),
+        Qual::Path(p) => sources(p, t, &NodeSet::full(t.len())),
+        Qual::And(a, b) => {
+            let mut s = qual_nodes(a, t);
+            s.intersect_with(&qual_nodes(b, t));
+            s
+        }
+        Qual::Or(a, b) => {
+            let mut s = qual_nodes(a, t);
+            s.union_with(&qual_nodes(b, t));
+            s
+        }
+        Qual::Not(inner) => {
+            let mut s = qual_nodes(inner, t);
+            s.complement();
+            s
+        }
+    }
+}
+
+/// The nodes a step can land on: all nodes passing the step's qualifiers.
+fn step_filter(quals: &[Qual], t: &Tree) -> NodeSet {
+    let mut s = NodeSet::full(t.len());
+    for q in quals {
+        s.intersect_with(&qual_nodes(q, t));
+    }
+    s
+}
+
+/// Forward image: `⋃ { [[p]](n) : n ∈ from }`. O(n · |p|).
+pub fn select(p: &Path, t: &Tree, from: &NodeSet) -> NodeSet {
+    match p {
+        Path::Step { axis, quals } => {
+            let mut img = axis.image(t, from);
+            img.intersect_with(&step_filter(quals, t));
+            img
+        }
+        Path::Seq(p1, p2) => {
+            let mid = select(p1, t, from);
+            select(p2, t, &mid)
+        }
+        Path::Union(p1, p2) => {
+            let mut s = select(p1, t, from);
+            s.union_with(&select(p2, t, from));
+            s
+        }
+    }
+}
+
+/// Backward image: `{ n : [[p]](n) ∩ targets ≠ ∅ }`. O(n · |p|).
+pub fn sources(p: &Path, t: &Tree, targets: &NodeSet) -> NodeSet {
+    match p {
+        Path::Step { axis, quals } => {
+            let mut tgt = targets.clone();
+            tgt.intersect_with(&step_filter(quals, t));
+            axis.preimage(t, &tgt)
+        }
+        Path::Seq(p1, p2) => {
+            let mid = sources(p2, t, targets);
+            sources(p1, t, &mid)
+        }
+        Path::Union(p1, p2) => {
+            let mut s = sources(p1, t, targets);
+            s.union_with(&sources(p2, t, targets));
+            s
+        }
+    }
+}
+
+/// Evaluates `p` relative to a set of context nodes (the paper's
+/// `[[p]]NodeSet` lifted to sets).
+pub fn eval(p: &Path, t: &Tree, context: &NodeSet) -> NodeSet {
+    select(p, t, context)
+}
+
+/// Evaluates the unary query from the virtual document node: `/a` tests
+/// the root element, `//a` selects all `a` nodes (same convention as
+/// [`crate::eval_reference`]).
+pub fn eval_query(p: &Path, t: &Tree) -> NodeSet {
+    match p {
+        Path::Step { axis, quals } => {
+            let base = match axis {
+                Axis::Child => NodeSet::singleton(t.len(), t.root()),
+                Axis::Descendant | Axis::DescendantOrSelf => NodeSet::full(t.len()),
+                _ => NodeSet::empty(t.len()),
+            };
+            let mut out = base;
+            out.intersect_with(&step_filter(quals, t));
+            out
+        }
+        Path::Seq(p1, p2) => {
+            let first = eval_query(p1, t);
+            select(p2, t, &first)
+        }
+        Path::Union(p1, p2) => {
+            let mut s = eval_query(p1, t);
+            s.union_with(&eval_query(p2, t));
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use crate::reference::eval_reference;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use treequery_tree::{parse_term, random_recursive_tree, xmark_document, XmarkConfig};
+
+    /// The fast evaluator agrees with the literal (P1)–(P4)/(Q1)–(Q5)
+    /// semantics across a battery of queries and trees.
+    #[test]
+    fn agrees_with_reference() {
+        let queries = [
+            "/r",
+            "//a",
+            "//a/b",
+            "//a[b]/c",
+            "//a[not(b)]",
+            "//a[b or not(c and lab()=a)]",
+            "//a/following-sibling::b",
+            "//b/parent::a",
+            "//a[ancestor::b]",
+            "//a/descendant-or-self::*[lab()=c]",
+            "//a[following::c]",
+            "//c/preceding::a",
+            "//a | //b[c]",
+            "/r/*[not(following-sibling::*)]",
+            "//a[./b/..[c]]",
+            "//*[self::a or self::b]/child::c",
+        ];
+        let trees = [
+            "r(a(b c) b(a(c) c) a)",
+            "r(a(a(a(b))) c)",
+            "r(x y z)",
+            "a",
+            "r(a(b(c) b) a(c(b)) b(a))",
+        ];
+        for qs in queries {
+            let q = parse_xpath(qs).unwrap();
+            for ts in trees {
+                let t = parse_term(ts).unwrap();
+                assert_eq!(eval_query(&q, &t), eval_reference(&q, &t), "{qs} on {ts}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_reference_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let queries = [
+            "//a[b]/c",
+            "//a[not(b or c)]",
+            "//b/ancestor::a[following-sibling::c]",
+            "//a//b[not(parent::a)]",
+        ];
+        for _ in 0..10 {
+            let t = random_recursive_tree(&mut rng, 80, &["a", "b", "c", "r"]);
+            for qs in queries {
+                let q = parse_xpath(qs).unwrap();
+                assert_eq!(eval_query(&q, &t), eval_reference(&q, &t), "{qs} on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn xmark_queries() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = xmark_document(&mut rng, &XmarkConfig::default());
+        // Every person with an address has street and city.
+        let q = parse_xpath("//person[address]").unwrap();
+        let with_addr = eval_query(&q, &t);
+        let q2 = parse_xpath("//person[address/street and address/city]").unwrap();
+        assert_eq!(eval_query(&q2, &t), with_addr);
+        // Auctions with at least one bidder.
+        let q3 = parse_xpath("//open_auction[bidder]").unwrap();
+        let q4 = parse_xpath("//open_auction[not(not(bidder/increase))]").unwrap();
+        assert_eq!(eval_query(&q3, &t), eval_query(&q4, &t));
+        // Items in African region.
+        let q5 = parse_xpath("/site/regions/africa/item").unwrap();
+        assert_eq!(
+            eval_query(&q5, &t).len(),
+            XmarkConfig::default().items_per_region
+        );
+    }
+
+    #[test]
+    fn relative_eval_from_context() {
+        let t = parse_term("r(a(b) a(c))").unwrap();
+        let ctx = NodeSet::from_iter(t.len(), t.nodes_with_label_name("a").iter().copied());
+        let q = parse_xpath("child::*").unwrap();
+        let res = eval(&q, &t, &ctx);
+        assert_eq!(res.len(), 2); // b and c
+    }
+
+    #[test]
+    fn sources_is_preimage_of_select() {
+        let t = parse_term("r(a(b c) b(c))").unwrap();
+        let q = parse_xpath("child::b/child::c").unwrap();
+        let src = sources(&q, &t, &NodeSet::full(t.len()));
+        // Exactly the nodes from which the path selects something.
+        for n in t.nodes() {
+            let sel = select(&q, &t, &NodeSet::singleton(t.len(), n));
+            assert_eq!(src.contains(n), !sel.is_empty(), "{n:?}");
+        }
+    }
+}

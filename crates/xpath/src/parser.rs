@@ -1,0 +1,367 @@
+//! Parser for Core XPath.
+//!
+//! Accepts both the paper's explicit notation and abbreviated XPath:
+//!
+//! * `child::a`, `descendant::*`, `following-sibling::b`, `parent::*` —
+//!   explicit axes (all [`Axis::parse`] names work, including `child+`);
+//! * `/a/b`, `//a`, `a//b` — abbreviated steps (default axis `child`,
+//!   `//` for `descendant`); `.` is `self::*`, `..` is `parent::*`;
+//! * qualifiers `[...]` containing `and`, `or`, `not(...)`, nested
+//!   relative paths, and label tests `lab()=a` (also `self::a`);
+//! * unions with `|` (or `∪`).
+
+use treequery_tree::Axis;
+
+use crate::ast::{Path, Qual};
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for XPathParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "xpath parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for XPathParseError {}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XPathParseError> {
+        Err(XPathParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn ws(&mut self) {
+        while self.input[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(char::is_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_str(&mut self, pat: &str) -> bool {
+        self.ws();
+        self.input[self.pos..].starts_with(pat)
+    }
+
+    fn eat(&mut self, pat: &str) -> bool {
+        if self.peek_str(pat) {
+            self.pos += pat.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A name: letters/digits/underscore/hyphen with optional trailing
+    /// `+`/`*` (for the paper's axis names).
+    fn name(&mut self) -> Result<&'a str, XPathParseError> {
+        self.ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_alphanumeric() || matches!(bytes[self.pos], b'_' | b'-'))
+        {
+            self.pos += 1;
+        }
+        while self.pos < bytes.len() && matches!(bytes[self.pos], b'+') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// union := sequence ( '|' sequence )*
+    fn union(&mut self) -> Result<Path, XPathParseError> {
+        let mut p = self.sequence()?;
+        loop {
+            self.ws();
+            if self.eat("|") || self.eat("∪") {
+                let rhs = self.sequence()?;
+                p = p.union(rhs);
+            } else {
+                return Ok(p);
+            }
+        }
+    }
+
+    /// sequence := ('/' | '//')? step ( ('/' | '//') step )*
+    ///
+    /// A leading `/` is allowed and ignored (queries are evaluated from
+    /// the virtual document node either way); `//` turns the following
+    /// abbreviated step's axis into `descendant`.
+    fn sequence(&mut self) -> Result<Path, XPathParseError> {
+        let mut descendant_prefix = false;
+        if self.eat("//") {
+            descendant_prefix = true;
+        } else {
+            let _ = self.eat("/");
+        }
+        let mut p = self.step(descendant_prefix)?;
+        loop {
+            self.ws();
+            if self.peek_str("//") {
+                self.eat("//");
+                let s = self.step(true)?;
+                p = p.then(s);
+            } else if self.peek_str("/") && !self.peek_str("/)") {
+                self.eat("/");
+                let s = self.step(false)?;
+                p = p.then(s);
+            } else {
+                return Ok(p);
+            }
+        }
+    }
+
+    /// step := axis_spec ('[' qual ']')*
+    fn step(&mut self, descendant: bool) -> Result<Path, XPathParseError> {
+        self.ws();
+        let mut path = if self.eat("..") {
+            Path::step(Axis::Parent)
+        } else if self.eat(".") {
+            Path::step(Axis::SelfAxis)
+        } else if self.eat("*") {
+            Path::step(if descendant {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            })
+        } else {
+            let save = self.pos;
+            let n = self.name()?;
+            if self.eat("::") {
+                // Explicit axis.
+                let Some(axis) = Axis::parse(n) else {
+                    self.pos = save;
+                    return self.err(format!("unknown axis '{n}'"));
+                };
+                let test = self.node_test(axis)?;
+                if descendant {
+                    // `//axis::x` — insert a descendant-or-self hop.
+                    Path::step(Axis::DescendantOrSelf).then(test)
+                } else {
+                    test
+                }
+            } else {
+                // Abbreviated name step.
+                let axis = if descendant {
+                    Axis::Descendant
+                } else {
+                    Axis::Child
+                };
+                Path::labeled_step(axis, n)
+            }
+        };
+        while self.eat("[") {
+            let q = self.qual()?;
+            if !self.eat("]") {
+                return self.err("expected ']'");
+            }
+            path = path.filtered(q);
+        }
+        Ok(path)
+    }
+
+    /// The node test after `axis::` — `*` or a label name.
+    fn node_test(&mut self, axis: Axis) -> Result<Path, XPathParseError> {
+        self.ws();
+        if self.eat("*") {
+            Ok(Path::step(axis))
+        } else {
+            let label = self.name()?;
+            Ok(Path::labeled_step(axis, label))
+        }
+    }
+
+    /// qual := and_expr ('or' and_expr)*
+    fn qual(&mut self) -> Result<Qual, XPathParseError> {
+        let mut q = self.and_expr()?;
+        while self.eat_word("or") {
+            let rhs = self.and_expr()?;
+            q = Qual::Or(Box::new(q), Box::new(rhs));
+        }
+        Ok(q)
+    }
+
+    fn and_expr(&mut self) -> Result<Qual, XPathParseError> {
+        let mut q = self.unary_qual()?;
+        while self.eat_word("and") {
+            let rhs = self.unary_qual()?;
+            q = Qual::And(Box::new(q), Box::new(rhs));
+        }
+        Ok(q)
+    }
+
+    /// Keyword match that does not eat prefixes of longer names.
+    fn eat_word(&mut self, w: &str) -> bool {
+        self.ws();
+        let rest = &self.input[self.pos..];
+        if let Some(after_str) = rest.strip_prefix(w) {
+            let after = after_str.chars().next();
+            if !after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+                self.pos += w.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn unary_qual(&mut self) -> Result<Qual, XPathParseError> {
+        self.ws();
+        if self.eat_word("not") {
+            if !self.eat("(") {
+                return self.err("expected '(' after not");
+            }
+            let q = self.qual()?;
+            if !self.eat(")") {
+                return self.err("expected ')'");
+            }
+            return Ok(Qual::Not(Box::new(q)));
+        }
+        if self.eat("(") {
+            let q = self.qual()?;
+            if !self.eat(")") {
+                return self.err("expected ')'");
+            }
+            return Ok(q);
+        }
+        if self.eat_word("lab") {
+            if !(self.eat("(") && self.eat(")") && self.eat("=")) {
+                return self.err("expected lab()=label");
+            }
+            let label = self.name()?;
+            return Ok(Qual::Label(label.to_owned()));
+        }
+        // A relative path qualifier.
+        let p = self.union()?;
+        Ok(Qual::Path(p))
+    }
+}
+
+/// Parses a Core XPath expression.
+pub fn parse_xpath(input: &str) -> Result<Path, XPathParseError> {
+    let mut p = P { input, pos: 0 };
+    let path = p.union()?;
+    p.ws();
+    if p.pos != input.len() {
+        return p.err("trailing input");
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviated_steps() {
+        let p = parse_xpath("/site/people/person").unwrap();
+        assert_eq!(
+            p,
+            Path::labeled_step(Axis::Child, "site")
+                .then(Path::labeled_step(Axis::Child, "people"))
+                .then(Path::labeled_step(Axis::Child, "person"))
+        );
+    }
+
+    #[test]
+    fn descendant_abbreviation() {
+        let p = parse_xpath("//person//name").unwrap();
+        assert_eq!(
+            p,
+            Path::labeled_step(Axis::Descendant, "person")
+                .then(Path::labeled_step(Axis::Descendant, "name"))
+        );
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let p = parse_xpath("child::a/following-sibling::*/parent::b").unwrap();
+        assert_eq!(
+            p,
+            Path::labeled_step(Axis::Child, "a")
+                .then(Path::step(Axis::FollowingSibling))
+                .then(Path::labeled_step(Axis::Parent, "b"))
+        );
+    }
+
+    #[test]
+    fn paper_axis_names() {
+        let p = parse_xpath("child+::a").unwrap();
+        assert_eq!(p, Path::labeled_step(Axis::Descendant, "a"));
+    }
+
+    #[test]
+    fn qualifiers() {
+        let p = parse_xpath("//a[b and not(c or lab()=d)]").unwrap();
+        let Path::Step { axis, quals } = &p else {
+            panic!("expected step")
+        };
+        assert_eq!(*axis, Axis::Descendant);
+        assert_eq!(quals.len(), 2); // label test + the bracket qualifier
+        let Qual::And(lhs, rhs) = &quals[1] else {
+            panic!("expected And, got {:?}", quals[1])
+        };
+        assert!(matches!(**lhs, Qual::Path(_)));
+        assert!(matches!(**rhs, Qual::Not(_)));
+    }
+
+    #[test]
+    fn union_and_parens_inside_qualifier() {
+        let p = parse_xpath("a | b[c | d]").unwrap();
+        assert!(matches!(p, Path::Union(..)));
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let p = parse_xpath("./..").unwrap();
+        assert_eq!(p, Path::step(Axis::SelfAxis).then(Path::step(Axis::Parent)));
+    }
+
+    #[test]
+    fn nested_path_qualifiers() {
+        let p = parse_xpath("//open_auction[bidder/increase]").unwrap();
+        let Path::Step { quals, .. } = &p else {
+            panic!()
+        };
+        assert_eq!(quals.len(), 2);
+    }
+
+    #[test]
+    fn double_slash_with_explicit_axis() {
+        let p = parse_xpath("a//ancestor::b").unwrap();
+        // a / descendant-or-self::* / ancestor::b
+        assert!(matches!(p, Path::Seq(..)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_xpath("").is_err());
+        assert!(parse_xpath("frob::a").is_err());
+        assert!(parse_xpath("a[b").is_err());
+        assert!(parse_xpath("a]").is_err());
+        assert!(parse_xpath("a[not b]").is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! The reference semantics: a literal transcription of rules (P1)–(P4)
+//! and (Q1)–(Q5) from Section 3 of the paper.
+//!
+//! No sharing, no memoization — `[[p]]` is computed node by node exactly
+//! as the denotational definition reads. Used as the differential-testing
+//! oracle for the efficient evaluator.
+
+use treequery_tree::{NodeId, NodeSet, Tree};
+
+use crate::ast::{Path, Qual};
+
+/// `[[p]]NodeSet(n)` — rules (P1)–(P4).
+pub(crate) fn nodeset(p: &Path, t: &Tree, n: NodeId) -> NodeSet {
+    match p {
+        // (P1) [[χ]](n) = {n' : χ(n, n')} and (P2) step qualifiers.
+        Path::Step { axis, quals } => {
+            let mut out = NodeSet::empty(t.len());
+            for succ in axis.successors(t, n) {
+                if quals.iter().all(|q| boolean(q, t, succ)) {
+                    out.insert(succ);
+                }
+            }
+            out
+        }
+        // (P3) [[p1/p2]](n) = {v : ∃w ∈ [[p1]](n) ∧ v ∈ [[p2]](w)}.
+        Path::Seq(p1, p2) => {
+            let mut out = NodeSet::empty(t.len());
+            for w in &nodeset(p1, t, n) {
+                out.union_with(&nodeset(p2, t, w));
+            }
+            out
+        }
+        // (P4) union.
+        Path::Union(p1, p2) => {
+            let mut out = nodeset(p1, t, n);
+            out.union_with(&nodeset(p2, t, n));
+            out
+        }
+    }
+}
+
+/// `[[q]]Boolean(n)` — rules (Q1)–(Q5).
+pub(crate) fn boolean(q: &Qual, t: &Tree, n: NodeId) -> bool {
+    match q {
+        // (Q1) lab() = L.
+        Qual::Label(l) => t.has_label_name(n, l),
+        // (Q2) [[p]](n) ≠ ∅.
+        Qual::Path(p) => !nodeset(p, t, n).is_empty(),
+        // (Q3)–(Q5).
+        Qual::And(a, b) => boolean(a, t, n) && boolean(b, t, n),
+        Qual::Or(a, b) => boolean(a, t, n) || boolean(b, t, n),
+        Qual::Not(inner) => !boolean(inner, t, n),
+    }
+}
+
+/// Evaluates the unary query `[[p]]` from the virtual document node (whose
+/// only child is the root and whose descendants are all nodes), per the
+/// standard absolute-path convention: `/a` tests the root element's label,
+/// `//a` selects all `a` nodes.
+pub fn eval_reference(p: &Path, t: &Tree) -> NodeSet {
+    use treequery_tree::Axis;
+    match p {
+        Path::Step { axis, quals } => {
+            let candidates: Vec<NodeId> = match axis {
+                Axis::Child => vec![t.root()],
+                Axis::Descendant | Axis::DescendantOrSelf => t.nodes().collect(),
+                _ => Vec::new(),
+            };
+            NodeSet::from_iter(
+                t.len(),
+                candidates
+                    .into_iter()
+                    .filter(|&v| quals.iter().all(|q| boolean(q, t, v))),
+            )
+        }
+        Path::Seq(p1, p2) => {
+            let first = eval_reference(p1, t);
+            let mut out = NodeSet::empty(t.len());
+            for w in &first {
+                out.union_with(&nodeset(p2, t, w));
+            }
+            out
+        }
+        Path::Union(p1, p2) => {
+            let mut out = eval_reference(p1, t);
+            out.union_with(&eval_reference(p2, t));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use treequery_tree::parse_term;
+
+    fn labels(t: &Tree, s: &NodeSet) -> Vec<String> {
+        let mut v: Vec<NodeId> = s.to_vec();
+        t.sort_by_pre(&mut v);
+        v.into_iter().map(|n| t.label_name(n).to_owned()).collect()
+    }
+
+    #[test]
+    fn absolute_paths() {
+        let t = parse_term("site(people(person person) regions)").unwrap();
+        let q = parse_xpath("/site/people/person").unwrap();
+        assert_eq!(eval_reference(&q, &t).len(), 2);
+        let q2 = parse_xpath("/wrong/people").unwrap();
+        assert!(eval_reference(&q2, &t).is_empty());
+        let q3 = parse_xpath("//person").unwrap();
+        assert_eq!(eval_reference(&q3, &t).len(), 2);
+    }
+
+    #[test]
+    fn qualifiers_and_negation() {
+        let t = parse_term("r(a(b) a(c) a)").unwrap();
+        // a-children with a b-child.
+        let q = parse_xpath("/r/a[b]").unwrap();
+        assert_eq!(eval_reference(&q, &t).len(), 1);
+        // a-children without a b-child.
+        let q2 = parse_xpath("/r/a[not(b)]").unwrap();
+        assert_eq!(eval_reference(&q2, &t).len(), 2);
+        // Mixed boolean structure.
+        let q3 = parse_xpath("/r/a[b or c]").unwrap();
+        assert_eq!(eval_reference(&q3, &t).len(), 2);
+        let q4 = parse_xpath("/r/a[not(b) and not(c)]").unwrap();
+        assert_eq!(eval_reference(&q4, &t).len(), 1);
+    }
+
+    #[test]
+    fn reverse_axes_in_qualifiers() {
+        let t = parse_term("r(a(x) b(x))").unwrap();
+        // x nodes whose parent is labeled a.
+        let q = parse_xpath("//x[parent::a]").unwrap();
+        let res = eval_reference(&q, &t);
+        assert_eq!(res.len(), 1);
+        assert_eq!(labels(&t, &res), ["x"]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let t = parse_term("r(a b c)").unwrap();
+        let q = parse_xpath("/r/a/following-sibling::*").unwrap();
+        assert_eq!(labels(&t, &eval_reference(&q, &t)), ["b", "c"]);
+        let q2 = parse_xpath("//c/preceding-sibling::a").unwrap();
+        assert_eq!(labels(&t, &eval_reference(&q2, &t)), ["a"]);
+    }
+
+    #[test]
+    fn union_semantics() {
+        let t = parse_term("r(a b c)").unwrap();
+        let q = parse_xpath("//a | //c").unwrap();
+        assert_eq!(labels(&t, &eval_reference(&q, &t)), ["a", "c"]);
+    }
+
+    #[test]
+    fn lab_test_on_self() {
+        let t = parse_term("r(a b)").unwrap();
+        let q = parse_xpath("/r/*[lab()=b]").unwrap();
+        assert_eq!(labels(&t, &eval_reference(&q, &t)), ["b"]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Translation of *conjunctive* Core XPath into acyclic conjunctive
+//! queries (Proposition 4.2).
+//!
+//! A Core XPath query without union, disjunction, or negation is a tree
+//! pattern; its natural translation introduces one variable per step and
+//! is acyclic by construction, so Yannakakis' algorithm evaluates it in
+//! `O(||A|| · |Q|)`.
+
+use treequery_cq::{Cq, CqAtom, CqVar};
+
+use crate::ast::{Path, Qual};
+
+/// Why a query could not be translated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotConjunctive {
+    /// The query uses union.
+    Union,
+    /// A qualifier uses disjunction.
+    Or,
+    /// A qualifier uses negation.
+    Not,
+    /// The first step's axis cannot apply to the virtual document node.
+    BadDocumentStep,
+}
+
+impl std::fmt::Display for NotConjunctive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            NotConjunctive::Union => "union",
+            NotConjunctive::Or => "disjunction",
+            NotConjunctive::Not => "negation",
+            NotConjunctive::BadDocumentStep => "a non-downward first step",
+        };
+        write!(f, "query is not conjunctive Core XPath: it uses {what}")
+    }
+}
+
+impl std::error::Error for NotConjunctive {}
+
+fn tr_path(q: &mut Cq, p: &Path, ctx: CqVar) -> Result<CqVar, NotConjunctive> {
+    match p {
+        Path::Step { axis, quals } => {
+            let v = q.add_var(format!("s{}", q.num_vars()));
+            q.atoms.push(CqAtom::Axis(*axis, ctx, v));
+            for qu in quals {
+                tr_qual(q, qu, v)?;
+            }
+            Ok(v)
+        }
+        Path::Seq(p1, p2) => {
+            let mid = tr_path(q, p1, ctx)?;
+            tr_path(q, p2, mid)
+        }
+        Path::Union(..) => Err(NotConjunctive::Union),
+    }
+}
+
+fn tr_qual(q: &mut Cq, qu: &Qual, at: CqVar) -> Result<(), NotConjunctive> {
+    match qu {
+        Qual::Label(l) => {
+            q.atoms.push(CqAtom::Label(l.clone(), at));
+            Ok(())
+        }
+        Qual::Path(p) => {
+            tr_path(q, p, at)?; // existential: the fresh variables are not in the head
+            Ok(())
+        }
+        Qual::And(a, b) => {
+            tr_qual(q, a, at)?;
+            tr_qual(q, b, at)
+        }
+        Qual::Or(..) => Err(NotConjunctive::Or),
+        Qual::Not(..) => Err(NotConjunctive::Not),
+    }
+}
+
+/// Translates a conjunctive Core XPath query (evaluated from the virtual
+/// document node) into a unary acyclic conjunctive query whose single head
+/// variable holds the selected node.
+pub fn to_cq(p: &Path) -> Result<Cq, NotConjunctive> {
+    let mut q = Cq::new();
+    let result = tr_top(&mut q, p)?;
+    q.head = vec![result];
+    Ok(q)
+}
+
+/// Top-level (document node) dispatch, mirroring
+/// [`crate::eval::eval_query`].
+fn tr_top(q: &mut Cq, p: &Path) -> Result<CqVar, NotConjunctive> {
+    match p {
+        Path::Step { axis, quals } => {
+            let v = q.add_var("v0");
+            match axis {
+                treequery_tree::Axis::Child => q.atoms.push(CqAtom::Root(v)),
+                treequery_tree::Axis::Descendant | treequery_tree::Axis::DescendantOrSelf => {
+                    // Any node: no structural constraint needed.
+                }
+                _ => return Err(NotConjunctive::BadDocumentStep),
+            }
+            for qu in quals {
+                tr_qual(q, qu, v)?;
+            }
+            Ok(v)
+        }
+        Path::Seq(p1, p2) => {
+            let mid = tr_top(q, p1)?;
+            tr_path(q, p2, mid)
+        }
+        Path::Union(..) => Err(NotConjunctive::Union),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_query;
+    use crate::parser::parse_xpath;
+    use treequery_cq::eval_acyclic;
+    use treequery_tree::{parse_term, NodeSet};
+
+    /// Proposition 4.2: conjunctive Core XPath evaluated through the
+    /// acyclic-CQ machinery agrees with the direct evaluator.
+    #[test]
+    fn cq_translation_agrees_with_evaluator() {
+        let queries = [
+            "/r",
+            "//a",
+            "/r/a/b",
+            "//a[b]/c",
+            "//a[b/c and lab()=a]",
+            "//a/following-sibling::b[c]",
+            "//b/parent::a",
+            "//a[ancestor::b][following::c]",
+        ];
+        let trees = [
+            "r(a(b(c) c) b(a(c) c) a)",
+            "r(a(a(b(c))) c)",
+            "a",
+            "r(a(b) c a(b(c)))",
+        ];
+        for qs in queries {
+            let p = parse_xpath(qs).unwrap();
+            let cq = to_cq(&p).expect("conjunctive");
+            assert!(treequery_cq::is_acyclic(&cq), "{qs} should be acyclic");
+            for ts in trees {
+                let t = parse_term(ts).unwrap();
+                let via_cq = eval_acyclic(&cq, &t).expect("acyclic");
+                let nodes: NodeSet =
+                    NodeSet::from_iter(t.len(), via_cq.iter().map(|tuple| tuple[0]));
+                assert_eq!(nodes, eval_query(&p, &t), "{qs} on {ts}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_conjunctive_is_rejected() {
+        assert_eq!(
+            to_cq(&parse_xpath("//a | //b").unwrap()).unwrap_err(),
+            NotConjunctive::Union
+        );
+        assert_eq!(
+            to_cq(&parse_xpath("//a[b or c]").unwrap()).unwrap_err(),
+            NotConjunctive::Or
+        );
+        assert_eq!(
+            to_cq(&parse_xpath("//a[not(b)]").unwrap()).unwrap_err(),
+            NotConjunctive::Not
+        );
+        assert_eq!(
+            to_cq(&parse_xpath("self::a").unwrap()).unwrap_err(),
+            NotConjunctive::BadDocumentStep
+        );
+    }
+
+    #[test]
+    fn translation_shape() {
+        let p = parse_xpath("/r/a[b]").unwrap();
+        let cq = to_cq(&p).unwrap();
+        // root var + a var + b var; atoms: Root, label r, Child, label a,
+        // Child, label b.
+        assert_eq!(cq.num_vars(), 3);
+        assert_eq!(cq.atoms.len(), 6);
+        assert_eq!(cq.head.len(), 1);
+    }
+}

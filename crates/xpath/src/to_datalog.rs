@@ -1,0 +1,609 @@
+//! Translation of Core XPath into monadic datalog over τ⁺ (Section 3;
+//! Frick–Grohe–Koch \[29\]).
+//!
+//! Every Core XPath query — including negation — becomes an equivalent
+//! monadic datalog program. The key ingredients:
+//!
+//! * for every axis χ and already-defined predicate `P`, fresh predicates
+//!   `∃χ.P = {x : ∃y χ(x, y) ∧ P(y)}` and
+//!   `∀χ.P = {x : ∀y χ(x, y) → P(y)}`
+//!   are definable with O(1) rules over `FirstChild` / `NextSibling`
+//!   (transitive axes via the usual sibling/descendant recursions;
+//!   `Following`/`Preceding` by the Section 2 decomposition through
+//!   ancestor-or-self, following-siblings and descendant-or-self);
+//! * qualifiers are translated into *dual pairs* (pos, neg) so that `¬` is
+//!   a swap and no datalog negation is needed; label complements use the
+//!   extensional `notlabel` predicate (see `BasePred::NotLabel`);
+//! * the node-selecting query is the image of the start predicate
+//!   (`start(x) ← root(x)`) through the path, using `∃χ⁻¹`.
+//!
+//! The output program size is linear in the query size and can be brought
+//! to TMNF with `treequery_datalog::to_tmnf`.
+
+use treequery_datalog::{BasePred, BinRel, BodyAtom, PredId, Program, Rule, UnaryRef, VarId};
+use treequery_tree::Axis;
+
+use crate::ast::{Path, Qual};
+
+struct Tr {
+    prog: Program,
+    fresh: u32,
+    /// Memo for qualifier duals, keyed by the qualifier's debug form;
+    /// keeps the output linear when path qualifiers nest (each distinct
+    /// qualifier is translated once).
+    qual_memo: std::collections::HashMap<String, (PredId, PredId)>,
+}
+
+impl Tr {
+    fn fresh(&mut self, hint: &str) -> PredId {
+        let name = format!("__{hint}{}", self.fresh);
+        self.fresh += 1;
+        self.prog.pred(&name)
+    }
+
+    fn rule(&mut self, head: PredId, head_var: u32, body: Vec<BodyAtom>, num_vars: u32) {
+        self.prog.add_rule(Rule {
+            head,
+            head_var: VarId(head_var),
+            body,
+            num_vars,
+        });
+    }
+
+    /// `p(x) ← u(x)`.
+    fn alias_rule(&mut self, p: PredId, u: UnaryRef) {
+        self.rule(p, 0, vec![BodyAtom::Unary(u, VarId(0))], 1);
+    }
+
+    /// A new predicate equal to the conjunction of `parts` (at one node).
+    fn conj(&mut self, parts: &[UnaryRef]) -> PredId {
+        let p = self.fresh("and");
+        let body: Vec<BodyAtom> = if parts.is_empty() {
+            vec![BodyAtom::Unary(UnaryRef::Base(BasePred::Dom), VarId(0))]
+        } else {
+            parts
+                .iter()
+                .map(|u| BodyAtom::Unary(u.clone(), VarId(0)))
+                .collect()
+        };
+        self.rule(p, 0, body, 1);
+        p
+    }
+
+    /// A new predicate equal to the disjunction of `parts`.
+    fn disj(&mut self, parts: &[UnaryRef]) -> PredId {
+        let p = self.fresh("or");
+        for u in parts {
+            self.alias_rule(p, u.clone());
+        }
+        // No parts: no rules — the empty (false) predicate.
+        p
+    }
+
+    /// The always-false predicate (no rules).
+    fn false_pred(&mut self) -> PredId {
+        self.fresh("false")
+    }
+
+    /// `h(x) ← u(y), rel(a, b)` where (a, b) is (x, y) if `x_first`, else
+    /// (y, x). Variable 0 is x (the head), variable 1 is y.
+    fn step_rule(&mut self, h: PredId, u: UnaryRef, rel: BinRel, x_first: bool) {
+        let (a, b) = if x_first {
+            (VarId(0), VarId(1))
+        } else {
+            (VarId(1), VarId(0))
+        };
+        self.rule(
+            h,
+            0,
+            vec![BodyAtom::Unary(u, VarId(1)), BodyAtom::Binary(rel, a, b)],
+            2,
+        );
+    }
+
+    /// Like [`Tr::step_rule`] with one extra unary conjunct on the head
+    /// variable.
+    fn step_rule_with(
+        &mut self,
+        h: PredId,
+        u: UnaryRef,
+        rel: BinRel,
+        x_first: bool,
+        extra: UnaryRef,
+    ) {
+        let (a, b) = if x_first {
+            (VarId(0), VarId(1))
+        } else {
+            (VarId(1), VarId(0))
+        };
+        self.rule(
+            h,
+            0,
+            vec![
+                BodyAtom::Unary(u, VarId(1)),
+                BodyAtom::Binary(rel, a, b),
+                BodyAtom::Unary(extra, VarId(0)),
+            ],
+            2,
+        );
+    }
+
+    /// `∃χ.P`: the nodes with a χ-successor satisfying `p`.
+    fn exists_along(&mut self, axis: Axis, p: UnaryRef) -> PredId {
+        use Axis::*;
+        match axis {
+            SelfAxis => {
+                let h = self.fresh("exself");
+                self.alias_rule(h, p);
+                h
+            }
+            NextSibling => {
+                let h = self.fresh("exns");
+                self.step_rule(h, p, BinRel::NextSibling, true);
+                h
+            }
+            PrevSibling => {
+                let h = self.fresh("exps");
+                self.step_rule(h, p, BinRel::NextSibling, false);
+                h
+            }
+            FollowingSibling => {
+                // s(y) = p holds at y or some right sibling of y;
+                // h(x) ← NextSibling(x, y), s(y).
+                let s = self.fresh("sfs");
+                self.alias_rule(s, p);
+                self.step_rule(s, UnaryRef::Pred(s), BinRel::NextSibling, true);
+                let h = self.fresh("exfs");
+                self.step_rule(h, UnaryRef::Pred(s), BinRel::NextSibling, true);
+                h
+            }
+            FollowingSiblingOrSelf => {
+                let strict = self.exists_along(FollowingSibling, p.clone());
+                self.disj(&[p, UnaryRef::Pred(strict)])
+            }
+            PrecedingSibling => {
+                let s = self.fresh("sps");
+                self.alias_rule(s, p);
+                self.step_rule(s, UnaryRef::Pred(s), BinRel::NextSibling, false);
+                let h = self.fresh("exps2");
+                self.step_rule(h, UnaryRef::Pred(s), BinRel::NextSibling, false);
+                h
+            }
+            PrecedingSiblingOrSelf => {
+                let strict = self.exists_along(PrecedingSibling, p.clone());
+                self.disj(&[p, UnaryRef::Pred(strict)])
+            }
+            Child => {
+                // s = suffix-sibling chain reaching p; h(x) ← FirstChild(x, w), s(w).
+                let s = self.fresh("schild");
+                self.alias_rule(s, p);
+                self.step_rule(s, UnaryRef::Pred(s), BinRel::NextSibling, true);
+                let h = self.fresh("exchild");
+                self.step_rule(h, UnaryRef::Pred(s), BinRel::FirstChild, true);
+                h
+            }
+            Parent => {
+                // m marks all children of p-nodes.
+                let m = self.fresh("exparent");
+                self.step_rule(m, p, BinRel::FirstChild, false);
+                self.step_rule(m, UnaryRef::Pred(m), BinRel::NextSibling, false);
+                m
+            }
+            Descendant => {
+                // sd(w) = some node of the forest "w and its right
+                // siblings with their subtrees" satisfies p.
+                let sd = self.fresh("sdesc");
+                self.alias_rule(sd, p);
+                self.step_rule(sd, UnaryRef::Pred(sd), BinRel::NextSibling, true);
+                self.step_rule(sd, UnaryRef::Pred(sd), BinRel::FirstChild, true);
+                let h = self.fresh("exdesc");
+                self.step_rule(h, UnaryRef::Pred(sd), BinRel::FirstChild, true);
+                h
+            }
+            DescendantOrSelf => {
+                let strict = self.exists_along(Descendant, p.clone());
+                self.disj(&[p, UnaryRef::Pred(strict)])
+            }
+            Ancestor => {
+                // a = children of (p ∪ a) nodes, closed downward... i.e.
+                // a(x) holds iff some proper ancestor of x satisfies p.
+                let pa = self.fresh("pa");
+                self.alias_rule(pa, p);
+                let a = self.fresh("exanc");
+                self.alias_rule(pa, UnaryRef::Pred(a));
+                // a = all children of pa-nodes.
+                self.step_rule(a, UnaryRef::Pred(pa), BinRel::FirstChild, false);
+                self.step_rule(a, UnaryRef::Pred(a), BinRel::NextSibling, false);
+                a
+            }
+            AncestorOrSelf => {
+                let strict = self.exists_along(Ancestor, p.clone());
+                self.disj(&[p, UnaryRef::Pred(strict)])
+            }
+            Following => {
+                // ∃Following.P = ∃AncOrSelf.∃FollowingSibling.∃DescOrSelf.P
+                let inner = self.exists_along(DescendantOrSelf, p);
+                let mid = self.exists_along(FollowingSibling, UnaryRef::Pred(inner));
+                self.exists_along(AncestorOrSelf, UnaryRef::Pred(mid))
+            }
+            Preceding => {
+                let inner = self.exists_along(DescendantOrSelf, p);
+                let mid = self.exists_along(PrecedingSibling, UnaryRef::Pred(inner));
+                self.exists_along(AncestorOrSelf, UnaryRef::Pred(mid))
+            }
+        }
+    }
+
+    /// `∀χ.P`: the nodes all of whose χ-successors satisfy `p`.
+    fn forall_along(&mut self, axis: Axis, p: UnaryRef) -> PredId {
+        use Axis::*;
+        match axis {
+            SelfAxis => {
+                let h = self.fresh("faself");
+                self.alias_rule(h, p);
+                h
+            }
+            NextSibling => {
+                let h = self.fresh("fans");
+                self.alias_rule(h, UnaryRef::Base(BasePred::LastSibling));
+                self.step_rule(h, p, BinRel::NextSibling, true);
+                h
+            }
+            PrevSibling => {
+                let h = self.fresh("faps");
+                self.alias_rule(h, UnaryRef::Base(BasePred::FirstSibling));
+                self.step_rule(h, p, BinRel::NextSibling, false);
+                h
+            }
+            FollowingSibling => {
+                // af(x): all right siblings satisfy p.
+                let af = self.fresh("fafs");
+                self.alias_rule(af, UnaryRef::Base(BasePred::LastSibling));
+                // af(x) ← NextSibling(x, y), p(y), af(y).
+                let both = self.conj(&[p, UnaryRef::Pred(af)]);
+                self.step_rule(af, UnaryRef::Pred(both), BinRel::NextSibling, true);
+                af
+            }
+            FollowingSiblingOrSelf => {
+                let strict = self.forall_along(FollowingSibling, p.clone());
+                self.conj(&[p, UnaryRef::Pred(strict)])
+            }
+            PrecedingSibling => {
+                let ap = self.fresh("faps2");
+                self.alias_rule(ap, UnaryRef::Base(BasePred::FirstSibling));
+                let both = self.conj(&[p, UnaryRef::Pred(ap)]);
+                self.step_rule(ap, UnaryRef::Pred(both), BinRel::NextSibling, false);
+                ap
+            }
+            PrecedingSiblingOrSelf => {
+                let strict = self.forall_along(PrecedingSibling, p.clone());
+                self.conj(&[p, UnaryRef::Pred(strict)])
+            }
+            Child => {
+                // All children satisfy p: leaf, or first child starts an
+                // all-p sibling chain.
+                let ac = self.fresh("acchain");
+                // Base: the last sibling, satisfying p.
+                let base = self.conj(&[UnaryRef::Base(BasePred::LastSibling), p.clone()]);
+                self.alias_rule(ac, UnaryRef::Pred(base));
+                // ac(x) ← ac(y), NextSibling(x, y), p(x).
+                self.step_rule_with(ac, UnaryRef::Pred(ac), BinRel::NextSibling, true, p.clone());
+                let h = self.fresh("fachild");
+                self.alias_rule(h, UnaryRef::Base(BasePred::Leaf));
+                self.step_rule(h, UnaryRef::Pred(ac), BinRel::FirstChild, true);
+                h
+            }
+            Parent => {
+                let h = self.fresh("faparent");
+                self.alias_rule(h, UnaryRef::Base(BasePred::Root));
+                let m = self.exists_along(Parent, p);
+                self.alias_rule(h, UnaryRef::Pred(m));
+                h
+            }
+            Descendant => {
+                // ad(x): every proper descendant satisfies p.
+                // asf(w): every node in w's suffix forest satisfies p.
+                let ad = self.fresh("fadesc");
+                let asf = self.fresh("fasf");
+                let here = self.conj(&[p, UnaryRef::Pred(ad)]);
+                let base =
+                    self.conj(&[UnaryRef::Base(BasePred::LastSibling), UnaryRef::Pred(here)]);
+                self.alias_rule(asf, UnaryRef::Pred(base));
+                // asf(w) ← NextSibling(w, w'), asf(w'), here(w).
+                self.step_rule_with(
+                    asf,
+                    UnaryRef::Pred(asf),
+                    BinRel::NextSibling,
+                    true,
+                    UnaryRef::Pred(here),
+                );
+                self.alias_rule(ad, UnaryRef::Base(BasePred::Leaf));
+                self.step_rule(ad, UnaryRef::Pred(asf), BinRel::FirstChild, true);
+                ad
+            }
+            DescendantOrSelf => {
+                let strict = self.forall_along(Descendant, p.clone());
+                self.conj(&[p, UnaryRef::Pred(strict)])
+            }
+            Ancestor => {
+                // aa(x): every proper ancestor satisfies p.
+                let aa = self.fresh("faanc");
+                self.alias_rule(aa, UnaryRef::Base(BasePred::Root));
+                let both = self.conj(&[p, UnaryRef::Pred(aa)]);
+                // aa(x) ← x child of a `both` node.
+                let m = self.exists_along(Parent, UnaryRef::Pred(both));
+                self.alias_rule(aa, UnaryRef::Pred(m));
+                aa
+            }
+            AncestorOrSelf => {
+                let strict = self.forall_along(Ancestor, p.clone());
+                self.conj(&[p, UnaryRef::Pred(strict)])
+            }
+            Following => {
+                let inner = self.forall_along(DescendantOrSelf, p);
+                let mid = self.forall_along(FollowingSibling, UnaryRef::Pred(inner));
+                self.forall_along(AncestorOrSelf, UnaryRef::Pred(mid))
+            }
+            Preceding => {
+                let inner = self.forall_along(DescendantOrSelf, p);
+                let mid = self.forall_along(PrecedingSibling, UnaryRef::Pred(inner));
+                self.forall_along(AncestorOrSelf, UnaryRef::Pred(mid))
+            }
+        }
+    }
+
+    /// Dual translation of a qualifier: (holds, fails). Memoized.
+    fn tr_qual(&mut self, q: &Qual) -> (PredId, PredId) {
+        let key = format!("{q:?}");
+        if let Some(&cached) = self.qual_memo.get(&key) {
+            return cached;
+        }
+        let result = self.tr_qual_uncached(q);
+        self.qual_memo.insert(key, result);
+        result
+    }
+
+    fn tr_qual_uncached(&mut self, q: &Qual) -> (PredId, PredId) {
+        match q {
+            Qual::Label(l) => {
+                let pos = self.fresh("lab");
+                self.alias_rule(pos, UnaryRef::Base(BasePred::Label(l.clone())));
+                let neg = self.fresh("nlab");
+                self.alias_rule(neg, UnaryRef::Base(BasePred::NotLabel(l.clone())));
+                (pos, neg)
+            }
+            Qual::And(a, b) => {
+                let (ap, an) = self.tr_qual(a);
+                let (bp, bn) = self.tr_qual(b);
+                let pos = self.conj(&[UnaryRef::Pred(ap), UnaryRef::Pred(bp)]);
+                let neg = self.disj(&[UnaryRef::Pred(an), UnaryRef::Pred(bn)]);
+                (pos, neg)
+            }
+            Qual::Or(a, b) => {
+                let (ap, an) = self.tr_qual(a);
+                let (bp, bn) = self.tr_qual(b);
+                let pos = self.disj(&[UnaryRef::Pred(ap), UnaryRef::Pred(bp)]);
+                let neg = self.conj(&[UnaryRef::Pred(an), UnaryRef::Pred(bn)]);
+                (pos, neg)
+            }
+            Qual::Not(inner) => {
+                let (p, n) = self.tr_qual(inner);
+                (n, p)
+            }
+            Qual::Path(p) => {
+                let t = self.conj(&[]); // True
+                let f = self.false_pred();
+                let pos = self.sources(p, t);
+                let neg = self.nsources(p, f);
+                (pos, neg)
+            }
+        }
+    }
+
+    /// Nodes from which `p` reaches a `target` node.
+    fn sources(&mut self, p: &Path, target: PredId) -> PredId {
+        match p {
+            Path::Step { axis, quals } => {
+                let mut parts = vec![UnaryRef::Pred(target)];
+                for q in quals {
+                    let (qp, _) = self.tr_qual(q);
+                    parts.push(UnaryRef::Pred(qp));
+                }
+                let landing = self.conj(&parts);
+                self.exists_along(*axis, UnaryRef::Pred(landing))
+            }
+            Path::Seq(p1, p2) => {
+                let mid = self.sources(p2, target);
+                self.sources(p1, mid)
+            }
+            Path::Union(p1, p2) => {
+                let a = self.sources(p1, target);
+                let b = self.sources(p2, target);
+                self.disj(&[UnaryRef::Pred(a), UnaryRef::Pred(b)])
+            }
+        }
+    }
+
+    /// Nodes from which `p` reaches *no* node outside `bad_target`'s
+    /// complement — i.e. the dual: every `p`-reachable landing fails.
+    /// `target_neg` is the predicate "this landing does not count".
+    fn nsources(&mut self, p: &Path, target_neg: PredId) -> PredId {
+        match p {
+            Path::Step { axis, quals } => {
+                // ¬(target ∧ q₁ ∧ … ∧ qₖ) = ¬target ∨ ¬q₁ ∨ … ∨ ¬qₖ.
+                let mut parts = vec![UnaryRef::Pred(target_neg)];
+                for q in quals {
+                    let (_, qn) = self.tr_qual(q);
+                    parts.push(UnaryRef::Pred(qn));
+                }
+                let fail = self.disj(&parts);
+                self.forall_along(*axis, UnaryRef::Pred(fail))
+            }
+            Path::Seq(p1, p2) => {
+                let mid = self.nsources(p2, target_neg);
+                self.nsources(p1, mid)
+            }
+            Path::Union(p1, p2) => {
+                let a = self.nsources(p1, target_neg);
+                let b = self.nsources(p2, target_neg);
+                self.conj(&[UnaryRef::Pred(a), UnaryRef::Pred(b)])
+            }
+        }
+    }
+
+    /// The image of `start` through `p` (forward direction): the answer
+    /// set.
+    fn image(&mut self, p: &Path, start: PredId) -> PredId {
+        match p {
+            Path::Step { axis, quals } => {
+                let reached = self.exists_along(axis.inverse(), UnaryRef::Pred(start));
+                let mut parts = vec![UnaryRef::Pred(reached)];
+                for q in quals {
+                    let (qp, _) = self.tr_qual(q);
+                    parts.push(UnaryRef::Pred(qp));
+                }
+                self.conj(&parts)
+            }
+            Path::Seq(p1, p2) => {
+                let mid = self.image(p1, start);
+                self.image(p2, mid)
+            }
+            Path::Union(p1, p2) => {
+                let a = self.image(p1, start);
+                let b = self.image(p2, start);
+                self.disj(&[UnaryRef::Pred(a), UnaryRef::Pred(b)])
+            }
+        }
+    }
+
+    /// Document-level dispatch (same convention as
+    /// [`crate::eval::eval_query`]).
+    fn image_from_document(&mut self, p: &Path) -> PredId {
+        match p {
+            Path::Step { axis, quals } => {
+                let base = match axis {
+                    Axis::Child => {
+                        let b = self.fresh("docchild");
+                        self.alias_rule(b, UnaryRef::Base(BasePred::Root));
+                        b
+                    }
+                    Axis::Descendant | Axis::DescendantOrSelf => self.conj(&[]),
+                    _ => self.false_pred(),
+                };
+                let mut parts = vec![UnaryRef::Pred(base)];
+                for q in quals {
+                    let (qp, _) = self.tr_qual(q);
+                    parts.push(UnaryRef::Pred(qp));
+                }
+                self.conj(&parts)
+            }
+            Path::Seq(p1, p2) => {
+                let first = self.image_from_document(p1);
+                self.image(p2, first)
+            }
+            Path::Union(p1, p2) => {
+                let a = self.image_from_document(p1);
+                let b = self.image_from_document(p2);
+                self.disj(&[UnaryRef::Pred(a), UnaryRef::Pred(b)])
+            }
+        }
+    }
+}
+
+/// Translates a Core XPath query (with negation) into an equivalent
+/// monadic datalog program over τ⁺ ∪ {NotLabel}; the query predicate
+/// `answer` selects the same nodes as [`crate::eval_query`]. The program
+/// size is `O(|Q|)`.
+pub fn to_datalog(p: &Path) -> Program {
+    let mut tr = Tr {
+        prog: Program::new(),
+        fresh: 0,
+        qual_memo: std::collections::HashMap::new(),
+    };
+    let answer_pred = tr.image_from_document(p);
+    let answer = tr.prog.pred("answer");
+    tr.alias_rule(answer, UnaryRef::Pred(answer_pred));
+    tr.prog.set_query("answer");
+    tr.prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_query;
+    use crate::parser::parse_xpath;
+    use treequery_datalog::eval_query as datalog_eval;
+    use treequery_tree::parse_term;
+
+    fn check(qs: &str, trees: &[&str]) {
+        let p = parse_xpath(qs).unwrap();
+        let prog = to_datalog(&p);
+        for ts in trees {
+            let t = parse_term(ts).unwrap();
+            assert_eq!(datalog_eval(&prog, &t), eval_query(&p, &t), "{qs} on {ts}");
+        }
+    }
+
+    const TREES: &[&str] = &[
+        "r(a(b c) b(a(c) c) a)",
+        "r(a(a(a(b))) c)",
+        "a",
+        "r(a(b(c) b) a(c(b)) b(a))",
+        "r(x y z)",
+    ];
+
+    #[test]
+    fn simple_paths() {
+        check("/r", TREES);
+        check("//a", TREES);
+        check("//a/b", TREES);
+        check("/r/a/b", TREES);
+    }
+
+    #[test]
+    fn qualifiers() {
+        check("//a[b]", TREES);
+        check("//a[b/c]", TREES);
+        check("//a[b and c]", TREES);
+        check("//a[b or c]", TREES);
+    }
+
+    #[test]
+    fn negation() {
+        check("//a[not(b)]", TREES);
+        check("//a[not(b or c)]", TREES);
+        check("//a[not(not(b))]", TREES);
+        check("//*[not(lab()=a) and not(lab()=r)]", TREES);
+    }
+
+    #[test]
+    fn reverse_axes() {
+        check("//b/parent::a", TREES);
+        check("//c[ancestor::a]", TREES);
+        check("//a[preceding-sibling::b]", TREES);
+        check("//b/ancestor-or-self::*", TREES);
+    }
+
+    #[test]
+    fn sibling_and_following() {
+        check("//a/following-sibling::b", TREES);
+        check("//a[following::c]", TREES);
+        check("//c/preceding::a", TREES);
+        check("//b/following::*", TREES);
+    }
+
+    #[test]
+    fn unions_and_mixtures() {
+        check("//a | //b[c]", TREES);
+        check("//a[not(following-sibling::*)]", TREES);
+        check("//*[self::a or self::b]/child::c", TREES);
+        check("//a[not(descendant::c)]/b", TREES);
+    }
+
+    #[test]
+    fn program_size_is_linear() {
+        let small = to_datalog(&parse_xpath("//a[b]/c").unwrap());
+        let large = to_datalog(&parse_xpath("//a[b]/c//a[b]/c//a[b]/c//a[b]/c").unwrap());
+        assert!(large.size() <= small.size() * 8);
+    }
+}

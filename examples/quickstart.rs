@@ -1,0 +1,83 @@
+//! Quickstart: build a tree, query it with every engine.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use treequery::{cq, parse_term, streaming, Engine, XPathStrategy};
+
+fn main() {
+    // A small document in the term syntax (see also `parse_xml`).
+    let tree =
+        parse_term("library(shelf(book(title author) book(title)) shelf(journal(title)))").unwrap();
+    println!("document: {tree}");
+    println!("nodes: {}, height: {}", tree.len(), tree.height());
+
+    let engine = Engine::new(&tree);
+
+    // --- Core XPath ---
+    let with_author = engine.xpath("//book[author]").unwrap();
+    println!("\n//book[author] selects {} node(s):", with_author.len());
+    for v in &with_author {
+        println!(
+            "  pre rank {} ({})",
+            tree.pre(v.to_owned()),
+            tree.label_name(*v)
+        );
+    }
+    // The same query through the monadic-datalog engine (Theorem 3.2).
+    let via_datalog = engine
+        .xpath_via("//book[author]", XPathStrategy::Datalog)
+        .unwrap();
+    assert_eq!(with_author, via_datalog);
+    println!("the monadic datalog route agrees ✓");
+
+    // --- Conjunctive queries ---
+    let answer = engine
+        .cq("q(s, b) :- label(s, shelf), child(s, b), label(b, book).")
+        .unwrap();
+    println!(
+        "\nshelf/book pairs: {} (plan: {:?})",
+        answer.tuples.len(),
+        answer.plan
+    );
+
+    // A cyclic query over the τ1 signature: Theorem 6.5 evaluates it in
+    // linear time via arc-consistency + minimum valuation.
+    let cyclic = engine
+        .cq("child+(x, y), child+(y, z), child+(x, z), label(z, title)")
+        .unwrap();
+    println!(
+        "cyclic τ1 query satisfiable: {} (plan: {:?})",
+        cyclic.is_satisfiable(),
+        cyclic.plan
+    );
+
+    // --- Monadic datalog (Example 3.1 pattern) ---
+    let marked = engine
+        .datalog(
+            "P0(x) :- label(x, title).
+             P0(x0) :- nextsibling(x0, x), P0(x).
+             P(x0) :- firstchild(x0, x), P0(x).
+             P0(x) :- P(x).
+             ?- P.",
+        )
+        .unwrap();
+    println!(
+        "\nnodes with a title-descendant (datalog): {}",
+        marked.len()
+    );
+
+    // --- Streaming filtering ---
+    let filter = engine.stream_filter("//book[author]").unwrap();
+    let (matched, stats) = streaming::matches_tree(&filter, &tree);
+    println!(
+        "\nstreaming filter //book[author]: matched={matched}, peak frames={}, frame bits={}",
+        stats.peak_frames, stats.frame_bits
+    );
+
+    // --- The dichotomy classifier ---
+    let q = cq::parse_cq("child(x, y), child+(x, z)").unwrap();
+    println!(
+        "\nsignature {{Child, Child+}} classifies as {:?}",
+        cq::classify(&q)
+    );
+}

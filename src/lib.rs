@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! `treequery` — efficient query processing on tree-structured data.
+//!
+//! A from-scratch Rust reproduction of Christoph Koch, *Processing Queries
+//! on Tree-Structured Data Efficiently* (PODS 2006). This facade crate
+//! re-exports the whole workspace; see [`Engine`] for the unified entry
+//! point and `DESIGN.md` in the repository root for the system inventory.
+//!
+//! ```
+//! use treequery::{Engine, parse_term};
+//!
+//! let tree = parse_term("site(people(person(name) person) regions)").unwrap();
+//! let engine = Engine::new(&tree);
+//! let people = engine.xpath("//person").unwrap();
+//! assert_eq!(people.len(), 2);
+//! let answer = engine.cq("q(x) :- label(x, person), child(x, y), label(y, name).").unwrap();
+//! assert_eq!(answer.tuples.len(), 1);
+//! ```
+
+pub use treequery_core::*;

@@ -1,0 +1,184 @@
+//! Property-based tests over randomly generated trees and queries.
+
+use proptest::prelude::*;
+use treequery::cq;
+use treequery::tree::{to_term, TreeBuilder};
+use treequery::{Axis, NodeSet, Order, Tree};
+
+/// Strategy: a random tree described by parent choices — node i ≥ 1
+/// attaches to node `parents[i-1] % i` — with labels from a small
+/// alphabet.
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    (
+        proptest::collection::vec(any::<u32>(), 0..max_nodes),
+        proptest::collection::vec(0u8..4, 1..=max_nodes),
+    )
+        .prop_map(|(parents, labels)| {
+            const ALPHABET: [&str; 4] = ["a", "b", "c", "d"];
+            let mut b = TreeBuilder::new();
+            let mut nodes = vec![b.root(ALPHABET[labels[0] as usize % 4])];
+            for (i, p) in parents.iter().enumerate() {
+                let parent = nodes[(*p as usize) % nodes.len()];
+                let label = ALPHABET[labels.get(i + 1).copied().unwrap_or(0) as usize % 4];
+                nodes.push(b.child(parent, label));
+            }
+            b.freeze()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The three orders are permutations of the node set.
+    #[test]
+    fn orders_are_permutations(t in tree_strategy(40)) {
+        for order in Order::ALL {
+            let mut seen = vec![false; t.len()];
+            for v in t.nodes() {
+                let r = order.rank(&t, v) as usize;
+                prop_assert!(!seen[r]);
+                seen[r] = true;
+            }
+        }
+    }
+
+    /// Section 2: `Child⁺(x,y) ⇔ x <pre y ∧ y <post x` and
+    /// `Following(x,y) ⇔ x <pre y ∧ x <post y`.
+    #[test]
+    fn pre_post_characterizations(t in tree_strategy(30)) {
+        for x in t.nodes() {
+            for y in t.nodes() {
+                let anc = t.ancestors(y).any(|a| a == x);
+                prop_assert_eq!(
+                    anc,
+                    t.pre(x) < t.pre(y) && t.post(y) < t.post(x)
+                );
+                prop_assert_eq!(
+                    t.is_following(x, y),
+                    t.pre(x) < t.pre(y) && t.post(x) < t.post(y)
+                );
+            }
+        }
+    }
+
+    /// Term serialization round-trips.
+    #[test]
+    fn term_round_trip(t in tree_strategy(40)) {
+        let s = to_term(&t);
+        let t2 = treequery::parse_term(&s).unwrap();
+        prop_assert_eq!(s, to_term(&t2));
+    }
+
+    /// XML serialization round-trips (structure and labels).
+    #[test]
+    fn xml_round_trip(t in tree_strategy(40)) {
+        let xml = treequery::to_xml(&t);
+        let t2 = treequery::parse_xml(&xml).unwrap();
+        prop_assert_eq!(to_term(&t), to_term(&t2));
+    }
+
+    /// Axis set images equal the union of per-node successor sets, and
+    /// `holds` matches `successors`, for every axis.
+    #[test]
+    fn axis_images_sound_and_complete(t in tree_strategy(25), seed in any::<u64>()) {
+        let s = NodeSet::from_iter(
+            t.len(),
+            t.nodes().filter(|v| (seed >> (v.0 % 64)) & 1 == 1),
+        );
+        for axis in Axis::ALL {
+            let fast = axis.image(&t, &s);
+            let mut naive = NodeSet::empty(t.len());
+            for x in &s {
+                for y in axis.successors(&t, x) {
+                    prop_assert!(axis.holds(&t, x, y));
+                    naive.insert(y);
+                }
+            }
+            prop_assert_eq!(&fast, &naive, "{}", axis);
+        }
+    }
+
+    /// The subtree extent really delimits the descendants.
+    #[test]
+    fn subtree_extents(t in tree_strategy(40)) {
+        for v in t.nodes() {
+            let descendants = Axis::Descendant.successors(&t, v);
+            prop_assert_eq!(descendants.len() as u32 + 1, t.subtree_size(v));
+            for d in descendants {
+                prop_assert!(t.pre(d) > t.pre(v) && t.pre(d) <= t.pre_end(v));
+            }
+        }
+    }
+
+    /// Acyclic-CQ evaluation equals backtracking on random trees.
+    #[test]
+    fn acyclic_cq_matches_backtracking(t in tree_strategy(25)) {
+        for qs in [
+            "q(x, y) :- child+(x, y), label(y, b).",
+            "q(z) :- label(x, a), child(x, y), nextsibling(y, z).",
+            "q(x) :- following(x, y), label(y, c).",
+        ] {
+            let q = cq::parse_cq(qs).unwrap();
+            let fast = cq::eval_acyclic(&q, &t).unwrap();
+            let slow = cq::eval_backtrack(&q, &t);
+            prop_assert_eq!(&fast, &slow, "{}", qs);
+        }
+    }
+
+    /// Theorem 6.5 equals backtracking satisfiability on cyclic τ1/τ3
+    /// queries.
+    #[test]
+    fn x_property_matches_backtracking(t in tree_strategy(20)) {
+        for qs in [
+            "child+(x, y), child+(y, z), child+(x, z), label(z, b)",
+            "child(x, y), nextsibling(y, z), child(x, z), label(y, a)",
+        ] {
+            let q = cq::parse_cq(qs).unwrap();
+            let fast = cq::eval_x_property(&q, &t).unwrap().is_some();
+            let slow = cq::is_satisfiable_backtrack(&q, &t);
+            prop_assert_eq!(fast, slow, "{}", qs);
+        }
+    }
+
+    /// Theorem 5.1 rewriting preserves semantics on random trees.
+    #[test]
+    fn rewrite_matches_backtracking(t in tree_strategy(18)) {
+        for qs in [
+            "q(z) :- child+(x, z), child(y, z), label(x, a), label(y, b).",
+            "q(z) :- child(x, y), child+(y, z), child+(x, z), label(x, a).",
+        ] {
+            let q = cq::parse_cq(qs).unwrap();
+            let fast = cq::rewrite::eval_via_rewrite(&q, &t).unwrap();
+            let slow = cq::eval_backtrack(&q, &t);
+            prop_assert_eq!(&fast, &slow, "{}", qs);
+        }
+    }
+
+    /// The streaming filter agrees with the in-memory evaluator.
+    #[test]
+    fn streaming_matches_in_memory(t in tree_strategy(35)) {
+        use treequery::streaming::{compile, matches_tree};
+        use treequery::xpath::{eval_query, parse_xpath};
+        for qs in ["//a[b]//c", "//a[not(b)]", "/a/b"] {
+            let p = parse_xpath(qs).unwrap();
+            let f = compile(&p).unwrap();
+            let expected = !eval_query(&p, &t).is_empty();
+            prop_assert_eq!(matches_tree(&f, &t).0, expected, "{}", qs);
+        }
+    }
+
+    /// XPath: the fast evaluator agrees with the (P1)–(P4)/(Q1)–(Q5)
+    /// reference on random trees.
+    #[test]
+    fn xpath_fast_matches_reference(t in tree_strategy(30)) {
+        use treequery::xpath::{eval_query, eval_reference, parse_xpath};
+        for qs in [
+            "//a[b or not(c)]/d",
+            "//b/ancestor::a[following::c]",
+            "//a/preceding-sibling::*[lab()=b]",
+        ] {
+            let p = parse_xpath(qs).unwrap();
+            prop_assert_eq!(eval_query(&p, &t), eval_reference(&p, &t), "{}", qs);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, full test suite.
+# The workspace builds offline (path-crate shims, committed Cargo.lock),
+# so this script needs no network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

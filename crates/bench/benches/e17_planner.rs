@@ -1,0 +1,45 @@
+//! E17 — planner-chosen vs forced strategies, and batched evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treequery_bench::experiments::e17_planner::doc;
+use treequery_core::{Engine, EngineConfig, Query, XPathStrategy};
+
+fn bench(c: &mut Criterion) {
+    let t = doc(20_000);
+    let engine = Engine::new(&t);
+    let mut g = c.benchmark_group("e17_planner");
+    g.sample_size(10);
+    for q in ["//site[people]", "//people/person[name]", "//bidder"] {
+        g.bench_with_input(BenchmarkId::new("planned", q), &(), |b, _| {
+            b.iter(|| engine.xpath(q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("forced_sweep", q), &(), |b, _| {
+            b.iter(|| engine.xpath_via(q, XPathStrategy::SetAtATime).unwrap())
+        });
+    }
+    let workload: Vec<Query> = ["site", "people", "person", "name", "bidder", "item"]
+        .iter()
+        .flat_map(|a| {
+            ["site", "people", "person", "name", "bidder", "item"]
+                .iter()
+                .map(move |b| Query::xpath(format!("//{a}[{b}]")))
+        })
+        .collect();
+    let seq_engine = Engine::with_config(
+        &t,
+        EngineConfig {
+            batch_threads: Some(1),
+            ..EngineConfig::default()
+        },
+    );
+    g.bench_with_input(BenchmarkId::new("batch", "1_thread"), &(), |b, _| {
+        b.iter(|| seq_engine.eval_batch(&workload))
+    });
+    g.bench_with_input(BenchmarkId::new("batch", "all_cores"), &(), |b, _| {
+        b.iter(|| engine.eval_batch(&workload))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

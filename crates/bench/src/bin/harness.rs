@@ -1,5 +1,5 @@
 //! Regenerates every figure and table of the paper's reproduction: runs
-//! experiments E1–E16 and prints the paper-style tables recorded in
+//! experiments E1–E17 and prints the paper-style tables recorded in
 //! `EXPERIMENTS.md`.
 //!
 //! ```text
@@ -37,7 +37,11 @@ fn main() {
             "14" => experiments::e14_streaming::run(),
             "15" => experiments::e15_hornsat::run(),
             "16" => experiments::e16_xpath_scaling::run(),
-            other => eprintln!("unknown experiment '{other}' (expected e1..e16)"),
+            "17" => experiments::e17_planner::run(),
+            other => {
+                eprintln!("unknown experiment '{other}' (expected e1..e17)");
+                std::process::exit(2);
+            }
         }
     }
 }

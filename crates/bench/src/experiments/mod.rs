@@ -16,6 +16,7 @@ pub mod e13_twig;
 pub mod e14_streaming;
 pub mod e15_hornsat;
 pub mod e16_xpath_scaling;
+pub mod e17_planner;
 
 /// Runs every experiment in order.
 pub fn run_all() {
@@ -35,4 +36,5 @@ pub fn run_all() {
     e14_streaming::run();
     e15_hornsat::run();
     e16_xpath_scaling::run();
+    e17_planner::run();
 }

@@ -4,23 +4,32 @@
 //! *Processing Queries on Tree-Structured Data Efficiently* (PODS 2006).
 //!
 //! The sibling crates implement the paper's five technique families; this
-//! crate re-exports them and adds [`Engine`], a small planner that routes
-//! each query to the right technique:
+//! crate re-exports them and adds [`Engine`], which routes every query —
+//! Core XPath, conjunctive queries, monadic datalog — through one
+//! three-stage pipeline:
 //!
-//! * **Core XPath** → the set-at-a-time evaluator (`O(|D| · |Q|)`); the
-//!   monadic-datalog and acyclic-CQ routes are available for
-//!   cross-checking ([`XPathStrategy`]);
-//! * **conjunctive queries** → acyclic queries run through Yannakakis'
-//!   full reducer with backtrack-free enumeration; cyclic queries over an
-//!   X-property signature (Theorem 6.8) run through arc-consistency +
-//!   minimum valuation; everything else is rewritten into a union of
-//!   acyclic queries (Theorem 5.1), with exponential backtracking as the
-//!   last resort;
-//! * **monadic datalog** → grounding + Minoux's algorithm (Theorem 3.2);
-//! * **streaming** → the depth-bounded filter for forward queries, with
-//!   automatic backward-axis elimination.
+//! 1. **IR** ([`plan::ir`]): the front-end text is parsed and lowered
+//!    into a shared logical form with provenance, a structural feature
+//!    summary, and a fingerprint of its *normalized* form;
+//! 2. **planner** ([`plan::planner`]): cheap per-tree statistics
+//!    ([`plan::TreeStats`]) plus the paper's classifiers (acyclicity,
+//!    the Theorem 6.8 dichotomy, Theorem 5.1 rewritability) pick an
+//!    execution strategy and explain the choice ([`plan::ExplainedPlan`],
+//!    surfaced by [`Engine::explain`]);
+//! 3. **executor** ([`plan::exec`]): the strategy runs with per-stage
+//!    work counters ([`Engine::metrics`]), behind a plan cache keyed by
+//!    `(query fingerprint, tree fingerprint)`.
+//!
+//! [`Engine::eval_batch`] evaluates many queries over the one tree on
+//! scoped worker threads; the classic entry points ([`Engine::xpath`],
+//! [`Engine::cq`], [`Engine::datalog`], [`Engine::stream_select`]) remain
+//! as thin shims over the pipeline.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+pub mod plan;
 
 pub use treequery_automata as automata;
 pub use treequery_cq as cq;
@@ -33,6 +42,11 @@ pub use treequery_xpath as xpath;
 
 pub use treequery_tree::{
     parse_term, parse_xml, to_xml, Axis, NodeId, NodeSet, Order, Tree, TreeBuilder,
+};
+
+pub use plan::{
+    CostClass, ExplainedPlan, Metrics, MetricsSnapshot, PlannerConfig, Query, QueryIr, QueryOutput,
+    SourceLang, Strategy, TreeStats,
 };
 
 /// Errors surfaced by the [`Engine`].
@@ -64,10 +78,11 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Which implementation evaluates a Core XPath query.
+/// Which implementation evaluates a Core XPath query (the forced-strategy
+/// override of [`Engine::xpath_via`]; normally the planner chooses).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum XPathStrategy {
-    /// The set-at-a-time evaluator (default; `O(|D| · |Q|)`).
+    /// The set-at-a-time evaluator (`O(|D| · |Q|)`).
     SetAtATime,
     /// The literal (P1)–(P4)/(Q1)–(Q5) semantics (slow; oracle).
     Reference,
@@ -92,7 +107,8 @@ pub enum CqPlan {
     /// Rewritten into an equivalent union of this many acyclic queries
     /// (Theorem 5.1).
     RewriteUnion(usize),
-    /// NP-hard shape with `<pre` atoms: exponential backtracking.
+    /// Exponential backtracking (NP-hard shape, or brute force estimated
+    /// cheaper than a large rewrite union on a small tree).
     Backtrack,
 }
 
@@ -112,15 +128,59 @@ impl CqAnswer {
     }
 }
 
+/// Engine tunables. [`Default`] enables the plan cache and lets
+/// [`Engine::eval_batch`] size its worker pool from the machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Planner cost-model knobs.
+    pub planner: PlannerConfig,
+    /// Cache plans keyed by `(query fingerprint, tree fingerprint)`.
+    pub plan_cache: bool,
+    /// Worker threads for [`Engine::eval_batch`]; `None` = available
+    /// parallelism.
+    pub batch_threads: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            planner: PlannerConfig::default(),
+            plan_cache: true,
+            batch_threads: None,
+        }
+    }
+}
+
 /// A query engine bound to one (frozen) tree.
+///
+/// Statistics, the tree fingerprint, plan cache, and metrics are shared
+/// state; all evaluation methods take `&self`, and the engine is `Sync`,
+/// which is what lets [`Engine::eval_batch`] fan out over scoped threads.
 pub struct Engine<'t> {
     tree: &'t Tree,
+    config: EngineConfig,
+    stats: OnceLock<TreeStats>,
+    tree_fp: OnceLock<u64>,
+    cache: plan::PlanCache,
+    metrics: Metrics,
 }
 
 impl<'t> Engine<'t> {
-    /// Creates an engine over a tree.
+    /// Creates an engine over a tree with the default configuration.
     pub fn new(tree: &'t Tree) -> Self {
-        Engine { tree }
+        Engine::with_config(tree, EngineConfig::default())
+    }
+
+    /// Creates an engine with explicit tunables.
+    pub fn with_config(tree: &'t Tree, config: EngineConfig) -> Self {
+        Engine {
+            tree,
+            config,
+            stats: OnceLock::new(),
+            tree_fp: OnceLock::new(),
+            cache: plan::PlanCache::default(),
+            metrics: Metrics::default(),
+        }
     }
 
     /// The underlying tree.
@@ -128,98 +188,221 @@ impl<'t> Engine<'t> {
         self.tree
     }
 
-    /// Evaluates a Core XPath query (from the virtual document node),
-    /// returning the selected nodes in document order.
-    pub fn xpath(&self, query: &str) -> Result<Vec<NodeId>, EngineError> {
-        self.xpath_via(query, XPathStrategy::SetAtATime)
+    /// The per-tree statistics the planner consults (computed lazily,
+    /// once).
+    pub fn stats(&self) -> &TreeStats {
+        self.stats.get_or_init(|| TreeStats::compute(self.tree))
     }
 
-    /// Evaluates a Core XPath query with an explicit strategy.
+    /// The tree fingerprint (half of the plan-cache key; computed lazily,
+    /// once).
+    pub fn tree_fingerprint(&self) -> u64 {
+        *self
+            .tree_fp
+            .get_or_init(|| plan::tree_fingerprint(self.tree))
+    }
+
+    /// A snapshot of the pipeline's work counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Zeroes the pipeline's work counters.
+    pub fn reset_metrics(&self) {
+        self.metrics.reset()
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Parses and lowers a front-end query into the shared IR.
+    pub fn lower(&self, query: &Query) -> Result<QueryIr, EngineError> {
+        let ir = plan::lower(query)?;
+        plan::Metrics::add_lowered(&self.metrics);
+        Ok(ir)
+    }
+
+    /// The plan the engine would run for `query`, with its rationale —
+    /// strategy, cost class, estimated work, and the statistics that
+    /// decided it.
+    pub fn explain(&self, query: &Query) -> Result<ExplainedPlan, EngineError> {
+        let ir = self.lower(query)?;
+        Ok((*self.plan_for(&ir)).clone())
+    }
+
+    fn plan_for(&self, ir: &QueryIr) -> std::sync::Arc<ExplainedPlan> {
+        let compute = || {
+            plan::Metrics::add_planned(&self.metrics);
+            plan::plan_ir(ir, self.stats(), &self.config.planner)
+        };
+        if self.config.plan_cache {
+            self.cache.get_or_insert(
+                ir.fingerprint,
+                self.tree_fingerprint(),
+                &self.metrics,
+                compute,
+            )
+        } else {
+            std::sync::Arc::new(compute())
+        }
+    }
+
+    /// Evaluates one query through the full pipeline.
+    pub fn eval(&self, query: &Query) -> Result<QueryOutput, EngineError> {
+        let ir = self.lower(query)?;
+        self.eval_ir(&ir)
+    }
+
+    /// Evaluates an already-lowered query (plan-cache aware).
+    pub fn eval_ir(&self, ir: &QueryIr) -> Result<QueryOutput, EngineError> {
+        let chosen = self.plan_for(ir);
+        plan::exec::execute(ir, &chosen, self.tree, &self.metrics)
+    }
+
+    /// Evaluates many queries over the one tree on scoped worker threads.
+    ///
+    /// Results come back in input order, each independently fallible. The
+    /// pool size is [`EngineConfig::batch_threads`] (default: available
+    /// parallelism, capped by the batch size); workers share the plan
+    /// cache and metrics.
+    pub fn eval_batch(&self, queries: &[Query]) -> Vec<Result<QueryOutput, EngineError>> {
+        plan::Metrics::add_batch(&self.metrics, queries.len() as u64);
+        let threads = self
+            .config
+            .batch_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, queries.len().max(1));
+        if threads == 1 {
+            return queries.iter().map(|q| self.eval(q)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<QueryOutput, EngineError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            out.push((i, self.eval(&queries[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for w in workers {
+                for (i, r) in w.join().expect("batch worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// Evaluates a Core XPath query (from the virtual document node),
+    /// returning the selected nodes in document order. Thin shim over the
+    /// pipeline: the planner picks between the set-at-a-time sweep and
+    /// the acyclic-CQ route.
+    pub fn xpath(&self, query: &str) -> Result<Vec<NodeId>, EngineError> {
+        match self.eval(&Query::xpath(query))? {
+            QueryOutput::Nodes(v) => Ok(v),
+            QueryOutput::Answer(_) => unreachable!("XPath evaluates to a node set"),
+        }
+    }
+
+    /// Evaluates a Core XPath query with an explicit, forced strategy
+    /// (bypassing the planner; used for cross-checking).
     pub fn xpath_via(
         &self,
         query: &str,
         strategy: XPathStrategy,
     ) -> Result<Vec<NodeId>, EngineError> {
         let path = xpath::parse_xpath(query).map_err(EngineError::XPath)?;
-        let set = match strategy {
-            XPathStrategy::SetAtATime => xpath::eval_query(&path, self.tree),
-            XPathStrategy::Reference => xpath::eval_reference(&path, self.tree),
-            XPathStrategy::Datalog => {
-                let prog = xpath::to_datalog(&path);
-                datalog::eval_query(&prog, self.tree)
-            }
+        let ir = plan::ir::lower_path(&path);
+        let forced = match strategy {
+            XPathStrategy::SetAtATime => Strategy::XPathSetAtATime,
+            XPathStrategy::Reference => Strategy::XPathReference,
+            XPathStrategy::Datalog => Strategy::XPathViaDatalog,
             XPathStrategy::AcyclicCq => {
-                let q = xpath::to_cq(&path).map_err(|e| {
-                    EngineError::XPath(xpath::XPathParseError {
+                if ir.lowered_cq.is_none() {
+                    // Recover the precise non-conjunctive reason.
+                    let e = xpath::to_cq(&path).expect_err("lowering failed");
+                    return Err(EngineError::XPath(xpath::XPathParseError {
                         offset: 0,
                         message: e.to_string(),
-                    })
-                })?;
-                let tuples =
-                    cq::eval_acyclic(&q, self.tree).expect("XPath translations are acyclic");
-                NodeSet::from_iter(self.tree.len(), tuples.into_iter().map(|t| t[0]))
+                    }));
+                }
+                Strategy::XPathViaAcyclicCq
             }
         };
-        let mut nodes = set.to_vec();
-        self.tree.sort_by_pre(&mut nodes);
-        Ok(nodes)
+        let forced_plan = ExplainedPlan {
+            source: SourceLang::XPath,
+            strategy: forced,
+            cost: CostClass::Linear,
+            estimated_work: 0,
+            rationale: format!("forced by caller: {forced}"),
+            query_fingerprint: ir.fingerprint,
+        };
+        match plan::exec::execute(&ir, &forced_plan, self.tree, &self.metrics)? {
+            QueryOutput::Nodes(v) => Ok(v),
+            QueryOutput::Answer(_) => unreachable!("XPath evaluates to a node set"),
+        }
     }
 
     /// The plan the engine would choose for a conjunctive query.
+    ///
+    /// Statistics-aware: on very small trees the planner may prefer
+    /// backtracking over a large rewrite union.
     pub fn cq_plan(&self, q: &cq::Cq) -> CqPlan {
-        let n = q.normalize_forward();
-        if cq::is_acyclic(&n) {
-            return CqPlan::Acyclic;
-        }
-        if n.is_boolean() {
-            if let cq::Tractability::Tractable(order) = cq::classify(&n) {
-                return CqPlan::XProperty(order);
-            }
-        }
-        match cq::rewrite_to_acyclic(&n) {
-            Ok((parts, _)) => CqPlan::RewriteUnion(parts.len()),
-            Err(_) => CqPlan::Backtrack,
+        let ir = plan::ir::lower_cq(q);
+        match self.plan_for(&ir).strategy {
+            Strategy::CqAcyclic => CqPlan::Acyclic,
+            Strategy::CqXProperty(order) => CqPlan::XProperty(order),
+            Strategy::CqRewriteUnion(k) => CqPlan::RewriteUnion(k),
+            Strategy::CqBacktrack => CqPlan::Backtrack,
+            other => unreachable!("non-CQ strategy {other} for a CQ"),
         }
     }
 
     /// Evaluates a conjunctive query (textual syntax; see
-    /// [`cq::parse_cq`]), choosing the technique per [`Engine::cq_plan`].
+    /// [`cq::parse_cq`]), choosing the technique via the planner.
     pub fn cq(&self, query: &str) -> Result<CqAnswer, EngineError> {
-        let q = cq::parse_cq(query).map_err(EngineError::Cq)?;
-        Ok(self.eval_cq(&q))
+        match self.eval(&Query::cq(query))? {
+            QueryOutput::Answer(a) => Ok(a),
+            QueryOutput::Nodes(_) => unreachable!("CQs evaluate to tuple answers"),
+        }
     }
 
     /// Evaluates an already-parsed conjunctive query.
     pub fn eval_cq(&self, q: &cq::Cq) -> CqAnswer {
-        let plan = self.cq_plan(q);
-        let tuples = match plan {
-            CqPlan::Acyclic => cq::eval_acyclic(q, self.tree).expect("planned acyclic"),
-            CqPlan::XProperty(_) => {
-                match cq::eval_x_property(q, self.tree).expect("planned tractable") {
-                    Some(_witness) => std::iter::once(Vec::new()).collect(),
-                    None => BTreeSet::new(),
-                }
-            }
-            CqPlan::RewriteUnion(_) => {
-                cq::rewrite::eval_via_rewrite(q, self.tree).expect("planned rewritable")
-            }
-            CqPlan::Backtrack => cq::eval_backtrack(q, self.tree),
-        };
-        CqAnswer { tuples, plan }
+        let ir = plan::ir::lower_cq(q);
+        match self.eval_ir(&ir).expect("parsed CQs evaluate infallibly") {
+            QueryOutput::Answer(a) => a,
+            QueryOutput::Nodes(_) => unreachable!("CQs evaluate to tuple answers"),
+        }
     }
 
     /// Evaluates a monadic datalog program (textual syntax; see
     /// [`datalog::parse_program`]): the extension of its query predicate,
     /// in document order.
     pub fn datalog(&self, program: &str) -> Result<Vec<NodeId>, EngineError> {
-        let prog = datalog::parse_program(program).map_err(EngineError::Datalog)?;
-        if prog.query.is_none() {
-            return Err(EngineError::NoQueryPredicate);
+        match self.eval(&Query::datalog(program))? {
+            QueryOutput::Nodes(v) => Ok(v),
+            QueryOutput::Answer(_) => unreachable!("datalog evaluates to a node set"),
         }
-        let set = datalog::eval_query(&prog, self.tree);
-        let mut nodes = set.to_vec();
-        self.tree.sort_by_pre(&mut nodes);
-        Ok(nodes)
     }
 
     /// Streams the tree's events through a compiled selecting evaluator:
@@ -234,17 +417,12 @@ impl<'t> Engine<'t> {
     }
 
     /// Compiles an XPath query for stream filtering, eliminating backward
-    /// axes if necessary.
+    /// axes if necessary (the `streaming::compile_with_rewrite` seam).
     pub fn stream_filter(&self, query: &str) -> Result<streaming::FilterQuery, EngineError> {
         let path = xpath::parse_xpath(query).map_err(EngineError::XPath)?;
-        match streaming::compile(&path) {
-            Ok(f) => Ok(f),
-            Err(first_err) => {
-                let fwd = streaming::eliminate_upward(&path)
-                    .ok_or_else(|| EngineError::NotStreamable(first_err.to_string()))?;
-                streaming::compile(&fwd).map_err(|e| EngineError::NotStreamable(e.to_string()))
-            }
-        }
+        let (filter, _rewritten) = streaming::compile_with_rewrite(&path)
+            .map_err(|e| EngineError::NotStreamable(e.to_string()))?;
+        Ok(filter)
     }
 }
 
@@ -275,6 +453,10 @@ mod tests {
             e.xpath_via(q, XPathStrategy::AcyclicCq).unwrap(),
             e.xpath(q).unwrap()
         );
+        // Forcing the CQ route on a non-conjunctive query errors.
+        assert!(e
+            .xpath_via("//a[not(b)]", XPathStrategy::AcyclicCq)
+            .is_err());
     }
 
     #[test]
@@ -372,5 +554,62 @@ mod tests {
         assert!(matches!(e.xpath("//["), Err(EngineError::XPath(_))));
         assert!(matches!(e.cq("frob(x, y, z)"), Err(EngineError::Cq(_))));
         assert!(matches!(e.datalog("P(x) :-"), Err(EngineError::Datalog(_))));
+    }
+
+    #[test]
+    fn explain_covers_all_three_front_ends() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        let x = e.explain(&Query::xpath("//a[b]")).unwrap();
+        assert_eq!(x.source, SourceLang::XPath);
+        assert!(!x.rationale.is_empty());
+        let c = e.explain(&Query::cq("q(x) :- label(x, a).")).unwrap();
+        assert_eq!(c.source, SourceLang::Cq);
+        let d = e
+            .explain(&Query::datalog("P(x) :- label(x, a). ?- P."))
+            .unwrap();
+        assert_eq!(d.source, SourceLang::Datalog);
+        assert_eq!(d.strategy, Strategy::DatalogGround);
+    }
+
+    #[test]
+    fn plan_cache_and_metrics_observe_the_pipeline() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        e.xpath("//a[b]").unwrap();
+        e.xpath("//a[b]").unwrap();
+        // Equivalent normalized form → same cache entry.
+        e.xpath("descendant::a[child::b]").unwrap();
+        let m = e.metrics();
+        assert_eq!(m.queries_lowered, 3);
+        assert_eq!(m.queries_executed, 3);
+        assert_eq!(m.plan_cache_misses, 1);
+        assert_eq!(m.plan_cache_hits, 2);
+        assert_eq!(e.cached_plans(), 1);
+        e.reset_metrics();
+        assert_eq!(e.metrics(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn eval_batch_matches_sequential() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        let queries: Vec<Query> = vec![
+            Query::xpath("//a[b]/c"),
+            Query::cq("q(x) :- label(x, a), child(x, y), label(y, b)."),
+            Query::datalog("P(x) :- label(x, b). ?- P."),
+            Query::xpath("//["), // parse error rides along
+            Query::xpath("//b"),
+        ];
+        let batch = e.eval_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            match (&batch[i], e.eval(q)) {
+                (Ok(b), Ok(s)) => assert_eq!(*b, s, "query {i}"),
+                (Err(_), Err(_)) => {}
+                (b, s) => panic!("query {i}: batch {b:?} vs sequential {s:?}"),
+            }
+        }
+        assert_eq!(e.metrics().batch_queries, queries.len() as u64);
     }
 }

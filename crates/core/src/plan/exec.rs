@@ -1,0 +1,411 @@
+//! The instrumented executor: runs an [`ExplainedPlan`] against a tree,
+//! counting work per pipeline stage, and hosts the plan cache keyed by
+//! `(query fingerprint, tree fingerprint)`.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use treequery_cq as cq;
+use treequery_datalog as datalog;
+use treequery_tree::{NodeId, NodeSet, Tree};
+use treequery_xpath as xpath;
+
+use super::ir::{IrBody, QueryIr};
+use super::planner::{ExplainedPlan, Strategy};
+use crate::{CqAnswer, CqPlan, EngineError};
+
+/// The result of evaluating one query through the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// A node-set answer in document order (XPath, datalog).
+    Nodes(Vec<NodeId>),
+    /// A tuple answer (conjunctive queries).
+    Answer(CqAnswer),
+}
+
+impl QueryOutput {
+    /// The node list, when the answer is a node set.
+    pub fn nodes(&self) -> Option<&[NodeId]> {
+        match self {
+            QueryOutput::Nodes(v) => Some(v),
+            QueryOutput::Answer(_) => None,
+        }
+    }
+
+    /// The tuple answer, when the query was conjunctive.
+    pub fn answer(&self) -> Option<&CqAnswer> {
+        match self {
+            QueryOutput::Nodes(_) => None,
+            QueryOutput::Answer(a) => Some(a),
+        }
+    }
+}
+
+/// Per-stage work counters, updated atomically so batch workers can share
+/// one instance. Read with [`Metrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Queries lowered into the IR.
+    pub queries_lowered: AtomicU64,
+    /// Plans computed by the planner (cache misses included).
+    pub plans_computed: AtomicU64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: AtomicU64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: AtomicU64,
+    /// Queries executed end to end.
+    pub queries_executed: AtomicU64,
+    /// Queries submitted through `eval_batch`.
+    pub batch_queries: AtomicU64,
+    /// Semijoin passes run by full reducers (2 per atom per reduced
+    /// query).
+    pub semijoin_passes: AtomicU64,
+    /// Total size of the reduced candidate sets (the `||A||` the
+    /// output-sensitive bound charges).
+    pub candidate_nodes: AtomicU64,
+    /// Acyclic parts evaluated inside rewrite unions.
+    pub union_parts: AtomicU64,
+    /// Nodes touched by linear sweeps (set-at-a-time, datalog grounding).
+    pub nodes_swept: AtomicU64,
+    /// Variable assignments attempted by the backtracking evaluator.
+    pub backtrack_assignments: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Queries lowered into the IR.
+    pub queries_lowered: u64,
+    /// Plans computed by the planner.
+    pub plans_computed: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
+    /// Queries executed end to end.
+    pub queries_executed: u64,
+    /// Queries submitted through `eval_batch`.
+    pub batch_queries: u64,
+    /// Semijoin passes run by full reducers.
+    pub semijoin_passes: u64,
+    /// Total size of the reduced candidate sets.
+    pub candidate_nodes: u64,
+    /// Acyclic parts evaluated inside rewrite unions.
+    pub union_parts: u64,
+    /// Nodes touched by linear sweeps.
+    pub nodes_swept: u64,
+    /// Variable assignments attempted by the backtracking evaluator.
+    pub backtrack_assignments: u64,
+}
+
+impl Metrics {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one IR lowering.
+    pub fn add_lowered(metrics: &Metrics) {
+        Metrics::add(&metrics.queries_lowered, 1);
+    }
+
+    /// Records one planner invocation.
+    pub fn add_planned(metrics: &Metrics) {
+        Metrics::add(&metrics.plans_computed, 1);
+    }
+
+    /// Records `n` queries submitted through a batch.
+    pub fn add_batch(metrics: &Metrics, n: u64) {
+        Metrics::add(&metrics.batch_queries, n);
+    }
+
+    /// Copies all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            queries_lowered: get(&self.queries_lowered),
+            plans_computed: get(&self.plans_computed),
+            plan_cache_hits: get(&self.plan_cache_hits),
+            plan_cache_misses: get(&self.plan_cache_misses),
+            queries_executed: get(&self.queries_executed),
+            batch_queries: get(&self.batch_queries),
+            semijoin_passes: get(&self.semijoin_passes),
+            candidate_nodes: get(&self.candidate_nodes),
+            union_parts: get(&self.union_parts),
+            nodes_swept: get(&self.nodes_swept),
+            backtrack_assignments: get(&self.backtrack_assignments),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        let zero = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
+        zero(&self.queries_lowered);
+        zero(&self.plans_computed);
+        zero(&self.plan_cache_hits);
+        zero(&self.plan_cache_misses);
+        zero(&self.queries_executed);
+        zero(&self.batch_queries);
+        zero(&self.semijoin_passes);
+        zero(&self.candidate_nodes);
+        zero(&self.union_parts);
+        zero(&self.nodes_swept);
+        zero(&self.backtrack_assignments);
+    }
+}
+
+/// The plan cache: `(query fingerprint, tree fingerprint)` →
+/// [`ExplainedPlan`]. Both fingerprints hash *normalized* forms, so
+/// syntactically different but equivalent conjunctive paths share an
+/// entry, and a second `Engine` over a structurally identical tree would
+/// plan identically.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<(u64, u64), Arc<ExplainedPlan>>>,
+}
+
+impl PlanCache {
+    /// Looks up `(query_fp, tree_fp)`, computing and inserting the plan on
+    /// a miss; records the hit/miss in `metrics`.
+    pub fn get_or_insert(
+        &self,
+        query_fp: u64,
+        tree_fp: u64,
+        metrics: &Metrics,
+        compute: impl FnOnce() -> ExplainedPlan,
+    ) -> Arc<ExplainedPlan> {
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        match map.entry((query_fp, tree_fp)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                Metrics::add(&metrics.plan_cache_hits, 1);
+                Arc::clone(e.get())
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                Metrics::add(&metrics.plan_cache_misses, 1);
+                Arc::clone(e.insert(Arc::new(compute())))
+            }
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached plans.
+    pub fn clear(&self) {
+        self.map.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+fn expect_path(ir: &QueryIr) -> &xpath::Path {
+    match &ir.native {
+        IrBody::Path(p) => p,
+        _ => unreachable!("XPath strategy planned for a non-XPath IR"),
+    }
+}
+
+fn sorted_nodes(t: &Tree, set: NodeSet) -> Vec<NodeId> {
+    let mut nodes = set.to_vec();
+    t.sort_by_pre(&mut nodes);
+    nodes
+}
+
+/// Runs an acyclic CQ through the full reducer, charging the semijoin
+/// passes and reduced candidate-set sizes to `metrics`.
+fn run_acyclic_instrumented(
+    q: &cq::Cq,
+    t: &Tree,
+    metrics: &Metrics,
+) -> Option<BTreeSet<Vec<NodeId>>> {
+    let e = cq::Enumerator::new(q, t)?;
+    Metrics::add(&metrics.semijoin_passes, 2 * q.atoms.len() as u64);
+    let mut candidate_total = 0u64;
+    for v in 0..q.num_vars() {
+        if let Some(set) = e.candidates(cq::CqVar(v as u32)) {
+            candidate_total += set.len() as u64;
+        }
+    }
+    Metrics::add(&metrics.candidate_nodes, candidate_total);
+    Some(e.head_tuples())
+}
+
+/// Executes a planned query. The plan must have been produced from the
+/// same IR (the engine guarantees this; strategies are matched against the
+/// IR body and panic on impossible combinations).
+pub fn execute(
+    ir: &QueryIr,
+    plan: &ExplainedPlan,
+    tree: &Tree,
+    metrics: &Metrics,
+) -> Result<QueryOutput, EngineError> {
+    Metrics::add(&metrics.queries_executed, 1);
+    match plan.strategy {
+        Strategy::XPathSetAtATime => {
+            let p = expect_path(ir);
+            Metrics::add(
+                &metrics.nodes_swept,
+                (tree.len() as u64).saturating_mul(p.size() as u64),
+            );
+            Ok(QueryOutput::Nodes(sorted_nodes(
+                tree,
+                xpath::eval_query(p, tree),
+            )))
+        }
+        Strategy::XPathReference => Ok(QueryOutput::Nodes(sorted_nodes(
+            tree,
+            xpath::eval_reference(expect_path(ir), tree),
+        ))),
+        Strategy::XPathViaDatalog => {
+            let prog = xpath::to_datalog(expect_path(ir));
+            Metrics::add(
+                &metrics.nodes_swept,
+                (tree.len() as u64).saturating_mul(prog.size() as u64),
+            );
+            Ok(QueryOutput::Nodes(sorted_nodes(
+                tree,
+                datalog::eval_query(&prog, tree),
+            )))
+        }
+        Strategy::XPathViaAcyclicCq => {
+            let q = ir
+                .lowered_cq
+                .as_ref()
+                .expect("planner chose the CQ route without a lowered CQ");
+            let tuples = run_acyclic_instrumented(q, tree, metrics)
+                .expect("Proposition 4.2 CQs are acyclic");
+            let set = NodeSet::from_iter(tree.len(), tuples.into_iter().map(|t| t[0]));
+            Ok(QueryOutput::Nodes(sorted_nodes(tree, set)))
+        }
+        Strategy::CqAcyclic => {
+            let q = expect_cq(ir);
+            let tuples = run_acyclic_instrumented(q, tree, metrics).expect("planned acyclic");
+            Ok(QueryOutput::Answer(CqAnswer {
+                tuples,
+                plan: CqPlan::Acyclic,
+            }))
+        }
+        Strategy::CqXProperty(order) => {
+            let q = expect_cq(ir);
+            Metrics::add(
+                &metrics.candidate_nodes,
+                (tree.len() as u64).saturating_mul(q.num_vars() as u64),
+            );
+            let tuples = match cq::eval_x_property(q, tree).expect("planned tractable") {
+                Some(_witness) => std::iter::once(Vec::new()).collect(),
+                None => BTreeSet::new(),
+            };
+            Ok(QueryOutput::Answer(CqAnswer {
+                tuples,
+                plan: CqPlan::XProperty(order),
+            }))
+        }
+        Strategy::CqRewriteUnion(k) => {
+            let q = expect_cq(ir);
+            Metrics::add(&metrics.union_parts, k as u64);
+            Metrics::add(
+                &metrics.semijoin_passes,
+                2 * (k as u64).saturating_mul(q.atoms.len() as u64),
+            );
+            let tuples = cq::rewrite::eval_via_rewrite(q, tree).expect("planned rewritable");
+            Ok(QueryOutput::Answer(CqAnswer {
+                tuples,
+                plan: CqPlan::RewriteUnion(k),
+            }))
+        }
+        Strategy::CqBacktrack => {
+            let q = expect_cq(ir);
+            let (tuples, stats) = cq::eval_backtrack_with_stats(q, tree);
+            Metrics::add(&metrics.backtrack_assignments, stats.assignments);
+            Ok(QueryOutput::Answer(CqAnswer {
+                tuples,
+                plan: CqPlan::Backtrack,
+            }))
+        }
+        Strategy::DatalogGround => {
+            let prog = match &ir.body {
+                IrBody::Program(p) => p,
+                _ => unreachable!("datalog strategy planned for a non-datalog IR"),
+            };
+            Metrics::add(
+                &metrics.nodes_swept,
+                (tree.len() as u64).saturating_mul(prog.size() as u64),
+            );
+            Ok(QueryOutput::Nodes(sorted_nodes(
+                tree,
+                datalog::eval_query(prog, tree),
+            )))
+        }
+    }
+}
+
+fn expect_cq(ir: &QueryIr) -> &cq::Cq {
+    match &ir.body {
+        IrBody::Cq(q) => q,
+        _ => unreachable!("CQ strategy planned for a non-CQ IR"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ir::{lower, Query};
+    use crate::plan::planner::{plan_ir, PlannerConfig};
+    use crate::plan::stats::TreeStats;
+    use treequery_tree::parse_term;
+
+    fn run(q: Query, term: &str) -> (QueryOutput, MetricsSnapshot) {
+        let t = parse_term(term).unwrap();
+        let ir = lower(&q).unwrap();
+        let plan = plan_ir(&ir, &TreeStats::compute(&t), &PlannerConfig::default());
+        let metrics = Metrics::default();
+        let out = execute(&ir, &plan, &t, &metrics).unwrap();
+        (out, metrics.snapshot())
+    }
+
+    #[test]
+    fn executor_counts_sweep_work() {
+        let (out, m) = run(Query::xpath("//a"), "r(a a b)");
+        assert_eq!(out.nodes().map(<[_]>::len), Some(2));
+        assert!(m.nodes_swept > 0);
+        assert_eq!(m.queries_executed, 1);
+    }
+
+    #[test]
+    fn executor_counts_semijoin_work() {
+        let (out, m) = run(
+            Query::cq("q(x) :- label(x, a), child(x, y), label(y, b)."),
+            "r(a(b) a(c))",
+        );
+        let answer = out.answer().unwrap();
+        assert_eq!(answer.plan, CqPlan::Acyclic);
+        assert_eq!(answer.tuples.len(), 1);
+        assert_eq!(m.semijoin_passes, 6, "2 passes per atom");
+        assert!(m.candidate_nodes > 0);
+    }
+
+    #[test]
+    fn plan_cache_hits_and_misses() {
+        let t = parse_term("r(a b)").unwrap();
+        let ir = lower(&Query::xpath("//a")).unwrap();
+        let stats = TreeStats::compute(&t);
+        let cache = PlanCache::default();
+        let metrics = Metrics::default();
+        let mk = || plan_ir(&ir, &stats, &PlannerConfig::default());
+        let first = cache.get_or_insert(ir.fingerprint, 7, &metrics, mk);
+        let second = cache.get_or_insert(ir.fingerprint, 7, &metrics, mk);
+        assert_eq!(*first, *second);
+        let other_tree = cache.get_or_insert(ir.fingerprint, 8, &metrics, mk);
+        assert_eq!(*first, *other_tree);
+        let m = metrics.snapshot();
+        assert_eq!(m.plan_cache_hits, 1);
+        assert_eq!(m.plan_cache_misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

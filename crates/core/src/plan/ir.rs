@@ -1,0 +1,257 @@
+//! The shared logical IR every front-end lowers into.
+//!
+//! A [`Query`] (text in one of the three front-end syntaxes) lowers into a
+//! [`QueryIr`]: the parsed body, a *normalized* form (forward axes for
+//! CQs; the conjunctive-XPath→acyclic-CQ lowering of Proposition 4.2 when
+//! it applies), the structural feature summary the front-end crates
+//! compute ([`treequery_xpath::features`], [`treequery_cq::features`],
+//! [`treequery_datalog::features`]), and a fingerprint of the normalized
+//! form that, paired with a tree fingerprint, keys the executor's plan
+//! cache.
+//!
+//! Provenance is preserved: the IR keeps the native parsed AST, so the
+//! executor can always fall back to the substrate evaluator the query was
+//! written for.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use treequery_cq as cq;
+use treequery_datalog as datalog;
+use treequery_xpath as xpath;
+
+use crate::EngineError;
+
+/// A query in one of the three front-end syntaxes, as posed by a caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Core XPath (e.g. `//a[b]/c`).
+    Xpath(String),
+    /// A conjunctive query (e.g. `q(x) :- child(x, y), label(y, b).`).
+    Cq(String),
+    /// A monadic datalog program with a `?- P.` query directive.
+    Datalog(String),
+}
+
+impl Query {
+    /// Convenience constructor for Core XPath text.
+    pub fn xpath(text: impl Into<String>) -> Self {
+        Query::Xpath(text.into())
+    }
+
+    /// Convenience constructor for conjunctive-query text.
+    pub fn cq(text: impl Into<String>) -> Self {
+        Query::Cq(text.into())
+    }
+
+    /// Convenience constructor for datalog text.
+    pub fn datalog(text: impl Into<String>) -> Self {
+        Query::Datalog(text.into())
+    }
+
+    /// The raw query text.
+    pub fn text(&self) -> &str {
+        match self {
+            Query::Xpath(s) | Query::Cq(s) | Query::Datalog(s) => s,
+        }
+    }
+}
+
+/// Which front-end a query came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SourceLang {
+    /// Core XPath.
+    XPath,
+    /// Conjunctive queries.
+    Cq,
+    /// Monadic datalog.
+    Datalog,
+}
+
+impl std::fmt::Display for SourceLang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SourceLang::XPath => "xpath",
+            SourceLang::Cq => "cq",
+            SourceLang::Datalog => "datalog",
+        })
+    }
+}
+
+/// A parsed query body in one of the three substrates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IrBody {
+    /// A Core XPath path expression.
+    Path(xpath::Path),
+    /// A conjunctive query.
+    Cq(cq::Cq),
+    /// A monadic datalog program.
+    Program(datalog::Program),
+}
+
+/// The front-end feature summary carried by the IR (computed by the
+/// lowering seams in the front-end crates).
+#[derive(Clone, Debug, PartialEq)]
+pub enum IrFeatures {
+    /// XPath features.
+    Path(xpath::PathFeatures),
+    /// CQ features.
+    Cq(cq::CqFeatures),
+    /// Datalog features.
+    Program(datalog::ProgramFeatures),
+}
+
+/// The normalized logical form of one query, with provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryIr {
+    /// The originating front-end.
+    pub source: SourceLang,
+    /// The native parsed AST (pre-normalization) — the fallback substrate.
+    pub native: IrBody,
+    /// The normalized body the planner and executor work on: CQs are
+    /// forward-normalized; XPath and datalog bodies are kept (their
+    /// evaluators normalize internally).
+    pub body: IrBody,
+    /// For conjunctive Core XPath: the acyclic CQ it lowers into
+    /// (Proposition 4.2). `None` for non-conjunctive paths and other
+    /// sources.
+    pub lowered_cq: Option<cq::Cq>,
+    /// The structural feature summary.
+    pub features: IrFeatures,
+    /// Hash of the normalized form; half of the executor's cache key.
+    pub fingerprint: u64,
+}
+
+fn fingerprint_of(source: SourceLang, normalized: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    source.hash(&mut h);
+    normalized.hash(&mut h);
+    h.finish()
+}
+
+/// Parses and lowers front-end query text into the IR.
+pub fn lower(query: &Query) -> Result<QueryIr, EngineError> {
+    match query {
+        Query::Xpath(text) => {
+            let path = xpath::parse_xpath(text).map_err(EngineError::XPath)?;
+            Ok(lower_path(&path))
+        }
+        Query::Cq(text) => {
+            let q = cq::parse_cq(text).map_err(EngineError::Cq)?;
+            Ok(lower_cq(&q))
+        }
+        Query::Datalog(text) => {
+            let prog = datalog::parse_program(text).map_err(EngineError::Datalog)?;
+            if prog.query.is_none() {
+                return Err(EngineError::NoQueryPredicate);
+            }
+            Ok(lower_program(&prog))
+        }
+    }
+}
+
+/// Lowers an already-parsed Core XPath expression.
+pub fn lower_path(path: &xpath::Path) -> QueryIr {
+    let features = xpath::features(path);
+    let lowered_cq = if features.conjunctive {
+        xpath::to_cq(path).ok().map(|q| q.normalize_forward())
+    } else {
+        None
+    };
+    // The normalized printable form: the lowered CQ when it exists (two
+    // syntactically different conjunctive paths with the same CQ share a
+    // plan), otherwise the path itself.
+    let normalized_text = match &lowered_cq {
+        Some(q) => q.to_string(),
+        None => path.to_string(),
+    };
+    QueryIr {
+        source: SourceLang::XPath,
+        native: IrBody::Path(path.clone()),
+        body: IrBody::Path(path.clone()),
+        fingerprint: fingerprint_of(SourceLang::XPath, &normalized_text),
+        features: IrFeatures::Path(features),
+        lowered_cq,
+    }
+}
+
+/// Lowers an already-parsed conjunctive query.
+pub fn lower_cq(q: &cq::Cq) -> QueryIr {
+    let n = q.normalize_forward();
+    let features = cq::features(&n);
+    QueryIr {
+        source: SourceLang::Cq,
+        native: IrBody::Cq(q.clone()),
+        fingerprint: fingerprint_of(SourceLang::Cq, &n.to_string()),
+        body: IrBody::Cq(n),
+        features: IrFeatures::Cq(features),
+        lowered_cq: None,
+    }
+}
+
+/// Lowers an already-parsed monadic datalog program.
+pub fn lower_program(prog: &datalog::Program) -> QueryIr {
+    let features = datalog::features(prog);
+    QueryIr {
+        source: SourceLang::Datalog,
+        native: IrBody::Program(prog.clone()),
+        fingerprint: fingerprint_of(SourceLang::Datalog, &prog.to_string()),
+        body: IrBody::Program(prog.clone()),
+        features: IrFeatures::Program(features),
+        lowered_cq: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunctive_xpath_lowers_to_a_cq() {
+        let ir = lower(&Query::xpath("//a[b]/c")).unwrap();
+        assert_eq!(ir.source, SourceLang::XPath);
+        let q = ir.lowered_cq.expect("conjunctive query lowers");
+        assert!(cq::is_acyclic(&q), "Proposition 4.2 output is acyclic");
+        let IrFeatures::Path(f) = &ir.features else {
+            panic!("xpath features")
+        };
+        assert!(f.conjunctive);
+    }
+
+    #[test]
+    fn non_conjunctive_xpath_has_no_cq_form() {
+        let ir = lower(&Query::xpath("//a[not(b)]")).unwrap();
+        assert!(ir.lowered_cq.is_none());
+    }
+
+    #[test]
+    fn equivalent_conjunctive_paths_share_a_fingerprint() {
+        let a = lower(&Query::xpath("//a[b]")).unwrap();
+        let b = lower(&Query::xpath("descendant::a[child::b]")).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let c = lower(&Query::xpath("//a[c]")).unwrap();
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn cq_normalization_is_reflected_in_the_fingerprint() {
+        let fwd = lower(&Query::cq("q(y) :- child(x, y), label(x, a).")).unwrap();
+        let bwd = lower(&Query::cq("q(y) :- parent(y, x), label(x, a).")).unwrap();
+        assert_eq!(fwd.fingerprint, bwd.fingerprint, "forward normalization");
+    }
+
+    #[test]
+    fn sources_never_collide() {
+        let x = lower(&Query::xpath("//a")).unwrap();
+        let d = lower(&Query::datalog("P(x) :- label(x, a). ?- P.")).unwrap();
+        assert_ne!(x.fingerprint, d.fingerprint);
+    }
+
+    #[test]
+    fn datalog_without_query_predicate_is_rejected() {
+        // The parser defaults the query to the first rule's head, so only
+        // a rule-less program can lack one.
+        let err = lower(&Query::datalog("")).unwrap_err();
+        assert!(matches!(err, EngineError::NoQueryPredicate));
+    }
+}

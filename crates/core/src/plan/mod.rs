@@ -1,0 +1,20 @@
+//! The three-stage query pipeline: logical IR → statistics-driven planner
+//! → instrumented executor.
+//!
+//! * [`ir`] — the shared logical form all three front-ends lower into,
+//!   with provenance and a normalized-form fingerprint;
+//! * [`stats`] — cheap per-tree statistics and the tree fingerprint;
+//! * [`planner`] — strategy selection with an inspectable rationale
+//!   ([`ExplainedPlan`]);
+//! * [`exec`] — plan execution with per-stage work counters and the plan
+//!   cache.
+
+pub mod exec;
+pub mod ir;
+pub mod planner;
+pub mod stats;
+
+pub use exec::{Metrics, MetricsSnapshot, PlanCache, QueryOutput};
+pub use ir::{lower, Query, QueryIr, SourceLang};
+pub use planner::{plan_ir, CostClass, ExplainedPlan, PlannerConfig, Strategy};
+pub use stats::{tree_fingerprint, TreeStats};

@@ -1,0 +1,147 @@
+//! Cheap per-tree statistics the planner consults, plus the tree
+//! fingerprint that keys the plan cache.
+//!
+//! Everything here is one `O(n)` pass (plus one sort over internal-node
+//! fanouts), computed lazily once per [`crate::Engine`] and reused for
+//! every query planned against the tree.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use treequery_tree::Tree;
+
+/// Summary statistics of one frozen tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TreeStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Height (root depth 0).
+    pub height: u32,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Number of distinct labels (interner size).
+    pub distinct_labels: usize,
+    /// Occurrences per label name.
+    pub label_counts: BTreeMap<String, usize>,
+    /// Median number of children over internal nodes.
+    pub fanout_p50: u32,
+    /// 90th-percentile number of children over internal nodes.
+    pub fanout_p90: u32,
+    /// Maximum number of children.
+    pub fanout_max: u32,
+    /// Mean node depth.
+    pub mean_depth: f64,
+}
+
+impl TreeStats {
+    /// Computes the statistics in one pass over the tree.
+    pub fn compute(t: &Tree) -> TreeStats {
+        let mut label_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut fanouts: Vec<u32> = Vec::new();
+        let mut leaves = 0usize;
+        let mut depth_sum = 0u64;
+        for v in t.nodes() {
+            for sym in t.labels(v) {
+                *label_counts
+                    .entry(t.interner().name(sym).to_owned())
+                    .or_insert(0) += 1;
+            }
+            depth_sum += t.depth(v) as u64;
+            let fanout = t.children(v).count() as u32;
+            if fanout == 0 {
+                leaves += 1;
+            } else {
+                fanouts.push(fanout);
+            }
+        }
+        fanouts.sort_unstable();
+        let pick = |q_num: usize, q_den: usize| -> u32 {
+            if fanouts.is_empty() {
+                0
+            } else {
+                fanouts[(fanouts.len() - 1) * q_num / q_den]
+            }
+        };
+        TreeStats {
+            nodes: t.len(),
+            height: t.height(),
+            leaves,
+            distinct_labels: t.interner().len(),
+            fanout_p50: pick(1, 2),
+            fanout_p90: pick(9, 10),
+            fanout_max: fanouts.last().copied().unwrap_or(0),
+            mean_depth: if t.is_empty() {
+                0.0
+            } else {
+                depth_sum as f64 / t.len() as f64
+            },
+            label_counts,
+        }
+    }
+
+    /// Occurrences of `label`, 0 if absent.
+    pub fn label_count(&self, label: &str) -> usize {
+        self.label_counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// The smallest occurrence count among `labels` — the selectivity
+    /// anchor for conjunctive plans (`None` when `labels` is empty).
+    /// A label absent from the tree yields `Some(0)`: the query cannot
+    /// match at all.
+    pub fn rarest_label_count<'a>(
+        &self,
+        labels: impl IntoIterator<Item = &'a str>,
+    ) -> Option<usize> {
+        labels.into_iter().map(|l| self.label_count(l)).min()
+    }
+}
+
+/// A cheap structural fingerprint: one pass hashing each node's label
+/// symbols and depth in pre-order. Trees with equal fingerprints are (with
+/// hash confidence) structurally identical with identical labels, which is
+/// what makes a cached plan *and* a cached answer transferable.
+pub fn tree_fingerprint(t: &Tree) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.len().hash(&mut h);
+    for v in t.pre_order() {
+        t.depth(v).hash(&mut h);
+        for sym in t.labels(v) {
+            t.interner().name(sym).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_tree::parse_term;
+
+    #[test]
+    fn stats_of_a_small_tree() {
+        let t = parse_term("r(a(b c) a(b) d)").unwrap();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.height, 2);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.label_count("a"), 2);
+        assert_eq!(s.label_count("b"), 2);
+        assert_eq!(s.label_count("zzz"), 0);
+        assert_eq!(s.fanout_max, 3);
+        assert_eq!(s.rarest_label_count(["a", "b", "r"]), Some(1));
+        assert_eq!(s.rarest_label_count(["a", "zzz"]), Some(0));
+        assert_eq!(s.rarest_label_count([]), None);
+    }
+
+    #[test]
+    fn fingerprints_separate_structure_and_labels() {
+        let a = tree_fingerprint(&parse_term("r(a b)").unwrap());
+        let b = tree_fingerprint(&parse_term("r(a b)").unwrap());
+        let structure = tree_fingerprint(&parse_term("r(a(b))").unwrap());
+        let labels = tree_fingerprint(&parse_term("r(a c)").unwrap());
+        assert_eq!(a, b);
+        assert_ne!(a, structure);
+        assert_ne!(a, labels);
+    }
+}

@@ -60,17 +60,20 @@ pub fn bounded_contained(
 }
 
 /// Bounded equivalence: containment in both directions.
+///
+/// The counterexample is boxed: it carries a whole witnessing tree, and
+/// the success path should not pay for that on the stack.
 pub fn bounded_equivalent(
     q: &Cq,
     q_prime: &Cq,
     max_nodes: usize,
     alphabet: &[&str],
-) -> Result<(), Counterexample> {
+) -> Result<(), Box<Counterexample>> {
     if let Some(c) = bounded_contained(q, q_prime, max_nodes, alphabet) {
-        return Err(c);
+        return Err(Box::new(c));
     }
     if let Some(c) = bounded_contained(q_prime, q, max_nodes, alphabet) {
-        return Err(c);
+        return Err(Box::new(c));
     }
     Ok(())
 }
@@ -82,14 +85,14 @@ pub fn bounded_equivalent_ucq(
     union: &Ucq,
     max_nodes: usize,
     alphabet: &[&str],
-) -> Result<(), Counterexample> {
+) -> Result<(), Box<Counterexample>> {
     for n in 1..=max_nodes {
         for t in all_labeled_trees(n, alphabet) {
             let left = eval_backtrack(q, &t);
             let right = union.eval(&t);
             if let Some(tuple) = left.symmetric_difference(&right).next() {
                 let tuple = tuple.clone();
-                return Err(Counterexample { tree: t, tuple });
+                return Err(Box::new(Counterexample { tree: t, tuple }));
             }
         }
     }

@@ -1,0 +1,105 @@
+//! Structural features of a conjunctive query — the lowering seam the
+//! planner in `treequery-core` consumes.
+//!
+//! One pass over the (forward-normalized) query collects exactly the
+//! properties the dichotomy of Theorem 6.8 and the rewriting of Theorem
+//! 5.1 dispatch on, plus the label atoms the planner matches against the
+//! tree's label histogram for selectivity estimates.
+
+use std::collections::BTreeSet;
+
+use treequery_tree::Axis;
+
+use crate::ast::{Cq, CqAtom};
+use crate::dichotomy::{classify, Tractability};
+use crate::graph::is_acyclic;
+
+/// A flat summary of one conjunctive query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CqFeatures {
+    /// Number of variables.
+    pub vars: usize,
+    /// Total number of atoms.
+    pub atoms: usize,
+    /// Binary axis atoms.
+    pub axis_atoms: usize,
+    /// Unary label atoms.
+    pub label_atoms: usize,
+    /// `<pre` order atoms (the rewrite-internal relation; NP-hard fuel).
+    pub order_atoms: usize,
+    /// Boolean query (empty head)?
+    pub boolean: bool,
+    /// Acyclic query graph (GYO)?
+    pub acyclic: bool,
+    /// Tractable per the Theorem 6.8 dichotomy (only meaningful for
+    /// Boolean queries; `None` when not Boolean)?
+    pub tractable_order: Option<treequery_tree::Order>,
+    /// The distinct axes used.
+    pub axes: BTreeSet<Axis>,
+    /// Every label mentioned in a label atom, in atom order.
+    pub labels: Vec<String>,
+}
+
+/// Computes the feature summary. Callers should normalize first
+/// ([`Cq::normalize_forward`]) so the axis set reflects what the
+/// evaluators will actually see.
+pub fn features(q: &Cq) -> CqFeatures {
+    let mut f = CqFeatures {
+        vars: q.num_vars(),
+        atoms: q.atoms.len(),
+        boolean: q.is_boolean(),
+        acyclic: is_acyclic(q),
+        axes: q.axes_used(),
+        ..CqFeatures::default()
+    };
+    for atom in &q.atoms {
+        match atom {
+            CqAtom::Axis(..) => f.axis_atoms += 1,
+            CqAtom::Label(l, _) => {
+                f.label_atoms += 1;
+                f.labels.push(l.clone());
+            }
+            CqAtom::PreLt(..) => f.order_atoms += 1,
+            CqAtom::Root(_) | CqAtom::Leaf(_) => {}
+        }
+    }
+    if f.boolean {
+        if let Tractability::Tractable(order) = classify(q) {
+            f.tractable_order = Some(order);
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn acyclic_query_summary() {
+        let q = parse_cq("q(x) :- label(x, a), child(x, y), label(y, b).").unwrap();
+        let f = features(&q.normalize_forward());
+        assert_eq!((f.vars, f.atoms), (2, 3));
+        assert_eq!((f.axis_atoms, f.label_atoms, f.order_atoms), (1, 2, 0));
+        assert!(f.acyclic && !f.boolean);
+        assert_eq!(f.tractable_order, None);
+        assert_eq!(f.labels, vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn cyclic_boolean_query_is_classified() {
+        let q = parse_cq("child+(x, y), child+(y, z), child+(x, z)").unwrap();
+        let f = features(&q.normalize_forward());
+        assert!(f.boolean && !f.acyclic);
+        assert_eq!(f.tractable_order, Some(treequery_tree::Order::Pre));
+    }
+
+    #[test]
+    fn order_atoms_are_counted() {
+        let q = parse_cq("q(x, y) :- child(z, x), child(z, y), pre_lt(x, y).").unwrap();
+        let f = features(&q.normalize_forward());
+        assert_eq!(f.order_atoms, 1);
+        assert!(!f.acyclic);
+    }
+}

@@ -38,6 +38,7 @@ pub mod containment;
 pub mod decomposition;
 pub mod dichotomy;
 pub mod enumerate;
+mod features;
 pub mod graph;
 mod parser;
 pub mod relational;
@@ -55,6 +56,7 @@ pub use backtrack::{
 pub use containment::{bounded_contained, bounded_equivalent, bounded_equivalent_ucq};
 pub use dichotomy::{classify, Tractability};
 pub use enumerate::{count_valuations, eval_acyclic, Enumerator, Reduction};
+pub use features::{features, CqFeatures};
 pub use graph::{is_acyclic, JoinForest};
 pub use parser::{parse_cq, CqParseError};
 pub use rewrite::{rewrite_to_acyclic, sat_table, RewriteStats};

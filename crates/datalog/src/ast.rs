@@ -132,7 +132,7 @@ impl Rule {
 }
 
 /// A monadic datalog program over τ⁺ (∪ {Child}).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Program {
     pred_names: Vec<String>,
     by_name: HashMap<String, PredId>,

@@ -1,0 +1,64 @@
+//! Structural features of a monadic datalog program — the lowering seam
+//! the planner in `treequery-core` consumes.
+
+use crate::ast::{BodyAtom, Program};
+
+/// A flat summary of one monadic datalog program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramFeatures {
+    /// Number of rules.
+    pub rules: usize,
+    /// Number of intensional predicates.
+    pub predicates: usize,
+    /// Program size `|P|` (total atom count).
+    pub size: usize,
+    /// Already in Tree-Marking Normal Form (Definition 3.4)? TMNF
+    /// programs ground to `O(|P| · |Dom|)` Horn clauses directly; others
+    /// pay the linear normalization of [`crate::to_tmnf`] first.
+    pub tmnf: bool,
+    /// Has a designated query predicate (`?- P.`)?
+    pub has_query: bool,
+    /// Number of binary-relation body atoms (the grounding fan-out
+    /// drivers).
+    pub binary_atoms: usize,
+}
+
+/// Computes the feature summary in one pass over the program.
+pub fn features(p: &Program) -> ProgramFeatures {
+    let mut f = ProgramFeatures {
+        rules: p.rules.len(),
+        predicates: p.num_preds(),
+        size: p.size(),
+        tmnf: p.is_tmnf(),
+        has_query: p.query.is_some(),
+        ..ProgramFeatures::default()
+    };
+    for rule in &p.rules {
+        for atom in &rule.body {
+            if matches!(atom, BodyAtom::Binary(..)) {
+                f.binary_atoms += 1;
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn summarizes_a_tmnf_program() {
+        let p = parse_program(
+            "P0(x) :- label(x, c).
+             P0(x0) :- nextsibling(x0, x), P0(x).
+             ?- P0.",
+        )
+        .unwrap();
+        let f = features(&p);
+        assert_eq!(f.rules, 2);
+        assert!(f.tmnf && f.has_query);
+        assert_eq!(f.binary_atoms, 1);
+    }
+}

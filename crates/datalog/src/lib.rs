@@ -23,12 +23,14 @@
 
 mod ast;
 mod eval;
+mod features;
 mod ground;
 mod parser;
 mod tmnf;
 
 pub use ast::{BasePred, BinRel, BodyAtom, PredId, Program, Rule, UnaryRef, VarId};
 pub use eval::{eval, eval_naive, eval_query};
+pub use features::{features, ProgramFeatures};
 pub use ground::ground;
 pub use parser::{parse_program, ParseError};
 pub use tmnf::{to_tmnf, TmnfError};

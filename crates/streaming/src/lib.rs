@@ -26,11 +26,13 @@
 mod compile;
 mod event;
 mod filter;
+mod lower;
 mod rewrite;
 mod select;
 
 pub use compile::{compile, FilterQuery, NotStreamable};
 pub use event::{tree_events, xml_events, Event};
 pub use filter::{matches_events, matches_tree, MemoryStats};
+pub use lower::{compile_with_rewrite, streamability, Streamability};
 pub use rewrite::eliminate_upward;
 pub use select::{select_events, select_tree, SelectStats};

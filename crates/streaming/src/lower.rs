@@ -1,0 +1,77 @@
+//! The lowering seam the planner in `treequery-core` consumes: classify a
+//! Core XPath expression's streamability and compile it, applying the
+//! backward-axis elimination of Section 5 ("XPath: Looking Forward")
+//! automatically when the direct compilation fails.
+
+use treequery_xpath::Path;
+
+use crate::compile::{compile, FilterQuery, NotStreamable};
+use crate::rewrite::eliminate_upward;
+
+/// How (whether) a query enters the streaming fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Streamability {
+    /// Compiles directly: forward, downward.
+    Direct,
+    /// Compiles after backward-axis elimination.
+    AfterRewrite,
+    /// Outside the fragment even after rewriting (the original
+    /// compilation error is carried).
+    No(NotStreamable),
+}
+
+/// Classifies without keeping the compiled filter.
+pub fn streamability(p: &Path) -> Streamability {
+    match compile_with_rewrite(p) {
+        Ok((_, false)) => Streamability::Direct,
+        Ok((_, true)) => Streamability::AfterRewrite,
+        Err(e) => Streamability::No(e),
+    }
+}
+
+/// Compiles `p` for stream filtering, falling back to backward-axis
+/// elimination; the boolean reports whether the rewrite was needed. On
+/// failure the error from the *direct* compilation is returned (it names
+/// the offending axis of the original query, not of the rewrite).
+pub fn compile_with_rewrite(p: &Path) -> Result<(FilterQuery, bool), NotStreamable> {
+    match compile(p) {
+        Ok(f) => Ok((f, false)),
+        Err(first_err) => {
+            let Some(fwd) = eliminate_upward(p) else {
+                return Err(first_err);
+            };
+            match compile(&fwd) {
+                Ok(f) => Ok((f, true)),
+                Err(_) => Err(first_err),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_xpath::parse_xpath;
+
+    #[test]
+    fn classifies_the_three_cases() {
+        let direct = parse_xpath("//a[b]/c").unwrap();
+        assert_eq!(streamability(&direct), Streamability::Direct);
+
+        let rewritable = parse_xpath("//b/parent::a").unwrap();
+        assert_eq!(streamability(&rewritable), Streamability::AfterRewrite);
+
+        let hopeless = parse_xpath("//a[following::b]").unwrap();
+        assert!(matches!(streamability(&hopeless), Streamability::No(_)));
+    }
+
+    #[test]
+    fn compile_with_rewrite_matches_direct_compile() {
+        let p = parse_xpath("//a[not(b)]").unwrap();
+        let (f, rewritten) = compile_with_rewrite(&p).unwrap();
+        assert!(!rewritten);
+        let t = treequery_tree::parse_term("r(a(b) a(c))").unwrap();
+        let (matched, _) = crate::filter::matches_tree(&f, &t);
+        assert!(matched);
+    }
+}

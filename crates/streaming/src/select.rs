@@ -170,8 +170,8 @@ pub fn select_events<'a>(
                     };
                     sat[i] = cont && test[i];
                 }
-                for i in 0..width {
-                    if sat[i] {
+                for (i, &s) in sat.iter().enumerate().take(width) {
+                    if s {
                         parent.child_sat[i] = true;
                     }
                     if frame.child_sat[i] || frame.desc_sat[i] {

@@ -1,0 +1,138 @@
+//! Structural features of a Core XPath expression — the lowering seam the
+//! planner in `treequery-core` consumes.
+//!
+//! The planner never pattern-matches on [`Path`] directly; it reads this
+//! summary, which names exactly the properties the paper's complexity
+//! landscape (Figure 7) dispatches on: conjunctiveness (Proposition 4.2),
+//! positivity (the LOGCFL fragment), forwardness (streamability, Section
+//! 5), and the label tests used (for selectivity estimation against the
+//! tree's label histogram).
+
+use crate::ast::{Path, Qual};
+use treequery_tree::Axis;
+
+/// A flat summary of one Core XPath expression.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PathFeatures {
+    /// AST size `|Q|`.
+    pub size: usize,
+    /// Number of axis steps (including steps inside qualifiers).
+    pub steps: usize,
+    /// Steps over backward axes (parent/ancestor/preceding…).
+    pub backward_steps: usize,
+    /// Number of top-level union arms (1 when there is no union).
+    pub union_arms: usize,
+    /// Any `not(...)` anywhere.
+    pub has_negation: bool,
+    /// Any `or` anywhere.
+    pub has_disjunction: bool,
+    /// Conjunctive Core XPath (no union/or/not) — the Proposition 4.2
+    /// fragment that lowers into an acyclic CQ.
+    pub conjunctive: bool,
+    /// Positive Core XPath (no negation).
+    pub positive: bool,
+    /// Forward Core XPath (only forward axes) — streamable as-is.
+    pub forward: bool,
+    /// Every label mentioned in a `lab() = L` test or step label sugar, in
+    /// syntax order, duplicates preserved.
+    pub labels: Vec<String>,
+}
+
+/// Computes the feature summary in one pass over the AST.
+pub fn features(p: &Path) -> PathFeatures {
+    let mut f = PathFeatures {
+        size: p.size(),
+        union_arms: 1,
+        conjunctive: p.is_conjunctive(),
+        positive: p.is_positive(),
+        forward: p.is_forward(),
+        ..PathFeatures::default()
+    };
+    walk_path(p, true, &mut f);
+    f
+}
+
+fn walk_path(p: &Path, top: bool, f: &mut PathFeatures) {
+    match p {
+        Path::Step { axis, quals } => {
+            f.steps += 1;
+            if !axis.is_forward() && *axis != Axis::SelfAxis {
+                f.backward_steps += 1;
+            }
+            for q in quals {
+                walk_qual(q, f);
+            }
+        }
+        Path::Seq(a, b) => {
+            walk_path(a, false, f);
+            walk_path(b, false, f);
+        }
+        Path::Union(a, b) => {
+            if top {
+                f.union_arms += 1;
+            }
+            walk_path(a, top, f);
+            walk_path(b, false, f);
+        }
+    }
+}
+
+fn walk_qual(q: &Qual, f: &mut PathFeatures) {
+    match q {
+        Qual::Path(p) => walk_path(p, false, f),
+        Qual::Label(l) => f.labels.push(l.clone()),
+        Qual::And(a, b) => {
+            walk_qual(a, f);
+            walk_qual(b, f);
+        }
+        Qual::Or(a, b) => {
+            f.has_disjunction = true;
+            walk_qual(a, f);
+            walk_qual(b, f);
+        }
+        Qual::Not(inner) => {
+            f.has_negation = true;
+            walk_qual(inner, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+
+    #[test]
+    fn summarizes_a_mixed_query() {
+        let p = parse_xpath("//a[b or not(c)]/d").unwrap();
+        let f = features(&p);
+        assert!(f.has_negation && f.has_disjunction);
+        assert!(!f.conjunctive && !f.positive);
+        assert!(f.forward);
+        assert_eq!(f.union_arms, 1);
+        assert_eq!(
+            f.labels,
+            vec!["a".to_string(), "b".into(), "c".into(), "d".into()]
+        );
+    }
+
+    #[test]
+    fn counts_backward_steps_and_union_arms() {
+        let p = parse_xpath("//b/ancestor::a | //c/parent::*").unwrap();
+        let f = features(&p);
+        assert_eq!(f.union_arms, 2);
+        assert_eq!(f.backward_steps, 2);
+        assert!(!f.forward);
+        assert!(!f.conjunctive);
+        assert!(f.positive);
+    }
+
+    #[test]
+    fn conjunctive_forward_query() {
+        let p = parse_xpath("//a[b]/c").unwrap();
+        let f = features(&p);
+        assert!(f.conjunctive && f.positive && f.forward);
+        assert!(!f.has_negation && !f.has_disjunction);
+        assert_eq!(f.backward_steps, 0);
+    }
+}

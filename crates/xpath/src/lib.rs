@@ -29,6 +29,7 @@
 
 mod ast;
 mod eval;
+mod features;
 mod parser;
 mod reference;
 mod to_cq;
@@ -36,6 +37,7 @@ mod to_datalog;
 
 pub use ast::{Path, Qual};
 pub use eval::{eval, eval_query, select, sources};
+pub use features::{features, PathFeatures};
 pub use parser::{parse_xpath, XPathParseError};
 pub use reference::eval_reference;
 pub use to_cq::{to_cq, NotConjunctive};

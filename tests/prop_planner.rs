@@ -1,0 +1,128 @@
+//! Property tests for the planner pipeline: whatever strategy the
+//! planner picks must agree with the reference evaluators, and cached
+//! plans must be transparent (re-execution returns identical results).
+
+use proptest::prelude::*;
+use treequery::tree::TreeBuilder;
+use treequery::xpath::{eval_reference, Path, Qual};
+use treequery::{cq, Axis, Engine, Tree};
+
+const ALPHABET: [&str; 3] = ["a", "b", "c"];
+
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    (
+        proptest::collection::vec(any::<u32>(), 0..max_nodes),
+        proptest::collection::vec(0u8..3, 1..=max_nodes),
+    )
+        .prop_map(|(parents, labels)| {
+            let mut b = TreeBuilder::new();
+            let mut nodes = vec![b.root(ALPHABET[labels[0] as usize % 3])];
+            for (i, p) in parents.iter().enumerate() {
+                let parent = nodes[(*p as usize) % nodes.len()];
+                let label = ALPHABET[labels.get(i + 1).copied().unwrap_or(0) as usize % 3];
+                nodes.push(b.child(parent, label));
+            }
+            b.freeze()
+        })
+}
+
+fn path_strategy() -> impl Strategy<Value = Path> {
+    let axis = proptest::sample::select(Axis::ALL.to_vec());
+    let label = proptest::sample::select(ALPHABET.to_vec());
+    let leaf = (axis, proptest::option::of(label)).prop_map(|(a, l)| match l {
+        Some(l) => Path::labeled_step(a, l),
+        None => Path::step(a),
+    });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.filtered(Qual::Path(q))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(p, q)| p.filtered(Qual::Not(Box::new(Qual::Path(q))))),
+            (inner, proptest::sample::select(ALPHABET.to_vec()))
+                .prop_map(|(p, l)| p.filtered(Qual::Label(l.to_owned()))),
+        ]
+    })
+}
+
+fn rooted(p: Path) -> Path {
+    Path::step(Axis::DescendantOrSelf).then(p)
+}
+
+fn cq_strategy(max_vars: usize) -> impl Strategy<Value = cq::Cq> {
+    let axes = vec![
+        Axis::Child,
+        Axis::Descendant,
+        Axis::NextSibling,
+        Axis::Following,
+        Axis::Parent,
+        Axis::Ancestor,
+    ];
+    (
+        2..=max_vars,
+        proptest::collection::vec((any::<u32>(), proptest::sample::select(axes)), 1..6),
+        proptest::collection::vec(
+            (any::<u32>(), proptest::sample::select(ALPHABET.to_vec())),
+            0..3,
+        ),
+    )
+        .prop_map(|(nvars, edges, labels)| {
+            let mut q = cq::Cq::new();
+            let vars: Vec<_> = (0..nvars).map(|i| q.add_var(format!("v{i}"))).collect();
+            for (i, (pick, axis)) in edges.iter().enumerate() {
+                let hi = (i + 1) % nvars;
+                if hi == 0 {
+                    continue;
+                }
+                let lo = (*pick as usize) % hi;
+                q.atoms.push(cq::CqAtom::Axis(*axis, vars[lo], vars[hi]));
+            }
+            for (pick, label) in labels {
+                let v = vars[(pick as usize) % nvars];
+                q.atoms.push(cq::CqAtom::Label(label.to_owned(), v));
+            }
+            q.head = vec![vars[0]];
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planner-chosen XPath pipeline ≡ the (P1)–(P4)/(Q1)–(Q5) reference
+    /// semantics, whatever strategy the statistics selected.
+    #[test]
+    fn planned_xpath_equals_reference(p in path_strategy(), t in tree_strategy(16)) {
+        let p = rooted(p);
+        let engine = Engine::new(&t);
+        let ir = treequery::plan::ir::lower_path(&p);
+        let got = engine.eval_ir(&ir).unwrap();
+        let got = got.nodes().expect("xpath answers are node sets");
+        let mut expect = eval_reference(&p, &t).to_vec();
+        t.sort_by_pre(&mut expect);
+        prop_assert_eq!(got, &expect[..], "query {}", p);
+    }
+
+    /// Planner-chosen CQ pipeline ≡ exhaustive backtracking.
+    #[test]
+    fn planned_cq_equals_backtrack(q in cq_strategy(4), t in tree_strategy(12)) {
+        let engine = Engine::new(&t);
+        let fast = engine.eval_cq(&q);
+        let slow = cq::eval_backtrack(&q, &t);
+        prop_assert_eq!(&fast.tuples, &slow, "plan {:?}", fast.plan);
+    }
+
+    /// Executing through a cached plan is transparent: the second run (a
+    /// guaranteed cache hit) returns exactly the first run's answer.
+    #[test]
+    fn cached_plan_reexecution_is_identical(p in path_strategy(), t in tree_strategy(14)) {
+        let ir = treequery::plan::ir::lower_path(&rooted(p));
+        let engine = Engine::new(&t);
+        let first = engine.eval_ir(&ir).unwrap();
+        let hits_before = engine.metrics().plan_cache_hits;
+        let second = engine.eval_ir(&ir).unwrap();
+        prop_assert_eq!(&first, &second);
+        prop_assert!(engine.metrics().plan_cache_hits > hits_before);
+    }
+}

@@ -17,4 +17,10 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> noop-recorder overhead gate"
+cargo run -p treequery-bench --release --bin harness -q -- --check-noop-overhead
+
 echo "CI OK"

@@ -1,46 +1,131 @@
 //! Regenerates every figure and table of the paper's reproduction: runs
-//! experiments E1–E17 and prints the paper-style tables recorded in
+//! experiments E1–E18 and prints the paper-style tables recorded in
 //! `EXPERIMENTS.md`.
 //!
 //! ```text
-//! cargo run -p treequery-bench --release --bin harness          # all
-//! cargo run -p treequery-bench --release --bin harness e07 e12 # a subset
+//! cargo run -p treequery-bench --release --bin harness           # all
+//! cargo run -p treequery-bench --release --bin harness e07 e12  # a subset
+//! cargo run -p treequery-bench --release --bin harness --report out.json
+//! cargo run -p treequery-bench --release --bin harness --check-noop-overhead
 //! ```
+//!
+//! `--report <file>` additionally runs each experiment under a collecting
+//! span recorder and writes a machine-readable JSON report (wall times,
+//! per-span latency percentiles, submitted engine counters).
+//!
+//! `--check-noop-overhead` measures the disabled-recorder span cost and
+//! fails (exit 1) if it regressed more than 5% past the recorded baseline
+//! in `crates/bench/noop_baseline.json`; `ci.sh` runs this gate.
 
-use treequery_bench::experiments;
+use treequery_bench::experiments::{self, e18_observability};
+use treequery_bench::report::ReportBuilder;
+use treequery_core::obs::parse_json;
+
+const ALL: &[(&str, fn())] = &[
+    ("e01", experiments::e01_table1::run),
+    ("e02", experiments::e02_xasr::run),
+    ("e03", experiments::e03_minoux::run),
+    ("e04", experiments::e04_decomposition::run),
+    ("e05", experiments::e05_xproperty::run),
+    ("e06", experiments::e06_enumeration::run),
+    ("e07", experiments::e07_dichotomy::run),
+    ("e08", experiments::e08_datalog::run),
+    ("e09", experiments::e09_treewidth::run),
+    ("e10", experiments::e10_xpath_cq::run),
+    ("e11", experiments::e11_rewrite::run),
+    ("e12", experiments::e12_structural::run),
+    ("e13", experiments::e13_twig::run),
+    ("e14", experiments::e14_streaming::run),
+    ("e15", experiments::e15_hornsat::run),
+    ("e16", experiments::e16_xpath_scaling::run),
+    ("e17", experiments::e17_planner::run),
+    ("e18", e18_observability::run),
+];
+
+fn lookup(arg: &str) -> Option<(&'static str, fn())> {
+    let digits = arg
+        .trim_start_matches('e')
+        .trim_start_matches('E')
+        .trim_start_matches('0');
+    ALL.iter()
+        .find(|(id, _)| id.trim_start_matches('e').trim_start_matches('0') == digits)
+        .copied()
+}
+
+/// Fails (exit 1) if the disabled-recorder span overhead regressed more
+/// than 5% past the recorded baseline ratio.
+fn check_noop_overhead() {
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/noop_baseline.json");
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let baseline = parse_json(&text).expect("noop_baseline.json is valid JSON");
+    let max_ratio = baseline
+        .get("max_ratio")
+        .and_then(|v| v.as_f64())
+        .expect("baseline has a max_ratio field");
+    let budget = max_ratio * 1.05;
+    let measured = e18_observability::noop_overhead();
+    println!(
+        "noop-recorder overhead: measured ratio {:.4} ({:.2}ns/span), \
+         baseline {max_ratio:.2}, budget {budget:.4}",
+        measured.ratio, measured.per_span_ns
+    );
+    if measured.ratio > budget {
+        eprintln!(
+            "FAIL: disabled-span overhead {:.4} exceeds budget {budget:.4} \
+             (baseline {max_ratio:.2} + 5%)",
+            measured.ratio
+        );
+        std::process::exit(1);
+    }
+    println!("OK: disabled spans are within the overhead budget");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        experiments::run_all();
-        return;
+    let mut report_path: Option<String> = None;
+    let mut selected: Vec<(&'static str, fn())> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check-noop-overhead" => {
+                check_noop_overhead();
+                return;
+            }
+            "--report" => match iter.next() {
+                Some(path) => report_path = Some(path.clone()),
+                None => {
+                    eprintln!("--report requires an output file path");
+                    std::process::exit(2);
+                }
+            },
+            other => match lookup(other) {
+                Some(exp) => selected.push(exp),
+                None => {
+                    eprintln!("unknown experiment '{other}' (expected e1..e18)");
+                    std::process::exit(2);
+                }
+            },
+        }
     }
-    for arg in args {
-        match arg
-            .trim_start_matches('e')
-            .trim_start_matches('E')
-            .trim_start_matches('0')
-        {
-            "1" => experiments::e01_table1::run(),
-            "2" => experiments::e02_xasr::run(),
-            "3" => experiments::e03_minoux::run(),
-            "4" => experiments::e04_decomposition::run(),
-            "5" => experiments::e05_xproperty::run(),
-            "6" => experiments::e06_enumeration::run(),
-            "7" => experiments::e07_dichotomy::run(),
-            "8" => experiments::e08_datalog::run(),
-            "9" => experiments::e09_treewidth::run(),
-            "10" => experiments::e10_xpath_cq::run(),
-            "11" => experiments::e11_rewrite::run(),
-            "12" => experiments::e12_structural::run(),
-            "13" => experiments::e13_twig::run(),
-            "14" => experiments::e14_streaming::run(),
-            "15" => experiments::e15_hornsat::run(),
-            "16" => experiments::e16_xpath_scaling::run(),
-            "17" => experiments::e17_planner::run(),
-            other => {
-                eprintln!("unknown experiment '{other}' (expected e1..e17)");
-                std::process::exit(2);
+    if selected.is_empty() {
+        selected = ALL.to_vec();
+    }
+    match report_path {
+        Some(path) => {
+            let mut builder = ReportBuilder::new();
+            for (id, run) in selected {
+                builder.run(id, run);
+            }
+            if let Err(e) = builder.write(&path) {
+                eprintln!("cannot write report to {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("\nreport written to {path}");
+        }
+        None => {
+            for (_, run) in selected {
+                run();
             }
         }
     }

@@ -137,4 +137,5 @@ pub fn run() {
         "the planner keeps the sweep for common labels and short-circuits absent \
          ones through the reducer; batching scales with available cores."
     );
+    crate::report::submit_metrics("e17", par_engine.metrics().to_json());
 }

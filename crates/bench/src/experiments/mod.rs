@@ -17,6 +17,7 @@ pub mod e14_streaming;
 pub mod e15_hornsat;
 pub mod e16_xpath_scaling;
 pub mod e17_planner;
+pub mod e18_observability;
 
 /// Runs every experiment in order.
 pub fn run_all() {
@@ -37,4 +38,5 @@ pub fn run_all() {
     e15_hornsat::run();
     e16_xpath_scaling::run();
     e17_planner::run();
+    e18_observability::run();
 }

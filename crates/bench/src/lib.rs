@@ -8,4 +8,5 @@
 //! of the experiments that have a wall-clock dimension.
 
 pub mod experiments;
+pub mod report;
 pub mod util;

@@ -45,9 +45,11 @@ pub use treequery_tree::{
 };
 
 pub use plan::{
-    CostClass, ExplainedPlan, Metrics, MetricsSnapshot, PlannerConfig, Query, QueryIr, QueryOutput,
-    SourceLang, Strategy, TreeStats,
+    AnalyzedPlan, CostClass, ExplainedPlan, Metrics, MetricsSnapshot, PlannerConfig, Query,
+    QueryIr, QueryOutput, SourceLang, StageStats, Strategy, TreeStats,
 };
+
+pub use treequery_obs as obs;
 
 /// Errors surfaced by the [`Engine`].
 #[derive(Debug)]
@@ -219,6 +221,7 @@ impl<'t> Engine<'t> {
 
     /// Parses and lowers a front-end query into the shared IR.
     pub fn lower(&self, query: &Query) -> Result<QueryIr, EngineError> {
+        let _span = treequery_obs::span("pipeline.lower");
         let ir = plan::lower(query)?;
         plan::Metrics::add_lowered(&self.metrics);
         Ok(ir)
@@ -233,20 +236,61 @@ impl<'t> Engine<'t> {
     }
 
     fn plan_for(&self, ir: &QueryIr) -> std::sync::Arc<ExplainedPlan> {
+        let planned = std::cell::Cell::new(false);
         let compute = || {
+            let _span = treequery_obs::span("pipeline.plan");
+            planned.set(true);
             plan::Metrics::add_planned(&self.metrics);
             plan::plan_ir(ir, self.stats(), &self.config.planner)
         };
         if self.config.plan_cache {
-            self.cache.get_or_insert(
+            let mut span = treequery_obs::span("pipeline.cache_lookup");
+            let plan = self.cache.get_or_insert(
                 ir.fingerprint,
                 self.tree_fingerprint(),
                 &self.metrics,
                 compute,
-            )
+            );
+            span.record_bool("hit", !planned.get());
+            plan
         } else {
             std::sync::Arc::new(compute())
         }
+    }
+
+    /// `EXPLAIN ANALYZE`: evaluates `query` once with a span recorder
+    /// installed and returns the planner's [`ExplainedPlan`] rationale
+    /// merged with the *measured* per-stage wall times, structured span
+    /// fields, and the executor counter delta for this run (read with
+    /// [`Metrics::snapshot_quiesced`](plan::Metrics::snapshot_quiesced),
+    /// so single-query numbers are internally consistent).
+    ///
+    /// The recorder is installed process-globally for the duration (the
+    /// `treequery_obs` model): a concurrent `explain_analyze` from
+    /// another thread, or queries run concurrently on *any* engine, would
+    /// mix their spans and counter deltas into this report. Analyze one
+    /// query at a time for exact numbers.
+    pub fn explain_analyze(&self, query: &Query) -> Result<AnalyzedPlan, EngineError> {
+        let recorder = std::sync::Arc::new(treequery_obs::CollectingRecorder::default());
+        let before = self.metrics.snapshot_quiesced();
+        let started = std::time::Instant::now();
+        let run = treequery_obs::with_recorder(recorder.clone(), || {
+            let ir = self.lower(query)?;
+            let chosen = self.plan_for(&ir);
+            let output = plan::exec::execute(&ir, &chosen, self.tree, &self.metrics)?;
+            Ok(((*chosen).clone(), output))
+        });
+        let total_ns = started.elapsed().as_nanos() as u64;
+        let (chosen, output) = run?;
+        let counters = self.metrics.snapshot_quiesced().delta_since(&before);
+        Ok(plan::analyze::assemble(
+            query.text().to_owned(),
+            chosen,
+            total_ns,
+            output,
+            &recorder.summary(),
+            counters,
+        ))
     }
 
     /// Evaluates one query through the full pipeline.
@@ -300,11 +344,15 @@ impl<'t> Engine<'t> {
                     })
                 })
                 .collect();
+            let mut span = treequery_obs::span("pipeline.batch_merge");
+            let mut merged = 0u64;
             for w in workers {
                 for (i, r) in w.join().expect("batch worker panicked") {
                     results[i] = Some(r);
+                    merged += 1;
                 }
             }
+            span.record_u64("results", merged);
         });
         results
             .into_iter()
@@ -588,6 +636,93 @@ mod tests {
         assert_eq!(e.cached_plans(), 1);
         e.reset_metrics();
         assert_eq!(e.metrics(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn explain_analyze_merges_rationale_with_measurements() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        let a = e
+            .explain_analyze(&Query::cq("q(x) :- label(x, a), child(x, y), label(y, b)."))
+            .unwrap();
+        // Planner rationale is carried through…
+        assert_eq!(a.plan.strategy, Strategy::CqAcyclic);
+        assert!(!a.plan.rationale.is_empty());
+        // …alongside a consistent single-run counter delta…
+        assert_eq!(a.counters.queries_lowered, 1);
+        assert_eq!(a.counters.queries_executed, 1);
+        assert_eq!(a.counters.semijoin_passes, 6, "2 passes per atom");
+        // …and measured stages with their structured fields.
+        let names: Vec<&str> = a.stages.iter().map(|s| s.name).collect();
+        for expected in ["pipeline.lower", "exec.run", "exec.semijoin", "cq.reduce"] {
+            assert!(
+                names.contains(&expected),
+                "missing stage {expected}: {names:?}"
+            );
+        }
+        let semijoin = a.stages.iter().find(|s| s.name == "exec.semijoin").unwrap();
+        assert_eq!(semijoin.calls, 1);
+        assert!(semijoin.fields.contains(&("passes", 6)));
+        assert_eq!(a.output_rows, 1);
+        assert_eq!(a.output.answer().unwrap().tuples.len(), 1);
+        // The renderer shows the plan and every measured stage.
+        let text = a.render();
+        assert!(text.contains("EXPLAIN ANALYZE [cq]"), "{text}");
+        assert!(text.contains("cq/acyclic"), "{text}");
+        assert!(text.contains("exec.semijoin"), "{text}");
+        assert!(text.contains("semijoin_passes=6"), "{text}");
+        // The JSON form parses back.
+        let v = treequery_obs::parse_json(&a.to_json().render()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("semijoin_passes")
+                .unwrap()
+                .as_u64(),
+            Some(6)
+        );
+        // A recorder is no longer installed after the call.
+        assert!(!treequery_obs::recording());
+    }
+
+    #[test]
+    fn explain_analyze_observes_the_plan_cache() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        let first = e.explain_analyze(&Query::xpath("//a[b]")).unwrap();
+        assert_eq!(first.counters.plan_cache_misses, 1);
+        assert_eq!(first.counters.plan_cache_hits, 0);
+        assert_eq!(first.counters.plans_computed, 1);
+        let second = e.explain_analyze(&Query::xpath("//a[b]")).unwrap();
+        assert_eq!(second.counters.plan_cache_misses, 0);
+        assert_eq!(second.counters.plan_cache_hits, 1);
+        assert_eq!(second.counters.plans_computed, 0);
+        // Equivalent normalized spelling still hits…
+        let alias = e
+            .explain_analyze(&Query::xpath("descendant::a[child::b]"))
+            .unwrap();
+        assert_eq!(alias.counters.plan_cache_hits, 1);
+        // …while a fingerprint-distinct query misses again.
+        let other = e.explain_analyze(&Query::xpath("//b")).unwrap();
+        assert_eq!(other.counters.plan_cache_misses, 1);
+        assert_eq!(e.cached_plans(), 2);
+        // Cache-lookup spans carry the hit flag via the stage list.
+        let lookup = second
+            .stages
+            .iter()
+            .find(|s| s.name == "pipeline.cache_lookup")
+            .unwrap();
+        assert_eq!(lookup.calls, 1);
+    }
+
+    #[test]
+    fn quiesced_snapshot_matches_plain_snapshot_at_rest() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        e.xpath("//a").unwrap();
+        e.cq("q(x) :- label(x, a).").unwrap();
+        // At rest the quiesced read and the plain read must agree.
+        assert_eq!(e.metrics.snapshot_quiesced(), e.metrics());
     }
 
     #[test]

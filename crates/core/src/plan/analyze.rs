@@ -1,0 +1,382 @@
+//! `EXPLAIN ANALYZE`: the planner's rationale merged with what one
+//! measured run actually did — per-stage wall time from `treequery-obs`
+//! spans plus a consistent work-counter delta.
+//!
+//! [`crate::Engine::explain_analyze`] runs the query once under a
+//! [`treequery_obs::CollectingRecorder`], diffs
+//! [`Metrics`](super::Metrics) snapshots around the run (using the
+//! quiesced read so single-query numbers are never torn), and returns an
+//! [`AnalyzedPlan`]: the [`ExplainedPlan`] the planner produced, the
+//! measured [`StageStats`] per span name, the counter delta, and the
+//! answer itself. [`AnalyzedPlan::render`] prints a Postgres-style tree;
+//! [`AnalyzedPlan::to_json`] is the machine-readable form the harness
+//! report embeds.
+
+use treequery_obs::{Json, SpanSummary};
+
+use super::exec::{MetricsSnapshot, QueryOutput};
+use super::planner::ExplainedPlan;
+
+/// Measured behaviour of one span name during an analyzed run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageStats {
+    /// The span name (e.g. `exec.semijoin`).
+    pub name: &'static str,
+    /// How many spans with this name closed during the run.
+    pub calls: u64,
+    /// Total wall time across those spans, in nanoseconds.
+    pub total_ns: u64,
+    /// Smallest nesting depth the stage was observed at (drives the
+    /// renderer's indentation).
+    pub depth: u32,
+    /// Sums of the stage's structured `u64` fields (node counts,
+    /// candidate-set sizes, …), by key.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl StageStats {
+    fn from_summary(s: &SpanSummary) -> StageStats {
+        StageStats {
+            name: s.name,
+            calls: s.calls,
+            total_ns: s.total_ns,
+            depth: s.depth,
+            fields: s.field_sums.clone(),
+        }
+    }
+
+    /// The stage as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Json::obj();
+        for (k, v) in &self.fields {
+            fields = fields.set(*k, *v);
+        }
+        Json::obj()
+            .set("name", self.name)
+            .set("calls", self.calls)
+            .set("total_ns", self.total_ns)
+            .set("fields", fields)
+    }
+}
+
+/// The result of `EXPLAIN ANALYZE`: predicted plan + measured run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyzedPlan {
+    /// The query text, as submitted.
+    pub query: String,
+    /// What the planner predicted (strategy, cost class, estimate,
+    /// rationale).
+    pub plan: ExplainedPlan,
+    /// End-to-end wall time of the analyzed run, in nanoseconds.
+    pub total_ns: u64,
+    /// Number of result rows (nodes or tuples).
+    pub output_rows: u64,
+    /// Per-stage measured wall time and work, in first-seen order.
+    pub stages: Vec<StageStats>,
+    /// The executor counter delta attributable to this run (quiesced
+    /// reads; consistent for single-query runs).
+    pub counters: MetricsSnapshot,
+    /// The answer the analyzed run produced.
+    pub output: QueryOutput,
+}
+
+/// Renders nanoseconds with a stable unit ladder (deterministic given the
+/// value, so the golden test can pin exact output).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl AnalyzedPlan {
+    /// The Postgres-`EXPLAIN ANALYZE`-style text form: the plan header
+    /// with its rationale, the measured stage tree (indented by span
+    /// depth), and the non-zero work counters.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "EXPLAIN ANALYZE [{}] {}\n",
+            self.plan.source,
+            self.query.trim()
+        ));
+        out.push_str(&format!(
+            "Plan: {}  (cost {}, estimated {} node-touches)\n",
+            self.plan.strategy, self.plan.cost, self.plan.estimated_work
+        ));
+        out.push_str(&format!("  rationale: {}\n", self.plan.rationale));
+        out.push_str(&format!(
+            "Measured: total {}, {} output row(s)\n",
+            fmt_ns(self.total_ns),
+            self.output_rows
+        ));
+        let base_depth = self.stages.iter().map(|s| s.depth).min().unwrap_or(0);
+        for stage in &self.stages {
+            let indent = "  ".repeat((stage.depth - base_depth) as usize + 1);
+            out.push_str(&format!(
+                "{indent}-> {}  (calls={}, time={})",
+                stage.name,
+                stage.calls,
+                fmt_ns(stage.total_ns)
+            ));
+            if !stage.fields.is_empty() {
+                let fields: Vec<String> = stage
+                    .fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                out.push_str(&format!("  [{}]", fields.join(", ")));
+            }
+            out.push('\n');
+        }
+        let counters = self.counters.to_json();
+        let nonzero: Vec<String> = match &counters {
+            Json::Obj(fields) => fields
+                .iter()
+                .filter(|(_, v)| v.as_u64().is_some_and(|v| v > 0))
+                .map(|(k, v)| format!("{k}={}", v.as_u64().unwrap_or(0)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.push_str(&format!(
+            "Counters: {}\n",
+            if nonzero.is_empty() {
+                "(all zero)".to_owned()
+            } else {
+                nonzero.join(" ")
+            }
+        ));
+        out
+    }
+
+    /// The analyzed plan as one JSON object (embedded by
+    /// `harness --report`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("query", self.query.as_str())
+            .set("plan", self.plan.to_json())
+            .set("total_ns", self.total_ns)
+            .set("output_rows", self.output_rows)
+            .set(
+                "stages",
+                Json::Arr(self.stages.iter().map(StageStats::to_json).collect()),
+            )
+            .set("counters", self.counters.to_json())
+    }
+}
+
+/// Builds an [`AnalyzedPlan`] from the pieces `explain_analyze` gathered.
+pub(crate) fn assemble(
+    query: String,
+    plan: ExplainedPlan,
+    total_ns: u64,
+    output: QueryOutput,
+    stages: &[SpanSummary],
+    counters: MetricsSnapshot,
+) -> AnalyzedPlan {
+    let output_rows = match &output {
+        QueryOutput::Nodes(v) => v.len() as u64,
+        QueryOutput::Answer(a) => a.tuples.len() as u64,
+    };
+    AnalyzedPlan {
+        query,
+        plan,
+        total_ns,
+        output_rows,
+        stages: stages.iter().map(StageStats::from_summary).collect(),
+        counters,
+        output,
+    }
+}
+
+impl ExplainedPlan {
+    /// The plan rationale as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("source", self.source.to_string())
+            .set("strategy", self.strategy.to_string())
+            .set("cost", self.cost.to_string())
+            .set("estimated_work", self.estimated_work)
+            .set("rationale", self.rationale.as_str())
+            .set("query_fingerprint", self.query_fingerprint)
+    }
+}
+
+impl MetricsSnapshot {
+    /// The counters as a JSON object (field order fixed, all fields
+    /// present — reports stay diffable across runs).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("queries_lowered", self.queries_lowered)
+            .set("plans_computed", self.plans_computed)
+            .set("plan_cache_hits", self.plan_cache_hits)
+            .set("plan_cache_misses", self.plan_cache_misses)
+            .set("queries_executed", self.queries_executed)
+            .set("batch_queries", self.batch_queries)
+            .set("semijoin_passes", self.semijoin_passes)
+            .set("candidate_nodes", self.candidate_nodes)
+            .set("union_parts", self.union_parts)
+            .set("nodes_swept", self.nodes_swept)
+            .set("backtrack_assignments", self.backtrack_assignments)
+    }
+
+    /// Field-wise saturating difference `self - earlier`: the work done
+    /// between two snapshots.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_lowered: self.queries_lowered.saturating_sub(earlier.queries_lowered),
+            plans_computed: self.plans_computed.saturating_sub(earlier.plans_computed),
+            plan_cache_hits: self.plan_cache_hits.saturating_sub(earlier.plan_cache_hits),
+            plan_cache_misses: self
+                .plan_cache_misses
+                .saturating_sub(earlier.plan_cache_misses),
+            queries_executed: self
+                .queries_executed
+                .saturating_sub(earlier.queries_executed),
+            batch_queries: self.batch_queries.saturating_sub(earlier.batch_queries),
+            semijoin_passes: self.semijoin_passes.saturating_sub(earlier.semijoin_passes),
+            candidate_nodes: self.candidate_nodes.saturating_sub(earlier.candidate_nodes),
+            union_parts: self.union_parts.saturating_sub(earlier.union_parts),
+            nodes_swept: self.nodes_swept.saturating_sub(earlier.nodes_swept),
+            backtrack_assignments: self
+                .backtrack_assignments
+                .saturating_sub(earlier.backtrack_assignments),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::planner::{CostClass, Strategy};
+    use crate::plan::SourceLang;
+
+    #[test]
+    fn fmt_ns_unit_ladder() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_340_000), "2.34ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20s");
+    }
+
+    /// The golden test of the renderer: a hand-built plan with fixed
+    /// timings must print exactly this tree.
+    #[test]
+    fn render_golden() {
+        let analyzed = AnalyzedPlan {
+            query: "q(x) :- label(x, a), child(x, y), label(y, b).".to_owned(),
+            plan: ExplainedPlan {
+                source: SourceLang::Cq,
+                strategy: Strategy::CqAcyclic,
+                cost: CostClass::OutputSensitive,
+                estimated_work: 42,
+                rationale: "query graph is acyclic (GYO)".to_owned(),
+                query_fingerprint: 7,
+            },
+            total_ns: 1_500_000,
+            output_rows: 3,
+            stages: vec![
+                StageStats {
+                    name: "pipeline.lower",
+                    calls: 1,
+                    total_ns: 12_000,
+                    depth: 0,
+                    fields: vec![],
+                },
+                StageStats {
+                    name: "exec.run",
+                    calls: 1,
+                    total_ns: 1_400_000,
+                    depth: 0,
+                    fields: vec![],
+                },
+                StageStats {
+                    name: "exec.semijoin",
+                    calls: 1,
+                    total_ns: 900_000,
+                    depth: 1,
+                    fields: vec![("passes", 6), ("candidates", 11)],
+                },
+                StageStats {
+                    name: "exec.enumerate",
+                    calls: 1,
+                    total_ns: 400_000,
+                    depth: 1,
+                    fields: vec![("tuples", 3)],
+                },
+            ],
+            counters: MetricsSnapshot {
+                queries_lowered: 1,
+                queries_executed: 1,
+                semijoin_passes: 6,
+                candidate_nodes: 11,
+                ..MetricsSnapshot::default()
+            },
+            output: QueryOutput::Nodes(Vec::new()),
+        };
+        let expected = "\
+EXPLAIN ANALYZE [cq] q(x) :- label(x, a), child(x, y), label(y, b).
+Plan: cq/acyclic  (cost O(|D|·|Q| + out), estimated 42 node-touches)
+  rationale: query graph is acyclic (GYO)
+Measured: total 1.50ms, 3 output row(s)
+  -> pipeline.lower  (calls=1, time=12.0µs)
+  -> exec.run  (calls=1, time=1.40ms)
+    -> exec.semijoin  (calls=1, time=900.0µs)  [passes=6, candidates=11]
+    -> exec.enumerate  (calls=1, time=400.0µs)  [tuples=3]
+Counters: queries_lowered=1 queries_executed=1 semijoin_passes=6 candidate_nodes=11
+";
+        assert_eq!(analyzed.render(), expected);
+    }
+
+    #[test]
+    fn snapshot_delta_is_fieldwise() {
+        let a = MetricsSnapshot {
+            queries_executed: 5,
+            semijoin_passes: 12,
+            ..MetricsSnapshot::default()
+        };
+        let b = MetricsSnapshot {
+            queries_executed: 7,
+            semijoin_passes: 18,
+            nodes_swept: 3,
+            ..MetricsSnapshot::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.queries_executed, 2);
+        assert_eq!(d.semijoin_passes, 6);
+        assert_eq!(d.nodes_swept, 3);
+        // Saturates instead of wrapping if the metrics were reset between.
+        assert_eq!(a.delta_since(&b).queries_executed, 0);
+    }
+
+    #[test]
+    fn json_forms_round_trip_through_the_parser() {
+        let snapshot = MetricsSnapshot {
+            queries_lowered: 2,
+            nodes_swept: 99,
+            ..MetricsSnapshot::default()
+        };
+        let v = treequery_obs::parse_json(&snapshot.to_json().render()).unwrap();
+        assert_eq!(v.get("nodes_swept").unwrap().as_u64(), Some(99));
+        let plan = ExplainedPlan {
+            source: SourceLang::XPath,
+            strategy: Strategy::XPathSetAtATime,
+            cost: CostClass::Linear,
+            estimated_work: 10,
+            rationale: "general Core XPath \"sweep\"".to_owned(),
+            query_fingerprint: u64::MAX,
+        };
+        let v = treequery_obs::parse_json(&plan.to_json().render()).unwrap();
+        assert_eq!(
+            v.get("strategy").unwrap().as_str(),
+            Some("xpath/set-at-a-time")
+        );
+        assert_eq!(v.get("query_fingerprint").unwrap().as_u64(), Some(u64::MAX));
+    }
+}

@@ -121,6 +121,16 @@ impl Metrics {
     }
 
     /// Copies all counters.
+    ///
+    /// **Tearing semantics:** each counter is loaded independently with
+    /// `Relaxed` ordering, so a snapshot taken while other threads are
+    /// mid-query can mix values from different instants — e.g.
+    /// `queries_executed` already incremented but that query's
+    /// `semijoin_passes` not yet added. Every individual counter is still
+    /// exact and monotone; only *cross-counter consistency* is not
+    /// guaranteed under concurrency. For reports that must be internally
+    /// consistent (single-query runs like `Engine::explain_analyze`), use
+    /// [`Metrics::snapshot_quiesced`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         MetricsSnapshot {
@@ -136,6 +146,26 @@ impl Metrics {
             nodes_swept: get(&self.nodes_swept),
             backtrack_assignments: get(&self.backtrack_assignments),
         }
+    }
+
+    /// A snapshot that is consistent when the metrics have quiesced:
+    /// re-reads until two consecutive snapshots agree (bounded retries),
+    /// so a report taken after the last query finished never shows a torn
+    /// mix of two queries' counters. Under *sustained* concurrent load
+    /// there is no consistent instant to report; the helper then returns
+    /// the last (possibly torn) read after `attempts` tries — same
+    /// guarantees as [`Metrics::snapshot`].
+    pub fn snapshot_quiesced(&self) -> MetricsSnapshot {
+        const ATTEMPTS: usize = 16;
+        let mut prev = self.snapshot();
+        for _ in 0..ATTEMPTS {
+            let next = self.snapshot();
+            if next == prev {
+                return next;
+            }
+            prev = next;
+        }
+        prev
     }
 
     /// Zeroes all counters.
@@ -224,16 +254,26 @@ fn run_acyclic_instrumented(
     t: &Tree,
     metrics: &Metrics,
 ) -> Option<BTreeSet<Vec<NodeId>>> {
-    let e = cq::Enumerator::new(q, t)?;
-    Metrics::add(&metrics.semijoin_passes, 2 * q.atoms.len() as u64);
-    let mut candidate_total = 0u64;
-    for v in 0..q.num_vars() {
-        if let Some(set) = e.candidates(cq::CqVar(v as u32)) {
-            candidate_total += set.len() as u64;
+    let e = {
+        let mut span = treequery_obs::span("exec.semijoin");
+        let e = cq::Enumerator::new(q, t)?;
+        let passes = 2 * q.atoms.len() as u64;
+        Metrics::add(&metrics.semijoin_passes, passes);
+        let mut candidate_total = 0u64;
+        for v in 0..q.num_vars() {
+            if let Some(set) = e.candidates(cq::CqVar(v as u32)) {
+                candidate_total += set.len() as u64;
+            }
         }
-    }
-    Metrics::add(&metrics.candidate_nodes, candidate_total);
-    Some(e.head_tuples())
+        Metrics::add(&metrics.candidate_nodes, candidate_total);
+        span.record_u64("passes", passes);
+        span.record_u64("candidates", candidate_total);
+        e
+    };
+    let mut span = treequery_obs::span("exec.enumerate");
+    let tuples = e.head_tuples();
+    span.record_u64("tuples", tuples.len() as u64);
+    Some(tuples)
 }
 
 /// Executes a planned query. The plan must have been produced from the
@@ -246,13 +286,19 @@ pub fn execute(
     metrics: &Metrics,
 ) -> Result<QueryOutput, EngineError> {
     Metrics::add(&metrics.queries_executed, 1);
+    let mut run_span = treequery_obs::span("exec.run");
+    if run_span.is_recording() {
+        run_span.record_str("strategy", plan.strategy.to_string());
+    }
     match plan.strategy {
         Strategy::XPathSetAtATime => {
             let p = expect_path(ir);
-            Metrics::add(
-                &metrics.nodes_swept,
-                (tree.len() as u64).saturating_mul(p.size() as u64),
-            );
+            let swept = (tree.len() as u64).saturating_mul(p.size() as u64);
+            Metrics::add(&metrics.nodes_swept, swept);
+            let mut span = treequery_obs::span("exec.sweep");
+            span.record_u64("nodes", tree.len() as u64);
+            span.record_u64("query_size", p.size() as u64);
+            span.record_u64("nodes_swept", swept);
             Ok(QueryOutput::Nodes(sorted_nodes(
                 tree,
                 xpath::eval_query(p, tree),
@@ -264,10 +310,10 @@ pub fn execute(
         ))),
         Strategy::XPathViaDatalog => {
             let prog = xpath::to_datalog(expect_path(ir));
-            Metrics::add(
-                &metrics.nodes_swept,
-                (tree.len() as u64).saturating_mul(prog.size() as u64),
-            );
+            let swept = (tree.len() as u64).saturating_mul(prog.size() as u64);
+            Metrics::add(&metrics.nodes_swept, swept);
+            let mut span = treequery_obs::span("exec.ground_minoux");
+            span.record_u64("nodes_swept", swept);
             Ok(QueryOutput::Nodes(sorted_nodes(
                 tree,
                 datalog::eval_query(&prog, tree),
@@ -293,10 +339,10 @@ pub fn execute(
         }
         Strategy::CqXProperty(order) => {
             let q = expect_cq(ir);
-            Metrics::add(
-                &metrics.candidate_nodes,
-                (tree.len() as u64).saturating_mul(q.num_vars() as u64),
-            );
+            let candidates = (tree.len() as u64).saturating_mul(q.num_vars() as u64);
+            Metrics::add(&metrics.candidate_nodes, candidates);
+            let mut span = treequery_obs::span("exec.arc_consistency");
+            span.record_u64("candidates", candidates);
             let tuples = match cq::eval_x_property(q, tree).expect("planned tractable") {
                 Some(_witness) => std::iter::once(Vec::new()).collect(),
                 None => BTreeSet::new(),
@@ -309,10 +355,11 @@ pub fn execute(
         Strategy::CqRewriteUnion(k) => {
             let q = expect_cq(ir);
             Metrics::add(&metrics.union_parts, k as u64);
-            Metrics::add(
-                &metrics.semijoin_passes,
-                2 * (k as u64).saturating_mul(q.atoms.len() as u64),
-            );
+            let passes = 2 * (k as u64).saturating_mul(q.atoms.len() as u64);
+            Metrics::add(&metrics.semijoin_passes, passes);
+            let mut span = treequery_obs::span("exec.union");
+            span.record_u64("parts", k as u64);
+            span.record_u64("passes", passes);
             let tuples = cq::rewrite::eval_via_rewrite(q, tree).expect("planned rewritable");
             Ok(QueryOutput::Answer(CqAnswer {
                 tuples,
@@ -321,8 +368,10 @@ pub fn execute(
         }
         Strategy::CqBacktrack => {
             let q = expect_cq(ir);
+            let mut span = treequery_obs::span("exec.backtrack");
             let (tuples, stats) = cq::eval_backtrack_with_stats(q, tree);
             Metrics::add(&metrics.backtrack_assignments, stats.assignments);
+            span.record_u64("assignments", stats.assignments);
             Ok(QueryOutput::Answer(CqAnswer {
                 tuples,
                 plan: CqPlan::Backtrack,
@@ -333,10 +382,10 @@ pub fn execute(
                 IrBody::Program(p) => p,
                 _ => unreachable!("datalog strategy planned for a non-datalog IR"),
             };
-            Metrics::add(
-                &metrics.nodes_swept,
-                (tree.len() as u64).saturating_mul(prog.size() as u64),
-            );
+            let swept = (tree.len() as u64).saturating_mul(prog.size() as u64);
+            Metrics::add(&metrics.nodes_swept, swept);
+            let mut span = treequery_obs::span("exec.ground_minoux");
+            span.record_u64("nodes_swept", swept);
             Ok(QueryOutput::Nodes(sorted_nodes(
                 tree,
                 datalog::eval_query(prog, tree),

@@ -7,13 +7,17 @@
 //! * [`planner`] — strategy selection with an inspectable rationale
 //!   ([`ExplainedPlan`]);
 //! * [`exec`] — plan execution with per-stage work counters and the plan
-//!   cache.
+//!   cache;
+//! * [`analyze`] — `EXPLAIN ANALYZE`: the plan rationale merged with
+//!   measured per-stage spans and a consistent counter delta.
 
+pub mod analyze;
 pub mod exec;
 pub mod ir;
 pub mod planner;
 pub mod stats;
 
+pub use analyze::{AnalyzedPlan, StageStats};
 pub use exec::{Metrics, MetricsSnapshot, PlanCache, QueryOutput};
 pub use ir::{lower, Query, QueryIr, SourceLang};
 pub use planner::{plan_ir, CostClass, ExplainedPlan, PlannerConfig, Strategy};

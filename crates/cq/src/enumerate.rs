@@ -228,6 +228,9 @@ impl<'t> Enumerator<'t> {
     /// Yannakakis' join trees); with [`Reduction::None`] the candidate
     /// sets over-approximate and the Figure 6 recursion dead-ends.
     pub fn with_reduction(q: &Cq, t: &'t Tree, reduction: Reduction) -> Option<Self> {
+        let mut span = treequery_obs::span("cq.reduce");
+        span.record_u64("atoms", q.atoms.len() as u64);
+        span.record_u64("vars", q.num_vars() as u64);
         let q = q.normalize_forward();
         let forest = JoinForest::build(&q)?;
         let sets = match reduction {
@@ -235,6 +238,12 @@ impl<'t> Enumerator<'t> {
             Reduction::BottomUpOnly => crate::arc::bottom_up_reduce(&q, t, &forest),
             Reduction::None => Some(crate::arc::initial_sets(&q, t)),
         };
+        if let Some(sets) = &sets {
+            span.record_u64(
+                "candidates",
+                sets.iter().map(|s| s.len() as u64).sum::<u64>(),
+            );
+        }
         let mut indexes: Vec<Option<EdgeIndex>> = (0..q.num_vars()).map(|_| None).collect();
         if let Some(sets) = &sets {
             for &v in &forest.bfs_order {
@@ -280,6 +289,7 @@ impl<'t> Enumerator<'t> {
     /// This is the algorithm of Figure 6 generalized to forests, running
     /// over the reduced sets with the per-edge indexes.
     pub fn for_each(&self, emit: &mut impl FnMut(&[Option<NodeId>]) -> bool) -> EnumStats {
+        let mut span = treequery_obs::span("cq.enumerate");
         let mut stats = EnumStats::default();
         let Some(sets) = &self.sets else {
             return stats;
@@ -290,6 +300,8 @@ impl<'t> Enumerator<'t> {
         vars.extend(self.free_vars.iter().copied());
         let mut assignment: Vec<Option<NodeId>> = vec![None; self.q.num_vars()];
         self.rec(&vars, 0, sets, &mut assignment, &mut stats, emit);
+        span.record_u64("valuations", stats.valuations);
+        span.record_u64("dead_branches", stats.dead_branches);
         stats
     }
 

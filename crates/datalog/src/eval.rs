@@ -12,7 +12,14 @@ use crate::ground::{for_each_match, ground};
 /// ([`ground`]) and compute the minimal model with Minoux's linear-time
 /// algorithm. For TMNF programs this runs in `O(|P| · |Dom|)` total.
 pub fn eval(prog: &Program, tree: &Tree) -> Vec<NodeSet> {
-    let (formula, atoms) = ground(prog, tree);
+    let (formula, atoms) = {
+        let mut span = treequery_obs::span("datalog.ground");
+        span.record_u64("program_size", prog.size() as u64);
+        span.record_u64("nodes", tree.len() as u64);
+        let grounded = ground(prog, tree);
+        span.record_u64("ground_size", grounded.0.size() as u64);
+        grounded
+    };
     let solution = formula.solve();
     let mut extensions = vec![NodeSet::empty(tree.len()); prog.num_preds()];
     for (var, &(pred, node)) in atoms.iter() {

@@ -149,7 +149,16 @@ impl HornFormula {
 
     /// Minoux's algorithm (the main loop of Figure 3): computes the minimal
     /// model in time linear in [`HornFormula::size`].
+    ///
+    /// Emits a `hornsat.solve` span carrying the formula size (the
+    /// quantity the Theorem 3.2 linear bound charges) and the number of
+    /// variables derived true, when a `treequery_obs` recorder is
+    /// installed.
     pub fn solve(&self) -> Solution {
+        let mut span = treequery_obs::span("hornsat.solve");
+        span.record_u64("vars", self.num_vars as u64);
+        span.record_u64("rules", self.num_rules() as u64);
+        span.record_u64("formula_size", self.size() as u64);
         let InitialState {
             mut size,
             heads,
@@ -181,6 +190,7 @@ impl HornFormula {
                 }
             }
         }
+        span.record_u64("derived", order.len() as u64);
         Solution { truth, order }
     }
 

@@ -1,0 +1,271 @@
+//! Fixed-bucket latency histograms with percentile summaries.
+
+/// Number of buckets in a [`LatencyHistogram`]: bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 covers `[0, 2)`), so the last
+/// bucket starts at `2^63` ns — far beyond any span this engine records.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A latency histogram over power-of-two nanosecond buckets.
+///
+/// Recording is O(1) (one `leading_zeros` + one increment); percentile
+/// queries interpolate linearly inside the bucket that crosses the rank,
+/// so the reported value is exact to within a factor of 2 and typically
+/// much closer. Fixed buckets mean merge is element-wise addition and the
+/// memory footprint is constant (64 × `u64`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+/// The index of the bucket covering `ns`.
+fn bucket_of(ns: u64) -> usize {
+    (64 - ns.leading_zeros() as usize).saturating_sub(1)
+}
+
+/// The inclusive lower bound of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// The exclusive upper bound of bucket `i` (saturating for the last).
+fn bucket_hi(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded observations, in nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Largest recorded observation, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.total).unwrap_or(0)
+    }
+
+    /// Element-wise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the smallest value
+    /// `v` such that at least `⌈q · count⌉` observations are `≤ v`,
+    /// linearly interpolated inside the crossing bucket and clamped to the
+    /// recorded maximum. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        if rank >= self.total {
+            return self.max_ns;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate the rank's position inside this bucket.
+                let into = (rank - seen - 1) as f64 + 0.5;
+                let frac = into / c as f64;
+                let lo = bucket_lo(i) as f64;
+                let hi = bucket_hi(i).min(self.max_ns.max(1)) as f64;
+                let hi = hi.max(lo);
+                return (lo + frac * (hi - lo)).round() as u64;
+            }
+            seen += c;
+        }
+        self.max_ns
+    }
+
+    /// p50/p95/p99 plus count, mean, and max — the row the harness report
+    /// and `EXPLAIN ANALYZE` print.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.total,
+            mean_ns: self.mean_ns(),
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+/// A condensed view of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean in nanoseconds.
+    pub mean_ns: u64,
+    /// Median in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile in nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum in nanoseconds.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i).max(1)), i);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn single_value_has_flat_percentiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_ns, 1000);
+        // Every percentile lands in the [512, 1024) bucket, clamped to max.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((512..=1000).contains(&v), "q={q}: {v}");
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_percentiles() {
+        // 1..=1000 ns, one observation each: p50 ≈ 500, p95 ≈ 950,
+        // p99 ≈ 990, all within one power-of-two bucket of the true value.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_ns, 1000);
+        assert_eq!(s.mean_ns, 500);
+        assert!((384..=640).contains(&s.p50_ns), "p50 = {}", s.p50_ns);
+        assert!((768..=1000).contains(&s.p95_ns), "p95 = {}", s.p95_ns);
+        assert!((896..=1000).contains(&s.p99_ns), "p99 = {}", s.p99_ns);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn bimodal_distribution_percentiles() {
+        // 90 fast (≈100ns) + 10 slow (≈100µs): p50 is fast, p95/p99 slow.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.summary();
+        assert!((64..256).contains(&s.p50_ns), "p50 = {}", s.p50_ns);
+        assert!(s.p95_ns >= 65_536, "p95 = {}", s.p95_ns);
+        assert!(s.p99_ns >= 65_536, "p99 = {}", s.p99_ns);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 17, 90, 2048, 70_000, 70_001, 1_000_000] {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(v >= prev, "quantile not monotone at {i}");
+            assert!(v <= h.max_ns());
+            prev = v;
+        }
+        assert_eq!(h.quantile(1.0), h.max_ns());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [5u64, 10, 100, 1000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 70, 700, 7000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

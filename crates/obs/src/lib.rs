@@ -1,0 +1,167 @@
+#![warn(missing_docs)]
+
+//! `treequery-obs`: the observability substrate of the query pipeline.
+//!
+//! Zero-dependency (offline-friendly, like `shims/`) tracing and metrics
+//! primitives:
+//!
+//! * [`span`] / [`Span`] — a lightweight span core: a thread-safe span
+//!   stack (per-thread depth tracking) with monotonic timing and
+//!   structured fields, dispatched to the installed [`Recorder`];
+//! * [`Recorder`] — the sink trait, with [`NoopRecorder`] (the disabled
+//!   path costs one relaxed atomic load; verified by the harness's
+//!   `--check-noop-overhead`), [`CollectingRecorder`] (in-memory
+//!   aggregation: per-span-name call counts, wall time, latency
+//!   histograms, field sums, and a bounded ring-buffer event log), and
+//!   [`JsonLinesRecorder`] (one JSON object per closed span, streamed to
+//!   any writer);
+//! * [`LatencyHistogram`] — fixed power-of-two-bucket latency histograms
+//!   with p50/p95/p99 summaries;
+//! * [`RingLog`] — a bounded ring buffer keeping the most recent events;
+//! * [`Json`] — a serde-free JSON value with a renderer and a parser,
+//!   used by the bench harness's `--report` path and by
+//!   `Engine::explain_analyze`'s machine-readable output.
+//!
+//! Recording is opt-in and global, like `tracing`'s subscriber: when no
+//! recorder is installed, [`span`] returns an inert guard without reading
+//! the clock. Install one for a scope with [`with_recorder`], or
+//! process-wide with [`set_recorder`].
+
+mod histogram;
+mod json;
+mod recorder;
+mod ring;
+mod span;
+
+pub use histogram::{HistogramSummary, LatencyHistogram, HISTOGRAM_BUCKETS};
+pub use json::{parse_json, Json, JsonParseError};
+pub use recorder::{CollectingRecorder, JsonLinesRecorder, NoopRecorder, Recorder, SpanSummary};
+pub use ring::RingLog;
+pub use span::{span, Field, FieldValue, Span, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: Mutex<Option<Arc<dyn Recorder>>> = Mutex::new(None);
+
+/// Whether a recorder is currently installed. One relaxed atomic load —
+/// this is the entire cost instrumented code pays when tracing is off.
+#[inline]
+pub fn recording() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `recorder` process-wide (replacing any previous one).
+pub fn set_recorder(recorder: Arc<dyn Recorder>) {
+    let mut slot = RECORDER.lock().expect("recorder slot poisoned");
+    *slot = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Uninstalls the process-wide recorder; subsequent [`span`] calls are
+/// inert again.
+pub fn clear_recorder() {
+    let mut slot = RECORDER.lock().expect("recorder slot poisoned");
+    ENABLED.store(false, Ordering::Release);
+    *slot = None;
+}
+
+/// The currently installed recorder, if any.
+pub fn current_recorder() -> Option<Arc<dyn Recorder>> {
+    if !recording() {
+        return None;
+    }
+    RECORDER.lock().expect("recorder slot poisoned").clone()
+}
+
+/// Runs `f` with `recorder` installed, restoring the previous recorder
+/// afterwards (also on panic). Spans opened by *any* thread during the
+/// scope are dispatched to `recorder` — which is what lets one call
+/// observe `Engine::eval_batch`'s scoped workers. Nested scopes restore
+/// in LIFO order; concurrent scopes on different threads would race on
+/// the single global slot, so callers wanting isolated numbers (e.g.
+/// `explain_analyze`) should not overlap scopes.
+pub fn with_recorder<T>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Arc<dyn Recorder>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let mut slot = RECORDER.lock().expect("recorder slot poisoned");
+            ENABLED.store(self.0.is_some(), Ordering::Release);
+            *slot = self.0.take();
+        }
+    }
+    let previous = {
+        let mut slot = RECORDER.lock().expect("recorder slot poisoned");
+        let previous = slot.take();
+        *slot = Some(recorder);
+        ENABLED.store(true, Ordering::Release);
+        previous
+    };
+    let _restore = Restore(previous);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        clear_recorder();
+        assert!(!recording());
+        let s = span("test.inert");
+        assert!(!s.is_recording());
+        drop(s);
+    }
+
+    #[test]
+    fn with_recorder_scopes_and_restores() {
+        let rec = Arc::new(CollectingRecorder::default());
+        let collected = with_recorder(rec.clone(), || {
+            assert!(recording());
+            {
+                let mut s = span("test.outer");
+                s.record_u64("items", 3);
+                let _inner = span("test.inner");
+            }
+            rec.finished_spans()
+        });
+        assert!(!recording());
+        assert_eq!(collected.len(), 2);
+        // Spans close innermost-first.
+        assert_eq!(collected[0].name, "test.inner");
+        assert_eq!(collected[0].depth, 1);
+        assert_eq!(collected[1].name, "test.outer");
+        assert_eq!(collected[1].depth, 0);
+        assert_eq!(collected[1].fields[0].key, "items");
+        assert_eq!(collected[1].fields[0].value, FieldValue::U64(3));
+    }
+
+    #[test]
+    fn with_recorder_restores_on_panic() {
+        let rec = Arc::new(CollectingRecorder::default());
+        let result = std::panic::catch_unwind(|| {
+            with_recorder(rec, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(!recording());
+    }
+
+    #[test]
+    fn spans_from_spawned_threads_are_recorded() {
+        let rec = Arc::new(CollectingRecorder::default());
+        with_recorder(rec.clone(), || {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let _g = span("test.worker");
+                    });
+                }
+            });
+        });
+        let summary = rec.summary();
+        let worker = summary.iter().find(|s| s.name == "test.worker").unwrap();
+        assert_eq!(worker.calls, 4);
+    }
+}

@@ -1,0 +1,340 @@
+//! Recorder sinks: where closed spans go.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::histogram::{HistogramSummary, LatencyHistogram};
+use crate::json::Json;
+use crate::ring::RingLog;
+use crate::span::{FieldValue, SpanRecord};
+
+/// A sink for closed spans. Implementations must be cheap and
+/// thread-safe: spans arrive from every thread that runs instrumented
+/// code, including `Engine::eval_batch` workers.
+pub trait Recorder: Send + Sync {
+    /// Called once per closed span.
+    fn record_span(&self, span: &SpanRecord);
+}
+
+/// Discards everything. Installing it is equivalent to (but slower than)
+/// installing nothing: prefer `clear_recorder` so the disabled fast path
+/// — one relaxed atomic load, no clock read — applies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record_span(&self, _span: &SpanRecord) {}
+}
+
+/// Per-span-name aggregate kept by a [`CollectingRecorder`].
+#[derive(Clone, Debug)]
+pub struct SpanSummary {
+    /// The span name.
+    pub name: &'static str,
+    /// Number of closed spans with this name.
+    pub calls: u64,
+    /// Total wall time across those spans, in nanoseconds.
+    pub total_ns: u64,
+    /// Smallest nesting depth the name was seen at (for tree rendering).
+    pub depth: u32,
+    /// Latency distribution of the individual spans.
+    pub latency: HistogramSummary,
+    /// Sums of every `u64` field recorded on those spans, by key.
+    pub field_sums: Vec<(&'static str, u64)>,
+}
+
+impl SpanSummary {
+    /// The summary as a JSON object (the harness report row).
+    pub fn to_json(&self) -> Json {
+        let mut fields = Json::obj();
+        for (k, v) in &self.field_sums {
+            fields = fields.set(*k, *v);
+        }
+        Json::obj()
+            .set("name", self.name)
+            .set("calls", self.calls)
+            .set("total_ns", self.total_ns)
+            .set("p50_ns", self.latency.p50_ns)
+            .set("p95_ns", self.latency.p95_ns)
+            .set("p99_ns", self.latency.p99_ns)
+            .set("max_ns", self.latency.max_ns)
+            .set("fields", fields)
+    }
+}
+
+#[derive(Debug)]
+struct Agg {
+    calls: u64,
+    total_ns: u64,
+    depth: u32,
+    first_start_ns: u64,
+    first_seen: usize,
+    hist: LatencyHistogram,
+    field_sums: BTreeMap<&'static str, u64>,
+}
+
+#[derive(Debug)]
+struct CollectingInner {
+    aggregates: BTreeMap<&'static str, Agg>,
+    recent: RingLog<SpanRecord>,
+    seen: usize,
+}
+
+/// Aggregates spans in memory: per-name call counts, total wall time,
+/// latency histograms, and `u64`-field sums, plus a bounded ring buffer
+/// of the most recent raw spans (the event log).
+#[derive(Debug)]
+pub struct CollectingRecorder {
+    inner: Mutex<CollectingInner>,
+}
+
+impl Default for CollectingRecorder {
+    fn default() -> Self {
+        CollectingRecorder::with_ring_capacity(4096)
+    }
+}
+
+impl CollectingRecorder {
+    /// A recorder retaining at most `capacity` raw spans (aggregates are
+    /// unbounded in span *names*, which form a small fixed taxonomy).
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        CollectingRecorder {
+            inner: Mutex::new(CollectingInner {
+                aggregates: BTreeMap::new(),
+                recent: RingLog::new(capacity),
+                seen: 0,
+            }),
+        }
+    }
+
+    /// Per-name aggregates, ordered by each name's earliest span *start*
+    /// (delivery order won't do: spans are delivered when they close, so
+    /// children would sort before the parents that enclose them — start
+    /// order keeps `AnalyzedPlan::render`'s indented tree well-formed).
+    pub fn summary(&self) -> Vec<SpanSummary> {
+        let inner = self.inner.lock().expect("collecting recorder poisoned");
+        let mut rows: Vec<(u64, usize, SpanSummary)> = inner
+            .aggregates
+            .iter()
+            .map(|(name, a)| {
+                (
+                    a.first_start_ns,
+                    a.first_seen,
+                    SpanSummary {
+                        name,
+                        calls: a.calls,
+                        total_ns: a.total_ns,
+                        depth: a.depth,
+                        latency: a.hist.summary(),
+                        field_sums: a.field_sums.iter().map(|(k, v)| (*k, *v)).collect(),
+                    },
+                )
+            })
+            .collect();
+        rows.sort_by_key(|(start, seen, _)| (*start, *seen));
+        rows.into_iter().map(|(_, _, s)| s).collect()
+    }
+
+    /// The latency histogram of one span name, if it was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<LatencyHistogram> {
+        let inner = self.inner.lock().expect("collecting recorder poisoned");
+        inner.aggregates.get(name).map(|a| a.hist.clone())
+    }
+
+    /// The most recent raw spans (the bounded event log), oldest first.
+    pub fn finished_spans(&self) -> Vec<SpanRecord> {
+        let inner = self.inner.lock().expect("collecting recorder poisoned");
+        inner.recent.iter().cloned().collect()
+    }
+
+    /// Total spans delivered (including any evicted from the ring).
+    pub fn spans_seen(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("collecting recorder poisoned")
+            .seen
+    }
+
+    /// Drops all aggregates and retained spans.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("collecting recorder poisoned");
+        inner.aggregates.clear();
+        let capacity = inner.recent.capacity();
+        inner.recent = RingLog::new(capacity);
+        inner.seen = 0;
+    }
+}
+
+impl Recorder for CollectingRecorder {
+    fn record_span(&self, span: &SpanRecord) {
+        let mut inner = self.inner.lock().expect("collecting recorder poisoned");
+        let first_seen = inner.seen;
+        inner.seen += 1;
+        let agg = inner.aggregates.entry(span.name).or_insert_with(|| Agg {
+            calls: 0,
+            total_ns: 0,
+            depth: span.depth,
+            first_start_ns: span.start_ns,
+            first_seen,
+            hist: LatencyHistogram::new(),
+            field_sums: BTreeMap::new(),
+        });
+        agg.calls += 1;
+        agg.first_start_ns = agg.first_start_ns.min(span.start_ns);
+        agg.total_ns = agg.total_ns.saturating_add(span.duration_ns);
+        agg.depth = agg.depth.min(span.depth);
+        agg.hist.record(span.duration_ns);
+        for field in &span.fields {
+            if let FieldValue::U64(v) = field.value {
+                let slot = agg.field_sums.entry(field.key).or_insert(0);
+                *slot = slot.saturating_add(v);
+            }
+        }
+        inner.recent.push(span.clone());
+    }
+}
+
+/// Streams one JSON object per closed span to a writer (a `jsonl` trace
+/// that external tools can tail).
+pub struct JsonLinesRecorder {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesRecorder {
+    /// Wraps any writer (a `File`, a `Vec<u8>` behind a cursor, stderr…).
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        JsonLinesRecorder {
+            out: Mutex::new(Box::new(out)),
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("jsonl recorder poisoned").flush()
+    }
+}
+
+/// The JSON object written for one span.
+pub(crate) fn span_to_json(span: &SpanRecord) -> Json {
+    let mut fields = Json::obj();
+    for f in &span.fields {
+        fields = match &f.value {
+            FieldValue::U64(v) => fields.set(f.key, *v),
+            FieldValue::F64(v) => fields.set(f.key, *v),
+            FieldValue::Bool(v) => fields.set(f.key, *v),
+            FieldValue::Str(v) => fields.set(f.key, v.as_str()),
+        };
+    }
+    Json::obj()
+        .set("span", span.name)
+        .set("start_ns", span.start_ns)
+        .set("duration_ns", span.duration_ns)
+        .set("depth", span.depth)
+        .set("thread", span.thread)
+        .set("fields", fields)
+}
+
+impl Recorder for JsonLinesRecorder {
+    fn record_span(&self, span: &SpanRecord) {
+        let line = span_to_json(span).render();
+        let mut out = self.out.lock().expect("jsonl recorder poisoned");
+        // A failed trace write must not take down the query: drop it.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Field;
+    use std::sync::Arc;
+
+    fn record(name: &'static str, duration_ns: u64, fields: Vec<Field>) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_ns: 0,
+            duration_ns,
+            depth: 0,
+            thread: 0,
+            fields,
+        }
+    }
+
+    #[test]
+    fn collecting_recorder_aggregates_per_name() {
+        let rec = CollectingRecorder::default();
+        rec.record_span(&record(
+            "a",
+            100,
+            vec![Field {
+                key: "n",
+                value: FieldValue::U64(5),
+            }],
+        ));
+        rec.record_span(&record(
+            "a",
+            300,
+            vec![Field {
+                key: "n",
+                value: FieldValue::U64(7),
+            }],
+        ));
+        rec.record_span(&record("b", 50, Vec::new()));
+        let summary = rec.summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].name, "a");
+        assert_eq!(summary[0].calls, 2);
+        assert_eq!(summary[0].total_ns, 400);
+        assert_eq!(summary[0].field_sums, vec![("n", 12)]);
+        assert_eq!(summary[1].name, "b");
+        assert_eq!(rec.spans_seen(), 3);
+        rec.reset();
+        assert!(rec.summary().is_empty());
+    }
+
+    #[test]
+    fn ring_bounds_raw_spans_but_not_aggregates() {
+        let rec = CollectingRecorder::with_ring_capacity(2);
+        for i in 0..5 {
+            rec.record_span(&record("a", i, Vec::new()));
+        }
+        assert_eq!(rec.finished_spans().len(), 2);
+        assert_eq!(rec.summary()[0].calls, 5);
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_lines() {
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let rec = JsonLinesRecorder::new(buf.clone());
+        rec.record_span(&record(
+            "exec.sweep",
+            1234,
+            vec![Field {
+                key: "nodes",
+                value: FieldValue::U64(9),
+            }],
+        ));
+        rec.flush().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let line = text.lines().next().unwrap();
+        let v = crate::parse_json(line).unwrap();
+        assert_eq!(v.get("span").unwrap().as_str(), Some("exec.sweep"));
+        assert_eq!(v.get("duration_ns").unwrap().as_u64(), Some(1234));
+        assert_eq!(
+            v.get("fields").unwrap().get("nodes").unwrap().as_u64(),
+            Some(9)
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! A bounded ring buffer keeping the most recent events.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity log: pushing beyond capacity drops the oldest entry,
+/// so memory stays bounded no matter how long a recorder stays installed.
+#[derive(Clone, Debug)]
+pub struct RingLog<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingLog<T> {
+    /// An empty log keeping at most `capacity` entries (`capacity` 0 keeps
+    /// nothing but still counts pushes).
+    pub fn new(capacity: usize) -> Self {
+        RingLog {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries evicted (or never retained) because of the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the retained entries, oldest first.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_most_recent_entries() {
+        let mut log = RingLog::new(3);
+        for i in 0..10 {
+            log.push(i);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(log.drain(), vec![7, 8, 9]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_keeps_nothing() {
+        let mut log = RingLog::new(0);
+        log.push("a");
+        log.push("b");
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 2);
+    }
+}

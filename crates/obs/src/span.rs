@@ -1,0 +1,185 @@
+//! The span core: guards with monotonic timing, structured fields, and a
+//! per-thread depth stack.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::Recorder;
+
+/// A structured field value attached to a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned counter (node counts, candidate-set sizes, …).
+    U64(u64),
+    /// A floating-point measurement.
+    F64(f64),
+    /// A boolean flag (cache hit/miss, …).
+    Bool(bool),
+    /// A short string (strategy names, …).
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+/// A `key = value` pair attached to a span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    /// The field name.
+    pub key: &'static str,
+    /// The field value.
+    pub value: FieldValue,
+}
+
+/// A closed span, as delivered to a [`Recorder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// The span name (dot-separated taxonomy, e.g. `exec.semijoin`).
+    pub name: &'static str,
+    /// Nanoseconds since the process's tracing epoch at which the span
+    /// opened.
+    pub start_ns: u64,
+    /// Monotonic wall time between open and close, in nanoseconds.
+    pub duration_ns: u64,
+    /// Nesting depth on the opening thread (0 = outermost).
+    pub depth: u32,
+    /// A dense per-thread id (assigned on first span per thread).
+    pub thread: u64,
+    /// Structured fields recorded while the span was open.
+    pub fields: Vec<Field>,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ID: Cell<Option<u64>> = const { Cell::new(None) };
+    }
+    ID.with(|id| match id.get() {
+        Some(v) => v,
+        None => {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed);
+            id.set(Some(v));
+            v
+        }
+    })
+}
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Opens a span. When no recorder is installed this is one relaxed atomic
+/// load and returns an inert guard (no clock read, no allocation).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::recording() {
+        return Span { active: None, name };
+    }
+    match crate::current_recorder() {
+        Some(recorder) => Span::open(name, recorder),
+        None => Span { active: None, name },
+    }
+}
+
+struct ActiveSpan {
+    recorder: Arc<dyn Recorder>,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+    fields: Vec<Field>,
+}
+
+/// An open span; closing (dropping) it delivers a [`SpanRecord`] to the
+/// recorder that was installed at open time.
+pub struct Span {
+    active: Option<ActiveSpan>,
+    name: &'static str,
+}
+
+impl Span {
+    fn open(name: &'static str, recorder: Arc<dyn Recorder>) -> Span {
+        let start_ns = epoch().elapsed().as_nanos() as u64;
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span {
+            active: Some(ActiveSpan {
+                recorder,
+                start: Instant::now(),
+                start_ns,
+                depth,
+                fields: Vec::new(),
+            }),
+            name,
+        }
+    }
+
+    /// Whether this span will be delivered to a recorder on close.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attaches a counter field (no-op on inert spans).
+    pub fn record_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(a) = &mut self.active {
+            a.fields.push(Field {
+                key,
+                value: FieldValue::U64(value),
+            });
+        }
+    }
+
+    /// Attaches a boolean field (no-op on inert spans).
+    pub fn record_bool(&mut self, key: &'static str, value: bool) {
+        if let Some(a) = &mut self.active {
+            a.fields.push(Field {
+                key,
+                value: FieldValue::Bool(value),
+            });
+        }
+    }
+
+    /// Attaches a string field (no-op on inert spans).
+    pub fn record_str(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(a) = &mut self.active {
+            a.fields.push(Field {
+                key,
+                value: FieldValue::Str(value.into()),
+            });
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let record = SpanRecord {
+                name: self.name,
+                start_ns: a.start_ns,
+                duration_ns: a.start.elapsed().as_nanos() as u64,
+                depth: a.depth,
+                thread: thread_id(),
+                fields: a.fields,
+            };
+            a.recorder.record_span(&record);
+        }
+    }
+}

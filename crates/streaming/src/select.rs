@@ -107,6 +107,7 @@ pub fn select_events<'a>(
     q: &FilterQuery,
     events: impl IntoIterator<Item = &'a Event>,
 ) -> (BTreeSet<u32>, SelectStats) {
+    let mut span = treequery_obs::span("stream.select");
     let width = q.steps.len();
     let chains = unfold_chains(q);
     let mut stats = SelectStats {
@@ -253,6 +254,9 @@ pub fn select_events<'a>(
         }
     }
     assert_eq!(stack.len(), 1, "unbalanced event stream");
+    span.record_u64("events", stats.memory.events as u64);
+    span.record_u64("peak_frames", stats.memory.peak_frames as u64);
+    span.record_u64("selected", out.len() as u64);
     (out, stats)
 }
 

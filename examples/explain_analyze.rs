@@ -1,0 +1,58 @@
+//! `EXPLAIN ANALYZE` over an XMark document: for one query per planner
+//! strategy, print the analyzed plan tree — the planner's rationale
+//! merged with the measured per-stage wall times, span fields, and the
+//! executor's work-counter deltas.
+//!
+//! ```bash
+//! cargo run --example explain_analyze
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treequery::tree::{xmark_document, XmarkConfig};
+use treequery::{Engine, Query};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let tree = xmark_document(&mut rng, &XmarkConfig::scaled_to(20_000));
+    let engine = Engine::new(&tree);
+    println!(
+        "XMark document: {} nodes — one EXPLAIN ANALYZE per planner strategy\n",
+        tree.len()
+    );
+
+    // Candidates chosen so the planner exercises each strategy it can
+    // pick; the first query observed per strategy is printed.
+    let candidates = [
+        // sweep: every label common
+        Query::xpath("//open_auction[bidder]/seller"),
+        // via-acyclic-cq: an absent label short-circuits the reducer
+        Query::xpath("//person[phantom]"),
+        // acyclic CQ: full reducer + backtrack-free enumeration
+        Query::cq("q(x) :- label(x, person), child(x, y), label(y, name)."),
+        // X-property cyclic CQ: arc-consistency + minimum valuation
+        Query::cq("child+(x, y), child+(y, z), child+(x, z)"),
+        // rewrite union / backtracking (NP-hard shape)
+        Query::cq("q(x) :- child+(x, y), child+(x, z), child+(y, w), child+(z, w)."),
+        // datalog: ground + Minoux
+        Query::datalog("P(x) :- label(x, bidder). P(x) :- firstchild(x, y), P(y). ?- P."),
+    ];
+
+    let mut seen: Vec<String> = Vec::new();
+    for query in &candidates {
+        let analyzed = match engine.explain_analyze(query) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("skipping {:?}: {e}", query.text());
+                continue;
+            }
+        };
+        let strategy = analyzed.plan.strategy.to_string();
+        if seen.contains(&strategy) {
+            continue;
+        }
+        seen.push(strategy);
+        println!("{}", analyzed.render());
+    }
+    println!("strategies analyzed: {}", seen.join(", "));
+}

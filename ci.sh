@@ -14,13 +14,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
-cargo test --workspace -q
+echo "==> cargo test (TREEQUERY_WORKERS=1)"
+TREEQUERY_WORKERS=1 cargo test --workspace -q
+
+echo "==> cargo test (TREEQUERY_WORKERS=4)"
+TREEQUERY_WORKERS=4 cargo test --workspace -q
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> noop-recorder overhead gate"
 cargo run -p treequery-bench --release --bin harness -q -- --check-noop-overhead
+
+echo "==> harness --report round-trip smoke (E19)"
+REPORT="$(mktemp -t treequery-report.XXXXXX.json)"
+trap 'rm -f "$REPORT"' EXIT
+cargo run -p treequery-bench --release --bin harness -q -- --report "$REPORT" e12 e19
+grep -q '"e19"' "$REPORT"
 
 echo "CI OK"

@@ -1,5 +1,5 @@
 //! Regenerates every figure and table of the paper's reproduction: runs
-//! experiments E1–E18 and prints the paper-style tables recorded in
+//! experiments E1–E19 and prints the paper-style tables recorded in
 //! `EXPERIMENTS.md`.
 //!
 //! ```text
@@ -40,6 +40,7 @@ const ALL: &[(&str, fn())] = &[
     ("e16", experiments::e16_xpath_scaling::run),
     ("e17", experiments::e17_planner::run),
     ("e18", e18_observability::run),
+    ("e19", experiments::e19_parallel::run),
 ];
 
 fn lookup(arg: &str) -> Option<(&'static str, fn())> {
@@ -102,7 +103,7 @@ fn main() {
             other => match lookup(other) {
                 Some(exp) => selected.push(exp),
                 None => {
-                    eprintln!("unknown experiment '{other}' (expected e1..e18)");
+                    eprintln!("unknown experiment '{other}' (expected e1..e19)");
                     std::process::exit(2);
                 }
             },

@@ -18,6 +18,7 @@ pub mod e15_hornsat;
 pub mod e16_xpath_scaling;
 pub mod e17_planner;
 pub mod e18_observability;
+pub mod e19_parallel;
 
 /// Runs every experiment in order.
 pub fn run_all() {
@@ -39,4 +40,5 @@ pub fn run_all() {
     e16_xpath_scaling::run();
     e17_planner::run();
     e18_observability::run();
+    e19_parallel::run();
 }

@@ -26,7 +26,6 @@
 //! as thin shims over the pipeline.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 pub mod plan;
@@ -138,8 +137,11 @@ pub struct EngineConfig {
     pub planner: PlannerConfig,
     /// Cache plans keyed by `(query fingerprint, tree fingerprint)`.
     pub plan_cache: bool,
-    /// Worker threads for [`Engine::eval_batch`]; `None` = available
-    /// parallelism.
+    /// Worker threads for [`Engine::eval_batch`]; `None` resolves to
+    /// [`plan::default_workers`] (the `TREEQUERY_WORKERS` env knob, else
+    /// the machine's available parallelism). The threads come from the
+    /// process-wide [`plan::WorkerPool`], shared with the intra-query
+    /// parallel kernels.
     pub batch_threads: Option<usize>,
 }
 
@@ -207,6 +209,13 @@ impl<'t> Engine<'t> {
     /// A snapshot of the pipeline's work counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// A quiesced snapshot of the work counters: re-read until stable, so
+    /// numbers taken after all in-flight queries finished are never torn
+    /// (see [`plan::exec::Metrics::snapshot_quiesced`]).
+    pub fn metrics_quiesced(&self) -> MetricsSnapshot {
+        self.metrics.snapshot_quiesced()
     }
 
     /// Zeroes the pipeline's work counters.
@@ -305,59 +314,39 @@ impl<'t> Engine<'t> {
         plan::exec::execute(ir, &chosen, self.tree, &self.metrics)
     }
 
-    /// Evaluates many queries over the one tree on scoped worker threads.
+    /// Evaluates many queries over the one tree on the shared worker
+    /// pool.
     ///
     /// Results come back in input order, each independently fallible. The
-    /// pool size is [`EngineConfig::batch_threads`] (default: available
-    /// parallelism, capped by the batch size); workers share the plan
-    /// cache and metrics.
+    /// parallelism is [`EngineConfig::batch_threads`] (default:
+    /// [`plan::default_workers`], capped by the batch size); workers share
+    /// the plan cache and metrics, and the threads themselves are the
+    /// persistent process-wide [`plan::WorkerPool`] — no per-call thread
+    /// spawning.
     pub fn eval_batch(&self, queries: &[Query]) -> Vec<Result<QueryOutput, EngineError>> {
         plan::Metrics::add_batch(&self.metrics, queries.len() as u64);
+        if queries.is_empty() {
+            return Vec::new();
+        }
         let threads = self
             .config
             .batch_threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
-            .clamp(1, queries.len().max(1));
+            .unwrap_or_else(plan::default_workers)
+            .clamp(1, queries.len());
         if threads == 1 {
             return queries.iter().map(|q| self.eval(q)).collect();
         }
-        let next = AtomicUsize::new(0);
-        let mut results: Vec<Option<Result<QueryOutput, EngineError>>> =
-            (0..queries.len()).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let workers: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
-                                break;
-                            }
-                            out.push((i, self.eval(&queries[i])));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            let mut span = treequery_obs::span("pipeline.batch_merge");
-            let mut merged = 0u64;
-            for w in workers {
-                for (i, r) in w.join().expect("batch worker panicked") {
-                    results[i] = Some(r);
-                    merged += 1;
-                }
-            }
-            span.record_u64("results", merged);
-        });
+        let tasks: Vec<Box<dyn FnOnce() -> Result<QueryOutput, EngineError> + Send + '_>> = queries
+            .iter()
+            .map(|q| {
+                Box::new(move || self.eval(q))
+                    as Box<dyn FnOnce() -> Result<QueryOutput, EngineError> + Send + '_>
+            })
+            .collect();
+        let mut span = treequery_obs::span("pipeline.batch_merge");
+        let results = plan::WorkerPool::global().run_scoped(threads, tasks);
+        span.record_u64("results", results.len() as u64);
         results
-            .into_iter()
-            .map(|r| r.expect("every index claimed exactly once"))
-            .collect()
     }
 
     /// Evaluates a Core XPath query (from the virtual document node),
@@ -396,14 +385,19 @@ impl<'t> Engine<'t> {
                 Strategy::XPathViaAcyclicCq
             }
         };
-        let forced_plan = ExplainedPlan {
+        let mut forced_plan = ExplainedPlan {
             source: SourceLang::XPath,
             strategy: forced,
             cost: CostClass::Linear,
             estimated_work: 0,
             rationale: format!("forced by caller: {forced}"),
+            workers: 1,
+            parallel_rationale: String::new(),
             query_fingerprint: ir.fingerprint,
         };
+        // Forcing a strategy bypasses the planner, not the parallelism
+        // policy: the forced plan still gets the configured decision.
+        forced_plan.decide_parallel(self.stats(), &self.config.planner);
         match plan::exec::execute(&ir, &forced_plan, self.tree, &self.metrics)? {
             QueryOutput::Nodes(v) => Ok(v),
             QueryOutput::Answer(_) => unreachable!("XPath evaluates to a node set"),
@@ -744,6 +738,32 @@ mod tests {
                 (Err(_), Err(_)) => {}
                 (b, s) => panic!("query {i}: batch {b:?} vs sequential {s:?}"),
             }
+        }
+        assert_eq!(e.metrics().batch_queries, queries.len() as u64);
+    }
+
+    #[test]
+    fn eval_batch_handles_empty_batches_and_oversized_pools() {
+        let t = engine_fixture();
+        let e = Engine::with_config(
+            &t,
+            EngineConfig {
+                // More threads than queries: the pool clamps to the batch.
+                batch_threads: Some(8),
+                ..EngineConfig::default()
+            },
+        );
+        assert!(e.eval_batch(&[]).is_empty());
+        assert_eq!(e.metrics().batch_queries, 0);
+        let queries = vec![
+            Query::xpath("//a"),
+            Query::xpath("//b"),
+            Query::cq("q(x) :- label(x, a)."),
+        ];
+        let batch = e.eval_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i].as_ref().unwrap(), &e.eval(q).unwrap(), "query {i}");
         }
         assert_eq!(e.metrics().batch_queries, queries.len() as u64);
     }

@@ -110,6 +110,7 @@ impl AnalyzedPlan {
             self.plan.strategy, self.plan.cost, self.plan.estimated_work
         ));
         out.push_str(&format!("  rationale: {}\n", self.plan.rationale));
+        out.push_str(&format!("  parallel: {}\n", self.plan.parallel_rationale));
         out.push_str(&format!(
             "Measured: total {}, {} output row(s)\n",
             fmt_ns(self.total_ns),
@@ -203,6 +204,8 @@ impl ExplainedPlan {
             .set("cost", self.cost.to_string())
             .set("estimated_work", self.estimated_work)
             .set("rationale", self.rationale.as_str())
+            .set("workers", self.workers as u64)
+            .set("parallel", self.parallel_rationale.as_str())
             .set("query_fingerprint", self.query_fingerprint)
     }
 }
@@ -223,6 +226,8 @@ impl MetricsSnapshot {
             .set("union_parts", self.union_parts)
             .set("nodes_swept", self.nodes_swept)
             .set("backtrack_assignments", self.backtrack_assignments)
+            .set("parallel_kernels", self.parallel_kernels)
+            .set("parallel_chunks", self.parallel_chunks)
     }
 
     /// Field-wise saturating difference `self - earlier`: the work done
@@ -246,6 +251,10 @@ impl MetricsSnapshot {
             backtrack_assignments: self
                 .backtrack_assignments
                 .saturating_sub(earlier.backtrack_assignments),
+            parallel_kernels: self
+                .parallel_kernels
+                .saturating_sub(earlier.parallel_kernels),
+            parallel_chunks: self.parallel_chunks.saturating_sub(earlier.parallel_chunks),
         }
     }
 }
@@ -277,6 +286,8 @@ mod tests {
                 cost: CostClass::OutputSensitive,
                 estimated_work: 42,
                 rationale: "query graph is acyclic (GYO)".to_owned(),
+                workers: 1,
+                parallel_rationale: "sequential: cq/acyclic has no partitionable kernel".to_owned(),
                 query_fingerprint: 7,
             },
             total_ns: 1_500_000,
@@ -324,12 +335,84 @@ mod tests {
 EXPLAIN ANALYZE [cq] q(x) :- label(x, a), child(x, y), label(y, b).
 Plan: cq/acyclic  (cost O(|D|·|Q| + out), estimated 42 node-touches)
   rationale: query graph is acyclic (GYO)
+  parallel: sequential: cq/acyclic has no partitionable kernel
 Measured: total 1.50ms, 3 output row(s)
   -> pipeline.lower  (calls=1, time=12.0µs)
   -> exec.run  (calls=1, time=1.40ms)
     -> exec.semijoin  (calls=1, time=900.0µs)  [passes=6, candidates=11]
     -> exec.enumerate  (calls=1, time=400.0µs)  [tuples=3]
 Counters: queries_lowered=1 queries_executed=1 semijoin_passes=6 candidate_nodes=11
+";
+        assert_eq!(analyzed.render(), expected);
+    }
+
+    /// The parallel counterpart of the golden test: per-worker chunk
+    /// spans are merged into one stable `exec.sweep.chunk` row (calls =
+    /// number of chunks, fields summed), so the rendering is identical no
+    /// matter which worker ran which chunk or in what order they
+    /// finished.
+    #[test]
+    fn render_golden_parallel_chunks() {
+        let analyzed = AnalyzedPlan {
+            query: "//a".to_owned(),
+            plan: ExplainedPlan {
+                source: SourceLang::XPath,
+                strategy: Strategy::XPathSetAtATime,
+                cost: CostClass::Linear,
+                estimated_work: 131_072,
+                rationale: "general Core XPath".to_owned(),
+                workers: 4,
+                parallel_rationale: "4 workers: pre-order range partition of the sweeps".to_owned(),
+                query_fingerprint: 9,
+            },
+            total_ns: 2_000_000,
+            output_rows: 5,
+            stages: vec![
+                StageStats {
+                    name: "exec.run",
+                    calls: 1,
+                    total_ns: 1_900_000,
+                    depth: 0,
+                    fields: vec![],
+                },
+                StageStats {
+                    name: "exec.sweep",
+                    calls: 1,
+                    total_ns: 1_800_000,
+                    depth: 1,
+                    fields: vec![
+                        ("nodes", 65_536),
+                        ("query_size", 2),
+                        ("nodes_swept", 131_072),
+                    ],
+                },
+                StageStats {
+                    name: "exec.sweep.chunk",
+                    calls: 4,
+                    total_ns: 1_600_000,
+                    depth: 2,
+                    fields: vec![("nodes", 65_536)],
+                },
+            ],
+            counters: MetricsSnapshot {
+                queries_executed: 1,
+                nodes_swept: 131_072,
+                parallel_kernels: 1,
+                parallel_chunks: 4,
+                ..MetricsSnapshot::default()
+            },
+            output: QueryOutput::Nodes(Vec::new()),
+        };
+        let expected = "\
+EXPLAIN ANALYZE [xpath] //a
+Plan: xpath/set-at-a-time  (cost O(|D|·|Q|), estimated 131072 node-touches)
+  rationale: general Core XPath
+  parallel: 4 workers: pre-order range partition of the sweeps
+Measured: total 2.00ms, 5 output row(s)
+  -> exec.run  (calls=1, time=1.90ms)
+    -> exec.sweep  (calls=1, time=1.80ms)  [nodes=65536, query_size=2, nodes_swept=131072]
+      -> exec.sweep.chunk  (calls=4, time=1.60ms)  [nodes=65536]
+Counters: queries_executed=1 nodes_swept=131072 parallel_kernels=1 parallel_chunks=4
 ";
         assert_eq!(analyzed.render(), expected);
     }
@@ -370,6 +453,8 @@ Counters: queries_lowered=1 queries_executed=1 semijoin_passes=6 candidate_nodes
             cost: CostClass::Linear,
             estimated_work: 10,
             rationale: "general Core XPath \"sweep\"".to_owned(),
+            workers: 4,
+            parallel_rationale: "4 workers: pre-order range partition".to_owned(),
             query_fingerprint: u64::MAX,
         };
         let v = treequery_obs::parse_json(&plan.to_json().render()).unwrap();
@@ -377,6 +462,7 @@ Counters: queries_lowered=1 queries_executed=1 semijoin_passes=6 candidate_nodes
             v.get("strategy").unwrap().as_str(),
             Some("xpath/set-at-a-time")
         );
+        assert_eq!(v.get("workers").unwrap().as_u64(), Some(4));
         assert_eq!(v.get("query_fingerprint").unwrap().as_u64(), Some(u64::MAX));
     }
 }

@@ -71,6 +71,12 @@ pub struct Metrics {
     pub nodes_swept: AtomicU64,
     /// Variable assignments attempted by the backtracking evaluator.
     pub backtrack_assignments: AtomicU64,
+    /// Kernel invocations that were dispatched to the worker pool in more
+    /// than one chunk (parallel sweeps, grounding passes, joins, union
+    /// parts).
+    pub parallel_kernels: AtomicU64,
+    /// Chunk tasks submitted to the worker pool by those kernels.
+    pub parallel_chunks: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`].
@@ -98,6 +104,10 @@ pub struct MetricsSnapshot {
     pub nodes_swept: u64,
     /// Variable assignments attempted by the backtracking evaluator.
     pub backtrack_assignments: u64,
+    /// Kernel invocations dispatched to the pool in more than one chunk.
+    pub parallel_kernels: u64,
+    /// Chunk tasks submitted to the worker pool.
+    pub parallel_chunks: u64,
 }
 
 impl Metrics {
@@ -145,6 +155,8 @@ impl Metrics {
             union_parts: get(&self.union_parts),
             nodes_swept: get(&self.nodes_swept),
             backtrack_assignments: get(&self.backtrack_assignments),
+            parallel_kernels: get(&self.parallel_kernels),
+            parallel_chunks: get(&self.parallel_chunks),
         }
     }
 
@@ -182,6 +194,8 @@ impl Metrics {
         zero(&self.union_parts);
         zero(&self.nodes_swept);
         zero(&self.backtrack_assignments);
+        zero(&self.parallel_kernels);
+        zero(&self.parallel_chunks);
     }
 }
 
@@ -299,10 +313,12 @@ pub fn execute(
             span.record_u64("nodes", tree.len() as u64);
             span.record_u64("query_size", p.size() as u64);
             span.record_u64("nodes_swept", swept);
-            Ok(QueryOutput::Nodes(sorted_nodes(
-                tree,
-                xpath::eval_query(p, tree),
-            )))
+            let set = if plan.workers > 1 {
+                super::par::par_eval_query(p, tree, plan.workers, metrics)
+            } else {
+                xpath::eval_query(p, tree)
+            };
+            Ok(QueryOutput::Nodes(sorted_nodes(tree, set)))
         }
         Strategy::XPathReference => Ok(QueryOutput::Nodes(sorted_nodes(
             tree,
@@ -314,10 +330,12 @@ pub fn execute(
             Metrics::add(&metrics.nodes_swept, swept);
             let mut span = treequery_obs::span("exec.ground_minoux");
             span.record_u64("nodes_swept", swept);
-            Ok(QueryOutput::Nodes(sorted_nodes(
-                tree,
-                datalog::eval_query(&prog, tree),
-            )))
+            let set = if plan.workers > 1 {
+                super::par::par_datalog_eval_query(&prog, tree, plan.workers, metrics)
+            } else {
+                datalog::eval_query(&prog, tree)
+            };
+            Ok(QueryOutput::Nodes(sorted_nodes(tree, set)))
         }
         Strategy::XPathViaAcyclicCq => {
             let q = ir
@@ -360,7 +378,12 @@ pub fn execute(
             let mut span = treequery_obs::span("exec.union");
             span.record_u64("parts", k as u64);
             span.record_u64("passes", passes);
-            let tuples = cq::rewrite::eval_via_rewrite(q, tree).expect("planned rewritable");
+            let tuples = if plan.workers > 1 {
+                super::par::par_eval_via_rewrite(q, tree, plan.workers, metrics)
+                    .expect("planned rewritable")
+            } else {
+                cq::rewrite::eval_via_rewrite(q, tree).expect("planned rewritable")
+            };
             Ok(QueryOutput::Answer(CqAnswer {
                 tuples,
                 plan: CqPlan::RewriteUnion(k),
@@ -386,10 +409,12 @@ pub fn execute(
             Metrics::add(&metrics.nodes_swept, swept);
             let mut span = treequery_obs::span("exec.ground_minoux");
             span.record_u64("nodes_swept", swept);
-            Ok(QueryOutput::Nodes(sorted_nodes(
-                tree,
-                datalog::eval_query(prog, tree),
-            )))
+            let set = if plan.workers > 1 {
+                super::par::par_datalog_eval_query(prog, tree, plan.workers, metrics)
+            } else {
+                datalog::eval_query(prog, tree)
+            };
+            Ok(QueryOutput::Nodes(sorted_nodes(tree, set)))
         }
     }
 }

@@ -9,16 +9,23 @@
 //! * [`exec`] — plan execution with per-stage work counters and the plan
 //!   cache;
 //! * [`analyze`] — `EXPLAIN ANALYZE`: the plan rationale merged with
-//!   measured per-stage spans and a consistent counter delta.
+//!   measured per-stage spans and a consistent counter delta;
+//! * [`pool`] — the persistent shared worker pool behind intra-query
+//!   parallelism and `Engine::eval_batch`;
+//! * [`par`] — pre-order-range-partitioned parallel kernels with
+//!   deterministic (byte-identical to sequential) merges.
 
 pub mod analyze;
 pub mod exec;
 pub mod ir;
+pub mod par;
 pub mod planner;
+pub mod pool;
 pub mod stats;
 
 pub use analyze::{AnalyzedPlan, StageStats};
 pub use exec::{Metrics, MetricsSnapshot, PlanCache, QueryOutput};
 pub use ir::{lower, Query, QueryIr, SourceLang};
 pub use planner::{plan_ir, CostClass, ExplainedPlan, PlannerConfig, Strategy};
+pub use pool::{default_workers, WorkerPool};
 pub use stats::{tree_fingerprint, TreeStats};

@@ -1,0 +1,462 @@
+//! The parallel execution subsystem: pre-order-range partitioned
+//! versions of the hot kernels, dispatched on the shared
+//! [`WorkerPool`].
+//!
+//! Every function here is a drop-in replacement for its sequential
+//! counterpart with **byte-identical output**:
+//!
+//! * [`par_image`] / [`par_preimage`] — the `exec.sweep` axis sweeps,
+//!   split by output (carry axes) or marked-input (local axes) pre-order
+//!   range; chunk bitsets are ORed, and OR is commutative, so the merged
+//!   set equals the sequential [`Axis::image`] bit for bit;
+//! * [`par_eval_query`] / [`par_select`] / [`par_sources`] — the
+//!   set-at-a-time Core XPath evaluator with every axis sweep
+//!   parallelized (the bitset intersections are word-ops and stay
+//!   sequential);
+//! * [`par_datalog_eval_query`] — Theorem 3.2 grounding chunked by
+//!   `(rule, node range)` in rule-major, range-ascending task order,
+//!   reassembled into a Horn formula byte-identical to the sequential
+//!   `ground()` (same rule order, same atom interning order) before one
+//!   Minoux solve;
+//! * [`par_eval_via_rewrite`] — the Theorem 5.1 rewrite-to-acyclic
+//!   union with each part's full-reducer semijoin program run as its own
+//!   task (independent join-tree branches), results merged into the same
+//!   `BTreeSet` the sequential evaluator builds;
+//! * [`par_stack_tree_join`] — the Stack-Tree-Desc structural merge
+//!   join chunked by descendant range with stack state stitched at
+//!   chunk boundaries (`stack_join_seeds`), chunk outputs concatenated
+//!   in chunk order.
+//!
+//! Determinism is the point: the planner may freely flip a query
+//! between sequential and parallel execution without any observable
+//! difference except wall time and the `parallel_*` metrics.
+
+use std::collections::BTreeSet;
+
+use treequery_cq::rewrite::RewriteError;
+use treequery_cq::Cq;
+use treequery_datalog::{ground_rule_chunk, GroundAtom, Program};
+use treequery_storage::{stack_join_seeds, stack_tree_join, stack_tree_join_seeded};
+use treequery_tree::{incoming_carries, pre_ranges, Axis, CarryFlow, NodeId, NodeSet, Tree};
+use treequery_xpath::{Path, Qual};
+
+use crate::plan::exec::Metrics;
+use crate::plan::pool::WorkerPool;
+
+/// Boxes a closure for [`WorkerPool::run_scoped`].
+type ScopedTask<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// One grounding chunk: the ground rules (head, body) a rule produced
+/// over one pre-order range.
+type GroundChunk = Vec<(GroundAtom, Vec<GroundAtom>)>;
+
+fn note_kernel(metrics: &Metrics, chunks: usize) {
+    use std::sync::atomic::Ordering;
+    metrics.parallel_kernels.fetch_add(1, Ordering::Relaxed);
+    metrics
+        .parallel_chunks
+        .fetch_add(chunks as u64, Ordering::Relaxed);
+}
+
+/// Parallel [`Axis::image`]: identical output, computed as `workers`
+/// pre-order-range slices on the shared pool and ORed together. Falls
+/// back to the sequential sweep for `workers <= 1` or tiny trees (where
+/// chunking would only add overhead).
+pub fn par_image(axis: Axis, t: &Tree, s: &NodeSet, workers: usize, metrics: &Metrics) -> NodeSet {
+    let n = t.len();
+    if workers <= 1 || n < 2 {
+        return axis.image(t, s);
+    }
+    let ranges = pre_ranges(n, workers);
+    if ranges.len() <= 1 {
+        return axis.image(t, s);
+    }
+    let pool = WorkerPool::global();
+    // Phase 1 (carry axes only): each range's carry contribution, in
+    // parallel; a cheap sequential prefix/suffix fold then yields the
+    // carry entering each range. Pooling this phase too matters: the
+    // carry scan costs about as much as the image scan, so leaving it
+    // sequential would cap the speedup at 2× (Amdahl).
+    let incoming = match axis.carry_flow() {
+        CarryFlow::None => vec![axis.carry_identity(); ranges.len()],
+        CarryFlow::Forward | CarryFlow::Backward => {
+            let tasks: Vec<ScopedTask<'_, treequery_tree::SweepCarry>> = ranges
+                .iter()
+                .map(|r| {
+                    let r = r.clone();
+                    Box::new(move || axis.sweep_carry(t, s, r)) as ScopedTask<'_, _>
+                })
+                .collect();
+            note_kernel(metrics, tasks.len());
+            let carries = pool.run_scoped(workers, tasks);
+            incoming_carries(axis, &carries)
+        }
+    };
+    // Phase 2: each range's slice of the image, in parallel.
+    let tasks: Vec<ScopedTask<'_, NodeSet>> = ranges
+        .iter()
+        .zip(incoming)
+        .map(|(r, carry)| {
+            let r = r.clone();
+            Box::new(move || {
+                let mut span = treequery_obs::span("exec.sweep.chunk");
+                span.record_u64("nodes", u64::from(r.end - r.start));
+                axis.image_range(t, s, r, carry)
+            }) as ScopedTask<'_, _>
+        })
+        .collect();
+    note_kernel(metrics, tasks.len());
+    let slices = pool.run_scoped(workers, tasks);
+    let mut out = NodeSet::empty(n);
+    for slice in &slices {
+        out.union_with(slice);
+    }
+    out
+}
+
+/// Parallel [`Axis::preimage`]: the parallel image of the inverse axis.
+pub fn par_preimage(
+    axis: Axis,
+    t: &Tree,
+    s: &NodeSet,
+    workers: usize,
+    metrics: &Metrics,
+) -> NodeSet {
+    par_image(axis.inverse(), t, s, workers, metrics)
+}
+
+// ---------------------------------------------------------------------
+// The set-at-a-time Core XPath evaluator, with parallel axis sweeps.
+// Structure mirrors `treequery_xpath::eval` exactly; only
+// `Axis::image`/`Axis::preimage` are swapped for the pooled versions.
+// ---------------------------------------------------------------------
+
+fn qual_nodes(q: &Qual, t: &Tree, workers: usize, metrics: &Metrics) -> NodeSet {
+    match q {
+        Qual::Label(l) => NodeSet::from_iter(t.len(), t.nodes_with_label_name(l).iter().copied()),
+        Qual::Path(p) => par_sources(p, t, &NodeSet::full(t.len()), workers, metrics),
+        Qual::And(a, b) => {
+            let mut s = qual_nodes(a, t, workers, metrics);
+            s.intersect_with(&qual_nodes(b, t, workers, metrics));
+            s
+        }
+        Qual::Or(a, b) => {
+            let mut s = qual_nodes(a, t, workers, metrics);
+            s.union_with(&qual_nodes(b, t, workers, metrics));
+            s
+        }
+        Qual::Not(inner) => {
+            let mut s = qual_nodes(inner, t, workers, metrics);
+            s.complement();
+            s
+        }
+    }
+}
+
+fn step_filter(quals: &[Qual], t: &Tree, workers: usize, metrics: &Metrics) -> NodeSet {
+    let mut s = NodeSet::full(t.len());
+    for q in quals {
+        s.intersect_with(&qual_nodes(q, t, workers, metrics));
+    }
+    s
+}
+
+/// Parallel [`treequery_xpath::select`]: identical output.
+pub fn par_select(
+    p: &Path,
+    t: &Tree,
+    from: &NodeSet,
+    workers: usize,
+    metrics: &Metrics,
+) -> NodeSet {
+    match p {
+        Path::Step { axis, quals } => {
+            let mut img = par_image(*axis, t, from, workers, metrics);
+            img.intersect_with(&step_filter(quals, t, workers, metrics));
+            img
+        }
+        Path::Seq(p1, p2) => {
+            let mid = par_select(p1, t, from, workers, metrics);
+            par_select(p2, t, &mid, workers, metrics)
+        }
+        Path::Union(p1, p2) => {
+            let mut s = par_select(p1, t, from, workers, metrics);
+            s.union_with(&par_select(p2, t, from, workers, metrics));
+            s
+        }
+    }
+}
+
+/// Parallel [`treequery_xpath::sources`]: identical output.
+pub fn par_sources(
+    p: &Path,
+    t: &Tree,
+    targets: &NodeSet,
+    workers: usize,
+    metrics: &Metrics,
+) -> NodeSet {
+    match p {
+        Path::Step { axis, quals } => {
+            let mut tgt = targets.clone();
+            tgt.intersect_with(&step_filter(quals, t, workers, metrics));
+            par_preimage(*axis, t, &tgt, workers, metrics)
+        }
+        Path::Seq(p1, p2) => {
+            let mid = par_sources(p2, t, targets, workers, metrics);
+            par_sources(p1, t, &mid, workers, metrics)
+        }
+        Path::Union(p1, p2) => {
+            let mut s = par_sources(p1, t, targets, workers, metrics);
+            s.union_with(&par_sources(p2, t, targets, workers, metrics));
+            s
+        }
+    }
+}
+
+/// Parallel [`treequery_xpath::eval_query`]: identical output (the same
+/// bits in the same [`NodeSet`]), with every axis sweep running as
+/// pre-order-range chunks on the shared pool.
+pub fn par_eval_query(p: &Path, t: &Tree, workers: usize, metrics: &Metrics) -> NodeSet {
+    match p {
+        Path::Step { axis, quals } => {
+            let base = match axis {
+                Axis::Child => NodeSet::singleton(t.len(), t.root()),
+                Axis::Descendant | Axis::DescendantOrSelf => NodeSet::full(t.len()),
+                _ => NodeSet::empty(t.len()),
+            };
+            let mut out = base;
+            out.intersect_with(&step_filter(quals, t, workers, metrics));
+            out
+        }
+        Path::Seq(p1, p2) => {
+            let first = par_eval_query(p1, t, workers, metrics);
+            par_select(p2, t, &first, workers, metrics)
+        }
+        Path::Union(p1, p2) => {
+            let mut s = par_eval_query(p1, t, workers, metrics);
+            s.union_with(&par_eval_query(p2, t, workers, metrics));
+            s
+        }
+    }
+}
+
+/// Parallel Theorem 3.2 pipeline: grounds `prog` in `(rule, node-range)`
+/// chunks on the pool, reassembles a Horn formula **byte-identical** to
+/// the sequential `ground()` (tasks are submitted rule-major with
+/// ascending ranges and results consumed in submission order, and atom
+/// interning is bodies-before-head per ground rule, exactly like the
+/// sequential grounder), then runs one Minoux solve and extracts the
+/// query predicate — the same [`NodeSet`] `datalog::eval_query` returns.
+pub fn par_datalog_eval_query(
+    prog: &Program,
+    t: &Tree,
+    workers: usize,
+    metrics: &Metrics,
+) -> NodeSet {
+    let q = prog.query.expect("program has no query predicate");
+    let n = t.len();
+    let ranges = pre_ranges(n, workers.max(1));
+    let mut tasks: Vec<ScopedTask<'_, GroundChunk>> = Vec::new();
+    for rule in &prog.rules {
+        for r in &ranges {
+            let r = r.clone();
+            tasks.push(Box::new(move || {
+                let mut span = treequery_obs::span("exec.ground_chunk");
+                span.record_u64("nodes", u64::from(r.end - r.start));
+                ground_rule_chunk(rule, t, r)
+            }));
+        }
+    }
+    if tasks.len() > 1 {
+        note_kernel(metrics, tasks.len());
+    }
+    let chunks = WorkerPool::global().run_scoped(workers, tasks);
+    let (formula, atoms) = treequery_hornsat::assemble_ground_chunks(chunks);
+    let solution = formula.solve();
+    let mut out = NodeSet::empty(n);
+    for (var, &(pred, node)) in atoms.iter() {
+        if pred == q && solution.is_true(var) {
+            out.insert(node);
+        }
+    }
+    out
+}
+
+/// Parallel Theorem 5.1 evaluation: rewrites `q` to a union of acyclic
+/// queries once, then evaluates each part (its own full-reducer semijoin
+/// program over its join tree) as an independent pool task. Parts are
+/// merged into a `BTreeSet` in part order; set union is order-blind, so
+/// the answer equals the sequential `cq::rewrite::eval_via_rewrite`.
+pub fn par_eval_via_rewrite(
+    q: &Cq,
+    t: &Tree,
+    workers: usize,
+    metrics: &Metrics,
+) -> Result<BTreeSet<Vec<NodeId>>, RewriteError> {
+    let (union, _) = treequery_cq::rewrite_to_acyclic(q)?;
+    let tasks: Vec<ScopedTask<'_, BTreeSet<Vec<NodeId>>>> = union
+        .iter()
+        .map(|part| {
+            Box::new(move || {
+                let _span = treequery_obs::span("exec.union.part");
+                treequery_cq::eval_acyclic(part, t).expect("rewritten queries are acyclic")
+            }) as ScopedTask<'_, _>
+        })
+        .collect();
+    if tasks.len() > 1 {
+        note_kernel(metrics, tasks.len());
+    }
+    let parts = WorkerPool::global().run_scoped(workers, tasks);
+    let mut out = BTreeSet::new();
+    for part in parts {
+        out.extend(part);
+    }
+    Ok(out)
+}
+
+/// Parallel Stack-Tree-Desc join: descendant chunks with stitched stack
+/// seeds, outputs concatenated in chunk order — byte-identical to
+/// [`stack_tree_join`]. Small inputs run sequentially.
+pub fn par_stack_tree_join(
+    ancestors: &[(u32, u32)],
+    descendants: &[(u32, u32)],
+    workers: usize,
+    metrics: &Metrics,
+) -> Vec<(u32, u32)> {
+    if workers <= 1 || descendants.len() < 2 {
+        return stack_tree_join(ancestors, descendants);
+    }
+    let seeds = stack_join_seeds(ancestors, descendants, workers);
+    if seeds.len() <= 1 {
+        return stack_tree_join(ancestors, descendants);
+    }
+    let tasks: Vec<ScopedTask<'_, Vec<(u32, u32)>>> = seeds
+        .iter()
+        .map(|(range, seed)| {
+            let chunk = &descendants[range.clone()];
+            Box::new(move || {
+                let mut span = treequery_obs::span("exec.join.chunk");
+                span.record_u64("descendants", chunk.len() as u64);
+                stack_tree_join_seeded(ancestors, chunk, seed)
+            }) as ScopedTask<'_, _>
+        })
+        .collect();
+    note_kernel(metrics, tasks.len());
+    let outputs = WorkerPool::global().run_scoped(workers, tasks);
+    let mut out = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
+    for o in outputs {
+        out.extend(o);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use treequery_tree::{parse_term, random_recursive_tree};
+
+    fn metrics() -> Metrics {
+        Metrics::default()
+    }
+
+    #[test]
+    fn par_image_matches_sequential_for_every_axis() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [1usize, 37, 200] {
+            let t = random_recursive_tree(&mut rng, n, &["a", "b", "c"]);
+            let s = NodeSet::from_iter(t.len(), t.nodes().filter(|v| v.0 % 3 != 1));
+            let m = metrics();
+            for axis in Axis::ALL {
+                for workers in [1usize, 2, 8] {
+                    assert_eq!(
+                        par_image(axis, &t, &s, workers, &m),
+                        axis.image(&t, &s),
+                        "{axis} with {workers} workers on {n} nodes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_xpath_matches_sequential_evaluator() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let queries = [
+            "//a[b]/c",
+            "//a[not(b or c)]",
+            "//b/ancestor::a[following-sibling::c]",
+            "//a//b[not(parent::a)]",
+            "//a[following::c] | //c/preceding::a",
+        ];
+        for _ in 0..5 {
+            let t = random_recursive_tree(&mut rng, 120, &["a", "b", "c", "r"]);
+            let m = metrics();
+            for qs in queries {
+                let p = treequery_xpath::parse_xpath(qs).unwrap();
+                let seq = treequery_xpath::eval_query(&p, &t);
+                for workers in [1usize, 2, 8] {
+                    assert_eq!(
+                        par_eval_query(&p, &t, workers, &m),
+                        seq,
+                        "{qs} with {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_datalog_matches_sequential_eval_query() {
+        let progs = [
+            "Q(x) :- label(x, a).\n?- Q.",
+            "Q(x) :- P(y), firstchild(x, y).\nP(x) :- leaf(x).\n?- Q.",
+            "Q(x) :- label(x, b), child(y, x), P0(y).\nP0(y) :- label(y, a).\n?- Q.",
+        ];
+        let mut rng = StdRng::seed_from_u64(79);
+        let t = random_recursive_tree(&mut rng, 90, &["a", "b"]);
+        let m = metrics();
+        for src in progs {
+            let prog = treequery_datalog::parse_program(src).unwrap();
+            let seq = treequery_datalog::eval_query(&prog, &t);
+            for workers in [1usize, 2, 8] {
+                assert_eq!(
+                    par_datalog_eval_query(&prog, &t, workers, &m),
+                    seq,
+                    "{src} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_join_is_byte_identical_and_counts_kernels() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let t = random_recursive_tree(&mut rng, 300, &["a", "b"]);
+        let x = treequery_storage::Xasr::from_tree(&t);
+        let la = x.label_list("a");
+        let lb = x.label_list("b");
+        let seq = stack_tree_join(&la, &lb);
+        let m = metrics();
+        for workers in [1usize, 2, 8] {
+            assert_eq!(par_stack_tree_join(&la, &lb, workers, &m), seq);
+        }
+        let snap = m.snapshot();
+        assert!(snap.parallel_kernels >= 2, "workers 2 and 8 dispatched");
+        assert!(snap.parallel_chunks > snap.parallel_kernels);
+    }
+
+    #[test]
+    fn par_rewrite_union_matches_sequential() {
+        let q = treequery_cq::parse_cq("q(x, y) :- label(x, a), label(y, b), following(x, y).")
+            .unwrap();
+        let t = parse_term("r(a(b c) b(a(c) c) a b)").unwrap();
+        let m = metrics();
+        let seq = treequery_cq::rewrite::eval_via_rewrite(&q, &t).unwrap();
+        for workers in [1usize, 2, 8] {
+            let par = par_eval_via_rewrite(&q, &t, workers, &m).unwrap();
+            assert_eq!(par, seq, "{workers} workers");
+        }
+    }
+}

@@ -14,6 +14,7 @@ use treequery_cq as cq;
 use treequery_tree::Order;
 
 use super::ir::{IrFeatures, QueryIr, SourceLang};
+use super::pool::default_workers;
 use super::stats::TreeStats;
 
 /// An execution strategy across all three front-ends.
@@ -105,8 +106,60 @@ pub struct ExplainedPlan {
     /// Why this strategy: the structural facts and statistics that
     /// decided it.
     pub rationale: String,
+    /// Worker threads the executor may use for this plan's kernels
+    /// (1 = sequential).
+    pub workers: usize,
+    /// Why that degree of parallelism (or why sequential).
+    pub parallel_rationale: String,
     /// The query fingerprint (cache-key half, from the IR).
     pub query_fingerprint: u64,
+}
+
+impl ExplainedPlan {
+    /// Fills in the parallelism half of the plan: how many workers the
+    /// executor may use and why. Strategies without a partitionable
+    /// kernel, trees below [`PlannerConfig::parallel_threshold`], and
+    /// single-worker configurations all stay sequential; otherwise the
+    /// plan is granted the configured (or machine-default) worker count.
+    /// Parallel execution is byte-identical to sequential — this decision
+    /// is purely about cost, never about correctness.
+    pub fn decide_parallel(&mut self, stats: &TreeStats, config: &PlannerConfig) {
+        let workers = config.workers.unwrap_or_else(default_workers).max(1);
+        let kernel = match self.strategy {
+            Strategy::XPathSetAtATime => Some("pre-order range partition of the sweeps"),
+            Strategy::XPathViaDatalog | Strategy::DatalogGround => {
+                Some("per-node-range grounding chunks, assembled in rule-major order")
+            }
+            Strategy::CqRewriteUnion(k) if k >= 2 => {
+                Some("independent acyclic union parts, merged into one BTree")
+            }
+            _ => None,
+        };
+        let Some(kernel) = kernel else {
+            self.workers = 1;
+            self.parallel_rationale =
+                format!("sequential: {} has no partitionable kernel", self.strategy);
+            return;
+        };
+        if workers <= 1 {
+            self.workers = 1;
+            self.parallel_rationale = "sequential: one worker configured".to_string();
+            return;
+        }
+        if stats.nodes < config.parallel_threshold {
+            self.workers = 1;
+            self.parallel_rationale = format!(
+                "sequential: {} nodes is below the parallel threshold of {}",
+                stats.nodes, config.parallel_threshold
+            );
+            return;
+        }
+        self.workers = workers;
+        self.parallel_rationale = format!(
+            "{workers} workers: {kernel}; deterministic merge keeps the output \
+             byte-identical to sequential"
+        );
+    }
 }
 
 /// Tunables for the planner. `Default` gives the paper-faithful policy.
@@ -128,6 +181,13 @@ pub struct PlannerConfig {
     /// indexes); this is what lets brute force win on trivially small
     /// trees.
     pub rewrite_part_overhead: u64,
+    /// Worker threads parallel plans may use; `None` resolves to
+    /// [`default_workers`] (the `TREEQUERY_WORKERS` env knob, else the
+    /// machine's available parallelism).
+    pub workers: Option<usize>,
+    /// Trees with fewer nodes than this always run sequentially — chunk
+    /// dispatch overhead dominates the kernels below it.
+    pub parallel_threshold: usize,
 }
 
 impl Default for PlannerConfig {
@@ -136,6 +196,8 @@ impl Default for PlannerConfig {
             cq_route_max_label_count: 0,
             backtrack_margin: 4,
             rewrite_part_overhead: 1024,
+            workers: None,
+            parallel_threshold: 4096,
         }
     }
 }
@@ -153,6 +215,12 @@ fn saturating_pow(base: u64, exp: usize) -> u64 {
 
 /// Plans one lowered query against one tree.
 pub fn plan_ir(ir: &QueryIr, stats: &TreeStats, config: &PlannerConfig) -> ExplainedPlan {
+    let mut plan = plan_strategy(ir, stats, config);
+    plan.decide_parallel(stats, config);
+    plan
+}
+
+fn plan_strategy(ir: &QueryIr, stats: &TreeStats, config: &PlannerConfig) -> ExplainedPlan {
     match &ir.features {
         IrFeatures::Path(f) => plan_path(ir, f, stats, config),
         IrFeatures::Cq(f) => plan_cq(ir, f, stats, config),
@@ -168,6 +236,8 @@ pub fn plan_ir(ir: &QueryIr, stats: &TreeStats, config: &PlannerConfig) -> Expla
                 if f.tmnf { ", TMNF" } else { "" },
                 stats.nodes
             ),
+            workers: 1,
+            parallel_rationale: String::new(),
             query_fingerprint: ir.fingerprint,
         },
     }
@@ -216,6 +286,8 @@ fn plan_path(
                      {occurrence}, so the full reducer decides the query from tiny \
                      candidate sets, skipping the O(|D|·|Q|) sweep"
                 ),
+                workers: 1,
+                parallel_rationale: String::new(),
                 query_fingerprint: ir.fingerprint,
             };
         }
@@ -240,6 +312,8 @@ fn plan_path(
              over {} nodes (Section 4)",
             sweep_work, stats.nodes
         ),
+        workers: 1,
+        parallel_rationale: String::new(),
         query_fingerprint: ir.fingerprint,
     }
 }
@@ -266,6 +340,8 @@ fn plan_cq(
                  backtrack-free enumeration, O(|Q|·||A|| + output) over {} nodes",
                 stats.nodes
             ),
+            workers: 1,
+            parallel_rationale: String::new(),
             query_fingerprint: ir.fingerprint,
         };
     }
@@ -280,6 +356,8 @@ fn plan_cq(
                  w.r.t. {order:?} order (Theorem 6.8): arc-consistency + minimum \
                  valuation decides it in polynomial time (Theorem 6.5)"
             ),
+            workers: 1,
+            parallel_rationale: String::new(),
             query_fingerprint: ir.fingerprint,
         };
     }
@@ -309,6 +387,8 @@ fn plan_cq(
                          node-touches undercuts the union's ≈{}",
                         stats.nodes, backtrack_work, rewrite_work
                     ),
+                    workers: 1,
+                    parallel_rationale: String::new(),
                     query_fingerprint: ir.fingerprint,
                 }
             } else {
@@ -323,6 +403,8 @@ fn plan_cq(
                          each evaluated with the full reducer over {} nodes",
                         stats.nodes
                     ),
+                    workers: 1,
+                    parallel_rationale: String::new(),
                     query_fingerprint: ir.fingerprint,
                 }
             }
@@ -338,6 +420,8 @@ fn plan_cq(
                  over {} nodes, {vars} variables",
                 stats.nodes
             ),
+            workers: 1,
+            parallel_rationale: String::new(),
             query_fingerprint: ir.fingerprint,
         },
     }

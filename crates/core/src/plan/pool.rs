@@ -1,0 +1,324 @@
+//! A persistent, lazily-started shared worker pool for intra-query
+//! parallelism.
+//!
+//! The pool is process-global and grows on demand: the first caller that
+//! asks for `n` workers spawns them, later callers reuse them. Workers
+//! are detached OS threads named `treequery-worker` that live for the
+//! rest of the process — queries come and go, the pool does not, which
+//! is what makes `Engine::eval_batch` and the partitioned kernels cheap
+//! to call repeatedly (no per-call `std::thread::scope` spawning).
+//!
+//! The only submission API is [`WorkerPool::run_scoped`]: run a batch of
+//! closures that may borrow from the caller's stack, block until all of
+//! them finish, and return their results **in submission order**. That
+//! ordering guarantee is what the deterministic-merge story of the
+//! parallel kernels rests on: chunk outputs are concatenated in chunk
+//! order, so parallel output is byte-identical to sequential.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Task>,
+    workers: usize,
+}
+
+/// The shared worker pool. Obtain the process-wide instance with
+/// [`WorkerPool::global`]; there is intentionally no way to construct a
+/// second one outside of tests.
+pub struct WorkerPool {
+    state: Mutex<PoolState>,
+    /// Signals workers that the queue is non-empty.
+    work_ready: Condvar,
+}
+
+std::thread_local! {
+    /// True while the current thread is executing a pool task. Used to
+    /// run nested `run_scoped` calls inline instead of re-enqueueing,
+    /// which would deadlock once every worker is blocked waiting on a
+    /// nested scope.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+impl WorkerPool {
+    /// The process-wide pool. Lazily constructed; no threads are spawned
+    /// until the first [`run_scoped`](Self::run_scoped) that wants them.
+    pub fn global() -> &'static WorkerPool {
+        GLOBAL.get_or_init(|| WorkerPool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                workers: 0,
+            }),
+            work_ready: Condvar::new(),
+        })
+    }
+
+    /// Number of worker threads currently alive.
+    pub fn workers(&self) -> usize {
+        self.state.lock().expect("pool lock poisoned").workers
+    }
+
+    /// Grows the pool to at least `n` workers. The pool never shrinks:
+    /// idle workers park on a condvar and cost nothing.
+    fn ensure_workers(&'static self, n: usize) {
+        let mut state = self.state.lock().expect("pool lock poisoned");
+        while state.workers < n {
+            state.workers += 1;
+            std::thread::Builder::new()
+                .name("treequery-worker".into())
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn treequery-worker");
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        IN_POOL.with(|f| f.set(true));
+        loop {
+            let task = {
+                let mut state = self.state.lock().expect("pool lock poisoned");
+                loop {
+                    if let Some(task) = state.queue.pop_front() {
+                        break task;
+                    }
+                    state = self.work_ready.wait(state).expect("pool lock poisoned");
+                }
+            };
+            task();
+        }
+    }
+
+    /// Runs `tasks` on the pool using up to `workers` threads, blocking
+    /// until every task has finished, and returns their results in
+    /// submission order. The first panicking task's payload is resumed
+    /// on the caller after all tasks have settled; the pool itself stays
+    /// usable.
+    ///
+    /// Tasks may borrow from the caller's stack (`'env`): the call does
+    /// not return before every task has run, so the borrows stay valid.
+    /// With `workers <= 1`, at most one task, or when called from inside
+    /// a pool task (nested parallelism), everything runs inline on the
+    /// current thread.
+    pub fn run_scoped<'env, T: Send + 'env>(
+        &'static self,
+        workers: usize,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<T> {
+        if workers <= 1 || tasks.len() <= 1 || IN_POOL.with(|f| f.get()) {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        self.ensure_workers(workers.min(tasks.len()));
+
+        struct Scope<T> {
+            /// `(slots, remaining)`: one result slot per task plus the
+            /// count of tasks not yet finished.
+            state: Mutex<(Vec<Option<std::thread::Result<T>>>, usize)>,
+            done: Condvar,
+        }
+        let n = tasks.len();
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let scope: Arc<Scope<T>> = Arc::new(Scope {
+            state: Mutex::new((slots, n)),
+            done: Condvar::new(),
+        });
+        // Propagate the submitter's span depth into the workers so chunk
+        // spans nest under the stage span that dispatched them.
+        let depth = treequery_obs::current_depth();
+
+        {
+            let mut state = self.state.lock().expect("pool lock poisoned");
+            for (i, task) in tasks.into_iter().enumerate() {
+                let scope = Arc::clone(&scope);
+                let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        treequery_obs::with_ambient_depth(depth, task)
+                    }));
+                    let mut s = scope.state.lock().expect("scope lock poisoned");
+                    s.0[i] = Some(result);
+                    s.1 -= 1;
+                    if s.1 == 0 {
+                        scope.done.notify_all();
+                    }
+                });
+                // SAFETY: the task may borrow from `'env`, but this call
+                // does not return until `remaining == 0`, i.e. until the
+                // task has finished running (panics are caught and stored,
+                // never unwound through the queue). No code path between
+                // enqueueing and the wait below can panic while holding
+                // live `'env` borrows, so the borrow cannot outlive the
+                // frame it points into.
+                let wrapped: Task = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(wrapped)
+                };
+                state.queue.push_back(wrapped);
+            }
+            self.work_ready.notify_all();
+        }
+
+        // Help drain the queue while waiting: the caller is otherwise an
+        // idle thread, and helping also keeps a single-worker pool from
+        // starving when the caller submits more tasks than workers.
+        loop {
+            {
+                let s = scope.state.lock().expect("scope lock poisoned");
+                if s.1 == 0 {
+                    break;
+                }
+            }
+            let task = {
+                let mut state = self.state.lock().expect("pool lock poisoned");
+                state.queue.pop_front()
+            };
+            match task {
+                Some(task) => {
+                    IN_POOL.with(|f| f.set(true));
+                    task();
+                    IN_POOL.with(|f| f.set(false));
+                }
+                None => {
+                    let s = scope.state.lock().expect("scope lock poisoned");
+                    if s.1 > 0 {
+                        // Tasks are in flight on workers; wait for the latch.
+                        let _unused = scope
+                            .done
+                            .wait_timeout(s, std::time::Duration::from_millis(10))
+                            .expect("scope lock poisoned");
+                    }
+                }
+            }
+        }
+
+        let slots = {
+            let mut s = scope.state.lock().expect("scope lock poisoned");
+            // `Arc::try_unwrap` could fail here: a worker may still hold
+            // its clone for an instant after the final `notify_all`.
+            std::mem::take(&mut s.0)
+        };
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in slots {
+            match slot.expect("scope latch released with an empty slot") {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    if panic.is_none() {
+                        panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        out
+    }
+}
+
+/// Worker count used when the caller does not fix one: the
+/// `TREEQUERY_WORKERS` environment variable if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_workers() -> usize {
+    if let Ok(s) = std::env::var("TREEQUERY_WORKERS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Observes that tasks really ran (shared across test threads).
+    static TEST_RUNS: AtomicUsize = AtomicUsize::new(0);
+
+    fn boxed<T: Send>(
+        fs: Vec<impl FnOnce() -> T + Send + 'static>,
+    ) -> Vec<Box<dyn FnOnce() -> T + Send + 'static>> {
+        fs.into_iter()
+            .map(|f| Box::new(f) as Box<dyn FnOnce() -> T + Send>)
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::global();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| {
+                Box::new(move || {
+                    TEST_RUNS.fetch_add(1, Ordering::Relaxed);
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = pool.run_scoped(4, tasks);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+        assert!(TEST_RUNS.load(Ordering::Relaxed) >= 32);
+    }
+
+    #[test]
+    fn tasks_may_borrow_from_the_caller() {
+        let data: Vec<u64> = (0..1000).collect();
+        let slices: Vec<&[u64]> = data.chunks(100).collect();
+        let pool = WorkerPool::global();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = slices
+            .iter()
+            .map(|s| {
+                let s = *s;
+                Box::new(move || s.iter().sum::<u64>()) as Box<dyn FnOnce() -> u64 + Send + '_>
+            })
+            .collect();
+        let sums = pool.run_scoped(4, tasks);
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn a_panicking_task_propagates_and_the_pool_survives() {
+        let pool = WorkerPool::global();
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            boxed(vec![|| 1u32, || panic!("chunk exploded"), || 3u32]);
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run_scoped(2, tasks))).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "chunk exploded");
+        // The pool is still usable afterwards.
+        let out = pool.run_scoped(2, boxed(vec![|| 7u32, || 8u32]));
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn nested_run_scoped_runs_inline_without_deadlock() {
+        let pool = WorkerPool::global();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8u64)
+            .map(|i| {
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..4u64)
+                        .map(|j| Box::new(move || i * 10 + j) as Box<dyn FnOnce() -> u64 + Send>)
+                        .collect();
+                    WorkerPool::global().run_scoped(4, inner).iter().sum()
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let out = pool.run_scoped(2, tasks);
+        let expect: Vec<u64> = (0..8u64)
+            .map(|i| (0..4u64).map(|j| i * 10 + j).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn default_workers_honours_the_env_knob() {
+        // Can't mutate the process env safely under parallel tests; just
+        // check the fallback is sane.
+        assert!(default_workers() >= 1);
+    }
+}

@@ -62,6 +62,25 @@ fn bin_backward(tree: &Tree, rel: BinRel, y: NodeId) -> Option<NodeId> {
 /// the *extensional* atoms of the body; intensional atoms are ignored (they
 /// become Horn body literals). `emit` receives the full assignment.
 pub(crate) fn for_each_match(rule: &Rule, tree: &Tree, emit: &mut impl FnMut(&[NodeId])) {
+    for_each_match_in(rule, tree, None, emit);
+}
+
+/// Like [`for_each_match`], but when `first_range` is given, the *first*
+/// planned variable binding iterates only the [`NodeId`]s in that range
+/// instead of the whole domain.
+///
+/// The match plan always starts with a `BindFree` step (nothing is bound
+/// initially, so no check/traverse step is eligible), and that step
+/// iterates nodes in ascending `NodeId` order — so the matches emitted
+/// for ascending, disjoint ranges covering the domain concatenate to
+/// exactly the unrestricted match sequence. This is what makes the
+/// chunked parallel grounding byte-identical to the sequential one.
+pub(crate) fn for_each_match_in(
+    rule: &Rule,
+    tree: &Tree,
+    first_range: Option<std::ops::Range<u32>>,
+    emit: &mut impl FnMut(&[NodeId]),
+) {
     // Static plan: repeatedly pick a binary extensional atom with at least
     // one bound variable (binding or checking), falling back to binding an
     // unbound variable by full iteration.
@@ -150,6 +169,7 @@ pub(crate) fn for_each_match(rule: &Rule, tree: &Tree, emit: &mut impl FnMut(&[N
         .collect();
 
     // Depth-first execution of the plan.
+    #[allow(clippy::too_many_arguments)]
     fn run(
         plan: &[Step],
         step: usize,
@@ -157,6 +177,7 @@ pub(crate) fn for_each_match(rule: &Rule, tree: &Tree, emit: &mut impl FnMut(&[N
         binaries: &[(BinRel, VarId, VarId)],
         assignment: &mut Vec<NodeId>,
         filters: &[(&BasePred, VarId)],
+        first_range: &Option<std::ops::Range<u32>>,
         emit: &mut impl FnMut(&[NodeId]),
     ) {
         let Some(s) = plan.get(step) else {
@@ -170,15 +191,37 @@ pub(crate) fn for_each_match(rule: &Rule, tree: &Tree, emit: &mut impl FnMut(&[N
         };
         match s {
             Step::BindFree(v) => {
-                for node in tree.nodes() {
+                let nodes: Box<dyn Iterator<Item = NodeId>> = match (step, first_range) {
+                    (0, Some(r)) => Box::new(r.clone().map(NodeId)),
+                    _ => Box::new(tree.nodes()),
+                };
+                for node in nodes {
                     assignment[v.index()] = node;
-                    run(plan, step + 1, tree, binaries, assignment, filters, emit);
+                    run(
+                        plan,
+                        step + 1,
+                        tree,
+                        binaries,
+                        assignment,
+                        filters,
+                        first_range,
+                        emit,
+                    );
                 }
             }
             Step::Check(i) => {
                 let (r, x, y) = binaries[*i];
                 if bin_holds(tree, r, assignment[x.index()], assignment[y.index()]) {
-                    run(plan, step + 1, tree, binaries, assignment, filters, emit);
+                    run(
+                        plan,
+                        step + 1,
+                        tree,
+                        binaries,
+                        assignment,
+                        filters,
+                        first_range,
+                        emit,
+                    );
                 }
             }
             Step::Traverse { idx, forward } => {
@@ -186,18 +229,55 @@ pub(crate) fn for_each_match(rule: &Rule, tree: &Tree, emit: &mut impl FnMut(&[N
                 if *forward {
                     for node in bin_forward(tree, r, assignment[x.index()]) {
                         assignment[y.index()] = node;
-                        run(plan, step + 1, tree, binaries, assignment, filters, emit);
+                        run(
+                            plan,
+                            step + 1,
+                            tree,
+                            binaries,
+                            assignment,
+                            filters,
+                            first_range,
+                            emit,
+                        );
                     }
                 } else if let Some(node) = bin_backward(tree, r, assignment[y.index()]) {
                     assignment[x.index()] = node;
-                    run(plan, step + 1, tree, binaries, assignment, filters, emit);
+                    run(
+                        plan,
+                        step + 1,
+                        tree,
+                        binaries,
+                        assignment,
+                        filters,
+                        first_range,
+                        emit,
+                    );
                 }
             }
         }
     }
 
+    // A variable-free rule has an empty plan and exactly one (empty)
+    // match; attribute it to the range containing node 0 so disjoint
+    // ranges covering the domain still emit it exactly once.
+    if plan.is_empty() {
+        if let Some(r) = &first_range {
+            if r.start != 0 {
+                return;
+            }
+        }
+    }
     let mut assignment = vec![NodeId(0); n_vars.max(1)];
-    run(&plan, 0, tree, &binaries, &mut assignment, &filters, emit);
+    run(
+        &plan,
+        0,
+        tree,
+        &binaries,
+        &mut assignment,
+        &filters,
+        &first_range,
+        emit,
+    );
 }
 
 /// Grounds a program over a tree into a definite Horn formula whose
@@ -231,11 +311,91 @@ pub fn ground(prog: &Program, tree: &Tree) -> (HornFormula, AtomTable<GroundAtom
     (formula, atoms)
 }
 
+/// The ground instances contributed by one rule when its first planned
+/// variable binding is restricted to the [`NodeId`] range `range`,
+/// as `(head, body)` ground-atom pairs in match order.
+///
+/// Because the match plan's first step iterates nodes in ascending id
+/// order (see `for_each_match_in`), concatenating the chunks of
+/// ascending, disjoint ranges covering `0..tree.len()` reproduces the
+/// rule's full match sequence exactly. Feeding all rules' chunks in
+/// rule-major, range-ascending order to
+/// `treequery_hornsat::assemble_ground_chunks` therefore yields a
+/// formula and atom table byte-identical to [`ground`] — which is how
+/// the parallel executor grounds chunks on a worker pool without
+/// perturbing the output.
+pub fn ground_rule_chunk(
+    rule: &Rule,
+    tree: &Tree,
+    range: std::ops::Range<u32>,
+) -> Vec<(GroundAtom, Vec<GroundAtom>)> {
+    let intensional: Vec<(PredId, VarId)> = rule
+        .body
+        .iter()
+        .filter_map(|a| match a {
+            BodyAtom::Unary(UnaryRef::Pred(p), v) => Some((*p, *v)),
+            _ => None,
+        })
+        .collect();
+    let mut out = Vec::new();
+    for_each_match_in(rule, tree, Some(range), &mut |assignment| {
+        let body: Vec<GroundAtom> = intensional
+            .iter()
+            .map(|&(p, v)| (p, assignment[v.index()]))
+            .collect();
+        out.push(((rule.head, assignment[rule.head_var.index()]), body));
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parser::parse_program;
     use treequery_tree::parse_term;
+
+    /// Rule-major, range-ascending chunk assembly must reproduce the
+    /// sequential grounding exactly: same rules in the same order, same
+    /// atom interning order.
+    #[test]
+    fn chunked_grounding_is_byte_identical_to_sequential() {
+        let programs = [
+            "P(x) :- nextsibling(x, y).",
+            "P(x) :- firstchild(x, y), leaf(y).",
+            "P(x) :- root(x), Q(y).",
+            "P(x) :- P0(x0), nextsibling(x0, x).",
+            "P(x) :- child(x, y), Q(y).",
+        ];
+        let tree = parse_term("r(a(b c) d(e(f) g) h)").unwrap();
+        let n = tree.len() as u32;
+        for src in programs {
+            let prog = parse_program(src).unwrap();
+            let (formula, atoms) = ground(&prog, &tree);
+            for chunks in [1u32, 2, 3, n] {
+                let step = n.div_ceil(chunks);
+                let mut all = Vec::new();
+                for rule in &prog.rules {
+                    let mut lo = 0;
+                    while lo < n {
+                        let hi = (lo + step).min(n);
+                        all.push(ground_rule_chunk(rule, &tree, lo..hi));
+                        lo = hi;
+                    }
+                }
+                let (f2, a2) = treequery_hornsat::assemble_ground_chunks(all);
+                assert_eq!(f2.num_rules(), formula.num_rules(), "{src}");
+                assert_eq!(f2.num_vars(), formula.num_vars(), "{src}");
+                let seq: Vec<_> = atoms.iter().map(|(_, a)| *a).collect();
+                let par: Vec<_> = a2.iter().map(|(_, a)| *a).collect();
+                assert_eq!(par, seq, "atom interning order for {src}");
+                for i in 0..formula.num_rules() {
+                    let r = treequery_hornsat::RuleId(i as u32);
+                    assert_eq!(f2.head(r), formula.head(r), "{src} rule {i}");
+                    assert_eq!(f2.body(r), formula.body(r), "{src} rule {i}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn ground_counts_matches() {

@@ -37,7 +37,7 @@ pub use histogram::{HistogramSummary, LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use json::{parse_json, Json, JsonParseError};
 pub use recorder::{CollectingRecorder, JsonLinesRecorder, NoopRecorder, Recorder, SpanSummary};
 pub use ring::RingLog;
-pub use span::{span, Field, FieldValue, Span, SpanRecord};
+pub use span::{current_depth, span, with_ambient_depth, Field, FieldValue, Span, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};

@@ -83,6 +83,29 @@ thread_local! {
     static DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
+/// The current thread's span nesting depth (the depth the *next* span
+/// opened here would record). Worker pools capture this on the
+/// submitting thread and replay it on workers via
+/// [`with_ambient_depth`], so chunk spans nest under the stage span that
+/// dispatched them instead of starting a fresh tree at depth 0.
+pub fn current_depth() -> u32 {
+    DEPTH.with(|d| d.get())
+}
+
+/// Runs `f` with this thread's span depth set to `depth`, restoring the
+/// previous depth afterwards (also on panic).
+pub fn with_ambient_depth<T>(depth: u32, f: impl FnOnce() -> T) -> T {
+    struct Restore(u32);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEPTH.with(|d| d.set(self.0));
+        }
+    }
+    let previous = DEPTH.with(|d| d.replace(depth));
+    let _restore = Restore(previous);
+    f()
+}
+
 /// Opens a span. When no recorder is installed this is one relaxed atomic
 /// load and returns an inert guard (no clock read, no allocation).
 #[inline]

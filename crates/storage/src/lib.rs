@@ -20,6 +20,7 @@ mod xasr;
 
 pub use relation::Relation;
 pub use structural_join::{
-    closure_join, nested_loop_join, stack_tree_join, structural_join_counters, JoinCounters,
+    closure_join, nested_loop_join, stack_join_seeds, stack_tree_join, stack_tree_join_seeded,
+    structural_join_counters, JoinCounters, JoinSeed,
 };
 pub use xasr::{Xasr, XasrRow};

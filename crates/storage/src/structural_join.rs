@@ -59,6 +59,117 @@ pub fn stack_tree_join(ancestors: &[(u32, u32)], descendants: &[(u32, u32)]) -> 
     out
 }
 
+/// Resumable state of [`stack_tree_join`] at a descendant-chunk boundary:
+/// the index of the next unconsumed ancestor candidate and the stack
+/// contents just before the chunk's first descendant is processed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinSeed {
+    /// Index into the ancestor list of the first candidate not yet pushed.
+    pub next_ancestor: usize,
+    /// Stack contents (bottom to top) entering the chunk.
+    pub stack: Vec<(u32, u32)>,
+}
+
+/// Splits `n` descendant indexes into at most `chunks` balanced,
+/// non-empty, contiguous ranges.
+fn index_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Partitions `descendants` into at most `chunks` contiguous ranges and
+/// computes each range's [`JoinSeed`] in one O(|A| + total stack size)
+/// sequential prepass, so the per-chunk joins can then run independently
+/// (in parallel) via [`stack_tree_join_seeded`].
+///
+/// Correctness of the seed: the stack [`stack_tree_join`] holds when it
+/// emits pairs for a descendant `d` is the fold over `{a | a.pre <
+/// d.pre}` of *both* pop rules — but the stack is always a nested
+/// ancestor chain, and any element the d-pop rule of an earlier
+/// descendant would have removed is disjoint-before that descendant and
+/// therefore (post order transfers across disjointness) also
+/// disjoint-before `d`, so `d`'s own d-pop removes it anyway. Hence
+/// folding only the a-pop rule over the ancestor prefix reproduces the
+/// effective stack, and chunk outputs concatenated in chunk order are
+/// byte-identical to the sequential join.
+pub fn stack_join_seeds(
+    ancestors: &[(u32, u32)],
+    descendants: &[(u32, u32)],
+    chunks: usize,
+) -> Vec<(std::ops::Range<usize>, JoinSeed)> {
+    debug_assert!(ancestors.windows(2).all(|w| w[0].0 < w[1].0));
+    debug_assert!(descendants.windows(2).all(|w| w[0].0 < w[1].0));
+    let ranges = index_ranges(descendants.len(), chunks);
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut i = 0usize;
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+    for range in ranges {
+        let d = descendants[range.start];
+        // Pure a-pop fold over the ancestor prefix `{a | a.pre < d.pre}`
+        // (incremental across chunks: the prefix only grows).
+        while i < ancestors.len() && ancestors[i].0 < d.0 {
+            let a = ancestors[i];
+            while stack.last().is_some_and(|&top| top.1 < a.1) {
+                stack.pop();
+            }
+            stack.push(a);
+            i += 1;
+        }
+        out.push((
+            range,
+            JoinSeed {
+                next_ancestor: i,
+                stack: stack.clone(),
+            },
+        ));
+    }
+    out
+}
+
+/// [`stack_tree_join`] resumed from a [`JoinSeed`]: joins one descendant
+/// chunk against the full ancestor list. With the seeds from
+/// [`stack_join_seeds`], concatenating the chunk outputs in chunk order
+/// yields exactly the sequential [`stack_tree_join`] output.
+pub fn stack_tree_join_seeded(
+    ancestors: &[(u32, u32)],
+    descendants: &[(u32, u32)],
+    seed: &JoinSeed,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut stack = seed.stack.clone();
+    let mut i = seed.next_ancestor;
+    for &d in descendants {
+        while i < ancestors.len() && ancestors[i].0 < d.0 {
+            let a = ancestors[i];
+            while stack.last().is_some_and(|&top| top.1 < a.1) {
+                stack.pop();
+            }
+            stack.push(a);
+            i += 1;
+        }
+        while stack.last().is_some_and(|&top| top.1 < d.1) {
+            stack.pop();
+        }
+        for &a in &stack {
+            debug_assert!(is_ancestor(a, d));
+            out.push((a.0, d.0));
+        }
+    }
+    out
+}
+
 /// Nested-loop theta-join: the SQL view of Example 2.1 evaluated naively.
 pub fn nested_loop_join(ancestors: &[(u32, u32)], descendants: &[(u32, u32)]) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
@@ -194,6 +305,52 @@ mod tests {
         assert_eq!(c.output_pairs, 3);
         assert_eq!(c.nested_loop_comparisons, 6);
         assert!(c.closure_tuples >= c.output_pairs);
+    }
+
+    /// The chunked join must reproduce the sequential join byte for byte
+    /// (same pairs, same order) when chunk outputs are concatenated in
+    /// chunk order — the determinism claim the parallel executor rests on.
+    #[test]
+    fn seeded_chunks_concatenate_to_the_sequential_output() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(19);
+        for trial in 0..15 {
+            let n = 20 + trial * 17;
+            let t = treequery_tree::random_recursive_tree(&mut rng, n, &["a", "b"]);
+            let x = Xasr::from_tree(&t);
+            let la = x.label_list("a");
+            let lb = x.label_list("b");
+            let sequential = stack_tree_join(&la, &lb);
+            for chunks in [1usize, 2, 3, 7, n + 1] {
+                let seeds = stack_join_seeds(&la, &lb, chunks);
+                let mut stitched = Vec::new();
+                for (range, seed) in &seeds {
+                    stitched.extend(stack_tree_join_seeded(&la, &lb[range.clone()], seed));
+                }
+                assert_eq!(stitched, sequential, "{chunks} chunks over {n} nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_handle_empty_and_single_chunk_inputs() {
+        assert!(stack_join_seeds(&[(1, 5)], &[], 4).is_empty());
+        let seeds = stack_join_seeds(&[(1, 5)], &[(2, 1)], 4);
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].0, 0..1);
+        // The prepass eagerly folds the ancestor prefix `{a | a.pre < 2}`.
+        assert_eq!(
+            seeds[0].1,
+            JoinSeed {
+                next_ancestor: 1,
+                stack: vec![(1, 5)],
+            }
+        );
+        assert_eq!(
+            stack_tree_join_seeded(&[(1, 5)], &[(2, 1)], &seeds[0].1),
+            vec![(1, 2)]
+        );
     }
 
     /// Differential test on random trees: the fast join equals the naive

@@ -31,6 +31,7 @@ mod label;
 mod labeling;
 mod nodeset;
 mod order;
+mod par;
 mod term;
 mod tree;
 mod xml;
@@ -46,6 +47,7 @@ pub use label::{LabelInterner, Symbol};
 pub use labeling::{PathLabel, PathLabeling};
 pub use nodeset::NodeSet;
 pub use order::Order;
+pub use par::{image_via_ranges, incoming_carries, pre_ranges, CarryFlow, SweepCarry};
 pub use term::{parse_term, to_term, TermError};
 pub use tree::{Ancestors, Children, NodeId, Tree};
 pub use xml::{parse_xml, to_xml, XmlError};

@@ -1,0 +1,526 @@
+//! Pre-order range partitioning of the axis sweeps.
+//!
+//! Every O(n) sweep behind [`Axis::image`] is a left-to-right (or
+//! right-to-left) scan of the pre-order ranks carrying a tiny amount of
+//! state: the maximum `pre_end` of a marked node seen so far
+//! (`Descendant`), the minimum (`Following`) or maximum (`Preceding`)
+//! post rank, or nothing at all for the local axes. All of these carries
+//! are folds of an **associative** operator (max / min), so a sweep over
+//! `0..n` splits into independent sweeps over pre-order ranges:
+//!
+//! 1. each range computes its own carry contribution in parallel
+//!    ([`Axis::sweep_carry`]),
+//! 2. a cheap sequential prefix (forward axes) or suffix (`Preceding`)
+//!    fold combines them into the carry *entering* each range
+//!    ([`incoming_carries`]),
+//! 3. each range then computes its slice of the image in parallel
+//!    ([`Axis::image_range`]), and the slices are ORed together.
+//!
+//! The OR-merge is deterministic: each output slice is a [`NodeSet`]
+//! bitset, and bitwise OR is commutative, so the union over ranges is
+//! byte-identical to the sequential [`Axis::image`] regardless of which
+//! worker finished first. The per-range/whole-sweep agreement is
+//! property-tested over all fifteen axes in this module.
+//!
+//! Axes without carries partition the *marked input* by pre rank instead
+//! of the output: `Ancestor` walks parent chains from in-range marked
+//! nodes (stopping at the first ancestor already emitted, so each chunk
+//! does O(range + distinct ancestors) work), and the sibling axes sweep
+//! the children of each in-range marked node's parent with the *global*
+//! source set, deduplicating parents chunk-locally — every parent with a
+//! marked child is swept by at least one chunk, and each sweep
+//! reproduces the sequential per-parent output exactly.
+
+use std::ops::Range;
+
+use crate::axis::Axis;
+use crate::nodeset::NodeSet;
+use crate::tree::Tree;
+
+/// Splits `0..n` (pre-order ranks) into at most `chunks` contiguous,
+/// non-empty, balanced ranges covering all of `0..n`. Returns fewer
+/// ranges when `n < chunks`, and none when `n == 0`.
+pub fn pre_ranges(n: usize, chunks: usize) -> Vec<Range<u32>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push(start as u32..(start + len) as u32);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// The direction the sweep state flows between pre-order ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CarryFlow {
+    /// No inter-range state: the axis partitions its marked input.
+    None,
+    /// State flows left→right in pre order (`Descendant`, `Following`).
+    Forward,
+    /// State flows right→left in pre order (`Preceding`).
+    Backward,
+}
+
+/// The associative sweep state carried between pre-order ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepCarry {
+    /// For axes with [`CarryFlow::None`].
+    None,
+    /// Maximum `pre_end` of a marked node (identity −1): `Descendant`,
+    /// `DescendantOrSelf`.
+    MaxEnd(i64),
+    /// Minimum post rank of a marked node (identity `u32::MAX`):
+    /// `Following`.
+    MinPost(u32),
+    /// Maximum post rank of a marked node (identity −1): `Preceding`.
+    MaxPost(i64),
+}
+
+impl SweepCarry {
+    /// Combines two carries of the same kind (associative; identity is
+    /// [`Axis::carry_identity`]). For [`CarryFlow::Forward`] axes `self`
+    /// is the earlier range, for [`CarryFlow::Backward`] the later one —
+    /// max/min are commutative so the distinction is immaterial.
+    pub fn combine(self, other: SweepCarry) -> SweepCarry {
+        match (self, other) {
+            (SweepCarry::None, SweepCarry::None) => SweepCarry::None,
+            (SweepCarry::MaxEnd(a), SweepCarry::MaxEnd(b)) => SweepCarry::MaxEnd(a.max(b)),
+            (SweepCarry::MinPost(a), SweepCarry::MinPost(b)) => SweepCarry::MinPost(a.min(b)),
+            (SweepCarry::MaxPost(a), SweepCarry::MaxPost(b)) => SweepCarry::MaxPost(a.max(b)),
+            (a, b) => panic!("combined mismatched sweep carries {a:?} and {b:?}"),
+        }
+    }
+}
+
+/// The carry entering each range, given every range's own contribution
+/// (in pre-order range order). A prefix fold for forward axes, a suffix
+/// fold for backward ones, all identities for carry-free axes.
+pub fn incoming_carries(axis: Axis, chunk_carries: &[SweepCarry]) -> Vec<SweepCarry> {
+    let k = chunk_carries.len();
+    let mut out = vec![axis.carry_identity(); k];
+    match axis.carry_flow() {
+        CarryFlow::None => {}
+        CarryFlow::Forward => {
+            let mut acc = axis.carry_identity();
+            for i in 0..k {
+                out[i] = acc;
+                acc = acc.combine(chunk_carries[i]);
+            }
+        }
+        CarryFlow::Backward => {
+            let mut acc = axis.carry_identity();
+            for i in (0..k).rev() {
+                out[i] = acc;
+                acc = acc.combine(chunk_carries[i]);
+            }
+        }
+    }
+    out
+}
+
+impl Axis {
+    /// How this axis's sweep state flows between pre-order ranges.
+    pub fn carry_flow(self) -> CarryFlow {
+        match self {
+            Axis::Descendant | Axis::DescendantOrSelf | Axis::Following => CarryFlow::Forward,
+            Axis::Preceding => CarryFlow::Backward,
+            _ => CarryFlow::None,
+        }
+    }
+
+    /// The identity element of this axis's carry (the carry entering the
+    /// first range swept).
+    pub fn carry_identity(self) -> SweepCarry {
+        match self {
+            Axis::Descendant | Axis::DescendantOrSelf => SweepCarry::MaxEnd(-1),
+            Axis::Following => SweepCarry::MinPost(u32::MAX),
+            Axis::Preceding => SweepCarry::MaxPost(-1),
+            _ => SweepCarry::None,
+        }
+    }
+
+    /// The carry *contribution* of one pre-order range: the fold of the
+    /// sweep update over the marked nodes whose pre rank lies in
+    /// `range`. Ranges can compute this independently (phase 1 of the
+    /// parallel sweep).
+    pub fn sweep_carry(self, t: &Tree, s: &NodeSet, range: Range<u32>) -> SweepCarry {
+        debug_assert!(range.end as usize <= t.len());
+        match self {
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                let mut max_end: i64 = -1;
+                for rank in range {
+                    let v = t.node_at_pre(rank);
+                    if s.contains(v) {
+                        max_end = max_end.max(i64::from(t.pre_end(v)));
+                    }
+                }
+                SweepCarry::MaxEnd(max_end)
+            }
+            Axis::Following => {
+                let mut min_post = u32::MAX;
+                for rank in range {
+                    let v = t.node_at_pre(rank);
+                    if s.contains(v) {
+                        min_post = min_post.min(t.post(v));
+                    }
+                }
+                SweepCarry::MinPost(min_post)
+            }
+            Axis::Preceding => {
+                let mut max_post: i64 = -1;
+                for rank in range {
+                    let v = t.node_at_pre(rank);
+                    if s.contains(v) {
+                        max_post = max_post.max(i64::from(t.post(v)));
+                    }
+                }
+                SweepCarry::MaxPost(max_post)
+            }
+            _ => SweepCarry::None,
+        }
+    }
+
+    /// One range's slice of [`Axis::image`]: with the correct incoming
+    /// `carry` (from [`incoming_carries`]), the bitwise OR of the slices
+    /// over a partition of `0..n` equals the whole image (phase 2 of the
+    /// parallel sweep; property-tested below for every axis).
+    ///
+    /// Carry axes slice the *output* by pre rank; carry-free axes slice
+    /// the marked *input* by pre rank and may emit nodes outside
+    /// `range`.
+    pub fn image_range(
+        self,
+        t: &Tree,
+        s: &NodeSet,
+        range: Range<u32>,
+        carry: SweepCarry,
+    ) -> NodeSet {
+        let n = t.len();
+        debug_assert_eq!(s.universe(), n);
+        debug_assert!(range.end as usize <= n);
+        debug_assert_eq!(carry, incoming_kind_check(self, carry));
+        let mut out = NodeSet::empty(n);
+        match self {
+            Axis::SelfAxis => {
+                for rank in range {
+                    let v = t.node_at_pre(rank);
+                    if s.contains(v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Axis::Child => {
+                for rank in range {
+                    let x = t.node_at_pre(rank);
+                    if s.contains(x) {
+                        for c in t.children(x) {
+                            out.insert(c);
+                        }
+                    }
+                }
+            }
+            Axis::Parent => {
+                for rank in range {
+                    let x = t.node_at_pre(rank);
+                    if s.contains(x) {
+                        if let Some(p) = t.parent(x) {
+                            out.insert(p);
+                        }
+                    }
+                }
+            }
+            Axis::NextSibling => {
+                for rank in range {
+                    let x = t.node_at_pre(rank);
+                    if s.contains(x) {
+                        if let Some(y) = t.next_sibling(x) {
+                            out.insert(y);
+                        }
+                    }
+                }
+            }
+            Axis::PrevSibling => {
+                for rank in range {
+                    let x = t.node_at_pre(rank);
+                    if s.contains(x) {
+                        if let Some(y) = t.prev_sibling(x) {
+                            out.insert(y);
+                        }
+                    }
+                }
+            }
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                let SweepCarry::MaxEnd(mut max_end) = carry else {
+                    unreachable!("kind checked above")
+                };
+                let or_self = self == Axis::DescendantOrSelf;
+                for rank in range {
+                    let v = t.node_at_pre(rank);
+                    if i64::from(rank) <= max_end {
+                        out.insert(v);
+                    }
+                    if s.contains(v) {
+                        max_end = max_end.max(i64::from(t.pre_end(v)));
+                        if or_self {
+                            out.insert(v);
+                        }
+                    }
+                }
+            }
+            Axis::Ancestor | Axis::AncestorOrSelf => {
+                // Parent-chain walks from the in-range marked nodes. The
+                // walk stops at the first ancestor already emitted; every
+                // emitted node's chain is fully processed (induction on
+                // insertion order), so each chunk emits each ancestor
+                // once.
+                let or_self = self == Axis::AncestorOrSelf;
+                for rank in range {
+                    let v = t.node_at_pre(rank);
+                    if !s.contains(v) {
+                        continue;
+                    }
+                    if or_self && !out.insert(v) {
+                        continue;
+                    }
+                    let mut cur = t.parent(v);
+                    while let Some(a) = cur {
+                        if !out.insert(a) {
+                            break;
+                        }
+                        cur = t.parent(a);
+                    }
+                }
+            }
+            Axis::FollowingSibling | Axis::FollowingSiblingOrSelf => {
+                let or_self = self == Axis::FollowingSiblingOrSelf;
+                let mut swept = NodeSet::empty(n);
+                for rank in range {
+                    let x = t.node_at_pre(rank);
+                    if !s.contains(x) {
+                        continue;
+                    }
+                    if or_self {
+                        out.insert(x);
+                    }
+                    let Some(p) = t.parent(x) else { continue };
+                    if !swept.insert(p) {
+                        continue;
+                    }
+                    let mut flag = false;
+                    for c in t.children(p) {
+                        if flag {
+                            out.insert(c);
+                        }
+                        if s.contains(c) {
+                            flag = true;
+                        }
+                    }
+                }
+            }
+            Axis::PrecedingSibling | Axis::PrecedingSiblingOrSelf => {
+                let or_self = self == Axis::PrecedingSiblingOrSelf;
+                let mut swept = NodeSet::empty(n);
+                for rank in range {
+                    let x = t.node_at_pre(rank);
+                    if !s.contains(x) {
+                        continue;
+                    }
+                    if or_self {
+                        out.insert(x);
+                    }
+                    let Some(p) = t.parent(x) else { continue };
+                    if !swept.insert(p) {
+                        continue;
+                    }
+                    let mut flag = false;
+                    let mut cur = t.last_child(p);
+                    while let Some(c) = cur {
+                        if flag {
+                            out.insert(c);
+                        }
+                        if s.contains(c) {
+                            flag = true;
+                        }
+                        cur = t.prev_sibling(c);
+                    }
+                }
+            }
+            Axis::Following => {
+                let SweepCarry::MinPost(mut min_post) = carry else {
+                    unreachable!("kind checked above")
+                };
+                for rank in range {
+                    let v = t.node_at_pre(rank);
+                    if min_post < t.post(v) {
+                        out.insert(v);
+                    }
+                    if s.contains(v) {
+                        min_post = min_post.min(t.post(v));
+                    }
+                }
+            }
+            Axis::Preceding => {
+                let SweepCarry::MaxPost(mut max_post) = carry else {
+                    unreachable!("kind checked above")
+                };
+                for rank in range.rev() {
+                    let v = t.node_at_pre(rank);
+                    if max_post > i64::from(t.post(v)) {
+                        out.insert(v);
+                    }
+                    if s.contains(v) {
+                        max_post = max_post.max(i64::from(t.post(v)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Debug-only: the carry passed to [`Axis::image_range`] must be of the
+/// axis's own kind.
+fn incoming_kind_check(axis: Axis, carry: SweepCarry) -> SweepCarry {
+    debug_assert_eq!(
+        std::mem::discriminant(&carry),
+        std::mem::discriminant(&axis.carry_identity()),
+        "carry kind must match the axis ({axis})"
+    );
+    carry
+}
+
+/// Sequential reference driver for the partitioned sweep: computes
+/// [`Axis::image`] by splitting into `chunks` pre-order ranges and
+/// ORing the per-range slices. The parallel executor in
+/// `treequery-core` runs the same three phases with phases 1 and 3 on
+/// the worker pool; this function exists so the partitioning itself can
+/// be tested (and differentially compared) without a pool.
+pub fn image_via_ranges(axis: Axis, t: &Tree, s: &NodeSet, chunks: usize) -> NodeSet {
+    let ranges = pre_ranges(t.len(), chunks);
+    let carries: Vec<SweepCarry> = ranges
+        .iter()
+        .map(|r| axis.sweep_carry(t, s, r.clone()))
+        .collect();
+    let incoming = incoming_carries(axis, &carries);
+    let mut out = NodeSet::empty(t.len());
+    for (r, c) in ranges.iter().zip(incoming) {
+        out.union_with(&axis.image_range(t, s, r.clone(), c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_recursive_tree;
+    use crate::term::parse_term;
+    use crate::tree::NodeId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pre_ranges_partition_exactly() {
+        for n in [0usize, 1, 2, 3, 7, 64, 65, 1000] {
+            for chunks in [1usize, 2, 3, 8, 1000, 2000] {
+                let ranges = pre_ranges(n, chunks);
+                if n == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= chunks.max(1));
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end as usize, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                for r in &ranges {
+                    assert!(r.start < r.end, "empty range in {ranges:?}");
+                }
+                let lens: Vec<u32> = ranges.iter().map(|r| r.end - r.start).collect();
+                let min = lens.iter().min().unwrap();
+                let max = lens.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_combine_is_associative_with_identity() {
+        let carries = [
+            (Axis::Descendant, vec![-1i64, 0, 5, 17]),
+            (Axis::Preceding, vec![-1i64, 0, 3, 9]),
+        ];
+        for (axis, vals) in carries {
+            let wrap = |v: i64| match axis {
+                Axis::Descendant => SweepCarry::MaxEnd(v),
+                Axis::Preceding => SweepCarry::MaxPost(v),
+                _ => unreachable!(),
+            };
+            for &a in &vals {
+                assert_eq!(axis.carry_identity().combine(wrap(a)), wrap(a));
+                for &b in &vals {
+                    for &c in &vals {
+                        assert_eq!(
+                            wrap(a).combine(wrap(b)).combine(wrap(c)),
+                            wrap(a).combine(wrap(b).combine(wrap(c)))
+                        );
+                    }
+                }
+            }
+        }
+        let mp = |v: u32| SweepCarry::MinPost(v);
+        assert_eq!(Axis::Following.carry_identity().combine(mp(4)), mp(4));
+        assert_eq!(mp(4).combine(mp(2)), mp(2));
+    }
+
+    /// The partitioned sweep must reproduce `Axis::image` exactly, for
+    /// every axis, over structured and random trees, many source sets
+    /// and chunk counts (including chunks > n).
+    #[test]
+    fn image_via_ranges_matches_image() {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0019);
+        let mut trees = vec![
+            parse_term("a(b(c d(e) f) g(h(i j) k) l)").unwrap(),
+            parse_term("a").unwrap(),
+            crate::generate::deep_path(33, "p"),
+            crate::generate::star(40, "s"),
+        ];
+        for n in [17usize, 64, 129] {
+            trees.push(random_recursive_tree(&mut rng, n, &["a", "b", "c"]));
+        }
+        for t in &trees {
+            let n = t.len();
+            let mut sources = vec![NodeSet::empty(n), NodeSet::full(n)];
+            sources.push(NodeSet::singleton(n, t.root()));
+            if n > 1 {
+                sources.push(NodeSet::singleton(n, t.node_at_pre(n as u32 - 1)));
+            }
+            for _ in 0..4 {
+                let density = rng.gen_range(1..=4);
+                sources.push(NodeSet::from_iter(
+                    n,
+                    (0..n as u32)
+                        .filter(|_| rng.gen_range(0..4) < density)
+                        .map(NodeId),
+                ));
+            }
+            for axis in Axis::ALL {
+                for s in &sources {
+                    let whole = axis.image(t, s);
+                    for chunks in [1usize, 2, 3, 8, n + 3] {
+                        let split = image_via_ranges(axis, t, s, chunks);
+                        assert_eq!(split, whole, "{axis} over {n} nodes with {chunks} chunks");
+                    }
+                }
+            }
+        }
+    }
+}

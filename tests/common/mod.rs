@@ -1,0 +1,97 @@
+//! Shared proptest generators for the integration property suites:
+//! random trees over a small alphabet, random Core XPath paths, and
+//! random conjunctive queries. Each test binary uses a subset.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use treequery::tree::TreeBuilder;
+use treequery::xpath::{Path, Qual};
+use treequery::{cq, Axis, Tree};
+
+pub const ALPHABET: [&str; 3] = ["a", "b", "c"];
+
+/// Random trees with up to `max_nodes` nodes, labels drawn from
+/// [`ALPHABET`], and arbitrary parent choices (so depth and fan-out both
+/// vary).
+pub fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    (
+        proptest::collection::vec(any::<u32>(), 0..max_nodes),
+        proptest::collection::vec(0u8..3, 1..=max_nodes),
+    )
+        .prop_map(|(parents, labels)| {
+            let mut b = TreeBuilder::new();
+            let mut nodes = vec![b.root(ALPHABET[labels[0] as usize % 3])];
+            for (i, p) in parents.iter().enumerate() {
+                let parent = nodes[(*p as usize) % nodes.len()];
+                let label = ALPHABET[labels.get(i + 1).copied().unwrap_or(0) as usize % 3];
+                nodes.push(b.child(parent, label));
+            }
+            b.freeze()
+        })
+}
+
+/// Random Core XPath paths: steps over every axis, composed with `/`,
+/// `|`, qualifiers, and negation.
+pub fn path_strategy() -> impl Strategy<Value = Path> {
+    let axis = proptest::sample::select(Axis::ALL.to_vec());
+    let label = proptest::sample::select(ALPHABET.to_vec());
+    let leaf = (axis, proptest::option::of(label)).prop_map(|(a, l)| match l {
+        Some(l) => Path::labeled_step(a, l),
+        None => Path::step(a),
+    });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.filtered(Qual::Path(q))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(p, q)| p.filtered(Qual::Not(Box::new(Qual::Path(q))))),
+            (inner, proptest::sample::select(ALPHABET.to_vec()))
+                .prop_map(|(p, l)| p.filtered(Qual::Label(l.to_owned()))),
+        ]
+    })
+}
+
+/// Anchors a path at the document root via `descendant-or-self`.
+pub fn rooted(p: Path) -> Path {
+    Path::step(Axis::DescendantOrSelf).then(p)
+}
+
+/// Random conjunctive queries with up to `max_vars` variables: axis
+/// atoms over a forward-biased edge pool plus a few label atoms.
+pub fn cq_strategy(max_vars: usize) -> impl Strategy<Value = cq::Cq> {
+    let axes = vec![
+        Axis::Child,
+        Axis::Descendant,
+        Axis::NextSibling,
+        Axis::Following,
+        Axis::Parent,
+        Axis::Ancestor,
+    ];
+    (
+        2..=max_vars,
+        proptest::collection::vec((any::<u32>(), proptest::sample::select(axes)), 1..6),
+        proptest::collection::vec(
+            (any::<u32>(), proptest::sample::select(ALPHABET.to_vec())),
+            0..3,
+        ),
+    )
+        .prop_map(|(nvars, edges, labels)| {
+            let mut q = cq::Cq::new();
+            let vars: Vec<_> = (0..nvars).map(|i| q.add_var(format!("v{i}"))).collect();
+            for (i, (pick, axis)) in edges.iter().enumerate() {
+                let hi = (i + 1) % nvars;
+                if hi == 0 {
+                    continue;
+                }
+                let lo = (*pick as usize) % hi;
+                q.atoms.push(cq::CqAtom::Axis(*axis, vars[lo], vars[hi]));
+            }
+            for (pick, label) in labels {
+                let v = vars[(pick as usize) % nvars];
+                q.atoms.push(cq::CqAtom::Label(label.to_owned(), v));
+            }
+            q.head = vec![vars[0]];
+            q
+        })
+}

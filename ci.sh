@@ -32,4 +32,14 @@ trap 'rm -f "$REPORT"' EXIT
 cargo run -p treequery-bench --release --bin harness -q -- --report "$REPORT" e12 e19
 grep -q '"e19"' "$REPORT"
 
+echo "==> differential fuzz gate (seed 0xC0C4)"
+# Seed-deterministic campaign; exits 1 on any strategy disagreement or
+# metamorphic-law violation. New reproducers land in tests/corpus/ —
+# commit them so the bug stays covered after the fix.
+cargo run -p treequery-bench --release --bin harness -q -- fuzz --seconds 10 --seed 0xC0C4
+
+echo "==> regression corpus replay (workers 1 and 4)"
+TREEQUERY_WORKERS=1 cargo test -q --test corpus_replay
+TREEQUERY_WORKERS=4 cargo test -q --test corpus_replay
+
 echo "CI OK"

@@ -7,6 +7,7 @@
 //! cargo run -p treequery-bench --release --bin harness e07 e12  # a subset
 //! cargo run -p treequery-bench --release --bin harness --report out.json
 //! cargo run -p treequery-bench --release --bin harness --check-noop-overhead
+//! cargo run -p treequery-bench --release --bin harness fuzz --seconds 10 --seed 0xC0C4
 //! ```
 //!
 //! `--report <file>` additionally runs each experiment under a collecting
@@ -16,6 +17,12 @@
 //! `--check-noop-overhead` measures the disabled-recorder span cost and
 //! fails (exit 1) if it regressed more than 5% past the recorded baseline
 //! in `crates/bench/noop_baseline.json`; `ci.sh` runs this gate.
+//!
+//! `fuzz` runs a seed-deterministic differential fuzzing campaign
+//! (`--seconds N --seed S [--rate R] [--corpus DIR]`); shrunk
+//! reproducers are persisted to the corpus directory (default
+//! `tests/corpus`) and the process exits 1 if any discrepancy was
+//! found. `ci.sh` runs this gate too.
 
 use treequery_bench::experiments::{self, e18_observability};
 use treequery_bench::report::ReportBuilder;
@@ -82,8 +89,76 @@ fn check_noop_overhead() {
     println!("OK: disabled spans are within the overhead budget");
 }
 
+/// Parses a decimal or `0x`-prefixed hexadecimal integer.
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The `fuzz` subcommand: a seed-deterministic differential campaign.
+/// Exits 1 on any discrepancy, 2 on bad arguments.
+fn run_fuzz(args: &[String]) -> ! {
+    let mut cfg = treequery_fuzz::CampaignConfig {
+        corpus_dir: Some(std::path::PathBuf::from("tests/corpus")),
+        ..treequery_fuzz::CampaignConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seconds" => {
+                cfg.seconds = parse_u64(&take("--seconds")).unwrap_or_else(|| {
+                    eprintln!("--seconds expects an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                cfg.seed = parse_u64(&take("--seed")).unwrap_or_else(|| {
+                    eprintln!("--seed expects an integer (decimal or 0x-hex)");
+                    std::process::exit(2);
+                })
+            }
+            "--rate" => {
+                cfg.inputs_per_second = parse_u64(&take("--rate")).unwrap_or_else(|| {
+                    eprintln!("--rate expects an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--corpus" => cfg.corpus_dir = Some(std::path::PathBuf::from(take("--corpus"))),
+            "--no-corpus" => cfg.corpus_dir = None,
+            other => {
+                eprintln!("unknown fuzz option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = treequery_fuzz::run_campaign(&cfg);
+    print!("{}", report.render());
+    println!("elapsed: {:.2}s", report.elapsed.as_secs_f64());
+    for p in &report.saved {
+        println!("saved reproducer: {}", p.display());
+    }
+    if report.total_discrepancies() > 0 {
+        eprintln!("FAIL: {} discrepancies found", report.total_discrepancies());
+        std::process::exit(1);
+    }
+    println!("OK: all executors agreed on every input");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        run_fuzz(&args[1..]);
+    }
     let mut report_path: Option<String> = None;
     let mut selected: Vec<(&'static str, fn())> = Vec::new();
     let mut iter = args.iter();

@@ -44,8 +44,8 @@ pub use treequery_tree::{
 };
 
 pub use plan::{
-    AnalyzedPlan, CostClass, ExplainedPlan, Metrics, MetricsSnapshot, PlannerConfig, Query,
-    QueryIr, QueryOutput, SourceLang, StageStats, Strategy, TreeStats,
+    applicable_strategies, AnalyzedPlan, CostClass, ExplainedPlan, Metrics, MetricsSnapshot,
+    PlannerConfig, Query, QueryIr, QueryOutput, SourceLang, StageStats, Strategy, TreeStats,
 };
 
 pub use treequery_obs as obs;
@@ -314,6 +314,39 @@ impl<'t> Engine<'t> {
         plan::exec::execute(ir, &chosen, self.tree, &self.metrics)
     }
 
+    /// Evaluates an already-lowered query with a forced [`Strategy`] and
+    /// an explicit worker count, bypassing both the planner and the
+    /// parallelism policy. This is the strategy-forcing hook behind
+    /// differential testing (`treequery-fuzz`): every strategy in
+    /// [`plan::applicable_strategies`] must produce the same answer at
+    /// every worker count.
+    ///
+    /// The strategy must be applicable to the IR; forcing an inapplicable
+    /// one (e.g. the acyclic-CQ route without a Proposition 4.2 lowering,
+    /// or arc-consistency on a non-tractable query) panics in the
+    /// executor. Note [`Strategy::CqXProperty`] answers only the Boolean
+    /// question — its tuple set is `{()}` or `{}` even for queries with a
+    /// head.
+    pub fn eval_ir_via(
+        &self,
+        ir: &QueryIr,
+        strategy: Strategy,
+        workers: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let workers = workers.max(1);
+        let forced_plan = ExplainedPlan {
+            source: ir.source,
+            strategy,
+            cost: CostClass::Linear,
+            estimated_work: 0,
+            rationale: format!("forced by caller: {strategy}"),
+            workers,
+            parallel_rationale: format!("forced by caller: {workers} workers"),
+            query_fingerprint: ir.fingerprint,
+        };
+        plan::exec::execute(ir, &forced_plan, self.tree, &self.metrics)
+    }
+
     /// Evaluates many queries over the one tree on the shared worker
     /// pool.
     ///
@@ -499,6 +532,66 @@ mod tests {
         assert!(e
             .xpath_via("//a[not(b)]", XPathStrategy::AcyclicCq)
             .is_err());
+    }
+
+    #[test]
+    fn applicable_strategies_cover_the_planner_choice() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        for q in [
+            Query::xpath("//a[b]/c"),
+            Query::xpath("//a[not(b)]"),
+            Query::cq("q(x) :- label(x, a), child(x, y), label(y, b)."),
+            Query::cq("child+(x, y), child+(y, z), child+(x, z)"),
+            Query::cq("q(x, y) :- child(z, x), child(z, y), pre_lt(x, y)."),
+            Query::datalog("P(x) :- label(x, a). ?- P."),
+        ] {
+            let ir = e.lower(&q).unwrap();
+            let all = plan::applicable_strategies(&ir);
+            let chosen = e.explain(&q).unwrap().strategy;
+            assert!(all.contains(&chosen), "{q:?}: {chosen} not in {all:?}");
+        }
+    }
+
+    #[test]
+    fn eval_ir_via_agrees_across_strategies_and_workers() {
+        let t = engine_fixture();
+        let e = Engine::new(&t);
+        for q in [
+            Query::xpath("//a[b]/c"),
+            Query::xpath("//a[not(b)] | //c"),
+            Query::cq("q(x) :- label(x, a), child(x, y), label(y, b)."),
+            Query::cq("child+(x, y), child+(y, z), child+(x, z)"),
+            Query::datalog("P(x) :- label(x, b). ?- P."),
+        ] {
+            let ir = e.lower(&q).unwrap();
+            let base = e.eval_ir(&ir).unwrap();
+            for s in plan::applicable_strategies(&ir) {
+                for workers in [1, 4] {
+                    let got = e.eval_ir_via(&ir, s, workers).unwrap();
+                    match (&got, &base) {
+                        (QueryOutput::Nodes(g), QueryOutput::Nodes(b)) => {
+                            assert_eq!(g, b, "{q:?} via {s} x{workers}")
+                        }
+                        (QueryOutput::Answer(g), QueryOutput::Answer(b)) => {
+                            // Arc-consistency answers only the Boolean
+                            // question; everything else must match on
+                            // tuples.
+                            if matches!(s, Strategy::CqXProperty(_)) {
+                                assert_eq!(
+                                    g.is_satisfiable(),
+                                    b.is_satisfiable(),
+                                    "{q:?} via {s} x{workers}"
+                                );
+                            } else {
+                                assert_eq!(g.tuples, b.tuples, "{q:?} via {s} x{workers}");
+                            }
+                        }
+                        _ => panic!("{q:?} via {s}: output kind changed"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

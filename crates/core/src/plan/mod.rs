@@ -26,6 +26,8 @@ pub mod stats;
 pub use analyze::{AnalyzedPlan, StageStats};
 pub use exec::{Metrics, MetricsSnapshot, PlanCache, QueryOutput};
 pub use ir::{lower, Query, QueryIr, SourceLang};
-pub use planner::{plan_ir, CostClass, ExplainedPlan, PlannerConfig, Strategy};
+pub use planner::{
+    applicable_strategies, plan_ir, CostClass, ExplainedPlan, PlannerConfig, Strategy,
+};
 pub use pool::{default_workers, WorkerPool};
 pub use stats::{tree_fingerprint, TreeStats};

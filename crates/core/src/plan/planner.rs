@@ -213,6 +213,52 @@ fn saturating_pow(base: u64, exp: usize) -> u64 {
     acc
 }
 
+/// Every strategy that is *correct* for this IR — the set a differential
+/// tester may force via `Engine::eval_ir_via` and expect agreeing answers
+/// from. The planner's choice is always a member: the planner optimizes
+/// *within* this set, it never changes semantics.
+///
+/// Applicability mirrors the executor's own preconditions: the acyclic-CQ
+/// route needs the Proposition 4.2 lowering, the full reducer needs an
+/// acyclic query graph, arc-consistency needs a certified X-property
+/// order (and answers only the Boolean question), and the rewrite union
+/// needs Theorem 5.1 to apply.
+pub fn applicable_strategies(ir: &QueryIr) -> Vec<Strategy> {
+    match &ir.features {
+        IrFeatures::Path(_) => {
+            let mut out = vec![
+                Strategy::XPathSetAtATime,
+                Strategy::XPathReference,
+                Strategy::XPathViaDatalog,
+            ];
+            if ir.lowered_cq.is_some() {
+                out.push(Strategy::XPathViaAcyclicCq);
+            }
+            out
+        }
+        IrFeatures::Cq(f) => {
+            let mut out = vec![Strategy::CqBacktrack];
+            if f.acyclic {
+                out.push(Strategy::CqAcyclic);
+            }
+            if let Some(order) = f.tractable_order {
+                out.push(Strategy::CqXProperty(order));
+            }
+            if !f.acyclic {
+                let body = match &ir.body {
+                    super::ir::IrBody::Cq(q) => q,
+                    _ => unreachable!("CQ features imply a CQ body"),
+                };
+                if let Ok((parts, _)) = cq::rewrite_to_acyclic(body) {
+                    out.push(Strategy::CqRewriteUnion(parts.len()));
+                }
+            }
+            out
+        }
+        IrFeatures::Program(_) => vec![Strategy::DatalogGround],
+    }
+}
+
 /// Plans one lowered query against one tree.
 pub fn plan_ir(ir: &QueryIr, stats: &TreeStats, config: &PlannerConfig) -> ExplainedPlan {
     let mut plan = plan_strategy(ir, stats, config);

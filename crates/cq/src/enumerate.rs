@@ -95,7 +95,15 @@ impl EdgeIndex {
                 self.sibling_range(t, u_val, t.sibling_index(u_val) + 1, out);
             }
             (Rel::Axis(Axis::FollowingSiblingOrSelf), true) => {
-                self.sibling_range(t, u_val, t.sibling_index(u_val), out);
+                if t.parent(u_val).is_none() {
+                    // The root has no siblings, but the axis is reflexive:
+                    // its one successor is itself.
+                    if self.member.contains(u_val) {
+                        out.push(u_val);
+                    }
+                } else {
+                    self.sibling_range(t, u_val, t.sibling_index(u_val), out);
+                }
             }
             // ---- backward: w ranges over predecessors of u_val ----
             (Rel::Axis(Axis::Child), false) => {
@@ -125,7 +133,14 @@ impl EdgeIndex {
                 self.sibling_prefix(t, u_val, t.sibling_index(u_val), out);
             }
             (Rel::Axis(Axis::FollowingSiblingOrSelf), false) => {
-                self.sibling_prefix(t, u_val, t.sibling_index(u_val) + 1, out);
+                if t.parent(u_val).is_none() {
+                    // Reflexive case for the root, as above.
+                    if self.member.contains(u_val) {
+                        out.push(u_val);
+                    }
+                } else {
+                    self.sibling_prefix(t, u_val, t.sibling_index(u_val) + 1, out);
+                }
             }
             (Rel::Axis(Axis::Following), false) => {
                 // w with Following(w, u_val) ⇔ pre_end(w) < pre(u_val).
@@ -451,6 +466,22 @@ mod tests {
         ];
         for qs in queries {
             for ts in trees {
+                check_agrees(qs, ts);
+            }
+        }
+    }
+
+    #[test]
+    fn reflexive_sibling_axes_include_the_root() {
+        // Regression (found by differential fuzzing): NextSibling* is
+        // reflexive, so the root — which has no parent and hence no
+        // sibling group in the index — still pairs with itself.
+        for qs in [
+            "q(x, y) :- nextsibling*(x, y).",
+            "q(x, y) :- preceding-sibling-or-self(x, y).",
+            "q() :- nextsibling*(x, y).",
+        ] {
+            for ts in ["a", "a(b c)", "r(a(b(c)) a)"] {
                 check_agrees(qs, ts);
             }
         }

@@ -1,0 +1,317 @@
+//! Seed-deterministic fuzzing campaigns.
+//!
+//! A campaign's workload is a pure function of its seed: the input
+//! *quota* is `seconds × inputs_per_second` (a fixed budget, not a
+//! wall-clock race), the rng stream is seeded once, and every check —
+//! including the rng the order-blindness law uses, and the shrinker's
+//! predicate — derives its randomness deterministically from case
+//! content. Wall-clock time appears only as an emergency stop (three
+//! times the nominal duration) that sets [`CampaignReport::truncated`];
+//! on any machine fast enough to finish, two runs with the same seed
+//! produce byte-identical [`CampaignReport::render`] output.
+//!
+//! Category rotation: inputs cycle through the five [`Category`]s, so
+//! every category gets quota/5 inputs regardless of seed. Each category
+//! keeps a small pool of recent inputs; a third of new inputs are
+//! grammar-level mutants of pool members rather than fresh generations,
+//! which concentrates the search around structures that already
+//! exercise interesting code paths.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::corpus::{fnv64, save_case, Reproducer};
+use crate::diff::{differential_check, Corruption, DiffOptions};
+use crate::gen::{gen_case, Category, GenConfig};
+use crate::mutate::mutate_case;
+use crate::oracle::check_laws;
+use crate::shrink::shrink;
+use crate::FuzzCase;
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Nominal duration; the input quota is `seconds × inputs_per_second`.
+    pub seconds: u64,
+    /// The campaign seed — the sole source of randomness.
+    pub seed: u64,
+    /// Deterministic throughput assumption (default 150). The quota, not
+    /// the clock, decides how many inputs run.
+    pub inputs_per_second: u64,
+    /// Where to persist shrunk reproducers; `None` disables persistence.
+    pub corpus_dir: Option<PathBuf>,
+    /// An injected bug for detector self-tests (see [`Corruption`]).
+    pub corrupt: Option<Corruption>,
+    /// Generator bounds.
+    pub gen: GenConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seconds: 10,
+            seed: 0,
+            inputs_per_second: 150,
+            corpus_dir: None,
+            corrupt: None,
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// Per-category campaign statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CategoryStats {
+    /// Inputs executed.
+    pub inputs: u64,
+    /// Individual executor runs / law checks performed.
+    pub checks: u64,
+    /// Inputs on which a discrepancy or law violation was found.
+    pub discrepancies: u64,
+    /// Total accepted shrink steps across all discrepancies.
+    pub shrink_steps: u64,
+}
+
+/// The result of a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The seed the campaign ran with.
+    pub seed: u64,
+    /// The deterministic input quota.
+    pub quota: u64,
+    /// Whether the emergency wall-clock stop fired before the quota was
+    /// reached (making this run's report machine-dependent).
+    pub truncated: bool,
+    /// Stats per category, in rotation order.
+    pub categories: Vec<(&'static str, CategoryStats)>,
+    /// Paths of reproducers persisted during this run.
+    pub saved: Vec<PathBuf>,
+    /// Wall-clock duration (informational; never part of [`render`](Self::render)).
+    pub elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// Total inputs across categories.
+    pub fn total_inputs(&self) -> u64 {
+        self.categories.iter().map(|(_, s)| s.inputs).sum()
+    }
+
+    /// Total discrepancies across categories.
+    pub fn total_discrepancies(&self) -> u64 {
+        self.categories.iter().map(|(_, s)| s.discrepancies).sum()
+    }
+
+    /// Renders the deterministic campaign summary. Contains no wall
+    /// times: two runs with the same seed render identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fuzz campaign: seed {:#x}, quota {} inputs",
+            self.seed, self.quota
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>8} {:>14} {:>13}",
+            "category", "inputs", "checks", "discrepancies", "shrink-steps"
+        );
+        for (name, s) in &self.categories {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>8} {:>14} {:>13}",
+                name, s.inputs, s.checks, s.discrepancies, s.shrink_steps
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} inputs, {} discrepancies",
+            self.total_inputs(),
+            self.total_discrepancies()
+        );
+        if self.truncated {
+            let _ = writeln!(
+                out,
+                "TRUNCATED: emergency wall-clock stop fired before the quota"
+            );
+        }
+        out
+    }
+}
+
+/// Checks one case the way its category demands. Deterministic: law
+/// categories derive their rng from the case content, so the same case
+/// always gets the same verdict — which is also what makes the
+/// shrinker's predicate stable.
+fn case_fails(
+    case: &FuzzCase,
+    cat: Category,
+    corrupt: Option<Corruption>,
+) -> (Option<String>, usize) {
+    match cat {
+        Category::XPathDiff | Category::CqDiff | Category::DatalogDiff => {
+            let opts = DiffOptions {
+                corrupt,
+                ..DiffOptions::default()
+            };
+            let (d, checks) = differential_check(case, &opts);
+            (d.map(|d| d.to_string()), checks)
+        }
+        Category::XPathLaws | Category::CqLaws => {
+            let key = format!(
+                "{}\n{}",
+                treequery_core::tree::to_term(&case.tree),
+                case.query
+            );
+            let mut rng = StdRng::seed_from_u64(fnv64(&key));
+            let (v, checks) = check_laws(case, &mut rng);
+            (v.map(|v| v.to_string()), checks)
+        }
+    }
+}
+
+/// Runs a campaign to completion (or to the emergency stop).
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let start = Instant::now();
+    let quota = cfg.seconds.saturating_mul(cfg.inputs_per_second);
+    let deadline = start + Duration::from_secs(cfg.seconds.saturating_mul(3).max(5));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stats = [CategoryStats::default(); 5];
+    let mut pools: [Vec<FuzzCase>; 5] = Default::default();
+    let mut saved = Vec::new();
+    let mut truncated = false;
+
+    for i in 0..quota {
+        if Instant::now() > deadline {
+            truncated = true;
+            break;
+        }
+        let ci = (i % 5) as usize;
+        let cat = Category::ALL[ci];
+        let case = if !pools[ci].is_empty() && rng.gen_bool(1.0 / 3.0) {
+            let base = pools[ci]
+                .choose(&mut rng)
+                .expect("pool checked non-empty")
+                .clone();
+            mutate_case(&mut rng, &cfg.gen, &base)
+        } else {
+            gen_case(&mut rng, &cfg.gen, cat)
+        };
+        stats[ci].inputs += 1;
+        let (failure, checks) = case_fails(&case, cat, cfg.corrupt);
+        stats[ci].checks += checks as u64;
+        if let Some(desc) = failure {
+            stats[ci].discrepancies += 1;
+            let (min, sstats) = shrink(&case, &mut |c| case_fails(c, cat, cfg.corrupt).0.is_some());
+            stats[ci].shrink_steps += sstats.steps as u64;
+            if let Some(dir) = &cfg.corpus_dir {
+                let r = Reproducer {
+                    category: cat.name().to_owned(),
+                    case: min,
+                    note: format!("seed {:#x}: {desc}", cfg.seed),
+                };
+                if let Ok(path) = save_case(dir, &r) {
+                    saved.push(path);
+                }
+            }
+        } else {
+            pools[ci].push(case);
+            if pools[ci].len() > 8 {
+                pools[ci].remove(0);
+            }
+        }
+    }
+
+    // Surface per-category stats through the observability layer, so a
+    // tracing recorder (EXPLAIN ANALYZE-style) sees the campaign too.
+    for (ci, cat) in Category::ALL.iter().enumerate() {
+        let mut span = treequery_core::obs::span("fuzz.category");
+        span.record_str("category", cat.name());
+        span.record_u64("inputs", stats[ci].inputs);
+        span.record_u64("checks", stats[ci].checks);
+        span.record_u64("discrepancies", stats[ci].discrepancies);
+        span.record_u64("shrink_steps", stats[ci].shrink_steps);
+    }
+
+    CampaignReport {
+        seed: cfg.seed,
+        quota,
+        truncated,
+        categories: Category::ALL
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| (c.name(), stats[ci]))
+            .collect(),
+        saved,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::CorruptionKind;
+    use treequery_core::Strategy;
+
+    fn quick(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seconds: 1,
+            seed,
+            inputs_per_second: 60,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = run_campaign(&quick(0xC0C4));
+        let b = run_campaign(&quick(0xC0C4));
+        assert!(!a.truncated && !b.truncated, "quick campaign must finish");
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.total_inputs(), 60);
+        assert_eq!(a.total_discrepancies(), 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_campaign(&quick(1));
+        let b = run_campaign(&quick(2));
+        // Same totals (the quota is fixed), but the per-category check
+        // counts almost surely differ because the inputs do.
+        assert_eq!(a.total_inputs(), b.total_inputs());
+        let ca: Vec<u64> = a.categories.iter().map(|(_, s)| s.checks).collect();
+        let cb: Vec<u64> = b.categories.iter().map(|(_, s)| s.checks).collect();
+        assert_ne!(ca, cb, "different seeds should explore different inputs");
+    }
+
+    #[test]
+    fn injected_bug_is_found_and_shrunk() {
+        let dir = std::env::temp_dir().join("treequery-fuzz-campaign-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // 3 seconds × 60/s = 36 xpath-diff inputs: enough that at least
+        // one has a non-empty answer for DropLast to corrupt, whatever
+        // the rng stream does.
+        let cfg = CampaignConfig {
+            corrupt: Some(Corruption {
+                strategy: Strategy::XPathSetAtATime,
+                kind: CorruptionKind::DropLast,
+            }),
+            corpus_dir: Some(dir.clone()),
+            seconds: 3,
+            ..quick(7)
+        };
+        let report = run_campaign(&cfg);
+        assert!(
+            report.total_discrepancies() > 0,
+            "an always-on corrupted strategy must be caught"
+        );
+        assert!(!report.saved.is_empty(), "reproducers must be persisted");
+        let corpus = crate::corpus::load_dir(&dir).unwrap();
+        assert!(!corpus.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,348 @@
+//! The persisted regression corpus.
+//!
+//! Every discrepancy a campaign finds is shrunk and saved as a
+//! human-readable `.case` file under `tests/corpus/`, which ordinary
+//! `cargo test` replays forever after (see `tests/corpus_replay.rs`).
+//! The format is line-oriented `key: value` text:
+//!
+//! ```text
+//! # treequery-fuzz reproducer
+//! category: xpath-diff
+//! lang: xpath
+//! tree: r(a(b) c)
+//! query: descendant::*[lab()=a]
+//! note: found by `harness fuzz --seed 0x1`
+//! ```
+//!
+//! Trees round-trip through the term syntax of `tree::term`. XPath
+//! round-trips through its own `Display`. CQs and datalog programs do
+//! **not**: their `Display` impls print the paper's notation
+//! (`x <pre y`, `label_a(v0)`), which their parsers deliberately reject.
+//! [`render_cq`] and [`render_program`] therefore emit the parser
+//! surface syntax (`pre_lt(x, y)`, `label(v0, a)`) instead, and the
+//! corpus stores only re-parseable text.
+
+use std::fmt::Write as _;
+use std::path::{Path as FsPath, PathBuf};
+
+use treequery_core::cq::{parse_cq, Cq, CqAtom};
+use treequery_core::datalog::{parse_program, BasePred, BinRel, BodyAtom, Program, UnaryRef};
+use treequery_core::tree::{parse_term, to_term};
+use treequery_core::xpath::parse_xpath;
+
+use crate::{CaseQuery, FuzzCase};
+
+/// Renders a CQ in the surface syntax `parse_cq` accepts.
+pub fn render_cq(q: &Cq) -> String {
+    let mut out = String::from("q(");
+    for (i, v) in q.head.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(q.var_name(*v));
+    }
+    out.push_str(") :- ");
+    for (i, atom) in q.atoms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match atom {
+            CqAtom::Label(l, v) => {
+                let _ = write!(out, "label({}, {l})", q.var_name(*v));
+            }
+            CqAtom::Root(v) => {
+                let _ = write!(out, "root({})", q.var_name(*v));
+            }
+            CqAtom::Leaf(v) => {
+                let _ = write!(out, "leaf({})", q.var_name(*v));
+            }
+            CqAtom::Axis(ax, x, y) => {
+                let _ = write!(
+                    out,
+                    "{}({}, {})",
+                    ax.name().to_ascii_lowercase(),
+                    q.var_name(*x),
+                    q.var_name(*y)
+                );
+            }
+            CqAtom::PreLt(x, y) => {
+                let _ = write!(out, "pre_lt({}, {})", q.var_name(*x), q.var_name(*y));
+            }
+        }
+    }
+    out.push('.');
+    out
+}
+
+/// Renders a datalog program, one line, in the surface syntax
+/// `parse_program` accepts.
+pub fn render_program(p: &Program) -> String {
+    let mut out = String::new();
+    for rule in &p.rules {
+        let _ = write!(
+            out,
+            "{}(v{}) :- ",
+            p.pred_name(rule.head),
+            rule.head_var.index()
+        );
+        for (i, atom) in rule.body.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match atom {
+                BodyAtom::Unary(UnaryRef::Pred(q), v) => {
+                    let _ = write!(out, "{}(v{})", p.pred_name(*q), v.index());
+                }
+                BodyAtom::Unary(UnaryRef::Base(b), v) => {
+                    let v = v.index();
+                    let _ = match b {
+                        BasePred::Dom => write!(out, "dom(v{v})"),
+                        BasePred::Root => write!(out, "root(v{v})"),
+                        BasePred::Leaf => write!(out, "leaf(v{v})"),
+                        BasePred::FirstSibling => write!(out, "firstsibling(v{v})"),
+                        BasePred::LastSibling => write!(out, "lastsibling(v{v})"),
+                        BasePred::Label(l) => write!(out, "label(v{v}, {l})"),
+                        BasePred::NotLabel(l) => write!(out, "notlabel(v{v}, {l})"),
+                    };
+                }
+                BodyAtom::Binary(rel, x, y) => {
+                    let name = match rel {
+                        BinRel::FirstChild => "firstchild",
+                        BinRel::NextSibling => "nextsibling",
+                        BinRel::Child => "child",
+                    };
+                    let _ = write!(out, "{name}(v{}, v{})", x.index(), y.index());
+                }
+            }
+        }
+        out.push_str(". ");
+    }
+    if let Some(qp) = p.query {
+        let _ = write!(out, "?- {}.", p.pred_name(qp));
+    }
+    out
+}
+
+/// A persisted reproducer: a case plus its category and provenance.
+#[derive(Clone, Debug)]
+pub struct Reproducer {
+    /// The campaign category that found it (one of
+    /// [`crate::gen::Category::name`]) — also the file-name prefix.
+    pub category: String,
+    /// The minimized failing input.
+    pub case: FuzzCase,
+    /// Free-text provenance (seed, law, culprit strategy).
+    pub note: String,
+}
+
+/// Renders a reproducer in the corpus file format.
+pub fn render_case(r: &Reproducer) -> String {
+    let mut out = String::from("# treequery-fuzz reproducer\n");
+    let _ = writeln!(out, "category: {}", r.category);
+    let _ = writeln!(out, "lang: {}", r.case.query.lang());
+    let _ = writeln!(out, "tree: {}", to_term(&r.case.tree));
+    let _ = writeln!(out, "query: {}", r.case.query);
+    if !r.note.is_empty() {
+        let _ = writeln!(out, "note: {}", r.note.replace('\n', " "));
+    }
+    out
+}
+
+/// 64-bit FNV-1a — a stable hash for deterministic corpus file names
+/// (the std hasher is explicitly not stable across releases).
+pub(crate) fn fnv64(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic file name for a reproducer:
+/// `{category}-{hash of content:016x}.case`.
+pub fn case_file_name(r: &Reproducer) -> String {
+    let key = format!(
+        "{}\n{}\n{}",
+        r.case.query.lang(),
+        to_term(&r.case.tree),
+        r.case.query
+    );
+    format!("{}-{:016x}.case", r.category, fnv64(&key))
+}
+
+/// Saves a reproducer into `dir` (created if missing), returning the
+/// path. Identical cases map to identical file names, so re-finding a
+/// known bug does not grow the corpus.
+pub fn save_case(dir: &FsPath, r: &Reproducer) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(case_file_name(r));
+    std::fs::write(&path, render_case(r))?;
+    Ok(path)
+}
+
+fn parse_query(lang: &str, text: &str) -> Result<CaseQuery, String> {
+    match lang {
+        "xpath" => parse_xpath(text)
+            .map(CaseQuery::XPath)
+            .map_err(|e| format!("bad xpath: {e:?}")),
+        "cq" => parse_cq(text)
+            .map(CaseQuery::Cq)
+            .map_err(|e| format!("bad cq: {e:?}")),
+        "datalog" => parse_program(text)
+            .map(CaseQuery::Datalog)
+            .map_err(|e| format!("bad datalog: {e:?}")),
+        other => Err(format!("unknown lang `{other}`")),
+    }
+}
+
+/// Parses the corpus file format.
+pub fn parse_case(text: &str) -> Result<Reproducer, String> {
+    let mut category = None;
+    let mut lang = None;
+    let mut tree = None;
+    let mut query = None;
+    let mut note = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed line `{line}`"))?;
+        let value = value.trim();
+        match key.trim() {
+            "category" => category = Some(value.to_owned()),
+            "lang" => lang = Some(value.to_owned()),
+            "tree" => tree = Some(parse_term(value).map_err(|e| format!("bad tree: {e:?}"))?),
+            "query" => query = Some(value.to_owned()),
+            "note" => note = value.to_owned(),
+            other => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    let lang = lang.ok_or("missing lang")?;
+    let query = parse_query(&lang, &query.ok_or("missing query")?)?;
+    Ok(Reproducer {
+        category: category.ok_or("missing category")?,
+        case: FuzzCase {
+            tree: tree.ok_or("missing tree")?,
+            query,
+        },
+        note,
+    })
+}
+
+/// Loads one `.case` file.
+pub fn load_case(path: &FsPath) -> Result<Reproducer, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_case(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads every `.case` file in `dir`, sorted by file name. A missing
+/// directory is an empty corpus, not an error.
+pub fn load_dir(dir: &FsPath) -> Result<Vec<(PathBuf, Reproducer)>, String> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(out),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        let r = load_case(&p)?;
+        out.push((p, r));
+    }
+    Ok(out)
+}
+
+/// Replays a reproducer: the full differential check plus every
+/// metamorphic law, with a deterministic rng derived from the case
+/// content. Returns a failure description, or `None` when the case
+/// passes (i.e. the bug it reproduces is fixed or never regresses).
+pub fn replay(r: &Reproducer) -> Option<String> {
+    use rand::SeedableRng;
+    let (d, _) = crate::diff::differential_check(&r.case, &crate::diff::DiffOptions::default());
+    if let Some(d) = d {
+        return Some(d.to_string());
+    }
+    let seed = fnv64(&render_case(r));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (v, _) = crate::oracle::check_laws(&r.case, &mut rng);
+    v.map(|v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_case, Category, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corpus_format_round_trips_generated_cases() {
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..100 {
+            let cat = Category::ALL[i % Category::ALL.len()];
+            let case = gen_case(&mut rng, &cfg, cat);
+            let r = Reproducer {
+                category: cat.name().to_owned(),
+                case,
+                note: "round-trip".into(),
+            };
+            let text = render_case(&r);
+            let back = parse_case(&text).expect("rendered case must parse");
+            // The fixpoint the corpus relies on: render(parse(render(x)))
+            // is byte-identical to render(x).
+            assert_eq!(render_case(&back), text);
+        }
+    }
+
+    #[test]
+    fn file_names_are_deterministic_and_content_addressed() {
+        let cfg = GenConfig::default();
+        let case = gen_case(&mut StdRng::seed_from_u64(4), &cfg, Category::XPathDiff);
+        let r = Reproducer {
+            category: "xpath-diff".into(),
+            case,
+            note: "one".into(),
+        };
+        let mut r2 = r.clone();
+        r2.note = "different note".into();
+        // The note is provenance, not identity.
+        assert_eq!(case_file_name(&r), case_file_name(&r2));
+        assert!(case_file_name(&r).ends_with(".case"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("treequery-fuzz-corpus-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(21);
+        let case = gen_case(&mut rng, &cfg, Category::DatalogDiff);
+        let r = Reproducer {
+            category: "datalog-diff".into(),
+            case,
+            note: "io round-trip".into(),
+        };
+        let path = save_case(&dir, &r).unwrap();
+        let loaded = load_case(&path).unwrap();
+        assert_eq!(render_case(&loaded), render_case(&r));
+        let all = load_dir(&dir).unwrap();
+        assert_eq!(all.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_cases_are_rejected() {
+        assert!(parse_case("lang: xpath\nquery: child::*").is_err()); // no tree/category
+        assert!(parse_case("category: x\nlang: klingon\ntree: r\nquery: q").is_err());
+        assert!(parse_case("category: x\nlang: xpath\ntree: r(\nquery: child::*").is_err());
+        assert!(parse_case("garbage without a colon").is_err());
+    }
+}

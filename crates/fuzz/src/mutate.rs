@@ -1,0 +1,416 @@
+//! Structure-aware, grammar-level mutations.
+//!
+//! Mutations act on the ASTs, not on text, so every mutant is
+//! well-formed by construction: an axis swap yields a different valid
+//! axis, a predicate delete removes a whole qualifier, a subtree splice
+//! duplicates a real subtree. This keeps the fuzzer exploring the
+//! *semantic* neighbourhood of an input instead of bouncing off parse
+//! errors.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use treequery_core::cq::{Cq, CqAtom};
+use treequery_core::datalog::{BasePred, BinRel, BodyAtom, Program, UnaryRef};
+use treequery_core::xpath::{Path, Qual};
+use treequery_core::{Axis, NodeId, Tree};
+
+use crate::gen::GenConfig;
+use crate::{treeops, CaseQuery, FuzzCase};
+
+// ---------------------------------------------------------------------
+// XPath AST visitors: steps are numbered in a fixed pre-order so a
+// random index deterministically picks a mutation site.
+
+fn visit_steps_mut(
+    p: &mut Path,
+    k: &mut usize,
+    target: usize,
+    f: &mut dyn FnMut(&mut Axis, &mut Vec<Qual>),
+) {
+    match p {
+        Path::Step { axis, quals } => {
+            if *k == target {
+                f(axis, quals);
+            }
+            *k += 1;
+            for q in quals.iter_mut() {
+                visit_quals_mut(q, k, target, f);
+            }
+        }
+        Path::Seq(a, b) | Path::Union(a, b) => {
+            visit_steps_mut(a, k, target, f);
+            visit_steps_mut(b, k, target, f);
+        }
+    }
+}
+
+fn visit_quals_mut(
+    q: &mut Qual,
+    k: &mut usize,
+    target: usize,
+    f: &mut dyn FnMut(&mut Axis, &mut Vec<Qual>),
+) {
+    match q {
+        Qual::Path(p) => visit_steps_mut(p, k, target, f),
+        Qual::Label(_) => {}
+        Qual::And(a, b) | Qual::Or(a, b) => {
+            visit_quals_mut(a, k, target, f);
+            visit_quals_mut(b, k, target, f);
+        }
+        Qual::Not(inner) => visit_quals_mut(inner, k, target, f),
+    }
+}
+
+fn count_steps(p: &Path) -> usize {
+    let mut clone = p.clone();
+    let mut k = 0;
+    visit_steps_mut(&mut clone, &mut k, usize::MAX, &mut |_, _| {});
+    k
+}
+
+fn visit_labels_mut(p: &mut Path, k: &mut usize, target: usize, f: &mut dyn FnMut(&mut String)) {
+    visit_steps_mut(p, &mut 0, usize::MAX, &mut |_, quals| {
+        for q in quals.iter_mut() {
+            if let Qual::Label(l) = q {
+                if *k == target {
+                    f(l);
+                }
+                *k += 1;
+            }
+        }
+    });
+}
+
+fn count_labels(p: &Path) -> usize {
+    let mut clone = p.clone();
+    let mut k = 0;
+    visit_labels_mut(&mut clone, &mut k, usize::MAX, &mut |_| {});
+    k
+}
+
+// ---------------------------------------------------------------------
+// Per-language query mutations.
+
+fn swap_axis(rng: &mut StdRng, old: Axis) -> Axis {
+    loop {
+        let ax = *Axis::ALL.choose(rng).expect("axis list is non-empty");
+        if ax != old {
+            return ax;
+        }
+    }
+}
+
+fn mutate_xpath(rng: &mut StdRng, cfg: &GenConfig, p: &Path) -> Path {
+    let mut out = p.clone();
+    let steps = count_steps(&out);
+    match rng.gen_range(0u32..4) {
+        // Axis swap.
+        0 => {
+            let target = rng.gen_range(0..steps);
+            let mut k = 0;
+            let mut new_axis = None;
+            visit_steps_mut(&mut out, &mut k, target, &mut |axis, _| {
+                let ax = new_axis.get_or_insert(*axis);
+                *axis = *ax;
+            });
+            // Two passes keep the rng draw outside the visitor closure.
+            let mut k = 0;
+            let replacement = swap_axis(rng, new_axis.unwrap_or(Axis::Child));
+            visit_steps_mut(&mut out, &mut k, target, &mut |axis, _| *axis = replacement);
+            out
+        }
+        // Predicate insert.
+        1 => {
+            let target = rng.gen_range(0..steps);
+            let label = cfg.label(rng);
+            let mut k = 0;
+            visit_steps_mut(&mut out, &mut k, target, &mut |_, quals| {
+                quals.push(Qual::Label(label.clone()));
+            });
+            out
+        }
+        // Predicate delete (falls back to insert on a bare step).
+        2 => {
+            let target = rng.gen_range(0..steps);
+            let idx = rng.gen::<u32>() as usize;
+            let label = cfg.label(rng);
+            let mut k = 0;
+            visit_steps_mut(&mut out, &mut k, target, &mut |_, quals| {
+                if quals.is_empty() {
+                    quals.push(Qual::Label(label.clone()));
+                } else {
+                    let i = idx % quals.len();
+                    quals.remove(i);
+                }
+            });
+            out
+        }
+        // Label rename (falls back to insert when no label qualifier).
+        _ => {
+            let labels = count_labels(&out);
+            if labels == 0 {
+                return mutate_xpath(rng, cfg, p);
+            }
+            let target = rng.gen_range(0..labels);
+            let label = cfg.label(rng);
+            let mut k = 0;
+            visit_labels_mut(&mut out, &mut k, target, &mut |l| *l = label.clone());
+            out
+        }
+    }
+}
+
+/// Variables that occur in at least one atom of `q`.
+fn covered_vars(q: &Cq) -> Vec<treequery_core::cq::CqVar> {
+    let mut vs: Vec<_> = q.atoms.iter().flat_map(|a| a.vars()).collect();
+    vs.sort_by_key(|v| v.index());
+    vs.dedup();
+    vs
+}
+
+fn mutate_cq(rng: &mut StdRng, cfg: &GenConfig, q: &Cq) -> Cq {
+    let mut out = q.clone();
+    match rng.gen_range(0u32..5) {
+        // Axis swap on a random axis atom.
+        0 => {
+            let idxs: Vec<_> = (0..out.atoms.len())
+                .filter(|&i| matches!(out.atoms[i], CqAtom::Axis(..)))
+                .collect();
+            if let Some(&i) = idxs.choose(rng) {
+                if let CqAtom::Axis(ax, x, y) = out.atoms[i] {
+                    out.atoms[i] = CqAtom::Axis(swap_axis(rng, ax), x, y);
+                }
+            }
+            out
+        }
+        // Atom insert over existing variables.
+        1 => {
+            let vars = covered_vars(&out);
+            if let (Some(&v), Some(&w)) = (vars.choose(rng), vars.choose(rng)) {
+                let atom = match rng.gen_range(0u32..3) {
+                    0 => CqAtom::Label(cfg.label(rng), v),
+                    1 => CqAtom::Axis(
+                        *Axis::ALL.choose(rng).expect("axis list is non-empty"),
+                        v,
+                        w,
+                    ),
+                    _ => CqAtom::Leaf(v),
+                };
+                out.atoms.push(atom);
+            }
+            out
+        }
+        // Atom delete, provided every head variable stays covered.
+        2 => {
+            if out.atoms.len() > 1 {
+                let i = rng.gen_range(0..out.atoms.len());
+                let mut candidate = out.clone();
+                candidate.atoms.remove(i);
+                let covered = covered_vars(&candidate);
+                if candidate.head.iter().all(|v| covered.contains(v)) {
+                    return crate::compact_cq(&candidate);
+                }
+            }
+            out
+        }
+        // Label rename.
+        3 => {
+            let idxs: Vec<_> = (0..out.atoms.len())
+                .filter(|&i| matches!(out.atoms[i], CqAtom::Label(..)))
+                .collect();
+            if let Some(&i) = idxs.choose(rng) {
+                if let CqAtom::Label(_, v) = out.atoms[i] {
+                    out.atoms[i] = CqAtom::Label(cfg.label(rng), v);
+                }
+            }
+            out
+        }
+        // Toggle a head variable.
+        _ => {
+            if !out.head.is_empty() && rng.gen_bool(0.5) {
+                out.head.pop();
+            } else {
+                let vars = covered_vars(&out);
+                if let Some(&v) = vars.choose(rng) {
+                    out.head.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn mutate_datalog(rng: &mut StdRng, cfg: &GenConfig, p: &Program) -> Program {
+    let mut out = p.clone();
+    match rng.gen_range(0u32..4) {
+        // Rename a label in some label/notlabel body atom.
+        0 => {
+            let label = cfg.label(rng);
+            let sites: Vec<(usize, usize)> = out
+                .rules
+                .iter()
+                .enumerate()
+                .flat_map(|(ri, r)| {
+                    r.body.iter().enumerate().filter_map(move |(ai, a)| {
+                        matches!(
+                            a,
+                            BodyAtom::Unary(
+                                UnaryRef::Base(BasePred::Label(_) | BasePred::NotLabel(_)),
+                                _
+                            )
+                        )
+                        .then_some((ri, ai))
+                    })
+                })
+                .collect();
+            if let Some(&(ri, ai)) = sites.choose(rng) {
+                if let BodyAtom::Unary(UnaryRef::Base(base), v) = &out.rules[ri].body[ai] {
+                    let new = match base {
+                        BasePred::Label(_) => BasePred::Label(label),
+                        _ => BasePred::NotLabel(label),
+                    };
+                    out.rules[ri].body[ai] = BodyAtom::Unary(UnaryRef::Base(new), *v);
+                }
+            }
+            out
+        }
+        // Delete a whole rule (keeping at least one).
+        1 => {
+            if out.rules.len() > 1 {
+                let i = rng.gen_range(0..out.rules.len());
+                out.rules.remove(i);
+            }
+            out
+        }
+        // Delete a body atom if the rule stays safe.
+        2 => {
+            let ri = rng.gen_range(0..out.rules.len());
+            if out.rules[ri].body.len() > 1 {
+                let ai = rng.gen_range(0..out.rules[ri].body.len());
+                let mut rule = out.rules[ri].clone();
+                rule.body.remove(ai);
+                if rule.is_safe() {
+                    out.rules[ri] = rule;
+                }
+            }
+            out
+        }
+        // Swap the relation of a binary atom.
+        _ => {
+            let rels = [BinRel::FirstChild, BinRel::NextSibling, BinRel::Child];
+            let sites: Vec<(usize, usize)> = out
+                .rules
+                .iter()
+                .enumerate()
+                .flat_map(|(ri, r)| {
+                    r.body.iter().enumerate().filter_map(move |(ai, a)| {
+                        matches!(a, BodyAtom::Binary(..)).then_some((ri, ai))
+                    })
+                })
+                .collect();
+            if let Some(&(ri, ai)) = sites.choose(rng) {
+                if let BodyAtom::Binary(_, x, y) = out.rules[ri].body[ai] {
+                    let rel = *rels.choose(rng).expect("rels is non-empty");
+                    out.rules[ri].body[ai] = BodyAtom::Binary(rel, x, y);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn random_node(rng: &mut StdRng, t: &Tree) -> NodeId {
+    t.node_at_pre(rng.gen_range(0..t.len() as u32))
+}
+
+fn mutate_tree(rng: &mut StdRng, cfg: &GenConfig, t: &Tree) -> Tree {
+    match rng.gen_range(0u32..4) {
+        // Subtree splice (bounded so repeated mutation can't blow up).
+        0 => {
+            let src = random_node(rng, t);
+            let dst = random_node(rng, t);
+            if t.len() + t.subtree_size(src) as usize <= 2 * cfg.max_nodes.max(1) {
+                treeops::splice(t, src, dst)
+            } else {
+                treeops::relabel(t, src, &cfg.label(rng))
+            }
+        }
+        // Subtree delete.
+        1 => {
+            if t.len() > 1 {
+                let v = t.node_at_pre(rng.gen_range(1..t.len() as u32));
+                treeops::delete_subtree(t, v)
+            } else {
+                treeops::relabel(t, t.root(), &cfg.label(rng))
+            }
+        }
+        // Label rename.
+        2 => {
+            let v = random_node(rng, t);
+            treeops::relabel(t, v, &cfg.label(rng))
+        }
+        // Sibling shuffle.
+        _ => treeops::shuffle_children(t, rng),
+    }
+}
+
+/// Mutates a case: half the time the tree, half the time the query.
+/// The result is always a well-formed case in the same language.
+pub fn mutate_case(rng: &mut StdRng, cfg: &GenConfig, case: &FuzzCase) -> FuzzCase {
+    if rng.gen_bool(0.5) {
+        FuzzCase {
+            tree: mutate_tree(rng, cfg, &case.tree),
+            query: case.query.clone(),
+        }
+    } else {
+        let query = match &case.query {
+            CaseQuery::XPath(p) => CaseQuery::XPath(mutate_xpath(rng, cfg, p)),
+            CaseQuery::Cq(q) => CaseQuery::Cq(mutate_cq(rng, cfg, q)),
+            CaseQuery::Datalog(p) => CaseQuery::Datalog(mutate_datalog(rng, cfg, p)),
+        };
+        FuzzCase {
+            tree: treeops::copy_tree(&case.tree),
+            query,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_case, Category};
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutants_stay_well_formed() {
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..150 {
+            let cat = Category::ALL[i % Category::ALL.len()];
+            let mut case = gen_case(&mut rng, &cfg, cat);
+            for _ in 0..4 {
+                case = mutate_case(&mut rng, &cfg, &case);
+                // Lowering panics or errors on malformed input; reaching
+                // a plan proves the mutant is valid.
+                let ir = case.query.lower();
+                assert!(!treequery_core::applicable_strategies(&ir).is_empty());
+                assert!(!case.tree.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_seed_deterministic() {
+        let cfg = GenConfig::default();
+        let case = gen_case(&mut StdRng::seed_from_u64(3), &cfg, Category::XPathDiff);
+        let a = mutate_case(&mut StdRng::seed_from_u64(5), &cfg, &case);
+        let b = mutate_case(&mut StdRng::seed_from_u64(5), &cfg, &case);
+        assert_eq!(
+            treequery_core::tree::to_term(&a.tree),
+            treequery_core::tree::to_term(&b.tree)
+        );
+        assert_eq!(a.query.to_string(), b.query.to_string());
+    }
+}

@@ -1,0 +1,241 @@
+//! Iterative tree surgery for mutation, metamorphic oracles, and
+//! shrinking.
+//!
+//! Every operation rebuilds the tree with an explicit work stack — never
+//! recursion — so a depth-10⁴ chain (an edge case the test suite insists
+//! on) cannot overflow the call stack. Node identifiers are *not*
+//! preserved across a rebuild; callers that compare results across trees
+//! must compare pre-order ranks or labels, not raw [`NodeId`]s.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use treequery_core::tree::TreeBuilder;
+use treequery_core::{NodeId, Tree};
+
+/// Rebuilds `t` with per-node child lists chosen by `children_of` and
+/// labels chosen by `label_of`. The root is always kept.
+fn rebuild_with(
+    t: &Tree,
+    children_of: &mut dyn FnMut(&Tree, NodeId) -> Vec<NodeId>,
+    label_of: &mut dyn FnMut(&Tree, NodeId) -> String,
+) -> Tree {
+    let mut b = TreeBuilder::with_capacity(t.len());
+    let new_root = b.root(&label_of(t, t.root()));
+    let mut stack = vec![(t.root(), new_root)];
+    while let Some((old, new)) = stack.pop() {
+        for c in children_of(t, old) {
+            let nc = b.child(new, &label_of(t, c));
+            stack.push((c, nc));
+        }
+    }
+    b.freeze()
+}
+
+/// Copies `t` verbatim (fresh ids, same structure and labels).
+pub fn copy_tree(t: &Tree) -> Tree {
+    rebuild_with(t, &mut |t, v| t.children(v).collect(), &mut |t, v| {
+        t.label_name(v).to_owned()
+    })
+}
+
+/// Deletes the subtree rooted at `victim` (which must not be the root).
+pub fn delete_subtree(t: &Tree, victim: NodeId) -> Tree {
+    assert!(!t.is_root(victim), "cannot delete the root subtree");
+    rebuild_with(
+        t,
+        &mut |t, v| t.children(v).filter(|&c| c != victim).collect(),
+        &mut |t, v| t.label_name(v).to_owned(),
+    )
+}
+
+/// Relabels a single node.
+pub fn relabel(t: &Tree, node: NodeId, label: &str) -> Tree {
+    rebuild_with(t, &mut |t, v| t.children(v).collect(), &mut |t, v| {
+        if v == node {
+            label.to_owned()
+        } else {
+            t.label_name(v).to_owned()
+        }
+    })
+}
+
+/// Shuffles every node's child list with `rng` (structure below each
+/// child is preserved). Used by the order-blindness oracle and the
+/// subtree-splice mutator's target selection.
+pub fn shuffle_children(t: &Tree, rng: &mut StdRng) -> Tree {
+    rebuild_with(
+        t,
+        &mut |t, v| {
+            let mut cs: Vec<NodeId> = t.children(v).collect();
+            cs.shuffle(rng);
+            cs
+        },
+        &mut |t, v| t.label_name(v).to_owned(),
+    )
+}
+
+/// Appends a fresh leaf labelled `label` as the *last* child of the
+/// root. Because the new node is last in document order, every original
+/// node keeps its pre-order rank — the monotonicity oracle relies on
+/// this.
+pub fn append_leaf_to_root(t: &Tree, label: &str) -> Tree {
+    let mut b = TreeBuilder::with_capacity(t.len() + 1);
+    let new_root = b.root(t.label_name(t.root()));
+    let mut map = vec![new_root; t.len()];
+    let mut stack = vec![t.root()];
+    while let Some(old) = stack.pop() {
+        for c in t.children(old) {
+            map[c.index()] = b.child(map[old.index()], t.label_name(c));
+            stack.push(c);
+        }
+    }
+    b.child(new_root, label);
+    b.freeze()
+}
+
+/// Replaces the subtree at `v` (non-root) with the subtree of `c`,
+/// which must be a child of `v` — i.e. contracts the edge by hoisting
+/// `c` into `v`'s place (dropping `v` and its other children). The
+/// shrinker uses this to flatten chains, which plain subtree deletion
+/// cannot do.
+pub fn hoist_child(t: &Tree, v: NodeId, c: NodeId) -> Tree {
+    assert!(!t.is_root(v), "cannot hoist over the root");
+    assert_eq!(t.parent(c), Some(v), "hoist target must be a child");
+    rebuild_with(
+        t,
+        &mut |t, u| t.children(u).map(|x| if x == v { c } else { x }).collect(),
+        &mut |t, u| t.label_name(u).to_owned(),
+    )
+}
+
+/// Extracts the subtree rooted at `c` as a standalone tree (promoting
+/// `c` to root). Another chain-flattening shrink reduction.
+pub fn promote_to_root(t: &Tree, c: NodeId) -> Tree {
+    let mut b = TreeBuilder::with_capacity(t.subtree_size(c) as usize);
+    let new_root = b.root(t.label_name(c));
+    let mut stack = vec![(c, new_root)];
+    while let Some((old, new)) = stack.pop() {
+        for ch in t.children(old) {
+            let nc = b.child(new, t.label_name(ch));
+            stack.push((ch, nc));
+        }
+    }
+    b.freeze()
+}
+
+/// Appends a copy of the subtree rooted at `src` as a new last child of
+/// `dst` (the subtree-splice mutation). `src` and `dst` may be anywhere,
+/// including inside each other: the source subtree is read from the
+/// original tree, so no cycle can form.
+pub fn splice(t: &Tree, src: NodeId, dst: NodeId) -> Tree {
+    let mut b = TreeBuilder::with_capacity(t.len() + t.subtree_size(src) as usize);
+    let new_root = b.root(t.label_name(t.root()));
+    let mut map = vec![new_root; t.len()];
+    let mut stack = vec![t.root()];
+    while let Some(old) = stack.pop() {
+        for c in t.children(old) {
+            map[c.index()] = b.child(map[old.index()], t.label_name(c));
+            stack.push(c);
+        }
+    }
+    let copy_root = b.child(map[dst.index()], t.label_name(src));
+    let mut stack = vec![(src, copy_root)];
+    while let Some((old, new)) = stack.pop() {
+        for c in t.children(old) {
+            let nc = b.child(new, t.label_name(c));
+            stack.push((c, nc));
+        }
+    }
+    b.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use treequery_core::parse_term;
+    use treequery_core::tree::deep_path;
+    use treequery_core::tree::to_term;
+
+    #[test]
+    fn copy_preserves_term() {
+        let t = parse_term("r(a(b c) d(e))").unwrap();
+        assert_eq!(to_term(&copy_tree(&t)), to_term(&t));
+    }
+
+    #[test]
+    fn delete_removes_whole_subtree() {
+        let t = parse_term("r(a(b c) d)").unwrap();
+        let a = t.node_at_pre(1);
+        assert_eq!(t.label_name(a), "a");
+        assert_eq!(to_term(&delete_subtree(&t, a)), "r(d)");
+    }
+
+    #[test]
+    fn relabel_changes_one_node() {
+        let t = parse_term("r(a a)").unwrap();
+        let first_a = t.node_at_pre(1);
+        assert_eq!(to_term(&relabel(&t, first_a, "z")), "r(z a)");
+    }
+
+    #[test]
+    fn append_leaf_keeps_pre_ranks() {
+        let t = parse_term("r(a(b) c)").unwrap();
+        let t2 = append_leaf_to_root(&t, "zz");
+        assert_eq!(to_term(&t2), "r(a(b) c zz)");
+        for v in t.nodes() {
+            let r = t.pre(v);
+            assert_eq!(t.label_name(v), t2.label_name(t2.node_at_pre(r)));
+        }
+        assert_eq!(t2.label_name(t2.node_at_pre(t.len() as u32)), "zz");
+    }
+
+    #[test]
+    fn splice_duplicates_subtree() {
+        let t = parse_term("r(a(b) c)").unwrap();
+        let a = t.node_at_pre(1);
+        let c = t.node_at_pre(3);
+        assert_eq!(to_term(&splice(&t, a, c)), "r(a(b) c(a(b)))");
+    }
+
+    #[test]
+    fn hoist_contracts_an_edge() {
+        let t = parse_term("r(a(b(c)) d)").unwrap();
+        let a = t.node_at_pre(1);
+        let b = t.node_at_pre(2);
+        assert_eq!(to_term(&hoist_child(&t, a, b)), "r(b(c) d)");
+    }
+
+    #[test]
+    fn promote_extracts_a_subtree() {
+        let t = parse_term("r(a(b(c)) d)").unwrap();
+        let a = t.node_at_pre(1);
+        assert_eq!(to_term(&promote_to_root(&t, a)), "a(b(c))");
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset_and_size() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = parse_term("r(a(x y z) b c)").unwrap();
+        let t2 = shuffle_children(&t, &mut rng);
+        assert_eq!(t2.len(), t.len());
+        let mut l1: Vec<String> = t.nodes().map(|v| t.label_name(v).to_owned()).collect();
+        let mut l2: Vec<String> = t2.nodes().map(|v| t2.label_name(v).to_owned()).collect();
+        l1.sort();
+        l2.sort();
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn deep_chain_operations_do_not_overflow() {
+        let t = deep_path(10_000, "a");
+        let copy = copy_tree(&t);
+        assert_eq!(copy.len(), 10_000);
+        let deep = copy.node_at_pre(9_999);
+        assert_eq!(relabel(&copy, deep, "z").len(), 10_000);
+        let mid = copy.node_at_pre(5_000);
+        assert_eq!(delete_subtree(&copy, mid).len(), 5_000);
+        assert_eq!(append_leaf_to_root(&copy, "z").len(), 10_001);
+    }
+}

@@ -36,6 +36,11 @@ impl fmt::Debug for NodeId {
 /// extents that turn all axis membership tests into O(1) arithmetic
 /// (Section 2: "a node-labeled tree can be completely represented by one
 /// triple (i, j, a)" of pre-index, post-index and label).
+///
+/// Trees clone cheaply enough for test tooling (all index vectors are
+/// copied); the fuzzing subsystem relies on this to mutate and shrink
+/// inputs without threading borrows through its pipeline.
+#[derive(Clone)]
 pub struct Tree {
     pub(crate) interner: LabelInterner,
     pub(crate) parent: Vec<u32>,

@@ -83,7 +83,7 @@ impl<'a> P<'a> {
         {
             self.pos += 1;
         }
-        while self.pos < bytes.len() && matches!(bytes[self.pos], b'+') {
+        while self.pos < bytes.len() && matches!(bytes[self.pos], b'+' | b'*') {
             self.pos += 1;
         }
         if self.pos == start {
@@ -135,10 +135,26 @@ impl<'a> P<'a> {
         }
     }
 
-    /// step := axis_spec ('[' qual ']')*
+    /// step := '(' union ')' | axis_spec, followed by ('[' qual ']')*
+    ///
+    /// The parenthesized form makes the [`Path`] `Display` output (which
+    /// prints unions as `(a | b)`) re-parseable wherever a step can
+    /// appear, e.g. `x/(a | b)/y`.
     fn step(&mut self, descendant: bool) -> Result<Path, XPathParseError> {
         self.ws();
-        let mut path = if self.eat("..") {
+        let mut path = if self.eat("(") {
+            let inner = self.union()?;
+            if !self.eat(")") {
+                return self.err("expected ')' after path group");
+            }
+            if descendant {
+                // `//(a | b)` — insert a descendant-or-self hop, as for
+                // `//axis::x`.
+                Path::step(Axis::DescendantOrSelf).then(inner)
+            } else {
+                inner
+            }
+        } else if self.eat("..") {
             Path::step(Axis::Parent)
         } else if self.eat(".") {
             Path::step(Axis::SelfAxis)
@@ -240,12 +256,21 @@ impl<'a> P<'a> {
             }
             return Ok(Qual::Not(Box::new(q)));
         }
-        if self.eat("(") {
-            let q = self.qual()?;
-            if !self.eat(")") {
-                return self.err("expected ')'");
+        if self.peek_str("(") {
+            // Ambiguous: `(...)` may group a qualifier (`(a and b)`) or
+            // start a path whose head is a parenthesized group
+            // (`(a | b)/c`). Try the qualifier reading; if the close
+            // paren is followed by more path syntax, re-parse as a path.
+            let save = self.pos;
+            self.eat("(");
+            if let Ok(q) = self.qual() {
+                if self.eat(")") && !(self.peek_str("/") || self.peek_str("[")) {
+                    return Ok(q);
+                }
             }
-            return Ok(q);
+            self.pos = save;
+            let p = self.union()?;
+            return Ok(Qual::Path(p));
         }
         if self.eat_word("lab") {
             if !(self.eat("(") && self.eat(")") && self.eat("=")) {
@@ -354,6 +379,68 @@ mod tests {
         let p = parse_xpath("a//ancestor::b").unwrap();
         // a / descendant-or-self::* / ancestor::b
         assert!(matches!(p, Path::Seq(..)));
+    }
+
+    #[test]
+    fn reflexive_paper_axis_names() {
+        assert_eq!(
+            parse_xpath("child*::*").unwrap(),
+            Path::step(Axis::DescendantOrSelf)
+        );
+        assert_eq!(
+            parse_xpath("nextsibling*::a").unwrap(),
+            Path::labeled_step(Axis::FollowingSiblingOrSelf, "a")
+        );
+    }
+
+    #[test]
+    fn parenthesized_path_groups() {
+        let u = Path::labeled_step(Axis::Child, "a").union(Path::labeled_step(Axis::Child, "b"));
+        assert_eq!(parse_xpath("(a | b)").unwrap(), u.clone());
+        assert_eq!(
+            parse_xpath("x/(a | b)/y").unwrap(),
+            Path::labeled_step(Axis::Child, "x")
+                .then(u.clone())
+                .then(Path::labeled_step(Axis::Child, "y"))
+        );
+        // `//(...)` inserts the usual descendant-or-self hop.
+        assert_eq!(
+            parse_xpath("//(a | b)").unwrap(),
+            Path::step(Axis::DescendantOrSelf).then(u)
+        );
+    }
+
+    #[test]
+    fn qualifier_starting_with_group() {
+        // `(a | b)/c` inside a qualifier is a path, not a grouped qual.
+        let p = parse_xpath("x[(a | b)/c]").unwrap();
+        let Path::Step { quals, .. } = &p else {
+            panic!()
+        };
+        let Qual::Path(q) = &quals[1] else {
+            panic!("expected path qualifier, got {:?}", quals[1])
+        };
+        assert!(matches!(q, Path::Seq(..)));
+    }
+
+    #[test]
+    fn display_reparses_identically() {
+        for src in [
+            "//a[b and not(c or lab()=d)]",
+            "(a | b[c | d])/e",
+            "child*::* | nextsibling*::x",
+            "a//ancestor::b[preceding-sibling::c]",
+            "x[(a | b)/c]/..",
+        ] {
+            let p = parse_xpath(src).unwrap();
+            let printed = p.to_string();
+            let re = parse_xpath(&printed)
+                .unwrap_or_else(|e| panic!("display of {src:?} = {printed:?} failed: {e}"));
+            // `Seq` associativity may differ after a re-parse, so compare
+            // the printed forms (the fixpoint the corpus format relies on)
+            // rather than the ASTs.
+            assert_eq!(re.to_string(), printed, "{src:?}");
+        }
     }
 
     #[test]

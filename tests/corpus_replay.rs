@@ -1,0 +1,140 @@
+//! Replays the committed regression corpus (`tests/corpus/*.case`).
+//!
+//! Every file is a shrunk reproducer of a historical discrepancy (or a
+//! handwritten conformance case). Replaying one runs the full
+//! differential check — every applicable strategy × worker count, plus
+//! the streaming / datalog variants — and the metamorphic laws; a clean
+//! corpus therefore proves the current engine agrees with itself on
+//! every input that ever caught a bug. `ci.sh` runs this suite under
+//! `TREEQUERY_WORKERS=1` and `=4`.
+
+use std::path::Path;
+
+use treequery_fuzz::{case_file_name, load_dir, render_case, replay, save_case, Reproducer};
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn committed_corpus_is_nonempty() {
+    let corpus = load_dir(&corpus_dir()).expect("corpus loads");
+    assert!(
+        corpus.len() >= 3,
+        "expected the seeded regression corpus, found {} cases",
+        corpus.len()
+    );
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    for (path, r) in load_dir(&corpus_dir()).expect("corpus loads") {
+        if let Some(failure) = replay(&r) {
+            panic!("{} regressed: {failure}", path.display());
+        }
+    }
+}
+
+#[test]
+fn corpus_files_are_content_addressed() {
+    // File names are the FNV-1a hash of the case content, so a re-found
+    // bug overwrites its existing reproducer instead of growing the
+    // corpus. A renamed or hand-edited file breaks that invariant.
+    for (path, r) in load_dir(&corpus_dir()).expect("corpus loads") {
+        let expected = case_file_name(&r);
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some(expected.as_str()),
+            "{} is misnamed for its content",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_files_are_canonically_rendered() {
+    // Each committed file must be exactly what `save_case` would write,
+    // so render → parse → render is a fixpoint on the whole corpus.
+    for (path, r) in load_dir(&corpus_dir()).expect("corpus loads") {
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            on_disk,
+            render_case(&r),
+            "{} is not canonically rendered",
+            path.display()
+        );
+    }
+}
+
+/// Rewrites the handwritten seed cases through `save_case`, keeping the
+/// content-addressed names correct. Run manually after editing seeds:
+/// `cargo test --test corpus_replay -- --ignored`.
+#[test]
+#[ignore = "writes to tests/corpus; run manually to regenerate seeds"]
+fn regenerate_seed_corpus() {
+    use treequery_core::{cq, datalog, parse_term, xpath};
+
+    let seeds = [
+        // The first real bug the fuzzer caught: the acyclic enumerator's
+        // sibling index dropped the reflexive pair (root, root) for
+        // NextSibling* — the root has no parent, hence no sibling group.
+        Reproducer {
+            category: "cq-diff".into(),
+            case: treequery_fuzz::FuzzCase {
+                tree: parse_term("a").unwrap(),
+                query: treequery_fuzz::CaseQuery::Cq(
+                    cq::parse_cq("q() :- preceding-sibling-or-self(x0, x1).").unwrap(),
+                ),
+            },
+            note: "seed 0xc0c4: cq/acyclic dropped the reflexive (root, root) \
+                   pair of NextSibling* (no sibling group for the root)"
+                .into(),
+        },
+        Reproducer {
+            category: "cq-diff".into(),
+            case: treequery_fuzz::FuzzCase {
+                tree: parse_term("a").unwrap(),
+                query: treequery_fuzz::CaseQuery::Cq(
+                    cq::parse_cq("q() :- nextsibling*(x1, x0).").unwrap(),
+                ),
+            },
+            note: "seed 0xc0c4: same root/reflexive-sibling bug, forward \
+                   normalization direction"
+                .into(),
+        },
+        // Handwritten conformance seeds: exercise the streaming path and
+        // the datalog naive/TMNF variants on every replay.
+        Reproducer {
+            category: "xpath-diff".into(),
+            case: treequery_fuzz::FuzzCase {
+                tree: parse_term("r(a(b) a(b(c)) c(a(b)))").unwrap(),
+                query: treequery_fuzz::CaseQuery::XPath(
+                    xpath::parse_xpath("descendant::*[lab()=a]/child::*[lab()=b]").unwrap(),
+                ),
+            },
+            note: "handwritten: streamable descendant/child pattern with \
+                   repeated matches at different depths"
+                .into(),
+        },
+        Reproducer {
+            category: "datalog-diff".into(),
+            case: treequery_fuzz::FuzzCase {
+                tree: parse_term("r(a(b b) b(a))").unwrap(),
+                query: treequery_fuzz::CaseQuery::Datalog(
+                    datalog::parse_program(
+                        "P0(x) :- label(x, b), child(y, x), label(y, a). ?- P0.",
+                    )
+                    .unwrap(),
+                ),
+            },
+            note: "handwritten: recursion-free program comparing planner, \
+                   naive, and TMNF evaluation"
+                .into(),
+        },
+    ];
+    let dir = corpus_dir();
+    for r in seeds {
+        let path = save_case(&dir, &r).expect("seed case saves");
+        println!("wrote {}", path.display());
+    }
+}

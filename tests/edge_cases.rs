@@ -1,0 +1,97 @@
+//! Degenerate-input conformance: every strategy must agree on the trees
+//! that break naive implementations — single nodes, depth-10⁴ chains
+//! (stack-overflow bait), maximal-fanout stars with one label, and
+//! queries with no matches at all. The differential executor from the
+//! fuzz crate does the cross-checking, so "agree" here means: every
+//! applicable strategy × worker count, plus the streaming and datalog
+//! variants, produce identical answers.
+
+use treequery_core::tree::{deep_path, star, to_term};
+use treequery_core::{cq, datalog, parse_term, xpath, Tree};
+use treequery_fuzz::{differential_check, shrink, CaseQuery, DiffOptions, FuzzCase};
+
+fn assert_agrees(tree: Tree, query: CaseQuery) {
+    let case = FuzzCase { tree, query };
+    let (d, checks) = differential_check(&case, &DiffOptions::default());
+    assert!(checks >= 2, "at least two executors must run");
+    if let Some(d) = d {
+        panic!("{} on {}: {d}", case.query, to_term(&case.tree));
+    }
+}
+
+fn xp(s: &str) -> CaseQuery {
+    CaseQuery::XPath(xpath::parse_xpath(s).unwrap())
+}
+
+fn cq(s: &str) -> CaseQuery {
+    CaseQuery::Cq(cq::parse_cq(s).unwrap())
+}
+
+fn dl(s: &str) -> CaseQuery {
+    CaseQuery::Datalog(datalog::parse_program(s).unwrap())
+}
+
+#[test]
+fn single_node_trees_agree_across_strategies() {
+    let queries = [
+        xp("self::*[lab()=a]"),
+        xp("descendant-or-self::*"),
+        xp("child::*"),
+        cq("q(x) :- label(x, a)."),
+        cq("q(x, y) :- child*(x, y)."),
+        cq("q() :- root(x), leaf(x)."),
+        dl("P0(x) :- label(x, a). ?- P0."),
+    ];
+    for q in queries {
+        assert_agrees(parse_term("a").unwrap(), q);
+    }
+}
+
+#[test]
+fn deep_chains_do_not_overflow_any_strategy() {
+    let t = deep_path(10_000, "a");
+    assert_agrees(t.clone(), xp("descendant::*[lab()=a]"));
+    assert_agrees(t.clone(), xp("child::*/child::*"));
+    assert_agrees(t.clone(), cq("q(y) :- root(x), child+(x, y), leaf(y)."));
+    assert_agrees(t, dl("P0(x) :- leaf(x). ?- P0."));
+}
+
+#[test]
+fn deep_chain_survives_the_shrinker() {
+    // The shrinker walks and rebuilds the tree on every candidate; with
+    // a depth-10⁴ chain any recursive traversal would blow the stack.
+    let case = FuzzCase {
+        tree: deep_path(10_000, "a"),
+        query: xp("self::*"),
+    };
+    // Predicate: tree deeper than 5 nodes (monotone under shrinking
+    // until the bound, so the minimum is a 6-node chain).
+    let (min, _) = shrink(&case, &mut |c| c.tree.len() > 5);
+    assert_eq!(min.tree.len(), 6, "got {}", to_term(&min.tree));
+}
+
+#[test]
+fn all_same_label_stars_agree_across_strategies() {
+    let t = star(500, "a");
+    assert_agrees(t.clone(), xp("child::*[lab()=a]"));
+    assert_agrees(t.clone(), xp("descendant::*/following-sibling::*"));
+    assert_agrees(t.clone(), cq("q(x, y) :- nextsibling(x, y)."));
+    assert_agrees(t.clone(), cq("q(x) :- nextsibling*(x, y), leaf(y)."));
+    assert_agrees(t, dl("P0(x) :- lastsibling(x). ?- P0."));
+}
+
+#[test]
+fn no_match_queries_return_empty_everywhere() {
+    let t = parse_term("r(a(b) a(b(c)) c)").unwrap();
+    assert_agrees(t.clone(), xp("descendant::*[lab()=zzz]"));
+    assert_agrees(t.clone(), xp("child::*[lab()=b]/child::*[lab()=r]"));
+    assert_agrees(t.clone(), cq("q(x) :- label(x, zzz)."));
+    assert_agrees(t.clone(), cq("q(x) :- root(x), leaf(x)."));
+    assert_agrees(t, dl("P0(x) :- label(x, zzz), child(y, x). ?- P0."));
+}
+
+#[test]
+#[should_panic(expected = "at least one node")]
+fn zero_node_trees_are_unrepresentable() {
+    let _ = deep_path(0, "a");
+}

@@ -1,0 +1,100 @@
+//! Golden tests for shrinker determinism: the shrinker is a greedy
+//! fixpoint with a fixed pass order, so the same starting case and the
+//! same (deterministic) failure predicate must always produce the same
+//! minimized reproducer — byte for byte, across runs and machines.
+//!
+//! The failure predicate here is a deliberately injected strategy bug
+//! (`Corruption`, the detector self-test hook): the set-at-a-time XPath
+//! strategy "loses" the last result node. The differential check must
+//! catch it, and the shrinker must reduce the witness to a locally
+//! minimal case.
+
+use treequery_core::tree::to_term;
+use treequery_core::{parse_term, xpath, Strategy};
+use treequery_fuzz::{
+    differential_check, render_case, shrink, CaseQuery, Corruption, CorruptionKind, DiffOptions,
+    FuzzCase, Reproducer,
+};
+
+fn injected_bug() -> DiffOptions {
+    DiffOptions {
+        corrupt: Some(Corruption {
+            strategy: Strategy::XPathSetAtATime,
+            kind: CorruptionKind::DropLast,
+        }),
+        ..DiffOptions::default()
+    }
+}
+
+fn start_case() -> FuzzCase {
+    FuzzCase {
+        tree: parse_term("r(a(b(c) b) a(c(b)) b(a))").unwrap(),
+        query: CaseQuery::XPath(
+            xpath::parse_xpath("descendant::*[lab()=b]/child::*[lab()=c]").unwrap(),
+        ),
+    }
+}
+
+fn minimize() -> (FuzzCase, treequery_fuzz::ShrinkStats) {
+    let opts = injected_bug();
+    let case = start_case();
+    let (d, _) = differential_check(&case, &opts);
+    assert!(d.is_some(), "the injected bug must fire on the start case");
+    shrink(&case, &mut |c| differential_check(c, &opts).0.is_some())
+}
+
+#[test]
+fn injected_bug_shrinks_to_a_tiny_case() {
+    let (min, stats) = minimize();
+    assert!(stats.steps > 0, "the start case is not minimal");
+    assert!(
+        min.tree.len() <= 8,
+        "tree not minimized: {}",
+        to_term(&min.tree)
+    );
+    assert!(min.query.size() <= 3, "query not minimized: {}", min.query);
+    // Still a witness after minimization.
+    let (d, _) = differential_check(&min, &injected_bug());
+    assert!(d.is_some(), "minimized case must still fail");
+}
+
+#[test]
+fn shrinking_the_same_bug_twice_is_byte_identical() {
+    let (a, sa) = minimize();
+    let (b, sb) = minimize();
+    let ra = render_case(&Reproducer {
+        category: "xpath-diff".into(),
+        case: a,
+        note: "golden".into(),
+    });
+    let rb = render_case(&Reproducer {
+        category: "xpath-diff".into(),
+        case: b,
+        note: "golden".into(),
+    });
+    assert_eq!(ra, rb);
+    assert_eq!((sa.steps, sa.attempts), (sb.steps, sb.attempts));
+}
+
+#[test]
+fn minimized_reproducer_matches_the_golden_rendering() {
+    // The exact bytes `save_case` would persist for this bug. If a
+    // shrinker pass is added, removed, or reordered, this golden churns —
+    // update it deliberately, never incidentally.
+    let (min, _) = minimize();
+    let rendered = render_case(&Reproducer {
+        category: "xpath-diff".into(),
+        case: min,
+        note: "golden: set-at-a-time drops the last node".into(),
+    });
+    // Locally minimal: paths start at the virtual document node, so
+    // `child+::*` (descendant) selects every element — a single-node
+    // tree already yields one node for DropLast to lose.
+    let golden = "# treequery-fuzz reproducer\n\
+                  category: xpath-diff\n\
+                  lang: xpath\n\
+                  tree: a\n\
+                  query: child+::*\n\
+                  note: golden: set-at-a-time drops the last node\n";
+    assert_eq!(rendered, golden);
+}

@@ -1,0 +1,62 @@
+//! XML parser round-trip property: `parse_xml ∘ to_xml` is the identity
+//! on trees, and malformed documents are rejected rather than silently
+//! repaired. The positive half is driven by the fuzz crate's structure-
+//! aware tree generator, so the property covers chains, stars, and
+//! random shapes — not just handwritten fixtures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treequery_core::tree::to_term;
+use treequery_core::{parse_term, parse_xml, to_xml};
+use treequery_fuzz::{gen_tree, GenConfig};
+
+#[test]
+fn generated_trees_round_trip_through_xml() {
+    let cfg = GenConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..200 {
+        let t = gen_tree(&mut rng, &cfg);
+        let xml = to_xml(&t);
+        let back = parse_xml(&xml).expect("serialized XML parses back");
+        assert_eq!(to_term(&back), to_term(&t), "round trip changed {xml}");
+        // And the serialization itself is stable across the round trip.
+        assert_eq!(to_xml(&back), xml);
+    }
+}
+
+#[test]
+fn handwritten_documents_round_trip() {
+    for term in ["a", "r(a b c)", "r(a(b(c)) a(b) c)", "x(x(x))"] {
+        let t = parse_term(term).unwrap();
+        let back = parse_xml(&to_xml(&t)).unwrap();
+        assert_eq!(to_term(&back), term);
+    }
+}
+
+#[test]
+fn deep_chain_round_trips_without_overflow() {
+    let t = treequery_core::tree::deep_path(10_000, "a");
+    let back = parse_xml(&to_xml(&t)).expect("deep chain parses");
+    assert_eq!(back.len(), 10_000);
+}
+
+#[test]
+fn malformed_documents_are_rejected() {
+    let bad = [
+        "",               // no root element
+        "<a>",            // unclosed root
+        "<a></b>",        // mismatched close tag
+        "<a></a></a>",    // close past the root
+        "<a><b></a></b>", // interleaved tags
+        "<a></a><b></b>", // two roots
+        "< a></a>",       // space before the name
+        "<a",             // truncated open tag
+        "junk",           // no markup at all
+    ];
+    for doc in bad {
+        assert!(
+            parse_xml(doc).is_err(),
+            "malformed document accepted: {doc:?}"
+        );
+    }
+}

@@ -23,12 +23,22 @@ TREEQUERY_WORKERS=4 cargo test --workspace -q
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "==> noop-recorder overhead gate"
+echo "==> noop-recorder + counting-allocator overhead gate"
 cargo run -p treequery-bench --release --bin harness -q -- --check-noop-overhead
+
+echo "==> continuous benchmark trajectory gate"
+# Runs the pinned suite and fails on >15% wall (calibration-scaled,
+# persisting across re-measurement) or >10% allocated-byte regressions
+# against the committed seed baseline. After an intentional perf change,
+# regenerate with: harness bench --out crates/bench/BENCH_seed.json
+BENCH_OUT="$(mktemp -t treequery-bench.XXXXXX.json)"
+trap 'rm -f "$BENCH_OUT"' EXIT
+cargo run -p treequery-bench --release --bin harness -q -- bench \
+    --out "$BENCH_OUT" --baseline crates/bench/BENCH_seed.json
 
 echo "==> harness --report round-trip smoke (E19)"
 REPORT="$(mktemp -t treequery-report.XXXXXX.json)"
-trap 'rm -f "$REPORT"' EXIT
+trap 'rm -f "$BENCH_OUT" "$REPORT"' EXIT
 cargo run -p treequery-bench --release --bin harness -q -- --report "$REPORT" e12 e19
 grep -q '"e19"' "$REPORT"
 

@@ -1,5 +1,5 @@
 //! Regenerates every figure and table of the paper's reproduction: runs
-//! experiments E1–E19 and prints the paper-style tables recorded in
+//! experiments E1–E21 and prints the paper-style tables recorded in
 //! `EXPERIMENTS.md`.
 //!
 //! ```text
@@ -7,6 +7,8 @@
 //! cargo run -p treequery-bench --release --bin harness e07 e12  # a subset
 //! cargo run -p treequery-bench --release --bin harness --report out.json
 //! cargo run -p treequery-bench --release --bin harness --check-noop-overhead
+//! cargo run -p treequery-bench --release --bin harness --serve-metrics 9184
+//! cargo run -p treequery-bench --release --bin harness bench --baseline crates/bench/BENCH_seed.json
 //! cargo run -p treequery-bench --release --bin harness fuzz --seconds 10 --seed 0xC0C4
 //! ```
 //!
@@ -15,8 +17,20 @@
 //! per-span latency percentiles, submitted engine counters).
 //!
 //! `--check-noop-overhead` measures the disabled-recorder span cost and
-//! fails (exit 1) if it regressed more than 5% past the recorded baseline
-//! in `crates/bench/noop_baseline.json`; `ci.sh` runs this gate.
+//! the disabled-path cost of the counting allocator; it fails (exit 1) if
+//! the span cost regressed more than 5% past the recorded baseline in
+//! `crates/bench/noop_baseline.json` or the allocator adds more than 10%
+//! to a raw `System` alloc/free loop; `ci.sh` runs this gate.
+//!
+//! `bench` runs the pinned continuous-benchmark suite (one query per
+//! strategy × document size × worker count) and writes
+//! `BENCH_<git-sha>.json`; with `--baseline <file>` it exits 1 on >15%
+//! wall or >10% allocated-byte regressions. `ci.sh` runs this gate
+//! against the committed `crates/bench/BENCH_seed.json`.
+//!
+//! `--serve-metrics PORT` runs a small demo workload, publishes the
+//! engine counters to the global metrics registry, and serves exactly one
+//! HTTP scrape of the Prometheus text exposition before exiting.
 //!
 //! `fuzz` runs a seed-deterministic differential fuzzing campaign
 //! (`--seconds N --seed S [--rate R] [--corpus DIR]`); shrunk
@@ -24,9 +38,16 @@
 //! `tests/corpus`) and the process exits 1 if any discrepancy was
 //! found. `ci.sh` runs this gate too.
 
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use treequery_bench::experiments::{self, e18_observability};
 use treequery_bench::report::ReportBuilder;
+use treequery_bench::suite;
 use treequery_core::obs::parse_json;
+use treequery_core::tree::{xmark_document, XmarkConfig};
+use treequery_core::Engine;
 
 const ALL: &[(&str, fn())] = &[
     ("e01", experiments::e01_table1::run),
@@ -48,7 +69,26 @@ const ALL: &[(&str, fn())] = &[
     ("e17", experiments::e17_planner::run),
     ("e18", e18_observability::run),
     ("e19", experiments::e19_parallel::run),
+    ("e21", experiments::e21_memory::run),
 ];
+
+const USAGE: &str = "\
+usage: harness [EXPERIMENT-IDS...] [--report FILE]
+       harness --check-noop-overhead
+       harness --serve-metrics PORT
+       harness bench [--out FILE] [--baseline FILE] [--reps N] [--sizes SMALL,LARGE]
+       harness fuzz [--seconds N] [--seed S] [--rate R] [--corpus DIR | --no-corpus]
+
+With no arguments, runs all experiments (e1..e19, e21) and prints their
+tables. `--report` writes a machine-readable JSON report instead.
+`bench` runs the pinned continuous-benchmark suite, writes
+BENCH_<git-sha>.json, and (with --baseline) exits 1 on >15% wall /
+>10% allocated-byte regressions.";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}\n\n{USAGE}");
+    std::process::exit(2);
+}
 
 fn lookup(arg: &str) -> Option<(&'static str, fn())> {
     let digits = arg
@@ -60,8 +100,56 @@ fn lookup(arg: &str) -> Option<(&'static str, fn())> {
         .copied()
 }
 
+/// The disabled-path cost of the counting allocator: a raw alloc/free
+/// loop through the installed `#[global_allocator]` (accounting off)
+/// versus the same loop straight against `System`. Interleaved reps,
+/// min of each — the steady-state ratio.
+fn counting_alloc_overhead() -> f64 {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use treequery_core::obs::alloc::CountingAlloc;
+    let layout = Layout::from_size_align(256, 8).expect("static layout");
+    const ITERS: usize = 200_000;
+    fn timed(mut alloc_free: impl FnMut()) -> Duration {
+        let started = Instant::now();
+        for _ in 0..ITERS {
+            alloc_free();
+        }
+        started.elapsed()
+    }
+    // Call the CountingAlloc instance's methods directly rather than
+    // going through `std::alloc::alloc`: the latter adds the
+    // `__rust_alloc` -> `__rg_alloc` trampoline that *any* registered
+    // `#[global_allocator]` pays (even a pure forwarder), which would
+    // drown the quantity under test — the marginal cost of the
+    // disabled-path accounting check itself.
+    let counting = CountingAlloc;
+    // Ratio per *adjacent pair* of timed loops, min over reps: a machine
+    // slowdown spanning one rep hits both loops of the pair and cancels
+    // in the ratio, while a genuine check cost shows up in every pair.
+    let mut best_ratio = f64::MAX;
+    for _ in 0..15 {
+        // black_box keeps LLVM from eliding the malloc/free pairs (it
+        // happily deletes dead System allocations, leaving a 0ns
+        // baseline and a nonsense ratio).
+        let system = timed(|| unsafe {
+            let p = std::hint::black_box(System.alloc(layout));
+            assert!(!p.is_null());
+            System.dealloc(p, layout);
+        });
+        let counting = timed(|| unsafe {
+            let p = std::hint::black_box(counting.alloc(layout));
+            assert!(!p.is_null());
+            counting.dealloc(p, layout);
+        });
+        best_ratio = best_ratio.min(counting.as_secs_f64() / system.as_secs_f64());
+    }
+    best_ratio
+}
+
 /// Fails (exit 1) if the disabled-recorder span overhead regressed more
-/// than 5% past the recorded baseline ratio.
+/// than 5% past the recorded baseline ratio, or if the counting
+/// allocator's disabled path adds more than 10% to a raw alloc/free
+/// loop.
 fn check_noop_overhead() {
     let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/noop_baseline.json");
     let text = std::fs::read_to_string(baseline_path)
@@ -78,15 +166,33 @@ fn check_noop_overhead() {
          baseline {max_ratio:.2}, budget {budget:.4}",
         measured.ratio, measured.per_span_ns
     );
+    let mut failed = false;
     if measured.ratio > budget {
         eprintln!(
             "FAIL: disabled-span overhead {:.4} exceeds budget {budget:.4} \
              (baseline {max_ratio:.2} + 5%)",
             measured.ratio
         );
+        failed = true;
+    }
+    const ALLOC_BUDGET: f64 = 1.10;
+    let alloc_ratio = counting_alloc_overhead();
+    println!(
+        "counting-allocator disabled-path overhead: ratio {alloc_ratio:.4} \
+         vs raw System, budget {ALLOC_BUDGET:.2}"
+    );
+    if alloc_ratio > ALLOC_BUDGET {
+        eprintln!(
+            "FAIL: counting allocator adds {:.1}% to raw allocation \
+             (budget 10%)",
+            (alloc_ratio - 1.0) * 100.0
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!("OK: disabled spans are within the overhead budget");
+    println!("OK: disabled spans and the counting allocator are within budget");
 }
 
 /// Parses a decimal or `0x`-prefixed hexadecimal integer.
@@ -98,89 +204,192 @@ fn parse_u64(s: &str) -> Option<u64> {
     }
 }
 
-/// The `fuzz` subcommand: a seed-deterministic differential campaign.
-/// Exits 1 on any discrepancy, 2 on bad arguments.
-fn run_fuzz(args: &[String]) -> ! {
-    let mut cfg = treequery_fuzz::CampaignConfig {
-        corpus_dir: Some(std::path::PathBuf::from("tests/corpus")),
-        ..treequery_fuzz::CampaignConfig::default()
-    };
+/// The `bench` subcommand: runs the pinned suite, writes the trajectory
+/// report, and optionally gates against a baseline. Exits 1 on
+/// regression, 2 on bad arguments.
+fn run_bench(args: &[String]) -> ! {
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut reps = 15usize;
+    let mut sizes = (500usize, 5_000usize);
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut take = |name: &str| {
-            iter.next().cloned().unwrap_or_else(|| {
-                eprintln!("{name} requires a value");
-                std::process::exit(2);
-            })
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
         };
         match arg.as_str() {
-            "--seconds" => {
-                cfg.seconds = parse_u64(&take("--seconds")).unwrap_or_else(|| {
-                    eprintln!("--seconds expects an integer");
-                    std::process::exit(2);
-                })
+            "--out" => out = Some(take("--out")),
+            "--baseline" => baseline = Some(take("--baseline")),
+            "--reps" => {
+                reps = parse_u64(&take("--reps"))
+                    .unwrap_or_else(|| usage_error("--reps expects an integer"))
+                    as usize
             }
-            "--seed" => {
-                cfg.seed = parse_u64(&take("--seed")).unwrap_or_else(|| {
-                    eprintln!("--seed expects an integer (decimal or 0x-hex)");
-                    std::process::exit(2);
-                })
+            "--sizes" => {
+                let v = take("--sizes");
+                let parsed = v.split_once(',').and_then(|(s, l)| {
+                    Some((parse_u64(s.trim())? as usize, parse_u64(l.trim())? as usize))
+                });
+                sizes =
+                    parsed.unwrap_or_else(|| usage_error("--sizes expects SMALL,LARGE integers"));
             }
-            "--rate" => {
-                cfg.inputs_per_second = parse_u64(&take("--rate")).unwrap_or_else(|| {
-                    eprintln!("--rate expects an integer");
-                    std::process::exit(2);
-                })
-            }
-            "--corpus" => cfg.corpus_dir = Some(std::path::PathBuf::from(take("--corpus"))),
-            "--no-corpus" => cfg.corpus_dir = None,
-            other => {
-                eprintln!("unknown fuzz option '{other}'");
-                std::process::exit(2);
-            }
+            other => usage_error(&format!("unknown bench option '{other}'")),
         }
     }
-    let report = treequery_fuzz::run_campaign(&cfg);
-    print!("{}", report.render());
-    println!("elapsed: {:.2}s", report.elapsed.as_secs_f64());
-    for p in &report.saved {
-        println!("saved reproducer: {}", p.display());
+    let report = suite::run_suite_with(sizes.0, sizes.1, reps);
+    if let Some(cases) = report.get("cases").and_then(|c| c.as_arr()) {
+        println!(
+            "{:<42} {:>12} {:>12} {:>12}",
+            "case", "wall p50", "bytes", "peak live"
+        );
+        for c in cases {
+            let u = |k: &str| c.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            println!(
+                "{:<42} {:>12} {:>12} {:>12}",
+                c.get("id").and_then(|v| v.as_str()).unwrap_or("?"),
+                treequery_bench::util::fmt_dur(Duration::from_nanos(u("wall_p50_ns"))),
+                u("bytes"),
+                u("peak_live_bytes"),
+            );
+        }
     }
-    if report.total_discrepancies() > 0 {
-        eprintln!("FAIL: {} discrepancies found", report.total_discrepancies());
+    let path = out.unwrap_or_else(|| format!("BENCH_{}.json", suite::git_sha()));
+    let mut rendered = report.render();
+    rendered.push('\n');
+    if let Err(e) = std::fs::write(&path, rendered) {
+        eprintln!("cannot write bench report to {path}: {e}");
         std::process::exit(1);
     }
-    println!("OK: all executors agreed on every input");
+    println!("bench report written to {path}");
+    if let Some(baseline_path) = baseline {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read {baseline_path}: {e}")));
+        let base =
+            parse_json(&text).unwrap_or_else(|e| usage_error(&format!("{baseline_path}: {e:?}")));
+        let mut failures = suite::compare_reports(&report, &base);
+        // A genuine regression reproduces on every re-measurement; a
+        // noisy-neighbor phase hits different cases each time. Keep only
+        // failures that persist across up to two fresh suite runs.
+        for attempt in 0..2 {
+            if failures.is_empty() {
+                break;
+            }
+            eprintln!(
+                "{} possible regression(s); re-measuring (attempt {})",
+                failures.len(),
+                attempt + 2,
+            );
+            let retry = suite::run_suite_with(sizes.0, sizes.1, reps);
+            let retry_failures = suite::compare_reports(&retry, &base);
+            let case_of = |f: &str| f.split(": ").next().unwrap_or("").to_owned();
+            let retry_cases: Vec<String> = retry_failures.iter().map(|f| case_of(f)).collect();
+            failures.retain(|f| retry_cases.contains(&case_of(f)));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            eprintln!(
+                "{} regression(s) against baseline {baseline_path}",
+                failures.len()
+            );
+            std::process::exit(1);
+        }
+        println!("OK: within budgets of baseline {baseline_path}");
+    }
+    std::process::exit(0);
+}
+
+/// `--serve-metrics PORT`: populate the global registry from a demo
+/// workload, serve exactly one Prometheus scrape, exit.
+fn serve_metrics(port: u16) -> ! {
+    use std::io::{Read, Write};
+    use treequery_core::obs::metrics;
+    use treequery_core::obs::prom;
+
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let tree = xmark_document(&mut rng, &XmarkConfig::scaled_to(400));
+    let engine = Engine::new(&tree);
+    let wall = metrics::global().histogram_family_or_existing(
+        "treequery_query_wall_ns",
+        "Wall time of demo-workload queries.",
+        "query",
+    );
+    for q in [
+        "//person/name",
+        "//open_auction//bidder",
+        "/site/regions//item",
+    ] {
+        let started = Instant::now();
+        engine.xpath(q).expect("demo workload queries parse");
+        wall.with_label(q)
+            .observe(started.elapsed().as_nanos() as u64);
+    }
+    engine.metrics_quiesced().publish_to_registry();
+
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .unwrap_or_else(|e| usage_error(&format!("cannot bind 127.0.0.1:{port}: {e}")));
+    println!(
+        "serving one metrics scrape at http://{}/metrics",
+        listener
+            .local_addr()
+            .expect("bound listener has an address")
+    );
+    let (mut stream, _) = listener.accept().expect("accept scrape connection");
+    let mut request = [0u8; 4096];
+    let _ = stream.read(&mut request);
+    let body = prom::render_registry(metrics::global());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        prom::CONTENT_TYPE,
+        body.len(),
+    );
+    stream
+        .write_all(response.as_bytes())
+        .expect("write scrape response");
     std::process::exit(0);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("fuzz") {
-        run_fuzz(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("fuzz") => run_fuzz(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
+        _ => {}
     }
     let mut report_path: Option<String> = None;
     let mut selected: Vec<(&'static str, fn())> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--check-noop-overhead" => {
                 check_noop_overhead();
                 return;
             }
+            "--serve-metrics" => {
+                let port = iter
+                    .next()
+                    .and_then(|p| p.parse::<u16>().ok())
+                    .unwrap_or_else(|| usage_error("--serve-metrics requires a port"));
+                serve_metrics(port);
+            }
             "--report" => match iter.next() {
                 Some(path) => report_path = Some(path.clone()),
-                None => {
-                    eprintln!("--report requires an output file path");
-                    std::process::exit(2);
-                }
+                None => usage_error("--report requires an output file path"),
             },
+            other if other.starts_with('-') => usage_error(&format!("unknown flag '{other}'")),
             other => match lookup(other) {
                 Some(exp) => selected.push(exp),
-                None => {
-                    eprintln!("unknown experiment '{other}' (expected e1..e19)");
-                    std::process::exit(2);
-                }
+                None => usage_error(&format!(
+                    "unknown experiment '{other}' (expected e1..e19, e21)"
+                )),
             },
         }
     }
@@ -205,4 +414,50 @@ fn main() {
             }
         }
     }
+}
+
+/// The `fuzz` subcommand: a seed-deterministic differential campaign.
+/// Exits 1 on any discrepancy, 2 on bad arguments.
+fn run_fuzz(args: &[String]) -> ! {
+    let mut cfg = treequery_fuzz::CampaignConfig {
+        corpus_dir: Some(std::path::PathBuf::from("tests/corpus")),
+        ..treequery_fuzz::CampaignConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |name: &str| {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--seconds" => {
+                cfg.seconds = parse_u64(&take("--seconds"))
+                    .unwrap_or_else(|| usage_error("--seconds expects an integer"))
+            }
+            "--seed" => {
+                cfg.seed = parse_u64(&take("--seed"))
+                    .unwrap_or_else(|| usage_error("--seed expects an integer (decimal or 0x-hex)"))
+            }
+            "--rate" => {
+                cfg.inputs_per_second = parse_u64(&take("--rate"))
+                    .unwrap_or_else(|| usage_error("--rate expects an integer"))
+            }
+            "--corpus" => cfg.corpus_dir = Some(std::path::PathBuf::from(take("--corpus"))),
+            "--no-corpus" => cfg.corpus_dir = None,
+            other => usage_error(&format!("unknown fuzz option '{other}'")),
+        }
+    }
+    let report = treequery_fuzz::run_campaign(&cfg);
+    print!("{}", report.render());
+    println!("elapsed: {:.2}s", report.elapsed.as_secs_f64());
+    for p in &report.saved {
+        println!("saved reproducer: {}", p.display());
+    }
+    if report.total_discrepancies() > 0 {
+        eprintln!("FAIL: {} discrepancies found", report.total_discrepancies());
+        std::process::exit(1);
+    }
+    println!("OK: all executors agreed on every input");
+    std::process::exit(0);
 }

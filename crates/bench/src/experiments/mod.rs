@@ -19,6 +19,7 @@ pub mod e16_xpath_scaling;
 pub mod e17_planner;
 pub mod e18_observability;
 pub mod e19_parallel;
+pub mod e21_memory;
 
 /// Runs every experiment in order.
 pub fn run_all() {
@@ -41,4 +42,5 @@ pub fn run_all() {
     e17_planner::run();
     e18_observability::run();
     e19_parallel::run();
+    e21_memory::run();
 }

@@ -9,4 +9,5 @@
 
 pub mod experiments;
 pub mod report;
+pub mod suite;
 pub mod util;

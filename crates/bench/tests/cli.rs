@@ -1,0 +1,154 @@
+//! End-to-end tests of the `harness` binary's command line: flag
+//! rejection, the `bench` subcommand's report emission, and the baseline
+//! regression gate.
+//!
+//! The bench runs use tiny documents (`--sizes`) and one rep so the whole
+//! suite stays fast in debug test builds; the emitted schema is the same
+//! as the production run.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use treequery_core::obs::{parse_json, Json};
+
+fn harness(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args(args)
+        .output()
+        .expect("harness binary runs")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("treequery-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn unknown_flags_are_rejected_with_usage_and_exit_2() {
+    let out = harness(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag '--definitely-not-a-flag'"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("usage: harness"), "{stderr}");
+}
+
+#[test]
+fn unknown_experiments_are_rejected_with_usage_and_exit_2() {
+    let out = harness(&["e99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment 'e99'"), "{stderr}");
+    assert!(stderr.contains("usage: harness"), "{stderr}");
+}
+
+#[test]
+fn unknown_bench_options_are_rejected() {
+    let out = harness(&["bench", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown bench option '--frobnicate'"),
+        "{stderr}"
+    );
+}
+
+/// `harness bench` writes a report that round-trips through the obs JSON
+/// parser, passes the gate against itself, and fails the gate against a
+/// doctored baseline with halved byte budgets.
+#[test]
+fn bench_emits_report_and_gates_against_baselines() {
+    let report_path = temp_path("bench.json");
+    let out = harness(&[
+        "bench",
+        "--sizes",
+        "60,120",
+        "--reps",
+        "1",
+        "--out",
+        report_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&report_path).expect("report written");
+    let report = parse_json(&text).expect("report round-trips through the JSON parser");
+    assert_eq!(
+        report.get("schema").and_then(|s| s.as_str()),
+        Some("treequery-bench-trajectory/v1")
+    );
+    let cases = report
+        .get("cases")
+        .and_then(|c| c.as_arr())
+        .expect("cases array");
+    assert!(cases.len() >= 10, "suite has {} cases", cases.len());
+
+    // Gate against itself: identical numbers are within budget.
+    let out = harness(&[
+        "bench",
+        "--sizes",
+        "60,120",
+        "--reps",
+        "1",
+        "--out",
+        report_path.to_str().unwrap(),
+        "--baseline",
+        report_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "self-baseline must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Doctor the baseline: halve every byte count (equivalent to the
+    // current run doubling its allocations). The gate must fire.
+    let doctored: Vec<Json> = cases
+        .iter()
+        .map(|c| {
+            let bytes = c.get("bytes").and_then(|b| b.as_u64()).unwrap();
+            let mut copy = Json::obj()
+                .set("id", c.get("id").unwrap().as_str().unwrap())
+                .set("bytes", bytes / 2);
+            if let Some(w) = c.get("wall_p50_ns").and_then(|w| w.as_u64()) {
+                copy = copy.set("wall_p50_ns", w);
+            }
+            copy
+        })
+        .collect();
+    let doctored_path = temp_path("baseline-doctored.json");
+    let doctored_report = Json::obj()
+        .set("schema", "treequery-bench-trajectory/v1")
+        .set("cases", Json::Arr(doctored));
+    std::fs::write(&doctored_path, doctored_report.render()).unwrap();
+
+    let out = harness(&[
+        "bench",
+        "--sizes",
+        "60,120",
+        "--reps",
+        "1",
+        "--out",
+        report_path.to_str().unwrap(),
+        "--baseline",
+        doctored_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "2x allocation regression must gate"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("allocated bytes regressed"), "{stderr}");
+
+    let _ = std::fs::remove_file(&report_path);
+    let _ = std::fs::remove_file(&doctored_path);
+}

@@ -282,6 +282,11 @@ impl<'t> Engine<'t> {
     pub fn explain_analyze(&self, query: &Query) -> Result<AnalyzedPlan, EngineError> {
         let recorder = std::sync::Arc::new(treequery_obs::CollectingRecorder::default());
         let before = self.metrics.snapshot_quiesced();
+        // Turn on allocation accounting for the run so the per-stage
+        // AllocScopes attribute bytes to the same names the spans use;
+        // drain any totals a previous accounted region left behind.
+        let _accounting = treequery_obs::alloc::AccountingGuard::begin();
+        treequery_obs::alloc::take_scope_totals();
         let started = std::time::Instant::now();
         let run = treequery_obs::with_recorder(recorder.clone(), || {
             let ir = self.lower(query)?;
@@ -290,6 +295,7 @@ impl<'t> Engine<'t> {
             Ok(((*chosen).clone(), output))
         });
         let total_ns = started.elapsed().as_nanos() as u64;
+        let mem_totals = treequery_obs::alloc::take_scope_totals();
         let (chosen, output) = run?;
         let counters = self.metrics.snapshot_quiesced().delta_since(&before);
         Ok(plan::analyze::assemble(
@@ -298,6 +304,7 @@ impl<'t> Engine<'t> {
             total_ns,
             output,
             &recorder.summary(),
+            &mem_totals,
             counters,
         ))
     }

@@ -12,10 +12,35 @@
 //! [`AnalyzedPlan::to_json`] is the machine-readable form the harness
 //! report embeds.
 
+use treequery_obs::alloc::ScopeStats;
 use treequery_obs::{Json, SpanSummary};
 
 use super::exec::{MetricsSnapshot, QueryOutput};
 use super::planner::ExplainedPlan;
+
+/// Allocator activity attributed to one stage (self-exclusive: bytes a
+/// nested stage allocated are charged to the nested stage, mirroring how
+/// span self-time would read).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageMem {
+    /// Heap allocations made while the stage's scope was innermost.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub bytes: u64,
+    /// High-water mark of the stage's own live bytes (allocated minus
+    /// freed within the scope).
+    pub peak_live: u64,
+}
+
+impl StageMem {
+    fn from_scope(s: &ScopeStats) -> StageMem {
+        StageMem {
+            allocs: s.allocs,
+            bytes: s.bytes,
+            peak_live: s.peak_live,
+        }
+    }
+}
 
 /// Measured behaviour of one span name during an analyzed run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,6 +57,9 @@ pub struct StageStats {
     /// Sums of the stage's structured `u64` fields (node counts,
     /// candidate-set sizes, …), by key.
     pub fields: Vec<(&'static str, u64)>,
+    /// Allocator activity attributed to the stage, when the run was
+    /// accounted (an `AllocScope` with the same name closed during it).
+    pub mem: Option<StageMem>,
 }
 
 impl StageStats {
@@ -42,6 +70,7 @@ impl StageStats {
             total_ns: s.total_ns,
             depth: s.depth,
             fields: s.field_sums.clone(),
+            mem: None,
         }
     }
 
@@ -51,11 +80,21 @@ impl StageStats {
         for (k, v) in &self.fields {
             fields = fields.set(*k, *v);
         }
-        Json::obj()
+        let mut obj = Json::obj()
             .set("name", self.name)
             .set("calls", self.calls)
             .set("total_ns", self.total_ns)
-            .set("fields", fields)
+            .set("fields", fields);
+        if let Some(mem) = &self.mem {
+            obj = obj.set(
+                "mem",
+                Json::obj()
+                    .set("allocs", mem.allocs)
+                    .set("bytes", mem.bytes)
+                    .set("peak_live", mem.peak_live),
+            );
+        }
+        obj
     }
 }
 
@@ -133,6 +172,12 @@ impl AnalyzedPlan {
                     .collect();
                 out.push_str(&format!("  [{}]", fields.join(", ")));
             }
+            if let Some(mem) = &stage.mem {
+                out.push_str(&format!(
+                    "  [mem: bytes={}, allocs={}, peak={}]",
+                    mem.bytes, mem.allocs, mem.peak_live
+                ));
+            }
             out.push('\n');
         }
         let counters = self.counters.to_json();
@@ -145,11 +190,16 @@ impl AnalyzedPlan {
             _ => Vec::new(),
         };
         out.push_str(&format!(
-            "Counters: {}\n",
+            "Counters: {}{}\n",
             if nonzero.is_empty() {
                 "(all zero)".to_owned()
             } else {
                 nonzero.join(" ")
+            },
+            if self.counters.torn {
+                "  [torn: counters did not quiesce; cross-counter consistency not guaranteed]"
+            } else {
+                ""
             }
         ));
         out
@@ -171,25 +221,39 @@ impl AnalyzedPlan {
     }
 }
 
-/// Builds an [`AnalyzedPlan`] from the pieces `explain_analyze` gathered.
+/// Builds an [`AnalyzedPlan`] from the pieces `explain_analyze` gathered:
+/// span summaries become stages, and allocator scope totals are joined
+/// onto them by stage name (scopes and spans share the naming scheme).
 pub(crate) fn assemble(
     query: String,
     plan: ExplainedPlan,
     total_ns: u64,
     output: QueryOutput,
     stages: &[SpanSummary],
+    mem_totals: &[(&'static str, ScopeStats)],
     counters: MetricsSnapshot,
 ) -> AnalyzedPlan {
     let output_rows = match &output {
         QueryOutput::Nodes(v) => v.len() as u64,
         QueryOutput::Answer(a) => a.tuples.len() as u64,
     };
+    let stages = stages
+        .iter()
+        .map(|s| {
+            let mut stage = StageStats::from_summary(s);
+            stage.mem = mem_totals
+                .iter()
+                .find(|(name, _)| *name == s.name)
+                .map(|(_, scope)| StageMem::from_scope(scope));
+            stage
+        })
+        .collect();
     AnalyzedPlan {
         query,
         plan,
         total_ns,
         output_rows,
-        stages: stages.iter().map(StageStats::from_summary).collect(),
+        stages,
         counters,
         output,
     }
@@ -228,6 +292,7 @@ impl MetricsSnapshot {
             .set("backtrack_assignments", self.backtrack_assignments)
             .set("parallel_kernels", self.parallel_kernels)
             .set("parallel_chunks", self.parallel_chunks)
+            .set("torn", self.torn)
     }
 
     /// Field-wise saturating difference `self - earlier`: the work done
@@ -255,6 +320,7 @@ impl MetricsSnapshot {
                 .parallel_kernels
                 .saturating_sub(earlier.parallel_kernels),
             parallel_chunks: self.parallel_chunks.saturating_sub(earlier.parallel_chunks),
+            torn: self.torn || earlier.torn,
         }
     }
 }
@@ -299,6 +365,7 @@ mod tests {
                     total_ns: 12_000,
                     depth: 0,
                     fields: vec![],
+                    mem: None,
                 },
                 StageStats {
                     name: "exec.run",
@@ -306,6 +373,7 @@ mod tests {
                     total_ns: 1_400_000,
                     depth: 0,
                     fields: vec![],
+                    mem: None,
                 },
                 StageStats {
                     name: "exec.semijoin",
@@ -313,6 +381,7 @@ mod tests {
                     total_ns: 900_000,
                     depth: 1,
                     fields: vec![("passes", 6), ("candidates", 11)],
+                    mem: None,
                 },
                 StageStats {
                     name: "exec.enumerate",
@@ -320,6 +389,7 @@ mod tests {
                     total_ns: 400_000,
                     depth: 1,
                     fields: vec![("tuples", 3)],
+                    mem: None,
                 },
             ],
             counters: MetricsSnapshot {
@@ -374,6 +444,7 @@ Counters: queries_lowered=1 queries_executed=1 semijoin_passes=6 candidate_nodes
                     total_ns: 1_900_000,
                     depth: 0,
                     fields: vec![],
+                    mem: None,
                 },
                 StageStats {
                     name: "exec.sweep",
@@ -385,6 +456,7 @@ Counters: queries_lowered=1 queries_executed=1 semijoin_passes=6 candidate_nodes
                         ("query_size", 2),
                         ("nodes_swept", 131_072),
                     ],
+                    mem: None,
                 },
                 StageStats {
                     name: "exec.sweep.chunk",
@@ -392,6 +464,7 @@ Counters: queries_lowered=1 queries_executed=1 semijoin_passes=6 candidate_nodes
                     total_ns: 1_600_000,
                     depth: 2,
                     fields: vec![("nodes", 65_536)],
+                    mem: None,
                 },
             ],
             counters: MetricsSnapshot {
@@ -415,6 +488,77 @@ Measured: total 2.00ms, 5 output row(s)
 Counters: queries_executed=1 nodes_swept=131072 parallel_kernels=1 parallel_chunks=4
 ";
         assert_eq!(analyzed.render(), expected);
+    }
+
+    /// The mem-column golden: an accounted run joins allocator scope
+    /// totals onto stages by name, and a torn counter snapshot says so on
+    /// the Counters line.
+    #[test]
+    fn render_golden_with_mem_and_torn() {
+        let analyzed = AnalyzedPlan {
+            query: "//b".to_owned(),
+            plan: ExplainedPlan {
+                source: SourceLang::XPath,
+                strategy: Strategy::XPathSetAtATime,
+                cost: CostClass::Linear,
+                estimated_work: 128,
+                rationale: "general Core XPath".to_owned(),
+                workers: 1,
+                parallel_rationale: "sequential: below the parallel threshold".to_owned(),
+                query_fingerprint: 3,
+            },
+            total_ns: 500_000,
+            output_rows: 2,
+            stages: vec![
+                StageStats {
+                    name: "exec.run",
+                    calls: 1,
+                    total_ns: 480_000,
+                    depth: 0,
+                    fields: vec![],
+                    mem: Some(StageMem {
+                        allocs: 3,
+                        bytes: 256,
+                        peak_live: 192,
+                    }),
+                },
+                StageStats {
+                    name: "exec.sweep",
+                    calls: 1,
+                    total_ns: 400_000,
+                    depth: 1,
+                    fields: vec![("nodes", 64), ("query_size", 2), ("nodes_swept", 128)],
+                    mem: Some(StageMem {
+                        allocs: 17,
+                        bytes: 4096,
+                        peak_live: 2048,
+                    }),
+                },
+            ],
+            counters: MetricsSnapshot {
+                queries_executed: 1,
+                nodes_swept: 128,
+                torn: true,
+                ..MetricsSnapshot::default()
+            },
+            output: QueryOutput::Nodes(Vec::new()),
+        };
+        let expected = "\
+EXPLAIN ANALYZE [xpath] //b
+Plan: xpath/set-at-a-time  (cost O(|D|·|Q|), estimated 128 node-touches)
+  rationale: general Core XPath
+  parallel: sequential: below the parallel threshold
+Measured: total 500.0µs, 2 output row(s)
+  -> exec.run  (calls=1, time=480.0µs)  [mem: bytes=256, allocs=3, peak=192]
+    -> exec.sweep  (calls=1, time=400.0µs)  [nodes=64, query_size=2, nodes_swept=128]  [mem: bytes=4096, allocs=17, peak=2048]
+Counters: queries_executed=1 nodes_swept=128  [torn: counters did not quiesce; cross-counter consistency not guaranteed]
+";
+        assert_eq!(analyzed.render(), expected);
+        let v = treequery_obs::parse_json(&analyzed.to_json().render()).unwrap();
+        let stages = v.get("stages").unwrap().as_arr().unwrap();
+        let mem = stages[1].get("mem").unwrap();
+        assert_eq!(mem.get("bytes").unwrap().as_u64(), Some(4096));
+        assert_eq!(mem.get("allocs").unwrap().as_u64(), Some(17));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::sync::{Arc, Mutex};
 
 use treequery_cq as cq;
 use treequery_datalog as datalog;
+use treequery_obs::alloc::AllocScope;
 use treequery_tree::{NodeId, NodeSet, Tree};
 use treequery_xpath as xpath;
 
@@ -108,6 +109,12 @@ pub struct MetricsSnapshot {
     pub parallel_kernels: u64,
     /// Chunk tasks submitted to the worker pool.
     pub parallel_chunks: u64,
+    /// Whether this snapshot may be torn: set only by
+    /// [`Metrics::snapshot_quiesced`] when its bounded retry loop
+    /// exhausted without two consecutive reads agreeing (sustained
+    /// concurrent load). Individual counters are still exact; only
+    /// cross-counter consistency is suspect.
+    pub torn: bool,
 }
 
 impl Metrics {
@@ -157,6 +164,7 @@ impl Metrics {
             backtrack_assignments: get(&self.backtrack_assignments),
             parallel_kernels: get(&self.parallel_kernels),
             parallel_chunks: get(&self.parallel_chunks),
+            torn: false,
         }
     }
 
@@ -165,19 +173,12 @@ impl Metrics {
     /// so a report taken after the last query finished never shows a torn
     /// mix of two queries' counters. Under *sustained* concurrent load
     /// there is no consistent instant to report; the helper then returns
-    /// the last (possibly torn) read after `attempts` tries — same
-    /// guarantees as [`Metrics::snapshot`].
+    /// the last read with its `torn` flag set, so consumers (and
+    /// `EXPLAIN ANALYZE`'s renderer) can say so instead of presenting a
+    /// possibly-inconsistent snapshot as clean.
     pub fn snapshot_quiesced(&self) -> MetricsSnapshot {
         const ATTEMPTS: usize = 16;
-        let mut prev = self.snapshot();
-        for _ in 0..ATTEMPTS {
-            let next = self.snapshot();
-            if next == prev {
-                return next;
-            }
-            prev = next;
-        }
-        prev
+        quiesce(ATTEMPTS, || self.snapshot())
     }
 
     /// Zeroes all counters.
@@ -197,6 +198,111 @@ impl Metrics {
         zero(&self.parallel_kernels);
         zero(&self.parallel_chunks);
     }
+}
+
+impl MetricsSnapshot {
+    /// Publishes the snapshot into the process-wide
+    /// [`treequery_obs::metrics`] registry as `treequery_`-prefixed
+    /// gauges, one per counter. This is the growth path for pipeline
+    /// observables: the fixed atomic block stays for the hot executor
+    /// counters, and anything that wants scraping (Prometheus text
+    /// exposition via `obs::prom`, `harness --serve-metrics`) goes
+    /// through the registry.
+    pub fn publish_to_registry(&self) {
+        let registry = treequery_obs::metrics::global();
+        let rows: [(&'static str, &'static str, u64); 13] = [
+            (
+                "treequery_queries_lowered",
+                "Queries lowered into the IR.",
+                self.queries_lowered,
+            ),
+            (
+                "treequery_plans_computed",
+                "Plans computed by the planner.",
+                self.plans_computed,
+            ),
+            (
+                "treequery_plan_cache_hits",
+                "Plan-cache hits.",
+                self.plan_cache_hits,
+            ),
+            (
+                "treequery_plan_cache_misses",
+                "Plan-cache misses.",
+                self.plan_cache_misses,
+            ),
+            (
+                "treequery_queries_executed",
+                "Queries executed end to end.",
+                self.queries_executed,
+            ),
+            (
+                "treequery_batch_queries",
+                "Queries submitted through eval_batch.",
+                self.batch_queries,
+            ),
+            (
+                "treequery_semijoin_passes",
+                "Semijoin passes run by full reducers.",
+                self.semijoin_passes,
+            ),
+            (
+                "treequery_candidate_nodes",
+                "Total size of the reduced candidate sets.",
+                self.candidate_nodes,
+            ),
+            (
+                "treequery_union_parts",
+                "Acyclic parts evaluated inside rewrite unions.",
+                self.union_parts,
+            ),
+            (
+                "treequery_nodes_swept",
+                "Nodes touched by linear sweeps.",
+                self.nodes_swept,
+            ),
+            (
+                "treequery_backtrack_assignments",
+                "Assignments attempted by the backtracking evaluator.",
+                self.backtrack_assignments,
+            ),
+            (
+                "treequery_parallel_kernels",
+                "Kernel invocations dispatched to the pool in chunks.",
+                self.parallel_kernels,
+            ),
+            (
+                "treequery_parallel_chunks",
+                "Chunk tasks submitted to the worker pool.",
+                self.parallel_chunks,
+            ),
+        ];
+        for (name, help, value) in rows {
+            registry
+                .gauge_or_existing(name, help)
+                .set(i64::try_from(value).unwrap_or(i64::MAX));
+        }
+    }
+}
+
+/// The bounded-retry loop behind [`Metrics::snapshot_quiesced`],
+/// parameterized over the read so tests can drive it with a
+/// deterministic sequence: keep re-reading until two consecutive
+/// snapshots agree; on exhaustion return the last read with `torn` set.
+pub(crate) fn quiesce(
+    attempts: usize,
+    mut read: impl FnMut() -> MetricsSnapshot,
+) -> MetricsSnapshot {
+    let mut prev = read();
+    for _ in 0..attempts {
+        let next = read();
+        if next == prev {
+            return next;
+        }
+        prev = next;
+    }
+    prev.torn = true;
+    prev
 }
 
 /// The plan cache: `(query fingerprint, tree fingerprint)` →
@@ -270,6 +376,7 @@ fn run_acyclic_instrumented(
 ) -> Option<BTreeSet<Vec<NodeId>>> {
     let e = {
         let mut span = treequery_obs::span("exec.semijoin");
+        let _mem = AllocScope::enter("exec.semijoin");
         let e = cq::Enumerator::new(q, t)?;
         let passes = 2 * q.atoms.len() as u64;
         Metrics::add(&metrics.semijoin_passes, passes);
@@ -285,6 +392,7 @@ fn run_acyclic_instrumented(
         e
     };
     let mut span = treequery_obs::span("exec.enumerate");
+    let _mem = AllocScope::enter("exec.enumerate");
     let tuples = e.head_tuples();
     span.record_u64("tuples", tuples.len() as u64);
     Some(tuples)
@@ -301,6 +409,7 @@ pub fn execute(
 ) -> Result<QueryOutput, EngineError> {
     Metrics::add(&metrics.queries_executed, 1);
     let mut run_span = treequery_obs::span("exec.run");
+    let _mem = AllocScope::enter("exec.run");
     if run_span.is_recording() {
         run_span.record_str("strategy", plan.strategy.to_string());
     }
@@ -310,6 +419,7 @@ pub fn execute(
             let swept = (tree.len() as u64).saturating_mul(p.size() as u64);
             Metrics::add(&metrics.nodes_swept, swept);
             let mut span = treequery_obs::span("exec.sweep");
+            let _mem = AllocScope::enter("exec.sweep");
             span.record_u64("nodes", tree.len() as u64);
             span.record_u64("query_size", p.size() as u64);
             span.record_u64("nodes_swept", swept);
@@ -329,6 +439,7 @@ pub fn execute(
             let swept = (tree.len() as u64).saturating_mul(prog.size() as u64);
             Metrics::add(&metrics.nodes_swept, swept);
             let mut span = treequery_obs::span("exec.ground_minoux");
+            let _mem = AllocScope::enter("exec.ground_minoux");
             span.record_u64("nodes_swept", swept);
             let set = if plan.workers > 1 {
                 super::par::par_datalog_eval_query(&prog, tree, plan.workers, metrics)
@@ -360,6 +471,7 @@ pub fn execute(
             let candidates = (tree.len() as u64).saturating_mul(q.num_vars() as u64);
             Metrics::add(&metrics.candidate_nodes, candidates);
             let mut span = treequery_obs::span("exec.arc_consistency");
+            let _mem = AllocScope::enter("exec.arc_consistency");
             span.record_u64("candidates", candidates);
             let tuples = match cq::eval_x_property(q, tree).expect("planned tractable") {
                 Some(_witness) => std::iter::once(Vec::new()).collect(),
@@ -376,6 +488,7 @@ pub fn execute(
             let passes = 2 * (k as u64).saturating_mul(q.atoms.len() as u64);
             Metrics::add(&metrics.semijoin_passes, passes);
             let mut span = treequery_obs::span("exec.union");
+            let _mem = AllocScope::enter("exec.union");
             span.record_u64("parts", k as u64);
             span.record_u64("passes", passes);
             let tuples = if plan.workers > 1 {
@@ -392,6 +505,7 @@ pub fn execute(
         Strategy::CqBacktrack => {
             let q = expect_cq(ir);
             let mut span = treequery_obs::span("exec.backtrack");
+            let _mem = AllocScope::enter("exec.backtrack");
             let (tuples, stats) = cq::eval_backtrack_with_stats(q, tree);
             Metrics::add(&metrics.backtrack_assignments, stats.assignments);
             span.record_u64("assignments", stats.assignments);
@@ -408,6 +522,7 @@ pub fn execute(
             let swept = (tree.len() as u64).saturating_mul(prog.size() as u64);
             Metrics::add(&metrics.nodes_swept, swept);
             let mut span = treequery_obs::span("exec.ground_minoux");
+            let _mem = AllocScope::enter("exec.ground_minoux");
             span.record_u64("nodes_swept", swept);
             let set = if plan.workers > 1 {
                 super::par::par_datalog_eval_query(prog, tree, plan.workers, metrics)
@@ -462,6 +577,31 @@ mod tests {
         assert_eq!(answer.tuples.len(), 1);
         assert_eq!(m.semijoin_passes, 6, "2 passes per atom");
         assert!(m.candidate_nodes > 0);
+    }
+
+    #[test]
+    fn quiesce_returns_clean_when_reads_agree() {
+        let metrics = Metrics::default();
+        Metrics::add_lowered(&metrics);
+        let snap = metrics.snapshot_quiesced();
+        assert!(!snap.torn);
+        assert_eq!(snap.queries_lowered, 1);
+    }
+
+    #[test]
+    fn quiesce_flags_torn_on_retry_exhaustion() {
+        // A read that changes every time never quiesces: the helper must
+        // hand back the last read and say so.
+        let mut n = 0u64;
+        let snap = super::quiesce(4, || {
+            n += 1;
+            MetricsSnapshot {
+                queries_executed: n,
+                ..MetricsSnapshot::default()
+            }
+        });
+        assert!(snap.torn);
+        assert_eq!(snap.queries_executed, 5, "last of 1 initial + 4 retries");
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod planner;
 pub mod pool;
 pub mod stats;
 
-pub use analyze::{AnalyzedPlan, StageStats};
+pub use analyze::{AnalyzedPlan, StageMem, StageStats};
 pub use exec::{Metrics, MetricsSnapshot, PlanCache, QueryOutput};
 pub use ir::{lower, Query, QueryIr, SourceLang};
 pub use planner::{

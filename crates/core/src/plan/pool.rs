@@ -127,16 +127,26 @@ impl WorkerPool {
             done: Condvar::new(),
         });
         // Propagate the submitter's span depth into the workers so chunk
-        // spans nest under the stage span that dispatched them.
+        // spans nest under the stage span that dispatched them, and the
+        // submitter's allocation scope so chunk allocations stay charged
+        // to the stage that dispatched them. The handle keeps the scope
+        // cell alive for the workers; the owning frame outlives this
+        // call because run_scoped blocks until every task finished.
         let depth = treequery_obs::current_depth();
+        let alloc_scope = treequery_obs::alloc::current_scope();
 
         {
             let mut state = self.state.lock().expect("pool lock poisoned");
             for (i, task) in tasks.into_iter().enumerate() {
                 let scope = Arc::clone(&scope);
+                let alloc_scope = alloc_scope.clone();
                 let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        treequery_obs::with_ambient_depth(depth, task)
+                        let task = || treequery_obs::with_ambient_depth(depth, task);
+                        match &alloc_scope {
+                            Some(handle) => treequery_obs::alloc::with_scope(handle, task),
+                            None => task(),
+                        }
                     }));
                     let mut s = scope.state.lock().expect("scope lock poisoned");
                     s.0[i] = Some(result);

@@ -244,6 +244,7 @@ impl<'t> Enumerator<'t> {
     /// sets over-approximate and the Figure 6 recursion dead-ends.
     pub fn with_reduction(q: &Cq, t: &'t Tree, reduction: Reduction) -> Option<Self> {
         let mut span = treequery_obs::span("cq.reduce");
+        let _mem = treequery_obs::alloc::AllocScope::enter("cq.reduce");
         span.record_u64("atoms", q.atoms.len() as u64);
         span.record_u64("vars", q.num_vars() as u64);
         let q = q.normalize_forward();
@@ -305,6 +306,7 @@ impl<'t> Enumerator<'t> {
     /// over the reduced sets with the per-edge indexes.
     pub fn for_each(&self, emit: &mut impl FnMut(&[Option<NodeId>]) -> bool) -> EnumStats {
         let mut span = treequery_obs::span("cq.enumerate");
+        let _mem = treequery_obs::alloc::AllocScope::enter("cq.enumerate");
         let mut stats = EnumStats::default();
         let Some(sets) = &self.sets else {
             return stats;

@@ -14,6 +14,7 @@ use crate::ground::{for_each_match, ground};
 pub fn eval(prog: &Program, tree: &Tree) -> Vec<NodeSet> {
     let (formula, atoms) = {
         let mut span = treequery_obs::span("datalog.ground");
+        let _mem = treequery_obs::alloc::AllocScope::enter("datalog.ground");
         span.record_u64("program_size", prog.size() as u64);
         span.record_u64("nodes", tree.len() as u64);
         let grounded = ground(prog, tree);

@@ -156,6 +156,7 @@ impl HornFormula {
     /// installed.
     pub fn solve(&self) -> Solution {
         let mut span = treequery_obs::span("hornsat.solve");
+        let _mem = treequery_obs::alloc::AllocScope::enter("hornsat.solve");
         span.record_u64("vars", self.num_vars as u64);
         span.record_u64("rules", self.num_rules() as u64);
         span.record_u64("formula_size", self.size() as u64);

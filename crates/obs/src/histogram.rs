@@ -83,6 +83,12 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// The raw per-bucket counts (bucket `i` covers `[2^i, 2^(i+1))`);
+    /// what the Prometheus renderer turns into cumulative `le` series.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
     /// Mean observation in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.total).unwrap_or(0)

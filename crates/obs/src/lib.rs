@@ -27,8 +27,11 @@
 //! the clock. Install one for a scope with [`with_recorder`], or
 //! process-wide with [`set_recorder`].
 
+pub mod alloc;
 mod histogram;
 mod json;
+pub mod metrics;
+pub mod prom;
 mod recorder;
 mod ring;
 mod span;
@@ -38,6 +41,13 @@ pub use json::{parse_json, Json, JsonParseError};
 pub use recorder::{CollectingRecorder, JsonLinesRecorder, NoopRecorder, Recorder, SpanSummary};
 pub use ring::RingLog;
 pub use span::{current_depth, span, with_ambient_depth, Field, FieldValue, Span, SpanRecord};
+
+/// The counting allocator wraps [`std::alloc::System`] for every binary
+/// in the workspace. Its disabled path is one relaxed atomic load per
+/// `alloc`/`dealloc` (bounded by the `--check-noop-overhead` CI gate);
+/// accounting only runs inside an [`alloc::AccountingGuard`] scope.
+#[global_allocator]
+static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};

@@ -1,0 +1,171 @@
+//! Prometheus text exposition format (version 0.0.4) for the metrics
+//! registry.
+//!
+//! [`render_registry`] turns a [`crate::metrics::Registry`] gather into the `text/plain; version=0.0.4` wire format: `# HELP` /
+//! `# TYPE` preamble per metric, one sample line per value, and for
+//! histograms the cumulative `le`-labeled bucket series plus `_sum` and
+//! `_count`. The output is deterministic (registration order for
+//! metrics, lexicographic label order within a family), which is what
+//! makes the golden test possible.
+//!
+//! Our histograms bucket by powers of two, so the rendered `le` bounds
+//! are `1, 2, 4, …` up to the highest non-empty bucket, then `+Inf`.
+//! Empty families render only their preamble — a scrape can always see
+//! the metric exists.
+
+use crate::histogram::LatencyHistogram;
+use crate::metrics::{MetricSnapshot, MetricValue, Registry};
+
+/// The content type Prometheus expects for this exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escapes a HELP string (`\` and newline, per the format spec).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value (`\`, `"`, and newline).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &LatencyHistogram) {
+    // Cumulative buckets up to the last non-empty one. Bucket `i` holds
+    // values in `[2^i, 2^(i+1))`, so its `le` bound is `2^(i+1) - 1`
+    // (inclusive, integer-valued observations).
+    let counts = h.bucket_counts();
+    let last = counts.iter().rposition(|&c| c > 0);
+    let mut cum = 0u64;
+    if let Some(last) = last {
+        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+            cum += c;
+            let bound = if i >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << (i + 1)) - 1
+            };
+            out.push_str(&format!("{name}_bucket{{{labels},le=\"{bound}\"}} {cum}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels},le=\"+Inf\"}} {}\n",
+        h.count()
+    ));
+    out.push_str(&format!("{name}_sum{{{labels}}} {}\n", h.sum_ns()));
+    out.push_str(&format!("{name}_count{{{labels}}} {}\n", h.count()));
+}
+
+/// Renders one gathered snapshot list in exposition order.
+pub fn render_snapshots(snapshots: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in snapshots {
+        if !m.help.is_empty() {
+            out.push_str(&format!("# HELP {} {}\n", m.name, escape_help(m.help)));
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {} counter\n", m.name));
+                out.push_str(&format!("{} {}\n", m.name, v));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {} gauge\n", m.name));
+                out.push_str(&format!("{} {}\n", m.name, v));
+            }
+            MetricValue::Histograms(label, rows) => {
+                out.push_str(&format!("# TYPE {} histogram\n", m.name));
+                for (value, hist) in rows {
+                    let labels = format!("{label}=\"{}\"", escape_label(value));
+                    render_histogram(&mut out, m.name, &labels, hist);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a whole registry: `render_snapshots(&registry.gather())`.
+pub fn render_registry(registry: &Registry) -> String {
+    render_snapshots(&registry.gather())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    /// The golden test for the exposition format: a registry with all
+    /// three instrument kinds renders byte-for-byte as pinned here.
+    #[test]
+    fn render_golden() {
+        let r = Registry::new();
+        let c = r.counter(
+            "treequery_queries_executed_total",
+            "Queries run through Engine::eval paths.",
+        );
+        let g = r.gauge("treequery_live_bytes", "Live heap bytes right now.");
+        let f = r.histogram_family(
+            "treequery_stage_ns",
+            "Per-stage wall time in nanoseconds.",
+            "stage",
+        );
+        c.add(42);
+        g.set(1 << 20);
+        let h = f.with_label("exec.semijoin");
+        h.observe(1); // bucket 0 ([0,2)), le="1"
+        h.observe(3); // bucket 1 ([2,4)), le="3"
+        h.observe(3);
+        f.with_label("exec.sweep").observe(9); // bucket 3 ([8,16)), le="15"
+
+        let expected = "\
+# HELP treequery_queries_executed_total Queries run through Engine::eval paths.
+# TYPE treequery_queries_executed_total counter
+treequery_queries_executed_total 42
+# HELP treequery_live_bytes Live heap bytes right now.
+# TYPE treequery_live_bytes gauge
+treequery_live_bytes 1048576
+# HELP treequery_stage_ns Per-stage wall time in nanoseconds.
+# TYPE treequery_stage_ns histogram
+treequery_stage_ns_bucket{stage=\"exec.semijoin\",le=\"1\"} 1
+treequery_stage_ns_bucket{stage=\"exec.semijoin\",le=\"3\"} 3
+treequery_stage_ns_bucket{stage=\"exec.semijoin\",le=\"+Inf\"} 3
+treequery_stage_ns_sum{stage=\"exec.semijoin\"} 7
+treequery_stage_ns_count{stage=\"exec.semijoin\"} 3
+treequery_stage_ns_bucket{stage=\"exec.sweep\",le=\"1\"} 0
+treequery_stage_ns_bucket{stage=\"exec.sweep\",le=\"3\"} 0
+treequery_stage_ns_bucket{stage=\"exec.sweep\",le=\"7\"} 0
+treequery_stage_ns_bucket{stage=\"exec.sweep\",le=\"15\"} 1
+treequery_stage_ns_bucket{stage=\"exec.sweep\",le=\"+Inf\"} 1
+treequery_stage_ns_sum{stage=\"exec.sweep\"} 9
+treequery_stage_ns_count{stage=\"exec.sweep\"} 1
+";
+        assert_eq!(render_registry(&r), expected);
+    }
+
+    #[test]
+    fn empty_family_renders_preamble_only() {
+        let r = Registry::new();
+        r.histogram_family("treequery_idle_ns", "never observed", "stage");
+        let text = render_registry(&r);
+        assert!(text.contains("# TYPE treequery_idle_ns histogram"));
+        assert!(!text.contains("_bucket"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        let f = r.histogram_family("treequery_esc_ns", "", "q");
+        f.with_label("a\"b\\c").observe(1);
+        let text = render_registry(&r);
+        assert!(text.contains("q=\"a\\\"b\\\\c\""), "got: {text}");
+    }
+
+    #[test]
+    fn help_newlines_are_escaped() {
+        let r = Registry::new();
+        r.counter("treequery_nl_total", "line one\nline two");
+        let text = render_registry(&r);
+        assert!(text.contains("# HELP treequery_nl_total line one\\nline two\n"));
+    }
+}

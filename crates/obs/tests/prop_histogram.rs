@@ -1,0 +1,86 @@
+//! Property tests for the histogram laws the observatory leans on:
+//! merging is exactly recording the concatenation, and percentiles are
+//! monotone even under adversarial values hugging power-of-two bucket
+//! boundaries.
+
+use proptest::prelude::*;
+use treequery_obs::LatencyHistogram;
+
+fn record_all(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Strategy: samples that cluster on bucket boundaries — `2^k - 1`,
+/// `2^k`, `2^k + 1` — the worst case for any bucketing scheme, mixed
+/// with arbitrary values.
+fn adversarial_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        (0u32..63).prop_map(|k| (1u64 << k).saturating_sub(1)),
+        (0u32..63).prop_map(|k| 1u64 << k),
+        (0u32..63).prop_map(|k| (1u64 << k) + 1),
+        any::<u64>(),
+        0u64..1024,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging N histograms is indistinguishable from recording the
+    /// concatenated sample stream into one (full structural equality:
+    /// buckets, count, sum, max).
+    #[test]
+    fn merge_equals_concatenated_recording(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(adversarial_sample(), 0..40),
+            0..6,
+        )
+    ) {
+        let mut merged = LatencyHistogram::new();
+        for chunk in &chunks {
+            merged.merge(&record_all(chunk));
+        }
+        let concatenated: Vec<u64> = chunks.concat();
+        prop_assert_eq!(merged, record_all(&concatenated));
+    }
+
+    /// p50 ≤ p95 ≤ p99 ≤ max (and quantiles are monotone in q overall)
+    /// no matter how adversarially the samples sit on bucket boundaries.
+    #[test]
+    fn percentiles_are_ordered(
+        samples in proptest::collection::vec(adversarial_sample(), 1..200)
+    ) {
+        let h = record_all(&samples);
+        let s = h.summary();
+        prop_assert!(s.p50_ns <= s.p95_ns, "p50={} p95={}", s.p50_ns, s.p95_ns);
+        prop_assert!(s.p95_ns <= s.p99_ns, "p95={} p99={}", s.p95_ns, s.p99_ns);
+        prop_assert!(s.p99_ns <= s.max_ns, "p99={} max={}", s.p99_ns, s.max_ns);
+        prop_assert_eq!(s.max_ns, *samples.iter().max().unwrap());
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0);
+            prop_assert!(v >= prev, "quantile not monotone at {}/20", i);
+            prev = v;
+        }
+    }
+
+    /// Quantiles never stray outside the recorded range, and the count
+    /// and sum are exact.
+    #[test]
+    fn summaries_are_exact_and_bounded(
+        samples in proptest::collection::vec(adversarial_sample(), 1..100)
+    ) {
+        let h = record_all(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let expected_sum = samples.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        prop_assert_eq!(h.sum_ns(), expected_sum);
+        let max = *samples.iter().max().unwrap();
+        for i in 0..=10 {
+            prop_assert!(h.quantile(i as f64 / 10.0) <= max);
+        }
+    }
+}

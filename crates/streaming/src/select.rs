@@ -108,6 +108,7 @@ pub fn select_events<'a>(
     events: impl IntoIterator<Item = &'a Event>,
 ) -> (BTreeSet<u32>, SelectStats) {
     let mut span = treequery_obs::span("stream.select");
+    let _mem = treequery_obs::alloc::AllocScope::enter("stream.select");
     let width = q.steps.len();
     let chains = unfold_chains(q);
     let mut stats = SelectStats {

@@ -26,10 +26,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> noop-recorder + counting-allocator overhead gate"
 cargo run -p treequery-bench --release --bin harness -q -- --check-noop-overhead
 
+echo "==> zero-alloc steady-state gate (workers 1 and 4)"
+# The executor kernels (sweep, semijoin, structural join, union merge)
+# must not allocate on a warm run; asserted via AllocScope attribution
+# at both worker counts, under both pool-sizing env settings.
+TREEQUERY_WORKERS=1 cargo test -q -p treequery-core --test zero_alloc
+TREEQUERY_WORKERS=4 cargo test -q -p treequery-core --test zero_alloc
+
 echo "==> continuous benchmark trajectory gate"
 # Runs the pinned suite and fails on >15% wall (calibration-scaled,
-# persisting across re-measurement) or >10% allocated-byte regressions
-# against the committed seed baseline. After an intentional perf change,
+# persisting across re-measurement) or >5% allocated-byte regressions
+# against the committed seed baseline, or on any steady-state allocation
+# in a set-at-a-time sweep case. After an intentional perf change,
 # regenerate with: harness bench --out crates/bench/BENCH_seed.json
 BENCH_OUT="$(mktemp -t treequery-bench.XXXXXX.json)"
 trap 'rm -f "$BENCH_OUT"' EXIT

@@ -12,10 +12,10 @@ fn bench(c: &mut Criterion) {
         let la = x.label_list("a");
         let lb = x.label_list("b");
         g.bench_with_input(BenchmarkId::new("stack", n), &(), |b, _| {
-            b.iter(|| stack_tree_join(&la, &lb))
+            b.iter(|| stack_tree_join(la, lb))
         });
         g.bench_with_input(BenchmarkId::new("nested_loop", n), &(), |b, _| {
-            b.iter(|| nested_loop_join(&la, &lb))
+            b.iter(|| nested_loop_join(la, lb))
         });
     }
     g.finish();

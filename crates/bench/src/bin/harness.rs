@@ -1,5 +1,5 @@
 //! Regenerates every figure and table of the paper's reproduction: runs
-//! experiments E1–E21 and prints the paper-style tables recorded in
+//! experiments E1–E22 and prints the paper-style tables recorded in
 //! `EXPERIMENTS.md`.
 //!
 //! ```text
@@ -25,8 +25,10 @@
 //! `bench` runs the pinned continuous-benchmark suite (one query per
 //! strategy × document size × worker count) and writes
 //! `BENCH_<git-sha>.json`; with `--baseline <file>` it exits 1 on >15%
-//! wall or >10% allocated-byte regressions. `ci.sh` runs this gate
-//! against the committed `crates/bench/BENCH_seed.json`.
+//! wall or >5% allocated-byte regressions, or on any steady-state
+//! kernel allocation in a set-at-a-time sweep case (hard zero cap).
+//! `ci.sh` runs this gate against the committed
+//! `crates/bench/BENCH_seed.json`.
 //!
 //! `--serve-metrics PORT` runs a small demo workload, publishes the
 //! engine counters to the global metrics registry, and serves exactly one
@@ -70,6 +72,7 @@ const ALL: &[(&str, fn())] = &[
     ("e18", e18_observability::run),
     ("e19", experiments::e19_parallel::run),
     ("e21", experiments::e21_memory::run),
+    ("e22", experiments::e22_postings::run),
 ];
 
 const USAGE: &str = "\
@@ -79,11 +82,12 @@ usage: harness [EXPERIMENT-IDS...] [--report FILE]
        harness bench [--out FILE] [--baseline FILE] [--reps N] [--sizes SMALL,LARGE]
        harness fuzz [--seconds N] [--seed S] [--rate R] [--corpus DIR | --no-corpus]
 
-With no arguments, runs all experiments (e1..e19, e21) and prints their
-tables. `--report` writes a machine-readable JSON report instead.
+With no arguments, runs all experiments (e1..e19, e21, e22) and prints
+their tables. `--report` writes a machine-readable JSON report instead.
 `bench` runs the pinned continuous-benchmark suite, writes
 BENCH_<git-sha>.json, and (with --baseline) exits 1 on >15% wall /
->10% allocated-byte regressions.";
+>5% allocated-byte regressions or any steady-state sweep-kernel
+allocation.";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}\n\n{USAGE}");
@@ -388,7 +392,7 @@ fn main() {
             other => match lookup(other) {
                 Some(exp) => selected.push(exp),
                 None => usage_error(&format!(
-                    "unknown experiment '{other}' (expected e1..e19, e21)"
+                    "unknown experiment '{other}' (expected e1..e19, e21, e22)"
                 )),
             },
         }

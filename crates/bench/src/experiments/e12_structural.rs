@@ -30,13 +30,13 @@ pub fn run() {
         let (_t, x) = workload(n);
         let la = x.label_list("a");
         let lb = x.label_list("b");
-        let out = stack_tree_join(&la, &lb).len();
-        let fast = median_time(3, || stack_tree_join(&la, &lb));
-        let slow = median_time(3, || nested_loop_join(&la, &lb));
+        let out = stack_tree_join(la, lb).len();
+        let fast = median_time(3, || stack_tree_join(la, lb));
+        let slow = median_time(3, || nested_loop_join(la, lb));
         // The closure baseline materializes Child⁺: quadratic memory; cap.
         let closure = if n <= 4_000 {
             let child = x.child_view();
-            fmt_dur(median_time(1, || closure_join(&child, &la, &lb)))
+            fmt_dur(median_time(1, || closure_join(&child, la, lb)))
         } else {
             "(too large)".into()
         };

@@ -45,8 +45,8 @@ pub fn run() {
     let (_t, x) = e12_structural::workload(JOIN_NODES);
     let la = x.label_list("a");
     let lb = x.label_list("b");
-    let seq_out = stack_tree_join(&la, &lb);
-    let seq = median_time(3, || stack_tree_join(&la, &lb));
+    let seq_out = stack_tree_join(la, lb);
+    let seq = median_time(3, || stack_tree_join(la, lb));
     println!(
         "\nE12 structural join: {JOIN_NODES} nodes, {} ancestors x {} descendants, {} output pairs",
         la.len(),
@@ -57,12 +57,12 @@ pub fn run() {
     println!("{:>9} {:>12} {:>9}", 1, fmt_dur(seq), "1.00x");
     for w in [2usize, 4] {
         let m = Metrics::default();
-        let par_out = par_stack_tree_join(&la, &lb, w, &m);
+        let par_out = par_stack_tree_join(la, lb, w, &m);
         assert_eq!(
             par_out, seq_out,
             "parallel join output must equal sequential at {w} workers"
         );
-        let t = median_time(3, || par_stack_tree_join(&la, &lb, w, &m));
+        let t = median_time(3, || par_stack_tree_join(la, lb, w, &m));
         let speedup = seq.as_secs_f64() / t.as_secs_f64();
         println!("{w:>9} {:>12} {speedup:>8.2}x", fmt_dur(t));
         if w == 4 && cores >= 4 {

@@ -20,6 +20,7 @@ pub mod e17_planner;
 pub mod e18_observability;
 pub mod e19_parallel;
 pub mod e21_memory;
+pub mod e22_postings;
 
 /// Runs every experiment in order.
 pub fn run_all() {
@@ -43,4 +44,5 @@ pub fn run_all() {
     e18_observability::run();
     e19_parallel::run();
     e21_memory::run();
+    e22_postings::run();
 }

@@ -361,23 +361,35 @@ fn expect_path(ir: &QueryIr) -> &xpath::Path {
     }
 }
 
+/// Materializes a pooled result set as a pre-order node list and hands
+/// the set's storage back to the scratch pool, so steady-state query
+/// execution only allocates for the answer vector itself.
 fn sorted_nodes(t: &Tree, set: NodeSet) -> Vec<NodeId> {
     let mut nodes = set.to_vec();
+    treequery_tree::scratch::put_set(set);
     t.sort_by_pre(&mut nodes);
     nodes
 }
 
 /// Runs an acyclic CQ through the full reducer, charging the semijoin
-/// passes and reduced candidate-set sizes to `metrics`.
+/// passes and reduced candidate-set sizes to `metrics`. With more than
+/// one worker the semijoin sweeps are dispatched chunk-wise through
+/// [`super::par::PoolSweeper`].
 fn run_acyclic_instrumented(
     q: &cq::Cq,
     t: &Tree,
     metrics: &Metrics,
+    workers: usize,
 ) -> Option<BTreeSet<Vec<NodeId>>> {
     let e = {
         let mut span = treequery_obs::span("exec.semijoin");
         let _mem = AllocScope::enter("exec.semijoin");
-        let e = cq::Enumerator::new(q, t)?;
+        let e = if workers > 1 {
+            let sweeper = super::par::PoolSweeper { workers, metrics };
+            cq::Enumerator::with_sweeper(q, t, &sweeper)?
+        } else {
+            cq::Enumerator::new(q, t)?
+        };
         let passes = 2 * q.atoms.len() as u64;
         Metrics::add(&metrics.semijoin_passes, passes);
         let mut candidate_total = 0u64;
@@ -419,14 +431,20 @@ pub fn execute(
             let swept = (tree.len() as u64).saturating_mul(p.size() as u64);
             Metrics::add(&metrics.nodes_swept, swept);
             let mut span = treequery_obs::span("exec.sweep");
-            let _mem = AllocScope::enter("exec.sweep");
             span.record_u64("nodes", tree.len() as u64);
             span.record_u64("query_size", p.size() as u64);
             span.record_u64("nodes_swept", swept);
-            let set = if plan.workers > 1 {
-                super::par::par_eval_query(p, tree, plan.workers, metrics)
-            } else {
-                xpath::eval_query(p, tree)
+            // The alloc scope covers only the sweep kernel: result
+            // materialization below is charged to the surrounding
+            // "exec.run" scope, so "exec.sweep" attribution reflects the
+            // kernel's steady-state behaviour (zero after warm-up).
+            let set = {
+                let _mem = AllocScope::enter("exec.sweep");
+                if plan.workers > 1 {
+                    super::par::par_eval_query(p, tree, plan.workers, metrics)
+                } else {
+                    xpath::eval_query(p, tree)
+                }
             };
             Ok(QueryOutput::Nodes(sorted_nodes(tree, set)))
         }
@@ -439,12 +457,14 @@ pub fn execute(
             let swept = (tree.len() as u64).saturating_mul(prog.size() as u64);
             Metrics::add(&metrics.nodes_swept, swept);
             let mut span = treequery_obs::span("exec.ground_minoux");
-            let _mem = AllocScope::enter("exec.ground_minoux");
             span.record_u64("nodes_swept", swept);
-            let set = if plan.workers > 1 {
-                super::par::par_datalog_eval_query(&prog, tree, plan.workers, metrics)
-            } else {
-                datalog::eval_query(&prog, tree)
+            let set = {
+                let _mem = AllocScope::enter("exec.ground_minoux");
+                if plan.workers > 1 {
+                    super::par::par_datalog_eval_query(&prog, tree, plan.workers, metrics)
+                } else {
+                    datalog::eval_query(&prog, tree)
+                }
             };
             Ok(QueryOutput::Nodes(sorted_nodes(tree, set)))
         }
@@ -453,14 +473,15 @@ pub fn execute(
                 .lowered_cq
                 .as_ref()
                 .expect("planner chose the CQ route without a lowered CQ");
-            let tuples = run_acyclic_instrumented(q, tree, metrics)
+            let tuples = run_acyclic_instrumented(q, tree, metrics, plan.workers)
                 .expect("Proposition 4.2 CQs are acyclic");
             let set = NodeSet::from_iter(tree.len(), tuples.into_iter().map(|t| t[0]));
             Ok(QueryOutput::Nodes(sorted_nodes(tree, set)))
         }
         Strategy::CqAcyclic => {
             let q = expect_cq(ir);
-            let tuples = run_acyclic_instrumented(q, tree, metrics).expect("planned acyclic");
+            let tuples =
+                run_acyclic_instrumented(q, tree, metrics, plan.workers).expect("planned acyclic");
             Ok(QueryOutput::Answer(CqAnswer {
                 tuples,
                 plan: CqPlan::Acyclic,
@@ -488,14 +509,16 @@ pub fn execute(
             let passes = 2 * (k as u64).saturating_mul(q.atoms.len() as u64);
             Metrics::add(&metrics.semijoin_passes, passes);
             let mut span = treequery_obs::span("exec.union");
-            let _mem = AllocScope::enter("exec.union");
             span.record_u64("parts", k as u64);
             span.record_u64("passes", passes);
-            let tuples = if plan.workers > 1 {
-                super::par::par_eval_via_rewrite(q, tree, plan.workers, metrics)
-                    .expect("planned rewritable")
-            } else {
-                cq::rewrite::eval_via_rewrite(q, tree).expect("planned rewritable")
+            let tuples = {
+                let _mem = AllocScope::enter("exec.union");
+                if plan.workers > 1 {
+                    super::par::par_eval_via_rewrite(q, tree, plan.workers, metrics)
+                        .expect("planned rewritable")
+                } else {
+                    cq::rewrite::eval_via_rewrite(q, tree).expect("planned rewritable")
+                }
             };
             Ok(QueryOutput::Answer(CqAnswer {
                 tuples,
@@ -522,12 +545,14 @@ pub fn execute(
             let swept = (tree.len() as u64).saturating_mul(prog.size() as u64);
             Metrics::add(&metrics.nodes_swept, swept);
             let mut span = treequery_obs::span("exec.ground_minoux");
-            let _mem = AllocScope::enter("exec.ground_minoux");
             span.record_u64("nodes_swept", swept);
-            let set = if plan.workers > 1 {
-                super::par::par_datalog_eval_query(prog, tree, plan.workers, metrics)
-            } else {
-                datalog::eval_query(prog, tree)
+            let set = {
+                let _mem = AllocScope::enter("exec.ground_minoux");
+                if plan.workers > 1 {
+                    super::par::par_datalog_eval_query(prog, tree, plan.workers, metrics)
+                } else {
+                    datalog::eval_query(prog, tree)
+                }
             };
             Ok(QueryOutput::Nodes(sorted_nodes(tree, set)))
         }

@@ -36,8 +36,11 @@ use std::collections::BTreeSet;
 use treequery_cq::rewrite::RewriteError;
 use treequery_cq::Cq;
 use treequery_datalog::{ground_rule_chunk, GroundAtom, Program};
-use treequery_storage::{stack_join_seeds, stack_tree_join, stack_tree_join_seeded};
-use treequery_tree::{incoming_carries, pre_ranges, Axis, CarryFlow, NodeId, NodeSet, Tree};
+use treequery_storage::{stack_tree_join_into, stack_tree_join_resumed_into, JoinSeedSet};
+use treequery_tree::{
+    incoming_carries_in_place, pre_range_at, pre_range_count, pre_ranges, scratch, Axis, CarryFlow,
+    NodeId, NodeSet, Tree,
+};
 use treequery_xpath::{Path, Qual};
 
 use crate::plan::exec::Metrics;
@@ -58,63 +61,132 @@ fn note_kernel(metrics: &Metrics, chunks: usize) {
         .fetch_add(chunks as u64, Ordering::Relaxed);
 }
 
-/// Parallel [`Axis::image`]: identical output, computed as `workers`
-/// pre-order-range slices on the shared pool and ORed together. Falls
-/// back to the sequential sweep for `workers <= 1` or tiny trees (where
-/// chunking would only add overhead).
-pub fn par_image(axis: Axis, t: &Tree, s: &NodeSet, workers: usize, metrics: &Metrics) -> NodeSet {
+/// Hands each [`WorkerPool::run_for`] chunk exclusive `&mut` access to
+/// its own slot of a caller-owned slice, by raw pointer (the borrow
+/// checker cannot see the chunk-index disjointness).
+struct SyncSlice<T>(*mut T);
+
+impl<T> SyncSlice<T> {
+    fn new(v: &mut [T]) -> Self {
+        Self(v.as_mut_ptr())
+    }
+
+    /// # Safety
+    /// Callers must access disjoint indexes from concurrent threads, and
+    /// `i` must be in bounds of the slice `new` was given.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut T {
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
+// SAFETY: only usable via `get`, whose contract requires disjoint slots.
+unsafe impl<T: Send> Sync for SyncSlice<T> {}
+
+/// Parallel [`Axis::image_into`]: identical output, computed as chunked
+/// pre-order-range slices claimed off the pool's allocation-free
+/// parallel for and ORed together in chunk order. All working sets come
+/// from the caller thread's scratch pools — never from worker
+/// thread-locals — so the allocation profile is independent of how
+/// chunks land on workers, and a warmed-up call allocates nothing.
+/// Falls back to the sequential sweep for `workers <= 1` or tiny trees.
+pub fn par_image_into(
+    axis: Axis,
+    t: &Tree,
+    s: &NodeSet,
+    workers: usize,
+    metrics: &Metrics,
+    out: &mut NodeSet,
+) {
     let n = t.len();
     if workers <= 1 || n < 2 {
-        return axis.image(t, s);
+        axis.image_into(t, s, out);
+        return;
     }
-    let ranges = pre_ranges(n, workers);
-    if ranges.len() <= 1 {
-        return axis.image(t, s);
+    let chunks = pre_range_count(n, workers);
+    if chunks <= 1 {
+        axis.image_into(t, s, out);
+        return;
     }
     let pool = WorkerPool::global();
     // Phase 1 (carry axes only): each range's carry contribution, in
-    // parallel; a cheap sequential prefix/suffix fold then yields the
-    // carry entering each range. Pooling this phase too matters: the
-    // carry scan costs about as much as the image scan, so leaving it
+    // parallel; a cheap sequential in-place fold then yields the carry
+    // entering each range. Pooling this phase too matters: the carry
+    // scan costs about as much as the image scan, so leaving it
     // sequential would cap the speedup at 2× (Amdahl).
-    let incoming = match axis.carry_flow() {
-        CarryFlow::None => vec![axis.carry_identity(); ranges.len()],
+    let mut carries = scratch::take_carries();
+    carries.resize(chunks, axis.carry_identity());
+    match axis.carry_flow() {
+        CarryFlow::None => {}
         CarryFlow::Forward | CarryFlow::Backward => {
-            let tasks: Vec<ScopedTask<'_, treequery_tree::SweepCarry>> = ranges
-                .iter()
-                .map(|r| {
-                    let r = r.clone();
-                    Box::new(move || axis.sweep_carry(t, s, r)) as ScopedTask<'_, _>
-                })
-                .collect();
-            note_kernel(metrics, tasks.len());
-            let carries = pool.run_scoped(workers, tasks);
-            incoming_carries(axis, &carries)
+            note_kernel(metrics, chunks);
+            {
+                let slots = SyncSlice::new(&mut carries);
+                pool.run_for(workers, chunks, &|i| {
+                    let r = pre_range_at(n, chunks, i);
+                    // SAFETY: chunk i writes slot i only.
+                    *unsafe { slots.get(i) } = axis.sweep_carry(t, s, r);
+                });
+            }
+            incoming_carries_in_place(axis, &mut carries);
         }
-    };
-    // Phase 2: each range's slice of the image, in parallel.
-    let tasks: Vec<ScopedTask<'_, NodeSet>> = ranges
-        .iter()
-        .zip(incoming)
-        .map(|(r, carry)| {
-            let r = r.clone();
-            Box::new(move || {
-                let mut span = treequery_obs::span("exec.sweep.chunk");
-                span.record_u64("nodes", u64::from(r.end - r.start));
-                axis.image_range(t, s, r, carry)
-            }) as ScopedTask<'_, _>
-        })
-        .collect();
-    note_kernel(metrics, tasks.len());
-    let slices = pool.run_scoped(workers, tasks);
-    let mut out = NodeSet::empty(n);
-    for slice in &slices {
+    }
+    // Phase 2: each range's slice of the image, written into per-chunk
+    // sets taken from the caller's scratch pool.
+    note_kernel(metrics, chunks);
+    let mut outs = scratch::take_set_vec();
+    for _ in 0..chunks {
+        outs.push(scratch::take_set(n));
+    }
+    let mut swepts = scratch::take_set_vec();
+    for _ in 0..chunks {
+        swepts.push(scratch::take_set(n));
+    }
+    {
+        let carries = &carries;
+        let out_slots = SyncSlice::new(&mut outs);
+        let swept_slots = SyncSlice::new(&mut swepts);
+        pool.run_for(workers, chunks, &|i| {
+            let r = pre_range_at(n, chunks, i);
+            let mut span = treequery_obs::span("exec.sweep.chunk");
+            span.record_u64("nodes", u64::from(r.end - r.start));
+            // SAFETY: chunk i writes slots i only.
+            axis.image_range_into(t, s, r, carries[i], unsafe { out_slots.get(i) }, unsafe {
+                swept_slots.get(i)
+            });
+        });
+    }
+    out.clear();
+    for slice in outs.iter() {
         out.union_with(slice);
     }
+    // Reverse order of the takes, so the next run pops in take order.
+    scratch::put_set_vec(swepts);
+    scratch::put_set_vec(outs);
+    scratch::put_carries(carries);
+}
+
+/// Parallel [`Axis::image`]: [`par_image_into`] returning a pooled set
+/// (recycle with [`scratch::put_set`]).
+pub fn par_image(axis: Axis, t: &Tree, s: &NodeSet, workers: usize, metrics: &Metrics) -> NodeSet {
+    let mut out = scratch::take_set(t.len());
+    par_image_into(axis, t, s, workers, metrics, &mut out);
     out
 }
 
-/// Parallel [`Axis::preimage`]: the parallel image of the inverse axis.
+/// Parallel [`Axis::preimage_into`]: the parallel image of the inverse.
+pub fn par_preimage_into(
+    axis: Axis,
+    t: &Tree,
+    s: &NodeSet,
+    workers: usize,
+    metrics: &Metrics,
+    out: &mut NodeSet,
+) {
+    par_image_into(axis.inverse(), t, s, workers, metrics, out);
+}
+
+/// Parallel [`Axis::preimage`]: returns a pooled set.
 pub fn par_preimage(
     axis: Axis,
     t: &Tree,
@@ -125,6 +197,22 @@ pub fn par_preimage(
     par_image(axis.inverse(), t, s, workers, metrics)
 }
 
+/// An [`AxisSweeper`](treequery_cq::AxisSweeper) that runs every axis
+/// image of the full reducer's semijoin passes as a chunked parallel
+/// sweep on the shared pool.
+pub struct PoolSweeper<'m> {
+    /// Worker threads per sweep.
+    pub workers: usize,
+    /// Executor metrics receiving kernel/chunk counts.
+    pub metrics: &'m Metrics,
+}
+
+impl treequery_cq::AxisSweeper for PoolSweeper<'_> {
+    fn image_into(&self, axis: Axis, t: &Tree, s: &NodeSet, out: &mut NodeSet) {
+        par_image_into(axis, t, s, self.workers, self.metrics, out);
+    }
+}
+
 // ---------------------------------------------------------------------
 // The set-at-a-time Core XPath evaluator, with parallel axis sweeps.
 // Structure mirrors `treequery_xpath::eval` exactly; only
@@ -133,16 +221,31 @@ pub fn par_preimage(
 
 fn qual_nodes(q: &Qual, t: &Tree, workers: usize, metrics: &Metrics) -> NodeSet {
     match q {
-        Qual::Label(l) => NodeSet::from_iter(t.len(), t.nodes_with_label_name(l).iter().copied()),
-        Qual::Path(p) => par_sources(p, t, &NodeSet::full(t.len()), workers, metrics),
+        Qual::Label(l) => {
+            let mut s = scratch::take_set(t.len());
+            for &v in t.nodes_with_label_name(l) {
+                s.insert(v);
+            }
+            s
+        }
+        Qual::Path(p) => {
+            let full = scratch::take_full(t.len());
+            let out = par_sources(p, t, &full, workers, metrics);
+            scratch::put_set(full);
+            out
+        }
         Qual::And(a, b) => {
             let mut s = qual_nodes(a, t, workers, metrics);
-            s.intersect_with(&qual_nodes(b, t, workers, metrics));
+            let other = qual_nodes(b, t, workers, metrics);
+            s.intersect_with(&other);
+            scratch::put_set(other);
             s
         }
         Qual::Or(a, b) => {
             let mut s = qual_nodes(a, t, workers, metrics);
-            s.union_with(&qual_nodes(b, t, workers, metrics));
+            let other = qual_nodes(b, t, workers, metrics);
+            s.union_with(&other);
+            scratch::put_set(other);
             s
         }
         Qual::Not(inner) => {
@@ -154,14 +257,17 @@ fn qual_nodes(q: &Qual, t: &Tree, workers: usize, metrics: &Metrics) -> NodeSet 
 }
 
 fn step_filter(quals: &[Qual], t: &Tree, workers: usize, metrics: &Metrics) -> NodeSet {
-    let mut s = NodeSet::full(t.len());
+    let mut s = scratch::take_full(t.len());
     for q in quals {
-        s.intersect_with(&qual_nodes(q, t, workers, metrics));
+        let qn = qual_nodes(q, t, workers, metrics);
+        s.intersect_with(&qn);
+        scratch::put_set(qn);
     }
     s
 }
 
-/// Parallel [`treequery_xpath::select`]: identical output.
+/// Parallel [`treequery_xpath::select`]: identical output, as a pooled
+/// set (recycle with [`scratch::put_set`]).
 pub fn par_select(
     p: &Path,
     t: &Tree,
@@ -171,23 +277,31 @@ pub fn par_select(
 ) -> NodeSet {
     match p {
         Path::Step { axis, quals } => {
-            let mut img = par_image(*axis, t, from, workers, metrics);
-            img.intersect_with(&step_filter(quals, t, workers, metrics));
+            let mut img = scratch::take_set(t.len());
+            par_image_into(*axis, t, from, workers, metrics, &mut img);
+            let filter = step_filter(quals, t, workers, metrics);
+            img.intersect_with(&filter);
+            scratch::put_set(filter);
             img
         }
         Path::Seq(p1, p2) => {
             let mid = par_select(p1, t, from, workers, metrics);
-            par_select(p2, t, &mid, workers, metrics)
+            let out = par_select(p2, t, &mid, workers, metrics);
+            scratch::put_set(mid);
+            out
         }
         Path::Union(p1, p2) => {
             let mut s = par_select(p1, t, from, workers, metrics);
-            s.union_with(&par_select(p2, t, from, workers, metrics));
+            let other = par_select(p2, t, from, workers, metrics);
+            s.union_with(&other);
+            scratch::put_set(other);
             s
         }
     }
 }
 
-/// Parallel [`treequery_xpath::sources`]: identical output.
+/// Parallel [`treequery_xpath::sources`]: identical output, as a pooled
+/// set.
 pub fn par_sources(
     p: &Path,
     t: &Tree,
@@ -197,17 +311,27 @@ pub fn par_sources(
 ) -> NodeSet {
     match p {
         Path::Step { axis, quals } => {
-            let mut tgt = targets.clone();
-            tgt.intersect_with(&step_filter(quals, t, workers, metrics));
-            par_preimage(*axis, t, &tgt, workers, metrics)
+            let mut tgt = scratch::take_set(t.len());
+            tgt.copy_from(targets);
+            let filter = step_filter(quals, t, workers, metrics);
+            tgt.intersect_with(&filter);
+            scratch::put_set(filter);
+            let mut out = scratch::take_set(t.len());
+            par_preimage_into(*axis, t, &tgt, workers, metrics, &mut out);
+            scratch::put_set(tgt);
+            out
         }
         Path::Seq(p1, p2) => {
             let mid = par_sources(p2, t, targets, workers, metrics);
-            par_sources(p1, t, &mid, workers, metrics)
+            let out = par_sources(p1, t, &mid, workers, metrics);
+            scratch::put_set(mid);
+            out
         }
         Path::Union(p1, p2) => {
             let mut s = par_sources(p1, t, targets, workers, metrics);
-            s.union_with(&par_sources(p2, t, targets, workers, metrics));
+            let other = par_sources(p2, t, targets, workers, metrics);
+            s.union_with(&other);
+            scratch::put_set(other);
             s
         }
     }
@@ -215,26 +339,35 @@ pub fn par_sources(
 
 /// Parallel [`treequery_xpath::eval_query`]: identical output (the same
 /// bits in the same [`NodeSet`]), with every axis sweep running as
-/// pre-order-range chunks on the shared pool.
+/// pre-order-range chunks on the shared pool. Returns a pooled set.
 pub fn par_eval_query(p: &Path, t: &Tree, workers: usize, metrics: &Metrics) -> NodeSet {
     match p {
         Path::Step { axis, quals } => {
-            let base = match axis {
-                Axis::Child => NodeSet::singleton(t.len(), t.root()),
-                Axis::Descendant | Axis::DescendantOrSelf => NodeSet::full(t.len()),
-                _ => NodeSet::empty(t.len()),
+            let mut out = match axis {
+                Axis::Child => {
+                    let mut s = scratch::take_set(t.len());
+                    s.insert(t.root());
+                    s
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => scratch::take_full(t.len()),
+                _ => scratch::take_set(t.len()),
             };
-            let mut out = base;
-            out.intersect_with(&step_filter(quals, t, workers, metrics));
+            let filter = step_filter(quals, t, workers, metrics);
+            out.intersect_with(&filter);
+            scratch::put_set(filter);
             out
         }
         Path::Seq(p1, p2) => {
             let first = par_eval_query(p1, t, workers, metrics);
-            par_select(p2, t, &first, workers, metrics)
+            let out = par_select(p2, t, &first, workers, metrics);
+            scratch::put_set(first);
+            out
         }
         Path::Union(p1, p2) => {
             let mut s = par_eval_query(p1, t, workers, metrics);
-            s.union_with(&par_eval_query(p2, t, workers, metrics));
+            let other = par_eval_query(p2, t, workers, metrics);
+            s.union_with(&other);
+            scratch::put_set(other);
             s
         }
     }
@@ -314,39 +447,94 @@ pub fn par_eval_via_rewrite(
     Ok(out)
 }
 
-/// Parallel Stack-Tree-Desc join: descendant chunks with stitched stack
-/// seeds, outputs concatenated in chunk order — byte-identical to
-/// [`stack_tree_join`]. Small inputs run sequentially.
+/// Reusable working state for [`par_stack_tree_join_into`]: the
+/// flattened seed set plus per-chunk stacks and output staging. A warmed
+/// instance makes repeated joins of same-shaped inputs allocation-free
+/// (beyond amortized first-time output growth).
+#[derive(Default)]
+pub struct ParJoinScratch {
+    seeds: JoinSeedSet,
+    stacks: Vec<Vec<(u32, u32)>>,
+    outs: Vec<Vec<(u32, u32)>>,
+}
+
+impl ParJoinScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Parallel Stack-Tree-Desc join writing into caller-owned buffers:
+/// descendant chunks with stitched stack seeds run on the pool's
+/// allocation-free parallel for, each chunk writing its own slot of the
+/// scratch workspace, outputs concatenated into `out` (cleared first) in
+/// chunk order — byte-identical to the sequential join. Small inputs run
+/// sequentially (still through the scratch buffers).
+pub fn par_stack_tree_join_into(
+    ancestors: &[(u32, u32)],
+    descendants: &[(u32, u32)],
+    workers: usize,
+    metrics: &Metrics,
+    ws: &mut ParJoinScratch,
+    out: &mut Vec<(u32, u32)>,
+) {
+    let sequential = workers <= 1 || descendants.len() < 2;
+    if !sequential {
+        ws.seeds.build(ancestors, descendants, workers);
+    }
+    if sequential || ws.seeds.len() <= 1 {
+        if ws.stacks.is_empty() {
+            ws.stacks.push(Vec::new());
+        }
+        stack_tree_join_into(ancestors, descendants, &mut ws.stacks[0], out);
+        return;
+    }
+    let chunks = ws.seeds.len();
+    while ws.stacks.len() < chunks {
+        ws.stacks.push(Vec::new());
+    }
+    while ws.outs.len() < chunks {
+        ws.outs.push(Vec::new());
+    }
+    note_kernel(metrics, chunks);
+    {
+        let seeds = &ws.seeds;
+        let stack_slots = SyncSlice::new(&mut ws.stacks[..chunks]);
+        let out_slots = SyncSlice::new(&mut ws.outs[..chunks]);
+        WorkerPool::global().run_for(workers, chunks, &|i| {
+            let range = seeds.range(i);
+            let mut span = treequery_obs::span("exec.join.chunk");
+            span.record_u64("descendants", (range.end - range.start) as u64);
+            // SAFETY: chunk i writes slots i only.
+            stack_tree_join_resumed_into(
+                ancestors,
+                &descendants[range],
+                seeds.next_ancestor(i),
+                seeds.stack(i),
+                unsafe { stack_slots.get(i) },
+                unsafe { out_slots.get(i) },
+            );
+        });
+    }
+    out.clear();
+    for o in &ws.outs[..chunks] {
+        out.extend_from_slice(o);
+    }
+}
+
+/// Parallel Stack-Tree-Desc join: [`par_stack_tree_join_into`] with
+/// one-shot buffers. Byte-identical to the sequential
+/// [`treequery_storage::stack_tree_join`].
 pub fn par_stack_tree_join(
     ancestors: &[(u32, u32)],
     descendants: &[(u32, u32)],
     workers: usize,
     metrics: &Metrics,
 ) -> Vec<(u32, u32)> {
-    if workers <= 1 || descendants.len() < 2 {
-        return stack_tree_join(ancestors, descendants);
-    }
-    let seeds = stack_join_seeds(ancestors, descendants, workers);
-    if seeds.len() <= 1 {
-        return stack_tree_join(ancestors, descendants);
-    }
-    let tasks: Vec<ScopedTask<'_, Vec<(u32, u32)>>> = seeds
-        .iter()
-        .map(|(range, seed)| {
-            let chunk = &descendants[range.clone()];
-            Box::new(move || {
-                let mut span = treequery_obs::span("exec.join.chunk");
-                span.record_u64("descendants", chunk.len() as u64);
-                stack_tree_join_seeded(ancestors, chunk, seed)
-            }) as ScopedTask<'_, _>
-        })
-        .collect();
-    note_kernel(metrics, tasks.len());
-    let outputs = WorkerPool::global().run_scoped(workers, tasks);
-    let mut out = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
-    for o in outputs {
-        out.extend(o);
-    }
+    let mut ws = ParJoinScratch::new();
+    let mut out = Vec::new();
+    par_stack_tree_join_into(ancestors, descendants, workers, metrics, &mut ws, &mut out);
     out
 }
 
@@ -437,10 +625,10 @@ mod tests {
         let x = treequery_storage::Xasr::from_tree(&t);
         let la = x.label_list("a");
         let lb = x.label_list("b");
-        let seq = stack_tree_join(&la, &lb);
+        let seq = treequery_storage::stack_tree_join(la, lb);
         let m = metrics();
         for workers in [1usize, 2, 8] {
-            assert_eq!(par_stack_tree_join(&la, &lb, workers, &m), seq);
+            assert_eq!(par_stack_tree_join(la, lb, workers, &m), seq);
         }
         let snap = m.snapshot();
         assert!(snap.parallel_kernels >= 2, "workers 2 and 8 dispatched");

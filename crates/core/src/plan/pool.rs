@@ -8,22 +8,111 @@
 //! is what makes `Engine::eval_batch` and the partitioned kernels cheap
 //! to call repeatedly (no per-call `std::thread::scope` spawning).
 //!
-//! The only submission API is [`WorkerPool::run_scoped`]: run a batch of
-//! closures that may borrow from the caller's stack, block until all of
-//! them finish, and return their results **in submission order**. That
-//! ordering guarantee is what the deterministic-merge story of the
-//! parallel kernels rests on: chunk outputs are concatenated in chunk
-//! order, so parallel output is byte-identical to sequential.
+//! Two submission APIs:
+//!
+//! * [`WorkerPool::run_scoped`] — run a batch of boxed closures that may
+//!   borrow from the caller's stack, block until all of them finish, and
+//!   return their results **in submission order**. That ordering
+//!   guarantee is what the deterministic-merge story of the parallel
+//!   kernels rests on: chunk outputs are concatenated in chunk order, so
+//!   parallel output is byte-identical to sequential.
+//! * [`WorkerPool::run_for`] — an allocation-free parallel for: one
+//!   shared chunk body called with every index in `0..chunks`, claimed
+//!   work-stealing style off a single atomic counter. The job descriptor
+//!   lives on the caller's stack and the body is passed by reference, so
+//!   the hot evaluation kernels can fan out without a single heap
+//!   allocation (the `zero_alloc` gate runs them under accounting).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// A raw pointer to a caller-stack [`ParJob`], published in the pool
+/// state so idle workers can join the parallel for.
+#[derive(Clone, Copy)]
+struct JobRef(*const ParJob);
+
+// SAFETY: the pointee is a ParJob pinned on the stack of a `run_for`
+// caller that does not return before every registered worker has
+// deregistered; all shared fields are Sync (atomics, Mutex, Condvar, an
+// Arc-backed scope handle, and a `dyn Fn + Sync` body).
+unsafe impl Send for JobRef {}
+
+/// Shared state of one [`WorkerPool::run_for`] call, on the caller's
+/// stack. Every field a worker touches is synchronized: chunk indexes
+/// come off `next`, completion flows through `status`/`done`.
+struct ParJob {
+    /// The chunk body, type-erased from the caller's `&(dyn Fn + Sync)`.
+    body: *const (dyn Fn(usize) + Sync),
+    chunks: usize,
+    /// Next unclaimed chunk index (may run past `chunks`).
+    next: AtomicUsize,
+    status: Mutex<ForStatus>,
+    /// Signaled when `unfinished` or `active` reaches zero.
+    done: Condvar,
+    /// Submitter's span depth, re-installed around every worker chunk.
+    depth: u32,
+    /// Submitter's allocation scope, ditto.
+    scope: Option<treequery_obs::alloc::ScopeHandle>,
+}
+
+struct ForStatus {
+    /// Chunks not yet finished.
+    unfinished: usize,
+    /// Workers currently registered on the job (the caller is not
+    /// counted: it is the party waiting for this to reach zero).
+    active: usize,
+    /// First panic payload from any chunk.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl ParJob {
+    /// Claims and runs chunks until the counter runs out. Called by
+    /// registered workers (the caller runs an equivalent inline loop).
+    fn run_worker(&self) {
+        // SAFETY: `body` points into the `run_for` caller's frame, which
+        // is alive for as long as this worker is registered (`active`).
+        let body = unsafe { &*self.body };
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks {
+                break;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let run = || treequery_obs::with_ambient_depth(self.depth, || body(i));
+                match &self.scope {
+                    Some(handle) => treequery_obs::alloc::with_scope(handle, run),
+                    None => run(),
+                }
+            }));
+            let mut st = self.status.lock().expect("job lock poisoned");
+            if let Err(p) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(p);
+                }
+            }
+            st.unfinished -= 1;
+            if st.unfinished == 0 {
+                self.done.notify_all();
+            }
+        }
+        let mut st = self.status.lock().expect("job lock poisoned");
+        st.active -= 1;
+        if st.active == 0 && st.unfinished == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
 struct PoolState {
     queue: VecDeque<Task>,
     workers: usize,
+    /// The currently published parallel for, if any. One at a time: a
+    /// second concurrent `run_for` falls back to inline execution.
+    job: Option<JobRef>,
 }
 
 /// The shared worker pool. Obtain the process-wide instance with
@@ -53,6 +142,7 @@ impl WorkerPool {
             state: Mutex::new(PoolState {
                 queue: VecDeque::new(),
                 workers: 0,
+                job: None,
             }),
             work_ready: Condvar::new(),
         })
@@ -78,17 +168,138 @@ impl WorkerPool {
 
     fn worker_loop(&'static self) {
         IN_POOL.with(|f| f.set(true));
+        enum Work {
+            Task(Task),
+            Job(JobRef),
+        }
         loop {
-            let task = {
+            let work = {
                 let mut state = self.state.lock().expect("pool lock poisoned");
                 loop {
                     if let Some(task) = state.queue.pop_front() {
-                        break task;
+                        break Work::Task(task);
+                    }
+                    if let Some(job) = state.job {
+                        // SAFETY: `state.job` is only Some while the
+                        // publishing `run_for` frame is alive; we hold
+                        // the pool lock, which is also required to clear
+                        // the slot, so the pointee is valid here.
+                        let j = unsafe { &*job.0 };
+                        // Register only when chunks look claimable, to
+                        // avoid spinning on a drained job. Registration
+                        // under the pool lock is what makes the caller's
+                        // "no new workers after unpublish" reasoning
+                        // sound; claiming nothing afterwards is harmless.
+                        if j.next.load(Ordering::Relaxed) < j.chunks {
+                            j.status.lock().expect("job lock poisoned").active += 1;
+                            break Work::Job(job);
+                        }
                     }
                     state = self.work_ready.wait(state).expect("pool lock poisoned");
                 }
             };
-            task();
+            match work {
+                Work::Task(task) => task(),
+                // SAFETY: registered above; the publishing frame cannot
+                // return until we deregister inside `run_worker`.
+                Work::Job(job) => unsafe { &*job.0 }.run_worker(),
+            }
+        }
+    }
+
+    /// Allocation-free parallel for: calls `body(i)` for every `i` in
+    /// `0..chunks`, spreading the calls over up to `workers` threads
+    /// (the caller participates), and blocks until all of them finished.
+    /// Chunk indexes are claimed from a single atomic counter, so chunk →
+    /// thread assignment is dynamic; callers that need deterministic
+    /// output must write into per-chunk slots and merge in chunk order.
+    ///
+    /// The job descriptor lives on this call's stack and the body is
+    /// passed by reference: nothing is boxed or queued, so a warmed-up
+    /// call performs **zero heap allocations** on the submission path.
+    /// The first panicking chunk's payload is resumed on the caller after
+    /// all chunks settled. Runs inline when `workers <= 1`, for a single
+    /// chunk, from inside a pool task, or when another thread's `run_for`
+    /// currently occupies the (single) job slot.
+    pub fn run_for(&'static self, workers: usize, chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        if workers <= 1 || chunks == 1 || IN_POOL.with(|f| f.get()) {
+            for i in 0..chunks {
+                body(i);
+            }
+            return;
+        }
+        self.ensure_workers(workers.min(chunks));
+        // SAFETY: erases `body`'s borrow lifetime for storage in the
+        // non-generic job descriptor. This call does not return until
+        // every registered worker has deregistered (the `active` wait
+        // below), so no use of the pointer outlives the borrow.
+        let body_erased = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(body)
+        };
+        let job = ParJob {
+            body: body_erased,
+            chunks,
+            next: AtomicUsize::new(0),
+            status: Mutex::new(ForStatus {
+                unfinished: chunks,
+                active: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+            depth: treequery_obs::current_depth(),
+            scope: treequery_obs::alloc::current_scope(),
+        };
+        {
+            let mut state = self.state.lock().expect("pool lock poisoned");
+            if state.job.is_some() {
+                // Another thread's parallel for holds the slot; running
+                // inline beats queueing behind it.
+                drop(state);
+                for i in 0..chunks {
+                    body(i);
+                }
+                return;
+            }
+            state.job = Some(JobRef(&job));
+            self.work_ready.notify_all();
+        }
+        // Claim and run chunks like any worker. IN_POOL makes nested
+        // parallel calls from the body run inline (and was false above).
+        IN_POOL.with(|f| f.set(true));
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= chunks {
+                break;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| body(i)));
+            let mut st = job.status.lock().expect("job lock poisoned");
+            if let Err(p) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(p);
+                }
+            }
+            st.unfinished -= 1;
+            if st.unfinished == 0 {
+                job.done.notify_all();
+            }
+        }
+        IN_POOL.with(|f| f.set(false));
+        // Unpublish: registration requires the pool lock, so after this
+        // no new worker can join; the ones already registered are counted
+        // in `active` and drained below before `job` leaves scope.
+        self.state.lock().expect("pool lock poisoned").job = None;
+        let panic = {
+            let mut st = job.status.lock().expect("job lock poisoned");
+            while st.unfinished != 0 || st.active != 0 {
+                st = job.done.wait(st).expect("job lock poisoned");
+            }
+            st.panic.take()
+        };
+        if let Some(p) = panic {
+            resume_unwind(p);
         }
     }
 
@@ -323,6 +534,68 @@ mod tests {
             .map(|i| (0..4u64).map(|j| i * 10 + j).sum())
             .collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_for_covers_every_chunk_exactly_once() {
+        let pool = WorkerPool::global();
+        for workers in [1, 2, 4] {
+            let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_for(workers, hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "chunk {i} at {workers} workers"
+                );
+            }
+        }
+        // Degenerate shapes.
+        pool.run_for(4, 0, &|_| panic!("no chunks, no calls"));
+        let one = AtomicUsize::new(0);
+        pool.run_for(4, 1, &|i| {
+            one.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(one.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_for_propagates_panics_and_stays_usable() {
+        let pool = WorkerPool::global();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_for(2, 8, &|i| {
+                if i == 3 {
+                    panic!("chunk 3 exploded");
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "chunk 3 exploded");
+        let n = AtomicUsize::new(0);
+        pool.run_for(2, 8, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_run_for_runs_inline_without_deadlock() {
+        let pool = WorkerPool::global();
+        let total = AtomicUsize::new(0);
+        pool.run_for(4, 8, &|i| {
+            // Nested calls (body is already on a pool/claim path) must
+            // execute inline instead of touching the single job slot.
+            WorkerPool::global().run_for(4, 4, &|j| {
+                total.fetch_add(i * 10 + j, Ordering::Relaxed);
+            });
+        });
+        let expect: usize = (0..8)
+            .map(|i| (0..4).map(|j| i * 10 + j).sum::<usize>())
+            .sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
     }
 
     #[test]

@@ -16,10 +16,36 @@
 //! The literal Horn-SAT construction of Proposition 6.2 (over explicit
 //! relations) lives in [`crate::relational`].
 
-use treequery_tree::{Axis, NodeSet, Tree};
+use treequery_tree::{scratch, Axis, NodeSet, Tree};
 
 use crate::ast::{Cq, CqAtom, CqVar};
 use crate::graph::JoinForest;
+
+/// A pluggable kernel for whole-set axis images. The semijoin reducers are
+/// generic over this trait so executors can swap the sequential O(n)
+/// sweeps for a chunked parallel implementation without touching the
+/// reduction logic. Implementations must write the exact axis image into
+/// `out` (clearing it first); `out` must be a set over `t.len()` nodes.
+pub trait AxisSweeper {
+    /// Writes `{y | ∃x ∈ s: axis(x, y)}` into `out`.
+    fn image_into(&self, axis: Axis, t: &Tree, s: &NodeSet, out: &mut NodeSet);
+
+    /// Writes `{x | ∃y ∈ s: axis(x, y)}` into `out`. Defaults to the image
+    /// of the inverse axis.
+    fn preimage_into(&self, axis: Axis, t: &Tree, s: &NodeSet, out: &mut NodeSet) {
+        self.image_into(axis.inverse(), t, s, out);
+    }
+}
+
+/// The sequential sweeper: plain [`Axis::image_into`] order sweeps.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeqSweeper;
+
+impl AxisSweeper for SeqSweeper {
+    fn image_into(&self, axis: Axis, t: &Tree, s: &NodeSet, out: &mut NodeSet) {
+        axis.image_into(t, s, out);
+    }
+}
 
 /// A binary constraint as used by the propagators: an axis or `<pre`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,35 +70,47 @@ impl Rel {
         }
     }
 
-    /// Image `{y | ∃x ∈ s: rel(x, y)}` in O(n).
-    pub(crate) fn image(self, t: &Tree, s: &NodeSet) -> NodeSet {
+    /// Image `{y | ∃x ∈ s: rel(x, y)}` in O(n), written into a
+    /// caller-owned set over `t.len()` nodes (cleared first).
+    pub(crate) fn image_into(
+        self,
+        t: &Tree,
+        s: &NodeSet,
+        out: &mut NodeSet,
+        sweeper: &(impl AxisSweeper + ?Sized),
+    ) {
         match self {
-            Rel::Axis(a) => a.image(t, s),
+            Rel::Axis(a) => sweeper.image_into(a, t, s, out),
             Rel::PreLt => {
                 // Nodes with pre rank greater than the minimum in s.
-                let mut out = NodeSet::empty(t.len());
+                out.clear();
                 if let Some(min_pre) = s.iter().map(|v| t.pre(v)).min() {
                     for rank in min_pre + 1..t.len() as u32 {
                         out.insert(t.node_at_pre(rank));
                     }
                 }
-                out
             }
         }
     }
 
-    /// Preimage `{x | ∃y ∈ s: rel(x, y)}` in O(n).
-    pub(crate) fn preimage(self, t: &Tree, s: &NodeSet) -> NodeSet {
+    /// Preimage `{x | ∃y ∈ s: rel(x, y)}` in O(n), written into a
+    /// caller-owned set over `t.len()` nodes (cleared first).
+    pub(crate) fn preimage_into(
+        self,
+        t: &Tree,
+        s: &NodeSet,
+        out: &mut NodeSet,
+        sweeper: &(impl AxisSweeper + ?Sized),
+    ) {
         match self {
-            Rel::Axis(a) => a.preimage(t, s),
+            Rel::Axis(a) => sweeper.preimage_into(a, t, s, out),
             Rel::PreLt => {
-                let mut out = NodeSet::empty(t.len());
+                out.clear();
                 if let Some(max_pre) = s.iter().map(|v| t.pre(v)).max() {
                     for rank in 0..max_pre {
                         out.insert(t.node_at_pre(rank));
                     }
                 }
-                out
             }
         }
     }
@@ -89,22 +127,37 @@ pub(crate) fn atom_rel(atom: &CqAtom) -> Option<(Rel, CqVar, CqVar)> {
 /// Initial candidate sets: full domain filtered by label atoms and by
 /// self-loop binary atoms `R(x, x)` (which hold exactly when `R` is
 /// reflexive).
+///
+/// The returned sets (and their container) come from the thread-local
+/// scratch pools; recycle them with [`scratch::put_set_vec`] when done to
+/// keep steady-state evaluation allocation-free.
 pub(crate) fn initial_sets(q: &Cq, t: &Tree) -> Vec<NodeSet> {
     let n = t.len();
-    let mut sets = vec![NodeSet::full(n); q.num_vars()];
+    let mut sets = scratch::take_set_vec();
+    for _ in 0..q.num_vars() {
+        sets.push(scratch::take_full(n));
+    }
+    let mut filter = scratch::take_set(n);
     for atom in &q.atoms {
         match atom {
             CqAtom::Label(l, x) => {
-                let labeled = NodeSet::from_iter(n, t.nodes_with_label_name(l).iter().copied());
-                sets[x.index()].intersect_with(&labeled);
+                filter.clear();
+                for &v in t.nodes_with_label_name(l) {
+                    filter.insert(v);
+                }
+                sets[x.index()].intersect_with(&filter);
             }
             CqAtom::Root(x) => {
-                let root = NodeSet::singleton(n, t.root());
-                sets[x.index()].intersect_with(&root);
+                filter.clear();
+                filter.insert(t.root());
+                sets[x.index()].intersect_with(&filter);
             }
             CqAtom::Leaf(x) => {
-                let leaves = NodeSet::from_iter(n, t.nodes().filter(|&v| t.is_leaf(v)));
-                sets[x.index()].intersect_with(&leaves);
+                filter.clear();
+                for v in t.nodes().filter(|&v| t.is_leaf(v)) {
+                    filter.insert(v);
+                }
+                sets[x.index()].intersect_with(&filter);
             }
             CqAtom::Axis(a, x, y) if x == y && !a.is_reflexive() => {
                 sets[x.index()].clear();
@@ -113,6 +166,7 @@ pub(crate) fn initial_sets(q: &Cq, t: &Tree) -> Vec<NodeSet> {
             _ => {}
         }
     }
+    scratch::put_set(filter);
     sets
 }
 
@@ -133,27 +187,31 @@ pub fn max_arc_consistent(q: &Cq, t: &Tree) -> Option<Vec<NodeSet>> {
 /// self-loop filters before propagation.
 pub fn max_arc_consistent_from(q: &Cq, t: &Tree, init: Vec<NodeSet>) -> Option<Vec<NodeSet>> {
     let mut sets = init;
-    for (s, filter) in sets.iter_mut().zip(initial_sets(q, t)) {
-        s.intersect_with(&filter);
+    let filters = initial_sets(q, t);
+    for (s, filter) in sets.iter_mut().zip(filters.iter()) {
+        s.intersect_with(filter);
     }
+    scratch::put_set_vec(filters);
     let rels: Vec<(Rel, CqVar, CqVar)> = q
         .atoms
         .iter()
         .filter_map(atom_rel)
         .filter(|(_, x, y)| x != y)
         .collect();
+    let mut buf = scratch::take_set(t.len());
     loop {
         let mut changed = false;
         for &(rel, x, y) in &rels {
-            let img = rel.image(t, &sets[x.index()]);
-            changed |= sets[y.index()].intersect_with(&img);
-            let pre = rel.preimage(t, &sets[y.index()]);
-            changed |= sets[x.index()].intersect_with(&pre);
+            rel.image_into(t, &sets[x.index()], &mut buf, &SeqSweeper);
+            changed |= sets[y.index()].intersect_with(&buf);
+            rel.preimage_into(t, &sets[y.index()], &mut buf, &SeqSweeper);
+            changed |= sets[x.index()].intersect_with(&buf);
         }
         if !changed {
             break;
         }
     }
+    scratch::put_set(buf);
     // Only variables that occur in some atom must be non-empty; a variable
     // occurring in no atom ranges over the (non-empty) domain.
     for v in q.live_vars() {
@@ -167,8 +225,23 @@ pub fn max_arc_consistent_from(q: &Cq, t: &Tree, init: Vec<NodeSet>) -> Option<V
 /// Yannakakis' full reducer for an acyclic query: one bottom-up and one
 /// top-down semijoin pass over `forest`. Equals [`max_arc_consistent`] on
 /// acyclic queries but with a guaranteed two passes — `O(|Q| · n)` total.
+///
+/// The returned sets come from the thread-local scratch pools; recycle
+/// them with [`scratch::put_set_vec`] to keep repeated evaluation
+/// allocation-free after warm-up.
 pub fn full_reduce(q: &Cq, t: &Tree, forest: &JoinForest) -> Option<Vec<NodeSet>> {
-    reduce(q, t, forest, true)
+    reduce(q, t, forest, true, &SeqSweeper)
+}
+
+/// [`full_reduce`] with a caller-chosen axis-image kernel (e.g. a chunked
+/// parallel sweeper).
+pub fn full_reduce_with(
+    q: &Cq,
+    t: &Tree,
+    forest: &JoinForest,
+    sweeper: &(impl AxisSweeper + ?Sized),
+) -> Option<Vec<NodeSet>> {
+    reduce(q, t, forest, true, sweeper)
 }
 
 /// The ablation of [`full_reduce`]: the bottom-up semijoin pass only.
@@ -176,11 +249,25 @@ pub fn full_reduce(q: &Cq, t: &Tree, forest: &JoinForest) -> Option<Vec<NodeSet>
 /// non-root candidate sets over-approximate — enumeration over them is
 /// *not* backtrack-free (experiment E6's ablation).
 pub fn bottom_up_reduce(q: &Cq, t: &Tree, forest: &JoinForest) -> Option<Vec<NodeSet>> {
-    reduce(q, t, forest, false)
+    reduce(q, t, forest, false, &SeqSweeper)
 }
 
-fn reduce(q: &Cq, t: &Tree, forest: &JoinForest, top_down: bool) -> Option<Vec<NodeSet>> {
+fn reduce(
+    q: &Cq,
+    t: &Tree,
+    forest: &JoinForest,
+    top_down: bool,
+    sweeper: &(impl AxisSweeper + ?Sized),
+) -> Option<Vec<NodeSet>> {
     let mut sets = initial_sets(q, t);
+    let mut reduced = scratch::take_set(t.len());
+    // On every exit path the scratch buffers go back to the pool; on
+    // failure the candidate sets do too (the caller never sees them).
+    let bail = |sets: Vec<NodeSet>, reduced: NodeSet| -> Option<Vec<NodeSet>> {
+        scratch::put_set(reduced);
+        scratch::put_set_vec(sets);
+        None
+    };
 
     // Bottom-up: children constrain parents.
     for &v in forest.bfs_order.iter().rev() {
@@ -192,18 +279,18 @@ fn reduce(q: &Cq, t: &Tree, forest: &JoinForest, top_down: bool) -> Option<Vec<N
                 continue;
             };
             // The atom connects u and v; semijoin-reduce u by v.
-            let reduced = if ax == *u && ay == v {
-                rel.preimage(t, &sets[v.index()])
+            if ax == *u && ay == v {
+                rel.preimage_into(t, &sets[v.index()], &mut reduced, sweeper);
             } else {
                 debug_assert!(ax == v && ay == *u);
-                rel.image(t, &sets[v.index()])
-            };
+                rel.image_into(t, &sets[v.index()], &mut reduced, sweeper);
+            }
             sets[u.index()].intersect_with(&reduced);
         }
     }
     for &root in &forest.roots {
         if sets[root.index()].is_empty() {
-            return None;
+            return bail(sets, reduced);
         }
     }
 
@@ -216,24 +303,32 @@ fn reduce(q: &Cq, t: &Tree, forest: &JoinForest, top_down: bool) -> Option<Vec<N
             let Some((rel, ax, ay)) = atom_rel(&q.atoms[ai]) else {
                 continue;
             };
-            let reduced = if ax == *u && ay == v {
-                rel.image(t, &sets[u.index()])
+            if ax == *u && ay == v {
+                rel.image_into(t, &sets[u.index()], &mut reduced, sweeper);
             } else {
-                rel.preimage(t, &sets[u.index()])
-            };
+                rel.preimage_into(t, &sets[u.index()], &mut reduced, sweeper);
+            }
             sets[v.index()].intersect_with(&reduced);
         }
         if sets[v.index()].is_empty() {
-            return None;
+            return bail(sets, reduced);
         }
     }
 
     // Isolated live variables (e.g. head-only) must still be non-empty.
-    for v in q.live_vars() {
+    // Iterated directly (with duplicates) rather than via
+    // `Cq::live_vars`, whose collected set would allocate per call.
+    let live = q
+        .atoms
+        .iter()
+        .flat_map(CqAtom::vars)
+        .chain(q.head.iter().copied());
+    for v in live {
         if sets[v.index()].is_empty() {
-            return None;
+            return bail(sets, reduced);
         }
     }
+    scratch::put_set(reduced);
     Some(sets)
 }
 

@@ -15,7 +15,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use treequery_tree::{Axis, NodeId, NodeSet, Tree};
 
-use crate::arc::{atom_rel, full_reduce, Rel};
+use crate::arc::{atom_rel, full_reduce, AxisSweeper, Rel};
 use crate::ast::{Cq, CqVar};
 use crate::graph::JoinForest;
 
@@ -203,6 +203,17 @@ pub struct Enumerator<'t> {
     free_vars: Vec<CqVar>,
 }
 
+impl Drop for Enumerator<'_> {
+    /// The candidate sets come from the thread-local scratch pools
+    /// (via the reducers); recycle them so repeated query preparation is
+    /// allocation-free after warm-up.
+    fn drop(&mut self) {
+        if let Some(sets) = self.sets.take() {
+            treequery_tree::scratch::put_set_vec(sets);
+        }
+    }
+}
+
 /// How much semijoin reduction to run before enumerating (the E6
 /// ablation knob; [`Reduction::Full`] is the normal mode).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -243,17 +254,38 @@ impl<'t> Enumerator<'t> {
     /// Yannakakis' join trees); with [`Reduction::None`] the candidate
     /// sets over-approximate and the Figure 6 recursion dead-ends.
     pub fn with_reduction(q: &Cq, t: &'t Tree, reduction: Reduction) -> Option<Self> {
+        Self::construct(q, t, |q, forest| match reduction {
+            Reduction::Full => full_reduce(q, t, forest),
+            Reduction::BottomUpOnly => crate::arc::bottom_up_reduce(q, t, forest),
+            Reduction::None => Some(crate::arc::initial_sets(q, t)),
+        })
+    }
+
+    /// Like [`Enumerator::new`] but running the full reducer's axis-image
+    /// semijoins through a caller-chosen [`AxisSweeper`] (e.g. a chunked
+    /// parallel kernel).
+    pub fn with_sweeper(
+        q: &Cq,
+        t: &'t Tree,
+        sweeper: &(impl AxisSweeper + ?Sized),
+    ) -> Option<Self> {
+        Self::construct(q, t, |q, forest| {
+            crate::arc::full_reduce_with(q, t, forest, sweeper)
+        })
+    }
+
+    fn construct(
+        q: &Cq,
+        t: &'t Tree,
+        run_reduction: impl FnOnce(&Cq, &JoinForest) -> Option<Vec<NodeSet>>,
+    ) -> Option<Self> {
         let mut span = treequery_obs::span("cq.reduce");
         let _mem = treequery_obs::alloc::AllocScope::enter("cq.reduce");
         span.record_u64("atoms", q.atoms.len() as u64);
         span.record_u64("vars", q.num_vars() as u64);
         let q = q.normalize_forward();
         let forest = JoinForest::build(&q)?;
-        let sets = match reduction {
-            Reduction::Full => full_reduce(&q, t, &forest),
-            Reduction::BottomUpOnly => crate::arc::bottom_up_reduce(&q, t, &forest),
-            Reduction::None => Some(crate::arc::initial_sets(&q, t)),
-        };
+        let sets = run_reduction(&q, &forest);
         if let Some(sets) = &sets {
             span.record_u64(
                 "candidates",
@@ -504,7 +536,7 @@ mod tests {
                 if let Some(e) = Enumerator::new(&q, &t) {
                     let stats = e.count();
                     assert_eq!(stats.dead_branches, 0, "{qs} on {ts}");
-                }
+                };
             }
         }
     }

@@ -47,7 +47,9 @@ pub mod twigjoin;
 pub mod ucq;
 pub mod xprop;
 
-pub use arc::{bottom_up_reduce, full_reduce, max_arc_consistent};
+pub use arc::{
+    bottom_up_reduce, full_reduce, full_reduce_with, max_arc_consistent, AxisSweeper, SeqSweeper,
+};
 pub use ast::{Cq, CqAtom, CqVar};
 pub use backtrack::{
     check_tuple, eval_backtrack, eval_backtrack_with_stats, is_satisfiable_backtrack,

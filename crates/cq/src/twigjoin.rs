@@ -471,7 +471,7 @@ pub fn structural_join_plan(tq: &TwigQuery, t: &Tree) -> (Vec<Vec<NodeId>>, u64)
         let p = tq.parent[i].expect("non-root");
         let la = xasr.label_list(&tq.labels[p]);
         let ld = xasr.label_list(&tq.labels[i]);
-        let pairs = stack_tree_join(&la, &ld);
+        let pairs = stack_tree_join(la, ld);
         let pairs: Vec<(NodeId, NodeId)> = pairs
             .into_iter()
             .map(|(a, d)| (t.node_at_pre(a - 1), t.node_at_pre(d - 1)))

@@ -5,7 +5,14 @@
 //! of the parent (`NULL` for the root), and the node's label. The
 //! `descendant` and `child` "SQL views" of Example 2.1 are provided as
 //! methods producing [`Relation`]s over pre-indexes.
+//!
+//! Beyond the row view, construction precomputes the columnar access paths
+//! the structural joins scan: per-label `(pre, post)` posting lists in one
+//! flat pre-sorted column ([`Xasr::label_list`] returns a borrowed slice),
+//! and a per-label bitmap over pre-indexes ([`Xasr::label_bitmap`]) for
+//! O(1) "does pre-index p carry label a" probes.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use treequery_tree::Tree;
@@ -25,16 +32,29 @@ pub struct XasrRow {
     pub label: String,
 }
 
-/// The XASR of a tree: rows sorted by pre-index.
+/// The XASR of a tree: rows sorted by pre-index, plus columnar per-label
+/// indexes (flat posting lists and bitmaps) built once at construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Xasr {
     rows: Vec<XasrRow>,
+    /// Distinct labels → dense index into the CSR columns below.
+    label_index: HashMap<String, u32>,
+    /// CSR offsets into `label_postings`, one entry per distinct label + 1.
+    label_offsets: Vec<u32>,
+    /// `(pre, post)` pairs (1-based), pre-sorted within each label.
+    label_postings: Vec<(u32, u32)>,
+    /// Per-label bitmaps over pre-indexes: label `i` owns the words
+    /// `bitmap_words[i*words_per_label .. (i+1)*words_per_label]`, with bit
+    /// `pre-1` set iff the row at that pre-index carries the label.
+    bitmap_words: Vec<u64>,
+    words_per_label: usize,
 }
 
 impl Xasr {
-    /// Builds the XASR of a tree in O(n).
+    /// Builds the XASR of a tree in O(n), including the per-label posting
+    /// lists and bitmap indexes.
     pub fn from_tree(t: &Tree) -> Self {
-        let rows = t
+        let rows: Vec<XasrRow> = t
             .pre_order()
             .map(|v| XasrRow {
                 pre: t.pre(v) + 1,
@@ -43,7 +63,45 @@ impl Xasr {
                 label: t.label_name(v).to_owned(),
             })
             .collect();
-        Self { rows }
+
+        // Dense label ids in first-appearance (document) order.
+        let mut label_index: HashMap<String, u32> = HashMap::new();
+        for r in &rows {
+            let next = label_index.len() as u32;
+            label_index.entry(r.label.clone()).or_insert(next);
+        }
+        let num_labels = label_index.len();
+
+        // Counting sort of the rows into per-label posting runs; rows are
+        // visited in pre order, so each run stays pre-sorted.
+        let mut label_offsets = vec![0u32; num_labels + 1];
+        for r in &rows {
+            label_offsets[label_index[&r.label] as usize + 1] += 1;
+        }
+        for i in 0..num_labels {
+            label_offsets[i + 1] += label_offsets[i];
+        }
+        let mut cursor = label_offsets.clone();
+        let mut label_postings = vec![(0u32, 0u32); rows.len()];
+        let words_per_label = rows.len().div_ceil(64);
+        let mut bitmap_words = vec![0u64; num_labels * words_per_label];
+        for r in &rows {
+            let lab = label_index[&r.label] as usize;
+            let slot = &mut cursor[lab];
+            label_postings[*slot as usize] = (r.pre, r.post);
+            *slot += 1;
+            let bit = (r.pre - 1) as usize;
+            bitmap_words[lab * words_per_label + bit / 64] |= 1u64 << (bit % 64);
+        }
+
+        Self {
+            rows,
+            label_index,
+            label_offsets,
+            label_postings,
+            bitmap_words,
+            words_per_label,
+        }
     }
 
     /// The rows, sorted by pre-index.
@@ -96,14 +154,56 @@ impl Xasr {
         )
     }
 
-    /// The pre-indexes of rows carrying `label` (a "label list", the input
-    /// unit of structural joins), sorted by pre.
-    pub fn label_list(&self, label: &str) -> Vec<(u32, u32)> {
-        self.rows
-            .iter()
-            .filter(|r| r.label == label)
-            .map(|r| (r.pre, r.post))
-            .collect()
+    /// The `(pre, post)` pairs of rows carrying `label` (a "label list",
+    /// the input unit of structural joins), sorted by pre — a borrowed
+    /// slice of the precomputed posting column, never a fresh `Vec`.
+    pub fn label_list(&self, label: &str) -> &[(u32, u32)] {
+        let Some(&i) = self.label_index.get(label) else {
+            return &[];
+        };
+        let lo = self.label_offsets[i as usize] as usize;
+        let hi = self.label_offsets[i as usize + 1] as usize;
+        &self.label_postings[lo..hi]
+    }
+
+    /// The bitmap over pre-indexes for `label`, or `None` if the label
+    /// does not occur.
+    pub fn label_bitmap(&self, label: &str) -> Option<LabelBitmap<'_>> {
+        let &i = self.label_index.get(label)?;
+        let lo = i as usize * self.words_per_label;
+        Some(LabelBitmap {
+            words: &self.bitmap_words[lo..lo + self.words_per_label],
+        })
+    }
+
+    /// O(1) probe: does the row at (1-based) `pre` carry `label`?
+    pub fn has_label_at_pre(&self, label: &str, pre: u32) -> bool {
+        self.label_bitmap(label)
+            .is_some_and(|b| b.contains_pre(pre))
+    }
+}
+
+/// A borrowed per-label bitmap over (1-based) pre-indexes.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelBitmap<'a> {
+    words: &'a [u64],
+}
+
+impl LabelBitmap<'_> {
+    /// Whether the row at (1-based) `pre` carries the label.
+    pub fn contains_pre(&self, pre: u32) -> bool {
+        if pre == 0 {
+            return false;
+        }
+        let bit = (pre - 1) as usize;
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Number of pre-indexes carrying the label.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -200,6 +300,37 @@ mod tests {
         let asr = x.label_list("a");
         assert_eq!(asr, vec![(1, 7), (3, 1), (5, 6)]);
         assert!(x.label_list("zzz").is_empty());
+    }
+
+    #[test]
+    fn label_list_is_borrowed_and_stable() {
+        let t = parse_term("a(b(a c) a(b d))").unwrap();
+        let x = Xasr::from_tree(&t);
+        // Two calls return the same slice of the posting column.
+        let first: *const (u32, u32) = x.label_list("a").as_ptr();
+        let second: *const (u32, u32) = x.label_list("a").as_ptr();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn bitmap_agrees_with_row_scan() {
+        let t = parse_term("a(b(a c) a(b d))").unwrap();
+        let x = Xasr::from_tree(&t);
+        for label in ["a", "b", "c", "d", "zzz"] {
+            for r in x.rows() {
+                assert_eq!(
+                    x.has_label_at_pre(label, r.pre),
+                    r.label == label,
+                    "{label} at pre {}",
+                    r.pre
+                );
+            }
+        }
+        let bm = x.label_bitmap("a").unwrap();
+        assert_eq!(bm.count(), 3);
+        assert!(!bm.contains_pre(0));
+        assert!(!bm.contains_pre(1000));
+        assert!(x.label_bitmap("zzz").is_none());
     }
 
     #[test]

@@ -262,38 +262,53 @@ impl Axis {
 
     /// The image `{ y | ∃ x ∈ s: Axis(x, y) }`, computed in O(n) by order
     /// sweeps (n = number of tree nodes). This is the workhorse of all the
-    /// linear-time evaluators.
+    /// linear-time evaluators. The returned set is drawn from the
+    /// thread-local [`crate::scratch`] pool; callers on the hot path hand
+    /// it back with [`crate::scratch::put_set`] once consumed.
     pub fn image(self, t: &Tree, s: &NodeSet) -> NodeSet {
+        let mut out = crate::scratch::take_set(t.len());
+        self.image_into(t, s, &mut out);
+        out
+    }
+
+    /// Writes the image of `s` into `out` (cleared first; same universe as
+    /// the tree). Internal working memory comes from the thread-local
+    /// scratch pool, so a warmed-up call performs no allocations.
+    pub fn image_into(self, t: &Tree, s: &NodeSet, out: &mut NodeSet) {
         let n = t.len();
         debug_assert_eq!(s.universe(), n);
-        let mut out = NodeSet::empty(n);
+        debug_assert_eq!(out.universe(), n);
+        out.clear();
         match self {
             Axis::SelfAxis => out.union_with(s),
             Axis::Child => {
                 for x in s {
-                    for c in t.children(x) {
+                    for c in t.children_unchecked(x) {
                         out.insert(c);
                     }
                 }
             }
             Axis::Parent => {
                 for x in s {
-                    if let Some(p) = t.parent(x) {
-                        out.insert(p);
+                    let p = t.parent_raw_unchecked(x);
+                    if p != crate::tree::NONE {
+                        out.insert(NodeId(p));
                     }
                 }
             }
             Axis::NextSibling => {
                 for x in s {
-                    if let Some(y) = t.next_sibling(x) {
-                        out.insert(y);
+                    let y = t.next_sibling_raw_unchecked(x);
+                    if y != crate::tree::NONE {
+                        out.insert(NodeId(y));
                     }
                 }
             }
             Axis::PrevSibling => {
                 for x in s {
-                    if let Some(y) = t.prev_sibling(x) {
-                        out.insert(y);
+                    let y = t.prev_sibling_raw_unchecked(x);
+                    if y != crate::tree::NONE {
+                        out.insert(NodeId(y));
                     }
                 }
             }
@@ -302,12 +317,12 @@ impl Axis {
                 // earlier in pre-order has pre_end(x) ≥ pre(y).
                 let mut max_end: i64 = -1;
                 for rank in 0..n as u32 {
-                    let v = t.node_at_pre(rank);
+                    let v = t.node_at_pre_unchecked(rank);
                     if i64::from(rank) <= max_end {
                         out.insert(v);
                     }
                     if s.contains(v) {
-                        max_end = max_end.max(i64::from(t.pre_end(v)));
+                        max_end = max_end.max(i64::from(t.pre_end_unchecked(v)));
                     }
                 }
                 if self == Axis::DescendantOrSelf {
@@ -317,60 +332,32 @@ impl Axis {
             Axis::Ancestor | Axis::AncestorOrSelf => {
                 // y has a marked proper descendant iff the count of marked
                 // nodes with pre rank in (pre(y), pre_end(y)] is positive.
-                let marked_prefix = marked_prefix_counts(t, s);
+                let mut marked_prefix = crate::scratch::take_u32s();
+                marked_prefix_counts_into(t, s, &mut marked_prefix);
                 for v in t.nodes() {
-                    let lo = t.pre(v) as usize + 1;
-                    let hi = t.pre_end(v) as usize + 1;
+                    let lo = t.pre_unchecked(v) as usize + 1;
+                    let hi = t.pre_end_unchecked(v) as usize + 1;
                     if marked_prefix[hi] > marked_prefix[lo] {
                         out.insert(v);
                     }
                 }
+                crate::scratch::put_u32s(marked_prefix);
                 if self == Axis::AncestorOrSelf {
                     out.union_with(s);
                 }
             }
             Axis::FollowingSibling | Axis::FollowingSiblingOrSelf => {
-                let mut swept = NodeSet::empty(n);
-                for x in s {
-                    let Some(p) = t.parent(x) else { continue };
-                    if !swept.insert(p) {
-                        continue;
-                    }
-                    let mut flag = false;
-                    for c in t.children(p) {
-                        if flag {
-                            out.insert(c);
-                        }
-                        if s.contains(c) {
-                            flag = true;
-                        }
-                    }
-                }
+                let mut swept = crate::scratch::take_set(n);
+                sweep_following_siblings(t, s, out, &mut swept);
+                crate::scratch::put_set(swept);
                 if self == Axis::FollowingSiblingOrSelf {
                     out.union_with(s);
                 }
             }
             Axis::PrecedingSibling | Axis::PrecedingSiblingOrSelf => {
-                let mut swept = NodeSet::empty(n);
-                for x in s {
-                    let Some(p) = t.parent(x) else { continue };
-                    if !swept.insert(p) {
-                        continue;
-                    }
-                    // Sweep right-to-left using prev_sibling from the last
-                    // child.
-                    let mut flag = false;
-                    let mut cur = t.last_child(p);
-                    while let Some(c) = cur {
-                        if flag {
-                            out.insert(c);
-                        }
-                        if s.contains(c) {
-                            flag = true;
-                        }
-                        cur = t.prev_sibling(c);
-                    }
-                }
+                let mut swept = crate::scratch::take_set(n);
+                sweep_preceding_siblings(t, s, out, &mut swept);
+                crate::scratch::put_set(swept);
                 if self == Axis::PrecedingSiblingOrSelf {
                     out.union_with(s);
                 }
@@ -380,12 +367,12 @@ impl Axis {
                 // marked nodes seen strictly earlier in pre-order is < post(y).
                 let mut min_post = u32::MAX;
                 for rank in 0..n as u32 {
-                    let v = t.node_at_pre(rank);
-                    if min_post < t.post(v) {
+                    let v = t.node_at_pre_unchecked(rank);
+                    if min_post < t.post_unchecked(v) {
                         out.insert(v);
                     }
                     if s.contains(v) {
-                        min_post = min_post.min(t.post(v));
+                        min_post = min_post.min(t.post_unchecked(v));
                     }
                 }
             }
@@ -394,36 +381,93 @@ impl Axis {
                 // marked nodes seen strictly later in pre-order is > post(y).
                 let mut max_post: i64 = -1;
                 for rank in (0..n as u32).rev() {
-                    let v = t.node_at_pre(rank);
-                    if max_post > i64::from(t.post(v)) {
+                    let v = t.node_at_pre_unchecked(rank);
+                    if max_post > i64::from(t.post_unchecked(v)) {
                         out.insert(v);
                     }
                     if s.contains(v) {
-                        max_post = max_post.max(i64::from(t.post(v)));
+                        max_post = max_post.max(i64::from(t.post_unchecked(v)));
                     }
                 }
             }
         }
-        out
     }
 
     /// The preimage `{ x | ∃ y ∈ s: Axis(x, y) }` — the image under the
-    /// inverse axis. O(n).
+    /// inverse axis. O(n). Pooled like [`Axis::image`].
     pub fn preimage(self, t: &Tree, s: &NodeSet) -> NodeSet {
         self.inverse().image(t, s)
     }
+
+    /// Writes the preimage of `s` into `out`; see [`Axis::image_into`].
+    pub fn preimage_into(self, t: &Tree, s: &NodeSet, out: &mut NodeSet) {
+        self.inverse().image_into(t, s, out);
+    }
 }
 
-/// `marked_prefix_counts(t, s)[i]` = number of marked nodes among the first
-/// `i` pre ranks.
-fn marked_prefix_counts(t: &Tree, s: &NodeSet) -> Vec<u32> {
+/// Marks every following sibling of a marked child, one parent at a time
+/// (`swept` dedups parents already handled).
+pub(crate) fn sweep_following_siblings(
+    t: &Tree,
+    s: &NodeSet,
+    out: &mut NodeSet,
+    swept: &mut NodeSet,
+) {
+    for x in s {
+        let p = t.parent_raw_unchecked(x);
+        if p == crate::tree::NONE || !swept.insert(NodeId(p)) {
+            continue;
+        }
+        let mut flag = false;
+        for c in t.children_unchecked(NodeId(p)) {
+            if flag {
+                out.insert(c);
+            }
+            if s.contains(c) {
+                flag = true;
+            }
+        }
+    }
+}
+
+/// Mirror image of [`sweep_following_siblings`], sweeping right-to-left
+/// through the prev-sibling links from the last child.
+pub(crate) fn sweep_preceding_siblings(
+    t: &Tree,
+    s: &NodeSet,
+    out: &mut NodeSet,
+    swept: &mut NodeSet,
+) {
+    for x in s {
+        let p = t.parent_raw_unchecked(x);
+        if p == crate::tree::NONE || !swept.insert(NodeId(p)) {
+            continue;
+        }
+        let mut flag = false;
+        let mut cur = t.last_child_raw_unchecked(NodeId(p));
+        while cur != crate::tree::NONE {
+            let c = NodeId(cur);
+            if flag {
+                out.insert(c);
+            }
+            if s.contains(c) {
+                flag = true;
+            }
+            cur = t.prev_sibling_raw_unchecked(c);
+        }
+    }
+}
+
+/// `marked_prefix_counts_into(t, s, prefix)`: `prefix[i]` = number of marked
+/// nodes among the first `i` pre ranks. Reuses the provided buffer.
+fn marked_prefix_counts_into(t: &Tree, s: &NodeSet, prefix: &mut Vec<u32>) {
     let n = t.len();
-    let mut prefix = vec![0u32; n + 1];
+    prefix.clear();
+    prefix.resize(n + 1, 0);
     for rank in 0..n as u32 {
-        let v = t.node_at_pre(rank);
+        let v = t.node_at_pre_unchecked(rank);
         prefix[rank as usize + 1] = prefix[rank as usize] + u32::from(s.contains(v));
     }
-    prefix
 }
 
 impl std::fmt::Display for Axis {

@@ -186,15 +186,12 @@ impl TreeBuilder {
                 sib_idx[v.index()] = sib_idx[self.prev_sibling[v.index()] as usize] + 1;
             }
             stack.push((v, true));
-            // Push children in reverse so the leftmost is processed first.
-            let mut children = Vec::new();
-            let mut c = self.first_child[v.index()];
+            // Push children right-to-left (walking prev_sibling from the
+            // last child) so the leftmost child is popped first.
+            let mut c = self.last_child[v.index()];
             while c != NONE {
-                children.push(NodeId(c));
-                c = self.next_sibling[c as usize];
-            }
-            for &child in children.iter().rev() {
-                stack.push((child, false));
+                stack.push((NodeId(c), false));
+                c = self.prev_sibling[c as usize];
             }
         }
         debug_assert_eq!(next_pre as usize, n);
@@ -216,14 +213,48 @@ impl TreeBuilder {
         }
         debug_assert_eq!(next_bflr as usize, n);
 
-        // Per-label node index, sorted by pre rank.
-        let mut by_label: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
+        // Flatten the builder's extra-label map into a CSR column over
+        // node ids (most nodes have no extras, so the payload stays tiny).
+        let mut extra_offsets = vec![0u32; n + 1];
+        for (&node, extra) in &self.extra_labels {
+            extra_offsets[node as usize + 1] = extra.len() as u32;
+        }
+        for i in 0..n {
+            extra_offsets[i + 1] += extra_offsets[i];
+        }
+        let mut extra_syms = vec![Symbol(0); *extra_offsets.last().unwrap() as usize];
+        for (&node, extra) in &self.extra_labels {
+            let lo = extra_offsets[node as usize] as usize;
+            extra_syms[lo..lo + extra.len()].copy_from_slice(extra);
+        }
+
+        // Per-label document-order posting lists as a CSR column indexed by
+        // the dense symbol id, built by counting sort over pre order.
+        let num_syms = self.interner.len();
+        let mut label_offsets = vec![0u32; num_syms + 1];
         for &v in &pre_to_node {
-            by_label.entry(self.label[v.index()]).or_default().push(v);
-            if let Some(extra) = self.extra_labels.get(&v.0) {
-                for &sym in extra {
-                    by_label.entry(sym).or_default().push(v);
-                }
+            label_offsets[self.label[v.index()].0 as usize + 1] += 1;
+            let lo = extra_offsets[v.index()] as usize;
+            let hi = extra_offsets[v.index() + 1] as usize;
+            for sym in &extra_syms[lo..hi] {
+                label_offsets[sym.0 as usize + 1] += 1;
+            }
+        }
+        for i in 0..num_syms {
+            label_offsets[i + 1] += label_offsets[i];
+        }
+        let mut cursor = label_offsets.clone();
+        let mut label_postings = vec![NodeId(0); *label_offsets.last().unwrap() as usize];
+        for &v in &pre_to_node {
+            let slot = &mut cursor[self.label[v.index()].0 as usize];
+            label_postings[*slot as usize] = v;
+            *slot += 1;
+            let lo = extra_offsets[v.index()] as usize;
+            let hi = extra_offsets[v.index() + 1] as usize;
+            for sym in &extra_syms[lo..hi] {
+                let slot = &mut cursor[sym.0 as usize];
+                label_postings[*slot as usize] = v;
+                *slot += 1;
             }
         }
 
@@ -235,7 +266,8 @@ impl TreeBuilder {
             next_sibling: self.next_sibling,
             prev_sibling: self.prev_sibling,
             label: self.label,
-            extra_labels: self.extra_labels,
+            extra_offsets,
+            extra_syms,
             pre,
             post,
             bflr,
@@ -246,7 +278,8 @@ impl TreeBuilder {
             post_to_node,
             bflr_to_node,
             root,
-            by_label,
+            label_offsets,
+            label_postings,
         }
     }
 }

@@ -32,6 +32,7 @@ mod labeling;
 mod nodeset;
 mod order;
 mod par;
+pub mod scratch;
 mod term;
 mod tree;
 mod xml;
@@ -47,7 +48,10 @@ pub use label::{LabelInterner, Symbol};
 pub use labeling::{PathLabel, PathLabeling};
 pub use nodeset::NodeSet;
 pub use order::Order;
-pub use par::{image_via_ranges, incoming_carries, pre_ranges, CarryFlow, SweepCarry};
+pub use par::{
+    image_via_ranges, incoming_carries, incoming_carries_in_place, pre_range_at, pre_range_count,
+    pre_ranges, CarryFlow, SweepCarry,
+};
 pub use term::{parse_term, to_term, TermError};
-pub use tree::{Ancestors, Children, NodeId, Tree};
+pub use tree::{Ancestors, Children, HotNode, NodeId, Tree};
 pub use xml::{parse_xml, to_xml, XmlError};

@@ -49,6 +49,36 @@ impl NodeSet {
         s
     }
 
+    /// Builds an empty set over `universe` nodes reusing an existing word
+    /// buffer (cleared and resized; allocation-free once the buffer has
+    /// enough capacity). The inverse of [`NodeSet::into_words`] — together
+    /// they let [`crate::scratch`] recycle bitsets across evaluations.
+    pub fn from_recycled(mut words: Vec<u64>, universe: usize) -> Self {
+        words.clear();
+        words.resize(universe.div_ceil(64), 0);
+        Self { words, universe }
+    }
+
+    /// Dismantles the set into its word buffer for later recycling.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Turns the set into the full set over its universe in place.
+    pub fn make_full(&mut self) {
+        for w in &mut self.words {
+            *w = !0;
+        }
+        self.trim();
+    }
+
+    /// Overwrites `self` with the contents of `other` (same universe).
+    /// Allocation-free replacement for `clone()` on a recycled set.
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.copy_from_slice(&other.words);
+    }
+
     fn trim(&mut self) {
         let extra = self.words.len() * 64 - self.universe;
         if extra > 0 {
@@ -297,6 +327,20 @@ mod tests {
         assert_eq!(s.to_vec(), vec![n(3), n(63), n(64), n(150)]);
         assert_eq!(s.min(), Some(n(3)));
         assert_eq!(NodeSet::empty(5).min(), None);
+    }
+
+    #[test]
+    fn recycling_round_trip() {
+        let s = NodeSet::from_iter(100, [n(1), n(64)]);
+        let words = s.into_words();
+        let mut r = NodeSet::from_recycled(words, 70);
+        assert!(r.is_empty());
+        assert_eq!(r.universe(), 70);
+        r.make_full();
+        assert_eq!(r.len(), 70);
+        let other = NodeSet::from_iter(70, [n(3), n(69)]);
+        r.copy_from(&other);
+        assert_eq!(r, other);
     }
 
     #[test]

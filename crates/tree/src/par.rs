@@ -58,6 +58,30 @@ pub fn pre_ranges(n: usize, chunks: usize) -> Vec<Range<u32>> {
     out
 }
 
+/// Number of ranges [`pre_ranges`] would return: `min(chunks, n)` (zero
+/// for the empty tree). Pairs with [`pre_range_at`] for callers that want
+/// the partition without materializing a `Vec`.
+pub fn pre_range_count(n: usize, chunks: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        chunks.clamp(1, n)
+    }
+}
+
+/// The `i`-th range of the [`pre_ranges`] partition, computed
+/// arithmetically (allocation-free). `i` must be below
+/// [`pre_range_count`].
+pub fn pre_range_at(n: usize, chunks: usize, i: usize) -> Range<u32> {
+    let k = pre_range_count(n, chunks);
+    debug_assert!(i < k);
+    let base = n / k;
+    let extra = n % k;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start as u32..(start + len) as u32
+}
+
 /// The direction the sweep state flows between pre-order ranges.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CarryFlow {
@@ -124,6 +148,34 @@ pub fn incoming_carries(axis: Axis, chunk_carries: &[SweepCarry]) -> Vec<SweepCa
         }
     }
     out
+}
+
+/// In-place variant of [`incoming_carries`]: rewrites each range's own
+/// contribution into the carry *entering* that range, without allocating.
+pub fn incoming_carries_in_place(axis: Axis, carries: &mut [SweepCarry]) {
+    match axis.carry_flow() {
+        CarryFlow::None => {
+            for c in carries.iter_mut() {
+                *c = axis.carry_identity();
+            }
+        }
+        CarryFlow::Forward => {
+            let mut acc = axis.carry_identity();
+            for c in carries.iter_mut() {
+                let own = *c;
+                *c = acc;
+                acc = acc.combine(own);
+            }
+        }
+        CarryFlow::Backward => {
+            let mut acc = axis.carry_identity();
+            for c in carries.iter_mut().rev() {
+                let own = *c;
+                *c = acc;
+                acc = acc.combine(own);
+            }
+        }
+    }
 }
 
 impl Axis {
@@ -203,15 +255,36 @@ impl Axis {
         range: Range<u32>,
         carry: SweepCarry,
     ) -> NodeSet {
+        let mut out = NodeSet::empty(t.len());
+        let mut swept = NodeSet::empty(t.len());
+        self.image_range_into(t, s, range, carry, &mut out, &mut swept);
+        out
+    }
+
+    /// Writes one range's image slice into `out` (cleared first). `swept`
+    /// is the sibling-axis parent-dedup buffer (also cleared; unused by the
+    /// other axes, so a zero-universe set is fine there). With caller-owned
+    /// buffers a warmed-up call performs no allocations — this is the form
+    /// the parallel executor's chunk tasks run.
+    pub fn image_range_into(
+        self,
+        t: &Tree,
+        s: &NodeSet,
+        range: Range<u32>,
+        carry: SweepCarry,
+        out: &mut NodeSet,
+        swept: &mut NodeSet,
+    ) {
         let n = t.len();
         debug_assert_eq!(s.universe(), n);
+        debug_assert_eq!(out.universe(), n);
         debug_assert!(range.end as usize <= n);
         debug_assert_eq!(carry, incoming_kind_check(self, carry));
-        let mut out = NodeSet::empty(n);
+        out.clear();
         match self {
             Axis::SelfAxis => {
                 for rank in range {
-                    let v = t.node_at_pre(rank);
+                    let v = t.node_at_pre_unchecked(rank);
                     if s.contains(v) {
                         out.insert(v);
                     }
@@ -219,9 +292,9 @@ impl Axis {
             }
             Axis::Child => {
                 for rank in range {
-                    let x = t.node_at_pre(rank);
+                    let x = t.node_at_pre_unchecked(rank);
                     if s.contains(x) {
-                        for c in t.children(x) {
+                        for c in t.children_unchecked(x) {
                             out.insert(c);
                         }
                     }
@@ -229,30 +302,33 @@ impl Axis {
             }
             Axis::Parent => {
                 for rank in range {
-                    let x = t.node_at_pre(rank);
+                    let x = t.node_at_pre_unchecked(rank);
                     if s.contains(x) {
-                        if let Some(p) = t.parent(x) {
-                            out.insert(p);
+                        let p = t.parent_raw_unchecked(x);
+                        if p != crate::tree::NONE {
+                            out.insert(crate::tree::NodeId(p));
                         }
                     }
                 }
             }
             Axis::NextSibling => {
                 for rank in range {
-                    let x = t.node_at_pre(rank);
+                    let x = t.node_at_pre_unchecked(rank);
                     if s.contains(x) {
-                        if let Some(y) = t.next_sibling(x) {
-                            out.insert(y);
+                        let y = t.next_sibling_raw_unchecked(x);
+                        if y != crate::tree::NONE {
+                            out.insert(crate::tree::NodeId(y));
                         }
                     }
                 }
             }
             Axis::PrevSibling => {
                 for rank in range {
-                    let x = t.node_at_pre(rank);
+                    let x = t.node_at_pre_unchecked(rank);
                     if s.contains(x) {
-                        if let Some(y) = t.prev_sibling(x) {
-                            out.insert(y);
+                        let y = t.prev_sibling_raw_unchecked(x);
+                        if y != crate::tree::NONE {
+                            out.insert(crate::tree::NodeId(y));
                         }
                     }
                 }
@@ -263,12 +339,12 @@ impl Axis {
                 };
                 let or_self = self == Axis::DescendantOrSelf;
                 for rank in range {
-                    let v = t.node_at_pre(rank);
+                    let v = t.node_at_pre_unchecked(rank);
                     if i64::from(rank) <= max_end {
                         out.insert(v);
                     }
                     if s.contains(v) {
-                        max_end = max_end.max(i64::from(t.pre_end(v)));
+                        max_end = max_end.max(i64::from(t.pre_end_unchecked(v)));
                         if or_self {
                             out.insert(v);
                         }
@@ -283,39 +359,37 @@ impl Axis {
                 // once.
                 let or_self = self == Axis::AncestorOrSelf;
                 for rank in range {
-                    let v = t.node_at_pre(rank);
+                    let v = t.node_at_pre_unchecked(rank);
                     if !s.contains(v) {
                         continue;
                     }
                     if or_self && !out.insert(v) {
                         continue;
                     }
-                    let mut cur = t.parent(v);
-                    while let Some(a) = cur {
+                    for a in t.ancestors_unchecked(v) {
                         if !out.insert(a) {
                             break;
                         }
-                        cur = t.parent(a);
                     }
                 }
             }
             Axis::FollowingSibling | Axis::FollowingSiblingOrSelf => {
                 let or_self = self == Axis::FollowingSiblingOrSelf;
-                let mut swept = NodeSet::empty(n);
+                swept.clear();
                 for rank in range {
-                    let x = t.node_at_pre(rank);
+                    let x = t.node_at_pre_unchecked(rank);
                     if !s.contains(x) {
                         continue;
                     }
                     if or_self {
                         out.insert(x);
                     }
-                    let Some(p) = t.parent(x) else { continue };
-                    if !swept.insert(p) {
+                    let p = t.parent_raw_unchecked(x);
+                    if p == crate::tree::NONE || !swept.insert(crate::tree::NodeId(p)) {
                         continue;
                     }
                     let mut flag = false;
-                    for c in t.children(p) {
+                    for c in t.children_unchecked(crate::tree::NodeId(p)) {
                         if flag {
                             out.insert(c);
                         }
@@ -327,29 +401,30 @@ impl Axis {
             }
             Axis::PrecedingSibling | Axis::PrecedingSiblingOrSelf => {
                 let or_self = self == Axis::PrecedingSiblingOrSelf;
-                let mut swept = NodeSet::empty(n);
+                swept.clear();
                 for rank in range {
-                    let x = t.node_at_pre(rank);
+                    let x = t.node_at_pre_unchecked(rank);
                     if !s.contains(x) {
                         continue;
                     }
                     if or_self {
                         out.insert(x);
                     }
-                    let Some(p) = t.parent(x) else { continue };
-                    if !swept.insert(p) {
+                    let p = t.parent_raw_unchecked(x);
+                    if p == crate::tree::NONE || !swept.insert(crate::tree::NodeId(p)) {
                         continue;
                     }
                     let mut flag = false;
-                    let mut cur = t.last_child(p);
-                    while let Some(c) = cur {
+                    let mut cur = t.last_child_raw_unchecked(crate::tree::NodeId(p));
+                    while cur != crate::tree::NONE {
+                        let c = crate::tree::NodeId(cur);
                         if flag {
                             out.insert(c);
                         }
                         if s.contains(c) {
                             flag = true;
                         }
-                        cur = t.prev_sibling(c);
+                        cur = t.prev_sibling_raw_unchecked(c);
                     }
                 }
             }
@@ -358,12 +433,12 @@ impl Axis {
                     unreachable!("kind checked above")
                 };
                 for rank in range {
-                    let v = t.node_at_pre(rank);
-                    if min_post < t.post(v) {
+                    let v = t.node_at_pre_unchecked(rank);
+                    if min_post < t.post_unchecked(v) {
                         out.insert(v);
                     }
                     if s.contains(v) {
-                        min_post = min_post.min(t.post(v));
+                        min_post = min_post.min(t.post_unchecked(v));
                     }
                 }
             }
@@ -372,17 +447,16 @@ impl Axis {
                     unreachable!("kind checked above")
                 };
                 for rank in range.rev() {
-                    let v = t.node_at_pre(rank);
-                    if max_post > i64::from(t.post(v)) {
+                    let v = t.node_at_pre_unchecked(rank);
+                    if max_post > i64::from(t.post_unchecked(v)) {
                         out.insert(v);
                     }
                     if s.contains(v) {
-                        max_post = max_post.max(i64::from(t.post(v)));
+                        max_post = max_post.max(i64::from(t.post_unchecked(v)));
                     }
                 }
             }
         }
-        out
     }
 }
 
@@ -449,6 +523,70 @@ mod tests {
                 let max = lens.iter().max().unwrap();
                 assert!(max - min <= 1, "unbalanced: {lens:?}");
             }
+        }
+    }
+
+    #[test]
+    fn pre_range_at_matches_pre_ranges() {
+        for n in [0usize, 1, 2, 3, 7, 64, 65, 1000] {
+            for chunks in [1usize, 2, 3, 8, 1000, 2000] {
+                let ranges = pre_ranges(n, chunks);
+                assert_eq!(pre_range_count(n, chunks), ranges.len());
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(
+                        pre_range_at(n, chunks, i),
+                        *r,
+                        "n={n} chunks={chunks} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_carries_match_allocating_fold() {
+        let t = parse_term("a(b(c d(e) f) g(h(i j) k) l)").unwrap();
+        let s = NodeSet::from_iter(t.len(), t.nodes().filter(|v| v.0 % 2 == 0));
+        for axis in [
+            Axis::Descendant,
+            Axis::Following,
+            Axis::Preceding,
+            Axis::Child,
+        ] {
+            for chunks in [1usize, 2, 5] {
+                let ranges = pre_ranges(t.len(), chunks);
+                let mut carries: Vec<SweepCarry> = ranges
+                    .iter()
+                    .map(|r| axis.sweep_carry(&t, &s, r.clone()))
+                    .collect();
+                let expected = incoming_carries(axis, &carries);
+                incoming_carries_in_place(axis, &mut carries);
+                assert_eq!(carries, expected, "{axis} with {chunks} chunks");
+            }
+        }
+    }
+
+    #[test]
+    fn image_range_into_reuses_buffers() {
+        let t = parse_term("a(b(c d(e) f) g(h(i j) k) l)").unwrap();
+        let n = t.len();
+        let s = NodeSet::from_iter(n, t.nodes().filter(|v| v.0 % 3 == 0));
+        let mut out = NodeSet::empty(n);
+        let mut swept = NodeSet::empty(n);
+        for axis in Axis::ALL {
+            let whole = axis.image(&t, &s);
+            let mut merged = NodeSet::empty(n);
+            let k = pre_range_count(n, 3);
+            let mut carries: Vec<SweepCarry> = (0..k)
+                .map(|i| axis.sweep_carry(&t, &s, pre_range_at(n, 3, i)))
+                .collect();
+            incoming_carries_in_place(axis, &mut carries);
+            for (i, &c) in carries.iter().enumerate() {
+                // Deliberately reuse dirty buffers across chunks.
+                axis.image_range_into(&t, &s, pre_range_at(n, 3, i), c, &mut out, &mut swept);
+                merged.union_with(&out);
+            }
+            assert_eq!(merged, whole, "{axis}");
         }
     }
 

@@ -1,0 +1,166 @@
+//! Thread-local scratch pools for the allocation-free hot kernels.
+//!
+//! Every linear-time evaluator in this workspace needs short-lived working
+//! memory: bitsets for axis images, prefix-count arrays, staging vectors
+//! for structural joins. Allocating those per call shows up directly in the
+//! `obs::alloc` accounting and defeats the scan-friendly storage layout, so
+//! this module pools them per thread. The discipline is strictly
+//! take/put-balanced: a kernel takes buffers at entry and puts every one of
+//! them back before returning (or hands the buffer to its caller, who puts
+//! it back). After a warm-up pass over a given tree, the pools have reached
+//! their high-water capacity and every subsequent take is allocation-free —
+//! which is exactly what `tests/zero_alloc.rs` gates.
+//!
+//! Pools are LIFO stacks. Kernels that take several buffers in a loop put
+//! them back in *reverse* order so that the next identical run pops buffers
+//! in the same sequence it did during warm-up; capacities then line up
+//! deterministically regardless of how work was interleaved in between.
+
+use std::cell::RefCell;
+
+use crate::nodeset::NodeSet;
+use crate::par::SweepCarry;
+use crate::tree::NodeId;
+
+#[derive(Default)]
+struct Pool {
+    words: Vec<Vec<u64>>,
+    u32s: Vec<Vec<u32>>,
+    nodes: Vec<Vec<NodeId>>,
+    pairs: Vec<Vec<(u32, u32)>>,
+    carries: Vec<Vec<SweepCarry>>,
+    sets: Vec<Vec<NodeSet>>,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Takes an empty [`NodeSet`] over `universe` nodes from the pool.
+pub fn take_set(universe: usize) -> NodeSet {
+    let words = POOL
+        .with(|p| p.borrow_mut().words.pop())
+        .unwrap_or_default();
+    NodeSet::from_recycled(words, universe)
+}
+
+/// Takes a full [`NodeSet`] over `universe` nodes from the pool.
+pub fn take_full(universe: usize) -> NodeSet {
+    let mut s = take_set(universe);
+    s.make_full();
+    s
+}
+
+/// Returns a set's word buffer to the pool.
+pub fn put_set(s: NodeSet) {
+    let words = s.into_words();
+    POOL.with(|p| p.borrow_mut().words.push(words));
+}
+
+/// Takes an empty `Vec<u32>` (capacity retained from earlier puts).
+pub fn take_u32s() -> Vec<u32> {
+    let mut v = POOL.with(|p| p.borrow_mut().u32s.pop()).unwrap_or_default();
+    v.clear();
+    v
+}
+
+/// Returns a `Vec<u32>` to the pool.
+pub fn put_u32s(v: Vec<u32>) {
+    POOL.with(|p| p.borrow_mut().u32s.push(v));
+}
+
+/// Takes an empty `Vec<NodeId>`.
+pub fn take_nodes() -> Vec<NodeId> {
+    let mut v = POOL
+        .with(|p| p.borrow_mut().nodes.pop())
+        .unwrap_or_default();
+    v.clear();
+    v
+}
+
+/// Returns a `Vec<NodeId>` to the pool.
+pub fn put_nodes(v: Vec<NodeId>) {
+    POOL.with(|p| p.borrow_mut().nodes.push(v));
+}
+
+/// Takes an empty `Vec<(u32, u32)>` (join stacks, posting staging).
+pub fn take_pairs() -> Vec<(u32, u32)> {
+    let mut v = POOL
+        .with(|p| p.borrow_mut().pairs.pop())
+        .unwrap_or_default();
+    v.clear();
+    v
+}
+
+/// Returns a `Vec<(u32, u32)>` to the pool.
+pub fn put_pairs(v: Vec<(u32, u32)>) {
+    POOL.with(|p| p.borrow_mut().pairs.push(v));
+}
+
+/// Takes an empty `Vec<SweepCarry>` (per-chunk sweep carries).
+pub fn take_carries() -> Vec<SweepCarry> {
+    let mut v = POOL
+        .with(|p| p.borrow_mut().carries.pop())
+        .unwrap_or_default();
+    v.clear();
+    v
+}
+
+/// Returns a `Vec<SweepCarry>` to the pool.
+pub fn put_carries(v: Vec<SweepCarry>) {
+    POOL.with(|p| p.borrow_mut().carries.push(v));
+}
+
+/// Takes an empty `Vec<NodeSet>` container (the member sets are taken
+/// separately via [`take_set`]).
+pub fn take_set_vec() -> Vec<NodeSet> {
+    let mut v = POOL.with(|p| p.borrow_mut().sets.pop()).unwrap_or_default();
+    debug_assert!(v.is_empty());
+    v.clear();
+    v
+}
+
+/// Returns a `Vec<NodeSet>` to the pool, recycling its member sets too
+/// (drained in reverse so the next run pops them in take order).
+pub fn put_set_vec(mut v: Vec<NodeSet>) {
+    while let Some(s) = v.pop() {
+        put_set(s);
+    }
+    POOL.with(|p| p.borrow_mut().sets.push(v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_round_trips_capacity() {
+        let mut s = take_set(130);
+        s.insert(NodeId(129));
+        put_set(s);
+        let s2 = take_set(130);
+        assert!(s2.is_empty(), "recycled sets come back cleared");
+        assert_eq!(s2.universe(), 130);
+        put_set(s2);
+
+        let mut v = take_pairs();
+        v.push((1, 2));
+        let cap = v.capacity();
+        put_pairs(v);
+        let v2 = take_pairs();
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= cap);
+        put_pairs(v2);
+    }
+
+    #[test]
+    fn set_vec_recycles_members() {
+        let mut sets = take_set_vec();
+        sets.push(take_set(64));
+        sets.push(take_full(64));
+        put_set_vec(sets);
+        let again = take_set_vec();
+        assert!(again.is_empty());
+        put_set_vec(again);
+    }
+}

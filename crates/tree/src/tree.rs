@@ -1,6 +1,5 @@
 //! The frozen, fully indexed tree.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::label::{LabelInterner, Symbol};
@@ -50,8 +49,10 @@ pub struct Tree {
     pub(crate) prev_sibling: Vec<u32>,
     pub(crate) label: Vec<Symbol>,
     /// Extra labels for multi-labeled nodes (rare; the paper allows multiple
-    /// labels for the tractability results).
-    pub(crate) extra_labels: HashMap<u32, Vec<Symbol>>,
+    /// labels for the tractability results), as a CSR column: the extras of
+    /// node `v` are `extra_syms[extra_offsets[v] .. extra_offsets[v+1]]`.
+    pub(crate) extra_offsets: Vec<u32>,
+    pub(crate) extra_syms: Vec<Symbol>,
     /// Rank of each node in pre-order (document order).
     pub(crate) pre: Vec<u32>,
     /// Rank of each node in post-order.
@@ -70,9 +71,52 @@ pub struct Tree {
     pub(crate) post_to_node: Vec<NodeId>,
     pub(crate) bflr_to_node: Vec<NodeId>,
     pub(crate) root: NodeId,
-    /// Nodes carrying each label (primary or extra), sorted by pre rank.
-    pub(crate) by_label: HashMap<Symbol, Vec<NodeId>>,
+    /// Per-label document-order posting lists, as a CSR column indexed by
+    /// the dense [`Symbol`] id: nodes carrying label `sym` (primary or
+    /// extra), sorted by pre rank, are
+    /// `label_postings[label_offsets[sym] .. label_offsets[sym+1]]`.
+    pub(crate) label_offsets: Vec<u32>,
+    pub(crate) label_postings: Vec<NodeId>,
 }
+
+/// One node's hot traversal columns gathered into a packed record: the five
+/// structural links, the primary label and the six order/extent ranks. The
+/// storage stays struct-of-arrays (each column is scanned independently by
+/// the sweeps); this type exists to pin the cache-footprint contract — all
+/// per-node hot state fits a single 64-byte cache line.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotNode {
+    /// Raw parent link (`NONE` for the root).
+    pub parent: u32,
+    /// Raw first-child link (`NONE` for leaves).
+    pub first_child: u32,
+    /// Raw last-child link (`NONE` for leaves).
+    pub last_child: u32,
+    /// Raw next-sibling link (`NONE` for last siblings).
+    pub next_sibling: u32,
+    /// Raw previous-sibling link (`NONE` for first siblings).
+    pub prev_sibling: u32,
+    /// Primary label.
+    pub label: Symbol,
+    /// Pre-order rank.
+    pub pre: u32,
+    /// Post-order rank.
+    pub post: u32,
+    /// Pre-order rank of the last descendant.
+    pub pre_end: u32,
+    /// Depth (root is 0).
+    pub depth: u32,
+    /// Position among siblings.
+    pub sib_idx: u32,
+    /// Breadth-first left-to-right rank.
+    pub bflr: u32,
+}
+
+const _: () = assert!(
+    std::mem::size_of::<HotNode>() <= 64,
+    "hot per-node traversal columns must fit one cache line"
+);
 
 #[inline]
 fn opt(raw: u32) -> Option<NodeId> {
@@ -153,23 +197,22 @@ impl Tree {
         self.interner.name(self.label[v.index()])
     }
 
+    /// The extra (non-primary) labels of `v`, from the CSR column.
+    #[inline]
+    fn extra_labels(&self, v: NodeId) -> &[Symbol] {
+        let lo = self.extra_offsets[v.index()] as usize;
+        let hi = self.extra_offsets[v.index() + 1] as usize;
+        &self.extra_syms[lo..hi]
+    }
+
     /// All labels of `v` (primary first, then extras).
     pub fn labels(&self, v: NodeId) -> impl Iterator<Item = Symbol> + '_ {
-        std::iter::once(self.label[v.index()]).chain(
-            self.extra_labels
-                .get(&v.0)
-                .into_iter()
-                .flat_map(|extra| extra.iter().copied()),
-        )
+        std::iter::once(self.label[v.index()]).chain(self.extra_labels(v).iter().copied())
     }
 
     /// Whether `v` carries label `sym` (as primary or extra label).
     pub fn has_label(&self, v: NodeId, sym: Symbol) -> bool {
-        self.label[v.index()] == sym
-            || self
-                .extra_labels
-                .get(&v.0)
-                .is_some_and(|extra| extra.contains(&sym))
+        self.label[v.index()] == sym || self.extra_labels(v).contains(&sym)
     }
 
     /// Whether `v` carries the label named `name`.
@@ -318,10 +361,17 @@ impl Tree {
         }
     }
 
-    /// Nodes carrying label `sym`, sorted by pre-order rank. Empty slice if
-    /// the label does not occur.
+    /// Nodes carrying label `sym`, sorted by pre-order rank, as a borrowed
+    /// slice of the posting-list column. Empty slice if the label does not
+    /// occur (including symbols outside this tree's alphabet).
     pub fn nodes_with_label(&self, sym: Symbol) -> &[NodeId] {
-        self.by_label.get(&sym).map_or(&[], Vec::as_slice)
+        let i = sym.0 as usize;
+        if i + 1 >= self.label_offsets.len() {
+            return &[];
+        }
+        let lo = self.label_offsets[i] as usize;
+        let hi = self.label_offsets[i + 1] as usize;
+        &self.label_postings[lo..hi]
     }
 
     /// Nodes carrying the label named `name`, sorted by pre-order rank.
@@ -336,8 +386,101 @@ impl Tree {
         // n nodes, n-1 Child edges, n-#(first siblings) NextSibling edges,
         // plus one label entry per (node, label) pair.
         let n = self.len();
-        let labels: usize = self.extra_labels.values().map(Vec::len).sum::<usize>() + n;
+        let labels: usize = self.extra_syms.len() + n;
         n + (n - 1) + self.nodes().filter(|&v| !self.is_first_sibling(v)).count() + labels
+    }
+
+    /// Gathers all hot traversal columns of `v` into one packed record.
+    pub fn hot(&self, v: NodeId) -> HotNode {
+        let i = v.index();
+        HotNode {
+            parent: self.parent[i],
+            first_child: self.first_child[i],
+            last_child: self.last_child[i],
+            next_sibling: self.next_sibling[i],
+            prev_sibling: self.prev_sibling[i],
+            label: self.label[i],
+            pre: self.pre[i],
+            post: self.post[i],
+            pre_end: self.pre_end[i],
+            depth: self.depth[i],
+            sib_idx: self.sib_idx[i],
+            bflr: self.bflr[i],
+        }
+    }
+
+    // Unchecked-indexed column reads for the sweep kernels. Callers must
+    // pass node ids of *this* tree (every id handed out by the tree or its
+    // builder is in range by construction); the public accessors above stay
+    // bounds-checked.
+
+    #[inline]
+    pub(crate) fn parent_raw_unchecked(&self, v: NodeId) -> u32 {
+        debug_assert!(v.index() < self.len());
+        unsafe { *self.parent.get_unchecked(v.index()) }
+    }
+
+    #[inline]
+    pub(crate) fn next_sibling_raw_unchecked(&self, v: NodeId) -> u32 {
+        debug_assert!(v.index() < self.len());
+        unsafe { *self.next_sibling.get_unchecked(v.index()) }
+    }
+
+    #[inline]
+    pub(crate) fn prev_sibling_raw_unchecked(&self, v: NodeId) -> u32 {
+        debug_assert!(v.index() < self.len());
+        unsafe { *self.prev_sibling.get_unchecked(v.index()) }
+    }
+
+    #[inline]
+    pub(crate) fn last_child_raw_unchecked(&self, v: NodeId) -> u32 {
+        debug_assert!(v.index() < self.len());
+        unsafe { *self.last_child.get_unchecked(v.index()) }
+    }
+
+    #[inline]
+    pub(crate) fn pre_unchecked(&self, v: NodeId) -> u32 {
+        debug_assert!(v.index() < self.len());
+        unsafe { *self.pre.get_unchecked(v.index()) }
+    }
+
+    #[inline]
+    pub(crate) fn post_unchecked(&self, v: NodeId) -> u32 {
+        debug_assert!(v.index() < self.len());
+        unsafe { *self.post.get_unchecked(v.index()) }
+    }
+
+    #[inline]
+    pub(crate) fn pre_end_unchecked(&self, v: NodeId) -> u32 {
+        debug_assert!(v.index() < self.len());
+        unsafe { *self.pre_end.get_unchecked(v.index()) }
+    }
+
+    #[inline]
+    pub(crate) fn node_at_pre_unchecked(&self, rank: u32) -> NodeId {
+        debug_assert!((rank as usize) < self.len());
+        unsafe { *self.pre_to_node.get_unchecked(rank as usize) }
+    }
+
+    /// The children of `v` via unchecked sibling-link steps; used by the
+    /// sweep kernels ([`children`](Tree::children) is the safe public API).
+    #[inline]
+    pub(crate) fn children_unchecked(&self, v: NodeId) -> ChildrenUnchecked<'_> {
+        ChildrenUnchecked {
+            tree: self,
+            cur: self.first_child[v.index()],
+        }
+    }
+
+    /// The proper ancestors of `v` via unchecked parent-link steps; used by
+    /// the sweep kernels ([`ancestors`](Tree::ancestors) is the safe public
+    /// API).
+    #[inline]
+    pub(crate) fn ancestors_unchecked(&self, v: NodeId) -> AncestorsUnchecked<'_> {
+        AncestorsUnchecked {
+            tree: self,
+            cur: self.parent[v.index()],
+        }
     }
 
     /// Comparison of two nodes in pre-order.
@@ -380,6 +523,41 @@ impl Iterator for Ancestors<'_> {
     fn next(&mut self) -> Option<NodeId> {
         let v = opt(self.cur)?;
         self.cur = self.tree.parent[v.index()];
+        Some(v)
+    }
+}
+
+/// Children iterator stepping through unchecked sibling links (the node ids
+/// originate from the tree itself, so every index is in range).
+pub(crate) struct ChildrenUnchecked<'t> {
+    tree: &'t Tree,
+    cur: u32,
+}
+
+impl Iterator for ChildrenUnchecked<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        let v = opt(self.cur)?;
+        self.cur = self.tree.next_sibling_raw_unchecked(v);
+        Some(v)
+    }
+}
+
+/// Ancestors iterator stepping through unchecked parent links.
+pub(crate) struct AncestorsUnchecked<'t> {
+    tree: &'t Tree,
+    cur: u32,
+}
+
+impl Iterator for AncestorsUnchecked<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        let v = opt(self.cur)?;
+        self.cur = self.tree.parent_raw_unchecked(v);
         Some(v)
     }
 }
@@ -508,5 +686,36 @@ mod tests {
         let t = parse_term("a(b(c(d)))").unwrap();
         assert_eq!(t.height(), 3);
         assert_eq!(t.depth(t.root()), 0);
+    }
+
+    #[test]
+    fn hot_node_gather_matches_columns() {
+        let t = parse_term("a(b(c d) e)").unwrap();
+        for v in t.nodes() {
+            let h = t.hot(v);
+            assert_eq!(h.pre, t.pre(v));
+            assert_eq!(h.post, t.post(v));
+            assert_eq!(h.pre_end, t.pre_end(v));
+            assert_eq!(h.depth, t.depth(v));
+            assert_eq!(h.sib_idx, t.sibling_index(v));
+            assert_eq!(h.bflr, t.bflr(v));
+            assert_eq!(h.label, t.label(v));
+            assert_eq!(
+                t.parent(v).map(|p| p.0),
+                (h.parent != super::NONE).then_some(h.parent)
+            );
+            assert_eq!(
+                t.next_sibling(v).map(|p| p.0),
+                (h.next_sibling != super::NONE).then_some(h.next_sibling)
+            );
+        }
+        assert!(std::mem::size_of::<super::HotNode>() <= 64);
+    }
+
+    #[test]
+    fn unknown_symbol_has_empty_postings() {
+        let t = parse_term("a(b c)").unwrap();
+        // A symbol id beyond this tree's alphabet maps to the empty slice.
+        assert!(t.nodes_with_label(crate::label::Symbol(99)).is_empty());
     }
 }

@@ -7,23 +7,38 @@
 //! `O(|D| · |Q|)` — the combined complexity discussed in Section 4 for
 //! Core XPath via FO² (the PTime upper bound; data complexity is linear).
 
-use treequery_tree::{Axis, NodeSet, Tree};
+use treequery_tree::{scratch, Axis, NodeSet, Tree};
 
 use crate::ast::{Path, Qual};
 
-/// The nodes on which a qualifier holds. O(n · |q|).
+/// The nodes on which a qualifier holds. O(n · |q|). Returns a pooled set.
 fn qual_nodes(q: &Qual, t: &Tree) -> NodeSet {
     match q {
-        Qual::Label(l) => NodeSet::from_iter(t.len(), t.nodes_with_label_name(l).iter().copied()),
-        Qual::Path(p) => sources(p, t, &NodeSet::full(t.len())),
+        Qual::Label(l) => {
+            let mut s = scratch::take_set(t.len());
+            for &v in t.nodes_with_label_name(l) {
+                s.insert(v);
+            }
+            s
+        }
+        Qual::Path(p) => {
+            let full = scratch::take_full(t.len());
+            let out = sources(p, t, &full);
+            scratch::put_set(full);
+            out
+        }
         Qual::And(a, b) => {
             let mut s = qual_nodes(a, t);
-            s.intersect_with(&qual_nodes(b, t));
+            let other = qual_nodes(b, t);
+            s.intersect_with(&other);
+            scratch::put_set(other);
             s
         }
         Qual::Or(a, b) => {
             let mut s = qual_nodes(a, t);
-            s.union_with(&qual_nodes(b, t));
+            let other = qual_nodes(b, t);
+            s.union_with(&other);
+            scratch::put_set(other);
             s
         }
         Qual::Not(inner) => {
@@ -35,82 +50,115 @@ fn qual_nodes(q: &Qual, t: &Tree) -> NodeSet {
 }
 
 /// The nodes a step can land on: all nodes passing the step's qualifiers.
+/// Returns a pooled set.
 fn step_filter(quals: &[Qual], t: &Tree) -> NodeSet {
-    let mut s = NodeSet::full(t.len());
+    let mut s = scratch::take_full(t.len());
     for q in quals {
-        s.intersect_with(&qual_nodes(q, t));
+        let qn = qual_nodes(q, t);
+        s.intersect_with(&qn);
+        scratch::put_set(qn);
     }
     s
 }
 
 /// Forward image: `⋃ { [[p]](n) : n ∈ from }`. O(n · |p|).
+///
+/// The result comes from the thread-local scratch pools; recycle it with
+/// [`scratch::put_set`] to keep repeated evaluation allocation-free.
 pub fn select(p: &Path, t: &Tree, from: &NodeSet) -> NodeSet {
     match p {
         Path::Step { axis, quals } => {
-            let mut img = axis.image(t, from);
-            img.intersect_with(&step_filter(quals, t));
+            let mut img = scratch::take_set(t.len());
+            axis.image_into(t, from, &mut img);
+            let filter = step_filter(quals, t);
+            img.intersect_with(&filter);
+            scratch::put_set(filter);
             img
         }
         Path::Seq(p1, p2) => {
             let mid = select(p1, t, from);
-            select(p2, t, &mid)
+            let out = select(p2, t, &mid);
+            scratch::put_set(mid);
+            out
         }
         Path::Union(p1, p2) => {
             let mut s = select(p1, t, from);
-            s.union_with(&select(p2, t, from));
+            let other = select(p2, t, from);
+            s.union_with(&other);
+            scratch::put_set(other);
             s
         }
     }
 }
 
 /// Backward image: `{ n : [[p]](n) ∩ targets ≠ ∅ }`. O(n · |p|).
+/// Returns a pooled set (see [`select`]).
 pub fn sources(p: &Path, t: &Tree, targets: &NodeSet) -> NodeSet {
     match p {
         Path::Step { axis, quals } => {
-            let mut tgt = targets.clone();
-            tgt.intersect_with(&step_filter(quals, t));
-            axis.preimage(t, &tgt)
+            let mut tgt = scratch::take_set(t.len());
+            tgt.copy_from(targets);
+            let filter = step_filter(quals, t);
+            tgt.intersect_with(&filter);
+            scratch::put_set(filter);
+            let mut out = scratch::take_set(t.len());
+            axis.preimage_into(t, &tgt, &mut out);
+            scratch::put_set(tgt);
+            out
         }
         Path::Seq(p1, p2) => {
             let mid = sources(p2, t, targets);
-            sources(p1, t, &mid)
+            let out = sources(p1, t, &mid);
+            scratch::put_set(mid);
+            out
         }
         Path::Union(p1, p2) => {
             let mut s = sources(p1, t, targets);
-            s.union_with(&sources(p2, t, targets));
+            let other = sources(p2, t, targets);
+            s.union_with(&other);
+            scratch::put_set(other);
             s
         }
     }
 }
 
 /// Evaluates `p` relative to a set of context nodes (the paper's
-/// `[[p]]NodeSet` lifted to sets).
+/// `[[p]]NodeSet` lifted to sets). Returns a pooled set (see [`select`]).
 pub fn eval(p: &Path, t: &Tree, context: &NodeSet) -> NodeSet {
     select(p, t, context)
 }
 
 /// Evaluates the unary query from the virtual document node: `/a` tests
 /// the root element, `//a` selects all `a` nodes (same convention as
-/// [`crate::eval_reference`]).
+/// [`crate::eval_reference`]). Returns a pooled set (see [`select`]).
 pub fn eval_query(p: &Path, t: &Tree) -> NodeSet {
     match p {
         Path::Step { axis, quals } => {
-            let base = match axis {
-                Axis::Child => NodeSet::singleton(t.len(), t.root()),
-                Axis::Descendant | Axis::DescendantOrSelf => NodeSet::full(t.len()),
-                _ => NodeSet::empty(t.len()),
+            let mut out = match axis {
+                Axis::Child => {
+                    let mut s = scratch::take_set(t.len());
+                    s.insert(t.root());
+                    s
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => scratch::take_full(t.len()),
+                _ => scratch::take_set(t.len()),
             };
-            let mut out = base;
-            out.intersect_with(&step_filter(quals, t));
+            let filter = step_filter(quals, t);
+            out.intersect_with(&filter);
+            scratch::put_set(filter);
             out
         }
         Path::Seq(p1, p2) => {
             let first = eval_query(p1, t);
-            select(p2, t, &first)
+            let out = select(p2, t, &first);
+            scratch::put_set(first);
+            out
         }
         Path::Union(p1, p2) => {
             let mut s = eval_query(p1, t);
-            s.union_with(&eval_query(p2, t));
+            let other = eval_query(p2, t);
+            s.union_with(&other);
+            scratch::put_set(other);
             s
         }
     }

@@ -175,7 +175,7 @@ fn storage_chain() {
     let mut all: Vec<(u32, u32)> = Vec::new();
     for la in ["a", "b", "c", "d"] {
         for ld in ["a", "b", "c", "d"] {
-            all.extend(stack_tree_join(&x.label_list(la), &x.label_list(ld)));
+            all.extend(stack_tree_join(x.label_list(la), x.label_list(ld)));
         }
     }
     all.sort_unstable();

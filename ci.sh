@@ -60,4 +60,26 @@ echo "==> regression corpus replay (workers 1 and 4)"
 TREEQUERY_WORKERS=1 cargo test -q --test corpus_replay
 TREEQUERY_WORKERS=4 cargo test -q --test corpus_replay
 
+echo "==> Chrome trace round-trip gate"
+# The demo workload's trace must write, parse back through the committed
+# JSON parser, and validate: one complete span tree per query, with
+# worker-attributed chunk events on at least two threads.
+TRACE="$(mktemp -t treequery-trace.XXXXXX.json)"
+trap 'rm -f "$BENCH_OUT" "$REPORT" "$TRACE"' EXIT
+cargo run -p treequery-bench --release --bin harness -q -- --trace "$TRACE"
+cargo run -p treequery-bench --release --bin harness -q -- --check-trace "$TRACE"
+
+echo "==> persistent metrics endpoint gate"
+# One server process, many requests: the probe scrapes /metrics twice
+# (validating the Prometheus exposition), reads /flight and /slow
+# (TREEQUERY_SLOW_MS=0 makes every demo query a slow query), checks the
+# 404/400 paths, then stops the server via GET /shutdown and verifies a
+# clean exit.
+ENDPOINT_PORT=9184
+TREEQUERY_SLOW_MS=0 cargo run -p treequery-bench --release --bin harness -q -- \
+    --serve-metrics "$ENDPOINT_PORT" &
+SERVER_PID=$!
+cargo run -p treequery-bench --release --bin harness -q -- probe-endpoint "$ENDPOINT_PORT"
+wait "$SERVER_PID"
+
 echo "CI OK"

@@ -1,5 +1,5 @@
 //! Regenerates every figure and table of the paper's reproduction: runs
-//! experiments E1–E22 and prints the paper-style tables recorded in
+//! experiments E1–E23 and prints the paper-style tables recorded in
 //! `EXPERIMENTS.md`.
 //!
 //! ```text
@@ -8,6 +8,9 @@
 //! cargo run -p treequery-bench --release --bin harness --report out.json
 //! cargo run -p treequery-bench --release --bin harness --check-noop-overhead
 //! cargo run -p treequery-bench --release --bin harness --serve-metrics 9184
+//! cargo run -p treequery-bench --release --bin harness --trace out.json
+//! cargo run -p treequery-bench --release --bin harness --check-trace out.json
+//! cargo run -p treequery-bench --release --bin harness probe-endpoint 9184
 //! cargo run -p treequery-bench --release --bin harness bench --baseline crates/bench/BENCH_seed.json
 //! cargo run -p treequery-bench --release --bin harness fuzz --seconds 10 --seed 0xC0C4
 //! ```
@@ -16,8 +19,9 @@
 //! span recorder and writes a machine-readable JSON report (wall times,
 //! per-span latency percentiles, submitted engine counters).
 //!
-//! `--check-noop-overhead` measures the disabled-recorder span cost and
-//! the disabled-path cost of the counting allocator; it fails (exit 1) if
+//! `--check-noop-overhead` measures the disabled-recorder span cost (with
+//! and without a flight-recorder install/uninstall cycle) and the
+//! disabled-path cost of the counting allocator; it fails (exit 1) if
 //! the span cost regressed more than 5% past the recorded baseline in
 //! `crates/bench/noop_baseline.json` or the allocator adds more than 10%
 //! to a raw `System` alloc/free loop; `ci.sh` runs this gate.
@@ -30,9 +34,24 @@
 //! `ci.sh` runs this gate against the committed
 //! `crates/bench/BENCH_seed.json`.
 //!
-//! `--serve-metrics PORT` runs a small demo workload, publishes the
-//! engine counters to the global metrics registry, and serves exactly one
-//! HTTP scrape of the Prometheus text exposition before exiting.
+//! `--serve-metrics PORT` installs the flight recorder, runs a small demo
+//! workload, and serves a persistent multi-request HTTP endpoint:
+//! `/metrics` (Prometheus text), `/flight` (recent-query JSON), `/slow`
+//! (slow-query JSON), and `/shutdown` (graceful stop). Unknown paths get
+//! a 404 and malformed requests a 400 — connections are answered, never
+//! dropped. The slow threshold follows `TREEQUERY_SLOW_MS`.
+//!
+//! `--trace FILE` runs the same demo workload under the flight recorder
+//! and writes a Chrome trace-event JSON (`chrome://tracing`,
+//! <https://ui.perfetto.dev>) with one complete span tree per query and
+//! worker-attributed chunk events; `--check-trace FILE` parses a written
+//! trace back and validates it (the `ci.sh` round-trip gate).
+//!
+//! `probe-endpoint PORT` is the client half of the `ci.sh` endpoint gate:
+//! it scrapes `/metrics` twice over one server lifetime (validating the
+//! exposition text), parses `/flight` and `/slow` JSON (expecting slow
+//! records — run the server under `TREEQUERY_SLOW_MS=0`), checks the 404
+//! and 400 paths, then asks the server to shut down.
 //!
 //! `fuzz` runs a seed-deterministic differential fuzzing campaign
 //! (`--seconds N --seed S [--rate R] [--corpus DIR]`); shrunk
@@ -73,18 +92,24 @@ const ALL: &[(&str, fn())] = &[
     ("e19", experiments::e19_parallel::run),
     ("e21", experiments::e21_memory::run),
     ("e22", experiments::e22_postings::run),
+    ("e23", experiments::e23_flight::run),
 ];
 
 const USAGE: &str = "\
 usage: harness [EXPERIMENT-IDS...] [--report FILE]
        harness --check-noop-overhead
        harness --serve-metrics PORT
+       harness --trace FILE | --check-trace FILE
+       harness probe-endpoint PORT
        harness bench [--out FILE] [--baseline FILE] [--reps N] [--sizes SMALL,LARGE]
        harness fuzz [--seconds N] [--seed S] [--rate R] [--corpus DIR | --no-corpus]
 
-With no arguments, runs all experiments (e1..e19, e21, e22) and prints
+With no arguments, runs all experiments (e1..e19, e21..e23) and prints
 their tables. `--report` writes a machine-readable JSON report instead.
-`bench` runs the pinned continuous-benchmark suite, writes
+`--serve-metrics` serves a persistent endpoint (/metrics /flight /slow,
+GET /shutdown stops it); `--trace` writes a Chrome trace-event JSON of
+the demo workload; `probe-endpoint` is the CI client for the endpoint
+gate. `bench` runs the pinned continuous-benchmark suite, writes
 BENCH_<git-sha>.json, and (with --baseline) exits 1 on >15% wall /
 >5% allocated-byte regressions or any steady-state sweep-kernel
 allocation.";
@@ -179,6 +204,35 @@ fn check_noop_overhead() {
         );
         failed = true;
     }
+    // The flight recorder shares the span gate's atomic word: once
+    // uninstalled, the disabled path must cost exactly what it did before
+    // flight recording existed (same budget), and an install/uninstall
+    // cycle must leave no residue behind.
+    {
+        use treequery_core::obs::flight;
+        flight::install(flight::FlightConfig::default());
+        flight::uninstall();
+        let cycled = e18_observability::noop_overhead();
+        println!(
+            "flight-disabled overhead (after install/uninstall cycle): \
+             ratio {:.4} ({:.2}ns/span), budget {budget:.4}",
+            cycled.ratio, cycled.per_span_ns
+        );
+        if cycled.ratio > budget {
+            eprintln!(
+                "FAIL: flight-recorder-disabled span overhead {:.4} exceeds \
+                 budget {budget:.4}",
+                cycled.ratio
+            );
+            failed = true;
+        }
+        let idle = e18_observability::flight_idle_overhead();
+        println!(
+            "flight-installed idle cost (no query in scope, informational): \
+             {:.2}ns/span",
+            idle.per_span_ns
+        );
+    }
     const ALLOC_BUDGET: f64 = 1.10;
     let alloc_ratio = counting_alloc_overhead();
     println!(
@@ -196,7 +250,10 @@ fn check_noop_overhead() {
     if failed {
         std::process::exit(1);
     }
-    println!("OK: disabled spans and the counting allocator are within budget");
+    println!(
+        "OK: disabled spans (before and after a flight-recorder cycle) \
+         and the counting allocator are within budget"
+    );
 }
 
 /// Parses a decimal or `0x`-prefixed hexadecimal integer.
@@ -306,54 +363,403 @@ fn run_bench(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
-/// `--serve-metrics PORT`: populate the global registry from a demo
-/// workload, serve exactly one Prometheus scrape, exit.
-fn serve_metrics(port: u16) -> ! {
-    use std::io::{Read, Write};
-    use treequery_core::obs::metrics;
-    use treequery_core::obs::prom;
+/// The demo queries `--serve-metrics` and `--trace` run: three XPath
+/// sweeps over a seed-pinned XMark document.
+const DEMO_QUERIES: &[&str] = &[
+    "//person/name",
+    "//open_auction//bidder",
+    "/site/regions//item",
+];
 
+/// The seed-pinned XMark document the demo workload queries.
+fn demo_tree() -> treequery_core::tree::Tree {
     let mut rng = StdRng::seed_from_u64(0xFEED);
-    let tree = xmark_document(&mut rng, &XmarkConfig::scaled_to(400));
-    let engine = Engine::new(&tree);
+    xmark_document(&mut rng, &XmarkConfig::scaled_to(2_000))
+}
+
+/// An engine over the demo tree with parallelism pinned (4 workers, a
+/// threshold the demo tree clears) so traces carry worker-attributed
+/// chunk events regardless of the machine or `TREEQUERY_WORKERS`.
+fn demo_engine(tree: &treequery_core::tree::Tree) -> Engine<'_> {
+    use treequery_core::{EngineConfig, PlannerConfig};
+    Engine::with_config(
+        tree,
+        EngineConfig {
+            planner: PlannerConfig {
+                workers: Some(4),
+                parallel_threshold: 512,
+                ..PlannerConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Runs the demo queries (recorded by the flight recorder when it is
+/// installed) and publishes the engine counters to the global registry.
+fn run_demo_workload(engine: &Engine<'_>) {
+    use treequery_core::obs::metrics;
     let wall = metrics::global().histogram_family_or_existing(
-        "treequery_query_wall_ns",
+        "treequery_demo_query_wall_ns",
         "Wall time of demo-workload queries.",
         "query",
     );
-    for q in [
-        "//person/name",
-        "//open_auction//bidder",
-        "/site/regions//item",
-    ] {
+    for q in DEMO_QUERIES {
         let started = Instant::now();
         engine.xpath(q).expect("demo workload queries parse");
         wall.with_label(q)
             .observe(started.elapsed().as_nanos() as u64);
     }
     engine.metrics_quiesced().publish_to_registry();
+}
+
+/// One routed HTTP response: status, reason, content type, body, and
+/// whether the server should stop after answering.
+struct Routed {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+    shutdown: bool,
+}
+
+/// Routes one HTTP request line. Pure — exercised directly by the router
+/// unit tests. Malformed request lines get a 400 and unknown paths a 404
+/// (never a dropped connection).
+fn route_request(request_line: &str) -> Routed {
+    use treequery_core::obs::{flight, metrics, prom};
+    let plain = "text/plain; charset=utf-8";
+    let bad = |body: &str| Routed {
+        status: 400,
+        reason: "Bad Request",
+        content_type: plain,
+        body: body.to_string(),
+        shutdown: false,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return bad("malformed request line\n");
+    };
+    if !version.starts_with("HTTP/") {
+        return bad("malformed request line: expected an HTTP version\n");
+    }
+    if method != "GET" {
+        return Routed {
+            status: 405,
+            reason: "Method Not Allowed",
+            content_type: plain,
+            body: format!("method {method} not allowed; this endpoint is GET-only\n"),
+            shutdown: false,
+        };
+    }
+    let ok = |content_type: &'static str, body: String, shutdown: bool| Routed {
+        status: 200,
+        reason: "OK",
+        content_type,
+        body,
+        shutdown,
+    };
+    match path.split('?').next().unwrap_or(path) {
+        "/metrics" => ok(
+            prom::CONTENT_TYPE,
+            prom::render_registry(metrics::global()),
+            false,
+        ),
+        "/flight" => {
+            let mut body = flight::recent_json().render();
+            body.push('\n');
+            ok("application/json", body, false)
+        }
+        "/slow" => {
+            let mut body = flight::slow_json().render();
+            body.push('\n');
+            ok("application/json", body, false)
+        }
+        "/shutdown" => ok(plain, "shutting down\n".to_string(), true),
+        "/" => ok(
+            plain,
+            "treequery observatory: /metrics /flight /slow /shutdown\n".to_string(),
+            false,
+        ),
+        other => Routed {
+            status: 404,
+            reason: "Not Found",
+            content_type: plain,
+            body: format!("no such endpoint {other} (try /metrics, /flight, /slow)\n"),
+            shutdown: false,
+        },
+    }
+}
+
+/// Answers one accepted connection; returns whether `/shutdown` was hit.
+fn answer_connection(stream: &mut std::net::TcpStream) -> bool {
+    use std::io::{BufRead, BufReader, Write};
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut request_line = String::new();
+    // Only the request line matters for routing; remaining header bytes
+    // die with the connection (Connection: close on every response).
+    let _ = BufReader::new(&mut *stream).read_line(&mut request_line);
+    let routed = route_request(request_line.trim_end());
+    let response = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        routed.status,
+        routed.reason,
+        routed.content_type,
+        routed.body.len(),
+        routed.body,
+    );
+    let _ = stream.write_all(response.as_bytes());
+    routed.shutdown
+}
+
+/// `--serve-metrics PORT`: install the flight recorder, run the demo
+/// workload, then serve `/metrics`, `/flight` and `/slow` over as many
+/// sequential scrapes as clients ask for, until `GET /shutdown`.
+fn serve_metrics(port: u16) -> ! {
+    use treequery_core::obs::flight;
+
+    flight::install(flight::FlightConfig::from_env());
+    let tree = demo_tree();
+    let engine = demo_engine(&tree);
+    run_demo_workload(&engine);
 
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))
         .unwrap_or_else(|e| usage_error(&format!("cannot bind 127.0.0.1:{port}: {e}")));
     println!(
-        "serving one metrics scrape at http://{}/metrics",
+        "serving http://{0}/metrics (also /flight, /slow; GET /shutdown stops)",
         listener
             .local_addr()
             .expect("bound listener has an address")
     );
-    let (mut stream, _) = listener.accept().expect("accept scrape connection");
-    let mut request = [0u8; 4096];
-    let _ = stream.read(&mut request);
-    let body = prom::render_registry(metrics::global());
-    let response = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{body}",
-        prom::CONTENT_TYPE,
-        body.len(),
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        if answer_connection(&mut stream) {
+            break;
+        }
+    }
+    flight::uninstall();
+    println!("shutdown requested; exiting");
+    std::process::exit(0);
+}
+
+/// `--trace FILE`: run the demo workload under the flight recorder and
+/// write the Chrome trace-event JSON of every recorded query.
+fn write_trace(path: &str) -> ! {
+    use treequery_core::obs::{flight, traceexport};
+
+    flight::install(flight::FlightConfig::from_env());
+    let tree = demo_tree();
+    let engine = demo_engine(&tree);
+    run_demo_workload(&engine);
+    let records = flight::recent();
+    let trace = traceexport::chrome_trace(&records);
+    flight::uninstall();
+    let stats = match traceexport::validate_chrome_trace(&trace) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("generated trace does not validate: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rendered = trace.render();
+    rendered.push('\n');
+    if let Err(e) = std::fs::write(path, rendered) {
+        eprintln!("cannot write trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "trace written to {path}: {} events across {} queries \
+         ({} worker chunk events on {} threads); load it in \
+         chrome://tracing or https://ui.perfetto.dev",
+        stats.events, stats.queries, stats.chunk_events, stats.threads
     );
-    stream
-        .write_all(response.as_bytes())
-        .expect("write scrape response");
+    std::process::exit(0);
+}
+
+/// `--check-trace FILE`: parse a written trace back through the committed
+/// JSON parser and validate its shape (the `ci.sh` round-trip gate).
+fn check_trace(path: &str) -> ! {
+    use treequery_core::obs::traceexport;
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read trace {path}: {e}");
+        std::process::exit(1);
+    });
+    let trace = parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("trace {path} is not valid JSON: {e:?}");
+        std::process::exit(1);
+    });
+    let stats = traceexport::validate_chrome_trace(&trace).unwrap_or_else(|e| {
+        eprintln!("trace {path} failed validation: {e}");
+        std::process::exit(1);
+    });
+    let mut failed = false;
+    if stats.queries < DEMO_QUERIES.len() {
+        eprintln!(
+            "FAIL: trace holds {} complete query span trees, expected {}",
+            stats.queries,
+            DEMO_QUERIES.len()
+        );
+        failed = true;
+    }
+    if stats.chunk_events == 0 {
+        eprintln!("FAIL: trace has no worker-attributed chunk events");
+        failed = true;
+    }
+    // On a single-core box one worker can legitimately drain every chunk
+    // before its siblings wake, so the multi-thread requirement only
+    // applies where the machine can actually run workers concurrently.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 2 && stats.threads < 2 {
+        eprintln!(
+            "FAIL: trace attributes events to {} thread(s); parallel chunks \
+             should involve at least 2 on a {cores}-core machine",
+            stats.threads
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {path} round-trips ({} events, {} queries, {} chunk events, \
+         {} threads)",
+        stats.events, stats.queries, stats.chunk_events, stats.threads
+    );
+    std::process::exit(0);
+}
+
+/// Issues one HTTP request against the local endpoint and returns the
+/// status code and body. Retries the connect briefly so the CI gate can
+/// start the probe as soon as it forks the server.
+fn probe_request(port: u16, raw_request: &[u8]) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut last_err = String::new();
+    for _ in 0..50 {
+        match std::net::TcpStream::connect(("127.0.0.1", port)) {
+            Ok(mut stream) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                stream
+                    .write_all(raw_request)
+                    .map_err(|e| format!("write request: {e}"))?;
+                let mut response = String::new();
+                stream
+                    .read_to_string(&mut response)
+                    .map_err(|e| format!("read response: {e}"))?;
+                let status = response
+                    .strip_prefix("HTTP/1.1 ")
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .and_then(|code| code.parse::<u16>().ok())
+                    .ok_or_else(|| format!("unparseable status line in {response:?}"))?;
+                let body = response
+                    .split_once("\r\n\r\n")
+                    .map(|(_, b)| b.to_string())
+                    .unwrap_or_default();
+                return Ok((status, body));
+            }
+            Err(e) => {
+                last_err = e.to_string();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(format!("cannot connect to 127.0.0.1:{port}: {last_err}"))
+}
+
+fn probe_get(port: u16, path: &str) -> Result<(u16, String), String> {
+    let request = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n");
+    probe_request(port, request.as_bytes())
+}
+
+/// `probe-endpoint PORT`: the client half of the `ci.sh` endpoint gate.
+/// Exits 1 with a message on the first failed check.
+fn probe_endpoint(port: u16) -> ! {
+    use treequery_core::obs::prom;
+    fn fail(msg: &str) -> ! {
+        eprintln!("FAIL: {msg}");
+        std::process::exit(1);
+    }
+    let expect = |what: &str, r: Result<(u16, String), String>| -> (u16, String) {
+        r.unwrap_or_else(|e| fail(&format!("{what}: {e}")))
+    };
+
+    // Two sequential scrapes over one server lifetime: the endpoint must
+    // survive its first response.
+    for attempt in 1..=2 {
+        let (status, body) = expect("/metrics", probe_get(port, "/metrics"));
+        if status != 200 {
+            fail(&format!("/metrics scrape {attempt} returned {status}"));
+        }
+        match prom::validate_exposition(&body) {
+            Ok(samples) if samples > 0 => {
+                println!("scrape {attempt}: {samples} samples, exposition validates")
+            }
+            Ok(_) => fail(&format!("/metrics scrape {attempt} exposed no samples")),
+            Err(e) => fail(&format!("/metrics scrape {attempt} is malformed: {e}")),
+        }
+    }
+
+    let (status, body) = expect("/flight", probe_get(port, "/flight"));
+    if status != 200 {
+        fail(&format!("/flight returned {status}"));
+    }
+    let flight = parse_json(&body)
+        .unwrap_or_else(|e| fail(&format!("/flight body is not valid JSON: {e:?}")));
+    let records = flight
+        .get("records")
+        .and_then(|r| r.as_arr())
+        .unwrap_or_else(|| fail("/flight JSON has no records array"));
+    if records.is_empty() {
+        fail("/flight holds no records; the server's demo workload should have been recorded");
+    }
+    println!("/flight: {} recent query records", records.len());
+
+    let (status, body) = expect("/slow", probe_get(port, "/slow"));
+    if status != 200 {
+        fail(&format!("/slow returned {status}"));
+    }
+    let slow =
+        parse_json(&body).unwrap_or_else(|e| fail(&format!("/slow body is not valid JSON: {e:?}")));
+    let slow_records = slow
+        .get("records")
+        .and_then(|r| r.as_arr())
+        .unwrap_or_else(|| fail("/slow JSON has no records array"));
+    if slow_records.is_empty() {
+        fail(
+            "/slow holds no records; run the server under TREEQUERY_SLOW_MS=0 \
+             so the demo workload logs as slow",
+        );
+    }
+    let has_explain = slow_records.iter().all(|r| {
+        r.get("explain")
+            .and_then(|e| e.as_str())
+            .is_some_and(|e| !e.is_empty())
+    });
+    if !has_explain {
+        fail("/slow records are missing their EXPLAIN ANALYZE text");
+    }
+    println!(
+        "/slow: {} slow-query records with EXPLAIN ANALYZE",
+        slow_records.len()
+    );
+
+    let (status, _) = expect("/nope", probe_get(port, "/nope"));
+    if status != 404 {
+        fail(&format!("unknown path should 404, got {status}"));
+    }
+    let (status, _) = expect("garbage request", probe_request(port, b"BLARG\r\n\r\n"));
+    if status != 400 {
+        fail(&format!("malformed request should 400, got {status}"));
+    }
+    println!("404 on unknown paths, 400 on malformed requests");
+
+    let (status, _) = expect("/shutdown", probe_get(port, "/shutdown"));
+    if status != 200 {
+        fail(&format!("/shutdown returned {status}"));
+    }
+    println!("OK: endpoint survived 2 scrapes, served /flight and /slow, and shut down cleanly");
     std::process::exit(0);
 }
 
@@ -362,6 +768,13 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
+        Some("probe-endpoint") => {
+            let port = args
+                .get(1)
+                .and_then(|p| p.parse::<u16>().ok())
+                .unwrap_or_else(|| usage_error("probe-endpoint requires a port"));
+            probe_endpoint(port);
+        }
         _ => {}
     }
     let mut report_path: Option<String> = None;
@@ -384,6 +797,14 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--serve-metrics requires a port"));
                 serve_metrics(port);
             }
+            "--trace" => match iter.next() {
+                Some(path) => write_trace(path),
+                None => usage_error("--trace requires an output file path"),
+            },
+            "--check-trace" => match iter.next() {
+                Some(path) => check_trace(path),
+                None => usage_error("--check-trace requires a trace file path"),
+            },
             "--report" => match iter.next() {
                 Some(path) => report_path = Some(path.clone()),
                 None => usage_error("--report requires an output file path"),
@@ -392,7 +813,7 @@ fn main() {
             other => match lookup(other) {
                 Some(exp) => selected.push(exp),
                 None => usage_error(&format!(
-                    "unknown experiment '{other}' (expected e1..e19, e21, e22)"
+                    "unknown experiment '{other}' (expected e1..e19, e21..e23)"
                 )),
             },
         }
@@ -464,4 +885,46 @@ fn run_fuzz(args: &[String]) -> ! {
     }
     println!("OK: all executors agreed on every input");
     std::process::exit(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_answers_every_known_path() {
+        for path in ["/metrics", "/flight", "/slow", "/"] {
+            let routed = route_request(&format!("GET {path} HTTP/1.1"));
+            assert_eq!(routed.status, 200, "{path}");
+            assert!(!routed.shutdown, "{path} must not stop the server");
+        }
+        let routed = route_request("GET /shutdown HTTP/1.1");
+        assert_eq!(routed.status, 200);
+        assert!(routed.shutdown);
+    }
+
+    #[test]
+    fn router_rejects_unknown_paths_with_404() {
+        let routed = route_request("GET /nope HTTP/1.1");
+        assert_eq!(routed.status, 404);
+        assert!(routed.body.contains("/nope"));
+        assert!(!routed.shutdown);
+    }
+
+    #[test]
+    fn router_rejects_malformed_requests_with_400() {
+        for line in ["", "BLARG", "GET /metrics", "GET /metrics FTP/1.0"] {
+            let routed = route_request(line);
+            assert_eq!(routed.status, 400, "{line:?}");
+            assert!(!routed.shutdown);
+        }
+        assert_eq!(route_request("POST /metrics HTTP/1.1").status, 405);
+    }
+
+    #[test]
+    fn router_ignores_query_strings_and_sets_prom_content_type() {
+        assert_eq!(route_request("GET /flight?limit=5 HTTP/1.1").status, 200);
+        let routed = route_request("GET /metrics HTTP/1.1");
+        assert_eq!(routed.content_type, treequery_core::obs::prom::CONTENT_TYPE);
+    }
 }

@@ -100,6 +100,17 @@ pub fn noop_overhead() -> NoopOverhead {
     NoopOverhead { ratio, per_span_ns }
 }
 
+/// Measures the span cost with the flight recorder *installed* but no
+/// query in scope — the flag is set, so spans take the slow path, find no
+/// current query, and come back inert. `--check-noop-overhead` reports
+/// this informationally alongside the gated disabled-path measurement.
+pub fn flight_idle_overhead() -> NoopOverhead {
+    obs::flight::install(obs::flight::FlightConfig::default());
+    let measured = noop_overhead();
+    obs::flight::uninstall();
+    measured
+}
+
 pub fn run() {
     header("E18", "observability: measured spans vs predicted bounds");
     let mut rng = StdRng::seed_from_u64(18);

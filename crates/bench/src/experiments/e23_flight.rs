@@ -1,0 +1,145 @@
+//! E23 — the workload observatory: flight-ring retention, the slow-query
+//! log, and the disabled-path cost of flight recording.
+//!
+//! Three demonstrations on a seed-pinned workload:
+//!
+//! 1. **Bounded retention.** With a capacity-8 ring and 20 evaluations,
+//!    the flight recorder retains exactly the newest 8 records (ids
+//!    13..=20) — eviction is by query id, never by completion order.
+//! 2. **Slow-query log.** With the per-engine threshold at 0ms every
+//!    query logs as slow; the separate slow ring (capacity 4) keeps the
+//!    newest entries with their full `EXPLAIN ANALYZE` text and a
+//!    re-runnable reproducer.
+//! 3. **Disabled path.** After `uninstall` the span gate is back to one
+//!    relaxed load; the measured overhead must sit in the same ~2ns
+//!    regime `--check-noop-overhead` budgets.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treequery_core::obs::flight;
+use treequery_core::tree::random_recursive_tree;
+use treequery_core::{Engine, EngineConfig, PlannerConfig, Query};
+
+use super::e18_observability;
+use crate::util::{fmt_dur, header};
+
+/// The pinned workload: 20 two-step XPath queries, the last 4 repeating
+/// earlier ones (so the table shows plan-cache hits).
+fn demo_query(i: usize) -> Query {
+    let labels = ["a", "b", "c", "d"];
+    Query::xpath(format!("//{}/{}", labels[i % 4], labels[(i / 4) % 4]))
+}
+
+pub fn run() {
+    header(
+        "E23",
+        "workload observatory: flight recorder, slow log, disabled path",
+    );
+    flight::install(flight::FlightConfig {
+        capacity: 8,
+        slow_capacity: 4,
+        ..flight::FlightConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(23);
+    let tree = random_recursive_tree(&mut rng, 4_000, &["a", "b", "c", "d"]);
+    let engine = Engine::with_config(
+        &tree,
+        EngineConfig {
+            planner: PlannerConfig {
+                // 0ms: every query crosses the slow threshold.
+                slow_query_ms: Some(0),
+                ..PlannerConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+
+    const QUERIES: usize = 20;
+    for i in 0..QUERIES {
+        engine.eval(&demo_query(i)).expect("demo queries evaluate");
+    }
+
+    let recent = flight::recent();
+    println!(
+        "\nflight ring after {QUERIES} queries (capacity 8, {} submitted):",
+        flight::submitted_total()
+    );
+    println!(
+        "{:>4} {:<10} {:<26} {:>6} {:>10} {:>7}",
+        "id", "query", "strategy", "rows", "wall", "cache"
+    );
+    for r in &recent {
+        println!(
+            "{:>4} {:<10} {:<26} {:>6} {:>10} {:>7}",
+            r.id,
+            r.query,
+            r.strategy,
+            r.rows,
+            fmt_dur(std::time::Duration::from_nanos(r.wall_ns)),
+            if r.cache_hit { "hit" } else { "miss" },
+        );
+    }
+    assert_eq!(recent.len(), 8, "ring retains exactly its capacity");
+    let ids: Vec<u64> = recent.iter().map(|r| r.id).collect();
+    assert_eq!(
+        ids,
+        (13..=20).collect::<Vec<u64>>(),
+        "ring holds exactly the newest 8 query ids"
+    );
+    println!(
+        "retained ids {}..={} — the 12 oldest were evicted ✓",
+        13, 20
+    );
+
+    let slow = flight::slow_recent();
+    assert_eq!(slow.len(), 4, "slow ring retains its own capacity");
+    println!(
+        "\nslow-query log (threshold 0ms, capacity 4): {} entries",
+        slow.len()
+    );
+    let newest = slow.last().expect("slow log is non-empty");
+    println!("newest reproducer:");
+    for line in newest.detail.reproducer.lines() {
+        println!("  {line}");
+    }
+    println!("EXPLAIN ANALYZE (first lines):");
+    for line in newest.detail.explain.lines().take(5) {
+        println!("  {line}");
+    }
+
+    flight::uninstall();
+    let overhead = e18_observability::noop_overhead();
+    println!(
+        "\ndisabled-path cost after uninstall: {:.2}ns per span \
+         ({:+.2}% on the hot loop; the --check-noop-overhead gate budgets \
+         this against crates/bench/noop_baseline.json)",
+        overhead.per_span_ns,
+        (overhead.ratio - 1.0) * 100.0
+    );
+    crate::report::submit_metrics("e23", engine.metrics().to_json());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The only treequery-bench test touching the process-global flight
+    // state; keep it that way (or add a lock) if more are added.
+    #[test]
+    fn twenty_queries_leave_the_newest_eight_records() {
+        flight::install(flight::FlightConfig {
+            capacity: 8,
+            slow_capacity: 4,
+            ..flight::FlightConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(23);
+        let tree = random_recursive_tree(&mut rng, 200, &["a", "b", "c", "d"]);
+        let engine = Engine::new(&tree);
+        for i in 0..20 {
+            engine.eval(&demo_query(i)).unwrap();
+        }
+        let ids: Vec<u64> = flight::recent().iter().map(|r| r.id).collect();
+        assert_eq!(ids, (13..=20).collect::<Vec<u64>>());
+        flight::uninstall();
+    }
+}

@@ -21,6 +21,7 @@ pub mod e18_observability;
 pub mod e19_parallel;
 pub mod e21_memory;
 pub mod e22_postings;
+pub mod e23_flight;
 
 /// Runs every experiment in order.
 pub fn run_all() {
@@ -45,4 +46,5 @@ pub fn run_all() {
     e19_parallel::run();
     e21_memory::run();
     e22_postings::run();
+    e23_flight::run();
 }

@@ -245,6 +245,12 @@ impl<'t> Engine<'t> {
     }
 
     fn plan_for(&self, ir: &QueryIr) -> std::sync::Arc<ExplainedPlan> {
+        self.plan_for_traced(ir).0
+    }
+
+    /// [`plan_for`](Self::plan_for) plus whether the plan came from the
+    /// cache (the flight recorder tags records with it).
+    fn plan_for_traced(&self, ir: &QueryIr) -> (std::sync::Arc<ExplainedPlan>, bool) {
         let planned = std::cell::Cell::new(false);
         let compute = || {
             let _span = treequery_obs::span("pipeline.plan");
@@ -260,10 +266,11 @@ impl<'t> Engine<'t> {
                 &self.metrics,
                 compute,
             );
-            span.record_bool("hit", !planned.get());
-            plan
+            let hit = !planned.get();
+            span.record_bool("hit", hit);
+            (plan, hit)
         } else {
-            std::sync::Arc::new(compute())
+            (std::sync::Arc::new(compute()), false)
         }
     }
 
@@ -315,10 +322,141 @@ impl<'t> Engine<'t> {
         self.eval_ir(&ir)
     }
 
-    /// Evaluates an already-lowered query (plan-cache aware).
+    /// Evaluates an already-lowered query (plan-cache aware). While the
+    /// [`treequery_obs::flight`] recorder is installed, the evaluation is
+    /// assigned a query id and leaves a per-query record (plan choice,
+    /// timings, span tree, slow-query material) in the flight ring; the
+    /// disabled path costs one relaxed atomic load.
     pub fn eval_ir(&self, ir: &QueryIr) -> Result<QueryOutput, EngineError> {
+        if treequery_obs::flight::enabled() {
+            return self.eval_ir_recorded(ir);
+        }
         let chosen = self.plan_for(ir);
         plan::exec::execute(ir, &chosen, self.tree, &self.metrics)
+    }
+
+    /// The flight-recorded evaluation path: scope a query id around
+    /// planning + execution (worker pools propagate it, so cross-worker
+    /// chunk spans attribute here too), then collect the buffered spans
+    /// and submit the record. Out of line — the common disabled path
+    /// should pay only the `enabled()` load.
+    #[cold]
+    fn eval_ir_recorded(&self, ir: &QueryIr) -> Result<QueryOutput, EngineError> {
+        use treequery_obs::flight;
+        let id = flight::begin_query();
+        if id == 0 {
+            // The recorder was uninstalled between the enabled check and
+            // the id draw; run unrecorded.
+            let chosen = self.plan_for(ir);
+            return plan::exec::execute(ir, &chosen, self.tree, &self.metrics);
+        }
+        let before = self.metrics.snapshot();
+        let started = std::time::Instant::now();
+        let (result, chosen, cache_hit) = flight::with_current_query(id, || {
+            let (chosen, cache_hit) = self.plan_for_traced(ir);
+            let result = plan::exec::execute(ir, &chosen, self.tree, &self.metrics);
+            (result, chosen, cache_hit)
+        });
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let (spans, dropped_spans) = flight::take_spans(id);
+        // The quiesced re-read tags records captured under concurrent
+        // load (satellite: surfaced retry count, not just `torn`).
+        let counters = self.metrics.snapshot_quiesced().delta_since(&before);
+        let rows = match &result {
+            Ok(QueryOutput::Nodes(v)) => v.len() as u64,
+            Ok(QueryOutput::Answer(a)) => a.tuples.len() as u64,
+            Err(_) => 0,
+        };
+        let record = flight::QueryRecord {
+            id,
+            query: ir.text.clone(),
+            source: ir.source.to_string(),
+            query_fingerprint: ir.fingerprint,
+            tree_fingerprint: self.tree_fingerprint(),
+            strategy: chosen.strategy.to_string(),
+            rationale: chosen.rationale.clone(),
+            parallel_rationale: chosen.parallel_rationale.clone(),
+            workers: chosen.workers as u64,
+            cache_hit,
+            wall_ns,
+            rows,
+            error: result.as_ref().err().map(|e| e.to_string()),
+            quiesce_retries: counters.quiesce_retries,
+            torn: counters.torn,
+            spans,
+            dropped_spans,
+        };
+        let threshold_ns = self
+            .config
+            .planner
+            .slow_query_ms
+            .map(|ms| ms.saturating_mul(1_000_000))
+            .or_else(flight::slow_threshold_ns);
+        let detail = match threshold_ns {
+            Some(t) if wall_ns >= t => Some(self.slow_detail(&record, &chosen, &result, counters)),
+            _ => None,
+        };
+        flight::submit(record, detail);
+        result
+    }
+
+    /// The slow-query log material for one captured record: a full
+    /// `EXPLAIN ANALYZE` rendering rebuilt from the record's spans, and a
+    /// re-runnable reproducer (tree fingerprint + query source).
+    fn slow_detail(
+        &self,
+        record: &treequery_obs::flight::QueryRecord,
+        chosen: &ExplainedPlan,
+        result: &Result<QueryOutput, EngineError>,
+        counters: MetricsSnapshot,
+    ) -> treequery_obs::flight::SlowDetail {
+        let explain = match result {
+            Ok(output) => {
+                let summaries = treequery_obs::summarize_spans(&record.spans);
+                plan::analyze::assemble(
+                    record.query.clone(),
+                    chosen.clone(),
+                    record.wall_ns,
+                    output.clone(),
+                    &summaries,
+                    &[],
+                    counters,
+                )
+                .render()
+            }
+            Err(e) => format!("query failed: {e}"),
+        };
+        let reproducer = format!(
+            "-- treequery slow-query reproducer (query #{id})\n\
+             -- tree_fingerprint: 0x{fp:016x} ({nodes} nodes)\n\
+             -- source: {source}; rerun with a structurally identical tree:\n\
+             --   Engine::new(&tree).eval(&Query::{ctor}({text:?}))\n\
+             {text}\n",
+            id = record.id,
+            fp = record.tree_fingerprint,
+            nodes = self.stats().nodes,
+            source = record.source,
+            ctor = match record.source.as_str() {
+                "cq" => "cq",
+                "datalog" => "datalog",
+                _ => "xpath",
+            },
+            text = record.query,
+        );
+        treequery_obs::flight::SlowDetail {
+            explain,
+            reproducer,
+        }
+    }
+
+    /// The Chrome Trace Event JSON of the most recently flight-recorded
+    /// query (`{"traceEvents": [...]}`, loadable in Perfetto and
+    /// `chrome://tracing`). `None` when the flight recorder is off or has
+    /// recorded nothing yet. Note the flight ring is process-global: the
+    /// latest record may come from another engine.
+    pub fn trace_last_query(&self) -> Option<treequery_obs::Json> {
+        let record = treequery_obs::flight::latest()?;
+        Some(treequery_obs::traceexport::chrome_trace(&[record]))
     }
 
     /// Evaluates an already-lowered query with a forced [`Strategy`] and

@@ -182,12 +182,28 @@ impl AnalyzedPlan {
         }
         let counters = self.counters.to_json();
         let nonzero: Vec<String> = match &counters {
+            // `quiesce_retries` is read metadata, not pipeline work; it
+            // renders in the quiescence suffix instead of the counter
+            // list.
             Json::Obj(fields) => fields
                 .iter()
-                .filter(|(_, v)| v.as_u64().is_some_and(|v| v > 0))
+                .filter(|(k, v)| k != "quiesce_retries" && v.as_u64().is_some_and(|v| v > 0))
                 .map(|(k, v)| format!("{k}={}", v.as_u64().unwrap_or(0)))
                 .collect(),
             _ => Vec::new(),
+        };
+        let quiescence = if self.counters.torn {
+            format!(
+                "  [torn after {} retries: counters did not quiesce; cross-counter consistency not guaranteed]",
+                self.counters.quiesce_retries
+            )
+        } else if self.counters.quiesce_retries > 0 {
+            format!(
+                "  [quiesced after {} retries]",
+                self.counters.quiesce_retries
+            )
+        } else {
+            String::new()
         };
         out.push_str(&format!(
             "Counters: {}{}\n",
@@ -196,11 +212,7 @@ impl AnalyzedPlan {
             } else {
                 nonzero.join(" ")
             },
-            if self.counters.torn {
-                "  [torn: counters did not quiesce; cross-counter consistency not guaranteed]"
-            } else {
-                ""
-            }
+            quiescence
         ));
         out
     }
@@ -292,6 +304,7 @@ impl MetricsSnapshot {
             .set("backtrack_assignments", self.backtrack_assignments)
             .set("parallel_kernels", self.parallel_kernels)
             .set("parallel_chunks", self.parallel_chunks)
+            .set("quiesce_retries", self.quiesce_retries)
             .set("torn", self.torn)
     }
 
@@ -320,6 +333,7 @@ impl MetricsSnapshot {
                 .parallel_kernels
                 .saturating_sub(earlier.parallel_kernels),
             parallel_chunks: self.parallel_chunks.saturating_sub(earlier.parallel_chunks),
+            quiesce_retries: self.quiesce_retries.max(earlier.quiesce_retries),
             torn: self.torn || earlier.torn,
         }
     }
@@ -538,6 +552,7 @@ Counters: queries_executed=1 nodes_swept=131072 parallel_kernels=1 parallel_chun
             counters: MetricsSnapshot {
                 queries_executed: 1,
                 nodes_swept: 128,
+                quiesce_retries: 16,
                 torn: true,
                 ..MetricsSnapshot::default()
             },
@@ -551,10 +566,18 @@ Plan: xpath/set-at-a-time  (cost O(|D|·|Q|), estimated 128 node-touches)
 Measured: total 500.0µs, 2 output row(s)
   -> exec.run  (calls=1, time=480.0µs)  [mem: bytes=256, allocs=3, peak=192]
     -> exec.sweep  (calls=1, time=400.0µs)  [nodes=64, query_size=2, nodes_swept=128]  [mem: bytes=4096, allocs=17, peak=2048]
-Counters: queries_executed=1 nodes_swept=128  [torn: counters did not quiesce; cross-counter consistency not guaranteed]
+Counters: queries_executed=1 nodes_swept=128  [torn after 16 retries: counters did not quiesce; cross-counter consistency not guaranteed]
 ";
         assert_eq!(analyzed.render(), expected);
         let v = treequery_obs::parse_json(&analyzed.to_json().render()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("quiesce_retries")
+                .unwrap()
+                .as_u64(),
+            Some(16)
+        );
         let stages = v.get("stages").unwrap().as_arr().unwrap();
         let mem = stages[1].get("mem").unwrap();
         assert_eq!(mem.get("bytes").unwrap().as_u64(), Some(4096));

@@ -109,6 +109,11 @@ pub struct MetricsSnapshot {
     pub parallel_kernels: u64,
     /// Chunk tasks submitted to the worker pool.
     pub parallel_chunks: u64,
+    /// Re-reads [`Metrics::snapshot_quiesced`] needed before two
+    /// consecutive snapshots agreed (0 = the first re-read already
+    /// matched). Non-zero means the snapshot was taken under concurrent
+    /// load; the flight recorder uses it to tag degraded records.
+    pub quiesce_retries: u32,
     /// Whether this snapshot may be torn: set only by
     /// [`Metrics::snapshot_quiesced`] when its bounded retry loop
     /// exhausted without two consecutive reads agreeing (sustained
@@ -164,6 +169,7 @@ impl Metrics {
             backtrack_assignments: get(&self.backtrack_assignments),
             parallel_kernels: get(&self.parallel_kernels),
             parallel_chunks: get(&self.parallel_chunks),
+            quiesce_retries: 0,
             torn: false,
         }
     }
@@ -289,18 +295,23 @@ impl MetricsSnapshot {
 /// parameterized over the read so tests can drive it with a
 /// deterministic sequence: keep re-reading until two consecutive
 /// snapshots agree; on exhaustion return the last read with `torn` set.
+/// Either way the returned snapshot's `quiesce_retries` reports how many
+/// re-reads disagreed before settling (reads themselves always carry 0,
+/// so the equality check stays untainted by the retry count).
 pub(crate) fn quiesce(
     attempts: usize,
     mut read: impl FnMut() -> MetricsSnapshot,
 ) -> MetricsSnapshot {
     let mut prev = read();
-    for _ in 0..attempts {
-        let next = read();
+    for retry in 0..attempts {
+        let mut next = read();
         if next == prev {
+            next.quiesce_retries = retry as u32;
             return next;
         }
         prev = next;
     }
+    prev.quiesce_retries = attempts as u32;
     prev.torn = true;
     prev
 }
@@ -610,7 +621,25 @@ mod tests {
         Metrics::add_lowered(&metrics);
         let snap = metrics.snapshot_quiesced();
         assert!(!snap.torn);
+        assert_eq!(snap.quiesce_retries, 0);
         assert_eq!(snap.queries_lowered, 1);
+    }
+
+    #[test]
+    fn quiesce_reports_retry_count_when_it_settles_late() {
+        // Reads disagree twice, then stabilize: the returned snapshot is
+        // clean but carries the retry count for degraded-record tagging.
+        let mut n = 0u64;
+        let snap = super::quiesce(8, || {
+            n += 1;
+            MetricsSnapshot {
+                queries_executed: n.min(3),
+                ..MetricsSnapshot::default()
+            }
+        });
+        assert!(!snap.torn);
+        assert_eq!(snap.queries_executed, 3);
+        assert_eq!(snap.quiesce_retries, 2);
     }
 
     #[test]
@@ -627,6 +656,7 @@ mod tests {
         });
         assert!(snap.torn);
         assert_eq!(snap.queries_executed, 5, "last of 1 initial + 4 retries");
+        assert_eq!(snap.quiesce_retries, 4);
     }
 
     #[test]

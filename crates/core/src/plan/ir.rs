@@ -120,6 +120,11 @@ pub struct QueryIr {
     pub features: IrFeatures,
     /// Hash of the normalized form; half of the executor's cache key.
     pub fingerprint: u64,
+    /// The query source text: the submitted text when lowered through
+    /// [`lower`], otherwise the native AST's rendering. Provenance for
+    /// the flight recorder's records and slow-query reproducers; not
+    /// part of the fingerprint.
+    pub text: String,
 }
 
 fn fingerprint_of(source: SourceLang, normalized: &str) -> u64 {
@@ -129,25 +134,29 @@ fn fingerprint_of(source: SourceLang, normalized: &str) -> u64 {
     h.finish()
 }
 
-/// Parses and lowers front-end query text into the IR.
+/// Parses and lowers front-end query text into the IR. The IR keeps the
+/// submitted text verbatim (the ASTs' renderings are normalized, which
+/// would make flight-recorder provenance lie about what was run).
 pub fn lower(query: &Query) -> Result<QueryIr, EngineError> {
-    match query {
+    let mut ir = match query {
         Query::Xpath(text) => {
             let path = xpath::parse_xpath(text).map_err(EngineError::XPath)?;
-            Ok(lower_path(&path))
+            lower_path(&path)
         }
         Query::Cq(text) => {
             let q = cq::parse_cq(text).map_err(EngineError::Cq)?;
-            Ok(lower_cq(&q))
+            lower_cq(&q)
         }
         Query::Datalog(text) => {
             let prog = datalog::parse_program(text).map_err(EngineError::Datalog)?;
             if prog.query.is_none() {
                 return Err(EngineError::NoQueryPredicate);
             }
-            Ok(lower_program(&prog))
+            lower_program(&prog)
         }
-    }
+    };
+    ir.text = query.text().to_owned();
+    Ok(ir)
 }
 
 /// Lowers an already-parsed Core XPath expression.
@@ -172,6 +181,7 @@ pub fn lower_path(path: &xpath::Path) -> QueryIr {
         fingerprint: fingerprint_of(SourceLang::XPath, &normalized_text),
         features: IrFeatures::Path(features),
         lowered_cq,
+        text: path.to_string(),
     }
 }
 
@@ -186,6 +196,7 @@ pub fn lower_cq(q: &cq::Cq) -> QueryIr {
         body: IrBody::Cq(n),
         features: IrFeatures::Cq(features),
         lowered_cq: None,
+        text: q.to_string(),
     }
 }
 
@@ -199,6 +210,7 @@ pub fn lower_program(prog: &datalog::Program) -> QueryIr {
         body: IrBody::Program(prog.clone()),
         features: IrFeatures::Program(features),
         lowered_cq: None,
+        text: prog.to_string(),
     }
 }
 

@@ -188,6 +188,11 @@ pub struct PlannerConfig {
     /// Trees with fewer nodes than this always run sequentially — chunk
     /// dispatch overhead dominates the kernels below it.
     pub parallel_threshold: usize,
+    /// Per-engine slow-query threshold in milliseconds for the flight
+    /// recorder's slow-query log (`0` logs every query). `None` defers
+    /// to the recorder's install-time threshold (the `TREEQUERY_SLOW_MS`
+    /// env knob); ignored entirely while the flight recorder is off.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for PlannerConfig {
@@ -198,6 +203,7 @@ impl Default for PlannerConfig {
             rewrite_part_overhead: 1024,
             workers: None,
             parallel_threshold: 4096,
+            slow_query_ms: None,
         }
     }
 }

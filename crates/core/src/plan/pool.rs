@@ -55,6 +55,9 @@ struct ParJob {
     done: Condvar,
     /// Submitter's span depth, re-installed around every worker chunk.
     depth: u32,
+    /// Submitter's flight-recorder query id (0 = none), ditto — so the
+    /// chunk spans a worker closes attribute to the submitting query.
+    flight: u64,
     /// Submitter's allocation scope, ditto.
     scope: Option<treequery_obs::alloc::ScopeHandle>,
 }
@@ -82,7 +85,11 @@ impl ParJob {
                 break;
             }
             let result = catch_unwind(AssertUnwindSafe(|| {
-                let run = || treequery_obs::with_ambient_depth(self.depth, || body(i));
+                let run = || {
+                    treequery_obs::flight::with_current_query(self.flight, || {
+                        treequery_obs::with_ambient_depth(self.depth, || body(i))
+                    })
+                };
                 match &self.scope {
                     Some(handle) => treequery_obs::alloc::with_scope(handle, run),
                     None => run(),
@@ -250,6 +257,7 @@ impl WorkerPool {
             }),
             done: Condvar::new(),
             depth: treequery_obs::current_depth(),
+            flight: treequery_obs::flight::current_query(),
             scope: treequery_obs::alloc::current_scope(),
         };
         {
@@ -338,12 +346,15 @@ impl WorkerPool {
             done: Condvar::new(),
         });
         // Propagate the submitter's span depth into the workers so chunk
-        // spans nest under the stage span that dispatched them, and the
-        // submitter's allocation scope so chunk allocations stay charged
-        // to the stage that dispatched them. The handle keeps the scope
-        // cell alive for the workers; the owning frame outlives this
-        // call because run_scoped blocks until every task finished.
+        // spans nest under the stage span that dispatched them, the
+        // submitter's flight query id so worker spans attribute to the
+        // submitting query, and the submitter's allocation scope so chunk
+        // allocations stay charged to the stage that dispatched them. The
+        // handle keeps the scope cell alive for the workers; the owning
+        // frame outlives this call because run_scoped blocks until every
+        // task finished.
         let depth = treequery_obs::current_depth();
+        let flight = treequery_obs::flight::current_query();
         let alloc_scope = treequery_obs::alloc::current_scope();
 
         {
@@ -353,7 +364,11 @@ impl WorkerPool {
                 let alloc_scope = alloc_scope.clone();
                 let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        let task = || treequery_obs::with_ambient_depth(depth, task);
+                        let task = || {
+                            treequery_obs::flight::with_current_query(flight, || {
+                                treequery_obs::with_ambient_depth(depth, task)
+                            })
+                        };
                         match &alloc_scope {
                             Some(handle) => treequery_obs::alloc::with_scope(handle, task),
                             None => task(),

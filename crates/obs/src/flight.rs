@@ -1,0 +1,656 @@
+//! The query flight recorder: a bounded, process-global ring of
+//! per-query records, plus a slow-query log.
+//!
+//! Once [`install`]ed, every engine evaluation gets a monotonically
+//! increasing query id and leaves behind a [`QueryRecord`]: the query
+//! text and fingerprints, the chosen strategy with the planner's
+//! rationale, wall time, result cardinality, cache hit/miss, the raw
+//! span tree of the run, and a degraded-counters tag. The most recent
+//! records are retained in a fixed-capacity ring ([`recent`]); records
+//! whose wall time exceeded the slow threshold are additionally retained
+//! in a separate ring with their full `EXPLAIN ANALYZE` text and a
+//! re-runnable reproducer rendering ([`slow_recent`]).
+//!
+//! **Disabled path.** Like the span recorder, the flight recorder costs
+//! nothing when off: its enable bit lives in the same atomic word the
+//! span gate loads, so instrumented code pays one relaxed load total for
+//! both subsystems (budgeted by `--check-noop-overhead`).
+//!
+//! **Ring semantics.** Each submission takes a ticket from an atomic
+//! counter and writes slot `ticket % capacity`, overwriting only records
+//! with *older* tickets. Concurrent out-of-order completions therefore
+//! cannot resurrect an evicted record: once all in-flight submissions
+//! settle, the ring holds exactly the newest `capacity` records (the
+//! property the eviction proptest pins).
+//!
+//! Span capture rides the existing [`crate::span`] machinery: the engine
+//! scopes a thread-local *current query id* around each evaluation (the
+//! worker pool propagates it into chunk tasks alongside ambient depth),
+//! open spans remember it, and closed spans are buffered per query until
+//! the engine calls [`take_spans`] and [`submit`]s the finished record.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+use crate::recorder::span_to_json;
+use crate::span::SpanRecord;
+
+/// Tunables for the flight recorder. [`FlightConfig::from_env`] resolves
+/// the slow threshold from `TREEQUERY_SLOW_MS`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightConfig {
+    /// Recent-query ring capacity (records kept in [`recent`]).
+    pub capacity: usize,
+    /// Slow-query ring capacity (records kept in [`slow_recent`]).
+    pub slow_capacity: usize,
+    /// Wall-time threshold above which a query is logged as slow, in
+    /// nanoseconds. `None` disables the slow log (a per-engine
+    /// `PlannerConfig::slow_query_ms` can still opt in).
+    pub slow_threshold_ns: Option<u64>,
+    /// Per-query cap on buffered spans; spans past it are counted in
+    /// [`QueryRecord::dropped_spans`] instead of retained.
+    pub max_spans_per_query: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 128,
+            slow_capacity: 32,
+            slow_threshold_ns: None,
+            max_spans_per_query: 4096,
+        }
+    }
+}
+
+impl FlightConfig {
+    /// The default configuration with the slow threshold taken from the
+    /// `TREEQUERY_SLOW_MS` environment variable (milliseconds; `0` logs
+    /// every query), when set to a parseable integer.
+    pub fn from_env() -> FlightConfig {
+        let slow_threshold_ns = std::env::var("TREEQUERY_SLOW_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .map(|ms| ms.saturating_mul(1_000_000));
+        FlightConfig {
+            slow_threshold_ns,
+            ..FlightConfig::default()
+        }
+    }
+}
+
+/// One completed evaluation, as captured by the flight recorder.
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    /// The monotonically increasing query id (1-based; unique per
+    /// process for one installed recorder).
+    pub id: u64,
+    /// The query source text, as submitted (or the normalized rendering
+    /// when the query was lowered from an already-parsed form).
+    pub query: String,
+    /// The originating front-end (`xpath`, `cq`, `datalog`).
+    pub source: String,
+    /// Fingerprint of the query's normalized form.
+    pub query_fingerprint: u64,
+    /// Fingerprint of the tree the query ran against.
+    pub tree_fingerprint: u64,
+    /// The strategy the planner chose (e.g. `xpath/set-at-a-time`).
+    pub strategy: String,
+    /// The planner's rationale for that choice.
+    pub rationale: String,
+    /// The parallelism decision's rationale.
+    pub parallel_rationale: String,
+    /// Worker threads the plan was allowed to use.
+    pub workers: u64,
+    /// Whether the plan came from the plan cache.
+    pub cache_hit: bool,
+    /// End-to-end wall time of the evaluation, in nanoseconds.
+    pub wall_ns: u64,
+    /// Result cardinality (nodes or tuples); 0 on error.
+    pub rows: u64,
+    /// The error message, when the evaluation failed.
+    pub error: Option<String>,
+    /// Retries the post-run counter read needed to quiesce (see
+    /// `Metrics::snapshot_quiesced`); non-zero means the record was
+    /// captured under concurrent load.
+    pub quiesce_retries: u32,
+    /// Whether the counter read never quiesced — the record's timing is
+    /// exact but any attached counters are degraded.
+    pub torn: bool,
+    /// The spans that closed while this query was current, in close
+    /// order (the raw material for the Chrome trace export).
+    pub spans: Vec<SpanRecord>,
+    /// Spans dropped past [`FlightConfig::max_spans_per_query`].
+    pub dropped_spans: u64,
+}
+
+impl QueryRecord {
+    /// The record as a JSON object; `include_spans` controls whether the
+    /// raw span list rides along (the `/flight` endpoint omits it).
+    pub fn to_json(&self, include_spans: bool) -> Json {
+        let mut obj = Json::obj()
+            .set("id", self.id)
+            .set("query", self.query.as_str())
+            .set("source", self.source.as_str())
+            .set("query_fingerprint", self.query_fingerprint)
+            .set("tree_fingerprint", self.tree_fingerprint)
+            .set("strategy", self.strategy.as_str())
+            .set("rationale", self.rationale.as_str())
+            .set("parallel", self.parallel_rationale.as_str())
+            .set("workers", self.workers)
+            .set("cache_hit", self.cache_hit)
+            .set("wall_ns", self.wall_ns)
+            .set("rows", self.rows)
+            .set("quiesce_retries", self.quiesce_retries)
+            .set("torn", self.torn)
+            .set("span_count", self.spans.len() as u64)
+            .set("dropped_spans", self.dropped_spans);
+        if let Some(e) = &self.error {
+            obj = obj.set("error", e.as_str());
+        }
+        if include_spans {
+            obj = obj.set(
+                "spans",
+                Json::Arr(self.spans.iter().map(span_to_json).collect()),
+            );
+        }
+        obj
+    }
+}
+
+/// Extra material retained for a slow query: the rendered
+/// `EXPLAIN ANALYZE` text and a re-runnable reproducer.
+#[derive(Clone, Debug)]
+pub struct SlowDetail {
+    /// The full `EXPLAIN ANALYZE` rendering of the captured run.
+    pub explain: String,
+    /// A reproducer rendering: tree fingerprint + query source, enough
+    /// to re-run the query against a structurally identical tree.
+    pub reproducer: String,
+}
+
+/// A slow-query log entry: the record plus its [`SlowDetail`].
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The captured record.
+    pub record: Arc<QueryRecord>,
+    /// `EXPLAIN ANALYZE` text and reproducer.
+    pub detail: SlowDetail,
+}
+
+impl SlowQuery {
+    /// The entry as a JSON object (the `/slow` endpoint row).
+    pub fn to_json(&self) -> Json {
+        self.record
+            .to_json(false)
+            .set("explain", self.detail.explain.as_str())
+            .set("reproducer", self.detail.reproducer.as_str())
+    }
+}
+
+/// One ring slot: the submission ticket paired with the stored value.
+type Slot<T> = Mutex<Option<(u64, T)>>;
+
+/// A ticket-guarded overwrite ring: slot `ticket % capacity` holds the
+/// newest record assigned to it, so at quiescence the ring holds exactly
+/// the newest `capacity` submissions regardless of completion order.
+struct TicketRing<T> {
+    ticket: AtomicU64,
+    slots: Box<[Slot<T>]>,
+}
+
+impl<T: Clone> TicketRing<T> {
+    fn new(capacity: usize) -> TicketRing<T> {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || Mutex::new(None));
+        TicketRing {
+            ticket: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    fn push(&self, value: T) {
+        let ticket = self.ticket.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let mut guard = slot.lock().expect("flight ring slot poisoned");
+        match &*guard {
+            // A concurrent later submission already claimed the slot;
+            // overwriting it would resurrect an evicted generation.
+            Some((held, _)) if *held > ticket => {}
+            _ => *guard = Some((ticket, value)),
+        }
+    }
+
+    /// Total submissions so far.
+    fn submitted(&self) -> u64 {
+        self.ticket.load(Ordering::Relaxed)
+    }
+
+    /// Retained values, oldest first (by ticket).
+    fn collect(&self) -> Vec<T> {
+        let mut rows: Vec<(u64, T)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().expect("flight ring slot poisoned").clone())
+            .collect();
+        rows.sort_by_key(|(t, _)| *t);
+        rows.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// Per-query buffer of closed spans awaiting [`take_spans`].
+struct Pending {
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+}
+
+struct FlightState {
+    config: FlightConfig,
+    next_id: AtomicU64,
+    recent: TicketRing<Arc<QueryRecord>>,
+    slow: TicketRing<SlowQuery>,
+    pending: Mutex<HashMap<u64, Pending>>,
+}
+
+static STATE: Mutex<Option<Arc<FlightState>>> = Mutex::new(None);
+
+thread_local! {
+    /// The query id spans opened on this thread attribute to (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+fn state() -> Option<Arc<FlightState>> {
+    STATE.lock().expect("flight state poisoned").clone()
+}
+
+/// Installs the flight recorder process-wide (replacing any previous
+/// one and discarding its retained records).
+pub fn install(config: FlightConfig) {
+    let state = Arc::new(FlightState {
+        recent: TicketRing::new(config.capacity),
+        slow: TicketRing::new(config.slow_capacity),
+        next_id: AtomicU64::new(0),
+        pending: Mutex::new(HashMap::new()),
+        config,
+    });
+    let mut slot = STATE.lock().expect("flight state poisoned");
+    *slot = Some(state);
+    crate::set_flag(crate::FLAG_FLIGHT);
+}
+
+/// Uninstalls the flight recorder; evaluation goes back to the
+/// one-relaxed-load disabled path and retained records are dropped.
+pub fn uninstall() {
+    let mut slot = STATE.lock().expect("flight state poisoned");
+    crate::clear_flag(crate::FLAG_FLIGHT);
+    *slot = None;
+}
+
+/// Whether the flight recorder is installed. One relaxed atomic load
+/// (the same word the span gate reads).
+#[inline]
+pub fn enabled() -> bool {
+    crate::flags() & crate::FLAG_FLIGHT != 0
+}
+
+/// The installed slow threshold, if any (engine configuration may
+/// override it per engine).
+pub fn slow_threshold_ns() -> Option<u64> {
+    state().and_then(|s| s.config.slow_threshold_ns)
+}
+
+/// Assigns the next query id (1-based). Returns 0 when the recorder is
+/// not installed — 0 is never a valid query id.
+pub fn begin_query() -> u64 {
+    match state() {
+        Some(s) => s.next_id.fetch_add(1, Ordering::Relaxed) + 1,
+        None => 0,
+    }
+}
+
+/// The query id spans opened on this thread currently attribute to
+/// (0 = none). Worker pools capture this on the submitting thread and
+/// replay it on workers via [`with_current_query`], exactly like
+/// ambient span depth.
+#[inline]
+pub fn current_query() -> u64 {
+    CURRENT.with(|c| c.get())
+}
+
+/// Runs `f` with this thread's current query id set to `id`, restoring
+/// the previous id afterwards (also on panic).
+pub fn with_current_query<T>(id: u64, f: impl FnOnce() -> T) -> T {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.0));
+        }
+    }
+    let previous = CURRENT.with(|c| c.replace(id));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Buffers a closed span for query `id`. Called by the span core when a
+/// span that opened under a current query closes.
+pub(crate) fn deliver(id: u64, span: SpanRecord) {
+    let Some(state) = state() else { return };
+    let mut pending = state.pending.lock().expect("flight pending poisoned");
+    // Bound the buffer map itself: a query that never submits (e.g. a
+    // panicking evaluation) must not pin memory forever.
+    if pending.len() >= 1024 && !pending.contains_key(&id) {
+        return;
+    }
+    let entry = pending.entry(id).or_insert_with(|| Pending {
+        spans: Vec::new(),
+        dropped: 0,
+    });
+    if entry.spans.len() >= state.config.max_spans_per_query {
+        entry.dropped += 1;
+    } else {
+        entry.spans.push(span);
+    }
+}
+
+/// Removes and returns the spans buffered for query `id` (close order)
+/// plus the count of spans dropped past the per-query cap.
+pub fn take_spans(id: u64) -> (Vec<SpanRecord>, u64) {
+    let Some(state) = state() else {
+        return (Vec::new(), 0);
+    };
+    let mut pending = state.pending.lock().expect("flight pending poisoned");
+    match pending.remove(&id) {
+        Some(p) => (p.spans, p.dropped),
+        None => (Vec::new(), 0),
+    }
+}
+
+/// Submits a finished record into the recent ring (and, when
+/// `slow_detail` is given, the slow ring), and publishes the record's
+/// per-stage latencies into the global metrics registry.
+pub fn submit(record: QueryRecord, slow_detail: Option<SlowDetail>) {
+    let Some(state) = state() else { return };
+    publish_metrics(&record, slow_detail.is_some());
+    let record = Arc::new(record);
+    state.recent.push(Arc::clone(&record));
+    if let Some(detail) = slow_detail {
+        state.slow.push(SlowQuery { record, detail });
+    }
+}
+
+/// Publishes one record's observables into [`crate::metrics::global`]:
+/// per-stage latency histogram families keyed by span name, per-source
+/// wall-time histograms, and the flight counters/last-id gauge.
+fn publish_metrics(record: &QueryRecord, slow: bool) {
+    let registry = crate::metrics::global();
+    registry
+        .counter_or_existing(
+            "treequery_flight_queries_total",
+            "Queries captured by the flight recorder.",
+        )
+        .inc();
+    if slow {
+        registry
+            .counter_or_existing(
+                "treequery_flight_slow_total",
+                "Queries that exceeded the slow-query threshold.",
+            )
+            .inc();
+    }
+    registry
+        .gauge_or_existing(
+            "treequery_flight_last_query_id",
+            "Most recently submitted flight-recorder query id.",
+        )
+        .set(i64::try_from(record.id).unwrap_or(i64::MAX));
+    registry
+        .histogram_family_or_existing(
+            "treequery_query_wall_ns",
+            "End-to-end query wall time by front-end.",
+            "source",
+        )
+        .with_label(&record.source)
+        .observe(record.wall_ns);
+    let stages = registry.histogram_family_or_existing(
+        "treequery_stage_latency_ns",
+        "Per-stage span latency across flight-recorded queries.",
+        "stage",
+    );
+    for span in &record.spans {
+        stages.with_label(span.name).observe(span.duration_ns);
+    }
+}
+
+/// The retained recent records, oldest first. Empty when the recorder
+/// is not installed.
+pub fn recent() -> Vec<Arc<QueryRecord>> {
+    state().map(|s| s.recent.collect()).unwrap_or_default()
+}
+
+/// The retained slow-query entries, oldest first.
+pub fn slow_recent() -> Vec<SlowQuery> {
+    state().map(|s| s.slow.collect()).unwrap_or_default()
+}
+
+/// The most recently submitted record, if any.
+pub fn latest() -> Option<Arc<QueryRecord>> {
+    recent().pop()
+}
+
+/// Total records submitted to the installed recorder.
+pub fn submitted_total() -> u64 {
+    state().map(|s| s.recent.submitted()).unwrap_or(0)
+}
+
+/// The `/flight` endpoint body: recent records (without raw spans) plus
+/// ring accounting.
+pub fn recent_json() -> Json {
+    let records = recent();
+    let submitted = submitted_total();
+    Json::obj()
+        .set("submitted", submitted)
+        .set("retained", records.len() as u64)
+        .set("evicted", submitted.saturating_sub(records.len() as u64))
+        .set(
+            "records",
+            Json::Arr(records.iter().map(|r| r.to_json(false)).collect()),
+        )
+}
+
+/// The `/slow` endpoint body: slow-query entries with their
+/// `EXPLAIN ANALYZE` text and reproducers.
+pub fn slow_json() -> Json {
+    let rows = slow_recent();
+    Json::obj().set("retained", rows.len() as u64).set(
+        "records",
+        Json::Arr(rows.iter().map(SlowQuery::to_json).collect()),
+    )
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn record(id: u64) -> QueryRecord {
+        QueryRecord {
+            id,
+            query: format!("//q{id}"),
+            source: "xpath".to_owned(),
+            query_fingerprint: id,
+            tree_fingerprint: 7,
+            strategy: "xpath/set-at-a-time".to_owned(),
+            rationale: "test".to_owned(),
+            parallel_rationale: "sequential".to_owned(),
+            workers: 1,
+            cache_hit: false,
+            wall_ns: 1000 + id,
+            rows: id,
+            error: None,
+            quiesce_retries: 0,
+            torn: false,
+            spans: Vec::new(),
+            dropped_spans: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _g = test_lock();
+        uninstall();
+        assert!(!enabled());
+        assert_eq!(begin_query(), 0);
+        assert!(recent().is_empty());
+        assert!(slow_recent().is_empty());
+        submit(record(1), None); // dropped silently
+        assert_eq!(submitted_total(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_exactly_the_newest_n() {
+        let _g = test_lock();
+        install(FlightConfig {
+            capacity: 4,
+            ..FlightConfig::default()
+        });
+        for i in 1..=10u64 {
+            submit(record(i), None);
+        }
+        let ids: Vec<u64> = recent().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+        assert_eq!(submitted_total(), 10);
+        assert_eq!(latest().unwrap().id, 10);
+        uninstall();
+    }
+
+    #[test]
+    fn ticket_guard_never_resurrects_an_evicted_generation() {
+        // Simulate out-of-order completion: ticket 0's write lands after
+        // ticket 4 already claimed the same slot.
+        let ring: TicketRing<u64> = TicketRing::new(4);
+        let t0 = ring.ticket.fetch_add(1, Ordering::Relaxed); // ticket 0
+        for v in [1u64, 2, 3, 4] {
+            ring.push(v); // tickets 1..=4; ticket 4 → slot 0
+        }
+        // Now deliver ticket 0's value late, directly into slot 0.
+        let slot = &ring.slots[(t0 % 4) as usize];
+        {
+            let mut guard = slot.lock().unwrap();
+            if !matches!(&*guard, Some((held, _)) if *held > t0) {
+                *guard = Some((t0, 99));
+            }
+        }
+        assert_eq!(ring.collect(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slow_ring_retains_detail() {
+        let _g = test_lock();
+        install(FlightConfig {
+            capacity: 8,
+            slow_capacity: 2,
+            ..FlightConfig::default()
+        });
+        for i in 1..=3u64 {
+            submit(
+                record(i),
+                Some(SlowDetail {
+                    explain: format!("EXPLAIN ANALYZE #{i}"),
+                    reproducer: format!("repro #{i}"),
+                }),
+            );
+        }
+        let slow = slow_recent();
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].record.id, 2);
+        assert_eq!(slow[1].record.id, 3);
+        assert_eq!(slow[1].detail.explain, "EXPLAIN ANALYZE #3");
+        let v = crate::parse_json(&slow_json().render()).unwrap();
+        assert_eq!(v.get("retained").unwrap().as_u64(), Some(2));
+        let rows = v.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(
+            rows[1].get("reproducer").unwrap().as_str(),
+            Some("repro #3")
+        );
+        uninstall();
+    }
+
+    #[test]
+    fn pending_spans_are_buffered_per_query_and_capped() {
+        let _g = test_lock();
+        install(FlightConfig {
+            max_spans_per_query: 2,
+            ..FlightConfig::default()
+        });
+        let span = |name: &'static str| SpanRecord {
+            name,
+            start_ns: 0,
+            duration_ns: 1,
+            depth: 0,
+            thread: 0,
+            fields: Vec::new(),
+        };
+        let q = begin_query();
+        assert!(q > 0);
+        deliver(q, span("a"));
+        deliver(q, span("b"));
+        deliver(q, span("c")); // past the cap
+        deliver(q + 1, span("other"));
+        let (spans, dropped) = take_spans(q);
+        assert_eq!(
+            spans.iter().map(|s| s.name).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(dropped, 1);
+        // Taking is destructive; the other query's buffer is untouched.
+        assert_eq!(take_spans(q).0.len(), 0);
+        assert_eq!(take_spans(q + 1).0.len(), 1);
+        uninstall();
+    }
+
+    #[test]
+    fn current_query_scopes_and_restores() {
+        assert_eq!(current_query(), 0);
+        let inner = with_current_query(42, || {
+            assert_eq!(current_query(), 42);
+            with_current_query(7, current_query)
+        });
+        assert_eq!(inner, 7);
+        assert_eq!(current_query(), 0);
+    }
+
+    #[test]
+    fn flight_json_round_trips() {
+        let _g = test_lock();
+        install(FlightConfig {
+            capacity: 2,
+            ..FlightConfig::default()
+        });
+        submit(record(1), None);
+        submit(record(2), None);
+        submit(record(3), None);
+        let v = crate::parse_json(&recent_json().render()).unwrap();
+        assert_eq!(v.get("submitted").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("retained").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("evicted").unwrap().as_u64(), Some(1));
+        let rows = v.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("id").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            rows[1].get("strategy").unwrap().as_str(),
+            Some("xpath/set-at-a-time")
+        );
+        uninstall();
+    }
+}

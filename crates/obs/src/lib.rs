@@ -28,6 +28,7 @@
 //! process-wide with [`set_recorder`].
 
 pub mod alloc;
+pub mod flight;
 mod histogram;
 mod json;
 pub mod metrics;
@@ -35,10 +36,13 @@ pub mod prom;
 mod recorder;
 mod ring;
 mod span;
+pub mod traceexport;
 
 pub use histogram::{HistogramSummary, LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use json::{parse_json, Json, JsonParseError};
-pub use recorder::{CollectingRecorder, JsonLinesRecorder, NoopRecorder, Recorder, SpanSummary};
+pub use recorder::{
+    summarize_spans, CollectingRecorder, JsonLinesRecorder, NoopRecorder, Recorder, SpanSummary,
+};
 pub use ring::RingLog;
 pub use span::{current_depth, span, with_ambient_depth, Field, FieldValue, Span, SpanRecord};
 
@@ -49,31 +53,57 @@ pub use span::{current_depth, span, with_ambient_depth, Field, FieldValue, Span,
 #[global_allocator]
 static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit in [`FLAGS`]: a span [`Recorder`] is installed.
+pub(crate) const FLAG_RECORDER: u32 = 1 << 0;
+/// Bit in [`FLAGS`]: the [`flight`] recorder is installed.
+pub(crate) const FLAG_FLIGHT: u32 = 1 << 1;
+
+/// The single enable word every instrumentation fast path loads: one bit
+/// per subsystem (span recorder, flight recorder). Folding all the
+/// enables into one atomic keeps the fully-disabled [`span`] path at
+/// exactly one relaxed load no matter how many subsystems exist — the
+/// invariant the `--check-noop-overhead` CI gate budgets.
+static FLAGS: AtomicU32 = AtomicU32::new(0);
+
 static RECORDER: Mutex<Option<Arc<dyn Recorder>>> = Mutex::new(None);
 
-/// Whether a recorder is currently installed. One relaxed atomic load —
-/// this is the entire cost instrumented code pays when tracing is off.
+/// The current enable bits. One relaxed atomic load — this is the entire
+/// cost instrumented code pays when all observability is off.
+#[inline]
+pub(crate) fn flags() -> u32 {
+    FLAGS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_flag(bit: u32) {
+    FLAGS.fetch_or(bit, Ordering::Release);
+}
+
+pub(crate) fn clear_flag(bit: u32) {
+    FLAGS.fetch_and(!bit, Ordering::Release);
+}
+
+/// Whether a span recorder is currently installed. (The flight recorder
+/// has its own bit; see [`flight::enabled`].)
 #[inline]
 pub fn recording() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    flags() & FLAG_RECORDER != 0
 }
 
 /// Installs `recorder` process-wide (replacing any previous one).
 pub fn set_recorder(recorder: Arc<dyn Recorder>) {
     let mut slot = RECORDER.lock().expect("recorder slot poisoned");
     *slot = Some(recorder);
-    ENABLED.store(true, Ordering::Release);
+    set_flag(FLAG_RECORDER);
 }
 
 /// Uninstalls the process-wide recorder; subsequent [`span`] calls are
-/// inert again.
+/// inert again (unless the flight recorder is on).
 pub fn clear_recorder() {
     let mut slot = RECORDER.lock().expect("recorder slot poisoned");
-    ENABLED.store(false, Ordering::Release);
+    clear_flag(FLAG_RECORDER);
     *slot = None;
 }
 
@@ -97,7 +127,11 @@ pub fn with_recorder<T>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> T) -> T
     impl Drop for Restore {
         fn drop(&mut self) {
             let mut slot = RECORDER.lock().expect("recorder slot poisoned");
-            ENABLED.store(self.0.is_some(), Ordering::Release);
+            if self.0.is_some() {
+                set_flag(FLAG_RECORDER);
+            } else {
+                clear_flag(FLAG_RECORDER);
+            }
             *slot = self.0.take();
         }
     }
@@ -105,7 +139,7 @@ pub fn with_recorder<T>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> T) -> T
         let mut slot = RECORDER.lock().expect("recorder slot poisoned");
         let previous = slot.take();
         *slot = Some(recorder);
-        ENABLED.store(true, Ordering::Release);
+        set_flag(FLAG_RECORDER);
         previous
     };
     let _restore = Restore(previous);

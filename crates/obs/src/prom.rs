@@ -90,6 +90,131 @@ pub fn render_registry(registry: &Registry) -> String {
     render_snapshots(&registry.gather())
 }
 
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validates the label block of a sample line (the text between `{` and
+/// `}`): comma-separated `name="value"` pairs with `\\`/`\"`/`\n`
+/// escapes.
+fn validate_labels(s: &str) -> Result<(), String> {
+    let mut rest = s;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label pair without '=': {rest:?}"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name: {name:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value not quoted after {name}"));
+        }
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("unterminated label value for {name}")),
+                Some(b'\\') => i += 2,
+                Some(b'"') => break,
+                Some(_) => i += 1,
+            }
+        }
+        rest = &rest[i + 1..];
+        match rest.strip_prefix(',') {
+            Some(tail) => rest = tail,
+            None if rest.is_empty() => return Ok(()),
+            None => return Err(format!("junk after label value: {rest:?}")),
+        }
+    }
+}
+
+/// Validates Prometheus text exposition (version 0.0.4): `# HELP` /
+/// `# TYPE` preamble lines and `name[{labels}] value` samples. Returns
+/// the number of sample lines. This is the committed parser the CI
+/// endpoint gate round-trips `/metrics` scrapes through.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.strip_prefix(' ').unwrap_or(comment);
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: invalid metric name in TYPE: {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {n}: unknown metric type: {kind:?}"));
+                }
+            } else if !comment.starts_with("HELP ") {
+                // Bare comments are legal in the format; accept them.
+            }
+            continue;
+        }
+        // Sample line: metric name, optional {labels}, value, optional
+        // timestamp.
+        let name_end = line
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: invalid metric name: {line:?}"));
+        }
+        let mut rest = &line[name_end..];
+        if let Some(tail) = rest.strip_prefix('{') {
+            let close = tail
+                .find('}')
+                .ok_or_else(|| format!("line {n}: unterminated label block"))?;
+            validate_labels(&tail[..close]).map_err(|e| format!("line {n}: {e}"))?;
+            rest = &tail[close + 1..];
+        }
+        let rest = rest.trim_start();
+        let mut parts = rest.split_whitespace();
+        let value = parts
+            .next()
+            .ok_or_else(|| format!("line {n}: sample without a value"))?;
+        let value_ok = value.parse::<f64>().is_ok()
+            || matches!(value, "+Inf" | "-Inf" | "NaN" | "Nan" | "nan");
+        if !value_ok {
+            return Err(format!("line {n}: unparseable sample value: {value:?}"));
+        }
+        if let Some(ts) = parts.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {n}: unparseable timestamp: {ts:?}"));
+            }
+        }
+        if parts.next().is_some() {
+            return Err(format!("line {n}: trailing junk on sample line"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +284,31 @@ treequery_stage_ns_count{stage=\"exec.sweep\"} 1
         f.with_label("a\"b\\c").observe(1);
         let text = render_registry(&r);
         assert!(text.contains("q=\"a\\\"b\\\\c\""), "got: {text}");
+    }
+
+    #[test]
+    fn validate_accepts_rendered_registries() {
+        let r = Registry::new();
+        r.counter("treequery_ok_total", "fine").add(3);
+        r.gauge("treequery_depth", "fine").set(-2);
+        let f = r.histogram_family("treequery_lat_ns", "fine", "stage");
+        f.with_label("exec.sweep\"x").observe(7);
+        let text = render_registry(&r);
+        let samples = validate_exposition(&text).unwrap();
+        let sample_lines = text.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(samples, sample_lines);
+        assert!(samples >= 6, "counter + gauge + buckets/sum/count: {text}");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_lines() {
+        assert!(validate_exposition("9metric 1\n").is_err());
+        assert!(validate_exposition("m{unclosed=\"v\" 1\n").is_err());
+        assert!(validate_exposition("m{l=\"v\"} notanumber\n").is_err());
+        assert!(validate_exposition("# TYPE m rocket\n").is_err());
+        assert!(validate_exposition("m 1 2 3\n").is_err());
+        assert_eq!(validate_exposition("m{l=\"a\\\"b\"} +Inf\n").unwrap(), 1);
+        assert_eq!(validate_exposition("").unwrap(), 0);
     }
 
     #[test]

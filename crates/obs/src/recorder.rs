@@ -195,6 +195,21 @@ impl Recorder for CollectingRecorder {
     }
 }
 
+/// Aggregates a list of already-closed spans into per-name summaries —
+/// the same shape a [`CollectingRecorder`] scope would have produced.
+/// Used by the flight recorder's slow-query log to rebuild an
+/// `EXPLAIN ANALYZE` rendering from a [`QueryRecord`]'s captured spans
+/// after the fact.
+///
+/// [`QueryRecord`]: crate::flight::QueryRecord
+pub fn summarize_spans(spans: &[SpanRecord]) -> Vec<SpanSummary> {
+    let rec = CollectingRecorder::with_ring_capacity(1);
+    for span in spans {
+        rec.record_span(span);
+    }
+    rec.summary()
+}
+
 /// Streams one JSON object per closed span to a writer (a `jsonl` trace
 /// that external tools can tail).
 pub struct JsonLinesRecorder {

@@ -106,21 +106,42 @@ pub fn with_ambient_depth<T>(depth: u32, f: impl FnOnce() -> T) -> T {
     f()
 }
 
-/// Opens a span. When no recorder is installed this is one relaxed atomic
-/// load and returns an inert guard (no clock read, no allocation).
+/// Opens a span. When all observability is off this is one relaxed
+/// atomic load and returns an inert guard (no clock read, no
+/// allocation). A span is live when a [`Recorder`] is installed, or when
+/// the [`crate::flight`] recorder is on *and* the opening thread is
+/// inside a query scope (so flight capture never pays for spans outside
+/// an evaluation).
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !crate::recording() {
+    let flags = crate::flags();
+    if flags == 0 {
         return Span { active: None, name };
     }
-    match crate::current_recorder() {
-        Some(recorder) => Span::open(name, recorder),
-        None => Span { active: None, name },
+    span_slow(name, flags)
+}
+
+#[cold]
+fn span_slow(name: &'static str, flags: u32) -> Span {
+    let recorder = if flags & crate::FLAG_RECORDER != 0 {
+        crate::current_recorder()
+    } else {
+        None
+    };
+    let flight = if flags & crate::FLAG_FLIGHT != 0 {
+        crate::flight::current_query()
+    } else {
+        0
+    };
+    if recorder.is_none() && flight == 0 {
+        return Span { active: None, name };
     }
+    Span::open(name, recorder, flight)
 }
 
 struct ActiveSpan {
-    recorder: Arc<dyn Recorder>,
+    recorder: Option<Arc<dyn Recorder>>,
+    flight: u64,
     start: Instant,
     start_ns: u64,
     depth: u32,
@@ -135,7 +156,7 @@ pub struct Span {
 }
 
 impl Span {
-    fn open(name: &'static str, recorder: Arc<dyn Recorder>) -> Span {
+    fn open(name: &'static str, recorder: Option<Arc<dyn Recorder>>, flight: u64) -> Span {
         let start_ns = epoch().elapsed().as_nanos() as u64;
         let depth = DEPTH.with(|d| {
             let v = d.get();
@@ -145,6 +166,7 @@ impl Span {
         Span {
             active: Some(ActiveSpan {
                 recorder,
+                flight,
                 start: Instant::now(),
                 start_ns,
                 depth,
@@ -202,7 +224,12 @@ impl Drop for Span {
                 thread: thread_id(),
                 fields: a.fields,
             };
-            a.recorder.record_span(&record);
+            if let Some(recorder) = &a.recorder {
+                recorder.record_span(&record);
+            }
+            if a.flight != 0 {
+                crate::flight::deliver(a.flight, record);
+            }
         }
     }
 }

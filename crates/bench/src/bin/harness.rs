@@ -53,7 +53,10 @@
 //! records — run the server under `TREEQUERY_SLOW_MS=0`), checks the 404
 //! and 400 paths, then asks the server to shut down.
 //!
-//! `fuzz` runs a seed-deterministic differential fuzzing campaign
+//! `fuzz` runs a seed-deterministic differential fuzzing campaign;
+//! `fuzz --edits` restricts it to edit-script cases, cross-checking the
+//! incrementally maintained document against a from-scratch rebuild
+//! oracle after every edit
 //! (`--seconds N --seed S [--rate R] [--corpus DIR]`); shrunk
 //! reproducers are persisted to the corpus directory (default
 //! `tests/corpus`) and the process exits 1 if any discrepancy was
@@ -93,6 +96,7 @@ const ALL: &[(&str, fn())] = &[
     ("e21", experiments::e21_memory::run),
     ("e22", experiments::e22_postings::run),
     ("e23", experiments::e23_flight::run),
+    ("e24", experiments::e24_incremental::run),
 ];
 
 const USAGE: &str = "\
@@ -102,9 +106,9 @@ usage: harness [EXPERIMENT-IDS...] [--report FILE]
        harness --trace FILE | --check-trace FILE
        harness probe-endpoint PORT
        harness bench [--out FILE] [--baseline FILE] [--reps N] [--sizes SMALL,LARGE]
-       harness fuzz [--seconds N] [--seed S] [--rate R] [--corpus DIR | --no-corpus]
+       harness fuzz [--seconds N] [--seed S] [--rate R] [--edits] [--corpus DIR | --no-corpus]
 
-With no arguments, runs all experiments (e1..e19, e21..e23) and prints
+With no arguments, runs all experiments (e1..e19, e21..e24) and prints
 their tables. `--report` writes a machine-readable JSON report instead.
 `--serve-metrics` serves a persistent endpoint (/metrics /flight /slow,
 GET /shutdown stops it); `--trace` writes a Chrome trace-event JSON of
@@ -813,7 +817,7 @@ fn main() {
             other => match lookup(other) {
                 Some(exp) => selected.push(exp),
                 None => usage_error(&format!(
-                    "unknown experiment '{other}' (expected e1..e19, e21..e23)"
+                    "unknown experiment '{other}' (expected e1..e19, e21..e24)"
                 )),
             },
         }
@@ -870,6 +874,7 @@ fn run_fuzz(args: &[String]) -> ! {
             }
             "--corpus" => cfg.corpus_dir = Some(std::path::PathBuf::from(take("--corpus"))),
             "--no-corpus" => cfg.corpus_dir = None,
+            "--edits" => cfg.edits_only = true,
             other => usage_error(&format!("unknown fuzz option '{other}'")),
         }
     }

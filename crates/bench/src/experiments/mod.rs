@@ -22,6 +22,7 @@ pub mod e19_parallel;
 pub mod e21_memory;
 pub mod e22_postings;
 pub mod e23_flight;
+pub mod e24_incremental;
 
 /// Runs every experiment in order.
 pub fn run_all() {
@@ -47,4 +48,5 @@ pub fn run_all() {
     e21_memory::run();
     e22_postings::run();
     e23_flight::run();
+    e24_incremental::run();
 }

@@ -36,6 +36,22 @@ pub const WALL_RATIO_LIMIT: f64 = 1.15;
 /// Tightened from +10% once the executor kernels went zero-alloc in
 /// steady state: byte counts are now deterministic enough to ratchet.
 pub const BYTES_RATIO_LIMIT: f64 = 1.05;
+/// Incremental re-query budget: on each document size, one edit plus a
+/// watched re-read must cost less than this fraction of rebuilding the
+/// model from scratch. Checked within the *current* run (both sides
+/// share any machine noise), so it is a hard cap, not a ratio against
+/// the baseline.
+pub const INCREMENTAL_WALL_RATIO: f64 = 0.30;
+/// The incremental cap only applies when the rebuild side takes at
+/// least this long: below it (toy documents, debug builds) the ratio is
+/// dominated by fixed per-edit overhead, not asymptotics. Matches
+/// [`WALL_FLOOR_NS`]; at the production sizes the large-document
+/// rebuild sits well above it.
+pub const INCREMENTAL_REBUILD_FLOOR_NS: u64 = WALL_FLOOR_NS;
+/// Documents below this size skip the requery pair entirely: on toy
+/// trees (debug test runs) both sides are dominated by fixed per-edit
+/// overhead and the ratio is noise-bound under parallel test load.
+pub const REQUERY_MIN_NODES: usize = 300;
 /// Baseline cases faster than this are excluded from the *wall* check —
 /// below a couple hundred microseconds, scheduler noise swamps any real
 /// signal. The byte counts of such cases are still compared (they are
@@ -320,6 +336,13 @@ pub fn run_suite_with(small_nodes: usize, large_nodes: usize, reps: usize) -> Js
         }
         cases.push(case_json);
     }
+    for (doc, nodes) in [("small", small_nodes), ("large", large_nodes)] {
+        if nodes >= REQUERY_MIN_NODES {
+            for case in edit_requery_cases(doc, nodes, reps, &probe) {
+                cases.push(case);
+            }
+        }
+    }
     engine_small.metrics_quiesced().publish_to_registry();
     Json::obj()
         .set("schema", SCHEMA)
@@ -328,6 +351,98 @@ pub fn run_suite_with(small_nodes: usize, large_nodes: usize, reps: usize) -> Js
         .set("large_nodes", large_nodes as u64)
         .set("calibration_ns", calibration_ns())
         .set("cases", Json::Arr(cases))
+}
+
+/// The incremental-vs-rebuild pair for one pinned document size: one
+/// relabel edit plus a watched re-query on a live [`Document`] against
+/// rebuilding the incremental model from scratch on the edited tree.
+/// [`compare_reports`] caps the pair's wall ratio at
+/// [`INCREMENTAL_WALL_RATIO`].
+fn edit_requery_cases(doc: &str, nodes: usize, reps: usize, probe: &Probe) -> Vec<Json> {
+    use crate::experiments::e24_incremental::{doc_of, relabel_script, WATCHED};
+    use treequery_core::tree::{EditOp, EditableTree};
+    use treequery_core::{datalog, Document};
+
+    let reps = reps.max(2);
+    let tree = doc_of(nodes);
+    let site = match &relabel_script(&tree, 1)[0] {
+        EditOp::Relabel { pre, .. } => *pre,
+        _ => unreachable!(),
+    };
+    // Flip one leaf between `a` and the filler so every rep maintains a
+    // real change (an identical relabel would be a no-op).
+    let flip = |rep: usize| EditOp::Relabel {
+        pre: site,
+        label: if rep.is_multiple_of(2) { "a" } else { "x" }.to_owned(),
+    };
+
+    let emit = |kind: &str, wall: &mut Vec<u64>, stats: (u64, u64, u64), rows: u64| {
+        wall.sort_unstable();
+        Json::obj()
+            .set("id", format!("{kind}/requery/{doc}/w1"))
+            .set("strategy", kind)
+            .set("query", WATCHED)
+            .set("doc", doc)
+            .set("workers", 1u64)
+            .set("reps", wall.len() as u64)
+            .set("output_rows", rows)
+            .set("wall_p50_ns", wall[wall.len() / 2])
+            .set(
+                "wall_p95_ns",
+                wall[(wall.len() * 95 / 100).min(wall.len() - 1)],
+            )
+            .set("wall_min_ns", wall[0])
+            .set("probe_ns", probe.measure())
+            .set("allocs", stats.0)
+            .set("bytes", stats.1)
+            .set("peak_live_bytes", stats.2)
+            .set("spans", Json::Arr(Vec::new()))
+    };
+
+    let mut document = Document::new(tree.clone());
+    let id = document
+        .watch_datalog(WATCHED)
+        .expect("pinned watch program parses");
+    let mut wall = Vec::with_capacity(reps);
+    let (mut allocs, mut bytes, mut peak) = (u64::MAX, u64::MAX, u64::MAX);
+    let mut rows = 0;
+    for rep in 0..reps {
+        let op = flip(rep);
+        alloc::reset_peak_live();
+        let before = alloc::global_stats();
+        let started = Instant::now();
+        document.edit(&op);
+        rows = std::hint::black_box(document.watched(id)).len() as u64;
+        wall.push(started.elapsed().as_nanos() as u64);
+        let after = alloc::global_stats();
+        allocs = allocs.min(after.allocs - before.allocs);
+        bytes = bytes.min(after.bytes - before.bytes);
+        peak = peak.min(after.peak_live.saturating_sub(before.live_bytes));
+    }
+    let incremental = emit("incremental", &mut wall, (allocs, bytes, peak), rows);
+
+    let prog = datalog::parse_program(WATCHED).expect("pinned watch program parses");
+    let mut et = EditableTree::new(tree);
+    let mut wall = Vec::with_capacity(reps);
+    let (mut allocs, mut bytes, mut peak) = (u64::MAX, u64::MAX, u64::MAX);
+    let mut rows = 0;
+    for rep in 0..reps {
+        let op = flip(rep);
+        alloc::reset_peak_live();
+        let before = alloc::global_stats();
+        let started = Instant::now();
+        et.apply(&op);
+        let model = datalog::IncrementalEval::new(prog.clone(), et.tree());
+        rows = std::hint::black_box(model.query()).len() as u64;
+        wall.push(started.elapsed().as_nanos() as u64);
+        let after = alloc::global_stats();
+        allocs = allocs.min(after.allocs - before.allocs);
+        bytes = bytes.min(after.bytes - before.bytes);
+        peak = peak.min(after.peak_live.saturating_sub(before.live_bytes));
+    }
+    let rebuild = emit("rebuild", &mut wall, (allocs, bytes, peak), rows);
+
+    vec![incremental, rebuild]
 }
 
 /// The current commit's short hash (`unknown` outside a git checkout).
@@ -425,6 +540,33 @@ pub fn compare_reports(current: &Json, baseline: &Json) -> Vec<String> {
                 )),
             }
         }
+        // Incremental re-query cap: the live document's edit + re-read
+        // must stay under a fixed fraction of the from-scratch rebuild
+        // measured in the same run (same machine, same noise phase).
+        if let Some(doc) = id
+            .strip_prefix("incremental/requery/")
+            .and_then(|rest| rest.strip_suffix("/w1"))
+        {
+            let rebuild_id = format!("rebuild/requery/{doc}/w1");
+            let rebuild_wall = current_cases
+                .iter()
+                .find(|(cid, _)| *cid == rebuild_id)
+                .map_or(0, |(_, c)| field(c, "wall_min_ns"));
+            let inc_wall = field(cur, "wall_min_ns");
+            if rebuild_wall == 0 {
+                failures.push(format!(
+                    "{id}: {rebuild_id} missing from current run (incremental cap)"
+                ));
+            } else if rebuild_wall >= INCREMENTAL_REBUILD_FLOOR_NS
+                && inc_wall as f64 >= rebuild_wall as f64 * INCREMENTAL_WALL_RATIO
+            {
+                failures.push(format!(
+                    "{id}: incremental re-query {inc_wall}ns is {:.0}% of the                      {rebuild_wall}ns rebuild (cap {:.0}%)",
+                    inc_wall as f64 / rebuild_wall as f64 * 100.0,
+                    INCREMENTAL_WALL_RATIO * 100.0,
+                ));
+            }
+        }
         let base_bytes = field(base, "bytes");
         let cur_bytes = field(cur, "bytes");
         if base_bytes > 0 && cur_bytes as f64 > base_bytes as f64 * BYTES_RATIO_LIMIT {
@@ -494,7 +636,68 @@ mod tests {
             }
             assert!(c.get("bytes").unwrap().as_u64().unwrap() > 0);
         }
-        assert!(compare_reports(&parsed, &parsed).is_empty());
+        let failures = compare_reports(&parsed, &parsed);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    /// The requery pair rides along at production document sizes (and
+    /// reports the same answer rows on both sides) but is absent from
+    /// toy-size runs, whose walls are all fixed overhead.
+    #[test]
+    fn requery_cases_emitted_at_production_sizes_only() {
+        let report = run_suite_with(80, 160, 1);
+        assert!(case_map(&report)
+            .iter()
+            .all(|(id, _)| !id.contains("/requery/")));
+        let report = run_suite_with(80, 400, 1);
+        let cases = case_map(&report);
+        let wall = |id: &str| {
+            cases
+                .iter()
+                .find(|(cid, _)| *cid == id)
+                .and_then(|(_, c)| c.get("output_rows"))
+                .and_then(Json::as_u64)
+                .expect("requery case present")
+        };
+        assert!(!cases.iter().any(|(id, _)| id.contains("/requery/small/")));
+        assert_eq!(
+            wall("incremental/requery/large/w1"),
+            wall("rebuild/requery/large/w1"),
+            "both sides must answer identically"
+        );
+    }
+
+    /// The incremental cap: an edit + re-query that costs a third of a
+    /// full rebuild (or whose rebuild pair vanished) fails the gate.
+    #[test]
+    fn incremental_cap_fires_on_slow_requery() {
+        fn fake(inc_wall: u64, with_rebuild: bool) -> Json {
+            let mut cases = vec![Json::obj()
+                .set("id", "incremental/requery/large/w1")
+                .set("wall_min_ns", inc_wall)
+                .set("wall_p50_ns", inc_wall)];
+            if with_rebuild {
+                cases.push(
+                    Json::obj()
+                        .set("id", "rebuild/requery/large/w1")
+                        .set("wall_min_ns", 1_000_000u64)
+                        .set("wall_p50_ns", 1_000_000u64),
+                );
+            }
+            Json::obj()
+                .set("schema", SCHEMA)
+                .set("cases", Json::Arr(cases))
+        }
+        let ok = fake(100_000, true);
+        assert!(compare_reports(&ok, &ok).is_empty());
+        let slow = fake(500_000, true);
+        let failures = compare_reports(&slow, &slow);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("cap 30%"), "{failures:?}");
+        let orphaned = fake(100_000, false);
+        let failures = compare_reports(&orphaned, &orphaned);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("missing"), "{failures:?}");
     }
 
     /// The acceptance-criteria test: the gate fires on an injected 2×

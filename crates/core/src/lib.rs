@@ -28,7 +28,10 @@
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
+pub mod document;
 pub mod plan;
+
+pub use document::{Document, WatchId};
 
 pub use treequery_automata as automata;
 pub use treequery_cq as cq;
@@ -160,13 +163,19 @@ impl Default for EngineConfig {
 /// Statistics, the tree fingerprint, plan cache, and metrics are shared
 /// state; all evaluation methods take `&self`, and the engine is `Sync`,
 /// which is what lets [`Engine::eval_batch`] fan out over scoped threads.
+///
+/// The plan cache and metrics live behind `Arc`s so they can outlive any
+/// one engine: [`Document`] hands the same cache/metrics to every
+/// ephemeral engine it creates across edits, and independent engines over
+/// different trees can pool one cache (entries are keyed by tree
+/// fingerprint, so they never collide).
 pub struct Engine<'t> {
     tree: &'t Tree,
     config: EngineConfig,
     stats: OnceLock<TreeStats>,
     tree_fp: OnceLock<u64>,
-    cache: plan::PlanCache,
-    metrics: Metrics,
+    cache: std::sync::Arc<plan::PlanCache>,
+    metrics: std::sync::Arc<Metrics>,
 }
 
 impl<'t> Engine<'t> {
@@ -177,14 +186,42 @@ impl<'t> Engine<'t> {
 
     /// Creates an engine with explicit tunables.
     pub fn with_config(tree: &'t Tree, config: EngineConfig) -> Self {
+        Engine::with_runtime(
+            tree,
+            config,
+            std::sync::Arc::new(plan::PlanCache::default()),
+            std::sync::Arc::new(Metrics::default()),
+        )
+    }
+
+    /// Creates an engine sharing an existing plan cache and metrics
+    /// registry. Cache entries are keyed by `(query fp, tree fp)`, so
+    /// engines over different trees can share one cache without
+    /// cross-talk; metrics aggregate across all sharers.
+    pub fn with_runtime(
+        tree: &'t Tree,
+        config: EngineConfig,
+        cache: std::sync::Arc<plan::PlanCache>,
+        metrics: std::sync::Arc<Metrics>,
+    ) -> Self {
         Engine {
             tree,
             config,
             stats: OnceLock::new(),
             tree_fp: OnceLock::new(),
-            cache: plan::PlanCache::default(),
-            metrics: Metrics::default(),
+            cache,
+            metrics,
         }
+    }
+
+    /// Pre-seeds the lazily computed per-tree state ([`Engine::stats`],
+    /// [`Engine::tree_fingerprint`]) with values the caller already
+    /// maintains incrementally — how [`Document`] makes its ephemeral
+    /// engines start warm instead of re-deriving `O(|D|)` state per
+    /// query.
+    pub(crate) fn seed_tree_state(&self, stats: TreeStats, tree_fp: u64) {
+        let _ = self.stats.set(stats);
+        let _ = self.tree_fp.set(tree_fp);
     }
 
     /// The underlying tree.

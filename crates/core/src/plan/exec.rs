@@ -349,6 +349,32 @@ impl PlanCache {
         }
     }
 
+    /// Moves every entry keyed under `old_tree_fp` to `new_tree_fp`: the
+    /// fingerprint-delta hook a mutable document calls after an edit.
+    ///
+    /// Plans stay *sound* across edits — a strategy's applicability
+    /// depends only on the query IR, and execution always reads the live
+    /// tree — so the entries are rekeyed rather than dropped; only their
+    /// cost estimates age. Entries for *other* trees sharing the cache
+    /// are untouched, which is the "invalidate only the affected tree"
+    /// contract shared caches rely on.
+    pub fn rekey_tree(&self, old_tree_fp: u64, new_tree_fp: u64) {
+        if old_tree_fp == new_tree_fp {
+            return;
+        }
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        let stale: Vec<u64> = map
+            .keys()
+            .filter(|(_, t)| *t == old_tree_fp)
+            .map(|(q, _)| *q)
+            .collect();
+        for q in stale {
+            if let Some(plan) = map.remove(&(q, old_tree_fp)) {
+                map.insert((q, new_tree_fp), plan);
+            }
+        }
+    }
+
     /// Number of cached plans.
     pub fn len(&self) -> usize {
         self.map.lock().expect("plan cache poisoned").len()

@@ -30,4 +30,5 @@ pub use planner::{
     applicable_strategies, plan_ir, CostClass, ExplainedPlan, PlannerConfig, Strategy,
 };
 pub use pool::{default_workers, WorkerPool};
-pub use stats::{tree_fingerprint, TreeStats};
+pub(crate) use stats::fingerprint_len_term;
+pub use stats::{node_fingerprint, tree_fingerprint, IncrementalStats, TreeStats};

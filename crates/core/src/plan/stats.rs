@@ -9,7 +9,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use treequery_tree::Tree;
+use treequery_tree::{EditDelta, EditKind, NodeId, Tree};
 
 /// Summary statistics of one frozen tree.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -97,19 +97,228 @@ impl TreeStats {
     }
 }
 
-/// A cheap structural fingerprint: one pass hashing each node's label
-/// symbols and depth in pre-order. Trees with equal fingerprints are (with
-/// hash confidence) structurally identical with identical labels, which is
-/// what makes a cached plan *and* a cached answer transferable.
-pub fn tree_fingerprint(t: &Tree) -> u64 {
-    let mut h = DefaultHasher::new();
-    t.len().hash(&mut h);
-    for v in t.pre_order() {
-        t.depth(v).hash(&mut h);
-        for sym in t.labels(v) {
-            t.interner().name(sym).hash(&mut h);
+/// The inputs of [`TreeStats`] kept as histograms, so one tree edit
+/// updates them in `O(|change|)` instead of the `O(|D|)` pass
+/// [`TreeStats::compute`] makes. [`crate::Document`] owns one of these
+/// and [`materialize`](IncrementalStats::materialize)s a `TreeStats`
+/// view for each ephemeral engine.
+///
+/// The percentile fields of `TreeStats` are order statistics, which is
+/// why the maintained state is histograms rather than the summary
+/// itself: a histogram absorbs point updates and still reproduces the
+/// exact quantile the sorted-vector formula picks.
+#[derive(Clone, Debug)]
+pub struct IncrementalStats {
+    nodes: usize,
+    depth_sum: u64,
+    leaves: usize,
+    /// Node count per depth.
+    depth_hist: BTreeMap<u32, usize>,
+    /// Internal-node count per fanout (leaves excluded, as in
+    /// `TreeStats::compute`).
+    fanout_hist: BTreeMap<u32, usize>,
+    label_counts: BTreeMap<String, usize>,
+}
+
+fn hist_inc<K: Ord>(map: &mut BTreeMap<K, usize>, key: K) {
+    *map.entry(key).or_insert(0) += 1;
+}
+
+fn hist_dec<K: Ord + std::fmt::Debug>(map: &mut BTreeMap<K, usize>, key: K) {
+    match map.get_mut(&key) {
+        Some(1) => {
+            map.remove(&key);
+        }
+        Some(c) => *c -= 1,
+        None => panic!("histogram underflow at {key:?}"),
+    }
+}
+
+impl IncrementalStats {
+    /// Builds the histograms in one pass (done once per document; every
+    /// subsequent edit is a point update).
+    pub fn compute(t: &Tree) -> IncrementalStats {
+        let mut s = IncrementalStats {
+            nodes: t.len(),
+            depth_sum: 0,
+            leaves: 0,
+            depth_hist: BTreeMap::new(),
+            fanout_hist: BTreeMap::new(),
+            label_counts: BTreeMap::new(),
+        };
+        for v in t.nodes() {
+            for sym in t.labels(v) {
+                hist_inc(&mut s.label_counts, t.interner().name(sym).to_owned());
+            }
+            let d = t.depth(v);
+            s.depth_sum += d as u64;
+            hist_inc(&mut s.depth_hist, d);
+            let fanout = t.children(v).count() as u32;
+            if fanout == 0 {
+                s.leaves += 1;
+            } else {
+                hist_inc(&mut s.fanout_hist, fanout);
+            }
+        }
+        s
+    }
+
+    /// Folds one applied edit into the histograms. `t` is the
+    /// *post-edit* tree; everything about the pre-edit state comes from
+    /// the delta (old labels, removed-node snapshots, the parent's old
+    /// fanout). Refreezes change no input, so `delta.refroze` needs no
+    /// special casing.
+    pub fn apply_edit(&mut self, t: &Tree, delta: &EditDelta) {
+        match delta.kind {
+            EditKind::Insert => {
+                let v = delta.node.expect("insert delta carries the node");
+                self.nodes += 1;
+                let d = t.depth(v);
+                self.depth_sum += d as u64;
+                hist_inc(&mut self.depth_hist, d);
+                self.leaves += 1;
+                for sym in t.labels(v) {
+                    hist_inc(&mut self.label_counts, t.interner().name(sym).to_owned());
+                }
+                let f = delta.parent_old_fanout;
+                if f == 0 {
+                    self.leaves -= 1; // the parent just stopped being one
+                } else {
+                    hist_dec(&mut self.fanout_hist, f);
+                }
+                hist_inc(&mut self.fanout_hist, f + 1);
+            }
+            EditKind::Relabel => {
+                let v = delta.node.expect("relabel delta carries the node");
+                for &sym in &delta.old_labels {
+                    hist_dec(&mut self.label_counts, t.interner().name(sym).to_owned());
+                }
+                for sym in t.labels(v) {
+                    hist_inc(&mut self.label_counts, t.interner().name(sym).to_owned());
+                }
+            }
+            EditKind::Delete => {
+                for rn in &delta.removed {
+                    self.nodes -= 1;
+                    self.depth_sum -= rn.depth as u64;
+                    hist_dec(&mut self.depth_hist, rn.depth);
+                    if rn.fanout == 0 {
+                        self.leaves -= 1;
+                    } else {
+                        hist_dec(&mut self.fanout_hist, rn.fanout);
+                    }
+                    for &sym in &rn.labels {
+                        hist_dec(&mut self.label_counts, t.interner().name(sym).to_owned());
+                    }
+                }
+                let f = delta.parent_old_fanout;
+                hist_dec(&mut self.fanout_hist, f);
+                if f == 1 {
+                    self.leaves += 1; // the parent just became one
+                } else {
+                    hist_inc(&mut self.fanout_hist, f - 1);
+                }
+            }
         }
     }
+
+    /// The [`TreeStats`] summary of the current histograms — exactly
+    /// what [`TreeStats::compute`] would return on the same tree
+    /// (`distinct_labels` reads the live interner, matching `compute`'s
+    /// use of it).
+    pub fn materialize(&self, t: &Tree) -> TreeStats {
+        let internal: usize = self.fanout_hist.values().sum();
+        let pick = |q_num: usize, q_den: usize| -> u32 {
+            if internal == 0 {
+                return 0;
+            }
+            let idx = (internal - 1) * q_num / q_den;
+            let mut seen = 0usize;
+            for (&fanout, &count) in &self.fanout_hist {
+                seen += count;
+                if seen > idx {
+                    return fanout;
+                }
+            }
+            unreachable!("quantile index within histogram total")
+        };
+        TreeStats {
+            nodes: self.nodes,
+            height: self.depth_hist.keys().next_back().copied().unwrap_or(0),
+            leaves: self.leaves,
+            distinct_labels: t.interner().len(),
+            fanout_p50: pick(1, 2),
+            fanout_p90: pick(9, 10),
+            fanout_max: self.fanout_hist.keys().next_back().copied().unwrap_or(0),
+            mean_depth: if self.nodes == 0 {
+                0.0
+            } else {
+                self.depth_sum as f64 / self.nodes as f64
+            },
+            label_counts: self.label_counts.clone(),
+        }
+    }
+}
+
+/// A cheap structural fingerprint: the XOR of one hash per node (see
+/// [`node_fingerprint`]) mixed with the node count. Trees with equal
+/// fingerprints are (with hash confidence) structurally identical with
+/// identical labels, which is what makes a cached plan transferable.
+///
+/// XOR makes the fold *commutative and invertible*: a mutable document
+/// can maintain the fingerprint under edits by XOR-ing out the stale
+/// per-node hashes of the touched nodes and XOR-ing in the fresh ones —
+/// `O(|change|)`, never a whole-tree rehash. The per-node hash reads only
+/// edit-stable coordinates (depth, sibling index, own labels, parent
+/// label), deliberately *not* pre/post ranks, so a gap-exhaustion
+/// refreeze (which renumbers ranks but moves no node) changes nothing.
+pub fn tree_fingerprint(t: &Tree) -> u64 {
+    t.nodes().fold(fingerprint_len_term(t.len()), |acc, v| {
+        acc ^ node_fingerprint(t, v)
+    })
+}
+
+/// The node-count term of [`tree_fingerprint`], separated out so a
+/// document patching the fingerprint incrementally can swap the old
+/// count's term for the new one.
+pub(crate) fn fingerprint_len_term(n: usize) -> u64 {
+    mix64(n as u64 ^ 0x9e3779b97f4a7c15)
+}
+
+/// The per-node term of [`tree_fingerprint`]: a hash of the node's depth,
+/// sibling index, label multiset, and parent's primary label. Stable
+/// under edits elsewhere in the tree (and under refreezes), which is what
+/// lets a document patch the XOR-folded tree fingerprint locally.
+pub fn node_fingerprint(t: &Tree, v: NodeId) -> u64 {
+    let mut labels = 0u64;
+    for sym in t.labels(v) {
+        labels ^= mix64(str_hash(t.interner().name(sym)));
+    }
+    let parent = match t.parent(v) {
+        Some(p) => str_hash(t.label_name(p)),
+        None => 0x517cc1b727220a95,
+    };
+    let position = ((t.depth(v) as u64) << 32) | t.sibling_index(v) as u64;
+    mix64(
+        labels
+            .wrapping_add(mix64(position ^ 0xff51afd7ed558ccd))
+            .wrapping_add(mix64(parent.rotate_left(17))),
+    )
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+fn str_hash(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
     h.finish()
 }
 
@@ -143,5 +352,58 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, structure);
         assert_ne!(a, labels);
+        // Sibling order and attachment point matter even when the
+        // depth/sibling-index multisets coincide.
+        let ab = tree_fingerprint(&parse_term("r(a b)").unwrap());
+        let ba = tree_fingerprint(&parse_term("r(b a)").unwrap());
+        assert_ne!(ab, ba);
+        let under_a = tree_fingerprint(&parse_term("r(a(c) b)").unwrap());
+        let under_b = tree_fingerprint(&parse_term("r(a b(c))").unwrap());
+        assert_ne!(under_a, under_b);
+    }
+
+    #[test]
+    fn incremental_stats_match_recompute_under_edits() {
+        use treequery_tree::{EditOp, EditableTree};
+        let mut et = EditableTree::new(parse_term("r(a(b c) a(b) d)").unwrap());
+        let mut inc = IncrementalStats::compute(et.tree());
+        let labels = ["a", "b", "d", "x"];
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for step in 0..250 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let n = et.tree().len() as u32;
+            let op = match state % 4 {
+                0 | 1 => EditOp::InsertLeaf {
+                    parent_pre: (state >> 8) as u32 % n,
+                    child_idx: (state >> 40) as u32 % 4,
+                    label: labels[(state >> 16) as usize % labels.len()].to_owned(),
+                },
+                2 => EditOp::DeleteSubtree {
+                    pre: (state >> 8) as u32 % n,
+                },
+                _ => EditOp::Relabel {
+                    pre: (state >> 8) as u32 % n,
+                    label: labels[(state >> 16) as usize % labels.len()].to_owned(),
+                },
+            };
+            let Some(delta) = et.apply(&op) else { continue };
+            inc.apply_edit(et.tree(), &delta);
+            assert_eq!(
+                inc.materialize(et.tree()),
+                TreeStats::compute(et.tree()),
+                "stats diverged at step {step} after {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_an_xor_of_node_terms() {
+        let t = parse_term("r(a(b c) a(b) d)").unwrap();
+        let folded = t.nodes().fold(fingerprint_len_term(t.len()), |acc, v| {
+            acc ^ node_fingerprint(&t, v)
+        });
+        assert_eq!(folded, tree_fingerprint(&t));
     }
 }

@@ -1,0 +1,51 @@
+//! Regression test for the scratch-pool shrink-on-put cap: the
+//! thread-local LIFO pools in `treequery_tree::scratch` must never pin an
+//! unbounded amount of memory just because one evaluation spiked.
+//!
+//! Own test file on purpose: integration test binaries are separate
+//! processes, so the process-global allocation accounting
+//! (`obs::alloc::AccountingGuard` + `global_stats`) is not shared with
+//! other tests' threads and the live-bytes arithmetic below is exact.
+
+use treequery_core::obs::alloc::{self, AccountingGuard};
+use treequery_core::tree::scratch::{self, MAX_POOLED_BYTES};
+
+#[test]
+fn pooled_buffers_cannot_pin_oversized_spikes() {
+    let _accounting = AccountingGuard::begin();
+
+    // Steady the pool: one take/put cycle so the pool slot itself (and
+    // any lazy thread-local init) is allocated before measuring.
+    scratch::put_u32s(scratch::take_u32s());
+    let baseline = alloc::global_stats().live_bytes;
+
+    // A query spike: the evaluation temporarily needed 64x the pool cap.
+    let spike_elems = 64 * MAX_POOLED_BYTES / size_of::<u32>();
+    let mut buf = scratch::take_u32s();
+    buf.reserve_exact(spike_elems);
+    assert!(
+        alloc::global_stats().live_bytes >= baseline + 64 * MAX_POOLED_BYTES as u64,
+        "the spike buffer itself must be visible to the accounting"
+    );
+
+    // Handing the spiked buffer back must shrink it to the cap: the pool
+    // retains at most MAX_POOLED_BYTES of it, the rest is freed NOW, not
+    // held until some future evaluation happens to want a huge buffer.
+    scratch::put_u32s(buf);
+    let after = alloc::global_stats().live_bytes;
+    assert!(
+        after <= baseline + MAX_POOLED_BYTES as u64,
+        "pool pinned {} bytes over baseline (cap is {MAX_POOLED_BYTES})",
+        after - baseline
+    );
+
+    // And the capped buffer really is pooled (take returns capacity
+    // without allocating a fresh one).
+    let reused = scratch::take_u32s();
+    assert!(
+        reused.capacity() > 0,
+        "shrunk buffer was dropped, not pooled"
+    );
+    assert!(reused.capacity() * size_of::<u32>() <= MAX_POOLED_BYTES);
+    scratch::put_u32s(reused);
+}

@@ -81,32 +81,110 @@ pub(crate) fn for_each_match_in(
     first_range: Option<std::ops::Range<u32>>,
     emit: &mut impl FnMut(&[NodeId]),
 ) {
-    // Static plan: repeatedly pick a binary extensional atom with at least
-    // one bound variable (binding or checking), falling back to binding an
-    // unbound variable by full iteration.
-    #[derive(Debug)]
-    enum Step {
-        BindFree(VarId),
-        /// Traverse atom #i from a bound side to the unbound side.
-        Traverse {
-            idx: usize,
-            forward: bool,
-        },
-        /// Both sides bound: just check atom #i.
-        Check(usize),
-    }
+    let binaries = rule_binaries(rule);
+    let plan = build_plan(rule, &binaries, None);
+    let filters = rule_filters(rule);
 
-    let binaries: Vec<(BinRel, VarId, VarId)> = rule
-        .body
+    // A variable-free rule has an empty plan and exactly one (empty)
+    // match; attribute it to the range containing node 0 so disjoint
+    // ranges covering the domain still emit it exactly once.
+    if plan.is_empty() {
+        if let Some(r) = &first_range {
+            if r.start != 0 {
+                return;
+            }
+        }
+    }
+    let mut assignment = vec![NodeId(0); (rule.num_vars as usize).max(1)];
+    run(
+        &plan,
+        0,
+        tree,
+        &binaries,
+        &mut assignment,
+        &filters,
+        &first_range,
+        emit,
+    );
+}
+
+/// Enumerates the matches in which variable `var` is bound to exactly
+/// `node` — the localized probe of the incremental delta pass: after an
+/// edit touches `node`, only matches through it can change, and for
+/// connected rule bodies each probe costs O(1) traversals instead of a
+/// domain scan.
+pub(crate) fn for_each_match_pinned(
+    rule: &Rule,
+    tree: &Tree,
+    var: VarId,
+    node: NodeId,
+    emit: &mut impl FnMut(&[NodeId]),
+) {
+    debug_assert!(var.index() < rule.num_vars as usize);
+    let binaries = rule_binaries(rule);
+    let plan = build_plan(rule, &binaries, Some(var));
+    let filters = rule_filters(rule);
+    let mut assignment = vec![NodeId(0); (rule.num_vars as usize).max(1)];
+    assignment[var.index()] = node;
+    run(
+        &plan,
+        0,
+        tree,
+        &binaries,
+        &mut assignment,
+        &filters,
+        &None,
+        emit,
+    );
+}
+
+fn rule_binaries(rule: &Rule) -> Vec<(BinRel, VarId, VarId)> {
+    rule.body
         .iter()
         .filter_map(|a| match a {
             BodyAtom::Binary(r, x, y) => Some((*r, *x, *y)),
             BodyAtom::Unary(..) => None,
         })
-        .collect();
+        .collect()
+}
 
+fn rule_filters(rule: &Rule) -> Vec<(&BasePred, VarId)> {
+    rule.body
+        .iter()
+        .filter_map(|a| match a {
+            BodyAtom::Unary(UnaryRef::Base(b), v) => Some((b, *v)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// One step of the static match plan.
+#[derive(Debug)]
+enum Step {
+    BindFree(VarId),
+    /// Traverse atom #i from a bound side to the unbound side.
+    Traverse {
+        idx: usize,
+        forward: bool,
+    },
+    /// Both sides bound: just check atom #i.
+    Check(usize),
+}
+
+/// Static plan: repeatedly pick a binary extensional atom with at least
+/// one bound variable (binding or checking), falling back to binding an
+/// unbound variable by full iteration. `pre_bound`, if given, starts out
+/// bound (the caller fixes its value before running the plan).
+fn build_plan(
+    rule: &Rule,
+    binaries: &[(BinRel, VarId, VarId)],
+    pre_bound: Option<VarId>,
+) -> Vec<Step> {
     let n_vars = rule.num_vars as usize;
     let mut bound = vec![false; n_vars];
+    if let Some(v) = pre_bound {
+        bound[v.index()] = true;
+    }
     let mut used = vec![false; binaries.len()];
     let mut plan = Vec::new();
     loop {
@@ -156,47 +234,72 @@ pub(crate) fn for_each_match_in(
             None => break,
         }
     }
+    plan
+}
 
-    // Unary extensional filters, applied once the assignment is complete
-    // (rule bodies are tiny, so late filtering is fine).
-    let filters: Vec<(&BasePred, VarId)> = rule
-        .body
-        .iter()
-        .filter_map(|a| match a {
-            BodyAtom::Unary(UnaryRef::Base(b), v) => Some((b, *v)),
-            _ => None,
-        })
-        .collect();
-
-    // Depth-first execution of the plan.
-    #[allow(clippy::too_many_arguments)]
-    fn run(
-        plan: &[Step],
-        step: usize,
-        tree: &Tree,
-        binaries: &[(BinRel, VarId, VarId)],
-        assignment: &mut Vec<NodeId>,
-        filters: &[(&BasePred, VarId)],
-        first_range: &Option<std::ops::Range<u32>>,
-        emit: &mut impl FnMut(&[NodeId]),
-    ) {
-        let Some(s) = plan.get(step) else {
-            if filters
-                .iter()
-                .all(|(b, v)| base_holds(tree, b, assignment[v.index()]))
-            {
-                emit(assignment);
+// Depth-first execution of the plan. Unary extensional filters are
+// applied once the assignment is complete (rule bodies are tiny, so late
+// filtering is fine).
+#[allow(clippy::too_many_arguments)]
+fn run(
+    plan: &[Step],
+    step: usize,
+    tree: &Tree,
+    binaries: &[(BinRel, VarId, VarId)],
+    assignment: &mut Vec<NodeId>,
+    filters: &[(&BasePred, VarId)],
+    first_range: &Option<std::ops::Range<u32>>,
+    emit: &mut impl FnMut(&[NodeId]),
+) {
+    let Some(s) = plan.get(step) else {
+        if filters
+            .iter()
+            .all(|(b, v)| base_holds(tree, b, assignment[v.index()]))
+        {
+            emit(assignment);
+        }
+        return;
+    };
+    match s {
+        Step::BindFree(v) => {
+            let nodes: Box<dyn Iterator<Item = NodeId>> = match (step, first_range) {
+                (0, Some(r)) => Box::new(r.clone().map(NodeId)),
+                _ => Box::new(tree.nodes()),
+            };
+            for node in nodes {
+                assignment[v.index()] = node;
+                run(
+                    plan,
+                    step + 1,
+                    tree,
+                    binaries,
+                    assignment,
+                    filters,
+                    first_range,
+                    emit,
+                );
             }
-            return;
-        };
-        match s {
-            Step::BindFree(v) => {
-                let nodes: Box<dyn Iterator<Item = NodeId>> = match (step, first_range) {
-                    (0, Some(r)) => Box::new(r.clone().map(NodeId)),
-                    _ => Box::new(tree.nodes()),
-                };
-                for node in nodes {
-                    assignment[v.index()] = node;
+        }
+        Step::Check(i) => {
+            let (r, x, y) = binaries[*i];
+            if bin_holds(tree, r, assignment[x.index()], assignment[y.index()]) {
+                run(
+                    plan,
+                    step + 1,
+                    tree,
+                    binaries,
+                    assignment,
+                    filters,
+                    first_range,
+                    emit,
+                );
+            }
+        }
+        Step::Traverse { idx, forward } => {
+            let (r, x, y) = binaries[*idx];
+            if *forward {
+                for node in bin_forward(tree, r, assignment[x.index()]) {
+                    assignment[y.index()] = node;
                     run(
                         plan,
                         step + 1,
@@ -208,76 +311,21 @@ pub(crate) fn for_each_match_in(
                         emit,
                     );
                 }
-            }
-            Step::Check(i) => {
-                let (r, x, y) = binaries[*i];
-                if bin_holds(tree, r, assignment[x.index()], assignment[y.index()]) {
-                    run(
-                        plan,
-                        step + 1,
-                        tree,
-                        binaries,
-                        assignment,
-                        filters,
-                        first_range,
-                        emit,
-                    );
-                }
-            }
-            Step::Traverse { idx, forward } => {
-                let (r, x, y) = binaries[*idx];
-                if *forward {
-                    for node in bin_forward(tree, r, assignment[x.index()]) {
-                        assignment[y.index()] = node;
-                        run(
-                            plan,
-                            step + 1,
-                            tree,
-                            binaries,
-                            assignment,
-                            filters,
-                            first_range,
-                            emit,
-                        );
-                    }
-                } else if let Some(node) = bin_backward(tree, r, assignment[y.index()]) {
-                    assignment[x.index()] = node;
-                    run(
-                        plan,
-                        step + 1,
-                        tree,
-                        binaries,
-                        assignment,
-                        filters,
-                        first_range,
-                        emit,
-                    );
-                }
+            } else if let Some(node) = bin_backward(tree, r, assignment[y.index()]) {
+                assignment[x.index()] = node;
+                run(
+                    plan,
+                    step + 1,
+                    tree,
+                    binaries,
+                    assignment,
+                    filters,
+                    first_range,
+                    emit,
+                );
             }
         }
     }
-
-    // A variable-free rule has an empty plan and exactly one (empty)
-    // match; attribute it to the range containing node 0 so disjoint
-    // ranges covering the domain still emit it exactly once.
-    if plan.is_empty() {
-        if let Some(r) = &first_range {
-            if r.start != 0 {
-                return;
-            }
-        }
-    }
-    let mut assignment = vec![NodeId(0); n_vars.max(1)];
-    run(
-        &plan,
-        0,
-        tree,
-        &binaries,
-        &mut assignment,
-        &filters,
-        &first_range,
-        emit,
-    );
 }
 
 /// Grounds a program over a tree into a definite Horn formula whose

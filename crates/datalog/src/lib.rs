@@ -29,7 +29,7 @@ mod parser;
 mod tmnf;
 
 pub use ast::{BasePred, BinRel, BodyAtom, PredId, Program, Rule, UnaryRef, VarId};
-pub use eval::{eval, eval_naive, eval_query};
+pub use eval::{eval, eval_naive, eval_query, IncrementalEval, PendingEdit};
 pub use features::{features, ProgramFeatures};
 pub use ground::{ground, ground_rule_chunk, GroundAtom};
 pub use parser::{parse_program, ParseError};

@@ -10,8 +10,10 @@
 //! on any machine fast enough to finish, two runs with the same seed
 //! produce byte-identical [`CampaignReport::render`] output.
 //!
-//! Category rotation: inputs cycle through the five [`Category`]s, so
-//! every category gets quota/5 inputs regardless of seed. Each category
+//! Category rotation: inputs cycle through the [`Category`]s (all six,
+//! or only [`Category::EditDiff`] when [`CampaignConfig::edits_only`] is
+//! set), so every active category gets an equal share of the quota
+//! regardless of seed. Each category
 //! keeps a small pool of recent inputs; a third of new inputs are
 //! grammar-level mutants of pool members rather than fresh generations,
 //! which concentrates the search around structures that already
@@ -26,7 +28,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::corpus::{fnv64, save_case, Reproducer};
-use crate::diff::{differential_check, Corruption, DiffOptions};
+use crate::diff::{differential_check, edit_differential_check, Corruption, DiffOptions};
 use crate::gen::{gen_case, Category, GenConfig};
 use crate::mutate::mutate_case;
 use crate::oracle::check_laws;
@@ -47,6 +49,10 @@ pub struct CampaignConfig {
     pub corpus_dir: Option<PathBuf>,
     /// An injected bug for detector self-tests (see [`Corruption`]).
     pub corrupt: Option<Corruption>,
+    /// Restrict the rotation to [`Category::EditDiff`]: every input is a
+    /// (tree, query, edit script) triple checked against the rebuild
+    /// oracle after each edit. This is `harness fuzz --edits`.
+    pub edits_only: bool,
     /// Generator bounds.
     pub gen: GenConfig,
 }
@@ -59,6 +65,7 @@ impl Default for CampaignConfig {
             inputs_per_second: 150,
             corpus_dir: None,
             corrupt: None,
+            edits_only: false,
             gen: GenConfig::default(),
         }
     }
@@ -161,6 +168,14 @@ fn case_fails(
             let (d, checks) = differential_check(case, &opts);
             (d.map(|d| d.to_string()), checks)
         }
+        Category::EditDiff => {
+            let opts = DiffOptions {
+                corrupt,
+                ..DiffOptions::default()
+            };
+            let (d, checks) = edit_differential_check(case, &opts);
+            (d.map(|d| d.to_string()), checks)
+        }
         Category::XPathLaws | Category::CqLaws => {
             let key = format!(
                 "{}\n{}",
@@ -180,18 +195,27 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let quota = cfg.seconds.saturating_mul(cfg.inputs_per_second);
     let deadline = start + Duration::from_secs(cfg.seconds.saturating_mul(3).max(5));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut stats = [CategoryStats::default(); 5];
-    let mut pools: [Vec<FuzzCase>; 5] = Default::default();
+    const N: usize = Category::ALL.len();
+    let mut stats = [CategoryStats::default(); N];
+    let mut pools: [Vec<FuzzCase>; N] = Default::default();
     let mut saved = Vec::new();
     let mut truncated = false;
+    let rotation: &[Category] = if cfg.edits_only {
+        &[Category::EditDiff]
+    } else {
+        &Category::ALL
+    };
 
     for i in 0..quota {
         if Instant::now() > deadline {
             truncated = true;
             break;
         }
-        let ci = (i % 5) as usize;
-        let cat = Category::ALL[ci];
+        let cat = rotation[(i as usize) % rotation.len()];
+        let ci = Category::ALL
+            .iter()
+            .position(|c| *c == cat)
+            .expect("rotation subset of ALL");
         let case = if !pools[ci].is_empty() && rng.gen_bool(1.0 / 3.0) {
             let base = pools[ci]
                 .choose(&mut rng)
@@ -286,6 +310,26 @@ mod tests {
         let ca: Vec<u64> = a.categories.iter().map(|(_, s)| s.checks).collect();
         let cb: Vec<u64> = b.categories.iter().map(|(_, s)| s.checks).collect();
         assert_ne!(ca, cb, "different seeds should explore different inputs");
+    }
+
+    #[test]
+    fn edits_only_mode_restricts_rotation() {
+        let cfg = CampaignConfig {
+            edits_only: true,
+            inputs_per_second: 30,
+            ..quick(0xED17)
+        };
+        let report = run_campaign(&cfg);
+        assert!(!report.truncated, "edits-only quick campaign must finish");
+        assert_eq!(report.total_discrepancies(), 0);
+        for (name, s) in &report.categories {
+            if *name == "edit-diff" {
+                assert_eq!(s.inputs, 30, "every input goes to edit-diff");
+                assert!(s.checks > 30, "each edit contributes several checks");
+            } else {
+                assert_eq!(s.inputs, 0, "{name} must be idle in --edits mode");
+            }
+        }
     }
 
     #[test]

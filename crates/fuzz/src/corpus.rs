@@ -11,8 +11,13 @@
 //! lang: xpath
 //! tree: r(a(b) c)
 //! query: descendant::*[lab()=a]
+//! edits: insert(0,0,b); relabel(2,a)
 //! note: found by `harness fuzz --seed 0x1`
 //! ```
+//!
+//! The optional `edits:` line is an edit script in the canonical
+//! `tree::edit` syntax (`render_script`/`parse_script`), replayed by the
+//! edit differential on every corpus replay.
 //!
 //! Trees round-trip through the term syntax of `tree::term`. XPath
 //! round-trips through its own `Display`. CQs and datalog programs do
@@ -27,7 +32,7 @@ use std::path::{Path as FsPath, PathBuf};
 
 use treequery_core::cq::{parse_cq, Cq, CqAtom};
 use treequery_core::datalog::{parse_program, BasePred, BinRel, BodyAtom, Program, UnaryRef};
-use treequery_core::tree::{parse_term, to_term};
+use treequery_core::tree::{parse_script, parse_term, render_script, to_term};
 use treequery_core::xpath::parse_xpath;
 
 use crate::{CaseQuery, FuzzCase};
@@ -142,6 +147,9 @@ pub fn render_case(r: &Reproducer) -> String {
     let _ = writeln!(out, "lang: {}", r.case.query.lang());
     let _ = writeln!(out, "tree: {}", to_term(&r.case.tree));
     let _ = writeln!(out, "query: {}", r.case.query);
+    if !r.case.edits.is_empty() {
+        let _ = writeln!(out, "edits: {}", render_script(&r.case.edits));
+    }
     if !r.note.is_empty() {
         let _ = writeln!(out, "note: {}", r.note.replace('\n', " "));
     }
@@ -162,12 +170,16 @@ pub(crate) fn fnv64(data: &str) -> u64 {
 /// The deterministic file name for a reproducer:
 /// `{category}-{hash of content:016x}.case`.
 pub fn case_file_name(r: &Reproducer) -> String {
-    let key = format!(
+    let mut key = format!(
         "{}\n{}\n{}",
         r.case.query.lang(),
         to_term(&r.case.tree),
         r.case.query
     );
+    if !r.case.edits.is_empty() {
+        key.push('\n');
+        key.push_str(&render_script(&r.case.edits));
+    }
     format!("{}-{:016x}.case", r.category, fnv64(&key))
 }
 
@@ -202,6 +214,7 @@ pub fn parse_case(text: &str) -> Result<Reproducer, String> {
     let mut lang = None;
     let mut tree = None;
     let mut query = None;
+    let mut edits = Vec::new();
     let mut note = String::new();
     for line in text.lines() {
         let line = line.trim();
@@ -217,6 +230,7 @@ pub fn parse_case(text: &str) -> Result<Reproducer, String> {
             "lang" => lang = Some(value.to_owned()),
             "tree" => tree = Some(parse_term(value).map_err(|e| format!("bad tree: {e:?}"))?),
             "query" => query = Some(value.to_owned()),
+            "edits" => edits = parse_script(value).map_err(|e| format!("bad edits: {e}"))?,
             "note" => note = value.to_owned(),
             other => return Err(format!("unknown key `{other}`")),
         }
@@ -228,6 +242,7 @@ pub fn parse_case(text: &str) -> Result<Reproducer, String> {
         case: FuzzCase {
             tree: tree.ok_or("missing tree")?,
             query,
+            edits,
         },
         note,
     })
@@ -265,9 +280,16 @@ pub fn load_dir(dir: &FsPath) -> Result<Vec<(PathBuf, Reproducer)>, String> {
 /// passes (i.e. the bug it reproduces is fixed or never regresses).
 pub fn replay(r: &Reproducer) -> Option<String> {
     use rand::SeedableRng;
-    let (d, _) = crate::diff::differential_check(&r.case, &crate::diff::DiffOptions::default());
+    let opts = crate::diff::DiffOptions::default();
+    let (d, _) = crate::diff::differential_check(&r.case, &opts);
     if let Some(d) = d {
         return Some(d.to_string());
+    }
+    if !r.case.edits.is_empty() {
+        let (d, _) = crate::diff::edit_differential_check(&r.case, &opts);
+        if let Some(d) = d {
+            return Some(d.to_string());
+        }
     }
     let seed = fnv64(&render_case(r));
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

@@ -248,6 +248,153 @@ fn sorted_nodes(t: &treequery_core::Tree, set: &treequery_core::NodeSet) -> Vec<
     v
 }
 
+/// Maps node ids to pre-order ranks. Ids are allocation-ordered in an
+/// edited document (inserts append) but pre-ordered in a from-scratch
+/// rebuild, so ranks are the only coordinate in which the two sides of
+/// the edit differential are comparable.
+fn pre_rank_norm(t: &treequery_core::Tree, n: Norm) -> Norm {
+    let rank = |v: NodeId| NodeId(t.pre(v));
+    match n {
+        Norm::Nodes(v) => Norm::Nodes(v.into_iter().map(rank).collect()),
+        Norm::Tuples(ts) => Norm::Tuples(
+            ts.into_iter()
+                .map(|tup| tup.into_iter().map(rank).collect())
+                .collect(),
+        ),
+        Norm::Bool(b) => Norm::Bool(b),
+    }
+}
+
+/// Replays `case.edits` on an incrementally maintained
+/// [`Document`](treequery_core::Document),
+/// cross-checking after every *effective* op (ops normalized to a skip
+/// are silently dropped, as everywhere else):
+///
+/// * every applicable strategy × worker count on the live (incrementally
+///   edited, plan-cache-sharing) document, plus the planner's own choice
+///   and — for datalog — the semi-naive delta pass behind
+///   [`Document::watch_datalog`](treequery_core::Document::watch_datalog),
+///   against a **from-scratch rebuild
+///   oracle**: a cold engine over `parse_term(to_term(live_tree))`
+///   (fresh arena, fresh interner, fresh plans), compared by pre rank;
+/// * the per-edit-patched [`treequery_core::storage::Xasr`] against one
+///   rebuilt from the live tree;
+/// * the document's incrementally patched tree fingerprint against a
+///   full recomputation on the rebuilt tree.
+///
+/// A [`Corruption`] perturbs the live side's strategy outputs, so the
+/// detector self-test proves disagreements after an edit are caught.
+pub fn edit_differential_check(
+    case: &FuzzCase,
+    opts: &DiffOptions,
+) -> (Option<Discrepancy>, usize) {
+    use treequery_core::storage::Xasr;
+    use treequery_core::tree::to_term;
+    use treequery_core::{parse_term, Document};
+
+    let ir = case.query.lower();
+    let strategies = treequery_core::applicable_strategies(&ir);
+    let mut doc = Document::new(case.tree.clone());
+    let mut xasr = Xasr::from_tree(doc.tree());
+    let watch = match &case.query {
+        CaseQuery::Datalog(p) if p.query.is_some() => {
+            doc.watch_datalog(&crate::corpus::render_program(p)).ok()
+        }
+        _ => None,
+    };
+    let mut checks = 0usize;
+    for (step, op) in case.edits.iter().enumerate() {
+        let Some(delta) = doc.edit(op) else { continue };
+        xasr.apply_edit(doc.tree(), &delta);
+
+        let rebuilt = parse_term(&to_term(doc.tree())).expect("document renders a valid term");
+        let oracle = Engine::new(&rebuilt);
+        let base_label = format!("rebuild-oracle [step {step}]");
+        let base = pre_rank_norm(
+            &rebuilt,
+            normalize(
+                oracle
+                    .eval_ir(&ir)
+                    .expect("oracle evaluation must not fail"),
+            ),
+        );
+
+        let live = doc.engine();
+        let mut results: Vec<(String, Norm)> = Vec::new();
+        for &s in &strategies {
+            for &w in &opts.worker_counts {
+                let out = live
+                    .eval_ir_via(&ir, s, w)
+                    .expect("forced applicable strategy must not fail");
+                let mut norm = pre_rank_norm(doc.tree(), normalize(out));
+                if let Some(c) = opts.corrupt {
+                    if c.strategy == s {
+                        norm = c.apply(norm);
+                    }
+                }
+                results.push((format!("{s} [workers={w}, step {step}]"), norm));
+            }
+        }
+        results.push((
+            format!("planner [step {step}]"),
+            pre_rank_norm(
+                doc.tree(),
+                normalize(live.eval_ir(&ir).expect("planner evaluation must not fail")),
+            ),
+        ));
+        if let Some(id) = watch {
+            let ranks = doc
+                .watched(id)
+                .into_iter()
+                .map(|v| NodeId(doc.tree().pre(v)));
+            results.push((
+                format!("datalog-incremental [step {step}]"),
+                Norm::Nodes(ranks.collect()),
+            ));
+        }
+
+        checks += results.len();
+        for (label, norm) in &results {
+            if !norm.agrees(&base) {
+                return (
+                    Some(Discrepancy {
+                        baseline: base_label.clone(),
+                        culprit: label.clone(),
+                        detail: format!("after {op}: {} vs {}", norm.summary(), base.summary()),
+                    }),
+                    checks,
+                );
+            }
+        }
+
+        checks += 1;
+        if !xasr.equiv(&Xasr::from_tree(doc.tree())) {
+            return (
+                Some(Discrepancy {
+                    baseline: format!("xasr-rebuild [step {step}]"),
+                    culprit: format!("xasr-patched [step {step}]"),
+                    detail: format!("XASR diverged from rebuild after {op}"),
+                }),
+                checks,
+            );
+        }
+
+        checks += 1;
+        let full_fp = treequery_core::plan::tree_fingerprint(&rebuilt);
+        if doc.fingerprint() != full_fp {
+            return (
+                Some(Discrepancy {
+                    baseline: format!("fingerprint-recompute [step {step}]"),
+                    culprit: format!("fingerprint-patched [step {step}]"),
+                    detail: format!("after {op}: {:#x} vs {full_fp:#x}", doc.fingerprint()),
+                }),
+                checks,
+            );
+        }
+    }
+    (None, checks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +428,7 @@ mod tests {
             query: CaseQuery::XPath(
                 treequery_core::xpath::parse_xpath("descendant::*[lab()=b]").unwrap(),
             ),
+            edits: Vec::new(),
         };
         let mut opts = DiffOptions::default();
         let (ok, _) = differential_check(&case, &opts);
@@ -294,6 +442,63 @@ mod tests {
         // The corrupted strategy is the baseline (first applicable), so
         // every honest executor shows up as the "culprit" against it.
         assert!(d.baseline.contains("set-at-a-time"), "got {d}");
+    }
+
+    #[test]
+    fn edit_scripts_agree_with_rebuild_oracle() {
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(4242);
+        let opts = DiffOptions::default();
+        let mut effective_steps = 0;
+        for _ in 0..40 {
+            let case = gen_case(&mut rng, &cfg, Category::EditDiff);
+            let (d, checks) = edit_differential_check(&case, &opts);
+            effective_steps += checks;
+            assert!(
+                d.is_none(),
+                "edit discrepancy on {}: {}",
+                case.query,
+                d.unwrap()
+            );
+        }
+        assert!(
+            effective_steps > 100,
+            "edit scripts degenerated: only {effective_steps} checks ran"
+        );
+    }
+
+    #[test]
+    fn injected_bug_after_an_edit_is_detected() {
+        use treequery_core::tree::EditOp;
+        let case = FuzzCase {
+            tree: fixture(),
+            query: CaseQuery::XPath(
+                treequery_core::xpath::parse_xpath("descendant::*[lab()=b]").unwrap(),
+            ),
+            edits: vec![
+                EditOp::Relabel {
+                    pre: 3,
+                    label: "b".into(),
+                },
+                EditOp::InsertLeaf {
+                    parent_pre: 0,
+                    child_idx: 0,
+                    label: "b".into(),
+                },
+            ],
+        };
+        let mut opts = DiffOptions::default();
+        let (ok, checks) = edit_differential_check(&case, &opts);
+        assert!(ok.is_none());
+        assert!(checks >= 2, "both edits must be checked");
+        opts.corrupt = Some(Corruption {
+            strategy: Strategy::XPathSetAtATime,
+            kind: CorruptionKind::DropLast,
+        });
+        let (bad, _) = edit_differential_check(&case, &opts);
+        let d = bad.expect("a corrupted strategy must be flagged after an edit");
+        assert!(d.culprit.contains("set-at-a-time"), "got {d}");
+        assert!(d.baseline.contains("rebuild-oracle"), "got {d}");
     }
 
     #[test]

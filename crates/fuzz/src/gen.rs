@@ -11,7 +11,7 @@ use rand::Rng;
 
 use treequery_core::cq::{Cq, CqAtom};
 use treequery_core::datalog::{parse_program, Program};
-use treequery_core::tree::TreeBuilder;
+use treequery_core::tree::{EditOp, TreeBuilder};
 use treequery_core::xpath::{Path, Qual};
 use treequery_core::{Axis, Tree};
 
@@ -37,6 +37,8 @@ pub struct GenConfig {
     pub cq_max_atoms: usize,
     /// Maximum number of datalog predicates.
     pub dl_max_preds: usize,
+    /// Maximum edit-script length for edit-diff cases.
+    pub max_edits: usize,
 }
 
 impl Default for GenConfig {
@@ -48,6 +50,7 @@ impl Default for GenConfig {
             cq_max_vars: 3,
             cq_max_atoms: 5,
             dl_max_preds: 3,
+            max_edits: 6,
         }
     }
 }
@@ -61,7 +64,7 @@ impl GenConfig {
     }
 }
 
-/// The five fuzzing categories a campaign rotates through.
+/// The six fuzzing categories a campaign rotates through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Category {
     /// XPath inputs cross-checked across strategies and worker counts.
@@ -74,16 +77,22 @@ pub enum Category {
     XPathLaws,
     /// CQ inputs checked against the metamorphic laws.
     CqLaws,
+    /// Edit scripts: after each op of a script the incrementally
+    /// maintained document (strategies × worker counts, XASR patching,
+    /// the datalog delta pass) is cross-checked against a from-scratch
+    /// rebuild oracle.
+    EditDiff,
 }
 
 impl Category {
     /// All categories, in campaign rotation order.
-    pub const ALL: [Category; 5] = [
+    pub const ALL: [Category; 6] = [
         Category::XPathDiff,
         Category::CqDiff,
         Category::DatalogDiff,
         Category::XPathLaws,
         Category::CqLaws,
+        Category::EditDiff,
     ];
 
     /// The stable name used in reports and corpus file names.
@@ -94,6 +103,7 @@ impl Category {
             Category::DatalogDiff => "datalog-diff",
             Category::XPathLaws => "xpath-laws",
             Category::CqLaws => "cq-laws",
+            Category::EditDiff => "edit-diff",
         }
     }
 }
@@ -240,6 +250,33 @@ pub fn gen_datalog(rng: &mut StdRng, cfg: &GenConfig) -> Program {
     parse_program(&text).expect("generated program must parse")
 }
 
+/// Generates a random edit script. Addresses are raw `u32`s: the total
+/// [`treequery_core::tree::EditOp::normalize`] semantics folds them onto
+/// whatever tree the script meets, so scripts survive tree mutation and
+/// shrinking without re-validation.
+pub fn gen_edit_script(rng: &mut StdRng, cfg: &GenConfig) -> Vec<EditOp> {
+    let k = rng.gen_range(1..=cfg.max_edits.max(1));
+    let addr_bound = (4 * cfg.max_nodes.max(1)) as u32;
+    (0..k)
+        .map(|_| match rng.gen_range(0u32..4) {
+            // Inserts twice as likely: they keep shrinking scripts from
+            // draining the tree to a bare root.
+            0 | 1 => EditOp::InsertLeaf {
+                parent_pre: rng.gen_range(0..addr_bound),
+                child_idx: rng.gen_range(0..4),
+                label: cfg.label(rng),
+            },
+            2 => EditOp::DeleteSubtree {
+                pre: rng.gen_range(0..addr_bound),
+            },
+            _ => EditOp::Relabel {
+                pre: rng.gen_range(0..addr_bound),
+                label: cfg.label(rng),
+            },
+        })
+        .collect()
+}
+
 /// Generates one complete case for a category.
 pub fn gen_case(rng: &mut StdRng, cfg: &GenConfig, cat: Category) -> FuzzCase {
     let tree = gen_tree(rng, cfg);
@@ -247,8 +284,20 @@ pub fn gen_case(rng: &mut StdRng, cfg: &GenConfig, cat: Category) -> FuzzCase {
         Category::XPathDiff | Category::XPathLaws => CaseQuery::XPath(gen_xpath(rng, cfg)),
         Category::CqDiff | Category::CqLaws => CaseQuery::Cq(gen_cq(rng, cfg)),
         Category::DatalogDiff => CaseQuery::Datalog(gen_datalog(rng, cfg)),
+        // Edit scripts rotate through all three front-ends, so every
+        // language's strategies get re-checked against mutated documents.
+        Category::EditDiff => match rng.gen_range(0u32..3) {
+            0 => CaseQuery::XPath(gen_xpath(rng, cfg)),
+            1 => CaseQuery::Cq(gen_cq(rng, cfg)),
+            _ => CaseQuery::Datalog(gen_datalog(rng, cfg)),
+        },
     };
-    FuzzCase { tree, query }
+    let edits = if cat == Category::EditDiff {
+        gen_edit_script(rng, cfg)
+    } else {
+        Vec::new()
+    };
+    FuzzCase { tree, query, edits }
 }
 
 #[cfg(test)]
@@ -267,6 +316,22 @@ mod tests {
                 treequery_core::tree::to_term(&b.tree)
             );
             assert_eq!(a.query.to_string(), b.query.to_string());
+            assert_eq!(a.edits, b.edits);
+        }
+    }
+
+    #[test]
+    fn edit_scripts_respect_bounds_and_only_edit_diff_has_them() {
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..120 {
+            let cat = Category::ALL[i % Category::ALL.len()];
+            let case = gen_case(&mut rng, &cfg, cat);
+            if cat == Category::EditDiff {
+                assert!(!case.edits.is_empty() && case.edits.len() <= cfg.max_edits);
+            } else {
+                assert!(case.edits.is_empty());
+            }
         }
     }
 

@@ -44,6 +44,7 @@ pub mod treeops;
 use std::fmt;
 
 use treequery_core::plan::ir::{lower_cq, lower_path, lower_program};
+use treequery_core::tree::EditOp;
 use treequery_core::{cq, datalog, xpath, QueryIr, Tree};
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CategoryStats};
@@ -51,8 +52,13 @@ pub use corpus::{
     case_file_name, load_case, load_dir, parse_case, render_case, render_cq, render_program,
     replay, save_case, Reproducer,
 };
-pub use diff::{differential_check, Corruption, CorruptionKind, DiffOptions, Discrepancy, Norm};
-pub use gen::{gen_case, gen_cq, gen_datalog, gen_tree, gen_xpath, Category, GenConfig};
+pub use diff::{
+    differential_check, edit_differential_check, Corruption, CorruptionKind, DiffOptions,
+    Discrepancy, Norm,
+};
+pub use gen::{
+    gen_case, gen_cq, gen_datalog, gen_edit_script, gen_tree, gen_xpath, Category, GenConfig,
+};
 pub use mutate::mutate_case;
 pub use oracle::{check_laws, LawViolation, Tamper, LAW_NAMES};
 pub use shrink::{shrink, ShrinkStats};
@@ -125,19 +131,25 @@ impl fmt::Display for CaseQuery {
     }
 }
 
-/// One fuzzing input: a tree plus a query against it.
+/// One fuzzing input: a tree, a query against it, and (for edit-script
+/// cases) a script of mutations replayed between re-evaluations.
 #[derive(Clone, Debug)]
 pub struct FuzzCase {
     /// The data tree.
     pub tree: Tree,
     /// The query, in its original front-end language.
     pub query: CaseQuery,
+    /// An edit script applied one op at a time, re-checking after each
+    /// op (empty for classic single-shot cases). Ops address nodes by
+    /// pre rank and are total after [`EditOp::normalize`], so dropping
+    /// any prefix or subset during shrinking leaves a valid script.
+    pub edits: Vec<EditOp>,
 }
 
 impl FuzzCase {
-    /// Total input size (tree nodes + query size) — the shrinker's
-    /// overall progress measure.
+    /// Total input size (tree nodes + query size + script length) — the
+    /// shrinker's overall progress measure.
     pub fn size(&self) -> usize {
-        self.tree.len() + self.query.size()
+        self.tree.len() + self.query.size() + self.edits.len()
     }
 }

@@ -13,6 +13,7 @@ use rand::Rng;
 
 use treequery_core::cq::{Cq, CqAtom};
 use treequery_core::datalog::{BasePred, BinRel, BodyAtom, Program, UnaryRef};
+use treequery_core::tree::EditOp;
 use treequery_core::xpath::{Path, Qual};
 use treequery_core::{Axis, NodeId, Tree};
 
@@ -356,13 +357,82 @@ fn mutate_tree(rng: &mut StdRng, cfg: &GenConfig, t: &Tree) -> Tree {
     }
 }
 
-/// Mutates a case: half the time the tree, half the time the query.
-/// The result is always a well-formed case in the same language.
+/// Mutates an edit script: drop, duplicate, or append an op, perturb an
+/// address, or rename an op label. Addresses are raw `u32`s with total
+/// normalization semantics, so every mutant script is valid against
+/// every tree.
+fn mutate_edits(rng: &mut StdRng, cfg: &GenConfig, edits: &[EditOp]) -> Vec<EditOp> {
+    let mut out = edits.to_vec();
+    match rng.gen_range(0u32..5) {
+        // Drop an op.
+        0 => {
+            if !out.is_empty() {
+                let i = rng.gen_range(0..out.len());
+                out.remove(i);
+            }
+            out
+        }
+        // Duplicate an op (re-running a total op is always meaningful).
+        1 => {
+            if let Some(i) = (!out.is_empty()).then(|| rng.gen_range(0..out.len())) {
+                let op = out[i].clone();
+                out.insert(i, op);
+            }
+            out
+        }
+        // Append a fresh op.
+        2 => {
+            out.extend(crate::gen::gen_edit_script(rng, cfg).into_iter().take(1));
+            out
+        }
+        // Perturb an address.
+        3 => {
+            if let Some(i) = (!out.is_empty()).then(|| rng.gen_range(0..out.len())) {
+                let bump = rng.gen_range(1..8u32);
+                match &mut out[i] {
+                    EditOp::InsertLeaf { parent_pre, .. } => {
+                        *parent_pre = parent_pre.wrapping_add(bump)
+                    }
+                    EditOp::DeleteSubtree { pre } => *pre = pre.wrapping_add(bump),
+                    EditOp::Relabel { pre, .. } => *pre = pre.wrapping_add(bump),
+                }
+            }
+            out
+        }
+        // Rename an op label (deletes have none; fall through to drop).
+        _ => {
+            let label = cfg.label(rng);
+            let sites: Vec<usize> = (0..out.len())
+                .filter(|&i| !matches!(out[i], EditOp::DeleteSubtree { .. }))
+                .collect();
+            if let Some(&i) = sites.choose(rng) {
+                match &mut out[i] {
+                    EditOp::InsertLeaf { label: l, .. } | EditOp::Relabel { label: l, .. } => {
+                        *l = label;
+                    }
+                    EditOp::DeleteSubtree { .. } => {}
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Mutates a case: the tree, the query, or (for edit-script cases) the
+/// script. The result is always a well-formed case in the same language.
 pub fn mutate_case(rng: &mut StdRng, cfg: &GenConfig, case: &FuzzCase) -> FuzzCase {
+    if !case.edits.is_empty() && rng.gen_bool(1.0 / 3.0) {
+        return FuzzCase {
+            tree: treeops::copy_tree(&case.tree),
+            query: case.query.clone(),
+            edits: mutate_edits(rng, cfg, &case.edits),
+        };
+    }
     if rng.gen_bool(0.5) {
         FuzzCase {
             tree: mutate_tree(rng, cfg, &case.tree),
             query: case.query.clone(),
+            edits: case.edits.clone(),
         }
     } else {
         let query = match &case.query {
@@ -373,6 +443,7 @@ pub fn mutate_case(rng: &mut StdRng, cfg: &GenConfig, case: &FuzzCase) -> FuzzCa
         FuzzCase {
             tree: treeops::copy_tree(&case.tree),
             query,
+            edits: case.edits.clone(),
         }
     }
 }
@@ -404,13 +475,35 @@ mod tests {
     #[test]
     fn mutation_is_seed_deterministic() {
         let cfg = GenConfig::default();
-        let case = gen_case(&mut StdRng::seed_from_u64(3), &cfg, Category::XPathDiff);
-        let a = mutate_case(&mut StdRng::seed_from_u64(5), &cfg, &case);
-        let b = mutate_case(&mut StdRng::seed_from_u64(5), &cfg, &case);
-        assert_eq!(
-            treequery_core::tree::to_term(&a.tree),
-            treequery_core::tree::to_term(&b.tree)
-        );
-        assert_eq!(a.query.to_string(), b.query.to_string());
+        for cat in [Category::XPathDiff, Category::EditDiff] {
+            let case = gen_case(&mut StdRng::seed_from_u64(3), &cfg, cat);
+            let a = mutate_case(&mut StdRng::seed_from_u64(5), &cfg, &case);
+            let b = mutate_case(&mut StdRng::seed_from_u64(5), &cfg, &case);
+            assert_eq!(
+                treequery_core::tree::to_term(&a.tree),
+                treequery_core::tree::to_term(&b.tree)
+            );
+            assert_eq!(a.query.to_string(), b.query.to_string());
+            assert_eq!(a.edits, b.edits);
+        }
+    }
+
+    #[test]
+    fn script_mutations_reach_every_kind() {
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut case = gen_case(&mut rng, &cfg, Category::EditDiff);
+        let original = case.edits.clone();
+        let (mut grew, mut shrank) = (false, false);
+        for _ in 0..60 {
+            let mutant = mutate_case(&mut rng, &cfg, &case);
+            grew |= mutant.edits.len() > case.edits.len();
+            shrank |= mutant.edits.len() < case.edits.len();
+            case = mutant;
+            if case.edits.is_empty() {
+                case.edits = original.clone();
+            }
+        }
+        assert!(grew && shrank, "script mutation must both grow and shrink");
     }
 }

@@ -20,7 +20,14 @@
 //! * **containment-subset** — deleting a CQ atom relaxes the query, so
 //!   the original answer set must be contained in the relaxed one; on
 //!   small queries the relaxation is independently confirmed by the
-//!   bounded containment check of `cq::containment`.
+//!   bounded containment check of `cq::containment`;
+//! * **insert-delete-identity** — inserting a leaf and deleting it again
+//!   through the incremental splice machinery restores the document
+//!   byte-identically (term, fingerprint, answers);
+//! * **relabel-noop** — relabeling a node to its current primary label
+//!   changes nothing;
+//! * **disjoint-edits-commute** — edits inside disjoint subtrees yield
+//!   the same document and answers in either order.
 //!
 //! Every law has a `*_with` variant taking a [`Tamper`] that perturbs
 //! the *transformed side's* answer before comparison. Unit tests use it
@@ -32,7 +39,8 @@ use std::collections::BTreeSet;
 use rand::rngs::StdRng;
 
 use treequery_core::cq::{bounded_contained, Cq, CqAtom};
-use treequery_core::plan::QueryOutput;
+use treequery_core::plan::{tree_fingerprint, QueryOutput};
+use treequery_core::tree::{to_term, EditOp, EditableTree};
 use treequery_core::xpath::{Path, Qual};
 use treequery_core::{streaming, Axis, Engine, NodeId, Tree};
 
@@ -41,13 +49,16 @@ use crate::treeops;
 use crate::{CaseQuery, FuzzCase};
 
 /// Stable names of all implemented laws, for reports.
-pub const LAW_NAMES: [&str; 6] = [
+pub const LAW_NAMES: [&str; 9] = [
     "forward-rewrite",
     "descendant-unfold",
     "self-join",
     "monotone-insert",
     "order-blind",
     "containment-subset",
+    "insert-delete-identity",
+    "relabel-noop",
+    "disjoint-edits-commute",
 ];
 
 /// A perturbation applied to the transformed side of a law before
@@ -479,6 +490,150 @@ pub fn check_containment_subset_with(case: &FuzzCase, tamper: Tamper) -> Option<
     None
 }
 
+// ---------------------------------------------------------------------
+// Edit-script laws (7–9): the paper's structures made mutable. These
+// generalize the monotone-insertion law to deletes and relabels — the
+// transformed side is now an *incrementally edited* document
+// ([`EditableTree`] splices, not a from-scratch rebuild), so a violation
+// implicates the splice machinery itself, not just an evaluator.
+
+/// The label inserted by identity/commutation laws — outside every
+/// generator alphabet, so no label atom can newly match it by accident.
+const EDIT_LAW_LABEL: &str = "fresh-edit-label";
+
+/// Checks insert-then-delete identity: inserting a leaf and deleting it
+/// again must restore the document *byte-identically* — same term
+/// rendering, same tree fingerprint, same answers (same node ids: the
+/// deleted id was the freshly appended one, so compaction is the
+/// identity on every original node).
+pub fn check_insert_delete_identity(case: &FuzzCase) -> Option<LawViolation> {
+    check_insert_delete_identity_with(case, Tamper::None)
+}
+
+/// Tamperable variant of [`check_insert_delete_identity`].
+pub fn check_insert_delete_identity_with(case: &FuzzCase, tamper: Tamper) -> Option<LawViolation> {
+    let mut et = EditableTree::new(case.tree.clone());
+    let n = case.tree.len() as u32;
+    let delta = et.apply(&EditOp::InsertLeaf {
+        parent_pre: n / 2,
+        child_idx: 0,
+        label: EDIT_LAW_LABEL.to_owned(),
+    })?;
+    et.apply(&EditOp::DeleteSubtree {
+        pre: delta.pre_range.0,
+    })
+    .expect("deleting the freshly inserted non-root leaf is always effective");
+    let fail = |what: &str| {
+        Some(LawViolation {
+            law: "insert-delete-identity",
+            detail: format!("insert∘delete round-trip changed the {what}"),
+        })
+    };
+    if to_term(et.tree()) != to_term(&case.tree) {
+        return fail("term rendering");
+    }
+    if tree_fingerprint(et.tree()) != tree_fingerprint(&case.tree) {
+        return fail("tree fingerprint");
+    }
+    let lhs = eval_norm(&case.tree, &case.query);
+    let rhs = tamper.apply(eval_norm(et.tree(), &case.query));
+    (rhs != lhs).then(|| LawViolation {
+        law: "insert-delete-identity",
+        detail: format!(
+            "`{}` answers not byte-identical after insert∘delete",
+            case.query
+        ),
+    })
+}
+
+/// Checks that relabeling a node to its current primary label is a
+/// complete no-op: same term, same fingerprint, byte-identical answers.
+pub fn check_relabel_noop(case: &FuzzCase) -> Option<LawViolation> {
+    check_relabel_noop_with(case, Tamper::None)
+}
+
+/// Tamperable variant of [`check_relabel_noop`].
+pub fn check_relabel_noop_with(case: &FuzzCase, tamper: Tamper) -> Option<LawViolation> {
+    let target = case.tree.len() as u32 / 3;
+    let label = case
+        .tree
+        .label_name(case.tree.node_at_pre(target))
+        .to_owned();
+    let mut et = EditableTree::new(case.tree.clone());
+    et.apply(&EditOp::Relabel { pre: target, label })
+        .expect("relabel is always effective");
+    let fail = |what: &str| {
+        Some(LawViolation {
+            law: "relabel-noop",
+            detail: format!("relabel-to-same-label changed the {what}"),
+        })
+    };
+    if to_term(et.tree()) != to_term(&case.tree) {
+        return fail("term rendering");
+    }
+    if tree_fingerprint(et.tree()) != tree_fingerprint(&case.tree) {
+        return fail("tree fingerprint");
+    }
+    let lhs = eval_norm(&case.tree, &case.query);
+    let rhs = tamper.apply(eval_norm(et.tree(), &case.query));
+    (rhs != lhs).then(|| LawViolation {
+        law: "relabel-noop",
+        detail: format!(
+            "`{}` answers not byte-identical after a no-op relabel",
+            case.query
+        ),
+    })
+}
+
+/// Checks that edits in disjoint subtrees commute: a relabel inside the
+/// root's first child subtree and an insert inside its last child
+/// subtree yield the same document — and the same answers — in either
+/// order. Inapplicable when the root has fewer than two children.
+pub fn check_disjoint_edits_commute(case: &FuzzCase) -> Option<LawViolation> {
+    check_disjoint_edits_commute_with(case, Tamper::None)
+}
+
+/// Tamperable variant of [`check_disjoint_edits_commute`].
+pub fn check_disjoint_edits_commute_with(case: &FuzzCase, tamper: Tamper) -> Option<LawViolation> {
+    let t = &case.tree;
+    let kids: Vec<NodeId> = t.children(t.root()).collect();
+    if kids.len() < 2 {
+        return None;
+    }
+    // The relabel site precedes the insert site in document order, so
+    // neither op shifts the other's pre-rank address in either order.
+    let op_a = EditOp::Relabel {
+        pre: t.pre(kids[0]),
+        label: EDIT_LAW_LABEL.to_owned(),
+    };
+    let op_b = EditOp::InsertLeaf {
+        parent_pre: t.pre(kids[kids.len() - 1]),
+        child_idx: 0,
+        label: EDIT_LAW_LABEL.to_owned(),
+    };
+    let mut ab = EditableTree::new(t.clone());
+    ab.apply(&op_a).expect("relabel is always effective");
+    ab.apply(&op_b).expect("insert is always effective");
+    let mut ba = EditableTree::new(t.clone());
+    ba.apply(&op_b).expect("insert is always effective");
+    ba.apply(&op_a).expect("relabel is always effective");
+    if to_term(ab.tree()) != to_term(ba.tree()) {
+        return Some(LawViolation {
+            law: "disjoint-edits-commute",
+            detail: "disjoint-subtree edits produced different documents per order".into(),
+        });
+    }
+    let lhs = pre_ranks(ab.tree(), &eval_norm(ab.tree(), &case.query));
+    let rhs = tamper.apply(pre_ranks(ba.tree(), &eval_norm(ba.tree(), &case.query)));
+    (!rhs.agrees(&lhs)).then(|| LawViolation {
+        law: "disjoint-edits-commute",
+        detail: format!(
+            "`{}` answers depend on the order of disjoint-subtree edits",
+            case.query
+        ),
+    })
+}
+
 /// Runs every law applicable to `case`, returning the first violation
 /// and the number of law checks that actually ran.
 pub fn check_laws(case: &FuzzCase, rng: &mut StdRng) -> (Option<LawViolation>, usize) {
@@ -492,7 +647,10 @@ pub fn check_laws(case: &FuzzCase, rng: &mut StdRng) -> (Option<LawViolation>, u
         .or_else(|| run(check_self_join(case)))
         .or_else(|| run(check_monotone_insert(case)))
         .or_else(|| run(check_order_blind(case, rng)))
-        .or_else(|| run(check_containment_subset(case)));
+        .or_else(|| run(check_containment_subset(case)))
+        .or_else(|| run(check_insert_delete_identity(case)))
+        .or_else(|| run(check_relabel_noop(case)))
+        .or_else(|| run(check_disjoint_edits_commute(case)));
     (violation, checks)
 }
 
@@ -513,6 +671,7 @@ mod tests {
         FuzzCase {
             tree: tree(),
             query: CaseQuery::XPath(parse_xpath(q).unwrap()),
+            edits: Vec::new(),
         }
     }
 
@@ -520,6 +679,7 @@ mod tests {
         FuzzCase {
             tree: tree(),
             query: CaseQuery::Cq(parse_cq(q).unwrap()),
+            edits: Vec::new(),
         }
     }
 
@@ -595,6 +755,70 @@ mod tests {
         assert!(check_containment_subset(&case).is_none());
         let v = check_containment_subset_with(&case, Tamper::Clear);
         assert_eq!(v.expect("must fire").law, "containment-subset");
+    }
+
+    #[test]
+    fn insert_delete_identity_fires_on_violation() {
+        let case = xpath_case("descendant::*[lab()=b]");
+        assert!(check_insert_delete_identity(&case).is_none());
+        let v = check_insert_delete_identity_with(&case, Tamper::DropLast);
+        assert_eq!(v.expect("must fire").law, "insert-delete-identity");
+
+        // Byte-identity is stricter than set agreement: Clear fires too,
+        // and on a datalog case (the law spans all three front-ends).
+        let case = FuzzCase {
+            tree: tree(),
+            query: CaseQuery::Datalog(
+                treequery_core::datalog::parse_program("P(x) :- label(x, b). ?- P.").unwrap(),
+            ),
+            edits: Vec::new(),
+        };
+        assert!(check_insert_delete_identity(&case).is_none());
+        let v = check_insert_delete_identity_with(&case, Tamper::Clear);
+        assert_eq!(v.expect("must fire").law, "insert-delete-identity");
+    }
+
+    #[test]
+    fn relabel_noop_fires_on_violation() {
+        let case = cq_case("q(x) :- child(y, x), label(x, b).");
+        assert!(check_relabel_noop(&case).is_none());
+        let v = check_relabel_noop_with(&case, Tamper::DropLast);
+        assert_eq!(v.expect("must fire").law, "relabel-noop");
+    }
+
+    #[test]
+    fn disjoint_edits_commute_fires_on_violation() {
+        let case = xpath_case("descendant::*[lab()=b]");
+        assert!(check_disjoint_edits_commute(&case).is_none());
+        let v = check_disjoint_edits_commute_with(&case, Tamper::DropLast);
+        assert_eq!(v.expect("must fire").law, "disjoint-edits-commute");
+    }
+
+    #[test]
+    fn disjoint_edits_law_skips_single_child_roots() {
+        let case = FuzzCase {
+            tree: parse_term("r(a(b(c)))").unwrap(),
+            query: CaseQuery::XPath(parse_xpath("descendant::*").unwrap()),
+            edits: Vec::new(),
+        };
+        // One root child: no disjoint subtree pair, even tampered.
+        assert!(check_disjoint_edits_commute_with(&case, Tamper::Clear).is_none());
+    }
+
+    #[test]
+    fn edit_laws_hold_on_generated_edit_cases() {
+        let cfg = GenConfig::default();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let case = gen_case(&mut rng, &cfg, Category::EditDiff);
+            for v in [
+                check_insert_delete_identity(&case),
+                check_relabel_noop(&case),
+                check_disjoint_edits_commute(&case),
+            ] {
+                assert!(v.is_none(), "violation on `{}`: {}", case.query, v.unwrap());
+            }
+        }
     }
 
     #[test]

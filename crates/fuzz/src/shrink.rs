@@ -2,9 +2,13 @@
 //! minimal reproducer.
 //!
 //! The shrinker repeatedly tries size-reducing candidates in a *fixed*
-//! order — subtree deletions by pre-order rank, then query reductions,
-//! then label canonicalization — restarting after every success, until
-//! no candidate still reproduces the failure. Determinism is the point:
+//! order — edit-script op drops, subtree deletions by pre-order rank,
+//! then query reductions, then label and edit-address canonicalization —
+//! restarting after every success, until no candidate still reproduces
+//! the failure. Edit ops are total ([`treequery_core::tree::EditOp::normalize`]
+//! folds every address onto the tree it meets), so dropping any subset
+//! of a script, or shrinking the tree under it, never invalidates the
+//! remaining ops. Determinism is the point:
 //! the same case and the same failure predicate always produce the same
 //! (byte-identical once rendered) minimal reproducer, which is what the
 //! golden tests in `tests/shrinker_golden.rs` pin down.
@@ -17,6 +21,7 @@
 
 use treequery_core::cq::{Cq, CqAtom};
 use treequery_core::datalog::{BasePred, BodyAtom, Program, UnaryRef};
+use treequery_core::tree::EditOp;
 use treequery_core::xpath::{Path, Qual};
 
 use crate::{compact_cq, treeops, CaseQuery, FuzzCase};
@@ -266,12 +271,33 @@ pub fn shrink(
         if stats.attempts >= MAX_ATTEMPTS {
             break;
         }
+        // Pass 0: drop edit-script ops (scripts are total, so any
+        // subset is still a valid script).
+        for i in 0..cur.edits.len() {
+            let mut edits = cur.edits.clone();
+            edits.remove(i);
+            let cand = FuzzCase {
+                tree: cur.tree.clone(),
+                query: cur.query.clone(),
+                edits,
+            };
+            stats.attempts += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                stats.steps += 1;
+                continue 'outer;
+            }
+            if stats.attempts >= MAX_ATTEMPTS {
+                break 'outer;
+            }
+        }
         // Pass 1: delete subtrees, largest candidates first (pre order).
         for r in 1..cur.tree.len() as u32 {
             let v = cur.tree.node_at_pre(r);
             let cand = FuzzCase {
                 tree: treeops::delete_subtree(&cur.tree, v),
                 query: cur.query.clone(),
+                edits: cur.edits.clone(),
             };
             stats.attempts += 1;
             if still_fails(&cand) {
@@ -289,6 +315,7 @@ pub fn shrink(
             let cand = FuzzCase {
                 tree: treeops::promote_to_root(&cur.tree, c),
                 query: cur.query.clone(),
+                edits: cur.edits.clone(),
             };
             stats.attempts += 1;
             if still_fails(&cand) {
@@ -309,6 +336,7 @@ pub fn shrink(
                 let cand = FuzzCase {
                     tree: treeops::hoist_child(&cur.tree, v, c),
                     query: cur.query.clone(),
+                    edits: cur.edits.clone(),
                 };
                 stats.attempts += 1;
                 if still_fails(&cand) {
@@ -326,6 +354,7 @@ pub fn shrink(
             let cand = FuzzCase {
                 tree: cur.tree.clone(),
                 query,
+                edits: cur.edits.clone(),
             };
             stats.attempts += 1;
             if still_fails(&cand) {
@@ -347,6 +376,7 @@ pub fn shrink(
                 let cand = FuzzCase {
                     tree: treeops::relabel(&cur.tree, v, CANON_LABEL),
                     query: cur.query.clone(),
+                    edits: cur.edits.clone(),
                 };
                 stats.attempts += 1;
                 if still_fails(&cand) {
@@ -364,6 +394,23 @@ pub fn shrink(
             let cand = FuzzCase {
                 tree: cur.tree.clone(),
                 query,
+                edits: cur.edits.clone(),
+            };
+            stats.attempts += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                stats.steps += 1;
+                continue;
+            }
+        }
+        // Pass 5: canonicalize edit-script ops — labels to the canon
+        // label, addresses to zero (one change per attempt; both counts
+        // strictly decrease, so the pass terminates).
+        if let Some(edits) = canonicalize_edits(&cur.edits) {
+            let cand = FuzzCase {
+                tree: cur.tree.clone(),
+                query: cur.query.clone(),
+                edits,
             };
             stats.attempts += 1;
             if still_fails(&cand) {
@@ -375,6 +422,67 @@ pub fn shrink(
         break;
     }
     (cur, stats)
+}
+
+/// The first single-field canonicalization of an edit script: a
+/// non-canon op label set to [`CANON_LABEL`], or a nonzero address set
+/// to zero. `None` when the script is fully canonical.
+fn canonicalize_edits(edits: &[EditOp]) -> Option<Vec<EditOp>> {
+    for (i, op) in edits.iter().enumerate() {
+        let replacement = match op {
+            EditOp::InsertLeaf {
+                parent_pre,
+                child_idx,
+                label,
+            } => {
+                if label != CANON_LABEL {
+                    Some(EditOp::InsertLeaf {
+                        parent_pre: *parent_pre,
+                        child_idx: *child_idx,
+                        label: CANON_LABEL.to_owned(),
+                    })
+                } else if *parent_pre != 0 {
+                    Some(EditOp::InsertLeaf {
+                        parent_pre: 0,
+                        child_idx: *child_idx,
+                        label: label.clone(),
+                    })
+                } else if *child_idx != 0 {
+                    Some(EditOp::InsertLeaf {
+                        parent_pre: 0,
+                        child_idx: 0,
+                        label: label.clone(),
+                    })
+                } else {
+                    None
+                }
+            }
+            EditOp::DeleteSubtree { pre } => {
+                (*pre != 0).then_some(EditOp::DeleteSubtree { pre: 0 })
+            }
+            EditOp::Relabel { pre, label } => {
+                if label != CANON_LABEL {
+                    Some(EditOp::Relabel {
+                        pre: *pre,
+                        label: CANON_LABEL.to_owned(),
+                    })
+                } else if *pre != 0 {
+                    Some(EditOp::Relabel {
+                        pre: 0,
+                        label: label.clone(),
+                    })
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(new_op) = replacement {
+            let mut out = edits.to_vec();
+            out[i] = new_op;
+            return Some(out);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -389,6 +497,7 @@ mod tests {
         let case = FuzzCase {
             tree: parse_term("r(a(b(c) b) a(c(b)) b(a))").unwrap(),
             query: CaseQuery::XPath(parse_xpath("child::*[lab()=b]/descendant::*").unwrap()),
+            edits: Vec::new(),
         };
         let (min, stats) = shrink(&case, &mut |_| true);
         assert_eq!(min.tree.len(), 1);
@@ -402,6 +511,7 @@ mod tests {
         let case = FuzzCase {
             tree: parse_term("r(a(b(c) b) a(c(b)) b(a))").unwrap(),
             query: CaseQuery::XPath(parse_xpath("descendant::*[lab()=b]").unwrap()),
+            edits: Vec::new(),
         };
         let (min, _) = shrink(&case, &mut |c| {
             c.tree
@@ -427,9 +537,53 @@ mod tests {
         let case = FuzzCase {
             tree: deep_path(10_000, "x"),
             query: CaseQuery::XPath(parse_xpath("descendant::*").unwrap()),
+            edits: Vec::new(),
         };
         let (min, _) = shrink(&case, &mut |c| !c.tree.is_empty());
         assert_eq!(min.tree.len(), 1);
+    }
+
+    #[test]
+    fn edit_scripts_shrink_to_the_essential_op() {
+        // Predicate: the script still contains at least one relabel op.
+        // Everything else — the inserts, the deletes, the tree, the
+        // query — is noise the shrinker must strip.
+        let case = FuzzCase {
+            tree: parse_term("r(a(b(c) b) a(c(b)) b(a))").unwrap(),
+            query: CaseQuery::XPath(parse_xpath("descendant::*[lab()=b]").unwrap()),
+            edits: vec![
+                EditOp::InsertLeaf {
+                    parent_pre: 3,
+                    child_idx: 1,
+                    label: "c".into(),
+                },
+                EditOp::Relabel {
+                    pre: 5,
+                    label: "b".into(),
+                },
+                EditOp::DeleteSubtree { pre: 2 },
+                EditOp::InsertLeaf {
+                    parent_pre: 7,
+                    child_idx: 2,
+                    label: "b".into(),
+                },
+            ],
+        };
+        let (min, stats) = shrink(&case, &mut |c| {
+            c.edits
+                .iter()
+                .any(|op| matches!(op, EditOp::Relabel { .. }))
+        });
+        assert_eq!(
+            min.edits,
+            vec![EditOp::Relabel {
+                pre: 0,
+                label: "a".into()
+            }],
+            "script must reduce to one fully canonical relabel"
+        );
+        assert_eq!(min.tree.len(), 1, "tree is noise for this predicate");
+        assert!(stats.steps >= 5);
     }
 
     #[test]
@@ -437,6 +591,7 @@ mod tests {
         let case = FuzzCase {
             tree: parse_term("r(a(b(c) b) a(c(b)) b(a))").unwrap(),
             query: CaseQuery::XPath(parse_xpath("descendant::*[lab()=b]").unwrap()),
+            edits: Vec::new(),
         };
         let mut pred = |c: &FuzzCase| c.tree.nodes().any(|v| c.tree.label_name(v) == "b");
         let (a, sa) = shrink(&case, &mut pred);

@@ -32,6 +32,11 @@ impl PathLabel {
         &self.0
     }
 
+    /// Builds a label from raw components (edit-time label synthesis).
+    pub(crate) fn from_components(components: Vec<i64>) -> PathLabel {
+        PathLabel(components)
+    }
+
     /// Depth of the labeled node (= number of components).
     pub fn depth(&self) -> usize {
         self.0.len()

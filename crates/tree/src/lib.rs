@@ -25,6 +25,7 @@
 
 mod axis;
 mod builder;
+pub mod edit;
 mod enumerate;
 mod generate;
 mod label;
@@ -39,6 +40,10 @@ mod xml;
 
 pub use axis::Axis;
 pub use builder::TreeBuilder;
+pub use edit::{
+    parse_script, render_script, EditDelta, EditKind, EditOp, EditParseError, EditableTree,
+    RemovedNode,
+};
 pub use enumerate::{all_labeled_trees, all_trees, count_trees};
 pub use generate::{
     caterpillar, deep_path, full_binary, random_labels, random_recursive_tree,

@@ -94,6 +94,16 @@ impl NodeSet {
         self.universe
     }
 
+    /// Grows the universe to `new_universe` (≥ current), keeping the
+    /// membership; appended ids start absent. O(words added) — the cheap
+    /// direction, which is why tree edits append node ids rather than
+    /// renumbering.
+    pub fn grow(&mut self, new_universe: usize) {
+        debug_assert!(new_universe >= self.universe, "grow cannot shrink");
+        self.universe = new_universe;
+        self.words.resize(new_universe.div_ceil(64), 0);
+    }
+
     /// Inserts a node. Returns whether it was newly inserted.
     #[inline]
     pub fn insert(&mut self, v: NodeId) -> bool {

@@ -15,8 +15,15 @@
 //! them back in *reverse* order so that the next identical run pops buffers
 //! in the same sequence it did during warm-up; capacities then line up
 //! deterministically regardless of how work was interleaved in between.
+//!
+//! Puts are capped: a buffer whose capacity exceeds [`MAX_POOLED_BYTES`]
+//! is shrunk before it re-enters the pool, so one query against a one-off
+//! huge document does not pin that document's working set for the process
+//! lifetime. The cap is far above anything the steady-state benchmarks
+//! touch, so the zero-allocation gate is unaffected.
 
 use std::cell::RefCell;
+use std::mem::size_of;
 
 use crate::nodeset::NodeSet;
 use crate::par::SweepCarry;
@@ -36,6 +43,21 @@ thread_local! {
     static POOL: RefCell<Pool> = RefCell::new(Pool::default());
 }
 
+/// Upper bound on the capacity (in bytes) a single pooled buffer may
+/// retain. Buffers above the cap are shrunk on put.
+pub const MAX_POOLED_BYTES: usize = 1 << 20;
+
+/// Shrink-on-put: clamps an oversized buffer's capacity before pooling.
+/// The buffer is cleared first (a capped buffer's contents are garbage by
+/// contract anyway — every take clears).
+fn shrink<T>(v: &mut Vec<T>) {
+    let max_len = MAX_POOLED_BYTES / size_of::<T>().max(1);
+    if v.capacity() > max_len {
+        v.clear();
+        v.shrink_to(max_len);
+    }
+}
+
 /// Takes an empty [`NodeSet`] over `universe` nodes from the pool.
 pub fn take_set(universe: usize) -> NodeSet {
     let words = POOL
@@ -53,7 +75,8 @@ pub fn take_full(universe: usize) -> NodeSet {
 
 /// Returns a set's word buffer to the pool.
 pub fn put_set(s: NodeSet) {
-    let words = s.into_words();
+    let mut words = s.into_words();
+    shrink(&mut words);
     POOL.with(|p| p.borrow_mut().words.push(words));
 }
 
@@ -65,7 +88,8 @@ pub fn take_u32s() -> Vec<u32> {
 }
 
 /// Returns a `Vec<u32>` to the pool.
-pub fn put_u32s(v: Vec<u32>) {
+pub fn put_u32s(mut v: Vec<u32>) {
+    shrink(&mut v);
     POOL.with(|p| p.borrow_mut().u32s.push(v));
 }
 
@@ -79,7 +103,8 @@ pub fn take_nodes() -> Vec<NodeId> {
 }
 
 /// Returns a `Vec<NodeId>` to the pool.
-pub fn put_nodes(v: Vec<NodeId>) {
+pub fn put_nodes(mut v: Vec<NodeId>) {
+    shrink(&mut v);
     POOL.with(|p| p.borrow_mut().nodes.push(v));
 }
 
@@ -93,7 +118,8 @@ pub fn take_pairs() -> Vec<(u32, u32)> {
 }
 
 /// Returns a `Vec<(u32, u32)>` to the pool.
-pub fn put_pairs(v: Vec<(u32, u32)>) {
+pub fn put_pairs(mut v: Vec<(u32, u32)>) {
+    shrink(&mut v);
     POOL.with(|p| p.borrow_mut().pairs.push(v));
 }
 
@@ -107,7 +133,8 @@ pub fn take_carries() -> Vec<SweepCarry> {
 }
 
 /// Returns a `Vec<SweepCarry>` to the pool.
-pub fn put_carries(v: Vec<SweepCarry>) {
+pub fn put_carries(mut v: Vec<SweepCarry>) {
+    shrink(&mut v);
     POOL.with(|p| p.borrow_mut().carries.push(v));
 }
 
@@ -126,6 +153,7 @@ pub fn put_set_vec(mut v: Vec<NodeSet>) {
     while let Some(s) = v.pop() {
         put_set(s);
     }
+    shrink(&mut v);
     POOL.with(|p| p.borrow_mut().sets.push(v));
 }
 
@@ -151,6 +179,38 @@ mod tests {
         assert!(v2.is_empty());
         assert!(v2.capacity() >= cap);
         put_pairs(v2);
+    }
+
+    #[test]
+    fn oversized_buffers_are_shrunk_on_put() {
+        // A one-off huge take must not pin its capacity in the pool.
+        let cap_u32 = MAX_POOLED_BYTES / size_of::<u32>();
+        let mut v = take_u32s();
+        v.reserve(4 * cap_u32);
+        assert!(v.capacity() > cap_u32);
+        put_u32s(v);
+        let v2 = take_u32s();
+        assert!(
+            v2.capacity() <= cap_u32,
+            "pooled capacity {} exceeds the {} cap",
+            v2.capacity() * size_of::<u32>(),
+            MAX_POOLED_BYTES
+        );
+        put_u32s(v2);
+
+        // Bitset word buffers go through the same cap.
+        let huge = take_set(64 * MAX_POOLED_BYTES);
+        put_set(huge);
+        let w = take_set(64);
+        assert!(w.into_words().capacity() <= MAX_POOLED_BYTES / size_of::<u64>());
+
+        // Buffers at or under the cap keep their capacity (the warm-up
+        // contract the zero-alloc gate relies on).
+        let mut small = take_pairs();
+        small.reserve(1024);
+        let cap = small.capacity();
+        put_pairs(small);
+        assert!(take_pairs().capacity() >= cap);
     }
 
     #[test]

@@ -85,6 +85,7 @@ fn regenerate_seed_corpus() {
                 query: treequery_fuzz::CaseQuery::Cq(
                     cq::parse_cq("q() :- preceding-sibling-or-self(x0, x1).").unwrap(),
                 ),
+                edits: Vec::new(),
             },
             note: "seed 0xc0c4: cq/acyclic dropped the reflexive (root, root) \
                    pair of NextSibling* (no sibling group for the root)"
@@ -97,6 +98,7 @@ fn regenerate_seed_corpus() {
                 query: treequery_fuzz::CaseQuery::Cq(
                     cq::parse_cq("q() :- nextsibling*(x1, x0).").unwrap(),
                 ),
+                edits: Vec::new(),
             },
             note: "seed 0xc0c4: same root/reflexive-sibling bug, forward \
                    normalization direction"
@@ -111,6 +113,7 @@ fn regenerate_seed_corpus() {
                 query: treequery_fuzz::CaseQuery::XPath(
                     xpath::parse_xpath("descendant::*[lab()=a]/child::*[lab()=b]").unwrap(),
                 ),
+                edits: Vec::new(),
             },
             note: "handwritten: streamable descendant/child pattern with \
                    repeated matches at different depths"
@@ -126,9 +129,45 @@ fn regenerate_seed_corpus() {
                     )
                     .unwrap(),
                 ),
+                edits: Vec::new(),
             },
             note: "handwritten: recursion-free program comparing planner, \
                    naive, and TMNF evaluation"
+                .into(),
+        },
+        // Shrunk edit-script seeds: each replays the edit differential —
+        // after every op the incrementally maintained document, patched
+        // XASR, and fingerprint delta are checked against a rebuild
+        // oracle under every strategy and both worker counts.
+        Reproducer {
+            category: "edit-diff".into(),
+            case: treequery_fuzz::FuzzCase {
+                tree: parse_term("r(a(b) c)").unwrap(),
+                query: treequery_fuzz::CaseQuery::XPath(
+                    xpath::parse_xpath("descendant::*[lab()=b]").unwrap(),
+                ),
+                edits: treequery_core::tree::parse_script("relabel(3,b); insert(0,0,b); delete(1)")
+                    .unwrap(),
+            },
+            note: "handwritten: relabel flips a match on, insert adds one, \
+                   delete removes the original subtree — answer set churns \
+                   on every step"
+                .into(),
+        },
+        Reproducer {
+            category: "edit-diff".into(),
+            case: treequery_fuzz::FuzzCase {
+                tree: parse_term("r(a a(b))").unwrap(),
+                query: treequery_fuzz::CaseQuery::Datalog(
+                    datalog::parse_program(
+                        "P0(x) :- label(x, a), child(x, y), label(y, b). ?- P0.",
+                    )
+                    .unwrap(),
+                ),
+                edits: treequery_core::tree::parse_script("insert(1,0,b); relabel(4,a)").unwrap(),
+            },
+            note: "handwritten: exercises the semi-naive datalog delta pass \
+                   through a live watch after each edit"
                 .into(),
         },
     ];

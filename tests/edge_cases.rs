@@ -11,7 +11,11 @@ use treequery_core::{cq, datalog, parse_term, xpath, Tree};
 use treequery_fuzz::{differential_check, shrink, CaseQuery, DiffOptions, FuzzCase};
 
 fn assert_agrees(tree: Tree, query: CaseQuery) {
-    let case = FuzzCase { tree, query };
+    let case = FuzzCase {
+        tree,
+        query,
+        edits: Vec::new(),
+    };
     let (d, checks) = differential_check(&case, &DiffOptions::default());
     assert!(checks >= 2, "at least two executors must run");
     if let Some(d) = d {
@@ -63,6 +67,7 @@ fn deep_chain_survives_the_shrinker() {
     let case = FuzzCase {
         tree: deep_path(10_000, "a"),
         query: xp("self::*"),
+        edits: Vec::new(),
     };
     // Predicate: tree deeper than 5 nodes (monotone under shrinking
     // until the bound, so the minimum is a 6-node chain).

@@ -32,6 +32,7 @@ fn start_case() -> FuzzCase {
         query: CaseQuery::XPath(
             xpath::parse_xpath("descendant::*[lab()=b]/child::*[lab()=c]").unwrap(),
         ),
+        edits: Vec::new(),
     }
 }
 

@@ -89,4 +89,18 @@ SERVER_PID=$!
 cargo run -p treequery-bench --release --bin harness -q -- probe-endpoint "$ENDPOINT_PORT"
 wait "$SERVER_PID"
 
+echo "==> query service conformance gate (serve + transcript replay)"
+# One multi-tenant server process, replayed against the committed golden
+# transcript: every verb, structured errors, a cross-connection CANCEL of
+# a runaway NP-class query, a deadline-exceeded query, a metrics scrape
+# (validated as Prometheus exposition, with per-verb/per-code counters
+# checked), and a clean protocol-level shutdown. The replay exits 1 on
+# any mismatch; the server must then exit 0 on its own.
+SERVE_PORT=9185
+cargo run -p treequery-bench --release --bin harness -q -- serve "$SERVE_PORT" &
+SERVE_PID=$!
+cargo run -p treequery-bench --release --bin harness -q -- \
+    serve-client "$SERVE_PORT" crates/serve/transcripts/ci_session.jsonl
+wait "$SERVE_PID"
+
 echo "CI OK"

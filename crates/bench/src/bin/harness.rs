@@ -107,6 +107,8 @@ usage: harness [EXPERIMENT-IDS...] [--report FILE]
        harness probe-endpoint PORT
        harness bench [--out FILE] [--baseline FILE] [--reps N] [--sizes SMALL,LARGE]
        harness fuzz [--seconds N] [--seed S] [--rate R] [--edits] [--corpus DIR | --no-corpus]
+       harness serve PORT [--heavy-cap N] [--admit-timeout-ms N]
+       harness serve-client PORT TRANSCRIPT
 
 With no arguments, runs all experiments (e1..e19, e21..e24) and prints
 their tables. `--report` writes a machine-readable JSON report instead.
@@ -116,7 +118,10 @@ the demo workload; `probe-endpoint` is the CI client for the endpoint
 gate. `bench` runs the pinned continuous-benchmark suite, writes
 BENCH_<git-sha>.json, and (with --baseline) exits 1 on >15% wall /
 >5% allocated-byte regressions or any steady-state sweep-kernel
-allocation.";
+allocation. `serve` runs the multi-tenant query service (line-JSON over
+TCP on 127.0.0.1:PORT, verbs hello/load/query/edit/cancel/...);
+`serve-client` replays a transcript against it and exits 1 on any
+mismatch (the ci.sh serve gate).";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}\n\n{USAGE}");
@@ -772,6 +777,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        Some("serve-client") => run_serve_client(&args[1..]),
         Some("probe-endpoint") => {
             let port = args
                 .get(1)
@@ -841,6 +848,81 @@ fn main() {
             for (_, run) in selected {
                 run();
             }
+        }
+    }
+}
+
+/// The `serve` subcommand: runs the multi-tenant query service in the
+/// foreground until a client sends the `shutdown` verb.
+fn run_serve(args: &[String]) -> ! {
+    let port = args
+        .first()
+        .and_then(|p| p.parse::<u16>().ok())
+        .unwrap_or_else(|| usage_error("serve requires a port"));
+    let mut config = treequery_serve::ServerConfig::default();
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |name: &str| {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--heavy-cap" => {
+                config.heavy_cap = take("--heavy-cap")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--heavy-cap expects an integer"))
+            }
+            "--admit-timeout-ms" => {
+                let ms: u64 = take("--admit-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--admit-timeout-ms expects an integer"));
+                config.admit_timeout = Duration::from_millis(ms);
+            }
+            other => usage_error(&format!("unknown serve option '{other}'")),
+        }
+    }
+    let server = match treequery_serve::Server::bind(&format!("127.0.0.1:{port}"), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "treequery-serve listening on 127.0.0.1:{port} (protocol v{})",
+        { treequery_serve::PROTOCOL_VERSION }
+    );
+    match server.run() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `serve-client` subcommand: replays a transcript against a running
+/// server — the CI serve gate's client half. Exits 1 on any mismatch.
+fn run_serve_client(args: &[String]) -> ! {
+    let port = args
+        .first()
+        .and_then(|p| p.parse::<u16>().ok())
+        .unwrap_or_else(|| usage_error("serve-client requires a port"));
+    let path = args
+        .get(1)
+        .unwrap_or_else(|| usage_error("serve-client requires a transcript path"));
+    match treequery_serve::replay(port, path) {
+        Ok(report) => {
+            println!(
+                "transcript ok: {} requests sent, {} checks matched",
+                report.requests, report.checks
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("transcript FAILED: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -43,7 +43,8 @@ pub use treequery_tree as tree;
 pub use treequery_xpath as xpath;
 
 pub use treequery_tree::{
-    parse_term, parse_xml, to_xml, Axis, NodeId, NodeSet, Order, Tree, TreeBuilder,
+    parse_term, parse_xml, to_xml, Axis, CancelReason, CancelToken, NodeId, NodeSet, Order, Tree,
+    TreeBuilder,
 };
 
 pub use plan::{
@@ -66,6 +67,12 @@ pub enum EngineError {
     NoQueryPredicate,
     /// The query cannot be streamed, even after backward-axis elimination.
     NotStreamable(String),
+    /// The query was cooperatively cancelled mid-execution: the ambient
+    /// [`CancelToken`] tripped (explicit CANCEL or a passed deadline) and
+    /// the kernels bailed at the next chunk boundary. Any partial result
+    /// was discarded; shared state (plan cache, metrics, scratch pools)
+    /// is untouched by the abort.
+    Cancelled(CancelReason),
 }
 
 impl std::fmt::Display for EngineError {
@@ -76,6 +83,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Datalog(e) => write!(f, "{e}"),
             EngineError::NoQueryPredicate => f.write_str("datalog program has no query predicate"),
             EngineError::NotStreamable(m) => write!(f, "not streamable: {m}"),
+            EngineError::Cancelled(reason) => write!(f, "query {reason}"),
         }
     }
 }
@@ -354,9 +362,41 @@ impl<'t> Engine<'t> {
     }
 
     /// Evaluates one query through the full pipeline.
+    ///
+    /// Cancellation note: evaluation honours the ambient
+    /// [`tree::cancel`] token if the caller installed one
+    /// ([`Engine::eval_with_cancel`] does) — there is deliberately no
+    /// separate cancellation-free code path; with no token installed the
+    /// kernels' checkpoints cost one thread-local read each.
     pub fn eval(&self, query: &Query) -> Result<QueryOutput, EngineError> {
         let ir = self.lower(query)?;
         self.eval_ir(&ir)
+    }
+
+    /// Evaluates one query under a [`CancelToken`]: the token is
+    /// installed as the thread's ambient token for the duration (worker
+    /// pools re-install it on their threads), every kernel checkpoint
+    /// observes it, and a tripped token surfaces as
+    /// [`EngineError::Cancelled`] within one chunk boundary — partial
+    /// results are discarded, shared state (plan cache, scratch pools,
+    /// metrics) stays consistent. Deadlines are tokens too:
+    /// [`CancelToken::with_deadline`].
+    pub fn eval_with_cancel(
+        &self,
+        query: &Query,
+        token: &CancelToken,
+    ) -> Result<QueryOutput, EngineError> {
+        let ir = self.lower(query)?;
+        self.eval_ir_with_cancel(&ir, token)
+    }
+
+    /// [`Engine::eval_with_cancel`] for an already-lowered query.
+    pub fn eval_ir_with_cancel(
+        &self,
+        ir: &QueryIr,
+        token: &CancelToken,
+    ) -> Result<QueryOutput, EngineError> {
+        tree::cancel::with_token(token, || self.eval_ir(ir))
     }
 
     /// Evaluates an already-lowered query (plan-cache aware). While the

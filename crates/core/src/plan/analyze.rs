@@ -296,6 +296,7 @@ impl MetricsSnapshot {
             .set("plan_cache_hits", self.plan_cache_hits)
             .set("plan_cache_misses", self.plan_cache_misses)
             .set("queries_executed", self.queries_executed)
+            .set("queries_cancelled", self.queries_cancelled)
             .set("batch_queries", self.batch_queries)
             .set("semijoin_passes", self.semijoin_passes)
             .set("candidate_nodes", self.candidate_nodes)
@@ -321,6 +322,9 @@ impl MetricsSnapshot {
             queries_executed: self
                 .queries_executed
                 .saturating_sub(earlier.queries_executed),
+            queries_cancelled: self
+                .queries_cancelled
+                .saturating_sub(earlier.queries_cancelled),
             batch_queries: self.batch_queries.saturating_sub(earlier.batch_queries),
             semijoin_passes: self.semijoin_passes.saturating_sub(earlier.semijoin_passes),
             candidate_nodes: self.candidate_nodes.saturating_sub(earlier.candidate_nodes),

@@ -58,6 +58,9 @@ pub struct Metrics {
     pub plan_cache_misses: AtomicU64,
     /// Queries executed end to end.
     pub queries_executed: AtomicU64,
+    /// Queries aborted by cooperative cancellation (explicit CANCEL or a
+    /// passed deadline observed at a chunk boundary).
+    pub queries_cancelled: AtomicU64,
     /// Queries submitted through `eval_batch`.
     pub batch_queries: AtomicU64,
     /// Semijoin passes run by full reducers (2 per atom per reduced
@@ -93,6 +96,8 @@ pub struct MetricsSnapshot {
     pub plan_cache_misses: u64,
     /// Queries executed end to end.
     pub queries_executed: u64,
+    /// Queries aborted by cooperative cancellation.
+    pub queries_cancelled: u64,
     /// Queries submitted through `eval_batch`.
     pub batch_queries: u64,
     /// Semijoin passes run by full reducers.
@@ -161,6 +166,7 @@ impl Metrics {
             plan_cache_hits: get(&self.plan_cache_hits),
             plan_cache_misses: get(&self.plan_cache_misses),
             queries_executed: get(&self.queries_executed),
+            queries_cancelled: get(&self.queries_cancelled),
             batch_queries: get(&self.batch_queries),
             semijoin_passes: get(&self.semijoin_passes),
             candidate_nodes: get(&self.candidate_nodes),
@@ -195,6 +201,7 @@ impl Metrics {
         zero(&self.plan_cache_hits);
         zero(&self.plan_cache_misses);
         zero(&self.queries_executed);
+        zero(&self.queries_cancelled);
         zero(&self.batch_queries);
         zero(&self.semijoin_passes);
         zero(&self.candidate_nodes);
@@ -216,7 +223,7 @@ impl MetricsSnapshot {
     /// through the registry.
     pub fn publish_to_registry(&self) {
         let registry = treequery_obs::metrics::global();
-        let rows: [(&'static str, &'static str, u64); 13] = [
+        let rows: [(&'static str, &'static str, u64); 14] = [
             (
                 "treequery_queries_lowered",
                 "Queries lowered into the IR.",
@@ -241,6 +248,11 @@ impl MetricsSnapshot {
                 "treequery_queries_executed",
                 "Queries executed end to end.",
                 self.queries_executed,
+            ),
+            (
+                "treequery_queries_cancelled",
+                "Queries aborted by cooperative cancellation.",
+                self.queries_cancelled,
             ),
             (
                 "treequery_batch_queries",
@@ -457,6 +469,34 @@ pub fn execute(
     metrics: &Metrics,
 ) -> Result<QueryOutput, EngineError> {
     Metrics::add(&metrics.queries_executed, 1);
+    // Entry checkpoint: an already-tripped ambient token (pre-cancelled,
+    // or a deadline that passed while the query sat in an admission
+    // queue) fails fast without touching a kernel.
+    if let Some(reason) = treequery_tree::cancel::active_reason() {
+        Metrics::add(&metrics.queries_cancelled, 1);
+        return Err(EngineError::Cancelled(reason));
+    }
+    let result = execute_kernels(ir, plan, tree, metrics);
+    // Exit checkpoint: the kernels bail out cooperatively at chunk
+    // boundaries but return their partial results normally; this is
+    // where a cancelled run's partials are discarded and the abort
+    // becomes an error. One code path — every caller (server, fuzz
+    // oracle, bench suite, batch eval) funnels through here.
+    if let Some(reason) = treequery_tree::cancel::active_reason() {
+        Metrics::add(&metrics.queries_cancelled, 1);
+        return Err(EngineError::Cancelled(reason));
+    }
+    result
+}
+
+/// Strategy dispatch; see [`execute`] (which wraps this in the
+/// cancellation entry/exit checkpoints).
+fn execute_kernels(
+    ir: &QueryIr,
+    plan: &ExplainedPlan,
+    tree: &Tree,
+    metrics: &Metrics,
+) -> Result<QueryOutput, EngineError> {
     let mut run_span = treequery_obs::span("exec.run");
     let _mem = AllocScope::enter("exec.run");
     if run_span.is_recording() {

@@ -60,6 +60,14 @@ struct ParJob {
     flight: u64,
     /// Submitter's allocation scope, ditto.
     scope: Option<treequery_obs::alloc::ScopeHandle>,
+    /// Submitter's ambient cancel token, re-installed around every worker
+    /// chunk so kernel checkpoints inside the body observe it. Once the
+    /// token trips, remaining chunks are *drained* (claimed and counted
+    /// as finished without running the body): the caller's partial result
+    /// is discarded at the executor's final checkpoint anyway, and
+    /// draining is what frees the pool within one chunk instead of one
+    /// sweep.
+    cancel: Option<treequery_tree::CancelToken>,
 }
 
 struct ForStatus {
@@ -85,10 +93,17 @@ impl ParJob {
                 break;
             }
             let result = catch_unwind(AssertUnwindSafe(|| {
+                if self.cancel.as_ref().is_some_and(|t| t.check().is_some()) {
+                    return; // drain: count the chunk done, skip the work
+                }
                 let run = || {
                     treequery_obs::flight::with_current_query(self.flight, || {
                         treequery_obs::with_ambient_depth(self.depth, || body(i))
                     })
+                };
+                let run = || match &self.cancel {
+                    Some(token) => treequery_tree::cancel::with_token(token, run),
+                    None => run(),
                 };
                 match &self.scope {
                     Some(handle) => treequery_obs::alloc::with_scope(handle, run),
@@ -259,6 +274,7 @@ impl WorkerPool {
             depth: treequery_obs::current_depth(),
             flight: treequery_obs::flight::current_query(),
             scope: treequery_obs::alloc::current_scope(),
+            cancel: treequery_tree::cancel::current(),
         };
         {
             let mut state = self.state.lock().expect("pool lock poisoned");
@@ -282,7 +298,13 @@ impl WorkerPool {
             if i >= chunks {
                 break;
             }
-            let result = catch_unwind(AssertUnwindSafe(|| body(i)));
+            // Same drain rule as `run_worker`: once the submitter's token
+            // trips, remaining chunks complete without running.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if job.cancel.as_ref().is_none_or(|t| t.check().is_none()) {
+                    body(i)
+                }
+            }));
             let mut st = job.status.lock().expect("job lock poisoned");
             if let Err(p) = result {
                 if st.panic.is_none() {
@@ -356,18 +378,24 @@ impl WorkerPool {
         let depth = treequery_obs::current_depth();
         let flight = treequery_obs::flight::current_query();
         let alloc_scope = treequery_obs::alloc::current_scope();
+        let cancel = treequery_tree::cancel::current();
 
         {
             let mut state = self.state.lock().expect("pool lock poisoned");
             for (i, task) in tasks.into_iter().enumerate() {
                 let scope = Arc::clone(&scope);
                 let alloc_scope = alloc_scope.clone();
+                let cancel = cancel.clone();
                 let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         let task = || {
                             treequery_obs::flight::with_current_query(flight, || {
                                 treequery_obs::with_ambient_depth(depth, task)
                             })
+                        };
+                        let task = || match &cancel {
+                            Some(token) => treequery_tree::cancel::with_token(token, task),
+                            None => task(),
                         };
                         match &alloc_scope {
                             Some(handle) => treequery_obs::alloc::with_scope(handle, task),

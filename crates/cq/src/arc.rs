@@ -16,7 +16,7 @@
 //! The literal Horn-SAT construction of Proposition 6.2 (over explicit
 //! relations) lives in [`crate::relational`].
 
-use treequery_tree::{scratch, Axis, NodeSet, Tree};
+use treequery_tree::{cancel, scratch, Axis, NodeSet, Tree};
 
 use crate::ast::{Cq, CqAtom, CqVar};
 use crate::graph::JoinForest;
@@ -200,6 +200,12 @@ pub fn max_arc_consistent_from(q: &Cq, t: &Tree, init: Vec<NodeSet>) -> Option<V
         .collect();
     let mut buf = scratch::take_set(t.len());
     loop {
+        // Cancellation checkpoint per fixpoint round (each round is
+        // O(|Q| · n) of sweeps). The sets a cancelled exit leaves are
+        // over-approximate; the executor discards them.
+        if cancel::cancelled() {
+            break;
+        }
         let mut changed = false;
         for &(rel, x, y) in &rels {
             rel.image_into(t, &sets[x.index()], &mut buf, &SeqSweeper);
@@ -271,6 +277,12 @@ fn reduce(
 
     // Bottom-up: children constrain parents.
     for &v in forest.bfs_order.iter().rev() {
+        // Checkpoint per semijoin step (one forest edge = a few O(n)
+        // sweeps). Skipping the rest leaves over-approximate sets; a
+        // cancelled query never reads them.
+        if cancel::cancelled() {
+            break;
+        }
         let Some((u, atom_idxs)) = &forest.parent[v.index()] else {
             continue;
         };
@@ -296,6 +308,9 @@ fn reduce(
 
     // Top-down: parents constrain children.
     for &v in forest.bfs_order.iter().filter(|_| top_down) {
+        if cancel::cancelled() {
+            break;
+        }
         let Some((u, atom_idxs)) = &forest.parent[v.index()] else {
             continue;
         };

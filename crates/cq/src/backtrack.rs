@@ -140,6 +140,13 @@ pub(crate) fn for_each_valuation(
         };
         for cand in candidates {
             stats.assignments += 1;
+            // Cancellation checkpoint every 1024 tried assignments (the
+            // backtracking chunk): stop via the same early-exit path a
+            // satisfied Boolean query uses.
+            if stats.assignments.is_multiple_of(1024) && treequery_tree::cancel::cancelled() {
+                assignment[var.index()] = None;
+                return false;
+            }
             assignment[var.index()] = Some(cand);
             let ok = checks_at[depth]
                 .iter()

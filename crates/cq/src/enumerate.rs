@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use treequery_tree::{Axis, NodeId, NodeSet, Tree};
+use treequery_tree::{cancel, Axis, NodeId, NodeSet, Tree};
 
 use crate::arc::{atom_rel, full_reduce, AxisSweeper, Rel};
 use crate::ast::{Cq, CqVar};
@@ -366,6 +366,13 @@ impl<'t> Enumerator<'t> {
     ) -> bool {
         let Some(&var) = vars.get(depth) else {
             stats.valuations += 1;
+            // Cancellation checkpoint every 256 valuations — the
+            // enumeration chunk. Stopping reuses the `emit -> false`
+            // early-exit path, so a cancelled enumeration unwinds exactly
+            // like a satisfied Boolean query.
+            if stats.valuations.is_multiple_of(256) && cancel::cancelled() {
+                return false;
+            }
             return emit(assignment);
         };
         // Candidates given the parent assignment.

@@ -373,6 +373,12 @@ pub fn eval_via_rewrite(
     let (union, _) = rewrite_to_acyclic(q)?;
     let mut out = std::collections::BTreeSet::new();
     for part in &union {
+        // Cancellation checkpoint per union part (each part is a full
+        // reduce + enumeration; the parts' kernels also checkpoint
+        // internally). Partial unions are discarded by the executor.
+        if treequery_tree::cancel::cancelled() {
+            break;
+        }
         let res = crate::enumerate::eval_acyclic(part, t).expect("rewritten queries are acyclic");
         out.extend(res);
     }

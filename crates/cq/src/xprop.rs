@@ -10,7 +10,7 @@
 //! arc-consistency computation plus a minimum-picking pass (Theorem 6.5):
 //! `O(||A|| · |Q|)`.
 
-use treequery_tree::{Axis, NodeId, Order, Tree};
+use treequery_tree::{cancel, Axis, NodeId, Order, Tree};
 
 use crate::arc::max_arc_consistent_from;
 use crate::arc::{atom_rel, initial_sets, max_arc_consistent};
@@ -91,6 +91,13 @@ pub fn eval_x_property(q: &Cq, t: &Tree) -> Result<Option<Vec<NodeId>>, NotXTrac
     let Some(theta) = max_arc_consistent(&n, t) else {
         return Ok(None);
     };
+    // A cancelled arc-consistency exit leaves over-approximate sets (see
+    // `arc.rs`); Lemma 6.4 only holds at the true fixpoint, so the
+    // minimum valuation must not read them. The executor's exit
+    // checkpoint discards whatever a cancelled evaluation returns.
+    if cancel::cancelled() {
+        return Ok(None);
+    }
     let witness: Vec<NodeId> = (0..n.num_vars())
         .map(|i| {
             order

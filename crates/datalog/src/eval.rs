@@ -49,6 +49,12 @@ pub fn eval_query(prog: &Program, tree: &Tree) -> NodeSet {
 pub fn eval_naive(prog: &Program, tree: &Tree) -> Vec<NodeSet> {
     let mut extensions = vec![NodeSet::empty(tree.len()); prog.num_preds()];
     loop {
+        // Cancellation checkpoint per fixpoint round (each round is
+        // O(|P| · n)); a cancelled exit returns the partial model, which
+        // the caller discards.
+        if treequery_tree::cancel::cancelled() {
+            return extensions;
+        }
         let mut changed = false;
         for rule in &prog.rules {
             let intensional: Vec<(PredId, u32)> = rule

@@ -337,6 +337,12 @@ pub fn ground(prog: &Program, tree: &Tree) -> (HornFormula, AtomTable<GroundAtom
     // atom table; ensure_vars after interning.
     let mut body_buf = Vec::new();
     for rule in &prog.rules {
+        // Cancellation checkpoint per rule (one rule = one O(n) match
+        // sweep — the grounding chunk). A cancelled exit grounds a
+        // prefix of the program; the executor discards its model.
+        if treequery_tree::cancel::cancelled() {
+            break;
+        }
         let intensional: Vec<(PredId, VarId)> = rule
             .body
             .iter()

@@ -80,6 +80,29 @@ impl Histogram {
     }
 }
 
+/// A family of counters distinguished by one label's values — the shape
+/// the query service uses for per-verb request counts and per-code error
+/// counts (`treequery_serve_requests{verb="query"}`, …). Cells are
+/// created on first use and render as one sample line per label value.
+#[derive(Clone, Debug)]
+pub struct CounterFamily {
+    label: &'static str,
+    cells: Arc<Mutex<BTreeMap<String, Counter>>>,
+}
+
+impl CounterFamily {
+    /// The counter for one label value, created on first use.
+    pub fn with_label(&self, value: &str) -> Counter {
+        let mut cells = self.cells.lock().expect("counter family poisoned");
+        cells.entry(value.to_owned()).or_default().clone()
+    }
+
+    /// The label name.
+    pub fn label_name(&self) -> &'static str {
+        self.label
+    }
+}
+
 /// A family of histograms distinguished by label values (one label name,
 /// the common case: `stage`, `strategy`, …).
 #[derive(Clone, Debug)]
@@ -111,6 +134,8 @@ pub enum MetricValue {
     Counter(u64),
     /// A gauge's value.
     Gauge(i64),
+    /// `(label value, count)` rows of a counter family, label-sorted.
+    Counters(&'static str, Vec<(String, u64)>),
     /// `(label value, histogram)` rows of a family, label-sorted.
     Histograms(&'static str, Vec<(String, LatencyHistogram)>),
 }
@@ -129,6 +154,7 @@ pub struct MetricSnapshot {
 enum Instrument {
     Counter(Counter),
     Gauge(Gauge),
+    CounterFamily(CounterFamily),
     Family(HistogramFamily),
 }
 
@@ -188,6 +214,22 @@ impl Registry {
         g
     }
 
+    /// Registers and returns a counter family keyed by one label.
+    pub fn counter_family(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+    ) -> CounterFamily {
+        assert!(valid_name(label), "invalid label name {label:?}");
+        let f = CounterFamily {
+            label,
+            cells: Arc::new(Mutex::new(BTreeMap::new())),
+        };
+        self.register(name, help, Instrument::CounterFamily(f.clone()));
+        f
+    }
+
     /// Registers and returns a histogram family keyed by one label.
     pub fn histogram_family(
         &self,
@@ -216,6 +258,13 @@ impl Registry {
                 value: match &m.instrument {
                     Instrument::Counter(c) => MetricValue::Counter(c.get()),
                     Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::CounterFamily(f) => {
+                        let cells = f.cells.lock().expect("counter family poisoned");
+                        MetricValue::Counters(
+                            f.label,
+                            cells.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+                        )
+                    }
                     Instrument::Family(f) => {
                         let cells = f.cells.lock().expect("histogram family poisoned");
                         MetricValue::Histograms(
@@ -259,6 +308,27 @@ impl Registry {
             }
         }
         self.gauge(name, help)
+    }
+
+    /// Looks up an already-registered counter family by name, or
+    /// registers it.
+    pub fn counter_family_or_existing(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+    ) -> CounterFamily {
+        {
+            let metrics = self.metrics.lock().expect("registry poisoned");
+            if let Some(m) = metrics.iter().find(|m| m.name == name) {
+                if let Instrument::CounterFamily(f) = &m.instrument {
+                    assert_eq!(f.label, label, "metric {name:?} label mismatch");
+                    return f.clone();
+                }
+                panic!("metric {name:?} already registered with a different type");
+            }
+        }
+        self.counter_family(name, help, label)
     }
 
     /// Looks up an already-registered histogram family by name, or

@@ -73,6 +73,16 @@ pub fn render_snapshots(snapshots: &[MetricSnapshot]) -> String {
                 out.push_str(&format!("# TYPE {} gauge\n", m.name));
                 out.push_str(&format!("{} {}\n", m.name, v));
             }
+            MetricValue::Counters(label, rows) => {
+                out.push_str(&format!("# TYPE {} counter\n", m.name));
+                for (value, count) in rows {
+                    out.push_str(&format!(
+                        "{}{{{label}=\"{}\"}} {count}\n",
+                        m.name,
+                        escape_label(value)
+                    ));
+                }
+            }
             MetricValue::Histograms(label, rows) => {
                 out.push_str(&format!("# TYPE {} histogram\n", m.name));
                 for (value, hist) in rows {
@@ -266,6 +276,19 @@ treequery_stage_ns_sum{stage=\"exec.sweep\"} 9
 treequery_stage_ns_count{stage=\"exec.sweep\"} 1
 ";
         assert_eq!(render_registry(&r), expected);
+    }
+
+    #[test]
+    fn counter_family_renders_one_line_per_label() {
+        let r = Registry::new();
+        let f = r.counter_family("treequery_serve_requests", "Requests by verb.", "verb");
+        f.with_label("query").add(3);
+        f.with_label("edit").inc();
+        let text = render_registry(&r);
+        assert!(text.contains("# TYPE treequery_serve_requests counter"));
+        assert!(text.contains("treequery_serve_requests{verb=\"edit\"} 1\n"));
+        assert!(text.contains("treequery_serve_requests{verb=\"query\"} 3\n"));
+        assert_eq!(validate_exposition(&text).unwrap(), 2);
     }
 
     #[test]

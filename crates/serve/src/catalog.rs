@@ -1,0 +1,226 @@
+//! The document catalog: named mutable documents pooling one plan cache
+//! and one metrics block.
+//!
+//! Sharing is deliberate: [`treequery_core::plan::PlanCache`] entries are
+//! keyed by `(query fingerprint, tree fingerprint)`, so documents never
+//! collide, and an edit rekeys only the edited document's entries
+//! ([`Document::edit`] calls `rekey_tree`). One tenant's compiled plans
+//! therefore survive another tenant's churn.
+//!
+//! Locking is two-level: the catalog map behind an `RwLock` (held only
+//! for lookups — never across evaluation), and each document behind its
+//! own `RwLock` (queries share a read lock, edits take the write lock).
+//! That per-document lock is what makes query/edit interleavings
+//! linearizable across connections, the same guarantee the borrow
+//! checker gives single-threaded [`Document`] users.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use treequery_core::plan::{Metrics, PlanCache};
+use treequery_core::{Document, EngineConfig};
+use treequery_tree::Tree;
+
+use crate::proto::ErrorCode;
+
+/// One catalog entry's identity row (what `list` reports).
+#[derive(Clone, Debug)]
+pub struct DocInfo {
+    /// The catalog name.
+    pub name: String,
+    /// Node count of the current tree.
+    pub nodes: usize,
+    /// The maintained tree fingerprint.
+    pub fingerprint: u64,
+    /// Edits applied so far.
+    pub edits: u64,
+}
+
+/// A named collection of mutable documents sharing one engine runtime.
+pub struct Catalog {
+    docs: RwLock<BTreeMap<String, Arc<RwLock<Document>>>>,
+    config: EngineConfig,
+    cache: Arc<PlanCache>,
+    metrics: Arc<Metrics>,
+    /// Serializes load-check-insert so two concurrent `load`s of one
+    /// name cannot both succeed.
+    load_lock: Mutex<()>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new(EngineConfig::default())
+    }
+}
+
+impl Catalog {
+    /// An empty catalog with a fresh shared cache and metrics block.
+    pub fn new(config: EngineConfig) -> Catalog {
+        Catalog {
+            docs: RwLock::new(BTreeMap::new()),
+            config,
+            cache: Arc::new(PlanCache::default()),
+            metrics: Arc::new(Metrics::default()),
+            load_lock: Mutex::new(()),
+        }
+    }
+
+    /// The metrics block every document (and ephemeral engine) feeds.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The pooled plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Inserts a new document under `name`. Fails with
+    /// [`ErrorCode::DuplicateDocument`] if the name is taken — dropping
+    /// first is explicit, never implicit.
+    pub fn load(&self, name: &str, tree: Tree) -> Result<DocInfo, ErrorCode> {
+        let _serial = self.load_lock.lock().expect("catalog load lock poisoned");
+        if self
+            .docs
+            .read()
+            .expect("catalog poisoned")
+            .contains_key(name)
+        {
+            return Err(ErrorCode::DuplicateDocument);
+        }
+        let doc = Document::with_runtime(
+            tree,
+            self.config.clone(),
+            Arc::clone(&self.cache),
+            Arc::clone(&self.metrics),
+        );
+        let info = DocInfo {
+            name: name.to_owned(),
+            nodes: doc.tree().len(),
+            fingerprint: doc.fingerprint(),
+            edits: doc.edit_count(),
+        };
+        self.docs
+            .write()
+            .expect("catalog poisoned")
+            .insert(name.to_owned(), Arc::new(RwLock::new(doc)));
+        Ok(info)
+    }
+
+    /// Removes a document. Running queries holding the document's read
+    /// lock finish normally — the `Arc` keeps the document alive until
+    /// the last session lets go.
+    pub fn drop_doc(&self, name: &str) -> bool {
+        self.docs
+            .write()
+            .expect("catalog poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Looks a document up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<RwLock<Document>>> {
+        self.docs
+            .read()
+            .expect("catalog poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// All documents, name-sorted (the map is a BTree).
+    pub fn list(&self) -> Vec<DocInfo> {
+        let docs = self.docs.read().expect("catalog poisoned");
+        docs.iter()
+            .map(|(name, doc)| {
+                let d = doc.read().expect("document poisoned");
+                DocInfo {
+                    name: name.clone(),
+                    nodes: d.tree().len(),
+                    fingerprint: d.fingerprint(),
+                    edits: d.edit_count(),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.read().expect("catalog poisoned").len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treequery_tree::{parse_term, EditOp};
+
+    #[test]
+    fn load_query_drop_roundtrip() {
+        let cat = Catalog::default();
+        let info = cat.load("t", parse_term("r(a(b) c)").unwrap()).unwrap();
+        assert_eq!(info.nodes, 4);
+        assert_eq!(
+            cat.load("t", parse_term("x").unwrap()).unwrap_err(),
+            ErrorCode::DuplicateDocument
+        );
+        let doc = cat.get("t").unwrap();
+        let hits = doc.read().unwrap().engine().xpath("//a[b]").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(cat.drop_doc("t"));
+        assert!(!cat.drop_doc("t"));
+        assert!(cat.get("t").is_none());
+    }
+
+    #[test]
+    fn documents_pool_one_cache_and_edits_rekey_only_their_own() {
+        let cat = Catalog::default();
+        cat.load("a", parse_term("r(a(b) c)").unwrap()).unwrap();
+        cat.load("b", parse_term("x(y z)").unwrap()).unwrap();
+        cat.get("a")
+            .unwrap()
+            .read()
+            .unwrap()
+            .engine()
+            .xpath("//a")
+            .unwrap();
+        cat.get("b")
+            .unwrap()
+            .read()
+            .unwrap()
+            .engine()
+            .xpath("//y")
+            .unwrap();
+        assert_eq!(cat.plan_cache().len(), 2);
+        cat.get("a")
+            .unwrap()
+            .write()
+            .unwrap()
+            .edit(&EditOp::Relabel {
+                pre: 2,
+                label: "q".to_owned(),
+            })
+            .unwrap();
+        let misses = cat.metrics().snapshot().plan_cache_misses;
+        // Both entries survive the edit: a's was rekeyed, b's untouched.
+        cat.get("a")
+            .unwrap()
+            .read()
+            .unwrap()
+            .engine()
+            .xpath("//a")
+            .unwrap();
+        cat.get("b")
+            .unwrap()
+            .read()
+            .unwrap()
+            .engine()
+            .xpath("//y")
+            .unwrap();
+        assert_eq!(cat.metrics().snapshot().plan_cache_misses, misses);
+    }
+}

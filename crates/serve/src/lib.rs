@@ -1,0 +1,52 @@
+//! Multi-tenant query service over the treequery engine.
+//!
+//! This crate turns the single-tree [`treequery_core::Engine`] into a
+//! long-running service: a [`catalog::Catalog`] of named mutable
+//! [`treequery_core::Document`]s pooling one plan cache, a line-delimited
+//! JSON wire protocol over TCP ([`proto`]), per-query deadlines and
+//! cross-connection CANCEL through [`treequery_tree::CancelToken`], and
+//! admission control that keeps cheap (provably linear) queries flowing
+//! while expensive ones queue ([`admission`]).
+//!
+//! # Protocol sketch
+//!
+//! One JSON object per line, both directions. A connection opens with a
+//! versioned hello; every later request names a verb:
+//!
+//! ```text
+//! → {"verb":"hello","version":1}
+//! ← {"ok":true,"server":"treequery-serve","version":1}
+//! → {"verb":"load","name":"t","term":"r(a(b) c)"}
+//! ← {"ok":true,"doc":"t","nodes":4,...}
+//! → {"verb":"query","doc":"t","lang":"xpath","text":"//a[b]","deadline_ms":50,"tag":"q1"}
+//! ← {"ok":true,"id":1,"rows":[1],...}
+//! ```
+//!
+//! Errors are structured (`{"ok":false,"code":...,"error":...}`) and
+//! never drop the connection, with one deliberate exception: a hello
+//! carrying the wrong protocol version is answered and then closed —
+//! there is nothing the peer could say next that we would understand.
+//!
+//! # Cancellation
+//!
+//! `query` accepts `deadline_ms` and an optional client `tag`; the server
+//! assigns every running query an `id` and keeps `(id, tag) →`
+//! [`treequery_tree::CancelToken`] in a cross-connection registry. A
+//! `cancel` request (usually from a second connection — the first is
+//! blocked waiting for its answer) trips the token; the executor's
+//! kernels observe it at the next chunk boundary and the blocked
+//! connection gets `{"ok":false,"code":"cancelled"}` while the session —
+//! and the document — stay usable.
+
+pub mod admission;
+pub mod catalog;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use admission::{Admission, AdmissionTimeout, AdmissionVerdict, Permit};
+pub use catalog::Catalog;
+pub use client::{replay, replay_lines, ReplayReport};
+pub use proto::{ErrorCode, Frame, MAX_LINE_BYTES, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ServerHandle};

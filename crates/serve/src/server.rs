@@ -1,0 +1,318 @@
+//! The TCP server: accept loop, shared state, the cross-connection
+//! in-flight query registry, and the per-server metrics registry.
+//!
+//! Each connection gets its own session thread ([`crate::session`]); the
+//! threads share one [`Shared`] block: the catalog, admission control,
+//! and the registry of running queries that makes `cancel` work from a
+//! *different* connection than the one blocked on its answer.
+//!
+//! Shutdown is cooperative: the `shutdown` verb flips a flag and pokes
+//! the listener with a loopback connect so the blocked `accept` observes
+//! it — no platform-specific listener teardown needed.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use treequery_core::EngineConfig;
+use treequery_obs::metrics::{Counter, CounterFamily, Gauge, Registry};
+use treequery_obs::prom;
+use treequery_tree::CancelToken;
+
+use crate::admission::Admission;
+use crate::catalog::Catalog;
+use crate::session;
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Heavy-lane admission slots (superlinear plans in flight at once).
+    pub heavy_cap: usize,
+    /// How long a heavy query waits for a slot before
+    /// `admission_rejected`.
+    pub admit_timeout: Duration,
+    /// Engine configuration handed to every document.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            heavy_cap: 4,
+            admit_timeout: Duration::from_secs(2),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// One running query, visible to `cancel` from any connection.
+pub(crate) struct Inflight {
+    pub(crate) token: CancelToken,
+    pub(crate) tag: Option<String>,
+}
+
+/// State shared by every session thread of one server.
+pub struct Shared {
+    pub(crate) catalog: Catalog,
+    pub(crate) admission: Admission,
+    pub(crate) admit_timeout: Duration,
+    registry: Registry,
+    pub(crate) requests: CounterFamily,
+    pub(crate) errors: CounterFamily,
+    pub(crate) sessions_opened: Counter,
+    pub(crate) sessions_active: Gauge,
+    pub(crate) queries_inflight: Gauge,
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    next_query_id: AtomicU64,
+    shutdown: AtomicBool,
+    port: u16,
+}
+
+impl Shared {
+    fn new(config: &ServerConfig, port: u16) -> Shared {
+        let registry = Registry::new();
+        let requests = registry.counter_family(
+            "treequery_serve_requests",
+            "Requests handled, by verb.",
+            "verb",
+        );
+        let errors = registry.counter_family(
+            "treequery_serve_errors",
+            "Error responses sent, by structured code.",
+            "code",
+        );
+        let sessions_opened = registry.counter(
+            "treequery_serve_sessions_opened",
+            "Connections accepted since the server started.",
+        );
+        let sessions_active = registry.gauge(
+            "treequery_serve_sessions_active",
+            "Connections currently open.",
+        );
+        let queries_inflight = registry.gauge(
+            "treequery_serve_queries_inflight",
+            "Queries currently registered as cancellable.",
+        );
+        let admission = Admission::new(config.heavy_cap, &registry);
+        Shared {
+            catalog: Catalog::new(config.engine.clone()),
+            admission,
+            admit_timeout: config.admit_timeout,
+            registry,
+            requests,
+            errors,
+            sessions_opened,
+            sessions_active,
+            queries_inflight,
+            inflight: Mutex::new(HashMap::new()),
+            next_query_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            port,
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Registers a running query; returns its server-assigned id.
+    pub(crate) fn register_query(&self, token: CancelToken, tag: Option<String>) -> u64 {
+        let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        self.inflight
+            .lock()
+            .expect("inflight registry poisoned")
+            .insert(id, Inflight { token, tag });
+        self.queries_inflight.add(1);
+        id
+    }
+
+    /// Unregisters a finished (or rejected) query.
+    pub(crate) fn unregister_query(&self, id: u64) {
+        if self
+            .inflight
+            .lock()
+            .expect("inflight registry poisoned")
+            .remove(&id)
+            .is_some()
+        {
+            self.queries_inflight.add(-1);
+        }
+    }
+
+    /// Trips the token of the query with this server id. Returns how
+    /// many queries were cancelled (0 or 1).
+    pub(crate) fn cancel_by_id(&self, id: u64) -> usize {
+        let inflight = self.inflight.lock().expect("inflight registry poisoned");
+        match inflight.get(&id) {
+            Some(entry) => {
+                entry.token.cancel();
+                1
+            }
+            None => 0,
+        }
+    }
+
+    /// Trips every running query carrying this client tag.
+    pub(crate) fn cancel_by_tag(&self, tag: &str) -> usize {
+        let inflight = self.inflight.lock().expect("inflight registry poisoned");
+        let mut n = 0;
+        for entry in inflight.values() {
+            if entry.tag.as_deref() == Some(tag) {
+                entry.token.cancel();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and wakes the accept loop.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so the blocked accept() returns and observes
+        // the flag. A failure just means the listener is already gone.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+    }
+
+    /// Renders the Prometheus exposition for this server: the serve and
+    /// admission instruments plus a scrape-time snapshot of the shared
+    /// engine counters (every document pools one metrics block).
+    pub fn render_metrics(&self) -> String {
+        let snap = self.catalog.metrics().snapshot();
+        let rows: [(&'static str, &'static str, u64); 5] = [
+            (
+                "treequery_engine_queries_executed",
+                "Queries run end to end by this server's engines.",
+                snap.queries_executed,
+            ),
+            (
+                "treequery_engine_queries_cancelled",
+                "Queries aborted by cooperative cancellation.",
+                snap.queries_cancelled,
+            ),
+            (
+                "treequery_engine_plan_cache_hits",
+                "Plan-cache hits across the pooled cache.",
+                snap.plan_cache_hits,
+            ),
+            (
+                "treequery_engine_plan_cache_misses",
+                "Plan-cache misses across the pooled cache.",
+                snap.plan_cache_misses,
+            ),
+            (
+                "treequery_engine_plans_cached",
+                "Entries in the pooled plan cache right now.",
+                self.catalog.plan_cache().len() as u64,
+            ),
+        ];
+        for (name, help, value) in rows {
+            self.registry
+                .gauge_or_existing(name, help)
+                .set(value as i64);
+        }
+        prom::render_registry(&self.registry)
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let port = listener.local_addr()?.port();
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared::new(&config, port)),
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.shared.port
+    }
+
+    /// The shared state (for embedding and tests).
+    pub fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Runs the accept loop until shutdown is requested. Session threads
+    /// are detached; in-flight sessions drain on their own clock.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            if self.shared.shutting_down() {
+                return Ok(());
+            }
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.shared.shutting_down() {
+                return Ok(());
+            }
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || session::serve_connection(stream, shared));
+        }
+    }
+
+    /// Binds an ephemeral localhost port and runs the server on a
+    /// background thread: the one-call setup tests and the harness use.
+    pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+        let server = Server::bind("127.0.0.1:0", config)?;
+        let port = server.port();
+        let shared = server.shared();
+        let thread = std::thread::spawn(move || server.run());
+        Ok(ServerHandle {
+            port,
+            shared,
+            thread,
+        })
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed background server.
+pub struct ServerHandle {
+    port: u16,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The shared state.
+    pub fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Requests shutdown and joins the accept loop.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shared.request_shutdown();
+        self.thread
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("server thread panicked")))
+    }
+}

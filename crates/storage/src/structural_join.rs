@@ -50,7 +50,14 @@ pub fn stack_tree_join_into(
     out.clear();
     stack.clear();
     let mut i = 0;
-    for &d in descendants {
+    for (di, &d) in descendants.iter().enumerate() {
+        // Cancellation checkpoint every 4096 descendants (the join can
+        // emit O(depth) pairs per descendant, so output — not input —
+        // is what a runaway join drowns in). Partial output is discarded
+        // by the cancelled query's executor.
+        if di & 0xFFF == 0xFFF && treequery_tree::cancel::cancelled() {
+            return;
+        }
         // Push every ancestor candidate that starts before d...
         while i < ancestors.len() && ancestors[i].0 < d.0 {
             let a = ancestors[i];

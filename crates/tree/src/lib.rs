@@ -25,6 +25,7 @@
 
 mod axis;
 mod builder;
+pub mod cancel;
 pub mod edit;
 mod enumerate;
 mod generate;
@@ -40,6 +41,7 @@ mod xml;
 
 pub use axis::Axis;
 pub use builder::TreeBuilder;
+pub use cancel::{CancelReason, CancelToken};
 pub use edit::{
     parse_script, render_script, EditDelta, EditKind, EditOp, EditParseError, EditableTree,
     RemovedNode,

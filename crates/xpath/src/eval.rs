@@ -7,7 +7,7 @@
 //! `O(|D| · |Q|)` — the combined complexity discussed in Section 4 for
 //! Core XPath via FO² (the PTime upper bound; data complexity is linear).
 
-use treequery_tree::{scratch, Axis, NodeSet, Tree};
+use treequery_tree::{cancel, scratch, Axis, NodeSet, Tree};
 
 use crate::ast::{Path, Qual};
 
@@ -66,6 +66,12 @@ fn step_filter(quals: &[Qual], t: &Tree) -> NodeSet {
 /// The result comes from the thread-local scratch pools; recycle it with
 /// [`scratch::put_set`] to keep repeated evaluation allocation-free.
 pub fn select(p: &Path, t: &Tree, from: &NodeSet) -> NodeSet {
+    // Cancellation checkpoint, once per location step (each step is one
+    // O(n) sweep — the sweep chunk). A cancelled query unwinds the step
+    // recursion with empty sets; the executor discards the partial.
+    if cancel::cancelled() {
+        return scratch::take_set(t.len());
+    }
     match p {
         Path::Step { axis, quals } => {
             let mut img = scratch::take_set(t.len());
@@ -94,6 +100,10 @@ pub fn select(p: &Path, t: &Tree, from: &NodeSet) -> NodeSet {
 /// Backward image: `{ n : [[p]](n) ∩ targets ≠ ∅ }`. O(n · |p|).
 /// Returns a pooled set (see [`select`]).
 pub fn sources(p: &Path, t: &Tree, targets: &NodeSet) -> NodeSet {
+    // Checkpoint per backward step; see `select`.
+    if cancel::cancelled() {
+        return scratch::take_set(t.len());
+    }
     match p {
         Path::Step { axis, quals } => {
             let mut tgt = scratch::take_set(t.len());

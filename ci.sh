@@ -103,4 +103,31 @@ cargo run -p treequery-bench --release --bin harness -q -- \
     serve-client "$SERVE_PORT" crates/serve/transcripts/ci_session.jsonl
 wait "$SERVE_PID"
 
+echo "==> tenant observatory gate (tracing + usage + SLO + graceful drain)"
+# One server with the flight recorder and the observatory HTTP listener
+# enabled, exercised by two committed transcripts. The first runs two
+# tenants side by side: trace ids echoed on every reply, per-tenant
+# usage totals pinned exactly against the usage verb, per-class SLO
+# attainment (thresholds relaxed for CI machines), and the tenant/SLO
+# families in the validated /metrics exposition. The probe then checks
+# the HTTP side: /tenants and /slo validate as Prometheus expositions
+# with both tenants present, and /flight contains the record joined to
+# the transcript's explicit trace id. The second transcript shuts the
+# server down gracefully: a finite heavy query in flight is drained to
+# completion while a runaway NP-class query is cancelled once the
+# --drain-ms budget expires, with both outcomes reported in the ack.
+TENANT_PORT=9186
+OBSERVATORY_PORT=9187
+cargo run -p treequery-bench --release --bin harness -q -- serve "$TENANT_PORT" \
+    --flight --http "$OBSERVATORY_PORT" --drain-ms 6000 \
+    --slo linear=2000 --slo output_sensitive=4000 --slo polynomial=4000 --slo exponential=8000 &
+TENANT_PID=$!
+cargo run -p treequery-bench --release --bin harness -q -- \
+    serve-client "$TENANT_PORT" crates/serve/transcripts/ci_tenant_session.jsonl
+cargo run -p treequery-bench --release --bin harness -q -- \
+    probe-observatory "$OBSERVATORY_PORT" --tenants alpha,beta --trace trace-alpha-1
+cargo run -p treequery-bench --release --bin harness -q -- \
+    serve-client "$TENANT_PORT" crates/serve/transcripts/ci_drain.jsonl
+wait "$TENANT_PID"
+
 echo "CI OK"

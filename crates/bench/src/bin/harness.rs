@@ -105,9 +105,12 @@ usage: harness [EXPERIMENT-IDS...] [--report FILE]
        harness --serve-metrics PORT
        harness --trace FILE | --check-trace FILE
        harness probe-endpoint PORT
+       harness probe-observatory PORT [--tenants A,B] [--trace ID]
        harness bench [--out FILE] [--baseline FILE] [--reps N] [--sizes SMALL,LARGE]
        harness fuzz [--seconds N] [--seed S] [--rate R] [--edits] [--corpus DIR | --no-corpus]
-       harness serve PORT [--heavy-cap N] [--admit-timeout-ms N]
+       harness serve PORT [--heavy-cap N] [--admit-timeout-ms N] [--drain-ms N]
+                          [--flight] [--http PORT] [--slo CLASS=MS ...]
+                          [--slo-target-ppm N]
        harness serve-client PORT TRANSCRIPT
 
 With no arguments, runs all experiments (e1..e19, e21..e24) and prints
@@ -119,9 +122,14 @@ gate. `bench` runs the pinned continuous-benchmark suite, writes
 BENCH_<git-sha>.json, and (with --baseline) exits 1 on >15% wall /
 >5% allocated-byte regressions or any steady-state sweep-kernel
 allocation. `serve` runs the multi-tenant query service (line-JSON over
-TCP on 127.0.0.1:PORT, verbs hello/load/query/edit/cancel/...);
-`serve-client` replays a transcript against it and exits 1 on any
-mismatch (the ci.sh serve gate).";
+TCP on 127.0.0.1:PORT, verbs hello/load/query/edit/cancel/usage/slo/...);
+`--flight` installs the flight recorder so replies join their span
+records, `--http` adds the observatory listener (/metrics /tenants /slo
+/flight /slow), `--drain-ms` bounds the graceful-shutdown drain, and
+`--slo CLASS=MS` overrides a latency objective (linear,
+output_sensitive, polynomial, exponential). `serve-client` replays a
+transcript against it and exits 1 on any mismatch (the ci.sh serve
+gate); `probe-observatory` is the CI client for the observatory gate.";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}\n\n{USAGE}");
@@ -241,6 +249,42 @@ fn check_noop_overhead() {
              {:.2}ns/span",
             idle.per_span_ns
         );
+    }
+    // Request tracing rides the same flag word: after a full tracing
+    // round trip (install, request-context scope, response annotation,
+    // uninstall) the disabled span path must still meet the original
+    // budget — tracing support cannot tax servers that never enable it.
+    {
+        use treequery_core::obs::flight;
+        flight::install(flight::FlightConfig::default());
+        let id = flight::begin_query();
+        let ctx = flight::RequestCtx {
+            tenant: "overhead-probe".to_owned(),
+            trace_id: "overhead-probe".to_owned(),
+            admission_wait_ns: 0,
+        };
+        flight::with_request_ctx(ctx, || {
+            flight::with_current_query(id, || {
+                let _span = treequery_core::obs::span("overhead.probe");
+            })
+        });
+        let _ = flight::take_spans(id);
+        flight::annotate_response(id, 1, 1);
+        flight::uninstall();
+        let traced = e18_observability::noop_overhead();
+        println!(
+            "tracing-disabled overhead (after a request-tracing round trip): \
+             ratio {:.4} ({:.2}ns/span), budget {budget:.4}",
+            traced.ratio, traced.per_span_ns
+        );
+        if traced.ratio > budget {
+            eprintln!(
+                "FAIL: tracing-disabled span overhead {:.4} exceeds budget \
+                 {budget:.4}",
+                traced.ratio
+            );
+            failed = true;
+        }
     }
     const ALLOC_BUDGET: f64 = 1.10;
     let alloc_ratio = counting_alloc_overhead();
@@ -786,6 +830,13 @@ fn main() {
                 .unwrap_or_else(|| usage_error("probe-endpoint requires a port"));
             probe_endpoint(port);
         }
+        Some("probe-observatory") => {
+            let port = args
+                .get(1)
+                .and_then(|p| p.parse::<u16>().ok())
+                .unwrap_or_else(|| usage_error("probe-observatory requires a port"));
+            probe_observatory(port, &args[2..]);
+        }
         _ => {}
     }
     let mut report_path: Option<String> = None;
@@ -860,6 +911,8 @@ fn run_serve(args: &[String]) -> ! {
         .and_then(|p| p.parse::<u16>().ok())
         .unwrap_or_else(|| usage_error("serve requires a port"));
     let mut config = treequery_serve::ServerConfig::default();
+    let mut flight_on = false;
+    let mut http_port: Option<u16> = None;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         let mut take = |name: &str| {
@@ -879,8 +932,49 @@ fn run_serve(args: &[String]) -> ! {
                     .unwrap_or_else(|_| usage_error("--admit-timeout-ms expects an integer"));
                 config.admit_timeout = Duration::from_millis(ms);
             }
+            "--drain-ms" => {
+                let ms: u64 = take("--drain-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--drain-ms expects an integer"));
+                config.drain = Duration::from_millis(ms);
+            }
+            "--flight" => flight_on = true,
+            "--http" => {
+                http_port = Some(
+                    take("--http")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--http expects a port")),
+                )
+            }
+            "--slo" => {
+                let spec = take("--slo");
+                let (class, ms) = spec
+                    .split_once('=')
+                    .and_then(|(c, m)| Some((c.trim().to_owned(), m.trim().parse::<u64>().ok()?)))
+                    .unwrap_or_else(|| usage_error("--slo expects CLASS=MS"));
+                let threshold_ns = ms.saturating_mul(1_000_000);
+                match config.slo.objectives.iter_mut().find(|o| o.class == class) {
+                    Some(o) => o.threshold_ns = threshold_ns,
+                    None => config
+                        .slo
+                        .objectives
+                        .push(treequery_core::obs::slo::Objective {
+                            class,
+                            threshold_ns,
+                        }),
+                }
+            }
+            "--slo-target-ppm" => {
+                config.slo.target_ppm = take("--slo-target-ppm")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--slo-target-ppm expects an integer"));
+            }
             other => usage_error(&format!("unknown serve option '{other}'")),
         }
+    }
+    if flight_on {
+        use treequery_core::obs::flight;
+        flight::install(flight::FlightConfig::from_env());
     }
     let server = match treequery_serve::Server::bind(&format!("127.0.0.1:{port}"), config) {
         Ok(s) => s,
@@ -889,6 +983,16 @@ fn run_serve(args: &[String]) -> ! {
             std::process::exit(1);
         }
     };
+    if let Some(http_port) = http_port {
+        match treequery_serve::spawn_observatory(server.shared(), &format!("127.0.0.1:{http_port}"))
+        {
+            Ok(bound) => println!("observatory listening on 127.0.0.1:{bound}"),
+            Err(e) => {
+                eprintln!("cannot bind observatory 127.0.0.1:{http_port}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!(
         "treequery-serve listening on 127.0.0.1:{port} (protocol v{})",
         { treequery_serve::PROTOCOL_VERSION }
@@ -900,6 +1004,119 @@ fn run_serve(args: &[String]) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+/// `probe-observatory PORT`: the client half of the `ci.sh` tenant
+/// observatory gate. Checks `/tenants` and `/slo` serve valid scoped
+/// expositions (naming each `--tenants` tenant), `/metrics` includes the
+/// tenant families, and (with `--trace`) that the given trace id reached
+/// a `/flight` record. Exits 1 on the first failed check.
+fn probe_observatory(port: u16, args: &[String]) -> ! {
+    use treequery_core::obs::prom;
+    let mut tenants: Vec<String> = Vec::new();
+    let mut trace: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |name: &str| {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--tenants" => {
+                tenants = take("--tenants")
+                    .split(',')
+                    .map(|t| t.trim().to_owned())
+                    .filter(|t| !t.is_empty())
+                    .collect()
+            }
+            "--trace" => trace = Some(take("--trace")),
+            other => usage_error(&format!("unknown probe-observatory option '{other}'")),
+        }
+    }
+    fn fail(msg: &str) -> ! {
+        eprintln!("FAIL: {msg}");
+        std::process::exit(1);
+    }
+    let expect = |what: &str, r: Result<(u16, String), String>| -> (u16, String) {
+        r.unwrap_or_else(|e| fail(&format!("{what}: {e}")))
+    };
+
+    let (status, body) = expect("/tenants", probe_get(port, "/tenants"));
+    if status != 200 {
+        fail(&format!("/tenants returned {status}"));
+    }
+    match prom::validate_exposition(&body) {
+        Ok(samples) => println!("/tenants: {samples} samples, exposition validates"),
+        Err(e) => fail(&format!("/tenants exposition is malformed: {e}")),
+    }
+    for tenant in &tenants {
+        let needle = format!("treequery_tenant_queries{{tenant=\"{tenant}\"}}");
+        if !body.contains(&needle) {
+            fail(&format!("/tenants has no usage row for tenant {tenant:?}"));
+        }
+    }
+    if !tenants.is_empty() {
+        println!("/tenants: all of {tenants:?} accounted");
+    }
+
+    let (status, body) = expect("/slo", probe_get(port, "/slo"));
+    if status != 200 {
+        fail(&format!("/slo returned {status}"));
+    }
+    match prom::validate_exposition(&body) {
+        Ok(samples) if samples > 0 => println!("/slo: {samples} samples, exposition validates"),
+        Ok(_) => fail("/slo exposed no samples — no SLO classes configured?"),
+        Err(e) => fail(&format!("/slo exposition is malformed: {e}")),
+    }
+    if !body.contains("treequery_slo_fast_burn_ppm") {
+        fail("/slo is missing the fast-window burn-rate gauges");
+    }
+
+    let (status, body) = expect("/metrics", probe_get(port, "/metrics"));
+    if status != 200 {
+        fail(&format!("/metrics returned {status}"));
+    }
+    match prom::validate_exposition(&body) {
+        Ok(_) => {}
+        Err(e) => fail(&format!("/metrics exposition is malformed: {e}")),
+    }
+    if !body.contains("treequery_tenant_queries") || !body.contains("treequery_slo_") {
+        fail("/metrics does not include the tenant and SLO families");
+    }
+    println!("/metrics: includes the tenant and SLO families");
+
+    if let Some(trace_id) = trace {
+        let (status, body) = expect("/flight", probe_get(port, "/flight"));
+        if status != 200 {
+            fail(&format!("/flight returned {status}"));
+        }
+        let flight = parse_json(&body)
+            .unwrap_or_else(|e| fail(&format!("/flight body is not valid JSON: {e:?}")));
+        let records = flight
+            .get("records")
+            .and_then(|r| r.as_arr())
+            .unwrap_or_else(|| fail("/flight JSON has no records array"));
+        let found = records.iter().any(|r| {
+            r.get("trace_id")
+                .and_then(|t| t.as_str())
+                .is_some_and(|t| t == trace_id)
+        });
+        if !found {
+            fail(&format!(
+                "no /flight record carries trace_id {trace_id:?} ({} records)",
+                records.len()
+            ));
+        }
+        println!("/flight: trace id {trace_id:?} joined to a query record");
+    }
+
+    let (status, _) = expect("/nope", probe_get(port, "/nope"));
+    if status != 404 {
+        fail(&format!("unknown path should 404, got {status}"));
+    }
+    println!("OK: observatory serves scoped tenant and SLO expositions");
+    std::process::exit(0);
 }
 
 /// The `serve-client` subcommand: replays a transcript against a running

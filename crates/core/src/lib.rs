@@ -417,10 +417,21 @@ impl<'t> Engine<'t> {
     /// chunk spans attribute here too), then collect the buffered spans
     /// and submit the record. Out of line — the common disabled path
     /// should pay only the `enabled()` load.
+    ///
+    /// When a caller (the query service) already opened a query scope
+    /// around this evaluation — to attribute its own admission/lock
+    /// spans to the same record — the ambient id is reused instead of
+    /// drawing a fresh one, so the wire request and the evaluation are
+    /// one record, not two.
     #[cold]
     fn eval_ir_recorded(&self, ir: &QueryIr) -> Result<QueryOutput, EngineError> {
         use treequery_obs::flight;
-        let id = flight::begin_query();
+        let ambient = flight::current_query();
+        let id = if ambient != 0 {
+            ambient
+        } else {
+            flight::begin_query()
+        };
         if id == 0 {
             // The recorder was uninstalled between the enabled check and
             // the id draw; run unrecorded.
@@ -444,6 +455,7 @@ impl<'t> Engine<'t> {
             Ok(QueryOutput::Answer(a)) => a.tuples.len() as u64,
             Err(_) => 0,
         };
+        let ctx = flight::request_ctx().unwrap_or_default();
         let record = flight::QueryRecord {
             id,
             query: ir.text.clone(),
@@ -462,6 +474,10 @@ impl<'t> Engine<'t> {
             torn: counters.torn,
             spans,
             dropped_spans,
+            tenant: ctx.tenant,
+            trace_id: ctx.trace_id,
+            admission_wait_ns: ctx.admission_wait_ns,
+            resp_bytes: 0,
         };
         let threshold_ns = self
             .config

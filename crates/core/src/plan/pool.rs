@@ -486,12 +486,10 @@ impl WorkerPool {
 /// `TREEQUERY_WORKERS` environment variable if set to a positive
 /// integer, otherwise [`std::thread::available_parallelism`].
 pub fn default_workers() -> usize {
-    if let Ok(s) = std::env::var("TREEQUERY_WORKERS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    // An unparsable (or zero) value falls back to the machine and warns
+    // once on stderr — see `treequery_obs::env`.
+    if let Some(n) = treequery_obs::env::positive_usize_var("TREEQUERY_WORKERS") {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

@@ -217,6 +217,41 @@ proptest! {
         prop_assert_eq!(submitted, n as u64);
     }
 
+    /// Eviction never mixes up request attribution: every evaluation
+    /// runs under a distinct tenant/trace-id request context (the way
+    /// the query service wraps evaluations), and after the ring wraps,
+    /// each surviving record still carries exactly the tenant, trace id,
+    /// and admission wait that belong to its query id.
+    #[test]
+    fn eviction_preserves_tenant_attribution(cap in 1usize..9, extra in 0usize..25) {
+        let _guard = flight_lock();
+        let n = cap + extra;
+        flight::install(FlightConfig { capacity: cap, ..FlightConfig::default() });
+        let tree = small_tree(13, 150);
+        let engine = engine_with(&tree, 1, None);
+        for (i, q) in batch_queries(n).iter().enumerate() {
+            let ctx = flight::RequestCtx {
+                tenant: format!("tenant-{}", i % 3),
+                trace_id: format!("trace-{}", i + 1),
+                admission_wait_ns: (i as u64 + 1) * 10,
+            };
+            flight::with_request_ctx(ctx, || engine.eval(q)).unwrap();
+        }
+        let recent = flight::recent();
+        flight::uninstall();
+        let ids: Vec<u64> = recent.iter().map(|r| r.id).collect();
+        let expect: Vec<u64> = (extra as u64 + 1..=n as u64).collect();
+        prop_assert_eq!(ids, expect, "the newest ids survive eviction");
+        for r in &recent {
+            // Ids are 1-based and assigned in submission order, so the
+            // record for id k ran under the context built for i = k - 1.
+            let i = (r.id - 1) as usize;
+            prop_assert_eq!(&r.tenant, &format!("tenant-{}", i % 3));
+            prop_assert_eq!(&r.trace_id, &format!("trace-{}", i + 1));
+            prop_assert_eq!(r.admission_wait_ns, (i as u64 + 1) * 10);
+        }
+    }
+
     /// Concurrent `eval_batch`: completions race, but the ring never
     /// exceeds its capacity, never duplicates a record, and never
     /// resurrects an id outside the submitted range.

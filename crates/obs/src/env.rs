@@ -1,0 +1,117 @@
+//! Environment-knob parsing with one-shot warnings.
+//!
+//! The pipeline's tunables (`TREEQUERY_SLOW_MS`, `TREEQUERY_WORKERS`)
+//! used to fall back *silently* when set to something unparsable — a
+//! typo like `TREEQUERY_SLOW_MS=5O` quietly disabled the slow-query log.
+//! Every knob now parses through this module: a bad value still falls
+//! back (a misconfigured knob must never take the process down), but the
+//! first time each variable fails to parse a warning goes to stderr.
+//! One warning per variable per process — knobs are often re-read (e.g.
+//! every `FlightConfig::from_env`), and a warning repeated per read is
+//! noise nobody reads.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static WARNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Records that `name` failed to parse and warns on stderr the first
+/// time. Returns whether this call emitted the warning.
+fn warn_once(name: &'static str, raw: &str, expected: &str) -> bool {
+    let mut warned = WARNED.lock().unwrap_or_else(|p| p.into_inner());
+    if !warned.insert(name) {
+        return false;
+    }
+    eprintln!("treequery: ignoring {name}={raw:?}: expected {expected}");
+    true
+}
+
+/// Whether a parse warning has already been emitted for `name`.
+pub fn has_warned(name: &str) -> bool {
+    WARNED
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .contains(name)
+}
+
+/// Parses a raw knob value as a non-negative integer; warns (once per
+/// variable) and returns `None` on anything else. The testable seam
+/// under [`u64_var`].
+pub fn u64_value(name: &'static str, raw: &str) -> Option<u64> {
+    match raw.trim().parse::<u64>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn_once(name, raw, "a non-negative integer");
+            None
+        }
+    }
+}
+
+/// Reads `name` from the environment as a non-negative integer. Unset
+/// means `None` silently; set-but-unparsable warns once and falls back.
+pub fn u64_var(name: &'static str) -> Option<u64> {
+    u64_value(name, &std::env::var(name).ok()?)
+}
+
+/// Parses a raw knob value as a *positive* integer (worker counts);
+/// warns (once per variable) and returns `None` on anything else —
+/// including `0`, which would deadlock a worker pool.
+pub fn positive_usize_value(name: &'static str, raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v >= 1 => Some(v),
+        _ => {
+            warn_once(name, raw, "a positive integer");
+            None
+        }
+    }
+}
+
+/// Reads `name` from the environment as a positive integer.
+pub fn positive_usize_var(name: &'static str) -> Option<usize> {
+    positive_usize_value(name, &std::env::var(name).ok()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_values_parse_without_warning() {
+        assert_eq!(u64_value("TEST_ENV_OK", "42"), Some(42));
+        assert_eq!(u64_value("TEST_ENV_OK", "  7  "), Some(7));
+        assert_eq!(positive_usize_value("TEST_ENV_OK_USIZE", "3"), Some(3));
+        assert!(!has_warned("TEST_ENV_OK"));
+        assert!(!has_warned("TEST_ENV_OK_USIZE"));
+    }
+
+    #[test]
+    fn unparsable_values_fall_back_and_warn_exactly_once() {
+        assert_eq!(u64_value("TEST_ENV_BAD", "5O"), None);
+        assert!(has_warned("TEST_ENV_BAD"));
+        // The second failure is silent (warn_once returns false).
+        assert!(!warn_once("TEST_ENV_BAD", "5O", "a non-negative integer"));
+        // A later *valid* read still parses.
+        assert_eq!(u64_value("TEST_ENV_BAD", "50"), Some(50));
+    }
+
+    #[test]
+    fn negative_and_empty_values_are_rejected() {
+        assert_eq!(u64_value("TEST_ENV_NEG", "-3"), None);
+        assert_eq!(u64_value("TEST_ENV_EMPTY", ""), None);
+        assert!(has_warned("TEST_ENV_NEG"));
+        assert!(has_warned("TEST_ENV_EMPTY"));
+    }
+
+    #[test]
+    fn zero_workers_is_not_a_valid_pool_size() {
+        assert_eq!(positive_usize_value("TEST_ENV_ZERO", "0"), None);
+        assert!(has_warned("TEST_ENV_ZERO"));
+    }
+
+    #[test]
+    fn unset_variables_stay_silent() {
+        assert_eq!(u64_var("TEST_ENV_DEFINITELY_UNSET"), None);
+        assert_eq!(positive_usize_var("TEST_ENV_DEFINITELY_UNSET"), None);
+        assert!(!has_warned("TEST_ENV_DEFINITELY_UNSET"));
+    }
+}

@@ -69,14 +69,21 @@ impl Default for FlightConfig {
 impl FlightConfig {
     /// The default configuration with the slow threshold taken from the
     /// `TREEQUERY_SLOW_MS` environment variable (milliseconds; `0` logs
-    /// every query), when set to a parseable integer.
+    /// every query). An unparsable value falls back to the default and
+    /// warns once on stderr (see [`crate::env`]).
     pub fn from_env() -> FlightConfig {
-        let slow_threshold_ns = std::env::var("TREEQUERY_SLOW_MS")
-            .ok()
-            .and_then(|s| s.trim().parse::<u64>().ok())
-            .map(|ms| ms.saturating_mul(1_000_000));
+        match std::env::var("TREEQUERY_SLOW_MS") {
+            Ok(raw) => FlightConfig::from_slow_ms(&raw),
+            Err(_) => FlightConfig::default(),
+        }
+    }
+
+    /// [`from_env`](FlightConfig::from_env) with the raw knob value
+    /// passed in — the testable parse path.
+    pub fn from_slow_ms(raw: &str) -> FlightConfig {
         FlightConfig {
-            slow_threshold_ns,
+            slow_threshold_ns: crate::env::u64_value("TREEQUERY_SLOW_MS", raw)
+                .map(|ms| ms.saturating_mul(1_000_000)),
             ..FlightConfig::default()
         }
     }
@@ -125,6 +132,20 @@ pub struct QueryRecord {
     pub spans: Vec<SpanRecord>,
     /// Spans dropped past [`FlightConfig::max_spans_per_query`].
     pub dropped_spans: u64,
+    /// The tenant the serving layer attributed the query to (empty for
+    /// direct engine use — the library has no tenants).
+    pub tenant: String,
+    /// The end-to-end trace id stamped on the wire request (empty for
+    /// direct engine use).
+    pub trace_id: String,
+    /// Time the request waited in admission before evaluation, in
+    /// nanoseconds (0 for direct engine use and fast-lane admissions
+    /// that never waited).
+    pub admission_wait_ns: u64,
+    /// Serialized response size in bytes, attached after the fact by
+    /// [`annotate_response`] (0 until then, and always 0 for direct
+    /// engine use).
+    pub resp_bytes: u64,
 }
 
 impl QueryRecord {
@@ -147,7 +168,15 @@ impl QueryRecord {
             .set("quiesce_retries", self.quiesce_retries)
             .set("torn", self.torn)
             .set("span_count", self.spans.len() as u64)
-            .set("dropped_spans", self.dropped_spans);
+            .set("dropped_spans", self.dropped_spans)
+            .set("admission_wait_ns", self.admission_wait_ns)
+            .set("resp_bytes", self.resp_bytes);
+        if !self.tenant.is_empty() {
+            obj = obj.set("tenant", self.tenant.as_str());
+        }
+        if !self.trace_id.is_empty() {
+            obj = obj.set("trace_id", self.trace_id.as_str());
+        }
         if let Some(e) = &self.error {
             obj = obj.set("error", e.as_str());
         }
@@ -230,6 +259,20 @@ impl<T: Clone> TicketRing<T> {
         self.ticket.load(Ordering::Relaxed)
     }
 
+    /// Rewrites retained values in place: `f` returns `Some(new)` for
+    /// values it wants replaced. Ticket ownership is untouched, so the
+    /// eviction invariant is preserved.
+    fn update(&self, mut f: impl FnMut(&T) -> Option<T>) {
+        for slot in self.slots.iter() {
+            let mut guard = slot.lock().expect("flight ring slot poisoned");
+            if let Some((ticket, value)) = &*guard {
+                if let Some(new) = f(value) {
+                    *guard = Some((*ticket, new));
+                }
+            }
+        }
+    }
+
     /// Retained values, oldest first (by ticket).
     fn collect(&self) -> Vec<T> {
         let mut rows: Vec<(u64, T)> = self
@@ -261,6 +304,44 @@ static STATE: Mutex<Option<Arc<FlightState>>> = Mutex::new(None);
 thread_local! {
     /// The query id spans opened on this thread attribute to (0 = none).
     static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// The wire-request context the serving layer attached (None for
+    /// direct engine use).
+    static REQUEST_CTX: std::cell::RefCell<Option<RequestCtx>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Wire-request context the serving layer attaches around an evaluation
+/// so the engine-built [`QueryRecord`] carries tenant attribution, the
+/// end-to-end trace id, and the admission wait. Scoped with
+/// [`with_request_ctx`]; read by the engine via [`request_ctx`] when it
+/// builds the record.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RequestCtx {
+    /// The session's tenant.
+    pub tenant: String,
+    /// The request's trace id (client-supplied or server-generated).
+    pub trace_id: String,
+    /// Nanoseconds the request waited in admission.
+    pub admission_wait_ns: u64,
+}
+
+/// Runs `f` with `ctx` as this thread's request context, restoring the
+/// previous context afterwards (also on panic).
+pub fn with_request_ctx<T>(ctx: RequestCtx, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<RequestCtx>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            REQUEST_CTX.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = REQUEST_CTX.with(|c| c.borrow_mut().replace(ctx));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The request context attached to this thread, if any.
+pub fn request_ctx() -> Option<RequestCtx> {
+    REQUEST_CTX.with(|c| c.borrow().clone())
 }
 
 fn state() -> Option<Arc<FlightState>> {
@@ -380,6 +461,44 @@ pub fn submit(record: QueryRecord, slow_detail: Option<SlowDetail>) {
     if let Some(detail) = slow_detail {
         state.slow.push(SlowQuery { record, detail });
     }
+}
+
+/// Attaches wire-side response accounting to an already-submitted
+/// record: the serialized response size, and (when `serialize_ns` is
+/// non-zero) a synthetic `serve.serialize` span on the same tracing
+/// time base as the real spans. Serialization necessarily happens
+/// *after* the engine submits the record — the response body is built
+/// from the evaluation result — so the rings are patched in place; the
+/// record with `id` may already be evicted, in which case this is a
+/// no-op. Ring tickets are untouched, so eviction order is preserved.
+pub fn annotate_response(id: u64, resp_bytes: u64, serialize_ns: u64) {
+    let Some(state) = state() else { return };
+    let serialize_span = (serialize_ns > 0).then(|| SpanRecord {
+        name: "serve.serialize",
+        start_ns: crate::span::now_since_epoch_ns().saturating_sub(serialize_ns),
+        duration_ns: serialize_ns,
+        depth: 0,
+        thread: crate::span::current_thread_id(),
+        fields: Vec::new(),
+    });
+    let annotate = |record: &Arc<QueryRecord>| -> Option<Arc<QueryRecord>> {
+        if record.id != id {
+            return None;
+        }
+        let mut new = (**record).clone();
+        new.resp_bytes = resp_bytes;
+        if let Some(span) = serialize_span.clone() {
+            new.spans.push(span);
+        }
+        Some(Arc::new(new))
+    };
+    state.recent.update(annotate);
+    state.slow.update(|sq: &SlowQuery| {
+        annotate(&sq.record).map(|record| SlowQuery {
+            record,
+            detail: sq.detail.clone(),
+        })
+    });
 }
 
 /// Publishes one record's observables into [`crate::metrics::global`]:
@@ -503,6 +622,10 @@ mod tests {
             torn: false,
             spans: Vec::new(),
             dropped_spans: 0,
+            tenant: String::new(),
+            trace_id: String::new(),
+            admission_wait_ns: 0,
+            resp_bytes: 0,
         }
     }
 
@@ -618,6 +741,78 @@ mod tests {
         assert_eq!(take_spans(q).0.len(), 0);
         assert_eq!(take_spans(q + 1).0.len(), 1);
         uninstall();
+    }
+
+    #[test]
+    fn request_ctx_scopes_and_restores() {
+        assert_eq!(request_ctx(), None);
+        let ctx = RequestCtx {
+            tenant: "alpha".into(),
+            trace_id: "t-1".into(),
+            admission_wait_ns: 5,
+        };
+        let inner = with_request_ctx(ctx.clone(), || {
+            assert_eq!(request_ctx(), Some(ctx.clone()));
+            with_request_ctx(RequestCtx::default(), request_ctx)
+        });
+        assert_eq!(inner, Some(RequestCtx::default()));
+        assert_eq!(request_ctx(), None);
+    }
+
+    #[test]
+    fn annotate_response_patches_retained_records_only() {
+        let _g = test_lock();
+        install(FlightConfig {
+            capacity: 2,
+            slow_capacity: 2,
+            ..FlightConfig::default()
+        });
+        let mut tagged = record(1);
+        tagged.tenant = "alpha".into();
+        tagged.trace_id = "trace-1".into();
+        submit(
+            tagged,
+            Some(SlowDetail {
+                explain: "E".into(),
+                reproducer: "R".into(),
+            }),
+        );
+        submit(record(2), None);
+        annotate_response(1, 512, 3_000);
+        annotate_response(999, 1, 1); // unknown id: no-op
+        let recent = recent();
+        let one = recent.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(one.resp_bytes, 512);
+        assert_eq!(one.tenant, "alpha");
+        assert_eq!(one.spans.last().unwrap().name, "serve.serialize");
+        assert_eq!(one.spans.last().unwrap().duration_ns, 3_000);
+        assert_eq!(recent.iter().find(|r| r.id == 2).unwrap().resp_bytes, 0);
+        // The slow ring's copy is patched too.
+        let slow = slow_recent();
+        assert_eq!(slow[0].record.resp_bytes, 512);
+        assert_eq!(slow[0].detail.explain, "E");
+        // The JSON carries the wire fields (and omits empty ones).
+        let v = crate::parse_json(&one.to_json(false).render()).unwrap();
+        assert_eq!(v.get("resp_bytes").unwrap().as_u64(), Some(512));
+        assert_eq!(v.get("tenant").unwrap().as_str(), Some("alpha"));
+        assert_eq!(v.get("trace_id").unwrap().as_str(), Some("trace-1"));
+        let v2 = crate::parse_json(&record(3).to_json(false).render()).unwrap();
+        assert!(v2.get("tenant").is_none());
+        assert!(v2.get("trace_id").is_none());
+        assert_eq!(v2.get("admission_wait_ns").unwrap().as_u64(), Some(0));
+        uninstall();
+    }
+
+    #[test]
+    fn unparsable_slow_ms_falls_back_to_default() {
+        assert_eq!(
+            FlightConfig::from_slow_ms("250").slow_threshold_ns,
+            Some(250_000_000)
+        );
+        assert_eq!(FlightConfig::from_slow_ms(" 0 ").slow_threshold_ns, Some(0));
+        // The typo'd knob falls back (and warns once, in crate::env).
+        assert_eq!(FlightConfig::from_slow_ms("25O").slow_threshold_ns, None);
+        assert!(crate::env::has_warned("TREEQUERY_SLOW_MS"));
     }
 
     #[test]

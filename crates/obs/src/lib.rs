@@ -28,6 +28,7 @@
 //! process-wide with [`set_recorder`].
 
 pub mod alloc;
+pub mod env;
 pub mod flight;
 mod histogram;
 mod json;
@@ -35,6 +36,7 @@ pub mod metrics;
 pub mod prom;
 mod recorder;
 mod ring;
+pub mod slo;
 mod span;
 pub mod traceexport;
 

@@ -103,6 +103,29 @@ impl CounterFamily {
     }
 }
 
+/// A family of gauges distinguished by one label's values — what the
+/// SLO tracker uses for per-cost-class attainment and burn rates
+/// (`treequery_slo_fast_burn_ppm{class="linear"}`, …). Cells are created
+/// on first use and render as one sample line per label value.
+#[derive(Clone, Debug)]
+pub struct GaugeFamily {
+    label: &'static str,
+    cells: Arc<Mutex<BTreeMap<String, Gauge>>>,
+}
+
+impl GaugeFamily {
+    /// The gauge for one label value, created on first use.
+    pub fn with_label(&self, value: &str) -> Gauge {
+        let mut cells = self.cells.lock().expect("gauge family poisoned");
+        cells.entry(value.to_owned()).or_default().clone()
+    }
+
+    /// The label name.
+    pub fn label_name(&self) -> &'static str {
+        self.label
+    }
+}
+
 /// A family of histograms distinguished by label values (one label name,
 /// the common case: `stage`, `strategy`, …).
 #[derive(Clone, Debug)]
@@ -136,6 +159,8 @@ pub enum MetricValue {
     Gauge(i64),
     /// `(label value, count)` rows of a counter family, label-sorted.
     Counters(&'static str, Vec<(String, u64)>),
+    /// `(label value, value)` rows of a gauge family, label-sorted.
+    Gauges(&'static str, Vec<(String, i64)>),
     /// `(label value, histogram)` rows of a family, label-sorted.
     Histograms(&'static str, Vec<(String, LatencyHistogram)>),
 }
@@ -155,6 +180,7 @@ enum Instrument {
     Counter(Counter),
     Gauge(Gauge),
     CounterFamily(CounterFamily),
+    GaugeFamily(GaugeFamily),
     Family(HistogramFamily),
 }
 
@@ -230,6 +256,22 @@ impl Registry {
         f
     }
 
+    /// Registers and returns a gauge family keyed by one label.
+    pub fn gauge_family(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+    ) -> GaugeFamily {
+        assert!(valid_name(label), "invalid label name {label:?}");
+        let f = GaugeFamily {
+            label,
+            cells: Arc::new(Mutex::new(BTreeMap::new())),
+        };
+        self.register(name, help, Instrument::GaugeFamily(f.clone()));
+        f
+    }
+
     /// Registers and returns a histogram family keyed by one label.
     pub fn histogram_family(
         &self,
@@ -261,6 +303,13 @@ impl Registry {
                     Instrument::CounterFamily(f) => {
                         let cells = f.cells.lock().expect("counter family poisoned");
                         MetricValue::Counters(
+                            f.label,
+                            cells.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+                        )
+                    }
+                    Instrument::GaugeFamily(f) => {
+                        let cells = f.cells.lock().expect("gauge family poisoned");
+                        MetricValue::Gauges(
                             f.label,
                             cells.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
                         )
@@ -331,6 +380,27 @@ impl Registry {
         self.counter_family(name, help, label)
     }
 
+    /// Looks up an already-registered gauge family by name, or registers
+    /// it.
+    pub fn gauge_family_or_existing(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: &'static str,
+    ) -> GaugeFamily {
+        {
+            let metrics = self.metrics.lock().expect("registry poisoned");
+            if let Some(m) = metrics.iter().find(|m| m.name == name) {
+                if let Instrument::GaugeFamily(f) = &m.instrument {
+                    assert_eq!(f.label, label, "metric {name:?} label mismatch");
+                    return f.clone();
+                }
+                panic!("metric {name:?} already registered with a different type");
+            }
+        }
+        self.gauge_family(name, help, label)
+    }
+
     /// Looks up an already-registered histogram family by name, or
     /// registers it.
     pub fn histogram_family_or_existing(
@@ -396,6 +466,30 @@ mod tests {
         assert_eq!(rows[0].0, "exec.run");
         assert_eq!(rows[0].1.count(), 2);
         assert_eq!(rows[1].1.count(), 1);
+    }
+
+    #[test]
+    fn gauge_families_key_by_label_value_and_move_both_ways() {
+        let r = Registry::new();
+        let f = r.gauge_family("test_burn_ppm", "burn rate", "class");
+        f.with_label("linear").set(250_000);
+        f.with_label("exponential").set(4_000_000);
+        f.with_label("linear").add(-50_000);
+        let snap = r.gather();
+        let MetricValue::Gauges(label, rows) = &snap[0].value else {
+            panic!("expected gauges");
+        };
+        assert_eq!(*label, "class");
+        assert_eq!(
+            rows,
+            &vec![
+                ("exponential".to_owned(), 4_000_000),
+                ("linear".to_owned(), 200_000)
+            ]
+        );
+        let again = r.gauge_family_or_existing("test_burn_ppm", "burn rate", "class");
+        again.with_label("linear").set(7);
+        assert_eq!(f.with_label("linear").get(), 7);
     }
 
     #[test]

@@ -83,6 +83,16 @@ pub fn render_snapshots(snapshots: &[MetricSnapshot]) -> String {
                     ));
                 }
             }
+            MetricValue::Gauges(label, rows) => {
+                out.push_str(&format!("# TYPE {} gauge\n", m.name));
+                for (value, v) in rows {
+                    out.push_str(&format!(
+                        "{}{{{label}=\"{}\"}} {v}\n",
+                        m.name,
+                        escape_label(value)
+                    ));
+                }
+            }
             MetricValue::Histograms(label, rows) => {
                 out.push_str(&format!("# TYPE {} histogram\n", m.name));
                 for (value, hist) in rows {
@@ -98,6 +108,18 @@ pub fn render_snapshots(snapshots: &[MetricSnapshot]) -> String {
 /// Renders a whole registry: `render_snapshots(&registry.gather())`.
 pub fn render_registry(registry: &Registry) -> String {
     render_snapshots(&registry.gather())
+}
+
+/// Renders only the instruments whose name starts with `prefix` — the
+/// focused expositions behind the query service's `/tenants`
+/// (`treequery_tenant_`) and `/slo` (`treequery_slo_`) endpoints.
+pub fn render_prefixed(registry: &Registry, prefix: &str) -> String {
+    let snapshots: Vec<_> = registry
+        .gather()
+        .into_iter()
+        .filter(|m| m.name.starts_with(prefix))
+        .collect();
+    render_snapshots(&snapshots)
 }
 
 fn valid_metric_name(name: &str) -> bool {
@@ -321,6 +343,72 @@ treequery_stage_ns_count{stage=\"exec.sweep\"} 1
         let sample_lines = text.lines().filter(|l| !l.starts_with('#')).count();
         assert_eq!(samples, sample_lines);
         assert!(samples >= 6, "counter + gauge + buckets/sum/count: {text}");
+    }
+
+    /// Tenant names are user-controlled strings flowing into label
+    /// values, so the escape path is load-bearing: every escapable
+    /// character must survive `CounterFamily`/`GaugeFamily`/
+    /// `HistogramFamily` → render → `validate_exposition` intact.
+    #[test]
+    fn hostile_label_values_round_trip_every_family_kind() {
+        let hostile = "quote\" back\\slash new\nline";
+        let r = Registry::new();
+        r.counter_family("treequery_esc_requests", "by tenant", "tenant")
+            .with_label(hostile)
+            .add(2);
+        r.gauge_family("treequery_esc_burn", "by tenant", "tenant")
+            .with_label(hostile)
+            .set(-5);
+        r.histogram_family("treequery_esc_lat_ns", "by tenant", "tenant")
+            .with_label(hostile)
+            .observe(3);
+        let text = render_registry(&r);
+        // Rendered escapes, per the exposition spec.
+        let escaped = "tenant=\"quote\\\" back\\\\slash new\\nline\"";
+        assert!(
+            text.contains(&format!("treequery_esc_requests{{{escaped}}} 2\n")),
+            "counter family: {text}"
+        );
+        assert!(
+            text.contains(&format!("treequery_esc_burn{{{escaped}}} -5\n")),
+            "gauge family: {text}"
+        );
+        assert!(
+            text.contains(&format!("treequery_esc_lat_ns_count{{{escaped}}} 1\n")),
+            "histogram family: {text}"
+        );
+        // No raw (unescaped) quote/newline inside a label block: every
+        // sample line must still be one line that validates.
+        let samples = validate_exposition(&text).expect("hostile labels still validate");
+        let sample_lines = text.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(samples, sample_lines);
+    }
+
+    #[test]
+    fn each_escapable_character_escapes_alone() {
+        for (raw, escaped) in [("\"", "\\\""), ("\\", "\\\\"), ("\n", "\\n")] {
+            let r = Registry::new();
+            r.counter_family("treequery_esc_one", "", "tenant")
+                .with_label(raw)
+                .inc();
+            let text = render_registry(&r);
+            assert!(
+                text.contains(&format!("treequery_esc_one{{tenant=\"{escaped}\"}} 1\n")),
+                "raw {raw:?} rendered: {text}"
+            );
+            validate_exposition(&text).expect("single hostile char validates");
+        }
+    }
+
+    #[test]
+    fn render_prefixed_filters_by_name() {
+        let r = Registry::new();
+        r.counter("treequery_tenant_queries", "").add(1);
+        r.counter("treequery_serve_requests_total", "").add(2);
+        let text = render_prefixed(&r, "treequery_tenant_");
+        assert!(text.contains("treequery_tenant_queries 1\n"));
+        assert!(!text.contains("treequery_serve_requests_total"));
+        assert_eq!(validate_exposition(&text).unwrap(), 1);
     }
 
     #[test]

@@ -64,6 +64,22 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Nanoseconds since the process's tracing epoch — the same time base
+/// every [`SpanRecord::start_ns`] uses. The flight recorder uses this to
+/// stamp synthetic spans (e.g. response serialization, which happens
+/// after the engine has already submitted the record) on a timeline
+/// consistent with the real ones.
+pub(crate) fn now_since_epoch_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// The dense tracing thread id of the calling thread (see
+/// [`SpanRecord::thread`]); exposed so synthetic spans carry the same id
+/// space as real ones.
+pub(crate) fn current_thread_id() -> u64 {
+    thread_id()
+}
+
 fn thread_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     thread_local! {

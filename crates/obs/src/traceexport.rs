@@ -280,6 +280,10 @@ mod tests {
             torn: false,
             spans,
             dropped_spans: 0,
+            tenant: String::new(),
+            trace_id: String::new(),
+            admission_wait_ns: 0,
+            resp_bytes: 0,
         })
     }
 

@@ -37,16 +37,31 @@
 //! kernels observe it at the next chunk boundary and the blocked
 //! connection gets `{"ok":false,"code":"cancelled"}` while the session —
 //! and the document — stay usable.
+//!
+//! # Observability
+//!
+//! Every reply carries a `trace_id` (client-supplied on the request or
+//! server-generated), which also joins the reply to its flight-recorder
+//! record. `hello` accepts an optional `tenant`; the server accounts
+//! usage per tenant ([`usage`], the `usage` verb, and the `/tenants`
+//! exposition) and tracks per-cost-class latency objectives with
+//! multi-window burn rates ([`treequery_obs::slo`], the `slo` verb, and
+//! `/slo`). The HTTP side lives on a separate observatory listener
+//! ([`http::spawn_observatory`]).
 
 pub mod admission;
 pub mod catalog;
 pub mod client;
+pub mod http;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod usage;
 
 pub use admission::{Admission, AdmissionTimeout, AdmissionVerdict, Permit};
 pub use catalog::Catalog;
 pub use client::{replay, replay_lines, ReplayReport};
+pub use http::spawn_observatory;
 pub use proto::{ErrorCode, Frame, MAX_LINE_BYTES, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{default_objectives, Server, ServerConfig, ServerHandle};
+pub use usage::UsageTable;

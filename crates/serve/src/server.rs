@@ -13,18 +13,20 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use treequery_core::EngineConfig;
 use treequery_obs::metrics::{Counter, CounterFamily, Gauge, Registry};
 use treequery_obs::prom;
+use treequery_obs::slo::{MonotonicClock, Objective, SloConfig, SloTracker};
 use treequery_tree::CancelToken;
 
 use crate::admission::Admission;
 use crate::catalog::Catalog;
 use crate::session;
+use crate::usage::UsageTable;
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -34,8 +36,40 @@ pub struct ServerConfig {
     /// How long a heavy query waits for a slot before
     /// `admission_rejected`.
     pub admit_timeout: Duration,
+    /// How long a graceful `shutdown` waits for in-flight queries to
+    /// finish before cancelling what remains.
+    pub drain: Duration,
+    /// Per-cost-class latency objectives (see [`default_objectives`])
+    /// and burn-rate windows.
+    pub slo: SloConfig,
     /// Engine configuration handed to every document.
     pub engine: EngineConfig,
+}
+
+/// The stock latency objectives, keyed by the planner's cost classes:
+/// the paper's `O(|D|·|Q|)` core gets a tight bound, enumeration and
+/// fixpoints a looser one, backtracking the loosest. `harness serve
+/// --slo CLASS=MS` overrides individual thresholds.
+pub fn default_objectives() -> Vec<Objective> {
+    const MS: u64 = 1_000_000;
+    vec![
+        Objective {
+            class: "linear".to_owned(),
+            threshold_ns: 50 * MS,
+        },
+        Objective {
+            class: "output_sensitive".to_owned(),
+            threshold_ns: 250 * MS,
+        },
+        Objective {
+            class: "polynomial".to_owned(),
+            threshold_ns: 250 * MS,
+        },
+        Objective {
+            class: "exponential".to_owned(),
+            threshold_ns: 2_000 * MS,
+        },
+    ]
 }
 
 impl Default for ServerConfig {
@@ -43,6 +77,11 @@ impl Default for ServerConfig {
         ServerConfig {
             heavy_cap: 4,
             admit_timeout: Duration::from_secs(2),
+            drain: Duration::from_secs(1),
+            slo: SloConfig {
+                objectives: default_objectives(),
+                ..SloConfig::default()
+            },
             engine: EngineConfig::default(),
         }
     }
@@ -65,10 +104,17 @@ pub struct Shared {
     pub(crate) sessions_opened: Counter,
     pub(crate) sessions_active: Gauge,
     pub(crate) queries_inflight: Gauge,
+    pub(crate) usage: UsageTable,
+    pub(crate) slo: SloTracker,
+    pub(crate) drain: Duration,
     inflight: Mutex<HashMap<u64, Inflight>>,
     next_query_id: AtomicU64,
+    next_trace_id: AtomicU64,
     shutdown: AtomicBool,
     port: u16,
+    /// The observatory's HTTP port (0 = none); the shutdown poke must
+    /// reach that listener too.
+    observatory_port: AtomicU32,
 }
 
 impl Shared {
@@ -97,6 +143,8 @@ impl Shared {
             "Queries currently registered as cancellable.",
         );
         let admission = Admission::new(config.heavy_cap, &registry);
+        let usage = UsageTable::new(&registry);
+        let slo = SloTracker::new(config.slo.clone(), Arc::new(MonotonicClock::new()));
         Shared {
             catalog: Catalog::new(config.engine.clone()),
             admission,
@@ -107,10 +155,15 @@ impl Shared {
             sessions_opened,
             sessions_active,
             queries_inflight,
+            usage,
+            slo,
+            drain: config.drain,
             inflight: Mutex::new(HashMap::new()),
             next_query_id: AtomicU64::new(1),
+            next_trace_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             port,
+            observatory_port: AtomicU32::new(0),
         }
     }
 
@@ -181,16 +234,100 @@ impl Shared {
 
     /// Requests shutdown and wakes the accept loop.
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Poke the listener so the blocked accept() returns and observes
-        // the flag. A failure just means the listener is already gone.
+        self.begin_shutdown();
+        // Poke the listeners so their blocked accept()s return and
+        // observe the flag. A failure just means a listener is already
+        // gone.
         let _ = TcpStream::connect(("127.0.0.1", self.port));
+        let obs_port = self.observatory_port.load(Ordering::SeqCst);
+        if obs_port != 0 {
+            let _ = TcpStream::connect(("127.0.0.1", obs_port as u16));
+        }
     }
 
-    /// Renders the Prometheus exposition for this server: the serve and
-    /// admission instruments plus a scrape-time snapshot of the shared
-    /// engine counters (every document pools one metrics block).
+    /// Sets the shutdown flag without waking the accept loops: new
+    /// connections are refused from here on, but the process keeps
+    /// running. The `shutdown` verb uses this so the accept loop (and
+    /// with it the whole server process) cannot exit before the drain
+    /// finishes and the ack is flushed; the session then issues the
+    /// listener pokes via [`Self::request_shutdown`] after the write.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Records the observatory's HTTP port so [`Self::request_shutdown`]
+    /// can poke that listener too.
+    pub(crate) fn set_observatory_port(&self, port: u16) {
+        self.observatory_port.store(port as u32, Ordering::SeqCst);
+    }
+
+    /// A fresh server-generated trace id, for requests that did not
+    /// supply one.
+    pub(crate) fn make_trace_id(&self) -> String {
+        format!(
+            "srv-{:x}",
+            self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    /// Queries currently registered as cancellable.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight
+            .lock()
+            .expect("inflight registry poisoned")
+            .len()
+    }
+
+    /// Graceful drain: waits up to the configured drain budget for
+    /// in-flight queries to unregister on their own, then trips the
+    /// cancel tokens of whatever remains and waits (bounded) for those
+    /// to clear too. Returns `(drained, cancelled)` — how many queries
+    /// finished within budget vs. were cut off.
+    pub(crate) fn drain_inflight(&self) -> (u64, u64) {
+        let initial = self.inflight_count() as u64;
+        if initial == 0 {
+            return (0, 0);
+        }
+        let deadline = Instant::now() + self.drain;
+        while Instant::now() < deadline && self.inflight_count() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let cancelled = {
+            let inflight = self.inflight.lock().expect("inflight registry poisoned");
+            for entry in inflight.values() {
+                entry.token.cancel();
+            }
+            inflight.len() as u64
+        };
+        // Cancellation is cooperative; give the tripped queries a
+        // bounded window to notice and unregister so the ack reflects a
+        // settled server.
+        let grace = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < grace && self.inflight_count() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        (initial.saturating_sub(cancelled), cancelled)
+    }
+
+    /// Renders the tenant-usage exposition: exactly the
+    /// `treequery_tenant_*` counter families.
+    pub fn render_tenant_exposition(&self) -> String {
+        prom::render_prefixed(&self.registry, "treequery_tenant_")
+    }
+
+    /// Publishes the SLO gauges from the tracker's current windows and
+    /// renders exactly the `treequery_slo_*` families.
+    pub fn render_slo_exposition(&self) -> String {
+        self.slo.publish(&self.registry);
+        prom::render_prefixed(&self.registry, "treequery_slo_")
+    }
+
+    /// Renders the Prometheus exposition for this server: the serve,
+    /// admission, tenant, and SLO instruments plus a scrape-time
+    /// snapshot of the shared engine counters (every document pools one
+    /// metrics block).
     pub fn render_metrics(&self) -> String {
+        self.slo.publish(&self.registry);
         let snap = self.catalog.metrics().snapshot();
         let rows: [(&'static str, &'static str, u64); 5] = [
             (

@@ -1,6 +1,6 @@
 //! One connection's session: hello handshake, verb dispatch, and the
-//! query path that threads deadlines and cancellation through the
-//! engine.
+//! query path that threads deadlines, cancellation, and tracing through
+//! the engine.
 //!
 //! The protocol is synchronous per connection — one response per request,
 //! in order — which is exactly why `cancel` matters: a connection blocked
@@ -13,6 +13,13 @@
 //! for `query`/`explain`/`stats`, write for `edit` — held across
 //! evaluation. Cancellation needs no locks at all: it trips an atomic
 //! flag the kernels poll at chunk boundaries.
+//!
+//! Tracing: every reply carries a `trace_id` — the request's own if it
+//! supplied one, server-generated otherwise — and for `query` the same
+//! id is threaded into the flight recorder, so a reply can be joined to
+//! its full span tree in `/flight` after the fact. The session's tenant
+//! (declared at `hello`) labels the usage counters and rides along on
+//! the same flight record.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
@@ -21,12 +28,20 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use treequery_core::{CancelReason, EngineError, Query, QueryOutput};
-use treequery_obs::Json;
+use treequery_core::{CancelReason, CostClass, EngineError, Query, QueryOutput};
+use treequery_obs::{flight, span, Json};
 use treequery_tree::{parse_script, parse_term, xmark_document, CancelToken, Tree, XmarkConfig};
 
+use crate::admission::AdmissionVerdict;
 use crate::proto::{self, ErrorCode, Frame, PROTOCOL_VERSION};
 use crate::server::Shared;
+
+/// Longest accepted client-supplied trace id.
+const MAX_TRACE_ID_BYTES: usize = 128;
+/// Longest accepted tenant name.
+const MAX_TENANT_BYTES: usize = 64;
+/// The tenant a connection accounts to until `hello` declares one.
+const ANONYMOUS_TENANT: &str = "anonymous";
 
 /// What the session loop does after sending a response.
 pub(crate) enum Flow {
@@ -36,6 +51,22 @@ pub(crate) enum Flow {
     /// the accept loop is woken, so the requester always sees the ack
     /// even though the process is about to exit.
     CloseAndShutdown,
+}
+
+/// Per-connection protocol state: the handshake latch and the tenant
+/// every request on this connection accounts to.
+pub(crate) struct SessionState {
+    hello_done: bool,
+    tenant: String,
+}
+
+impl Default for SessionState {
+    fn default() -> SessionState {
+        SessionState {
+            hello_done: false,
+            tenant: ANONYMOUS_TENANT.to_owned(),
+        }
+    }
 }
 
 /// Serves one accepted connection to completion.
@@ -48,7 +79,7 @@ pub(crate) fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut hello_done = false;
+    let mut sess = SessionState::default();
 
     loop {
         let frame = match proto::read_frame(&mut reader) {
@@ -76,7 +107,7 @@ pub(crate) fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
             Frame::Value(v) => v,
         };
-        let (body, flow) = route(&shared, &req, &mut hello_done);
+        let (body, flow) = route(&shared, &req, &mut sess);
         if send(&shared, &mut writer, &body).is_err() {
             return;
         }
@@ -107,10 +138,61 @@ fn send(shared: &Shared, writer: &mut impl Write, body: &Json) -> std::io::Resul
     writer.flush()
 }
 
+/// The request's trace id: the client's own if present and sane, a fresh
+/// server-generated one otherwise.
+fn resolve_trace_id(shared: &Shared, req: &Json) -> Result<String, Json> {
+    match req.get("trace_id") {
+        None => Ok(shared.make_trace_id()),
+        Some(v) => match v.as_str() {
+            Some(t) if !t.is_empty() && t.len() <= MAX_TRACE_ID_BYTES => Ok(t.to_owned()),
+            _ => Err(proto::error(
+                ErrorCode::BadField,
+                format!(
+                    "'trace_id' must be a non-empty string of at most {MAX_TRACE_ID_BYTES} bytes"
+                ),
+            )),
+        },
+    }
+}
+
+/// The optional tenant declaration on a `hello` frame.
+fn hello_tenant(req: &Json) -> Result<Option<String>, Json> {
+    match req.get("tenant") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some(t) if !t.is_empty() && t.len() <= MAX_TENANT_BYTES => Ok(Some(t.to_owned())),
+            _ => Err(proto::error(
+                ErrorCode::BadField,
+                format!("'tenant' must be a non-empty string of at most {MAX_TENANT_BYTES} bytes"),
+            )),
+        },
+    }
+}
+
 /// Dispatches one parsed request. Pure with respect to the connection:
 /// all I/O stays in the caller, which is what the protocol tests lean
-/// on.
-pub(crate) fn route(shared: &Shared, req: &Json, hello_done: &mut bool) -> (Json, Flow) {
+/// on. Every reply — success or error — is stamped with the request's
+/// trace id, and error codes are charged to the session's tenant.
+pub(crate) fn route(shared: &Shared, req: &Json, sess: &mut SessionState) -> (Json, Flow) {
+    let (body, flow, trace_id) = match resolve_trace_id(shared, req) {
+        Ok(trace_id) => {
+            let (body, flow) = dispatch(shared, req, sess, &trace_id);
+            (body, flow, trace_id)
+        }
+        Err(e) => {
+            shared.requests.with_label("invalid").inc();
+            (e, Flow::Continue, shared.make_trace_id())
+        }
+    };
+    if sess.hello_done {
+        if let Some(code) = body.get("code").and_then(Json::as_str) {
+            shared.usage.record_error_code(&sess.tenant, code);
+        }
+    }
+    (body.set("trace_id", trace_id), flow)
+}
+
+fn dispatch(shared: &Shared, req: &Json, sess: &mut SessionState, trace_id: &str) -> (Json, Flow) {
     let Some(verb) = req.get("verb").and_then(Json::as_str) else {
         shared.requests.with_label("invalid").inc();
         return (
@@ -119,8 +201,8 @@ pub(crate) fn route(shared: &Shared, req: &Json, hello_done: &mut bool) -> (Json
         );
     };
     let known = [
-        "hello", "load", "drop", "list", "query", "edit", "explain", "stats", "cancel", "metrics",
-        "shutdown",
+        "hello", "load", "drop", "list", "query", "edit", "explain", "stats", "cancel", "usage",
+        "slo", "metrics", "shutdown",
     ];
     let counted = if known.contains(&verb) {
         verb
@@ -135,7 +217,7 @@ pub(crate) fn route(shared: &Shared, req: &Json, hello_done: &mut bool) -> (Json
             Flow::Close,
         );
     }
-    if !*hello_done {
+    if !sess.hello_done {
         if verb != "hello" {
             return (
                 proto::error(
@@ -146,15 +228,23 @@ pub(crate) fn route(shared: &Shared, req: &Json, hello_done: &mut bool) -> (Json
             );
         }
         return match req.get("version").and_then(Json::as_u64) {
-            Some(PROTOCOL_VERSION) => {
-                *hello_done = true;
-                (
-                    proto::ok()
-                        .set("server", "treequery-serve")
-                        .set("version", PROTOCOL_VERSION),
-                    Flow::Continue,
-                )
-            }
+            Some(PROTOCOL_VERSION) => match hello_tenant(req) {
+                Ok(tenant) => {
+                    sess.hello_done = true;
+                    if let Some(t) = tenant {
+                        sess.tenant = t;
+                    }
+                    shared.usage.touch(&sess.tenant);
+                    (
+                        proto::ok()
+                            .set("server", "treequery-serve")
+                            .set("version", PROTOCOL_VERSION)
+                            .set("tenant", sess.tenant.as_str()),
+                        Flow::Continue,
+                    )
+                }
+                Err(e) => (e, Flow::Continue),
+            },
             Some(v) => (
                 proto::error(
                     ErrorCode::VersionMismatch,
@@ -170,21 +260,54 @@ pub(crate) fn route(shared: &Shared, req: &Json, hello_done: &mut bool) -> (Json
     }
 
     let body = match verb {
-        "hello" => proto::ok()
-            .set("server", "treequery-serve")
-            .set("version", PROTOCOL_VERSION),
+        // Re-hello may switch the tenant the rest of the connection
+        // accounts to.
+        "hello" => match hello_tenant(req) {
+            Ok(tenant) => {
+                if let Some(t) = tenant {
+                    sess.tenant = t;
+                    shared.usage.touch(&sess.tenant);
+                }
+                proto::ok()
+                    .set("server", "treequery-serve")
+                    .set("version", PROTOCOL_VERSION)
+                    .set("tenant", sess.tenant.as_str())
+            }
+            Err(e) => e,
+        },
         "load" => verb_load(shared, req),
         "drop" => verb_drop(shared, req),
         "list" => verb_list(shared),
-        "query" => verb_query(shared, req),
-        "edit" => verb_edit(shared, req),
+        "query" => verb_query(shared, req, sess, trace_id),
+        "edit" => {
+            let body = verb_edit(shared, req);
+            if matches!(body.get("ok"), Some(Json::Bool(true))) {
+                shared.usage.record_edit(&sess.tenant);
+            }
+            body
+        }
         "explain" => verb_explain(shared, req),
         "stats" => verb_stats(shared, req),
         "cancel" => verb_cancel(shared, req),
+        "usage" => proto::ok().set("tenants", shared.usage.to_json()),
+        "slo" => proto::ok()
+            .set("target_ppm", shared.slo.target_ppm())
+            .set("classes", shared.slo.to_json()),
         "metrics" => proto::ok().set("exposition", shared.render_metrics()),
         "shutdown" => {
+            // Refuse new work immediately (flag only — the listener
+            // pokes wait until the ack is flushed, or the accept loop
+            // could exit and take the process down mid-drain), then
+            // drain: in-flight queries get the configured budget to
+            // finish before their cancel tokens are tripped. The ack
+            // reports how the drain went.
+            shared.begin_shutdown();
+            let (drained, cancelled) = shared.drain_inflight();
             return (
-                proto::ok().set("shutting_down", true),
+                proto::ok()
+                    .set("shutting_down", true)
+                    .set("drained", drained)
+                    .set("cancelled", cancelled),
                 Flow::CloseAndShutdown,
             );
         }
@@ -335,7 +458,18 @@ fn engine_error_json(err: &EngineError, id: u64) -> Json {
     proto::error(code, err.to_string()).set("id", id)
 }
 
-fn verb_query(shared: &Shared, req: &Json) -> Json {
+/// The SLO class key for a planner cost class — the same strings
+/// [`crate::server::default_objectives`] registers.
+fn cost_class_key(cost: CostClass) -> &'static str {
+    match cost {
+        CostClass::Linear => "linear",
+        CostClass::OutputSensitive => "output_sensitive",
+        CostClass::Polynomial => "polynomial",
+        CostClass::Exponential => "exponential",
+    }
+}
+
+fn verb_query(shared: &Shared, req: &Json, sess: &SessionState, trace_id: &str) -> Json {
     let doc_name = match need_str(req, "doc") {
         Ok(n) => n,
         Err(e) => return e,
@@ -355,68 +489,127 @@ fn verb_query(shared: &Shared, req: &Json) -> Json {
             format!("no document {doc_name:?}"),
         );
     };
-    let doc = doc.read().expect("document poisoned");
-    let engine = doc.engine();
-    // Lower + plan first: parse errors answer immediately, and the plan's
-    // cost class is what admission keys on.
-    let ir = match engine.lower(&query) {
-        Ok(ir) => ir,
-        Err(e) => return proto::error(ErrorCode::QueryError, e.to_string()),
-    };
-    let plan = match engine.explain(&query) {
-        Ok(p) => p,
-        Err(e) => return proto::error(ErrorCode::QueryError, e.to_string()),
-    };
 
-    let token = match deadline_ms {
-        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
-        None => CancelToken::new(),
+    // When the flight recorder is installed, open the query scope here —
+    // before the document lock and admission — so the serve-side spans
+    // land on the same record as the engine's evaluation spans, and the
+    // record carries this request's tenant and trace id.
+    let flight_id = if flight::enabled() {
+        flight::begin_query()
+    } else {
+        0
     };
-    // Registered *before* evaluation starts so a racing `cancel` on
-    // another connection can always find us by id or tag.
-    let id = shared.register_query(token.clone(), tag);
-    let _unregister = UnregisterOnDrop { shared, id };
+    let run = || {
+        let doc = {
+            let _lock = span("serve.lock");
+            doc.read().expect("document poisoned")
+        };
+        let engine = doc.engine();
+        // Lower + plan first: parse errors answer immediately, and the
+        // plan's cost class is what admission keys on.
+        let ir = match engine.lower(&query) {
+            Ok(ir) => ir,
+            Err(e) => return proto::error(ErrorCode::QueryError, e.to_string()),
+        };
+        let plan = match engine.explain(&query) {
+            Ok(p) => p,
+            Err(e) => return proto::error(ErrorCode::QueryError, e.to_string()),
+        };
 
-    let Ok((_permit, verdict)) = shared.admission.admit(plan.cost, shared.admit_timeout) else {
-        return proto::error(
-            ErrorCode::AdmissionRejected,
-            format!(
-                "heavy lane full ({} slots) and no slot freed within {:?}",
-                shared.admission.cap(),
-                shared.admit_timeout
-            ),
-        )
-        .set("id", id);
-    };
+        let token = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        // Registered *before* evaluation starts so a racing `cancel` on
+        // another connection can always find us by id or tag.
+        let id = shared.register_query(token.clone(), tag);
+        let _unregister = UnregisterOnDrop { shared, id };
 
-    let started = Instant::now();
-    match engine.eval_ir_with_cancel(&ir, &token) {
-        Ok(out) => {
-            let wall_us = started.elapsed().as_micros() as u64;
-            let rows = rows_json(doc.tree(), &out);
-            let mut body = proto::ok()
-                .set("id", id)
-                .set("doc", doc_name)
-                .set("strategy", format!("{:?}", plan.strategy))
-                .set("cost", plan.cost.to_string())
-                .set("admission", admission_str(verdict))
-                .set("wall_us", wall_us);
-            if let Json::Obj(fields) = rows {
-                for (k, v) in fields {
-                    body = body.set(k, v);
+        let admit_started = Instant::now();
+        let admitted = {
+            let _admission = span("serve.admission");
+            shared.admission.admit(plan.cost, shared.admit_timeout)
+        };
+        let admission_wait_ns = admit_started.elapsed().as_nanos() as u64;
+        let Ok((_permit, verdict)) = admitted else {
+            return proto::error(
+                ErrorCode::AdmissionRejected,
+                format!(
+                    "heavy lane full ({} slots) and no slot freed within {:?}",
+                    shared.admission.cap(),
+                    shared.admit_timeout
+                ),
+            )
+            .set("id", id);
+        };
+
+        let ctx = flight::RequestCtx {
+            tenant: sess.tenant.clone(),
+            trace_id: trace_id.to_owned(),
+            admission_wait_ns,
+        };
+        let started = Instant::now();
+        let result = flight::with_request_ctx(ctx, || engine.eval_ir_with_cancel(&ir, &token));
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        match result {
+            Ok(out) => {
+                let row_count = match &out {
+                    QueryOutput::Nodes(v) => v.len() as u64,
+                    QueryOutput::Answer(a) => a.tuples.len() as u64,
+                };
+                // The trace id is stamped here, before the body is
+                // measured, so `resp_bytes` equals what actually goes on
+                // the wire (the router's later re-stamp is idempotent).
+                let serialize_started = Instant::now();
+                let rows = rows_json(doc.tree(), &out);
+                let mut body = proto::ok()
+                    .set("id", id)
+                    .set("doc", doc_name)
+                    .set("strategy", format!("{:?}", plan.strategy))
+                    .set("cost", plan.cost.to_string())
+                    .set("admission", admission_str(verdict))
+                    .set("wall_us", wall_ns / 1_000)
+                    .set("trace_id", trace_id);
+                if let Json::Obj(fields) = rows {
+                    for (k, v) in fields {
+                        body = body.set(k, v);
+                    }
                 }
+                let resp_bytes = (body.render().len() + 1) as u64; // + '\n'
+                let serialize_ns = serialize_started.elapsed().as_nanos() as u64;
+                if flight_id != 0 {
+                    flight::annotate_response(flight_id, resp_bytes, serialize_ns);
+                }
+                shared.usage.record_query(
+                    &sess.tenant,
+                    wall_ns,
+                    row_count,
+                    resp_bytes,
+                    matches!(verdict, AdmissionVerdict::Queued),
+                );
+                shared.slo.observe(cost_class_key(plan.cost), wall_ns);
+                body
             }
-            body
+            Err(e) => engine_error_json(&e, id),
         }
-        Err(e) => engine_error_json(&e, id),
+    };
+    if flight_id != 0 {
+        let body = flight::with_current_query(flight_id, run);
+        // Pre-evaluation exits (parse error, admission rejection) never
+        // reach the engine's span collection; drop anything pending so
+        // the capped span map can't fill with orphans.
+        let _ = flight::take_spans(flight_id);
+        body
+    } else {
+        run()
     }
 }
 
-fn admission_str(v: crate::admission::AdmissionVerdict) -> &'static str {
+fn admission_str(v: AdmissionVerdict) -> &'static str {
     match v {
-        crate::admission::AdmissionVerdict::FastLane => "fast_lane",
-        crate::admission::AdmissionVerdict::Immediate => "immediate",
-        crate::admission::AdmissionVerdict::Queued => "queued",
+        AdmissionVerdict::FastLane => "fast_lane",
+        AdmissionVerdict::Immediate => "immediate",
+        AdmissionVerdict::Queued => "queued",
     }
 }
 
@@ -495,6 +688,7 @@ fn verb_stats(shared: &Shared, req: &Json) -> Json {
     let mut body = proto::ok()
         .set("docs", shared.catalog.len())
         .set("cached_plans", shared.catalog.plan_cache().len())
+        .set("inflight", shared.inflight_count() as u64)
         .set("engine", snap.to_json());
     if let Some(name) = req.get("doc").and_then(Json::as_str) {
         let Some(doc) = shared.catalog.get(name) else {
